@@ -1,0 +1,298 @@
+//! §4.3 download-stack detection: the Eq. 4 transient-buffering outlier
+//! screen and the Eq. 5 RTO-based persistent-`D_DS` lower bound.
+
+use serde::{Deserialize, Serialize};
+use streamlab_sim::SimDuration;
+use streamlab_telemetry::dataset::SessionData;
+use streamlab_telemetry::records::ChunkRecord;
+
+/// Eq. 4 evaluation for one chunk within its session.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Eq4Flags {
+    /// Chunk index within the session.
+    pub chunk: u32,
+    /// `D_FB > μ + 2σ` over the session's chunks.
+    pub dfb_outlier: bool,
+    /// `TP_inst > μ + 2σ`.
+    pub tp_outlier: bool,
+    /// SRTT, server latency and CWND all within `μ + σ` (i.e. the network
+    /// and server do *not* explain the anomaly).
+    pub network_normal: bool,
+}
+
+impl Eq4Flags {
+    /// The Eq. 4 verdict: flagged as a transient download-stack buffering
+    /// event.
+    pub fn flagged(&self) -> bool {
+        self.dfb_outlier && self.tp_outlier && self.network_normal
+    }
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Run the paper's Eq. 4 detector over one session's chunks.
+///
+/// A chunk is flagged when, relative to the session's own distribution:
+/// `D_FB` and the instantaneous throughput are both `> μ + 2σ` while SRTT,
+/// server latency and CWND are all `< μ + σ` — the only remaining
+/// explanation for a late-but-then-instant delivery is buffering inside
+/// the client's download stack.
+///
+/// Returns one entry per chunk; sessions with fewer than 4 chunks return
+/// an empty vector (no meaningful distribution to screen against).
+pub fn detect_transient_buffering(s: &SessionData) -> Vec<Eq4Flags> {
+    if s.chunks.len() < 4 {
+        return Vec::new();
+    }
+    let dfb: Vec<f64> = s
+        .chunks
+        .iter()
+        .map(|c| c.player.d_fb.as_millis_f64())
+        .collect();
+    let tp: Vec<f64> = s
+        .chunks
+        .iter()
+        .map(|c| c.player.instantaneous_tp_mbps())
+        .collect();
+    let srtt: Vec<f64> = s
+        .chunks
+        .iter()
+        .map(|c| {
+            c.cdn
+                .last_tcp()
+                .map(|t| t.srtt.as_millis_f64())
+                .unwrap_or(f64::NAN)
+        })
+        .collect();
+    let server: Vec<f64> = s
+        .chunks
+        .iter()
+        .map(|c| c.cdn.server_total().as_millis_f64())
+        .collect();
+    let cwnd: Vec<f64> = s
+        .chunks
+        .iter()
+        .map(|c| c.cdn.last_tcp().map(|t| f64::from(t.cwnd)).unwrap_or(f64::NAN))
+        .collect();
+
+    let (m_dfb, s_dfb) = mean_std(&dfb);
+    let (m_tp, s_tp) = mean_std(&tp);
+    let (m_srtt, s_srtt) = mean_std(&srtt);
+    let (m_server, s_server) = mean_std(&server);
+    let (m_cwnd, s_cwnd) = mean_std(&cwnd);
+
+    s.chunks
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Eq4Flags {
+            chunk: c.chunk().raw(),
+            dfb_outlier: dfb[i] > m_dfb + 2.0 * s_dfb,
+            tp_outlier: tp[i] > m_tp + 2.0 * s_tp,
+            // "within one σ of the mean"; the small relative epsilon keeps
+            // zero-variance metrics (σ = 0) from failing their own mean.
+            network_normal: srtt[i] <= m_srtt + s_srtt + 0.01 * m_srtt.abs()
+                && server[i] <= m_server + s_server + 0.01 * m_server.abs()
+                && cwnd[i] <= m_cwnd + s_cwnd + 0.01 * m_cwnd.abs(),
+        })
+        .collect()
+}
+
+/// Eq. 5: a conservative per-chunk lower bound on the download-stack
+/// latency, using the kernel's RTO as an upper bound on `rtt₀`:
+///
+/// `D_DS ≥ D_FB − D_CDN − D_BE − RTO`, with
+/// `RTO = 200 ms + srtt + 4·srttvar` (Linux per RFC 2988, §4.3.2).
+///
+/// Returns zero when the bound is not positive (no evidence of stack
+/// latency at this conservatism level).
+pub fn estimate_dds_lower_bound(c: &ChunkRecord) -> SimDuration {
+    let Some(tcp) = c.cdn.last_tcp() else {
+        return SimDuration::ZERO;
+    };
+    let rto = SimDuration::from_millis(200) + tcp.srtt + tcp.rttvar * 4;
+    c.player
+        .d_fb
+        .saturating_sub(c.cdn.d_cdn() + c.cdn.d_backend + rto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_net::TcpInfo;
+    use streamlab_sim::{SimDuration, SimTime};
+    use streamlab_telemetry::records::{
+        CacheOutcome, CdnChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
+    };
+    use streamlab_telemetry::SessionData;
+    use streamlab_workload::{
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region,
+        ServerId, SessionId, VideoId,
+    };
+
+    /// A session of `n` well-behaved chunks; caller then perturbs one.
+    fn base_session(n: u32) -> SessionData {
+        let meta = SessionMeta {
+            session: SessionId(0),
+            prefix: PrefixId(0),
+            video: VideoId(0),
+            video_secs: 120.0,
+            os: Os::Windows,
+            browser: Browser::Firefox,
+            org: "Residential-ISP-0".into(),
+            org_kind: OrgKind::Residential,
+            access: AccessClass::Cable,
+            region: Region::UnitedStates,
+            location: GeoPoint {
+                lat: 40.0,
+                lon: -75.0,
+            },
+            pop: PopId(0),
+            server: ServerId(0),
+            distance_km: 50.0,
+            arrival: SimTime::ZERO,
+            startup_delay_s: 1.0,
+            proxied: false,
+            ua_mismatch: false,
+            gpu: false,
+            visible: true,
+        };
+        let chunks = (0..n)
+            .map(|i| {
+                // Mild deterministic variation so σ > 0.
+                let wiggle = u64::from(i % 3) * 5;
+                ChunkRecord {
+                    player: PlayerChunkRecord {
+                        session: SessionId(0),
+                        chunk: ChunkIndex(i),
+                        bitrate_kbps: 1050,
+                        requested_at: SimTime::from_secs(u64::from(i) * 6),
+                        d_fb: SimDuration::from_millis(120 + wiggle),
+                        d_lb: SimDuration::from_millis(900 + wiggle * 10),
+                        chunk_secs: 6.0,
+                        buf_count: 0,
+                        buf_dur: SimDuration::ZERO,
+                        visible: true,
+                        avg_fps: 30.0,
+                        dropped_frames: 0,
+                        frames: 180,
+                        truth: ChunkTruth::default(),
+                    },
+                    cdn: CdnChunkRecord {
+                        session: SessionId(0),
+                        chunk: ChunkIndex(i),
+                        d_wait: SimDuration::from_micros(300),
+                        d_open: SimDuration::from_micros(300),
+                        d_read: SimDuration::from_millis(2),
+                        d_backend: SimDuration::ZERO,
+                        cache: CacheOutcome::RamHit,
+                        retry_fired: false,
+                        size_bytes: 787_500,
+                        served_at: SimTime::from_secs(u64::from(i) * 6),
+                        segments: 540,
+                        retx_segments: 0,
+                        tcp: vec![TcpInfo {
+                            at: SimTime::from_secs(u64::from(i) * 6),
+                            srtt: SimDuration::from_millis(60 + wiggle),
+                            rttvar: SimDuration::from_millis(6),
+                            cwnd: 80 + i % 3,
+                            retx_total: 0,
+                            segs_out_total: 5000,
+                            mss: 1460,
+                        }],
+                    },
+                }
+            })
+            .collect();
+        SessionData { meta, chunks }
+    }
+
+    #[test]
+    fn clean_session_has_no_flags() {
+        let s = base_session(15);
+        let flags = detect_transient_buffering(&s);
+        assert_eq!(flags.len(), 15);
+        assert!(flags.iter().all(|f| !f.flagged()));
+    }
+
+    #[test]
+    fn fig17_chunk_is_flagged() {
+        let mut s = base_session(15);
+        // Chunk 7: stack-buffered. Huge D_FB, tiny D_LB (=> huge TP_inst),
+        // normal network/server metrics.
+        s.chunks[7].player.d_fb = SimDuration::from_millis(2600);
+        s.chunks[7].player.d_lb = SimDuration::from_millis(40);
+        let flags = detect_transient_buffering(&s);
+        assert!(flags[7].flagged(), "{:?}", flags[7]);
+        assert_eq!(flags.iter().filter(|f| f.flagged()).count(), 1);
+    }
+
+    #[test]
+    fn network_spike_is_not_blamed_on_the_stack() {
+        let mut s = base_session(15);
+        // Chunk 7 is slow because the *network* got slow: SRTT spiked too.
+        s.chunks[7].player.d_fb = SimDuration::from_millis(2600);
+        s.chunks[7].player.d_lb = SimDuration::from_millis(40);
+        s.chunks[7].cdn.tcp[0].srtt = SimDuration::from_millis(900);
+        let flags = detect_transient_buffering(&s);
+        assert!(!flags[7].flagged(), "SRTT explains it; must not flag");
+    }
+
+    #[test]
+    fn server_miss_is_not_blamed_on_the_stack() {
+        let mut s = base_session(15);
+        // Chunk 7 is slow because of a cache miss at the server.
+        s.chunks[7].player.d_fb = SimDuration::from_millis(2600);
+        s.chunks[7].player.d_lb = SimDuration::from_millis(40);
+        s.chunks[7].cdn.d_read = SimDuration::from_millis(2400);
+        s.chunks[7].cdn.d_backend = SimDuration::from_millis(2380);
+        s.chunks[7].cdn.cache = CacheOutcome::Miss;
+        let flags = detect_transient_buffering(&s);
+        assert!(!flags[7].flagged(), "server latency explains it");
+    }
+
+    #[test]
+    fn short_sessions_are_skipped() {
+        let s = base_session(3);
+        assert!(detect_transient_buffering(&s).is_empty());
+    }
+
+    #[test]
+    fn eq5_bound_is_conservative_but_positive_for_big_dds() {
+        let mut s = base_session(5);
+        // srtt 60–70, rttvar 6 → RTO ≈ 284–294 ms. D_CDN ≈ 2.6 ms.
+        // A 1.5 s D_FB therefore leaves a positive D_DS bound ≈ 1.2 s.
+        s.chunks[2].player.d_fb = SimDuration::from_millis(1500);
+        let est = estimate_dds_lower_bound(&s.chunks[2]);
+        assert!(
+            est > SimDuration::from_millis(1000),
+            "bound too weak: {est}"
+        );
+        assert!(est < SimDuration::from_millis(1500), "bound must stay a lower bound");
+        // Clean chunks bound to zero.
+        let clean = estimate_dds_lower_bound(&s.chunks[0]);
+        assert!(clean.is_zero());
+    }
+
+    #[test]
+    fn eq5_underestimates_truth_never_overestimates() {
+        // Ground truth: dds = 800 ms on a chunk whose D_FB = rtt0 + server
+        // + dds. The estimator must return ≤ 800 ms.
+        let mut s = base_session(5);
+        let truth_dds = SimDuration::from_millis(800);
+        s.chunks[1].player.truth = ChunkTruth {
+            dds: truth_dds,
+            rtt0: SimDuration::from_millis(60),
+            transient_buffered: false,
+        };
+        s.chunks[1].player.d_fb =
+            SimDuration::from_millis(60) + s.chunks[1].cdn.server_total() + truth_dds;
+        let est = estimate_dds_lower_bound(&s.chunks[1]);
+        assert!(est <= truth_dds, "est {est} exceeds truth {truth_dds}");
+        assert!(est > SimDuration::from_millis(300), "est {est} uselessly weak");
+    }
+}

@@ -1,0 +1,246 @@
+//! §4.1 exhibits: content shape (Fig. 3), server latency and its anatomy
+//! (Figs. 4–6), and the headline statistics of §3/§4.1.
+
+use super::CdfSeries;
+use crate::stats::{BinnedSeries, Cdf};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use streamlab_telemetry::records::CacheOutcome;
+use streamlab_telemetry::Dataset;
+use streamlab_workload::Catalog;
+
+/// Fig. 3a: CCDF of video lengths in the catalog.
+pub fn fig03a(catalog: &Catalog, points: usize) -> CdfSeries {
+    let cdf = Cdf::new(catalog.videos().iter().map(|v| v.duration_s).collect());
+    CdfSeries::from_ccdf("video length (s)", &cdf, points)
+}
+
+/// Fig. 3b: normalized rank vs normalized play frequency.
+pub fn fig03b(ds: &Dataset) -> Vec<(f64, f64)> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for s in &ds.sessions {
+        *counts.entry(s.meta.video.raw()).or_insert(0) += 1;
+    }
+    let mut freq: Vec<u64> = counts.into_values().collect();
+    freq.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = freq.iter().sum();
+    let n = freq.len() as f64;
+    freq.iter()
+        .enumerate()
+        .map(|(i, &f)| ((i + 1) as f64 / n, f as f64 / total as f64))
+        .collect()
+}
+
+/// Fig. 4: startup time vs the first chunk's total server latency
+/// (binned; mean, median, IQR per bin).
+pub fn fig04(ds: &Dataset) -> BinnedSeries {
+    let pairs: Vec<(f64, f64)> = ds
+        .sessions
+        .iter()
+        .filter_map(|s| {
+            let first = s.first_chunk()?;
+            let x = first.cdn.server_total().as_millis_f64();
+            let y = s.meta.startup_delay_s;
+            y.is_finite().then_some((x, y))
+        })
+        .collect();
+    BinnedSeries::fixed_width(&pairs, 0.0, 600.0, 12)
+}
+
+/// Fig. 5: the CDN latency breakdown — five CDFs.
+pub fn fig05(ds: &Dataset, points: usize) -> Vec<CdfSeries> {
+    let mut wait = Vec::new();
+    let mut open = Vec::new();
+    let mut read = Vec::new();
+    let mut total_hit = Vec::new();
+    let mut total_miss = Vec::new();
+    for (_, c) in ds.chunks() {
+        wait.push(c.cdn.d_wait.as_millis_f64());
+        open.push(c.cdn.d_open.as_millis_f64());
+        read.push(c.cdn.d_read.as_millis_f64());
+        let total = c.cdn.server_total().as_millis_f64();
+        if c.cdn.cache.is_hit() {
+            total_hit.push(total);
+        } else {
+            total_miss.push(total);
+        }
+    }
+    vec![
+        CdfSeries::from_cdf("wait", &Cdf::new(wait), points),
+        CdfSeries::from_cdf("open", &Cdf::new(open), points),
+        CdfSeries::from_cdf("read", &Cdf::new(read), points),
+        CdfSeries::from_cdf("total-hit", &Cdf::new(total_hit), points),
+        CdfSeries::from_cdf("total-miss", &Cdf::new(total_miss), points),
+    ]
+}
+
+/// One threshold row of Fig. 6: statistics over chunks of videos with
+/// `rank ≥ min_rank`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig06Row {
+    /// Rank threshold (x in "Rank ≥ x").
+    pub min_rank: usize,
+    /// Cache-miss percentage among those chunks (Fig. 6a).
+    pub miss_pct: f64,
+    /// Median server latency among *hit* chunks, ms (Fig. 6b).
+    pub median_hit_server_ms: f64,
+    /// Chunks behind the threshold.
+    pub chunks: usize,
+}
+
+/// Fig. 6: performance vs popularity, for a ladder of rank thresholds.
+pub fn fig06(ds: &Dataset, catalog_len: usize, steps: usize) -> Vec<Fig06Row> {
+    let steps = steps.max(1);
+    (0..steps)
+        .map(|i| {
+            let min_rank = i * catalog_len / steps;
+            let mut misses = 0usize;
+            let mut total = 0usize;
+            let mut hit_latencies = Vec::new();
+            for (meta, c) in ds.chunks() {
+                if meta.video.rank() < min_rank.max(1) {
+                    continue;
+                }
+                total += 1;
+                if c.cdn.cache.is_hit() {
+                    hit_latencies.push(c.cdn.server_total().as_millis_f64());
+                } else {
+                    misses += 1;
+                }
+            }
+            Fig06Row {
+                min_rank,
+                miss_pct: if total == 0 {
+                    0.0
+                } else {
+                    100.0 * misses as f64 / total as f64
+                },
+                median_hit_server_ms: Cdf::new(hit_latencies).median(),
+                chunks: total,
+            }
+        })
+        .collect()
+}
+
+/// The headline statistics of §3 and §4.1 (cache behaviour, persistence).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HeadlineStats {
+    /// Sessions after preprocessing.
+    pub sessions: usize,
+    /// Chunks after preprocessing.
+    pub chunks: usize,
+    /// Fraction of raw sessions kept by the proxy filter (paper: 0.77).
+    pub retention: f64,
+    /// Overall cache-miss rate across chunks (paper: ~2 %).
+    pub miss_rate: f64,
+    /// RAM-hit rate across chunks.
+    pub ram_hit_rate: f64,
+    /// Fraction of chunks on which the 10 ms retry timer fired (paper:
+    /// 35 %).
+    pub retry_fraction: f64,
+    /// Median total server latency over hit chunks, ms (paper: 2 ms).
+    pub hit_median_ms: f64,
+    /// Median total server latency over miss chunks, ms (paper: 80 ms).
+    pub miss_median_ms: f64,
+    /// Share of playbacks going to the top 10 % of videos (paper: ~66 %).
+    pub top_decile_play_share: f64,
+    /// Mean per-session miss ratio among sessions with ≥ 1 miss (paper:
+    /// 60 %).
+    pub mean_miss_ratio_in_miss_sessions: f64,
+    /// Mean per-session ratio of high-latency (> 10 ms read) chunks among
+    /// sessions with ≥ 1 such chunk (paper: 60 %).
+    pub mean_slow_ratio_in_slow_sessions: f64,
+    /// Fraction of sessions whose first chunk saw server latency above
+    /// 100 ms (a server-side QoE problem; paper: ~5 % of sessions have a
+    /// server-related QoE problem).
+    pub sessions_with_server_problem: f64,
+}
+
+/// Compute the headline statistics.
+pub fn headline_stats(ds: &Dataset) -> HeadlineStats {
+    let mut misses = 0usize;
+    let mut ram = 0usize;
+    let mut retry = 0usize;
+    let mut chunks = 0usize;
+    let mut hit_lat = Vec::new();
+    let mut miss_lat = Vec::new();
+    let mut play_counts: HashMap<u64, u64> = HashMap::new();
+
+    let mut miss_ratios = Vec::new();
+    let mut slow_ratios = Vec::new();
+    let mut server_problem_sessions = 0usize;
+
+    for s in &ds.sessions {
+        *play_counts.entry(s.meta.video.raw()).or_insert(0) += 1;
+        let mut s_miss = 0usize;
+        let mut s_slow = 0usize;
+        for c in &s.chunks {
+            chunks += 1;
+            match c.cdn.cache {
+                CacheOutcome::Miss => {
+                    misses += 1;
+                    s_miss += 1;
+                    miss_lat.push(c.cdn.server_total().as_millis_f64());
+                }
+                CacheOutcome::RamHit => {
+                    ram += 1;
+                    hit_lat.push(c.cdn.server_total().as_millis_f64());
+                }
+                CacheOutcome::DiskHit => {
+                    hit_lat.push(c.cdn.server_total().as_millis_f64());
+                }
+            }
+            if c.cdn.retry_fired {
+                retry += 1;
+            }
+            if c.cdn.d_read > streamlab_sim::SimDuration::from_millis(10) {
+                s_slow += 1;
+            }
+        }
+        let n = s.chunks.len().max(1) as f64;
+        if s_miss > 0 {
+            miss_ratios.push(s_miss as f64 / n);
+        }
+        if s_slow > 0 {
+            slow_ratios.push(s_slow as f64 / n);
+        }
+        if let Some(first) = s.first_chunk() {
+            if first.cdn.server_total() > streamlab_sim::SimDuration::from_millis(100) {
+                server_problem_sessions += 1;
+            }
+        }
+    }
+
+    let mut freq: Vec<u64> = play_counts.into_values().collect();
+    freq.sort_unstable_by(|a, b| b.cmp(a));
+    let total_plays: u64 = freq.iter().sum();
+    let head = freq.len().div_ceil(10);
+    let head_plays: u64 = freq.iter().take(head).sum();
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    let n_sessions = ds.sessions.len().max(1);
+    HeadlineStats {
+        sessions: ds.sessions.len(),
+        chunks,
+        retention: ds.retention(),
+        miss_rate: misses as f64 / chunks.max(1) as f64,
+        ram_hit_rate: ram as f64 / chunks.max(1) as f64,
+        retry_fraction: retry as f64 / chunks.max(1) as f64,
+        hit_median_ms: Cdf::new(hit_lat).median(),
+        miss_median_ms: Cdf::new(miss_lat).median(),
+        top_decile_play_share: if total_plays == 0 {
+            0.0
+        } else {
+            head_plays as f64 / total_plays as f64
+        },
+        mean_miss_ratio_in_miss_sessions: mean(&miss_ratios),
+        mean_slow_ratio_in_slow_sessions: mean(&slow_ratios),
+        sessions_with_server_problem: server_problem_sessions as f64 / n_sessions as f64,
+    }
+}

@@ -1,0 +1,576 @@
+//! §4.3/§4.4 exhibits: download-stack problems (Figs. 17–18, Table 5) and
+//! rendering quality (Figs. 19, 21, 22).
+
+use super::CdfSeries;
+use crate::detect::{detect_transient_buffering, estimate_dds_lower_bound};
+use crate::stats::{BinnedSeries, Cdf};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use streamlab_sim::SimDuration;
+use streamlab_telemetry::Dataset;
+use streamlab_workload::{Browser, Os};
+
+/// Fig. 17 / §4.3.1 output: detector aggregates, validation against
+/// simulation ground truth, and one example session to plot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig17 {
+    /// Chunks flagged by the Eq. 4 detector.
+    pub flagged_chunks: usize,
+    /// All chunks screened.
+    pub total_chunks: usize,
+    /// Sessions with at least one flagged chunk (paper: 3.1 %).
+    pub affected_sessions: usize,
+    /// All sessions.
+    pub total_sessions: usize,
+    /// Detector precision against ground truth (flagged ∧ truly buffered /
+    /// flagged) — unavailable to the paper, available to the simulator.
+    pub precision: f64,
+    /// Detector recall (flagged ∧ truly buffered / truly buffered).
+    pub recall: f64,
+    /// An example session: per-chunk series for the Fig. 17 panels.
+    pub example: Option<Fig17Example>,
+}
+
+/// The per-chunk series of the Fig. 17 case-study session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig17Example {
+    /// `D_FB` per chunk, ms (Fig. 17a).
+    pub dfb_ms: Vec<f64>,
+    /// SRTT per chunk, ms (Fig. 17a).
+    pub srtt_ms: Vec<f64>,
+    /// Server latency per chunk, ms (Fig. 17a).
+    pub server_ms: Vec<f64>,
+    /// Connection throughput per chunk from Eq. 3, Mbps (Fig. 17b).
+    pub conn_tp_mbps: Vec<f64>,
+    /// Instantaneous download throughput per chunk, Mbps (Fig. 17b).
+    pub inst_tp_mbps: Vec<f64>,
+    /// The flagged chunk's index.
+    pub flagged_chunk: u32,
+}
+
+/// Run the Eq. 4 detector over the dataset (Fig. 17).
+pub fn fig17(ds: &Dataset) -> Fig17 {
+    let mut flagged = 0usize;
+    let mut total = 0usize;
+    let mut affected = 0usize;
+    let mut true_pos = 0usize;
+    let mut truth_total = 0usize;
+    let mut example = None;
+
+    for s in &ds.sessions {
+        let flags = detect_transient_buffering(s);
+        total += s.chunks.len();
+        truth_total += s
+            .chunks
+            .iter()
+            .filter(|c| c.player.truth.transient_buffered)
+            .count();
+        let mut any = false;
+        let mut session_flagged = Vec::new();
+        for f in &flags {
+            if f.flagged() {
+                flagged += 1;
+                any = true;
+                session_flagged.push(f.chunk);
+                if s.chunks[f.chunk as usize].player.truth.transient_buffered {
+                    true_pos += 1;
+                }
+            }
+        }
+        if any {
+            affected += 1;
+            // Pick a clean example: exactly one flagged chunk, mid-session.
+            if example.is_none() && session_flagged.len() == 1 && s.chunks.len() >= 8 {
+                let fc = session_flagged[0];
+                if fc > 0 && (fc as usize) < s.chunks.len() - 1 {
+                    example = Some(Fig17Example {
+                        dfb_ms: s
+                            .chunks
+                            .iter()
+                            .map(|c| c.player.d_fb.as_millis_f64())
+                            .collect(),
+                        srtt_ms: s
+                            .chunks
+                            .iter()
+                            .map(|c| {
+                                c.cdn
+                                    .last_tcp()
+                                    .map(|t| t.srtt.as_millis_f64())
+                                    .unwrap_or(f64::NAN)
+                            })
+                            .collect(),
+                        server_ms: s
+                            .chunks
+                            .iter()
+                            .map(|c| c.cdn.server_total().as_millis_f64())
+                            .collect(),
+                        conn_tp_mbps: s
+                            .chunks
+                            .iter()
+                            .map(|c| c.cdn.last_tcp().map(|t| t.throughput_mbps()).unwrap_or(0.0))
+                            .collect(),
+                        inst_tp_mbps: s
+                            .chunks
+                            .iter()
+                            .map(|c| c.player.instantaneous_tp_mbps())
+                            .collect(),
+                        flagged_chunk: fc,
+                    });
+                }
+            }
+        }
+    }
+    Fig17 {
+        flagged_chunks: flagged,
+        total_chunks: total,
+        affected_sessions: affected,
+        total_sessions: ds.sessions.len(),
+        precision: if flagged == 0 {
+            1.0
+        } else {
+            true_pos as f64 / flagged as f64
+        },
+        recall: if truth_total == 0 {
+            1.0
+        } else {
+            true_pos as f64 / truth_total as f64
+        },
+        example,
+    }
+}
+
+/// Fig. 18: `D_FB` of first vs other chunks over a performance-equivalent
+/// set — no loss, `CWND > 10`, SRTT within a narrow band, fast cache hit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig18 {
+    /// CDF of `D_FB` (ms) for first chunks in the equivalence set.
+    pub first: CdfSeries,
+    /// CDF of `D_FB` (ms) for the other chunks.
+    pub other: CdfSeries,
+    /// Median gap, ms (paper: ~300 ms).
+    pub median_gap_ms: f64,
+}
+
+/// Compute Fig. 18. `srtt_band_ms` narrows the set the way the paper's
+/// (60 ms, 65 ms) choice does; a wider band trades equivalence for sample
+/// count.
+pub fn fig18(ds: &Dataset, srtt_band_ms: (f64, f64), points: usize) -> Fig18 {
+    let mut first = Vec::new();
+    let mut other = Vec::new();
+    for (_, c) in ds.chunks() {
+        let Some(tcp) = c.cdn.last_tcp() else {
+            continue;
+        };
+        let srtt = tcp.srtt.as_millis_f64();
+        let equivalent = c.cdn.retx_segments == 0
+            && tcp.cwnd > 10
+            && srtt >= srtt_band_ms.0
+            && srtt <= srtt_band_ms.1
+            && c.cdn.d_cdn() < SimDuration::from_millis(5)
+            && c.cdn.cache.is_hit();
+        if !equivalent {
+            continue;
+        }
+        let dfb = c.player.d_fb.as_millis_f64();
+        if c.chunk().is_first() {
+            first.push(dfb);
+        } else {
+            other.push(dfb);
+        }
+    }
+    let cf = Cdf::new(first);
+    let co = Cdf::new(other);
+    Fig18 {
+        median_gap_ms: cf.median() - co.median(),
+        first: CdfSeries::from_cdf("first", &cf, points),
+        other: CdfSeries::from_cdf("other", &co, points),
+    }
+}
+
+/// Fig. 19: % dropped frames vs chunk download rate (plus the GPU bar).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig19 {
+    /// Dropped % binned by download rate (s/s), software rendering,
+    /// visible chunks.
+    pub by_rate: BinnedSeries,
+    /// Mean dropped % over hardware-rendered chunks (the figure's first
+    /// bar).
+    pub hardware_mean_pct: f64,
+}
+
+/// Compute Fig. 19.
+pub fn fig19(ds: &Dataset) -> Fig19 {
+    let mut pairs = Vec::new();
+    let mut hw = Vec::new();
+    for (meta, c) in ds.chunks() {
+        if !c.player.visible {
+            continue;
+        }
+        let drop_pct = 100.0 * c.player.drop_ratio();
+        if meta.gpu {
+            hw.push(drop_pct);
+        } else {
+            pairs.push((c.player.download_rate(), drop_pct));
+        }
+    }
+    Fig19 {
+        by_rate: BinnedSeries::fixed_width(&pairs, 0.0, 5.0, 20),
+        hardware_mean_pct: Cdf::new(hw).mean(),
+    }
+}
+
+/// One (platform, browser) row of Fig. 21.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig21Row {
+    /// Operating system ("platform").
+    pub os: Os,
+    /// Browser.
+    pub browser: Browser,
+    /// Share of the platform's chunks served to this browser, percent.
+    pub chunk_share_pct: f64,
+    /// Mean dropped-frame percentage among those chunks.
+    pub dropped_pct: f64,
+    /// Chunks observed.
+    pub chunks: usize,
+}
+
+/// Fig. 21: browser popularity and rendering quality per platform
+/// (normalized within each platform like the paper's figure).
+pub fn fig21(ds: &Dataset) -> Vec<Fig21Row> {
+    let mut acc: HashMap<(Os, Browser), (usize, f64)> = HashMap::new();
+    let mut platform_totals: HashMap<Os, usize> = HashMap::new();
+    for (meta, c) in ds.chunks() {
+        // Hidden players drop frames by design; keep them out of the
+        // per-browser quality comparison.
+        if !c.player.visible {
+            continue;
+        }
+        let e = acc.entry((meta.os, meta.browser)).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += 100.0 * c.player.drop_ratio();
+        *platform_totals.entry(meta.os).or_insert(0) += 1;
+    }
+    let mut rows: Vec<Fig21Row> = acc
+        .into_iter()
+        .map(|((os, browser), (n, drop_sum))| Fig21Row {
+            os,
+            browser,
+            chunk_share_pct: 100.0 * n as f64 / *platform_totals.get(&os).unwrap_or(&1) as f64,
+            dropped_pct: drop_sum / n as f64,
+            chunks: n,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (a.os.label(), std::cmp::Reverse((a.chunk_share_pct * 100.0) as u64))
+            .cmp(&(b.os.label(), std::cmp::Reverse((b.chunk_share_pct * 100.0) as u64)))
+    });
+    rows
+}
+
+/// One row of Fig. 22: an unpopular (browser, OS) pair under *good*
+/// conditions (rate ≥ 1.5 s/s, visible) still dropping frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig22Row {
+    /// Label, e.g. "Yandex,Windows".
+    pub label: String,
+    /// Mean dropped %, good conditions only.
+    pub dropped_pct: f64,
+    /// Chunks observed (the paper requires ≥ 500).
+    pub chunks: usize,
+}
+
+/// Fig. 22 output: unpopular pairs plus the baseline mean over the rest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig22 {
+    /// Unpopular (browser, OS) pairs, sorted by dropped % descending.
+    pub rows: Vec<Fig22Row>,
+    /// "Average in the rest": mean dropped % over all other chunks under
+    /// the same good-condition filter.
+    pub rest_avg_pct: f64,
+}
+
+/// Compute Fig. 22. `min_chunks` mirrors the paper's ≥ 500-chunk rule
+/// (scale it down with the dataset).
+pub fn fig22(ds: &Dataset, min_chunks: usize) -> Fig22 {
+    let mut acc: HashMap<(Os, Browser), (usize, f64)> = HashMap::new();
+    let mut rest_n = 0usize;
+    let mut rest_sum = 0.0;
+    for (meta, c) in ds.chunks() {
+        if !c.player.visible || c.player.download_rate() < 1.5 {
+            continue;
+        }
+        let unpopular =
+            meta.browser.is_unpopular() || (meta.browser == Browser::Safari && meta.os != Os::MacOs);
+        let drop_pct = 100.0 * c.player.drop_ratio();
+        if unpopular {
+            let e = acc.entry((meta.os, meta.browser)).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += drop_pct;
+        } else {
+            rest_n += 1;
+            rest_sum += drop_pct;
+        }
+    }
+    let mut rows: Vec<Fig22Row> = acc
+        .into_iter()
+        .filter(|(_, (n, _))| *n >= min_chunks)
+        .map(|((os, browser), (n, sum))| Fig22Row {
+            label: format!("{},{}", browser.label(), os.label()),
+            dropped_pct: sum / n as f64,
+            chunks: n,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.dropped_pct.partial_cmp(&a.dropped_pct).unwrap());
+    Fig22 {
+        rows,
+        rest_avg_pct: if rest_n == 0 { 0.0 } else { rest_sum / rest_n as f64 },
+    }
+}
+
+/// One row of Table 5: a platform's mean estimated download-stack latency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab05Row {
+    /// Operating system.
+    pub os: Os,
+    /// Browser.
+    pub browser: Browser,
+    /// Mean Eq. 5 `D_DS` bound over the platform's non-zero chunks, ms.
+    pub mean_ds_ms: f64,
+    /// Chunks with a non-zero bound.
+    pub nonzero_chunks: usize,
+    /// All chunks of the platform.
+    pub chunks: usize,
+}
+
+/// Table 5 output plus the §4.3.2 headline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab05 {
+    /// Platforms sorted by mean `D_DS` descending (min sample rule
+    /// applied).
+    pub rows: Vec<Tab05Row>,
+    /// Fraction of all chunks with a non-zero `D_DS` bound (paper:
+    /// 17.6 %).
+    pub nonzero_fraction: f64,
+}
+
+/// Compute Table 5 via the Eq. 5 estimator.
+///
+/// Chunks flagged by the Eq. 4 *transient*-buffering detector are excluded
+/// first: §4.3.2 characterizes the persistent download-stack latency of a
+/// platform, and a handful of multi-second transient holds would otherwise
+/// dominate the mean of any high-volume browser.
+pub fn tab05(ds: &Dataset, min_chunks: usize) -> Tab05 {
+    let mut acc: HashMap<(Os, Browser), (usize, usize, f64)> = HashMap::new();
+    let mut nonzero = 0usize;
+    let mut total = 0usize;
+    for s in &ds.sessions {
+        let flags = detect_transient_buffering(s);
+        for (i, c) in s.chunks.iter().enumerate() {
+            if flags.get(i).map(|f| f.flagged()).unwrap_or(false) {
+                continue;
+            }
+            let est = estimate_dds_lower_bound(c);
+            let e = acc
+                .entry((s.meta.os, s.meta.browser))
+                .or_insert((0, 0, 0.0));
+            e.0 += 1;
+            total += 1;
+            if !est.is_zero() {
+                e.1 += 1;
+                e.2 += est.as_millis_f64();
+                nonzero += 1;
+            }
+        }
+    }
+    // A platform needs a meaningful number of non-zero observations for
+    // its mean to be a ranking, not noise — and the problem must be
+    // *prevalent* on the platform (≥ 5 % of its chunks), or a handful of
+    // freak events on a high-volume browser would outrank a platform that
+    // is slow on every chunk.
+    let min_nonzero = (min_chunks / 2).max(20);
+    let mut rows: Vec<Tab05Row> = acc
+        .into_iter()
+        .filter(|(_, (n, nz, _))| {
+            *n >= min_chunks && *nz >= min_nonzero && *nz as f64 >= 0.05 * *n as f64
+        })
+        .map(|((os, browser), (n, nz, sum))| Tab05Row {
+            os,
+            browser,
+            mean_ds_ms: sum / nz as f64,
+            nonzero_chunks: nz,
+            chunks: n,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.mean_ds_ms.partial_cmp(&a.mean_ds_ms).unwrap());
+    Tab05 {
+        rows,
+        nonzero_fraction: nonzero as f64 / total.max(1) as f64,
+    }
+}
+
+/// §4.3.2's QoE tie-in: mean download-stack latency bucketed by session
+/// rebuffering rate. The paper: "among sessions with no re-buffering, the
+/// average D_DS is less than 100 ms. In sessions with up to 10 %
+/// re-buffering, the average D_DS grows up to 250 ms, and in sessions with
+/// more than 10 % re-buffering rate, the average D_DS is more than
+/// 500 ms."
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DdsVsRebuffering {
+    /// Mean per-chunk *true* D_DS in sessions with no rebuffering, ms.
+    pub no_rebuffer_ms: f64,
+    /// Mean true D_DS in sessions with 0–10 % rebuffering, ms.
+    pub some_rebuffer_ms: f64,
+    /// Mean true D_DS in sessions with > 10 % rebuffering, ms.
+    pub heavy_rebuffer_ms: f64,
+    /// The same buckets using the *Eq. 5 estimate* — what production (and
+    /// the paper) can actually measure. The estimate inflates whenever
+    /// `D_FB` outruns the RTO (network queueing, spikes), so it couples to
+    /// rebuffering through the network even when the true stack latency
+    /// does not. Comparing the two columns separates the stack's causal
+    /// share from the estimator's network sensitivity.
+    pub est_no_rebuffer_ms: f64,
+    /// Eq. 5 estimate, 0–10 % bucket.
+    pub est_some_rebuffer_ms: f64,
+    /// Eq. 5 estimate, > 10 % bucket.
+    pub est_heavy_rebuffer_ms: f64,
+    /// Session counts per bucket.
+    pub counts: [usize; 3],
+}
+
+/// Compute the §4.3.2 buckets, with both ground-truth and Eq. 5-estimated
+/// per-session mean D_DS.
+pub fn dds_vs_rebuffering(ds: &Dataset) -> DdsVsRebuffering {
+    let mut truth_sums = [0.0f64; 3];
+    let mut est_sums = [0.0f64; 3];
+    let mut counts = [0usize; 3];
+    for s in &ds.sessions {
+        if s.chunks.is_empty() {
+            continue;
+        }
+        let n = s.chunks.len() as f64;
+        let mean_truth = s
+            .chunks
+            .iter()
+            .map(|c| c.player.truth.dds.as_millis_f64())
+            .sum::<f64>()
+            / n;
+        let mean_est = s
+            .chunks
+            .iter()
+            .map(|c| estimate_dds_lower_bound(c).as_millis_f64())
+            .sum::<f64>()
+            / n;
+        let rate = s.rebuffer_rate_pct();
+        let bucket = if rate <= 0.0 {
+            0
+        } else if rate <= 10.0 {
+            1
+        } else {
+            2
+        };
+        truth_sums[bucket] += mean_truth;
+        est_sums[bucket] += mean_est;
+        counts[bucket] += 1;
+    }
+    let mean = |sums: &[f64; 3], i: usize| {
+        if counts[i] == 0 {
+            0.0
+        } else {
+            sums[i] / counts[i] as f64
+        }
+    };
+    DdsVsRebuffering {
+        no_rebuffer_ms: mean(&truth_sums, 0),
+        some_rebuffer_ms: mean(&truth_sums, 1),
+        heavy_rebuffer_ms: mean(&truth_sums, 2),
+        est_no_rebuffer_ms: mean(&est_sums, 0),
+        est_some_rebuffer_ms: mean(&est_sums, 1),
+        est_heavy_rebuffer_ms: mean(&est_sums, 2),
+        counts,
+    }
+}
+
+/// The §4.4.2 bitrate paradox: "Higher bitrates have better rendered
+/// framerate" — despite the higher decode cost — because high bitrates are
+/// *selected* by the ABR on connections that are better in every other way
+/// (lower RTT variation, lower loss).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BitrateParadox {
+    /// Sessions averaging above 1 Mbps.
+    pub high_sessions: usize,
+    /// Sessions at or below 1 Mbps.
+    pub low_sessions: usize,
+    /// Mean dropped-frame % in high-bitrate sessions.
+    pub high_dropped_pct: f64,
+    /// Mean dropped-frame % in low-bitrate sessions.
+    pub low_dropped_pct: f64,
+    /// Mean RTT variance (SRTTVAR, ms) in high-bitrate sessions — the
+    /// paper reports it ~5 ms lower than the rest.
+    pub high_srttvar_ms: f64,
+    /// Mean SRTTVAR (ms) in low-bitrate sessions.
+    pub low_srttvar_ms: f64,
+    /// Mean retransmission rate in high-bitrate sessions — the paper
+    /// reports it >1 % lower than the rest.
+    pub high_retx_rate: f64,
+    /// Mean retransmission rate in low-bitrate sessions.
+    pub low_retx_rate: f64,
+}
+
+/// Compute the §4.4.2 comparison, splitting sessions at 1 Mbps average
+/// bitrate (visible sessions only — hidden players drop by design).
+pub fn bitrate_paradox(ds: &Dataset) -> BitrateParadox {
+    let mut acc = BitrateParadox {
+        high_sessions: 0,
+        low_sessions: 0,
+        high_dropped_pct: 0.0,
+        low_dropped_pct: 0.0,
+        high_srttvar_ms: 0.0,
+        low_srttvar_ms: 0.0,
+        high_retx_rate: 0.0,
+        low_retx_rate: 0.0,
+    };
+    for s in &ds.sessions {
+        if !s.meta.visible || s.chunks.is_empty() {
+            continue;
+        }
+        let dropped: f64 = 100.0
+            * s.chunks.iter().map(|c| c.player.drop_ratio()).sum::<f64>()
+            / s.chunks.len() as f64;
+        let srttvar: f64 = {
+            let vals: Vec<f64> = s
+                .chunks
+                .iter()
+                .filter_map(|c| c.cdn.last_tcp().map(|t| t.rttvar.as_millis_f64()))
+                .collect();
+            if vals.is_empty() {
+                continue;
+            }
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let retx = s.retx_rate();
+        if s.avg_bitrate_kbps() > 1_000.0 {
+            acc.high_sessions += 1;
+            acc.high_dropped_pct += dropped;
+            acc.high_srttvar_ms += srttvar;
+            acc.high_retx_rate += retx;
+        } else {
+            acc.low_sessions += 1;
+            acc.low_dropped_pct += dropped;
+            acc.low_srttvar_ms += srttvar;
+            acc.low_retx_rate += retx;
+        }
+    }
+    if acc.high_sessions > 0 {
+        let n = acc.high_sessions as f64;
+        acc.high_dropped_pct /= n;
+        acc.high_srttvar_ms /= n;
+        acc.high_retx_rate /= n;
+    }
+    if acc.low_sessions > 0 {
+        let n = acc.low_sessions as f64;
+        acc.low_dropped_pct /= n;
+        acc.low_srttvar_ms /= n;
+        acc.low_retx_rate /= n;
+    }
+    acc
+}

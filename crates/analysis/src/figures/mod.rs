@@ -1,0 +1,47 @@
+//! One function per paper exhibit (figure or table).
+//!
+//! Every function consumes the joined [`Dataset`] (plus the catalog where
+//! the exhibit is about the content itself) and returns typed rows — the
+//! same rows the paper plots — ready for printing or JSON export. The
+//! bench harness (`streamlab-bench`) regenerates each exhibit from these.
+//!
+//! [`Dataset`]: streamlab_telemetry::Dataset
+
+pub mod cdn;
+pub mod client;
+pub mod network;
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled CDF/CCDF curve: `(x, probability)` points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdfSeries {
+    /// Legend label (e.g. `"total-miss"`).
+    pub label: String,
+    /// `(x, F(x))` or `(x, 1−F(x))` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl CdfSeries {
+    /// Build from a [`crate::stats::Cdf`].
+    pub fn from_cdf(label: &str, cdf: &crate::stats::Cdf, n: usize) -> Self {
+        CdfSeries {
+            label: label.to_owned(),
+            points: cdf.points(n),
+        }
+    }
+
+    /// CCDF variant.
+    pub fn from_ccdf(label: &str, cdf: &crate::stats::Cdf, n: usize) -> Self {
+        CdfSeries {
+            label: label.to_owned(),
+            points: cdf.ccdf_points(n),
+        }
+    }
+
+    /// x value at which the curve first reaches probability ≥ `p`
+    /// (a quantile read off the plotted curve).
+    pub fn x_at(&self, p: f64) -> Option<f64> {
+        self.points.iter().find(|&&(_, f)| f >= p).map(|&(x, _)| x)
+    }
+}

@@ -1,0 +1,412 @@
+//! §4.2 exhibits: latency baselines/variability (Figs. 7–10, Table 4) and
+//! loss-vs-QoE (Figs. 11–16).
+
+use super::CdfSeries;
+use crate::netchar::{
+    org_variability, path_cv, prefix_latencies, session_srtt_stats, tail_prefixes, OrgVariability,
+};
+use crate::stats::{BinnedSeries, Cdf};
+use serde::{Deserialize, Serialize};
+use streamlab_telemetry::Dataset;
+
+/// Fig. 7: startup delay vs the first chunk's SRTT (binned).
+pub fn fig07(ds: &Dataset) -> BinnedSeries {
+    let pairs: Vec<(f64, f64)> = ds
+        .sessions
+        .iter()
+        .filter_map(|s| {
+            let first = s.first_chunk()?;
+            let srtt = first.cdn.last_tcp()?.srtt.as_millis_f64();
+            s.meta
+                .startup_delay_s
+                .is_finite()
+                .then_some((srtt, s.meta.startup_delay_s))
+        })
+        .collect();
+    BinnedSeries::fixed_width(&pairs, 0.0, 600.0, 12)
+}
+
+/// Fig. 8: CDFs of per-session `srtt_min` and `σ_srtt`.
+pub fn fig08(ds: &Dataset, points: usize) -> (CdfSeries, CdfSeries) {
+    let stats: Vec<_> = ds.sessions.iter().map(session_srtt_stats).collect();
+    let mins = Cdf::new(stats.iter().map(|s| s.srtt_min_ms).collect());
+    let sigmas = Cdf::new(stats.iter().map(|s| s.sigma_ms).collect());
+    (
+        CdfSeries::from_cdf("srtt_min (ms)", &mins, points),
+        CdfSeries::from_cdf("sigma_srtt (ms)", &sigmas, points),
+    )
+}
+
+/// Fig. 9 output: the distance distribution of US tail-latency prefixes,
+/// plus the composition statistics quoted in §4.2.1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig09 {
+    /// CDF of mean distance (km) to the serving PoP for US prefixes in the
+    /// latency tail.
+    pub distance_cdf: CdfSeries,
+    /// Total prefixes in the latency tail.
+    pub tail_prefixes: usize,
+    /// Share of tail prefixes outside the US (paper: 75 %).
+    pub non_us_share: f64,
+    /// Among *US* tail prefixes that are close to a PoP (< 400 km), the
+    /// share owned by enterprises (paper: 90 % within 4 km are
+    /// corporations).
+    pub close_enterprise_share: f64,
+    /// Size of that close-US-tail set (tiny-scale runs may have none).
+    pub close_us_prefixes: usize,
+}
+
+/// Fig. 9: distance of tail-latency US prefixes from their CDN servers.
+pub fn fig09(ds: &Dataset, threshold_ms: f64, points: usize) -> Fig09 {
+    let prefixes = prefix_latencies(ds);
+    let tail = tail_prefixes(&prefixes, threshold_ms);
+    let non_us = tail.iter().filter(|p| !p.is_us).count();
+    let us_tail: Vec<_> = tail.iter().filter(|p| p.is_us).collect();
+    let close: Vec<_> = us_tail
+        .iter()
+        .filter(|p| p.mean_distance_km < 400.0)
+        .collect();
+    let close_enterprise = close.iter().filter(|p| p.enterprise).count();
+    let cdf = Cdf::new(us_tail.iter().map(|p| p.mean_distance_km).collect());
+    Fig09 {
+        close_us_prefixes: close.len(),
+        distance_cdf: CdfSeries::from_cdf("distance (km)", &cdf, points),
+        tail_prefixes: tail.len(),
+        non_us_share: if tail.is_empty() {
+            0.0
+        } else {
+            non_us as f64 / tail.len() as f64
+        },
+        close_enterprise_share: if close.is_empty() {
+            0.0
+        } else {
+            close_enterprise as f64 / close.len() as f64
+        },
+    }
+}
+
+/// Fig. 10: CDF of CV(srtt) across (prefix, PoP) paths.
+pub fn fig10(ds: &Dataset, min_sessions: usize, points: usize) -> CdfSeries {
+    let cvs = path_cv(ds, min_sessions);
+    let cdf = Cdf::new(cvs.into_iter().map(|(_, cv)| cv).collect());
+    CdfSeries::from_cdf("CV(srtt) per (prefix, PoP)", &cdf, points)
+}
+
+/// Table 4: organizations ranked by share of CV>1 sessions, plus the
+/// residential comparison number quoted in the text (~1 %).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tab04 {
+    /// Top organizations by CV>1 share (enterprises expected on top).
+    pub top: Vec<OrgVariability>,
+    /// Pooled CV>1 share across major residential ISPs, percent.
+    pub residential_pct: f64,
+}
+
+/// Compute Table 4.
+pub fn tab04(ds: &Dataset, min_sessions: usize, top_n: usize) -> Tab04 {
+    let all = org_variability(ds, min_sessions);
+    let (res_high, res_total) = all
+        .iter()
+        .filter(|o| o.kind == streamlab_workload::OrgKind::Residential)
+        .fold((0usize, 0usize), |(h, t), o| {
+            (h + o.high_cv_sessions, t + o.sessions)
+        });
+    Tab04 {
+        top: all.into_iter().take(top_n).collect(),
+        residential_pct: if res_total == 0 {
+            0.0
+        } else {
+            100.0 * res_high as f64 / res_total as f64
+        },
+    }
+}
+
+/// Fig. 11: session length, bitrate and rebuffering for sessions with and
+/// without loss.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// CDF of #chunks, loss-free sessions.
+    pub len_no_loss: CdfSeries,
+    /// CDF of #chunks, sessions with loss.
+    pub len_loss: CdfSeries,
+    /// CDF of average bitrate (kbps), loss-free.
+    pub bitrate_no_loss: CdfSeries,
+    /// CDF of average bitrate (kbps), with loss.
+    pub bitrate_loss: CdfSeries,
+    /// CCDF of rebuffering rate (%), loss-free.
+    pub rebuf_no_loss: CdfSeries,
+    /// CCDF of rebuffering rate (%), with loss.
+    pub rebuf_loss: CdfSeries,
+    /// Share of sessions with no retransmissions at all (paper: 40 %).
+    pub loss_free_share: f64,
+    /// Share of sessions with retx rate below 10 % (paper: > 90 %).
+    pub below_10pct_share: f64,
+}
+
+/// Compute Fig. 11.
+pub fn fig11(ds: &Dataset, points: usize) -> Fig11 {
+    let mut len_l = Vec::new();
+    let mut len_n = Vec::new();
+    let mut br_l = Vec::new();
+    let mut br_n = Vec::new();
+    let mut rb_l = Vec::new();
+    let mut rb_n = Vec::new();
+    let mut loss_free = 0usize;
+    let mut below10 = 0usize;
+    for s in &ds.sessions {
+        let rate = s.retx_rate();
+        if rate < 0.10 {
+            below10 += 1;
+        }
+        if s.loss_free() {
+            loss_free += 1;
+            len_n.push(s.chunks.len() as f64);
+            br_n.push(s.avg_bitrate_kbps());
+            rb_n.push(s.rebuffer_rate_pct());
+        } else {
+            len_l.push(s.chunks.len() as f64);
+            br_l.push(s.avg_bitrate_kbps());
+            rb_l.push(s.rebuffer_rate_pct());
+        }
+    }
+    let n = ds.sessions.len().max(1) as f64;
+    Fig11 {
+        len_no_loss: CdfSeries::from_cdf("no loss", &Cdf::new(len_n), points),
+        len_loss: CdfSeries::from_cdf("loss", &Cdf::new(len_l), points),
+        bitrate_no_loss: CdfSeries::from_cdf("no loss", &Cdf::new(br_n), points),
+        bitrate_loss: CdfSeries::from_cdf("loss", &Cdf::new(br_l), points),
+        rebuf_no_loss: CdfSeries::from_ccdf("no loss", &Cdf::new(rb_n), points),
+        rebuf_loss: CdfSeries::from_ccdf("loss", &Cdf::new(rb_l), points),
+        loss_free_share: loss_free as f64 / n,
+        below_10pct_share: below10 as f64 / n,
+    }
+}
+
+/// Fig. 12: rebuffering rate vs session retransmission rate (binned).
+pub fn fig12(ds: &Dataset) -> BinnedSeries {
+    let pairs: Vec<(f64, f64)> = ds
+        .sessions
+        .iter()
+        .map(|s| (100.0 * s.retx_rate(), s.rebuffer_rate_pct()))
+        .collect();
+    BinnedSeries::fixed_width(&pairs, 0.0, 10.0, 10)
+}
+
+/// Fig. 13: the early-loss vs late-loss case study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// Per-chunk loss rate (%) of the early-loss session.
+    pub early_loss_session: Vec<f64>,
+    /// Its rebuffering rate, %.
+    pub early_rebuffer_pct: f64,
+    /// Its session-wide retransmission rate, %.
+    pub early_retx_pct: f64,
+    /// Per-chunk loss rate (%) of the late-loss session.
+    pub late_loss_session: Vec<f64>,
+    /// Its rebuffering rate, %.
+    pub late_rebuffer_pct: f64,
+    /// Its session-wide retransmission rate, %.
+    pub late_retx_pct: f64,
+}
+
+/// Find a Fig. 13-style pair: one session whose losses concentrate on the
+/// first chunk and which rebuffers, and one whose losses come late (first
+/// chunks clean) yet plays cleanly despite a *higher* overall loss rate.
+pub fn fig13(ds: &Dataset) -> Option<Fig13> {
+    let per_chunk_loss = |s: &streamlab_telemetry::SessionData| -> Vec<f64> {
+        s.chunks.iter().map(|c| 100.0 * c.cdn.retx_rate()).collect()
+    };
+    let early = ds.sessions.iter().find(|s| {
+        s.chunks.len() >= 8
+            && s.chunks[0].cdn.retx_segments > 0
+            && s.rebuffer_rate_pct() > 0.0
+            && {
+                let total: u32 = s.chunks.iter().map(|c| c.cdn.retx_segments).sum();
+                f64::from(s.chunks[0].cdn.retx_segments) / f64::from(total.max(1)) > 0.5
+            }
+    })?;
+    let late = ds.sessions.iter().find(|s| {
+        s.chunks.len() >= 8
+            && s.chunks[..4].iter().all(|c| c.cdn.retx_segments == 0)
+            && s.chunks[4..].iter().any(|c| c.cdn.retx_segments > 0)
+            && s.rebuffer_rate_pct() == 0.0
+            && s.retx_rate() > early.retx_rate()
+    })?;
+    Some(Fig13 {
+        early_loss_session: per_chunk_loss(early),
+        early_rebuffer_pct: early.rebuffer_rate_pct(),
+        early_retx_pct: 100.0 * early.retx_rate(),
+        late_loss_session: per_chunk_loss(late),
+        late_rebuffer_pct: late.rebuffer_rate_pct(),
+        late_retx_pct: 100.0 * late.retx_rate(),
+    })
+}
+
+/// One chunk-ID row of Fig. 14.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig14Row {
+    /// Chunk ID.
+    pub chunk: usize,
+    /// `P(rebuffering at chunk = X)`, percent.
+    pub p_rebuf: f64,
+    /// `P(rebuffering at chunk = X | loss at chunk = X)`, percent.
+    pub p_rebuf_given_loss: f64,
+    /// Chunks observed at this ID.
+    pub n: usize,
+}
+
+/// Fig. 14: rebuffering frequency per chunk ID, and conditioned on loss.
+pub fn fig14(ds: &Dataset, max_chunk: usize) -> Vec<Fig14Row> {
+    let mut rebuf = vec![0usize; max_chunk + 1];
+    let mut rebuf_and_loss = vec![0usize; max_chunk + 1];
+    let mut loss = vec![0usize; max_chunk + 1];
+    let mut n = vec![0usize; max_chunk + 1];
+    for (_, c) in ds.chunks() {
+        let id = c.chunk().raw() as usize;
+        if id > max_chunk {
+            continue;
+        }
+        n[id] += 1;
+        let lost = c.cdn.retx_segments > 0;
+        let stalled = c.player.buf_count > 0;
+        if lost {
+            loss[id] += 1;
+        }
+        if stalled {
+            rebuf[id] += 1;
+        }
+        if lost && stalled {
+            rebuf_and_loss[id] += 1;
+        }
+    }
+    (0..=max_chunk)
+        .filter(|&i| n[i] > 0)
+        .map(|i| Fig14Row {
+            chunk: i,
+            p_rebuf: 100.0 * rebuf[i] as f64 / n[i] as f64,
+            p_rebuf_given_loss: if loss[i] == 0 {
+                0.0
+            } else {
+                100.0 * rebuf_and_loss[i] as f64 / loss[i] as f64
+            },
+            n: n[i],
+        })
+        .collect()
+}
+
+/// Fig. 15: average retransmission rate per chunk ID.
+pub fn fig15(ds: &Dataset, max_chunk: usize) -> BinnedSeries {
+    let pairs: Vec<(usize, f64)> = ds
+        .chunks()
+        .map(|(_, c)| (c.chunk().raw() as usize, 100.0 * c.cdn.retx_rate()))
+        .collect();
+    BinnedSeries::by_integer(&pairs, max_chunk)
+}
+
+/// Fig. 16: latency share, `D_FB` and `D_LB` split by performance score.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig16 {
+    /// CDF of latency share `D_FB/(D_FB+D_LB)` for good chunks (score>1).
+    pub share_good: CdfSeries,
+    /// Same for bad chunks (score < 1).
+    pub share_bad: CdfSeries,
+    /// CDF of `D_FB` (ms), good chunks.
+    pub dfb_good: CdfSeries,
+    /// CDF of `D_FB` (ms), bad chunks.
+    pub dfb_bad: CdfSeries,
+    /// CDF of `D_LB` (ms), good chunks.
+    pub dlb_good: CdfSeries,
+    /// CDF of `D_LB` (ms), bad chunks.
+    pub dlb_bad: CdfSeries,
+    /// Share of chunks that are bad (score < 1).
+    pub bad_share: f64,
+}
+
+/// Compute Fig. 16.
+pub fn fig16(ds: &Dataset, points: usize) -> Fig16 {
+    let mut share_g = Vec::new();
+    let mut share_b = Vec::new();
+    let mut dfb_g = Vec::new();
+    let mut dfb_b = Vec::new();
+    let mut dlb_g = Vec::new();
+    let mut dlb_b = Vec::new();
+    let mut bad = 0usize;
+    let mut total = 0usize;
+    for (_, c) in ds.chunks() {
+        let dfb = c.player.d_fb.as_millis_f64();
+        let dlb = c.player.d_lb.as_millis_f64();
+        let share = dfb / (dfb + dlb).max(1e-9);
+        total += 1;
+        if c.player.perf_score() < 1.0 {
+            bad += 1;
+            share_b.push(share);
+            dfb_b.push(dfb);
+            dlb_b.push(dlb);
+        } else {
+            share_g.push(share);
+            dfb_g.push(dfb);
+            dlb_g.push(dlb);
+        }
+    }
+    Fig16 {
+        share_good: CdfSeries::from_cdf("perfscore>1", &Cdf::new(share_g), points),
+        share_bad: CdfSeries::from_cdf("perfscore<1", &Cdf::new(share_b), points),
+        dfb_good: CdfSeries::from_cdf("perfscore>1", &Cdf::new(dfb_g), points),
+        dfb_bad: CdfSeries::from_cdf("perfscore<1", &Cdf::new(dfb_b), points),
+        dlb_good: CdfSeries::from_cdf("perfscore>1", &Cdf::new(dlb_g), points),
+        dlb_bad: CdfSeries::from_cdf("perfscore<1", &Cdf::new(dlb_b), points),
+        bad_share: bad as f64 / total.max(1) as f64,
+    }
+}
+
+/// Monotone trend strengths (Spearman rank correlations) behind the
+/// paper's scatter/error-bar figures — one number per trend.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrendStrengths {
+    /// Startup delay vs first-chunk total server latency (Fig. 4).
+    pub startup_vs_server: f64,
+    /// Startup delay vs first-chunk SRTT (Fig. 7).
+    pub startup_vs_srtt: f64,
+    /// Session rebuffering rate vs retransmission rate (Fig. 12).
+    pub rebuffer_vs_retx: f64,
+    /// Chunk dropped-frame share vs download rate, over the informative
+    /// sub-knee region (rate < 1.5 s/s; Fig. 19 is flat beyond it).
+    /// Negative: faster chunks drop less.
+    pub drops_vs_rate: f64,
+}
+
+/// Compute the trend strengths.
+pub fn trend_strengths(ds: &Dataset) -> TrendStrengths {
+    use crate::stats::spearman;
+    let mut srv = (Vec::new(), Vec::new());
+    let mut srtt = (Vec::new(), Vec::new());
+    let mut rr = (Vec::new(), Vec::new());
+    let mut dr = (Vec::new(), Vec::new());
+    for s in &ds.sessions {
+        if let (Some(first), true) = (s.first_chunk(), s.meta.startup_delay_s.is_finite()) {
+            srv.0.push(first.cdn.server_total().as_millis_f64());
+            srv.1.push(s.meta.startup_delay_s);
+            if let Some(t) = first.cdn.last_tcp() {
+                srtt.0.push(t.srtt.as_millis_f64());
+                srtt.1.push(s.meta.startup_delay_s);
+            }
+        }
+        rr.0.push(s.retx_rate());
+        rr.1.push(s.rebuffer_rate_pct());
+        for c in &s.chunks {
+            // Only the sub-knee region is informative (Fig. 19 flattens
+            // at 1.5 s/s), and only software rendering responds to it.
+            let rate = c.player.download_rate();
+            if s.meta.visible && !s.meta.gpu && rate < 1.5 {
+                dr.0.push(rate);
+                dr.1.push(c.player.drop_ratio());
+            }
+        }
+    }
+    TrendStrengths {
+        startup_vs_server: spearman(&srv.0, &srv.1),
+        startup_vs_srtt: spearman(&srtt.0, &srtt.1),
+        rebuffer_vs_retx: spearman(&rr.0, &rr.1),
+        drops_vs_rate: spearman(&dr.0, &dr.1),
+    }
+}

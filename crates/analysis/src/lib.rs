@@ -1,0 +1,35 @@
+//! # streamlab-analysis
+//!
+//! The measurement-analysis library: everything §4 of the paper does to
+//! the joined dataset, as reusable, tested functions.
+//!
+//! * [`stats`] — empirical CDF/CCDF, quantiles, IQR, coefficient of
+//!   variation, binned series (the mean/median-with-IQR curves the paper
+//!   plots), correlation.
+//! * [`netchar`] — §4.2 network characterization: per-session baseline
+//!   (`srtt_min`) and variability (`σ_srtt`, CV) from kernel snapshots,
+//!   `rtt₀` estimation from Eq. 1's residual, prefix aggregation, the
+//!   tail-latency prefix analysis behind Fig. 9 and the per-organization
+//!   CV ranking of Table 4.
+//! * [`detect`] — §4.3 download-stack analyses: the Eq. 4 transient
+//!   buffering outlier detector, the Eq. 5 RTO-based persistent `D_DS`
+//!   lower bound, both validated against simulation ground truth.
+//! * [`figures`] — one function per paper exhibit (Figs. 3–22, Tables 4–5,
+//!   headline statistics), each returning typed rows ready to print or
+//!   serialize.
+//! * [`validate`] — the paper's estimators measured against simulation
+//!   ground truth (a check the production system could never run).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod detect;
+pub mod figures;
+pub mod netchar;
+pub mod qoe;
+pub mod stats;
+pub mod validate;
+
+pub use detect::{detect_transient_buffering, estimate_dds_lower_bound, Eq4Flags};
+pub use netchar::{session_srtt_stats, SessionSrtt};
+pub use stats::{BinnedSeries, Cdf};

@@ -1,0 +1,271 @@
+//! §4.2 network characterization: baselines, variability, prefixes.
+
+mod prefix;
+mod session;
+mod variability;
+
+pub use prefix::{persistent_tail, prefix_latencies, tail_prefixes, tail_recurrence, PrefixLatency, PrefixRecurrence};
+pub use session::{session_srtt_stats, SessionSrtt};
+pub use variability::{org_variability, path_cv, OrgVariability};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_telemetry::dataset::{Dataset, SessionData};
+    use streamlab_workload::{OrgKind, PopId, PrefixId};
+    use streamlab_net::TcpInfo;
+    use streamlab_sim::{SimDuration, SimTime};
+    use streamlab_telemetry::records::{
+        CacheOutcome, CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
+    };
+    use streamlab_workload::{
+        AccessClass, Browser, ChunkIndex, GeoPoint, Os, Region, ServerId, SessionId, VideoId,
+    };
+
+    fn tcp(at_ms: u64, srtt_ms: u64) -> TcpInfo {
+        TcpInfo {
+            at: SimTime::from_millis(at_ms),
+            srtt: SimDuration::from_millis(srtt_ms),
+            rttvar: SimDuration::from_millis(5),
+            cwnd: 50,
+            retx_total: 0,
+            segs_out_total: 1000,
+            mss: 1460,
+        }
+    }
+
+    fn session(id: u64, srtts: &[u64], org: &str, kind: OrgKind) -> SessionData {
+        let meta = SessionMeta {
+            session: SessionId(id),
+            prefix: PrefixId(id % 4),
+            video: VideoId(0),
+            video_secs: 60.0,
+            os: Os::Windows,
+            browser: Browser::Chrome,
+            org: org.into(),
+            org_kind: kind,
+            access: AccessClass::Cable,
+            region: Region::UnitedStates,
+            location: GeoPoint {
+                lat: 40.0,
+                lon: -75.0,
+            },
+            pop: PopId(0),
+            server: ServerId(0),
+            distance_km: 100.0,
+            arrival: SimTime::ZERO,
+            startup_delay_s: 1.0,
+            proxied: false,
+            ua_mismatch: false,
+            gpu: true,
+            visible: true,
+        };
+        let chunks = srtts
+            .iter()
+            .enumerate()
+            .map(|(i, &srtt)| ChunkRecord {
+                player: PlayerChunkRecord {
+                    session: SessionId(id),
+                    chunk: ChunkIndex(i as u32),
+                    bitrate_kbps: 1050,
+                    requested_at: SimTime::from_millis(6000 * i as u64),
+                    d_fb: SimDuration::from_millis(srtt + 4),
+                    d_lb: SimDuration::from_millis(800),
+                    chunk_secs: 6.0,
+                    buf_count: 0,
+                    buf_dur: SimDuration::ZERO,
+                    visible: true,
+                    avg_fps: 30.0,
+                    dropped_frames: 0,
+                    frames: 180,
+                    truth: ChunkTruth::default(),
+                },
+                cdn: CdnChunkRecord {
+                    session: SessionId(id),
+                    chunk: ChunkIndex(i as u32),
+                    d_wait: SimDuration::from_millis(1),
+                    d_open: SimDuration::from_millis(1),
+                    d_read: SimDuration::from_millis(2),
+                    d_backend: SimDuration::ZERO,
+                    cache: CacheOutcome::RamHit,
+                    retry_fired: false,
+                    size_bytes: 787_500,
+                    served_at: SimTime::from_millis(6000 * i as u64),
+                    segments: 540,
+                    retx_segments: 0,
+                    tcp: vec![tcp(6000 * i as u64 + 500, srtt)],
+                },
+            })
+            .collect();
+        SessionData { meta, chunks }
+    }
+
+    fn dataset(sessions: Vec<SessionData>) -> Dataset {
+        let raw = sessions.len();
+        Dataset {
+            sessions,
+            filtered_proxy_sessions: 0,
+            raw_sessions: raw,
+        }
+    }
+
+    #[test]
+    fn srtt_stats_basics() {
+        let s = session(0, &[50, 60, 55, 52], "Residential-ISP-0", OrgKind::Residential);
+        let st = session_srtt_stats(&s);
+        assert_eq!(st.samples, 4);
+        assert_eq!(st.srtt_min_ms, 50.0);
+        assert!((st.mean_ms - 54.25).abs() < 1e-9);
+        assert!(st.cv < 0.2);
+        // Baseline is min(srtt_min, rtt0̂): D_FB−server = srtt, so min 50.
+        assert!((st.baseline_ms - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn baseline_filters_self_loading() {
+        // SRTT samples are inflated (self-loading) but the Eq. 1 residual
+        // reveals the true ~30 ms baseline.
+        let mut s = session(0, &[200, 220, 210], "Residential-ISP-0", OrgKind::Residential);
+        for c in &mut s.chunks {
+            c.player.d_fb = SimDuration::from_millis(34);
+        }
+        let st = session_srtt_stats(&s);
+        assert_eq!(st.srtt_min_ms, 200.0);
+        assert!((st.baseline_ms - 30.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn high_cv_session_detected() {
+        let spiky = session(
+            0,
+            &[30, 32, 31, 400, 380, 30, 29, 350],
+            "Enterprise-1",
+            OrgKind::Enterprise,
+        );
+        let st = session_srtt_stats(&spiky);
+        assert!(st.cv > 1.0, "cv = {}", st.cv);
+    }
+
+    #[test]
+    fn prefix_aggregation_takes_min_baseline() {
+        let ds = dataset(vec![
+            session(0, &[80, 90], "Residential-ISP-0", OrgKind::Residential),
+            session(4, &[40, 45], "Residential-ISP-0", OrgKind::Residential), // same prefix 0
+        ]);
+        let prefixes = prefix_latencies(&ds);
+        assert_eq!(prefixes.len(), 1);
+        assert!((prefixes[0].baseline_ms - 40.0).abs() < 1.5);
+        assert_eq!(prefixes[0].sessions, 2);
+    }
+
+    #[test]
+    fn tail_prefix_selection() {
+        let ds = dataset(vec![
+            session(0, &[150, 160], "Enterprise-1", OrgKind::Enterprise),
+            session(1, &[30, 35], "Residential-ISP-0", OrgKind::Residential),
+        ]);
+        let prefixes = prefix_latencies(&ds);
+        let tail = tail_prefixes(&prefixes, 100.0);
+        assert_eq!(tail.len(), 1);
+        assert!(tail[0].enterprise);
+    }
+
+    #[test]
+    fn org_variability_ranks_enterprises_first() {
+        let mut sessions = Vec::new();
+        let mut id = 0;
+        // 60 enterprise sessions, half spiky.
+        for i in 0..60 {
+            let srtts: &[u64] = if i % 2 == 0 {
+                &[30, 31, 400, 380, 29]
+            } else {
+                &[30, 31, 32, 30, 31]
+            };
+            sessions.push(session(id, srtts, "Enterprise-1", OrgKind::Enterprise));
+            id += 1;
+        }
+        // 60 residential sessions, all calm.
+        for _ in 0..60 {
+            sessions.push(session(
+                id,
+                &[25, 26, 27, 25, 26],
+                "Residential-ISP-0",
+                OrgKind::Residential,
+            ));
+            id += 1;
+        }
+        let ds = dataset(sessions);
+        let orgs = org_variability(&ds, 50);
+        assert_eq!(orgs.len(), 2);
+        assert_eq!(orgs[0].org, "Enterprise-1");
+        assert!((orgs[0].pct() - 50.0).abs() < 1.0);
+        assert!(orgs[1].pct() < 5.0);
+    }
+
+    #[test]
+    fn org_variability_respects_min_sessions() {
+        let ds = dataset(vec![session(
+            0,
+            &[30, 400],
+            "Enterprise-2",
+            OrgKind::Enterprise,
+        )]);
+        assert!(org_variability(&ds, 50).is_empty());
+    }
+
+    #[test]
+    fn recurrence_counts_days_correctly() {
+        let day = |entries: Vec<(u64, f64)>| -> Vec<PrefixLatency> {
+            entries
+                .into_iter()
+                .map(|(id, baseline)| PrefixLatency {
+                    prefix: PrefixId(id),
+                    sessions: 3,
+                    baseline_ms: baseline,
+                    mean_distance_km: 100.0 * (id + 1) as f64,
+                    is_us: id != 2,
+                    enterprise: id == 0,
+                })
+                .collect()
+        };
+        // Prefix 0: in tail all 3 days. Prefix 1: 1 of 3. Prefix 2: never.
+        let daily = vec![
+            day(vec![(0, 150.0), (1, 150.0), (2, 20.0)]),
+            day(vec![(0, 180.0), (1, 30.0), (2, 25.0)]),
+            day(vec![(0, 120.0), (1, 40.0), (2, 22.0)]),
+        ];
+        let rec = tail_recurrence(&daily, 100.0);
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec[0].prefix, PrefixId(0));
+        assert!((rec[0].frequency() - 1.0).abs() < 1e-12);
+        assert_eq!(rec[0].days_observed, 3);
+        assert!(rec[0].enterprise && rec[0].is_us);
+        assert!((rec[0].mean_distance_km - 100.0).abs() < 1e-9);
+        let p1 = rec.iter().find(|p| p.prefix == PrefixId(1)).unwrap();
+        assert!((p1.frequency() - 1.0 / 3.0).abs() < 1e-12);
+        let p2 = rec.iter().find(|p| p.prefix == PrefixId(2)).unwrap();
+        assert_eq!(p2.days_in_tail, 0);
+
+        // The persistent set: top 10% of ever-in-tail (2 prefixes → 1).
+        let persistent = persistent_tail(&rec, 0.10);
+        assert_eq!(persistent.len(), 1);
+        assert_eq!(persistent[0].prefix, PrefixId(0));
+        // A 100% fraction keeps both ever-in-tail prefixes, never prefix 2.
+        let all = persistent_tail(&rec, 1.0);
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|p| p.days_in_tail > 0));
+    }
+
+    #[test]
+    fn path_cv_groups_by_prefix_and_pop() {
+        let ds = dataset(vec![
+            session(0, &[30, 30], "R", OrgKind::Residential), // prefix 0
+            session(4, &[300, 300], "R", OrgKind::Residential), // prefix 0
+            session(1, &[50, 50], "R", OrgKind::Residential), // prefix 1 (solo)
+        ]);
+        let cvs = path_cv(&ds, 2);
+        assert_eq!(cvs.len(), 1, "only prefix 0 has >= 2 sessions");
+        // Means 30 vs 300 → CV ≈ 135/165 ≈ 0.82.
+        assert!((cvs[0].1 - 0.8181).abs() < 0.01, "cv = {}", cvs[0].1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Prefix-level aggregation: baselines, tails, multi-day recurrence
+//! (§4.2.1).
+
+use super::session::session_srtt_stats;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use streamlab_telemetry::dataset::Dataset;
+use streamlab_workload::{OrgKind, PrefixId};
+
+/// Per-prefix aggregation of session baselines (§4.2.1 aggregates into /24
+/// prefixes to shed last-mile noise).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixLatency {
+    /// The prefix.
+    pub prefix: PrefixId,
+    /// Sessions observed.
+    pub sessions: usize,
+    /// Minimum baseline over the prefix's sessions, ms.
+    pub baseline_ms: f64,
+    /// Mean distance to the serving PoP, km.
+    pub mean_distance_km: f64,
+    /// Whether the prefix is in the US.
+    pub is_us: bool,
+    /// Whether the prefix belongs to an enterprise.
+    pub enterprise: bool,
+}
+
+/// Aggregate the dataset by prefix.
+pub fn prefix_latencies(ds: &Dataset) -> Vec<PrefixLatency> {
+    struct Acc {
+        sessions: usize,
+        baseline: f64,
+        dist_sum: f64,
+        is_us: bool,
+        enterprise: bool,
+    }
+    let mut by_prefix: HashMap<PrefixId, Acc> = HashMap::new();
+    for s in &ds.sessions {
+        let st = session_srtt_stats(s);
+        let e = by_prefix.entry(s.meta.prefix).or_insert(Acc {
+            sessions: 0,
+            baseline: f64::INFINITY,
+            dist_sum: 0.0,
+            is_us: s.meta.region.is_us(),
+            enterprise: s.meta.org_kind == OrgKind::Enterprise,
+        });
+        e.sessions += 1;
+        e.baseline = e.baseline.min(st.baseline_ms);
+        e.dist_sum += s.meta.distance_km;
+    }
+    let mut out: Vec<PrefixLatency> = by_prefix
+        .into_iter()
+        .map(|(prefix, a)| PrefixLatency {
+            prefix,
+            sessions: a.sessions,
+            baseline_ms: a.baseline,
+            mean_distance_km: a.dist_sum / a.sessions as f64,
+            is_us: a.is_us,
+            enterprise: a.enterprise,
+        })
+        .collect();
+    out.sort_by_key(|p| p.prefix);
+    out
+}
+
+/// Prefixes in the latency tail (`baseline > threshold_ms`), the Fig. 9
+/// input set. The paper uses 100 ms, "a high latency for cable/broadband
+/// connections".
+pub fn tail_prefixes(prefixes: &[PrefixLatency], threshold_ms: f64) -> Vec<&PrefixLatency> {
+    prefixes
+        .iter()
+        .filter(|p| p.baseline_ms > threshold_ms)
+        .collect()
+}
+
+/// Tail-recurrence of a prefix across a multi-day study (§4.2.1): the
+/// paper repeats the tail-latency analysis "for every day in our dataset"
+/// and scores each prefix by `#days prefix in tail / #days`, taking the
+/// top 10 % most recurrent as the *persistently* slow prefixes of Fig. 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixRecurrence {
+    /// The prefix.
+    pub prefix: PrefixId,
+    /// Days the prefix appeared in the latency tail.
+    pub days_in_tail: usize,
+    /// Days the prefix was observed at all.
+    pub days_observed: usize,
+    /// Whether the prefix is in the US (any day's observation).
+    pub is_us: bool,
+    /// Whether the prefix belongs to an enterprise.
+    pub enterprise: bool,
+    /// Mean distance to the serving PoP, km (averaged over days).
+    pub mean_distance_km: f64,
+}
+
+impl PrefixRecurrence {
+    /// The paper's recurrence frequency: `#days in tail / #days`.
+    pub fn frequency(&self) -> f64 {
+        if self.days_observed == 0 {
+            0.0
+        } else {
+            self.days_in_tail as f64 / self.days_observed as f64
+        }
+    }
+}
+
+/// Combine per-day prefix aggregations into recurrence scores.
+///
+/// `daily` holds one [`prefix_latencies`] result per observed day;
+/// `threshold_ms` is the tail cut (the paper uses 100 ms).
+pub fn tail_recurrence(daily: &[Vec<PrefixLatency>], threshold_ms: f64) -> Vec<PrefixRecurrence> {
+    let mut acc: HashMap<PrefixId, PrefixRecurrence> = HashMap::new();
+    for day in daily {
+        for p in day {
+            let e = acc.entry(p.prefix).or_insert(PrefixRecurrence {
+                prefix: p.prefix,
+                days_in_tail: 0,
+                days_observed: 0,
+                is_us: p.is_us,
+                enterprise: p.enterprise,
+                mean_distance_km: 0.0,
+            });
+            e.days_observed += 1;
+            e.mean_distance_km += p.mean_distance_km;
+            if p.baseline_ms > threshold_ms {
+                e.days_in_tail += 1;
+            }
+        }
+    }
+    let mut out: Vec<PrefixRecurrence> = acc
+        .into_values()
+        .map(|mut p| {
+            p.mean_distance_km /= p.days_observed.max(1) as f64;
+            p
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.frequency()
+            .partial_cmp(&a.frequency())
+            .unwrap()
+            .then(a.prefix.cmp(&b.prefix))
+    });
+    out
+}
+
+/// The persistently-slow prefix set: the top `top_fraction` (the paper
+/// uses 10 %) of prefixes by recurrence frequency, among those that were
+/// ever in the tail.
+pub fn persistent_tail<'a>(
+    recurrence: &'a [PrefixRecurrence],
+    top_fraction: f64,
+) -> Vec<&'a PrefixRecurrence> {
+    let ever: Vec<&PrefixRecurrence> = recurrence.iter().filter(|p| p.days_in_tail > 0).collect();
+    let keep = ((ever.len() as f64 * top_fraction).ceil() as usize).max(1).min(ever.len());
+    ever.into_iter().take(keep).collect()
+}

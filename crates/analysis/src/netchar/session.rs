@@ -1,0 +1,49 @@
+//! Per-session SRTT statistics: baseline, variability, CV.
+
+use crate::stats::Cdf;
+use serde::{Deserialize, Serialize};
+use streamlab_telemetry::dataset::SessionData;
+
+/// Per-session SRTT statistics from the kernel snapshots.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SessionSrtt {
+    /// Number of SRTT samples.
+    pub samples: usize,
+    /// Minimum SRTT seen, ms. An EWMA minimum — biased above the true
+    /// minimum RTT, as the paper notes in §4.2 footnote 4.
+    pub srtt_min_ms: f64,
+    /// Mean SRTT, ms.
+    pub mean_ms: f64,
+    /// Standard deviation of SRTT samples, ms (`σ_srtt`, Fig. 8).
+    pub sigma_ms: f64,
+    /// Coefficient of variation (σ/μ, the Table 4 quantity).
+    pub cv: f64,
+    /// The session-level baseline estimate: `min(srtt_min, min rtt₀̂)`
+    /// where `rtt₀̂ = D_FB − (D_CDN + D_BE)` per chunk (§4.2.1 filters
+    /// self-loaded SRTT samples this way).
+    pub baseline_ms: f64,
+}
+
+/// Compute per-session SRTT statistics (over per-chunk SRTT samples, so
+/// slow chunks do not dominate the sample set by wall-clock share).
+pub fn session_srtt_stats(s: &SessionData) -> SessionSrtt {
+    let samples = s.srtt_per_chunk_ms();
+    let cdf = Cdf::new(samples.clone());
+    let srtt_min = cdf.quantile(0.0);
+    // Per-chunk rtt₀ upper-bound estimates (Eq. 1 residual includes D_DS,
+    // so it stays an upper bound; the min over chunks tightens it).
+    let rtt0_min = s
+        .chunks
+        .iter()
+        .map(|c| c.fb_residual().as_millis_f64())
+        .fold(f64::INFINITY, f64::min);
+    let baseline = srtt_min.min(rtt0_min);
+    SessionSrtt {
+        samples: cdf.len(),
+        srtt_min_ms: srtt_min,
+        mean_ms: cdf.mean(),
+        sigma_ms: cdf.std(),
+        cv: cdf.cv(),
+        baseline_ms: baseline,
+    }
+}

@@ -1,0 +1,84 @@
+//! Variability rankings: Table 4's per-organization CV shares and
+//! Fig. 10's per-(prefix, PoP) path fluctuation.
+
+use super::session::session_srtt_stats;
+use crate::stats::Cdf;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use streamlab_telemetry::dataset::Dataset;
+use streamlab_workload::{OrgKind, PopId, PrefixId};
+
+/// Per-organization share of high-variability sessions (Table 4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OrgVariability {
+    /// Organization name.
+    pub org: String,
+    /// Residential or enterprise.
+    pub kind: OrgKind,
+    /// Sessions with CV(SRTT) > 1.
+    pub high_cv_sessions: usize,
+    /// All sessions of the organization.
+    pub sessions: usize,
+}
+
+impl OrgVariability {
+    /// Percentage of sessions with CV > 1.
+    pub fn pct(&self) -> f64 {
+        if self.sessions == 0 {
+            0.0
+        } else {
+            100.0 * self.high_cv_sessions as f64 / self.sessions as f64
+        }
+    }
+}
+
+/// Rank organizations by their share of CV>1 sessions, considering only
+/// organizations with at least `min_sessions` (the paper uses 50).
+pub fn org_variability(ds: &Dataset, min_sessions: usize) -> Vec<OrgVariability> {
+    let mut by_org: HashMap<&str, (OrgKind, usize, usize)> = HashMap::new();
+    for s in &ds.sessions {
+        let st = session_srtt_stats(s);
+        let e = by_org
+            .entry(s.meta.org.as_str())
+            .or_insert((s.meta.org_kind, 0, 0));
+        e.2 += 1;
+        if st.cv > 1.0 {
+            e.1 += 1;
+        }
+    }
+    let mut out: Vec<OrgVariability> = by_org
+        .into_iter()
+        .filter(|(_, (_, _, n))| *n >= min_sessions)
+        .map(|(org, (kind, high, n))| OrgVariability {
+            org: org.to_owned(),
+            kind,
+            high_cv_sessions: high,
+            sessions: n,
+        })
+        .collect();
+    out.sort_by(|a, b| b.pct().partial_cmp(&a.pct()).unwrap().then(a.org.cmp(&b.org)));
+    out
+}
+
+/// Per-path (prefix, PoP) latency-fluctuation statistics (Fig. 10): the CV
+/// of *session-mean* SRTTs across the sessions sharing a path.
+pub fn path_cv(ds: &Dataset, min_sessions: usize) -> Vec<((PrefixId, PopId), f64)> {
+    let mut by_path: HashMap<(PrefixId, PopId), Vec<f64>> = HashMap::new();
+    for s in &ds.sessions {
+        let st = session_srtt_stats(s);
+        if st.mean_ms.is_finite() {
+            by_path
+                .entry((s.meta.prefix, s.meta.pop))
+                .or_default()
+                .push(st.mean_ms);
+        }
+    }
+    let mut out: Vec<((PrefixId, PopId), f64)> = by_path
+        .into_iter()
+        .filter(|(_, v)| v.len() >= min_sessions)
+        .map(|(k, v)| (k, Cdf::new(v).cv()))
+        .filter(|(_, cv)| cv.is_finite())
+        .collect();
+    out.sort_by_key(|&((p, pop), _)| (p, pop));
+    out
+}

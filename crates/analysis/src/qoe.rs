@@ -1,0 +1,246 @@
+//! Session-level QoE summaries.
+//!
+//! §4 of the paper opens: "Prior work has showed that important factors
+//! affecting QoE are startup delay, re-buffering ratio, average bitrate,
+//! and the rendering quality." This module extracts those four factors per
+//! session and summarizes them — the view a content provider's QoE
+//! dashboard would show — plus a simple engagement estimate in the spirit
+//! of the QoE literature the paper builds on (Dobrian et al.: rebuffering
+//! is the strongest engagement killer).
+
+use crate::stats::Cdf;
+use serde::{Deserialize, Serialize};
+use streamlab_telemetry::dataset::{Dataset, SessionData};
+
+/// The four QoE factors of one session.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SessionQoe {
+    /// Startup delay, seconds (`NaN` if playback never started).
+    pub startup_s: f64,
+    /// Rebuffering ratio, percent of (stalled + played) time.
+    pub rebuffer_pct: f64,
+    /// Average requested bitrate, kbps.
+    pub avg_bitrate_kbps: f64,
+    /// Mean dropped-frame percentage across the session's chunks.
+    pub dropped_pct: f64,
+}
+
+impl SessionQoe {
+    /// Extract the factors from a session.
+    pub fn of(s: &SessionData) -> SessionQoe {
+        let n = s.chunks.len().max(1) as f64;
+        SessionQoe {
+            startup_s: s.meta.startup_delay_s,
+            rebuffer_pct: s.rebuffer_rate_pct(),
+            avg_bitrate_kbps: s.avg_bitrate_kbps(),
+            dropped_pct: 100.0 * s.chunks.iter().map(|c| c.player.drop_ratio()).sum::<f64>() / n,
+        }
+    }
+
+    /// A coarse "is this session's experience acceptable" predicate:
+    /// startup under 5 s, rebuffering under 2 %, rendering losing under
+    /// 10 % of frames.
+    pub fn acceptable(&self) -> bool {
+        (self.startup_s.is_finite() && self.startup_s < 5.0)
+            && self.rebuffer_pct < 2.0
+            && self.dropped_pct < 10.0
+    }
+}
+
+/// Distribution summary of one QoE factor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FactorSummary {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl FactorSummary {
+    fn from(values: Vec<f64>) -> FactorSummary {
+        let cdf = Cdf::new(values);
+        FactorSummary {
+            p50: cdf.median(),
+            p90: cdf.quantile(0.90),
+            p99: cdf.quantile(0.99),
+            mean: cdf.mean(),
+        }
+    }
+}
+
+/// Dataset-wide QoE summary.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QoeSummary {
+    /// Sessions summarized.
+    pub sessions: usize,
+    /// Startup delay, seconds.
+    pub startup_s: FactorSummary,
+    /// Rebuffering ratio, percent.
+    pub rebuffer_pct: FactorSummary,
+    /// Average bitrate, kbps.
+    pub bitrate_kbps: FactorSummary,
+    /// Dropped frames, percent.
+    pub dropped_pct: FactorSummary,
+    /// Share of sessions that rebuffered at all.
+    pub any_rebuffer_share: f64,
+    /// Share of sessions passing the `acceptable` predicate.
+    pub acceptable_share: f64,
+}
+
+/// Summarize QoE across the dataset.
+pub fn summarize(ds: &Dataset) -> QoeSummary {
+    let qoes: Vec<SessionQoe> = ds.sessions.iter().map(SessionQoe::of).collect();
+    let n = qoes.len().max(1) as f64;
+    QoeSummary {
+        sessions: qoes.len(),
+        startup_s: FactorSummary::from(qoes.iter().map(|q| q.startup_s).collect()),
+        rebuffer_pct: FactorSummary::from(qoes.iter().map(|q| q.rebuffer_pct).collect()),
+        bitrate_kbps: FactorSummary::from(qoes.iter().map(|q| q.avg_bitrate_kbps).collect()),
+        dropped_pct: FactorSummary::from(qoes.iter().map(|q| q.dropped_pct).collect()),
+        any_rebuffer_share: qoes.iter().filter(|q| q.rebuffer_pct > 0.0).count() as f64 / n,
+        acceptable_share: qoes.iter().filter(|q| q.acceptable()).count() as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_net::TcpInfo;
+    use streamlab_sim::{SimDuration, SimTime};
+    use streamlab_telemetry::records::{
+        CacheOutcome, CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
+    };
+    use streamlab_telemetry::SessionData;
+    use streamlab_workload::{
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region,
+        ServerId, SessionId, VideoId,
+    };
+
+    fn session(id: u64, startup: f64, stall_s: f64, dropped: u32) -> SessionData {
+        let meta = SessionMeta {
+            session: SessionId(id),
+            prefix: PrefixId(0),
+            video: VideoId(0),
+            video_secs: 60.0,
+            os: Os::Windows,
+            browser: Browser::Chrome,
+            org: "R".into(),
+            org_kind: OrgKind::Residential,
+            access: AccessClass::Cable,
+            region: Region::UnitedStates,
+            location: GeoPoint { lat: 40.0, lon: -75.0 },
+            pop: PopId(0),
+            server: ServerId(0),
+            distance_km: 10.0,
+            arrival: SimTime::ZERO,
+            startup_delay_s: startup,
+            proxied: false,
+            ua_mismatch: false,
+            gpu: true,
+            visible: true,
+        };
+        let chunks = (0..10u32)
+            .map(|i| ChunkRecord {
+                player: PlayerChunkRecord {
+                    session: SessionId(id),
+                    chunk: ChunkIndex(i),
+                    bitrate_kbps: 1750,
+                    requested_at: SimTime::from_secs(u64::from(i) * 6),
+                    d_fb: SimDuration::from_millis(100),
+                    d_lb: SimDuration::from_millis(900),
+                    chunk_secs: 6.0,
+                    buf_count: u32::from(i == 3 && stall_s > 0.0),
+                    buf_dur: if i == 3 {
+                        SimDuration::from_secs_f64(stall_s)
+                    } else {
+                        SimDuration::ZERO
+                    },
+                    visible: true,
+                    avg_fps: 30.0,
+                    dropped_frames: dropped,
+                    frames: 180,
+                    truth: ChunkTruth::default(),
+                },
+                cdn: CdnChunkRecord {
+                    session: SessionId(id),
+                    chunk: ChunkIndex(i),
+                    d_wait: SimDuration::from_micros(200),
+                    d_open: SimDuration::from_micros(200),
+                    d_read: SimDuration::from_millis(2),
+                    d_backend: SimDuration::ZERO,
+                    cache: CacheOutcome::RamHit,
+                    retry_fired: false,
+                    size_bytes: 1_312_500,
+                    served_at: SimTime::ZERO,
+                    segments: 899,
+                    retx_segments: 0,
+                    tcp: vec![TcpInfo {
+                        at: SimTime::ZERO,
+                        srtt: SimDuration::from_millis(40),
+                        rttvar: SimDuration::from_millis(4),
+                        cwnd: 100,
+                        retx_total: 0,
+                        segs_out_total: 10_000,
+                        mss: 1460,
+                    }],
+                },
+            })
+            .collect();
+        SessionData { meta, chunks }
+    }
+
+    fn dataset(sessions: Vec<SessionData>) -> Dataset {
+        let raw = sessions.len();
+        Dataset {
+            sessions,
+            filtered_proxy_sessions: 0,
+            raw_sessions: raw,
+        }
+    }
+
+    #[test]
+    fn factors_extracted_correctly() {
+        let s = session(0, 1.2, 3.0, 9);
+        let q = SessionQoe::of(&s);
+        assert!((q.startup_s - 1.2).abs() < 1e-12);
+        // 3 s stalled over 60 s played: 3/63.
+        assert!((q.rebuffer_pct - 100.0 * 3.0 / 63.0).abs() < 1e-9);
+        assert!((q.avg_bitrate_kbps - 1750.0).abs() < 1e-9);
+        assert!((q.dropped_pct - 5.0).abs() < 1e-9);
+        assert!(!q.acceptable(), "rebuffering 4.8% is not acceptable");
+    }
+
+    #[test]
+    fn acceptable_predicate_boundaries() {
+        let good = SessionQoe {
+            startup_s: 1.0,
+            rebuffer_pct: 0.0,
+            avg_bitrate_kbps: 3000.0,
+            dropped_pct: 1.0,
+        };
+        assert!(good.acceptable());
+        assert!(!SessionQoe { startup_s: 6.0, ..good }.acceptable());
+        assert!(!SessionQoe { rebuffer_pct: 3.0, ..good }.acceptable());
+        assert!(!SessionQoe { dropped_pct: 20.0, ..good }.acceptable());
+        assert!(!SessionQoe { startup_s: f64::NAN, ..good }.acceptable());
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let ds = dataset(vec![
+            session(0, 0.5, 0.0, 0),
+            session(1, 1.0, 0.0, 0),
+            session(2, 2.0, 6.0, 60),
+        ]);
+        let q = summarize(&ds);
+        assert_eq!(q.sessions, 3);
+        assert!((q.any_rebuffer_share - 1.0 / 3.0).abs() < 1e-9);
+        assert!((q.acceptable_share - 2.0 / 3.0).abs() < 1e-9);
+        assert!((q.startup_s.p50 - 1.0).abs() < 1e-9);
+        assert!(q.dropped_pct.mean > 0.0);
+    }
+}

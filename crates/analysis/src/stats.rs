@@ -1,0 +1,436 @@
+//! Empirical statistics: CDFs, quantiles, binned series, correlation.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical distribution over f64 samples (non-finite samples are
+/// dropped at construction).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from samples.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), by nearest-rank; NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Population standard deviation; NaN when empty.
+    pub fn std(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let m = self.mean();
+        (self.sorted.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / self.sorted.len() as f64)
+            .sqrt()
+    }
+
+    /// Coefficient of variation (σ/μ); NaN when the mean is zero or empty.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if !m.is_finite() || m == 0.0 {
+            return f64::NAN;
+        }
+        self.std() / m
+    }
+
+    /// Interquartile range `(q25, q75)`.
+    pub fn iqr(&self) -> (f64, f64) {
+        (self.quantile(0.25), self.quantile(0.75))
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `n` evenly spaced (by rank) `(x, F(x))` points for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let n = n.min(self.sorted.len());
+        (1..=n)
+            .map(|i| {
+                let f = i as f64 / n as f64;
+                (self.quantile(f), f)
+            })
+            .collect()
+    }
+
+    /// `n` `(x, 1 − F(x))` points (CCDF, as in Figs. 3a / 11c).
+    pub fn ccdf_points(&self, n: usize) -> Vec<(f64, f64)> {
+        self.points(n)
+            .into_iter()
+            .map(|(x, f)| (x, (1.0 - f).max(0.0)))
+            .collect()
+    }
+
+    /// Raw sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// One bin of a binned series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Bin {
+    /// Center of the bin on the x-axis.
+    pub x_center: f64,
+    /// Samples that fell into the bin.
+    pub count: usize,
+    /// Mean of y.
+    pub mean: f64,
+    /// Median of y.
+    pub median: f64,
+    /// 25th percentile of y.
+    pub q25: f64,
+    /// 75th percentile of y.
+    pub q75: f64,
+}
+
+/// A "y versus binned x" series — the mean/median-with-IQR-error-bars plot
+/// the paper uses for Figs. 4, 7, 12, 15 and 19.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinnedSeries {
+    /// The populated bins, in x order.
+    pub bins: Vec<Bin>,
+}
+
+impl BinnedSeries {
+    /// Bin `(x, y)` pairs into fixed-width bins covering `[lo, hi)`.
+    /// Pairs outside the range and non-finite pairs are dropped; empty
+    /// bins are omitted.
+    pub fn fixed_width(pairs: &[(f64, f64)], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1 && hi > lo);
+        let width = (hi - lo) / bins as f64;
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); bins];
+        for &(x, y) in pairs {
+            if !x.is_finite() || !y.is_finite() || x < lo || x >= hi {
+                continue;
+            }
+            let idx = (((x - lo) / width) as usize).min(bins - 1);
+            buckets[idx].push(y);
+        }
+        let bins = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ys)| !ys.is_empty())
+            .map(|(i, ys)| {
+                let cdf = Cdf::new(ys);
+                Bin {
+                    x_center: lo + width * (i as f64 + 0.5),
+                    count: cdf.len(),
+                    mean: cdf.mean(),
+                    median: cdf.median(),
+                    q25: cdf.quantile(0.25),
+                    q75: cdf.quantile(0.75),
+                }
+            })
+            .collect();
+        BinnedSeries { bins }
+    }
+
+    /// Bin by integer x (e.g. chunk ID), covering `0..=max_x`.
+    pub fn by_integer(pairs: &[(usize, f64)], max_x: usize) -> Self {
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); max_x + 1];
+        for &(x, y) in pairs {
+            if x <= max_x && y.is_finite() {
+                buckets[x].push(y);
+            }
+        }
+        let bins = buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, ys)| !ys.is_empty())
+            .map(|(i, ys)| {
+                let cdf = Cdf::new(ys);
+                Bin {
+                    x_center: i as f64,
+                    count: cdf.len(),
+                    mean: cdf.mean(),
+                    median: cdf.median(),
+                    q25: cdf.quantile(0.25),
+                    q75: cdf.quantile(0.75),
+                }
+            })
+            .collect();
+        BinnedSeries { bins }
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)`; out-of-range samples are
+/// clipped into the edge bins (so counts are conserved).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Lower edge of the first bin.
+    pub lo: f64,
+    /// Upper edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Build from samples (non-finite samples dropped).
+    pub fn new(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins >= 1 && hi > lo);
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f64;
+        for &x in samples {
+            if !x.is_finite() {
+                continue;
+            }
+            let idx = (((x - lo) / width).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Total samples counted.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+            .collect()
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Spearman rank correlation: Pearson over the rank transforms. Robust to
+/// monotone nonlinearity (e.g. the latency/startup relationships of
+/// Figs. 4/7, which are monotone but not linear).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut out = vec![0.0; v.len()];
+        let mut i = 0;
+        while i < idx.len() {
+            // Average ranks over ties.
+            let mut j = i;
+            while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Pearson correlation coefficient; NaN for degenerate inputs.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return f64::NAN;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let c = Cdf::new((1..=100).map(f64::from).collect());
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(1.0), 100.0);
+        assert!((c.median() - 50.0).abs() <= 1.0);
+        assert!((c.mean() - 50.5).abs() < 1e-9);
+        let (q1, q3) = c.iqr();
+        assert!((q1 - 26.0).abs() <= 1.0 && (q3 - 75.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn cdf_at_is_monotone_fraction() {
+        let c = Cdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(10.0), 1.0);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let c = Cdf::new(vec![1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_cdf_is_nan_not_panic() {
+        let c = Cdf::new(vec![]);
+        assert!(c.median().is_nan());
+        assert!(c.mean().is_nan());
+        assert!(c.cv().is_nan());
+        assert!(c.points(10).is_empty());
+    }
+
+    #[test]
+    fn cv_matches_definition() {
+        let c = Cdf::new(vec![10.0, 10.0, 10.0]);
+        assert!(c.cv().abs() < 1e-12);
+        let d = Cdf::new(vec![0.0, 20.0]);
+        assert!((d.cv() - 1.0).abs() < 1e-12); // σ=10, μ=10
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let c = Cdf::new(vec![5.0, 1.0, 9.0, 3.0, 7.0]);
+        let pts = c.points(5);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        let ccdf = c.ccdf_points(5);
+        assert!((ccdf.last().unwrap().1 - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binned_series_means() {
+        let pairs: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, if x < 50.0 { 1.0 } else { 3.0 })
+            })
+            .collect();
+        let s = BinnedSeries::fixed_width(&pairs, 0.0, 100.0, 2);
+        assert_eq!(s.bins.len(), 2);
+        assert!((s.bins[0].mean - 1.0).abs() < 1e-9);
+        assert!((s.bins[1].mean - 3.0).abs() < 1e-9);
+        assert_eq!(s.bins[0].count, 50);
+        assert!((s.bins[0].x_center - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binned_series_drops_out_of_range() {
+        let pairs = vec![(-1.0, 5.0), (0.5, 1.0), (99.0, f64::NAN), (150.0, 2.0)];
+        let s = BinnedSeries::fixed_width(&pairs, 0.0, 100.0, 10);
+        let total: usize = s.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn integer_binning() {
+        let pairs = vec![(0, 1.0), (0, 3.0), (2, 10.0)];
+        let s = BinnedSeries::by_integer(&pairs, 5);
+        assert_eq!(s.bins.len(), 2);
+        assert!((s.bins[0].mean - 2.0).abs() < 1e-9);
+        assert_eq!(s.bins[1].x_center, 2.0);
+    }
+
+    #[test]
+    fn histogram_conserves_and_clips() {
+        let h = Histogram::new(&[-5.0, 0.5, 1.5, 1.6, 99.0, f64::NAN], 0.0, 2.0, 2);
+        assert_eq!(h.total(), 5); // NaN dropped, edges clipped
+        assert_eq!(h.counts, vec![2, 3]); // -5→bin0, 0.5→bin0; 1.5,1.6,99→bin1
+        assert_eq!(h.mode_bin(), 1);
+        let centers = h.centers();
+        assert!((centers[0].0 - 0.5).abs() < 1e-12);
+        assert!((centers[1].0 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear() {
+        let xs: Vec<f64> = (1..60).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp().min(1e300)).collect();
+        // Pearson is depressed by the nonlinearity; Spearman is exactly 1.
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+        let inv: Vec<f64> = xs.iter().map(|x| -x * x).collect();
+        assert!((spearman(&xs, &inv) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[1.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan());
+    }
+}

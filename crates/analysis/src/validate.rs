@@ -1,0 +1,356 @@
+//! Estimator validation against simulation ground truth.
+//!
+//! The paper must *argue* that its estimators are sound (Eq. 5's RTO bound
+//! is "conservative", Eq. 4's screen isolates the download stack); the
+//! simulator can *measure* it, because every chunk record carries a
+//! [`ChunkTruth`] block with the true download-stack latency, the true
+//! `rtt₀`, and whether the chunk really was transiently buffered.
+//!
+//! [`ChunkTruth`]: streamlab_telemetry::records::ChunkTruth
+
+use crate::detect::{detect_transient_buffering, estimate_dds_lower_bound};
+use serde::{Deserialize, Serialize};
+use streamlab_telemetry::Dataset;
+
+/// Validation of the Eq. 5 download-stack lower bound.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Eq5Validation {
+    /// Chunks checked.
+    pub chunks: usize,
+    /// Chunks where the "lower bound" exceeded the true D_DS — possible
+    /// when an RTT spike blows past the RTO estimate (the paper's
+    /// conservativeness argument assumes `rtt₀ ≤ RTO`).
+    pub violations: usize,
+    /// Chunks with substantial true D_DS (> 500 ms).
+    pub big_dds_chunks: usize,
+    /// Of those, the share the estimator surfaced (non-zero bound) — the
+    /// bound's *power* against real problems.
+    pub big_dds_detected: usize,
+    /// Mean slack `truth − estimate` over surfaced chunks, ms (how much
+    /// the bound undershoots).
+    pub mean_slack_ms: f64,
+}
+
+impl Eq5Validation {
+    /// Violation rate (want ≈ 0).
+    pub fn violation_rate(&self) -> f64 {
+        if self.chunks == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.chunks as f64
+        }
+    }
+
+    /// Detection power on chunks with large true D_DS.
+    pub fn power(&self) -> f64 {
+        if self.big_dds_chunks == 0 {
+            1.0
+        } else {
+            self.big_dds_detected as f64 / self.big_dds_chunks as f64
+        }
+    }
+}
+
+/// Validate Eq. 5 over a dataset.
+pub fn validate_eq5(ds: &Dataset) -> Eq5Validation {
+    let mut v = Eq5Validation {
+        chunks: 0,
+        violations: 0,
+        big_dds_chunks: 0,
+        big_dds_detected: 0,
+        mean_slack_ms: 0.0,
+    };
+    let mut slack_sum = 0.0;
+    let mut slack_n = 0usize;
+    for (_, c) in ds.chunks() {
+        v.chunks += 1;
+        let est = estimate_dds_lower_bound(c).as_millis_f64();
+        let truth = c.player.truth.dds.as_millis_f64();
+        if est > truth + 1.0 {
+            v.violations += 1;
+        }
+        if truth > 500.0 {
+            v.big_dds_chunks += 1;
+            if est > 0.0 {
+                v.big_dds_detected += 1;
+            }
+        }
+        if est > 0.0 {
+            slack_sum += (truth - est).max(0.0);
+            slack_n += 1;
+        }
+    }
+    if slack_n > 0 {
+        v.mean_slack_ms = slack_sum / slack_n as f64;
+    }
+    v
+}
+
+/// Validation of the Eq. 4 transient-buffering detector.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Eq4Validation {
+    /// Chunks screened.
+    pub chunks: usize,
+    /// Chunks flagged.
+    pub flagged: usize,
+    /// True transient-buffering events in the dataset.
+    pub truth_events: usize,
+    /// Flagged ∧ true.
+    pub true_positives: usize,
+}
+
+impl Eq4Validation {
+    /// Precision (want high: a flag should mean a real event).
+    pub fn precision(&self) -> f64 {
+        if self.flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.flagged as f64
+        }
+    }
+
+    /// Recall (the screen is conservative by design; moderate is expected).
+    pub fn recall(&self) -> f64 {
+        if self.truth_events == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.truth_events as f64
+        }
+    }
+}
+
+/// Validate Eq. 4 over a dataset.
+pub fn validate_eq4(ds: &Dataset) -> Eq4Validation {
+    let mut v = Eq4Validation {
+        chunks: 0,
+        flagged: 0,
+        truth_events: 0,
+        true_positives: 0,
+    };
+    for s in &ds.sessions {
+        let flags = detect_transient_buffering(s);
+        v.chunks += s.chunks.len();
+        for (i, c) in s.chunks.iter().enumerate() {
+            let truth = c.player.truth.transient_buffered;
+            let flagged = flags.get(i).map(|f| f.flagged()).unwrap_or(false);
+            if truth {
+                v.truth_events += 1;
+            }
+            if flagged {
+                v.flagged += 1;
+                if truth {
+                    v.true_positives += 1;
+                }
+            }
+        }
+    }
+    v
+}
+
+/// Validation of the Eq. 1 residual as an `rtt₀` upper bound.
+///
+/// The residual is `(rtt₀ + rtt_first_round)/2 + D_DS`: the GET rides one
+/// RTT draw out, the first response byte another one back, so per-round
+/// jitter can push the residual *slightly* below the recorded `rtt₀`
+/// sample. The bound therefore holds up to one jitter swing; violations
+/// are counted beyond a `max(10 ms, 20 %)` tolerance, where real
+/// accounting bugs — not jitter — would show.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Rtt0Validation {
+    /// Chunks checked.
+    pub chunks: usize,
+    /// Chunks where the residual undershot `rtt₀` beyond the jitter
+    /// tolerance (must be ~0).
+    pub violations: usize,
+    /// Chunks where the residual sat below `rtt₀` at all (jitter-level
+    /// undershoot; tens of percent is expected and harmless — the §4.2.1
+    /// analyses take minima over many chunks).
+    pub jitter_undershoots: usize,
+    /// Mean overestimate `residual − rtt₀`, ms (the D_DS contamination the
+    /// paper's §4.2.1 accepts when using it as an upper bound).
+    pub mean_over_ms: f64,
+}
+
+/// Validate the Eq. 1 residual over a dataset.
+pub fn validate_rtt0(ds: &Dataset) -> Rtt0Validation {
+    let mut v = Rtt0Validation {
+        chunks: 0,
+        violations: 0,
+        jitter_undershoots: 0,
+        mean_over_ms: 0.0,
+    };
+    let mut over_sum = 0.0;
+    for (_, c) in ds.chunks() {
+        v.chunks += 1;
+        let residual = c.fb_residual().as_millis_f64();
+        let truth = c.player.truth.rtt0.as_millis_f64();
+        if residual < truth {
+            v.jitter_undershoots += 1;
+        }
+        let tolerance = (0.2 * truth).max(10.0);
+        if residual + tolerance < truth {
+            v.violations += 1;
+        }
+        over_sum += (residual - truth).max(0.0);
+    }
+    if v.chunks > 0 {
+        v.mean_over_ms = over_sum / v.chunks as f64;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_net::TcpInfo;
+    use streamlab_sim::{SimDuration, SimTime};
+    use streamlab_telemetry::records::{
+        CacheOutcome, CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
+    };
+    use streamlab_telemetry::{Dataset, SessionData};
+    use streamlab_workload::{
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region,
+        ServerId, SessionId, VideoId,
+    };
+
+    fn synthetic_session(n: u32, dds_ms: u64, transient_at: Option<u32>) -> SessionData {
+        let meta = SessionMeta {
+            session: SessionId(0),
+            prefix: PrefixId(0),
+            video: VideoId(0),
+            video_secs: 120.0,
+            os: Os::Windows,
+            browser: Browser::Firefox,
+            org: "R".into(),
+            org_kind: OrgKind::Residential,
+            access: AccessClass::Cable,
+            region: Region::UnitedStates,
+            location: GeoPoint { lat: 40.0, lon: -75.0 },
+            pop: PopId(0),
+            server: ServerId(0),
+            distance_km: 50.0,
+            arrival: SimTime::ZERO,
+            startup_delay_s: 1.0,
+            proxied: false,
+            ua_mismatch: false,
+            gpu: false,
+            visible: true,
+        };
+        let chunks = (0..n)
+            .map(|i| {
+                let transient = transient_at == Some(i);
+                let rtt0 = SimDuration::from_millis(50 + u64::from(i % 3) * 4);
+                let dds = if transient {
+                    SimDuration::from_millis(2_000)
+                } else {
+                    SimDuration::from_millis(dds_ms)
+                };
+                let server = SimDuration::from_millis(2);
+                ChunkRecord {
+                    player: PlayerChunkRecord {
+                        session: SessionId(0),
+                        chunk: ChunkIndex(i),
+                        bitrate_kbps: 1050,
+                        requested_at: SimTime::from_secs(u64::from(i) * 6),
+                        d_fb: rtt0 + server + dds,
+                        d_lb: if transient {
+                            SimDuration::from_millis(30)
+                        } else {
+                            SimDuration::from_millis(850 + u64::from(i % 5) * 20)
+                        },
+                        chunk_secs: 6.0,
+                        buf_count: 0,
+                        buf_dur: SimDuration::ZERO,
+                        visible: true,
+                        avg_fps: 30.0,
+                        dropped_frames: 0,
+                        frames: 180,
+                        truth: ChunkTruth {
+                            dds,
+                            rtt0,
+                            transient_buffered: transient,
+                        },
+                    },
+                    cdn: CdnChunkRecord {
+                        session: SessionId(0),
+                        chunk: ChunkIndex(i),
+                        d_wait: SimDuration::from_micros(200),
+                        d_open: SimDuration::from_micros(200),
+                        d_read: SimDuration::from_millis(2),
+                        d_backend: SimDuration::ZERO,
+                        cache: CacheOutcome::RamHit,
+                        retry_fired: false,
+                        size_bytes: 787_500,
+                        served_at: SimTime::ZERO,
+                        segments: 540,
+                        retx_segments: 0,
+                        tcp: vec![TcpInfo {
+                            at: SimTime::from_secs(u64::from(i) * 6),
+                            srtt: SimDuration::from_millis(52),
+                            rttvar: SimDuration::from_millis(5),
+                            cwnd: 60 + i % 3,
+                            retx_total: 0,
+                            segs_out_total: 1000,
+                            mss: 1460,
+                        }],
+                    },
+                }
+            })
+            .collect();
+        SessionData { meta, chunks }
+    }
+
+    fn dataset(sessions: Vec<SessionData>) -> Dataset {
+        let raw = sessions.len();
+        Dataset {
+            sessions,
+            filtered_proxy_sessions: 0,
+            raw_sessions: raw,
+        }
+    }
+
+    #[test]
+    fn eq5_is_a_true_lower_bound_on_synthetic_data() {
+        let ds = dataset(vec![synthetic_session(20, 900, None)]);
+        let v = validate_eq5(&ds);
+        assert_eq!(v.violations, 0);
+        // 900 ms true D_DS vs RTO ≈ 272 ms: every chunk surfaces.
+        assert_eq!(v.big_dds_chunks, 20);
+        assert_eq!(v.big_dds_detected, 20);
+        assert!(v.mean_slack_ms > 100.0, "slack = {}", v.mean_slack_ms);
+        assert!((v.power() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq5_misses_small_dds_without_violating() {
+        // 100 ms persistent D_DS hides under the RTO slack: zero power,
+        // but also zero violations — exactly "conservative".
+        let ds = dataset(vec![synthetic_session(20, 100, None)]);
+        let v = validate_eq5(&ds);
+        assert_eq!(v.violations, 0);
+        assert_eq!(v.big_dds_chunks, 0);
+    }
+
+    #[test]
+    fn eq4_flags_the_synthetic_transient() {
+        let ds = dataset(vec![synthetic_session(20, 0, Some(9))]);
+        let v = validate_eq4(&ds);
+        assert_eq!(v.truth_events, 1);
+        assert_eq!(v.true_positives, 1, "the planted event must be flagged");
+        assert!((v.precision() - 1.0).abs() < 1e-9);
+        assert!((v.recall() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt0_residual_is_an_upper_bound() {
+        let ds = dataset(vec![
+            synthetic_session(15, 0, None),
+            synthetic_session(15, 300, None),
+        ]);
+        let v = validate_rtt0(&ds);
+        assert_eq!(v.violations, 0);
+        // With D_DS = 300 ms in one session, the mean overestimate is
+        // roughly half that across the two sessions.
+        assert!(v.mean_over_ms > 100.0, "over = {}", v.mean_over_ms);
+    }
+}

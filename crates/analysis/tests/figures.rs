@@ -1,0 +1,511 @@
+//! Direct tests of the figure reproductions against hand-built datasets
+//! with known answers (the end-to-end shapes are covered by the workspace
+//! integration tests; these pin the *arithmetic*).
+
+use streamlab_analysis::figures::{cdn, client, network};
+use streamlab_net::TcpInfo;
+use streamlab_sim::{SimDuration, SimTime};
+use streamlab_telemetry::records::{
+    CacheOutcome, CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
+};
+use streamlab_telemetry::{Dataset, SessionData};
+use streamlab_workload::{
+    AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
+    SessionId, VideoId,
+};
+
+/// Builder for hand-crafted sessions.
+struct SessionBuilder {
+    id: u64,
+    video: u64,
+    os: Os,
+    browser: Browser,
+    gpu: bool,
+    visible: bool,
+    startup_s: f64,
+    chunks: Vec<ChunkSpec>,
+}
+
+#[derive(Clone, Copy)]
+struct ChunkSpec {
+    bitrate: u32,
+    d_fb_ms: u64,
+    d_lb_ms: u64,
+    cache: CacheOutcome,
+    retx: u32,
+    buf_count: u32,
+    buf_dur_s: f64,
+    dropped: u32,
+    srtt_ms: u64,
+}
+
+impl Default for ChunkSpec {
+    fn default() -> Self {
+        ChunkSpec {
+            bitrate: 1750,
+            d_fb_ms: 100,
+            d_lb_ms: 900,
+            cache: CacheOutcome::RamHit,
+            retx: 0,
+            buf_count: 0,
+            buf_dur_s: 0.0,
+            dropped: 0,
+            srtt_ms: 50,
+        }
+    }
+}
+
+impl SessionBuilder {
+    fn new(id: u64) -> Self {
+        SessionBuilder {
+            id,
+            video: 0,
+            os: Os::Windows,
+            browser: Browser::Chrome,
+            gpu: false,
+            visible: true,
+            startup_s: 1.0,
+            chunks: Vec::new(),
+        }
+    }
+
+    fn video(mut self, v: u64) -> Self {
+        self.video = v;
+        self
+    }
+
+    fn platform(mut self, os: Os, browser: Browser) -> Self {
+        self.os = os;
+        self.browser = browser;
+        self
+    }
+
+    fn startup(mut self, s: f64) -> Self {
+        self.startup_s = s;
+        self
+    }
+
+    fn chunk(mut self, spec: ChunkSpec) -> Self {
+        self.chunks.push(spec);
+        self
+    }
+
+    fn chunks(mut self, n: usize, spec: ChunkSpec) -> Self {
+        for _ in 0..n {
+            self.chunks.push(spec);
+        }
+        self
+    }
+
+    fn build(self) -> SessionData {
+        let meta = SessionMeta {
+            session: SessionId(self.id),
+            prefix: PrefixId(self.id % 7),
+            video: VideoId(self.video),
+            video_secs: self.chunks.len() as f64 * 6.0,
+            os: self.os,
+            browser: self.browser,
+            org: "Residential-ISP-0".into(),
+            org_kind: OrgKind::Residential,
+            access: AccessClass::Cable,
+            region: Region::UnitedStates,
+            location: GeoPoint { lat: 40.0, lon: -75.0 },
+            pop: PopId(0),
+            server: ServerId(0),
+            distance_km: 25.0,
+            arrival: SimTime::from_secs(self.id * 100),
+            startup_delay_s: self.startup_s,
+            proxied: false,
+            ua_mismatch: false,
+            gpu: self.gpu,
+            visible: self.visible,
+        };
+        let chunks = self
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ChunkRecord {
+                player: PlayerChunkRecord {
+                    session: SessionId(self.id),
+                    chunk: ChunkIndex(i as u32),
+                    bitrate_kbps: c.bitrate,
+                    requested_at: SimTime::from_secs(self.id * 100 + i as u64 * 6),
+                    d_fb: SimDuration::from_millis(c.d_fb_ms),
+                    d_lb: SimDuration::from_millis(c.d_lb_ms),
+                    chunk_secs: 6.0,
+                    buf_count: c.buf_count,
+                    buf_dur: SimDuration::from_secs_f64(c.buf_dur_s),
+                    visible: self.visible,
+                    avg_fps: 30.0 * (1.0 - f64::from(c.dropped) / 180.0),
+                    dropped_frames: c.dropped,
+                    frames: 180,
+                    truth: ChunkTruth::default(),
+                },
+                cdn: CdnChunkRecord {
+                    session: SessionId(self.id),
+                    chunk: ChunkIndex(i as u32),
+                    d_wait: SimDuration::from_micros(200),
+                    d_open: SimDuration::from_micros(200),
+                    d_read: match c.cache {
+                        CacheOutcome::RamHit => SimDuration::from_millis(2),
+                        CacheOutcome::DiskHit => SimDuration::from_millis(15),
+                        CacheOutcome::Miss => SimDuration::from_millis(76),
+                    },
+                    d_backend: if c.cache == CacheOutcome::Miss {
+                        SimDuration::from_millis(66)
+                    } else {
+                        SimDuration::ZERO
+                    },
+                    cache: c.cache,
+                    retry_fired: c.cache != CacheOutcome::RamHit,
+                    size_bytes: u64::from(c.bitrate) * 750,
+                    served_at: SimTime::from_secs(self.id * 100 + i as u64 * 6),
+                    segments: 900,
+                    retx_segments: c.retx,
+                    tcp: vec![TcpInfo {
+                        at: SimTime::from_secs(self.id * 100 + i as u64 * 6),
+                        srtt: SimDuration::from_millis(c.srtt_ms),
+                        rttvar: SimDuration::from_millis(5),
+                        cwnd: 60,
+                        retx_total: 0,
+                        segs_out_total: 10_000,
+                        mss: 1460,
+                    }],
+                },
+            })
+            .collect();
+        SessionData { meta, chunks }
+    }
+}
+
+fn dataset(sessions: Vec<SessionData>) -> Dataset {
+    let raw = sessions.len();
+    Dataset {
+        sessions,
+        filtered_proxy_sessions: 0,
+        raw_sessions: raw,
+    }
+}
+
+#[test]
+fn fig04_bins_startup_by_server_latency() {
+    // Two sessions with known first-chunk server latencies and startups.
+    let ds = dataset(vec![
+        SessionBuilder::new(0)
+            .startup(0.5)
+            .chunks(3, ChunkSpec::default()) // hit: ~2.4 ms server total
+            .build(),
+        SessionBuilder::new(1)
+            .startup(2.5)
+            .chunk(ChunkSpec {
+                cache: CacheOutcome::Miss, // ~76.4 ms server total
+                ..ChunkSpec::default()
+            })
+            .chunks(2, ChunkSpec::default())
+            .build(),
+    ]);
+    let series = cdn::fig04(&ds);
+    assert_eq!(series.bins.len(), 2, "two distinct latency bins");
+    assert!((series.bins[0].mean - 0.5).abs() < 1e-9);
+    assert!((series.bins[1].mean - 2.5).abs() < 1e-9);
+}
+
+#[test]
+fn fig03b_normalizes_rank_and_frequency() {
+    // Video 0 played 3x, video 1 played 1x.
+    let ds = dataset(vec![
+        SessionBuilder::new(0).video(0).chunks(2, ChunkSpec::default()).build(),
+        SessionBuilder::new(1).video(0).chunks(2, ChunkSpec::default()).build(),
+        SessionBuilder::new(2).video(0).chunks(2, ChunkSpec::default()).build(),
+        SessionBuilder::new(3).video(1).chunks(2, ChunkSpec::default()).build(),
+    ]);
+    let rows = cdn::fig03b(&ds);
+    assert_eq!(rows.len(), 2);
+    assert!((rows[0].0 - 0.5).abs() < 1e-12); // rank 1 of 2
+    assert!((rows[0].1 - 0.75).abs() < 1e-12); // 3 of 4 plays
+    assert!((rows[1].1 - 0.25).abs() < 1e-12);
+}
+
+#[test]
+fn fig05_separates_hit_and_miss_totals() {
+    let ds = dataset(vec![SessionBuilder::new(0)
+        .chunks(5, ChunkSpec::default())
+        .chunk(ChunkSpec {
+            cache: CacheOutcome::Miss,
+            ..ChunkSpec::default()
+        })
+        .build()]);
+    let series = cdn::fig05(&ds, 50);
+    let hit = &series[3];
+    let miss = &series[4];
+    assert_eq!(hit.label, "total-hit");
+    assert_eq!(miss.label, "total-miss");
+    // Known constants: hit total ≈ 2.4 ms, miss ≈ 76.4 ms.
+    assert!((hit.x_at(0.5).unwrap() - 2.4).abs() < 0.1);
+    assert!((miss.x_at(0.5).unwrap() - 76.4).abs() < 0.1);
+}
+
+#[test]
+fn fig06_rank_thresholds_partition_chunks() {
+    let ds = dataset(vec![
+        SessionBuilder::new(0).video(0).chunks(4, ChunkSpec::default()).build(),
+        SessionBuilder::new(1)
+            .video(90)
+            .chunks(4, ChunkSpec {
+                cache: CacheOutcome::Miss,
+                ..ChunkSpec::default()
+            })
+            .build(),
+    ]);
+    let rows = cdn::fig06(&ds, 100, 2);
+    assert_eq!(rows.len(), 2);
+    // Threshold 0: all 8 chunks, 50% miss. Threshold 50: only the tail
+    // video's 4 chunks, 100% miss.
+    assert_eq!(rows[0].chunks, 8);
+    assert!((rows[0].miss_pct - 50.0).abs() < 1e-9);
+    assert_eq!(rows[1].min_rank, 50);
+    assert_eq!(rows[1].chunks, 4);
+    assert!((rows[1].miss_pct - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig11_splits_by_loss_and_computes_shares() {
+    let ds = dataset(vec![
+        SessionBuilder::new(0).chunks(10, ChunkSpec::default()).build(),
+        SessionBuilder::new(1)
+            .chunks(10, ChunkSpec {
+                retx: 90, // 10% retx rate per chunk
+                ..ChunkSpec::default()
+            })
+            .build(),
+        SessionBuilder::new(2)
+            .chunk(ChunkSpec {
+                retx: 9,
+                ..ChunkSpec::default()
+            })
+            .chunks(9, ChunkSpec::default())
+            .build(),
+    ]);
+    let f = network::fig11(&ds, 20);
+    assert!((f.loss_free_share - 1.0 / 3.0).abs() < 1e-9);
+    // Session 1 has exactly 10% retx: NOT below 10%.
+    assert!((f.below_10pct_share - 2.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig14_conditional_probability() {
+    // 10 sessions; chunk 1 always stalls when it lost.
+    let mut sessions = Vec::new();
+    for id in 0..10 {
+        let lossy = id < 4;
+        sessions.push(
+            SessionBuilder::new(id)
+                .chunk(ChunkSpec::default())
+                .chunk(ChunkSpec {
+                    retx: u32::from(lossy) * 50,
+                    buf_count: u32::from(lossy),
+                    buf_dur_s: if lossy { 2.0 } else { 0.0 },
+                    ..ChunkSpec::default()
+                })
+                .chunks(3, ChunkSpec::default())
+                .build(),
+        );
+    }
+    let rows = network::fig14(&ds_ref(sessions), 4);
+    let r1 = rows.iter().find(|r| r.chunk == 1).unwrap();
+    assert!((r1.p_rebuf - 40.0).abs() < 1e-9);
+    assert!((r1.p_rebuf_given_loss - 100.0).abs() < 1e-9);
+    let r0 = rows.iter().find(|r| r.chunk == 0).unwrap();
+    assert_eq!(r0.p_rebuf, 0.0);
+}
+
+fn ds_ref(sessions: Vec<SessionData>) -> Dataset {
+    dataset(sessions)
+}
+
+#[test]
+fn fig15_per_chunk_means() {
+    let ds = dataset(vec![
+        SessionBuilder::new(0)
+            .chunk(ChunkSpec {
+                retx: 90,
+                ..ChunkSpec::default()
+            }) // 10%
+            .chunk(ChunkSpec::default())
+            .build(),
+        SessionBuilder::new(1)
+            .chunk(ChunkSpec {
+                retx: 18,
+                ..ChunkSpec::default()
+            }) // 2%
+            .chunk(ChunkSpec::default())
+            .build(),
+    ]);
+    let series = network::fig15(&ds, 3);
+    assert!((series.bins[0].mean - 6.0).abs() < 1e-9, "mean of 10% and 2%");
+    assert!((series.bins[1].mean - 0.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig16_classifies_by_perf_score() {
+    let ds = dataset(vec![SessionBuilder::new(0)
+        .chunk(ChunkSpec {
+            d_fb_ms: 500,
+            d_lb_ms: 1000, // 6 / 1.5 = score 4: good
+            ..ChunkSpec::default()
+        })
+        .chunk(ChunkSpec {
+            d_fb_ms: 2_000,
+            d_lb_ms: 10_000, // 6 / 12 = 0.5: bad
+            ..ChunkSpec::default()
+        })
+        .build()]);
+    let f = network::fig16(&ds, 10);
+    assert!((f.bad_share - 0.5).abs() < 1e-9);
+    // The bad chunk's latency share: 2/12 ≈ 0.167.
+    assert!((f.share_bad.points[0].0 - 2.0 / 12.0).abs() < 1e-9);
+    assert!((f.dlb_bad.points[0].0 - 10_000.0).abs() < 1e-6);
+}
+
+#[test]
+fn fig19_uses_visible_software_chunks_only() {
+    let mut hw = SessionBuilder::new(0).chunks(5, ChunkSpec {
+        dropped: 0,
+        ..ChunkSpec::default()
+    });
+    hw.gpu = true;
+    let sw = SessionBuilder::new(1).chunks(5, ChunkSpec {
+        dropped: 18, // 10%
+        d_fb_ms: 1000,
+        d_lb_ms: 2000, // rate = 2.0
+        ..ChunkSpec::default()
+    });
+    let ds = dataset(vec![hw.build(), sw.build()]);
+    let f = client::fig19(&ds);
+    assert!((f.hardware_mean_pct - 0.0).abs() < 1e-9);
+    let total_binned: usize = f.by_rate.bins.iter().map(|b| b.count).sum();
+    assert_eq!(total_binned, 5, "only the software session's chunks bin");
+    let bin = f.by_rate.bins.iter().find(|b| b.count > 0).unwrap();
+    assert!((bin.mean - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig21_normalizes_within_platform_and_skips_hidden() {
+    let mut hidden = SessionBuilder::new(2).chunks(4, ChunkSpec::default());
+    hidden.visible = false;
+    let ds = dataset(vec![
+        SessionBuilder::new(0)
+            .platform(Os::Windows, Browser::Chrome)
+            .chunks(6, ChunkSpec {
+                dropped: 9,
+                ..ChunkSpec::default()
+            })
+            .build(),
+        SessionBuilder::new(1)
+            .platform(Os::Windows, Browser::Firefox)
+            .chunks(2, ChunkSpec {
+                dropped: 36,
+                ..ChunkSpec::default()
+            })
+            .build(),
+        hidden.build(),
+    ]);
+    let rows = client::fig21(&ds);
+    assert_eq!(rows.len(), 2, "hidden session excluded entirely");
+    let chrome = rows.iter().find(|r| r.browser == Browser::Chrome).unwrap();
+    let firefox = rows.iter().find(|r| r.browser == Browser::Firefox).unwrap();
+    assert!((chrome.chunk_share_pct - 75.0).abs() < 1e-9);
+    assert!((firefox.chunk_share_pct - 25.0).abs() < 1e-9);
+    assert!((chrome.dropped_pct - 5.0).abs() < 1e-9);
+    assert!((firefox.dropped_pct - 20.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig22_filters_by_rate_visibility_and_popularity() {
+    let fast = ChunkSpec {
+        d_fb_ms: 1000,
+        d_lb_ms: 2000, // rate 2.0 ≥ 1.5
+        dropped: 36,   // 20%
+        ..ChunkSpec::default()
+    };
+    let slow = ChunkSpec {
+        d_fb_ms: 3000,
+        d_lb_ms: 5000, // rate 0.75 < 1.5: excluded
+        dropped: 90,
+        ..ChunkSpec::default()
+    };
+    let ds = dataset(vec![
+        SessionBuilder::new(0)
+            .platform(Os::Windows, Browser::Yandex)
+            .chunks(30, fast)
+            .chunks(10, slow)
+            .build(),
+        SessionBuilder::new(1)
+            .platform(Os::Windows, Browser::Chrome)
+            .chunks(30, ChunkSpec {
+                dropped: 2,
+                d_fb_ms: 1000,
+                d_lb_ms: 2000,
+                ..ChunkSpec::default()
+            })
+            .build(),
+    ]);
+    let f = client::fig22(&ds, 10);
+    assert_eq!(f.rows.len(), 1);
+    assert_eq!(f.rows[0].label, "Yandex,Windows");
+    assert_eq!(f.rows[0].chunks, 30, "slow chunks excluded");
+    assert!((f.rows[0].dropped_pct - 20.0).abs() < 1e-9);
+    assert!((f.rest_avg_pct - 100.0 * 2.0 / 180.0).abs() < 1e-9);
+}
+
+#[test]
+fn headline_stats_on_known_mixture() {
+    let ds = dataset(vec![
+        SessionBuilder::new(0)
+            .video(0)
+            .chunks(8, ChunkSpec::default())
+            .chunks(2, ChunkSpec {
+                cache: CacheOutcome::Miss,
+                ..ChunkSpec::default()
+            })
+            .build(),
+        SessionBuilder::new(1).video(0).chunks(10, ChunkSpec::default()).build(),
+    ]);
+    let s = cdn::headline_stats(&ds);
+    assert_eq!(s.sessions, 2);
+    assert_eq!(s.chunks, 20);
+    assert!((s.miss_rate - 0.1).abs() < 1e-9);
+    assert!((s.ram_hit_rate - 0.9).abs() < 1e-9);
+    // Session 0: 2 misses of 10 chunks ⇒ in-miss-session ratio 20%.
+    assert!((s.mean_miss_ratio_in_miss_sessions - 0.2).abs() < 1e-9);
+    assert!((s.hit_median_ms - 2.4).abs() < 0.01);
+    assert!((s.miss_median_ms - 76.4).abs() < 0.01);
+}
+
+#[test]
+fn dds_rebuffering_buckets_use_ground_truth() {
+    use streamlab_analysis::figures::client::dds_vs_rebuffering;
+    let mut calm = SessionBuilder::new(0).chunks(10, ChunkSpec::default()).build();
+    for c in &mut calm.chunks {
+        c.player.truth.dds = SimDuration::from_millis(50);
+    }
+    let mut stally = SessionBuilder::new(1)
+        .chunks(9, ChunkSpec::default())
+        .chunk(ChunkSpec {
+            buf_count: 1,
+            buf_dur_s: 20.0, // 20 s stalled vs 60 s played: 25% rate
+            ..ChunkSpec::default()
+        })
+        .build();
+    for c in &mut stally.chunks {
+        c.player.truth.dds = SimDuration::from_millis(700);
+    }
+    let ds = dataset(vec![calm, stally]);
+    let b = dds_vs_rebuffering(&ds);
+    assert_eq!(b.counts, [1, 0, 1]);
+    assert!((b.no_rebuffer_ms - 50.0).abs() < 1e-9);
+    assert!((b.heavy_rebuffer_ms - 700.0).abs() < 1e-9);
+    // Estimated columns exist and are conservative (≤ truth here, since
+    // the synthetic D_FB never outruns RTO by more than the true D_DS).
+    assert!(b.est_heavy_rebuffer_ms <= b.heavy_rebuffer_ms + 1e-9);
+}

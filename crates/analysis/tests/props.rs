@@ -1,0 +1,109 @@
+//! Property-based tests for the statistics layer.
+
+use proptest::prelude::*;
+use streamlab_analysis::stats::{pearson, BinnedSeries, Cdf};
+
+proptest! {
+    #[test]
+    fn cdf_quantiles_are_monotone_and_bounded(
+        samples in proptest::collection::vec(-1.0e9f64..1.0e9, 1..400)
+    ) {
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let cdf = Cdf::new(samples);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = cdf.quantile(i as f64 / 20.0);
+            prop_assert!(q >= prev);
+            prop_assert!(q >= lo && q <= hi);
+            prev = q;
+        }
+        prop_assert!(cdf.mean() >= lo && cdf.mean() <= hi);
+        prop_assert!(cdf.std() >= 0.0);
+    }
+
+    #[test]
+    fn cdf_at_is_a_distribution_function(
+        samples in proptest::collection::vec(-1.0e6f64..1.0e6, 1..200),
+        probes in proptest::collection::vec(-1.0e6f64..1.0e6, 1..20)
+    ) {
+        let cdf = Cdf::new(samples);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted_probes {
+            let p = cdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p >= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn cdf_points_partition_mass(
+        samples in proptest::collection::vec(0.0f64..1.0e6, 1..300),
+        n in 1usize..50
+    ) {
+        let cdf = Cdf::new(samples);
+        let pts = cdf.points(n);
+        prop_assert!(!pts.is_empty());
+        let mut prev_x = f64::NEG_INFINITY;
+        let mut prev_f = 0.0;
+        for &(x, f) in &pts {
+            prop_assert!(x >= prev_x);
+            prop_assert!(f > prev_f);
+            prop_assert!(f <= 1.0 + 1e-12);
+            prev_x = x;
+            prev_f = f;
+        }
+        prop_assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // CCDF is the mirror image.
+        for ((_, f), (_, s)) in pts.iter().zip(cdf.ccdf_points(n)) {
+            prop_assert!((f + s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binned_series_conserves_in_range_count(
+        pairs in proptest::collection::vec((0.0f64..100.0, -50.0f64..50.0), 0..300),
+        bins in 1usize..30
+    ) {
+        let series = BinnedSeries::fixed_width(&pairs, 0.0, 100.0, bins);
+        let total: usize = series.bins.iter().map(|b| b.count).sum();
+        prop_assert_eq!(total, pairs.len());
+        for b in &series.bins {
+            prop_assert!(b.count > 0);
+            prop_assert!(b.q25 <= b.median && b.median <= b.q75);
+            prop_assert!(b.x_center >= 0.0 && b.x_center <= 100.0);
+        }
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(
+        pairs in proptest::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3), 2..100)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&xs, &ys);
+        if r.is_finite() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            let r2 = pearson(&ys, &xs);
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_perfect_on_affine(
+        xs in proptest::collection::vec(-1.0e3f64..1.0e3, 3..50),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0
+    ) {
+        // Guard against degenerate x (all equal).
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1.0);
+        let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end ablations of the paper's take-aways, as benchmarks over the
+//! full simulator. Each variant prints its headline deltas (the quantities
+//! the paper argues the change would improve) and is timed end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamlab::analysis::figures::{cdn, network};
+use streamlab::cdn::{AdmissionPolicy, EvictionPolicy, PrefetchPolicy};
+use streamlab::client::abr::AbrAlgorithm;
+use streamlab::SimulationConfig;
+use streamlab_bench::tiny_run;
+
+type Tweak = fn(&mut SimulationConfig);
+
+const VARIANTS: &[(&str, Tweak)] = &[
+    ("baseline_lru", |_| {}),
+    ("eviction_perfect_lfu", |c| {
+        c.fleet.server.cache.policy = EvictionPolicy::PerfectLfu;
+    }),
+    ("eviction_gdsize", |c| {
+        c.fleet.server.cache.policy = EvictionPolicy::GdSize;
+    }),
+    ("prefetch_on_miss", |c| {
+        c.fleet.prefetch = PrefetchPolicy::NextChunksOnMiss(5);
+    }),
+    ("pin_first_chunks", |c| {
+        c.fleet.pin_first_chunks = true;
+    }),
+    ("partition_popular", |c| {
+        c.fleet.partition_popular = true;
+    }),
+    ("server_pacing", |c| {
+        c.tcp.pacing = true;
+    }),
+    ("cubic", |c| {
+        c.tcp.congestion_control = streamlab::net::CongestionControl::Cubic;
+    }),
+    ("admission_second_hit", |c| {
+        c.fleet.server.cache.admission = AdmissionPolicy::OnSecondRequest;
+    }),
+    ("robust_abr", |c| {
+        c.abr = AbrAlgorithm::RobustRate { window: 5 };
+    }),
+];
+
+fn print_variant_summary(name: &str, out: &streamlab::RunOutput) {
+    let s = cdn::headline_stats(&out.dataset);
+    let f11 = network::fig11(&out.dataset, 50);
+    let f15 = network::fig15(&out.dataset, 10);
+    let first_retx = f15.bins.first().map(|b| b.mean).unwrap_or(0.0);
+    println!(
+        "[ablation {name:<22}] miss={:5.2}%  hit_med={:5.2}ms  miss-sess-ratio={:4.0}%  \
+         loss-free={:4.1}%  first-chunk-retx={:5.3}%  load-corr={:+.2}",
+        100.0 * s.miss_rate,
+        s.hit_median_ms,
+        100.0 * s.mean_miss_ratio_in_miss_sessions,
+        100.0 * f11.loss_free_share,
+        first_retx,
+        out.load_latency_correlation(),
+    );
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, tweak) in VARIANTS {
+        // Print the variant's headline numbers once.
+        let out = tiny_run(2016, tweak);
+        print_variant_summary(name, &out);
+        drop(out);
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(tiny_run(2016, tweak)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

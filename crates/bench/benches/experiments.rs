@@ -1,0 +1,26 @@
+//! One bench per paper exhibit. Each group first *prints* the exhibit's
+//! reproduction (the same rows the paper reports), then times the analysis
+//! that produces it — so `cargo bench` regenerates every table and figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use streamlab::experiments::{run_experiment, ExperimentId};
+use streamlab_bench::shared_run;
+
+fn bench_experiments(c: &mut Criterion) {
+    let out = shared_run();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for &id in ExperimentId::all() {
+        // Regenerate and print the exhibit once.
+        let result = run_experiment(id, out);
+        println!("\n==== {} ====\n{}\n", result.title, result.text);
+        group.bench_function(format!("{id:?}"), |b| {
+            b.iter(|| black_box(run_experiment(id, black_box(out))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

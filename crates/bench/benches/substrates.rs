@@ -1,0 +1,180 @@
+//! Microbenchmarks of the substrate building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use streamlab::cdn::{ByteCache, EvictionPolicy, ObjectKey};
+use streamlab::client::{DownloadStack, RenderPath, StackConfig};
+use streamlab::net::{PathProfile, PropagationModel, TcpConfig, TcpConnection};
+use streamlab::sim::dist::Zipf;
+use streamlab::sim::{EventQueue, RngStream, SimTime};
+use streamlab::workload::{Browser, ChunkIndex, Os, VideoId};
+
+fn key(v: u64, c: u32) -> ObjectKey {
+    ObjectKey {
+        video: VideoId(v),
+        chunk: ChunkIndex(c),
+        bitrate_kbps: 1050,
+    }
+}
+
+fn bench_cache_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let zipf = Zipf::new(2_000, 0.95);
+    for policy in [
+        EvictionPolicy::Lru,
+        EvictionPolicy::PerfectLfu,
+        EvictionPolicy::GdSize,
+        EvictionPolicy::Fifo,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("zipf_workload", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter_batched(
+                    || {
+                        (
+                            ByteCache::new(policy, 500 * 1_000_000),
+                            RngStream::new(7, "bench-cache"),
+                        )
+                    },
+                    |(mut cache, mut rng)| {
+                        for _ in 0..10_000 {
+                            let k = key(zipf.sample_rank(&mut rng) as u64, 0);
+                            if !cache.lookup(k) {
+                                cache.insert(k, 1_000_000);
+                            }
+                        }
+                        black_box(cache.stats())
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tcp_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcp");
+    let cases = [
+        ("cable_clean", 50.0, 30.0, 0.0),
+        ("dsl_lossy", 8.0, 45.0, 0.002),
+        ("intl_far", 20.0, 180.0, 0.001),
+    ];
+    for (name, mbps, rtt, loss) in cases {
+        group.bench_function(format!("chunk_transfer/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let path = PathProfile::from_parts(
+                        &PropagationModel::default(),
+                        0.0,
+                        rtt,
+                        0.0,
+                        mbps,
+                        3.0,
+                        loss,
+                        0.1,
+                        0.0,
+                        1.0,
+                    );
+                    TcpConnection::new(
+                        path,
+                        TcpConfig::default(),
+                        SimTime::ZERO,
+                        RngStream::new(3, "bench-tcp"),
+                    )
+                },
+                |mut conn| {
+                    let mut t = SimTime::ZERO;
+                    for _ in 0..10 {
+                        let tr = conn.transfer(t, 1_762_500);
+                        t = tr.last_byte_at;
+                    }
+                    black_box(conn.info(t))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_client_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client");
+    group.bench_function("download_stack/20_chunks", |b| {
+        b.iter_batched(
+            || {
+                DownloadStack::new(
+                    Os::Windows,
+                    Browser::Firefox,
+                    StackConfig::default(),
+                    RngStream::new(5, "bench-stack"),
+                )
+            },
+            |mut stack| {
+                for i in 0..20u32 {
+                    let t0 = SimTime::from_secs(u64::from(i) * 6);
+                    black_box(stack.deliver(
+                        ChunkIndex(i),
+                        t0,
+                        t0 + streamlab::sim::SimDuration::from_millis(700),
+                    ));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("render/20_chunks_software", |b| {
+        b.iter_batched(
+            || {
+                RenderPath::new(
+                    Os::Windows,
+                    Browser::Firefox,
+                    false,
+                    4,
+                    0.4,
+                    RngStream::new(5, "bench-render"),
+                )
+            },
+            |mut render| {
+                for _ in 0..20 {
+                    black_box(render.render_chunk(6.0, 1750, 2.0, true, 10.0));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sim_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.bench_function("zipf_sample/10k_catalog", |b| {
+        let z = Zipf::new(10_000, 0.95);
+        let mut rng = RngStream::new(11, "bench-zipf");
+        b.iter(|| black_box(z.sample_rank(&mut rng)))
+    });
+    group.bench_function("event_queue/schedule_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_policies,
+    bench_tcp_transfer,
+    bench_client_paths,
+    bench_sim_primitives
+);
+criterion_main!(benches);

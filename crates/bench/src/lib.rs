@@ -1,0 +1,40 @@
+//! # streamlab-bench
+//!
+//! The benchmark harness. Each Criterion bench target is also a figure
+//! regenerator: before timing an exhibit's analysis, it prints the same
+//! rows/series the paper's figure or table reports, so
+//! `cargo bench -p streamlab-bench` both measures and reproduces.
+//!
+//! Targets:
+//! * `experiments` — one bench per paper exhibit (Fig. 3 … Fig. 22,
+//!   Tables 4–5, headline stats), each printing its reproduction first;
+//! * `substrates` — microbenches of the building blocks (cache policies,
+//!   TCP transfers, download stack, rendering, Zipf sampling, event
+//!   queue);
+//! * `ablations` — end-to-end simulations under the paper's take-away
+//!   variants (eviction policy, prefetching, pacing, partitioning,
+//!   robust ABR), printing the headline deltas.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::OnceLock;
+use streamlab::{RunOutput, Simulation, SimulationConfig};
+
+/// The shared small-scale run used by the `experiments` benches.
+pub fn shared_run() -> &'static RunOutput {
+    static OUT: OnceLock<RunOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        eprintln!("[streamlab-bench] simulating the shared small-scale world ...");
+        Simulation::new(SimulationConfig::small(2016))
+            .run()
+            .expect("simulation")
+    })
+}
+
+/// A tiny-scale run for full-simulation benches (ablations).
+pub fn tiny_run(seed: u64, tweak: impl FnOnce(&mut SimulationConfig)) -> RunOutput {
+    let mut cfg = SimulationConfig::tiny(seed);
+    tweak(&mut cfg);
+    Simulation::new(cfg).run().expect("simulation")
+}

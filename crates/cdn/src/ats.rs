@@ -1,0 +1,365 @@
+//! The ATS-style request serve path and its latency anatomy.
+//!
+//! Per-chunk server-side latency decomposes into (§2.1):
+//!
+//! * `D_wait` — the HTTP request's time in the accept queue before a
+//!   threadpool worker reads its headers;
+//! * `D_open` — from header read to the *first* attempt to open the cache
+//!   object, regardless of cache status;
+//! * `D_read` — time to produce the chunk's first byte: a RAM read, or —
+//!   after the **asynchronous open-read retry timer** (a fixed 10 ms in
+//!   ATS, the paper's Finding CDN-1 and its footnote) — a disk read or the
+//!   wait for the backend's first byte.
+//!
+//! The paper's Fig. 5 shows the resulting `D_read` distribution split into
+//! two nearly identical halves separated by ~10 ms (RAM vs not-RAM), with
+//! total-miss latency an order of magnitude above total-hit (medians 80 ms
+//! vs 2 ms).
+
+use serde::{Deserialize, Serialize};
+use streamlab_sim::dist::{LogNormal, Sample};
+use streamlab_sim::{RngStream, SimDuration};
+
+/// Where a requested object was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheStatus {
+    /// Served from the main-memory cache.
+    RamHit,
+    /// Served from the local disk cache (pays the retry timer + seek).
+    DiskHit,
+    /// Not cached anywhere; fetched from the backend service.
+    Miss,
+}
+
+impl CacheStatus {
+    /// "Hit" in the paper's sense: served without contacting the backend.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheStatus::Miss)
+    }
+}
+
+/// Latency parameters of the serve path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AtsConfig {
+    /// The asynchronous open-read retry timer (ATS default 10 ms).
+    pub retry_timer: SimDuration,
+    /// Median of the queue-wait distribution under no contention, ms.
+    pub wait_median_ms: f64,
+    /// Extra queue wait per outstanding request beyond the threadpool, ms.
+    pub wait_per_backlog_ms: f64,
+    /// Worker threads per server (requests beyond this queue up).
+    pub threads: u32,
+    /// Median of `D_open`, ms.
+    pub open_median_ms: f64,
+    /// Median RAM read latency, ms.
+    pub ram_read_median_ms: f64,
+    /// Median disk read (seek + first block) latency for hot ranks, ms.
+    pub disk_read_median_ms: f64,
+    /// Disk seek growth with popularity rank: added ms per `ln(rank)`.
+    /// Unpopular content sits in colder, more fragmented regions (the
+    /// paper's Fig. 6b: median server delay keeps rising with rank even
+    /// when misses are excluded).
+    pub disk_rank_ms_per_ln: f64,
+    /// Log-space sigma shared by the latency components.
+    pub sigma: f64,
+}
+
+impl Default for AtsConfig {
+    fn default() -> Self {
+        AtsConfig {
+            retry_timer: SimDuration::from_millis(10),
+            wait_median_ms: 0.15,
+            wait_per_backlog_ms: 0.6,
+            threads: 64,
+            open_median_ms: 0.2,
+            ram_read_median_ms: 1.4,
+            disk_read_median_ms: 3.0,
+            disk_rank_ms_per_ln: 1.6,
+            sigma: 0.45,
+        }
+    }
+}
+
+/// Backend (origin) service latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackendConfig {
+    /// Median backend first-byte latency (network + service), ms.
+    pub median_ms: f64,
+    /// Log-space sigma.
+    pub sigma: f64,
+}
+
+impl Default for BackendConfig {
+    fn default() -> Self {
+        // Calibrated so total-miss median ≈ 80 ms (paper: 40× the 2 ms hit
+        // median, with mean and p95 "ten times more"); the log-normal tail
+        // reaches several hundred ms, the range of the paper's Fig. 4
+        // x-axis.
+        BackendConfig {
+            median_ms: 66.0,
+            sigma: 0.85,
+        }
+    }
+}
+
+/// The server-side outcome of serving one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeOutcome {
+    /// Queue wait before headers were read.
+    pub d_wait: SimDuration,
+    /// Header read → first open attempt.
+    pub d_open: SimDuration,
+    /// First open attempt → first byte available at the socket (includes
+    /// the retry timer and disk seek, or the backend wait on a miss).
+    pub d_read: SimDuration,
+    /// Backend latency (zero unless `status == Miss`). Already contained
+    /// in `d_read`'s wait; kept separately because the paper reports
+    /// `D_CDN` and `D_BE` as distinct instrumented quantities (Eq. 1).
+    pub d_backend: SimDuration,
+    /// Where the object was found.
+    pub status: CacheStatus,
+    /// Whether the 10 ms open-read retry timer fired (paper: ~35 % of
+    /// chunks).
+    pub retry_fired: bool,
+}
+
+impl ServeOutcome {
+    /// `D_CDN` in the paper's Eq. 1: wait + open + local read path. On a
+    /// miss the backend wait is excluded (it is `D_BE`).
+    pub fn d_cdn(&self) -> SimDuration {
+        self.d_wait + self.d_open + (self.d_read - self.d_backend)
+    }
+
+    /// Total server-side latency (`D_CDN + D_BE`): what Fig. 5 plots as
+    /// `total-hit` / `total-miss`, and what delays the first byte.
+    pub fn total(&self) -> SimDuration {
+        self.d_wait + self.d_open + self.d_read
+    }
+}
+
+/// Samples the latency components for the serve path.
+#[derive(Debug)]
+pub struct AtsTimings {
+    cfg: AtsConfig,
+    backend: BackendConfig,
+    wait: LogNormal,
+    open: LogNormal,
+    ram_read: LogNormal,
+    disk_read: LogNormal,
+    backend_lat: LogNormal,
+}
+
+impl AtsTimings {
+    /// Build the samplers.
+    pub fn new(cfg: AtsConfig, backend: BackendConfig) -> Self {
+        AtsTimings {
+            wait: LogNormal::from_median(cfg.wait_median_ms, cfg.sigma),
+            open: LogNormal::from_median(cfg.open_median_ms, cfg.sigma),
+            ram_read: LogNormal::from_median(cfg.ram_read_median_ms, cfg.sigma),
+            disk_read: LogNormal::from_median(cfg.disk_read_median_ms, cfg.sigma),
+            backend_lat: LogNormal::from_median(backend.median_ms, backend.sigma),
+            cfg,
+            backend,
+        }
+    }
+
+    /// The configured retry timer.
+    pub fn retry_timer(&self) -> SimDuration {
+        self.cfg.retry_timer
+    }
+
+    /// Threadpool size.
+    pub fn threads(&self) -> u32 {
+        self.cfg.threads
+    }
+
+    /// Sample `D_wait` given the number of requests concurrently being
+    /// handled by this server.
+    pub fn sample_wait(&self, concurrent: u32, rng: &mut RngStream) -> SimDuration {
+        let base = self.wait.sample(rng);
+        let backlog = concurrent.saturating_sub(self.cfg.threads);
+        let queued = f64::from(backlog) * self.cfg.wait_per_backlog_ms;
+        SimDuration::from_millis_f64(base + queued)
+    }
+
+    /// Sample `D_open`.
+    pub fn sample_open(&self, rng: &mut RngStream) -> SimDuration {
+        SimDuration::from_millis_f64(self.open.sample(rng))
+    }
+
+    /// Sample the read path for `status`, given the video's popularity
+    /// `rank` (1-based). Returns `(d_read, d_backend, retry_fired)`.
+    pub fn sample_read(
+        &self,
+        status: CacheStatus,
+        rank: usize,
+        rng: &mut RngStream,
+    ) -> (SimDuration, SimDuration, bool) {
+        match status {
+            CacheStatus::RamHit => {
+                let read = SimDuration::from_millis_f64(self.ram_read.sample(rng));
+                (read, SimDuration::ZERO, false)
+            }
+            CacheStatus::DiskHit => {
+                // First open attempt fails (not in RAM); the asynchronous
+                // retry fires after the fixed timer, then the disk seek
+                // pays a popularity penalty: colder content reads slower.
+                let seek_extra =
+                    self.cfg.disk_rank_ms_per_ln * (1.0 + rank as f64).ln().max(0.0);
+                let read = self.cfg.retry_timer
+                    + SimDuration::from_millis_f64(self.disk_read.sample(rng) + seek_extra);
+                (read, SimDuration::ZERO, true)
+            }
+            CacheStatus::Miss => {
+                // Retry timer fires, then the backend's first byte bounds
+                // D_read (delivery is pipelined with the backend fetch).
+                let be = SimDuration::from_millis_f64(self.backend_lat.sample(rng));
+                (self.cfg.retry_timer + be, be, true)
+            }
+        }
+    }
+
+    /// Backend configuration in use.
+    pub fn backend_config(&self) -> BackendConfig {
+        self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timings() -> AtsTimings {
+        AtsTimings::new(AtsConfig::default(), BackendConfig::default())
+    }
+
+    fn rng() -> RngStream {
+        RngStream::new(1234, "ats-test")
+    }
+
+    fn median(mut xs: Vec<f64>) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    }
+
+    #[test]
+    fn ram_hit_is_fast_and_timer_free() {
+        let t = timings();
+        let mut r = rng();
+        for _ in 0..100 {
+            let (read, be, retry) = t.sample_read(CacheStatus::RamHit, 1, &mut r);
+            assert!(!retry);
+            assert!(be.is_zero());
+            assert!(read < SimDuration::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn disk_hit_pays_the_retry_timer() {
+        let t = timings();
+        let mut r = rng();
+        for _ in 0..100 {
+            let (read, be, retry) = t.sample_read(CacheStatus::DiskHit, 100, &mut r);
+            assert!(retry);
+            assert!(be.is_zero());
+            assert!(
+                read >= SimDuration::from_millis(10),
+                "disk read {read} below the 10 ms timer"
+            );
+        }
+    }
+
+    #[test]
+    fn read_is_bimodal_across_ram_and_disk() {
+        // Fig. 5: the D_read distribution has "two nearly identical parts,
+        // separated by about 10ms".
+        let t = timings();
+        let mut r = rng();
+        let ram: Vec<f64> = (0..2000)
+            .map(|_| t.sample_read(CacheStatus::RamHit, 10, &mut r).0.as_millis_f64())
+            .collect();
+        let disk: Vec<f64> = (0..2000)
+            .map(|_| t.sample_read(CacheStatus::DiskHit, 10, &mut r).0.as_millis_f64())
+            .collect();
+        let gap = median(disk) - median(ram);
+        assert!((8.0..25.0).contains(&gap), "mode separation = {gap} ms");
+    }
+
+    #[test]
+    fn miss_latency_an_order_of_magnitude_above_hit() {
+        let t = timings();
+        let mut r = rng();
+        let hit: Vec<f64> = (0..4000)
+            .map(|_| {
+                let (read, _, _) = t.sample_read(CacheStatus::RamHit, 5, &mut r);
+                (t.sample_wait(1, &mut r) + t.sample_open(&mut r) + read).as_millis_f64()
+            })
+            .collect();
+        let miss: Vec<f64> = (0..4000)
+            .map(|_| {
+                let (read, _, _) = t.sample_read(CacheStatus::Miss, 5, &mut r);
+                (t.sample_wait(1, &mut r) + t.sample_open(&mut r) + read).as_millis_f64()
+            })
+            .collect();
+        let (mh, mm) = (median(hit), median(miss));
+        // Paper: hit median 2 ms, miss median 80 ms (40×).
+        assert!((1.0..4.0).contains(&mh), "hit median = {mh}");
+        assert!((55.0..110.0).contains(&mm), "miss median = {mm}");
+        assert!(mm / mh > 20.0, "ratio = {}", mm / mh);
+    }
+
+    #[test]
+    fn disk_seek_grows_with_rank() {
+        let t = timings();
+        let mut r = rng();
+        let hot = median(
+            (0..2000)
+                .map(|_| t.sample_read(CacheStatus::DiskHit, 2, &mut r).0.as_millis_f64())
+                .collect(),
+        );
+        let cold = median(
+            (0..2000)
+                .map(|_| {
+                    t.sample_read(CacheStatus::DiskHit, 6000, &mut r)
+                        .0
+                        .as_millis_f64()
+                })
+                .collect(),
+        );
+        assert!(cold > hot + 5.0, "cold {cold} vs hot {hot}");
+    }
+
+    #[test]
+    fn wait_grows_only_beyond_threadpool() {
+        let t = timings();
+        let mut r = rng();
+        let idle = median(
+            (0..500)
+                .map(|_| t.sample_wait(4, &mut r).as_millis_f64())
+                .collect(),
+        );
+        let busy = median(
+            (0..500)
+                .map(|_| t.sample_wait(t.threads() + 40, &mut r).as_millis_f64())
+                .collect(),
+        );
+        assert!(idle < 1.0, "idle wait median = {idle}");
+        assert!(busy > idle + 10.0, "busy wait median = {busy}");
+    }
+
+    #[test]
+    fn serve_outcome_decomposition() {
+        let o = ServeOutcome {
+            d_wait: SimDuration::from_millis(1),
+            d_open: SimDuration::from_millis(1),
+            d_read: SimDuration::from_millis(70),
+            d_backend: SimDuration::from_millis(60),
+            status: CacheStatus::Miss,
+            retry_fired: true,
+        };
+        assert_eq!(o.total(), SimDuration::from_millis(72));
+        assert_eq!(o.d_cdn(), SimDuration::from_millis(12));
+        assert!(!o.status.is_hit());
+        assert!(CacheStatus::DiskHit.is_hit());
+    }
+}

@@ -1,0 +1,215 @@
+//! A byte-capacity cache with pluggable eviction.
+
+use super::{EvictionPolicy, ObjectKey};
+use std::collections::{BTreeSet, HashMap};
+
+#[derive(Debug, Clone)]
+struct Entry {
+    size: u64,
+    /// Ordering key currently held in `order` (recency counter, frequency,
+    /// scaled GD priority, or insertion counter, depending on the policy).
+    order_key: (u64, u64),
+    pinned: bool,
+}
+
+/// A byte-capacity cache over [`ObjectKey`]s.
+///
+/// All four policies share one representation: a `HashMap` of entries plus
+/// a `BTreeSet` of `(order_key, tiebreak)` pairs; the policy only decides
+/// how `order_key` evolves on insert/access. Eviction pops the smallest
+/// order key, skipping pinned entries.
+#[derive(Debug, Clone)]
+pub struct ByteCache {
+    policy: EvictionPolicy,
+    capacity: u64,
+    used: u64,
+    entries: HashMap<ObjectKey, Entry>,
+    order: BTreeSet<((u64, u64), ObjectKey)>,
+    /// Monotone counter used for recency / insertion order / ties.
+    tick: u64,
+    /// Perfect-LFU frequency table (survives eviction).
+    freq: HashMap<ObjectKey, u64>,
+    /// GD-Size inflation value L (scaled by `GD_SCALE`).
+    gd_inflation: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// GD-Size priorities are fractional; scale into integers for the ordered
+/// set. One unit = 1/GD_SCALE of "cost per byte".
+const GD_SCALE: f64 = 1.0e12;
+
+impl ByteCache {
+    /// An empty cache of `capacity` bytes under `policy`.
+    pub fn new(policy: EvictionPolicy, capacity: u64) -> Self {
+        ByteCache {
+            policy,
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            order: BTreeSet::new(),
+            tick: 0,
+            freq: HashMap::new(),
+            gd_inflation: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of objects stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses) counters from `lookup`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn order_key_for(&mut self, key: ObjectKey, size: u64) -> (u64, u64) {
+        match self.policy {
+            EvictionPolicy::Lru => (self.next_tick(), 0),
+            EvictionPolicy::Fifo => {
+                // Insertion order only; set once at insert, never on access.
+                (self.next_tick(), 0)
+            }
+            EvictionPolicy::PerfectLfu => {
+                let f = *self.freq.get(&key).unwrap_or(&0);
+                (f, self.next_tick())
+            }
+            EvictionPolicy::GdSize => {
+                // priority = L + cost/size, with unit cost per object.
+                let prio = self.gd_inflation as f64 + GD_SCALE / size.max(1) as f64;
+                (prio as u64, self.next_tick())
+            }
+        }
+    }
+
+    fn reorder(&mut self, key: ObjectKey) {
+        let Some(entry) = self.entries.get(&key) else {
+            return;
+        };
+        let size = entry.size;
+        let old = entry.order_key;
+        let new = match self.policy {
+            EvictionPolicy::Fifo => return, // FIFO ignores accesses
+            _ => self.order_key_for(key, size),
+        };
+        self.order.remove(&(old, key));
+        self.order.insert((new, key));
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.order_key = new;
+        }
+    }
+
+    /// Is `key` present? Updates hit/miss stats and recency/frequency.
+    pub fn lookup(&mut self, key: ObjectKey) -> bool {
+        // Perfect-LFU counts every *request*, hit or miss.
+        if self.policy == EvictionPolicy::PerfectLfu {
+            *self.freq.entry(key).or_insert(0) += 1;
+        }
+        if self.entries.contains_key(&key) {
+            self.hits += 1;
+            self.reorder(key);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Presence check without touching stats or ordering.
+    pub fn contains(&self, key: ObjectKey) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Insert `key` (`size` bytes), evicting until it fits. Returns the
+    /// evicted `(key, size)` pairs so callers can demote them to a lower
+    /// tier. Objects larger than the whole capacity are not admitted.
+    /// Re-inserting an existing key refreshes it.
+    pub fn insert(&mut self, key: ObjectKey, size: u64) -> Vec<(ObjectKey, u64)> {
+        if size > self.capacity {
+            return Vec::new();
+        }
+        if self.entries.contains_key(&key) {
+            self.reorder(key);
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > self.capacity {
+            match self.pop_victim() {
+                Some(victim) => evicted.push(victim),
+                None => return evicted, // everything pinned; cannot admit
+            }
+        }
+        let order_key = self.order_key_for(key, size);
+        self.order.insert((order_key, key));
+        self.entries.insert(
+            key,
+            Entry {
+                size,
+                order_key,
+                pinned: false,
+            },
+        );
+        self.used += size;
+        evicted
+    }
+
+    /// Pin `key` so it is never evicted (used by the "cache the first chunk
+    /// of every video" policy). No-op if absent.
+    pub fn pin(&mut self, key: ObjectKey) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.pinned = true;
+        }
+    }
+
+    /// Remove a specific key (e.g. when promoting between tiers).
+    pub fn remove(&mut self, key: ObjectKey) -> bool {
+        if let Some(e) = self.entries.remove(&key) {
+            self.order.remove(&(e.order_key, key));
+            self.used -= e.size;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Evict the policy's victim, skipping pinned entries.
+    fn pop_victim(&mut self) -> Option<(ObjectKey, u64)> {
+        let victim = self
+            .order
+            .iter()
+            .find(|(_, k)| !self.entries.get(k).map(|e| e.pinned).unwrap_or(false))
+            .map(|&(ok, k)| (ok, k))?;
+        let (order_key, key) = victim;
+        self.order.remove(&(order_key, key));
+        let e = self.entries.remove(&key).expect("order/entries in sync");
+        self.used -= e.size;
+        if self.policy == EvictionPolicy::GdSize {
+            // GD-Size: the evicted priority becomes the new inflation L.
+            self.gd_inflation = order_key.0;
+        }
+        Some((key, e.size))
+    }
+}

@@ -1,0 +1,57 @@
+//! The cached-object vocabulary: keys, the manifest sentinel, and the
+//! eviction-policy choices.
+
+use serde::{Deserialize, Serialize};
+use streamlab_workload::{ChunkIndex, VideoId};
+
+/// The unit of caching: one chunk of one video at one bitrate — or the
+/// video's manifest (chunk index `MANIFEST`, bitrate 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectKey {
+    /// Which video.
+    pub video: VideoId,
+    /// Which chunk of the video.
+    pub chunk: ChunkIndex,
+    /// Encoded bitrate, kbps.
+    pub bitrate_kbps: u32,
+}
+
+impl ObjectKey {
+    /// Sentinel chunk index marking a manifest object.
+    pub const MANIFEST: ChunkIndex = ChunkIndex(u32::MAX);
+
+    /// The manifest object of a video (§2: "The session starts with the
+    /// player requesting the manifest, which contains a list of chunks in
+    /// available bitrates").
+    pub fn manifest(video: VideoId) -> ObjectKey {
+        ObjectKey {
+            video,
+            chunk: Self::MANIFEST,
+            bitrate_kbps: 0,
+        }
+    }
+
+    /// True for manifest objects.
+    pub fn is_manifest(&self) -> bool {
+        self.chunk == Self::MANIFEST
+    }
+}
+
+/// Size of a manifest document, bytes (a few KB of XML/JSON per rendition
+/// list).
+pub const MANIFEST_BYTES: u64 = 8 * 1024;
+
+/// Cache replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Least-recently-used (the deployed ATS default).
+    Lru,
+    /// Perfect LFU: evict the least-frequently-accessed object; frequency
+    /// counts survive eviction ("perfect").
+    PerfectLfu,
+    /// GreedyDual-Size: priority = inflation + cost/size, evict the lowest
+    /// priority; good for skewed web workloads (Breslau et al.).
+    GdSize,
+    /// First-in first-out.
+    Fifo,
+}

@@ -1,0 +1,546 @@
+//! The server fleet and the traffic-engineering (client→server mapping)
+//! layer.
+//!
+//! The paper's system "maps clients to CDN nodes using a function of
+//! geography, latency, load, cache likelihood, etc. — the system tries to
+//! route clients to the server that is likely to have a hot cache" (§4.1).
+//! We reproduce that as: nearest PoP by geography, then *content affinity*
+//! within the PoP (a stable hash of the video id picks the server), which
+//! is exactly what makes some servers accumulate the unpopular tail and
+//! show worse latency at lower load (Finding CDN-4 / §4.1.3).
+
+use crate::cache::ObjectKey;
+use crate::server::{CdnServer, ServerConfig};
+use serde::{Deserialize, Serialize};
+use streamlab_sim::{derive_seed, RngStream};
+use streamlab_workload::geo::{build_pops, nearest_pop, GeoPoint, Pop};
+use streamlab_workload::{Catalog, ChunkIndex, ServerId, SessionId, VideoId};
+
+/// Chunk prefetching policy (§4.1.2 take-aways).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetchPolicy {
+    /// No prefetching (the deployed baseline).
+    None,
+    /// After a cache miss, pull the next `n` chunks of the same video and
+    /// bitrate into the cache in the background.
+    NextChunksOnMiss(u32),
+}
+
+impl Default for PrefetchPolicy {
+    fn default() -> Self {
+        PrefetchPolicy::None
+    }
+}
+
+/// Fleet configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of servers (the paper's dataset covers 85).
+    pub servers: usize,
+    /// Per-server configuration.
+    pub server: ServerConfig,
+    /// Prefetch policy applied fleet-wide.
+    pub prefetch: PrefetchPolicy,
+    /// Partition the most popular content across all of a PoP's servers
+    /// instead of hashing it to one (the §4.1.3 load-balancing take-away).
+    pub partition_popular: bool,
+    /// "Popular" means rank within this top fraction of the catalog.
+    pub popular_top_fraction: f64,
+    /// Pin the first chunk of every video in cache at warm-up ("the CDN
+    /// server could cache the first few chunks of all videos", §4.1.2).
+    pub pin_first_chunks: bool,
+    /// Warm caches to steady state before the measurement window.
+    pub warm_caches: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            servers: 85,
+            server: ServerConfig::default(),
+            prefetch: PrefetchPolicy::None,
+            partition_popular: false,
+            popular_top_fraction: 0.10,
+            pin_first_chunks: false,
+            warm_caches: true,
+        }
+    }
+}
+
+/// The CDN fleet.
+#[derive(Debug)]
+pub struct CdnFleet {
+    pops: Vec<Pop>,
+    servers: Vec<CdnServer>,
+    /// Server indices per PoP.
+    by_pop: Vec<Vec<usize>>,
+    cfg: FleetConfig,
+    catalog_len: usize,
+}
+
+impl CdnFleet {
+    /// Build the fleet: `cfg.servers` machines spread round-robin over the
+    /// standard PoP set.
+    pub fn new(cfg: FleetConfig, master_seed: u64) -> Self {
+        assert!(cfg.servers >= 1);
+        let pops = build_pops();
+        let mut servers = Vec::with_capacity(cfg.servers);
+        let mut by_pop = vec![Vec::new(); pops.len()];
+        for i in 0..cfg.servers {
+            let pop = &pops[i % pops.len()];
+            by_pop[i % pops.len()].push(i);
+            servers.push(CdnServer::new(
+                ServerId(i as u64),
+                pop.id,
+                cfg.server,
+                RngStream::new(master_seed, &format!("cdn-server-{i}")),
+            ));
+        }
+        CdnFleet {
+            pops,
+            servers,
+            by_pop,
+            cfg,
+            catalog_len: 0,
+        }
+    }
+
+    /// The PoP list.
+    pub fn pops(&self) -> &[Pop] {
+        &self.pops
+    }
+
+    /// All servers.
+    pub fn servers(&self) -> &[CdnServer] {
+        &self.servers
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the fleet has no servers (cannot occur post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Pick the serving server for `(client location, video, session)`.
+    ///
+    /// Nearest PoP, then content-hash affinity within the PoP. With
+    /// `partition_popular`, head content instead spreads across the PoP's
+    /// servers keyed by session (load balancing at no cache cost: the head
+    /// is hot everywhere).
+    pub fn assign(&self, client: &GeoPoint, video: VideoId, session: SessionId) -> usize {
+        let pop_idx = nearest_pop(&self.pops, client);
+        let members = &self.by_pop[pop_idx];
+        assert!(!members.is_empty(), "PoP without servers");
+        let is_popular = self.catalog_len > 0
+            && video.rank() as f64 <= self.cfg.popular_top_fraction * self.catalog_len as f64;
+        let h = if self.cfg.partition_popular && is_popular {
+            derive_seed(video.raw() ^ session.raw().rotate_left(17), "fleet-spread")
+        } else {
+            derive_seed(video.raw(), "fleet-affinity")
+        };
+        members[(h % members.len() as u64) as usize]
+    }
+
+    /// The PoP a server belongs to.
+    pub fn pop_of(&self, server_idx: usize) -> &Pop {
+        let pop_id = self.servers[server_idx].pop();
+        &self.pops[pop_id.raw() as usize]
+    }
+
+    /// Serving distance in km between a client and its assigned server.
+    pub fn distance_km(&self, server_idx: usize, client: &GeoPoint) -> f64 {
+        self.pop_of(server_idx).location.distance_km(client)
+    }
+
+    /// Mutable access to a server (the orchestrator serves chunks through
+    /// this).
+    pub fn server_mut(&mut self, idx: usize) -> &mut CdnServer {
+        &mut self.servers[idx]
+    }
+
+    /// Compute the background-prefetch list for a request under the
+    /// fleet's policy: subsequent chunks of the same video/bitrate.
+    pub fn prefetch_list(&self, catalog: &Catalog, key: ObjectKey) -> Vec<(ObjectKey, u64)> {
+        match self.cfg.prefetch {
+            PrefetchPolicy::None => Vec::new(),
+            PrefetchPolicy::NextChunksOnMiss(n) => {
+                let video = catalog.video(key.video);
+                let total = video.chunk_count();
+                (1..=n)
+                    .filter_map(|d| {
+                        let idx = key.chunk.raw() + d;
+                        if idx < total {
+                            let k = ObjectKey {
+                                video: key.video,
+                                chunk: ChunkIndex(idx),
+                                bitrate_kbps: key.bitrate_kbps,
+                            };
+                            Some((k, video.chunk_bytes(ChunkIndex(idx), k.bitrate_kbps)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Warm every server's cache to a plausible steady state.
+    ///
+    /// Disk tiers are filled with each server's own videos in popularity
+    /// order (most popular first) at the ladder rungs ABR traffic
+    /// concentrates on, until ~90 % full; then RAM tiers are filled the
+    /// same way (most popular content first). Optionally pins first chunks
+    /// of all assigned videos.
+    ///
+    /// Without warming, the measurement window would start against cold
+    /// caches and overstate miss rates relative to the paper's
+    /// steady-state 2 %.
+    pub fn warm(&mut self, catalog: &Catalog) {
+        self.catalog_len = catalog.len();
+        if !self.cfg.warm_caches && !self.cfg.pin_first_chunks {
+            return;
+        }
+        // Disk warms the full ladder: production caches have seen every
+        // rung of the head content. RAM warms only the rungs traffic
+        // concentrates on (the ABR's mid-ladder initial pick and the top
+        // rung fast links converge to) — what an LRU RAM tier would
+        // actually retain at steady state.
+        let warm_rungs: Vec<u32> = catalog.ladder().rungs_kbps.clone();
+        let ram_rungs: Vec<u32> = vec![
+            catalog.ladder().floor_rung(1_200.0),
+            catalog.ladder().max_kbps(),
+        ];
+
+        let affinity_server = |by_pop: &[Vec<usize>], pop_idx: usize, video: VideoId| {
+            let members = &by_pop[pop_idx];
+            let h = derive_seed(video.raw(), "fleet-affinity");
+            members[(h % members.len() as u64) as usize]
+        };
+
+        if self.cfg.pin_first_chunks {
+            for video in catalog.videos() {
+                for pop_idx in 0..self.pops.len() {
+                    if self.by_pop[pop_idx].is_empty() {
+                        continue;
+                    }
+                    let idx = affinity_server(&self.by_pop, pop_idx, video.id);
+                    let server = &mut self.servers[idx];
+                    for &rung in &warm_rungs {
+                        let k = ObjectKey {
+                            video: video.id,
+                            chunk: ChunkIndex(0),
+                            bitrate_kbps: rung,
+                        };
+                        let size = video.chunk_bytes(ChunkIndex(0), rung);
+                        server.cache_mut().fill(k, size);
+                        server.cache_mut().pin(k);
+                    }
+                }
+            }
+        }
+        if !self.cfg.warm_caches {
+            return;
+        }
+
+        // Pass 1: disk, most popular first, until ~90 % full per server.
+        // Pass 2: RAM the same way — so RAM ends up holding the *head* of
+        // the popularity distribution, as an LRU in steady state would.
+        for ram_pass in [false, true] {
+            for video in catalog.videos() {
+                for pop_idx in 0..self.pops.len() {
+                    if self.by_pop[pop_idx].is_empty() {
+                        continue;
+                    }
+                    let idx = affinity_server(&self.by_pop, pop_idx, video.id);
+                    let cache = self.servers[idx].cache_mut();
+                    // Manifests are a few KB and requested by every
+                    // session: always warm, in both tiers — even for
+                    // videos whose chunks no longer fit.
+                    if ram_pass {
+                        cache.fill_ram(ObjectKey::manifest(video.id), crate::cache::MANIFEST_BYTES);
+                    } else {
+                        cache.fill_disk(ObjectKey::manifest(video.id), crate::cache::MANIFEST_BYTES);
+                    }
+                    let full = if ram_pass {
+                        cache.ram().used() as f64 >= 0.9 * cache.ram().capacity() as f64
+                    } else {
+                        cache.disk().used() as f64 >= 0.9 * cache.disk().capacity() as f64
+                    };
+                    if full {
+                        continue;
+                    }
+                    let rungs = if ram_pass { &ram_rungs } else { &warm_rungs };
+                    // Steady-state caches hold the union of what past
+                    // viewers pulled, and viewers abandon mid-video: the
+                    // head of the catalog is warmed end-to-end, the tail
+                    // only through a watch-prefix. Sessions that outlast
+                    // the warmed prefix then mix hits and misses (the
+                    // paper's 60 % mean miss ratio within miss sessions).
+                    let head = video.id.rank() * 5 <= self.catalog_len;
+                    let warmed_chunks = if head {
+                        video.chunk_count()
+                    } else {
+                        let frac = 0.72
+                            + 0.28 * (derive_seed(video.id.raw(), "warm-frac") % 1000) as f64
+                                / 1000.0;
+                        ((f64::from(video.chunk_count()) * frac).ceil() as u32)
+                            .clamp(1, video.chunk_count())
+                    };
+                    for &rung in rungs {
+                        for c in 0..warmed_chunks {
+                            let k = ObjectKey {
+                                video: video.id,
+                                chunk: ChunkIndex(c),
+                                bitrate_kbps: rung,
+                            };
+                            let size = video.chunk_bytes(ChunkIndex(c), rung);
+                            if ram_pass {
+                                cache.fill_ram(k, size);
+                            } else {
+                                cache.fill_disk(k, size);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_workload::catalog::CatalogConfig;
+
+    fn small_catalog() -> Catalog {
+        let mut rng = RngStream::new(3, "fleet-cat");
+        Catalog::generate(
+            &CatalogConfig {
+                videos: 500,
+                ..CatalogConfig::default()
+            },
+            &mut rng,
+        )
+    }
+
+    fn fleet(cfg: FleetConfig) -> CdnFleet {
+        CdnFleet::new(cfg, 42)
+    }
+
+    #[test]
+    fn eighty_five_servers_across_all_pops() {
+        let f = fleet(FleetConfig::default());
+        assert_eq!(f.len(), 85);
+        for (i, pop_members) in f.by_pop.iter().enumerate() {
+            assert!(
+                !pop_members.is_empty(),
+                "PoP {i} has no servers with 85 machines over 10 PoPs"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_stable_and_geo_local() {
+        let mut f = fleet(FleetConfig::default());
+        let cat = small_catalog();
+        f.warm(&cat);
+        let seattle = GeoPoint {
+            lat: 47.6,
+            lon: -122.3,
+        };
+        let a = f.assign(&seattle, VideoId(7), SessionId(1));
+        let b = f.assign(&seattle, VideoId(7), SessionId(999));
+        assert_eq!(a, b, "affinity mapping must not depend on session");
+        assert_eq!(f.pop_of(a).metro, "Seattle-WA");
+        assert!(f.distance_km(a, &seattle) < 50.0);
+    }
+
+    #[test]
+    fn different_videos_spread_within_pop() {
+        let mut f = fleet(FleetConfig::default());
+        let cat = small_catalog();
+        f.warm(&cat);
+        let ny = GeoPoint {
+            lat: 40.7,
+            lon: -74.0,
+        };
+        let mut targets = std::collections::HashSet::new();
+        for v in 0..100 {
+            targets.insert(f.assign(&ny, VideoId(v), SessionId(0)));
+        }
+        assert!(targets.len() > 1, "content hash should use several servers");
+    }
+
+    #[test]
+    fn partition_popular_spreads_head_by_session() {
+        let mut f = fleet(FleetConfig {
+            partition_popular: true,
+            ..FleetConfig::default()
+        });
+        let cat = small_catalog();
+        f.warm(&cat);
+        let ny = GeoPoint {
+            lat: 40.7,
+            lon: -74.0,
+        };
+        let head_video = VideoId(0); // rank 1: within the top 10%
+        let mut targets = std::collections::HashSet::new();
+        for s in 0..50 {
+            targets.insert(f.assign(&ny, head_video, SessionId(s)));
+        }
+        assert!(
+            targets.len() > 1,
+            "popular content should spread across the PoP"
+        );
+        // Tail content stays affinity-mapped.
+        let tail_video = VideoId(499);
+        let mut tail_targets = std::collections::HashSet::new();
+        for s in 0..50 {
+            tail_targets.insert(f.assign(&ny, tail_video, SessionId(s)));
+        }
+        assert_eq!(tail_targets.len(), 1);
+    }
+
+    #[test]
+    fn warming_includes_manifests() {
+        let mut f = fleet(FleetConfig::default());
+        let cat = small_catalog();
+        f.warm(&cat);
+        let ny = GeoPoint {
+            lat: 40.7,
+            lon: -74.0,
+        };
+        // Every video's manifest is warm on its affinity server — even the
+        // least popular video's.
+        for v in [VideoId(0), VideoId(250), VideoId(499)] {
+            let idx = f.assign(&ny, v, SessionId(0));
+            assert!(
+                f.servers()[idx].cache().contains(ObjectKey::manifest(v)),
+                "manifest of {v} not warmed"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_videos_get_partial_watch_prefix_warm() {
+        let mut f = fleet(FleetConfig::default());
+        let cat = small_catalog();
+        f.warm(&cat);
+        let ny = GeoPoint {
+            lat: 40.7,
+            lon: -74.0,
+        };
+        // Find a long tail video (rank beyond the head fifth) and check
+        // that its early chunks are warmer than its last chunk somewhere.
+        let mid_rung = cat.ladder().floor_rung(1_200.0);
+        let mut partial_seen = false;
+        for v in cat.videos().iter().filter(|v| {
+            v.id.rank() * 5 > cat.len() && v.chunk_count() >= 10
+        }) {
+            let idx = f.assign(&ny, v.id, SessionId(0));
+            let server = &f.servers()[idx];
+            let first = ObjectKey {
+                video: v.id,
+                chunk: ChunkIndex(0),
+                bitrate_kbps: mid_rung,
+            };
+            let last = ObjectKey {
+                video: v.id,
+                chunk: ChunkIndex(v.chunk_count() - 1),
+                bitrate_kbps: mid_rung,
+            };
+            if server.cache().contains(first) && !server.cache().contains(last) {
+                partial_seen = true;
+                break;
+            }
+        }
+        assert!(
+            partial_seen,
+            "no tail video shows the watch-prefix warm pattern"
+        );
+    }
+
+    #[test]
+    fn warming_fills_caches() {
+        let mut f = fleet(FleetConfig::default());
+        let cat = small_catalog();
+        f.warm(&cat);
+        let warmed_bytes: u64 = f
+            .servers()
+            .iter()
+            .map(|s| s.cache().ram().used() + s.cache().disk().used())
+            .sum();
+        assert!(warmed_bytes > 0, "warm() stored nothing");
+    }
+
+    #[test]
+    fn pinned_first_chunks_always_hit() {
+        let mut f = fleet(FleetConfig {
+            pin_first_chunks: true,
+            warm_caches: false,
+            ..FleetConfig::default()
+        });
+        let cat = small_catalog();
+        f.warm(&cat);
+        let ladder_mid = cat.ladder().floor_rung(1_200.0);
+        let ny = GeoPoint {
+            lat: 40.7,
+            lon: -74.0,
+        };
+        // Even the least popular video's first chunk is cached.
+        let v = VideoId(499);
+        let idx = f.assign(&ny, v, SessionId(0));
+        let key = ObjectKey {
+            video: v,
+            chunk: ChunkIndex(0),
+            bitrate_kbps: ladder_mid,
+        };
+        assert!(f.servers()[idx].cache().contains(key));
+    }
+
+    #[test]
+    fn prefetch_list_respects_video_end() {
+        let f = fleet(FleetConfig {
+            prefetch: PrefetchPolicy::NextChunksOnMiss(5),
+            ..FleetConfig::default()
+        });
+        let cat = small_catalog();
+        let v = cat.videos().iter().find(|v| v.chunk_count() >= 4).unwrap();
+        let near_end = ObjectKey {
+            video: v.id,
+            chunk: ChunkIndex(v.chunk_count() - 2),
+            bitrate_kbps: 1050,
+        };
+        let list = f.prefetch_list(&cat, near_end);
+        assert_eq!(list.len(), 1, "only one chunk remains after {near_end:?}");
+        let start = ObjectKey {
+            video: v.id,
+            chunk: ChunkIndex(0),
+            bitrate_kbps: 1050,
+        };
+        let list = f.prefetch_list(&cat, start);
+        assert_eq!(list.len(), 5.min(v.chunk_count() as usize - 1));
+    }
+
+    #[test]
+    fn no_prefetch_by_default() {
+        let f = fleet(FleetConfig::default());
+        let cat = small_catalog();
+        let key = ObjectKey {
+            video: VideoId(0),
+            chunk: ChunkIndex(0),
+            bitrate_kbps: 1050,
+        };
+        assert!(f.prefetch_list(&cat, key).is_empty());
+    }
+}

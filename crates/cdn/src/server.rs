@@ -1,0 +1,313 @@
+//! One CDN server: tiered cache + ATS serve path + load tracking.
+
+use crate::ats::{AtsConfig, AtsTimings, BackendConfig, CacheStatus, ServeOutcome};
+use crate::cache::{ObjectKey, TieredCache, TieredCacheConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use streamlab_sim::{RngStream, SimDuration, SimTime};
+use streamlab_workload::{PopId, ServerId};
+
+/// Per-server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServerConfig {
+    /// Cache tier sizes and policy.
+    pub cache: TieredCacheConfig,
+    /// Serve-path latency parameters.
+    pub ats: AtsConfig,
+    /// Backend latency parameters.
+    pub backend: BackendConfig,
+}
+
+/// Aggregate serving statistics, used by the §4.1.3 load-vs-performance
+/// analysis and the fleet report.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Chunks served.
+    pub requests: u64,
+    /// RAM hits.
+    pub ram_hits: u64,
+    /// Disk hits.
+    pub disk_hits: u64,
+    /// Backend misses.
+    pub misses: u64,
+    /// Sum of total server latency (for means), seconds.
+    pub total_latency_s: f64,
+    /// Chunks on which the open-read retry timer fired.
+    pub retry_fired: u64,
+    /// Bytes served.
+    pub bytes: u64,
+}
+
+impl ServerStats {
+    /// Mean total server latency, ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_s * 1.0e3 / self.requests as f64
+        }
+    }
+
+    /// Cache miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A CDN server machine.
+#[derive(Debug)]
+pub struct CdnServer {
+    id: ServerId,
+    pop: PopId,
+    cache: TieredCache,
+    timings: AtsTimings,
+    rng: RngStream,
+    /// Arrival times of recent requests (sliding 1 s window), the load
+    /// proxy: "We estimated load as number of parallel HTTP requests,
+    /// sessions, or bytes served per second" (§4.1 footnote).
+    recent: VecDeque<SimTime>,
+    stats: ServerStats,
+}
+
+impl CdnServer {
+    /// Build a server.
+    pub fn new(id: ServerId, pop: PopId, cfg: ServerConfig, rng: RngStream) -> Self {
+        CdnServer {
+            id,
+            pop,
+            cache: TieredCache::new(cfg.cache),
+            timings: AtsTimings::new(cfg.ats, cfg.backend),
+            rng,
+            recent: VecDeque::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Server identity.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Hosting PoP.
+    pub fn pop(&self) -> PopId {
+        self.pop
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Direct cache access (warming, inspection).
+    pub fn cache_mut(&mut self) -> &mut TieredCache {
+        &mut self.cache
+    }
+
+    /// Shared cache view.
+    pub fn cache(&self) -> &TieredCache {
+        &self.cache
+    }
+
+    /// Requests in the last second ending at `now` (load proxy).
+    pub fn load(&self, now: SimTime) -> u32 {
+        let window = SimDuration::from_secs(1);
+        self.recent
+            .iter()
+            .filter(|&&t| now.duration_since(t) <= window)
+            .count() as u32
+    }
+
+    fn note_request(&mut self, now: SimTime) {
+        let window = SimDuration::from_secs(1);
+        while let Some(&front) = self.recent.front() {
+            if now.duration_since(front) > window {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.recent.push_back(now);
+    }
+
+    /// Serve one chunk request arriving at `now`.
+    ///
+    /// `rank` is the video's popularity rank (drives cold-disk seek cost);
+    /// `prefetch` lists `(key, size)` pairs of subsequent chunks that
+    /// should be pulled into the cache in the background when this request
+    /// misses (the §4.1.2 prefetch take-away; empty when disabled).
+    pub fn serve(
+        &mut self,
+        key: ObjectKey,
+        size: u64,
+        rank: usize,
+        now: SimTime,
+        prefetch: &[(ObjectKey, u64)],
+    ) -> ServeOutcome {
+        self.note_request(now);
+        let concurrent = self.recent.len() as u32;
+
+        let d_wait = self.timings.sample_wait(concurrent, &mut self.rng);
+        let d_open = self.timings.sample_open(&mut self.rng);
+        let status = self.cache.fetch(key, size);
+        let (d_read, d_backend, retry_fired) = self.timings.sample_read(status, rank, &mut self.rng);
+        if status == CacheStatus::Miss {
+            // Admission gate: one-hit wonders may not be worth a slot.
+            if self.cache.should_admit(key, &mut self.rng) {
+                self.cache.fill(key, size);
+            }
+            // Background prefetch of the session's subsequent chunks: they
+            // land in cache without delaying this response. Prefetch
+            // deliberately bypasses admission — it exists precisely to
+            // commit to the rest of an already-requested video.
+            for &(k, s) in prefetch {
+                if !self.cache.contains(k) {
+                    self.cache.fill(k, s);
+                }
+            }
+        }
+
+        self.stats.requests += 1;
+        self.stats.bytes += size;
+        match status {
+            CacheStatus::RamHit => self.stats.ram_hits += 1,
+            CacheStatus::DiskHit => self.stats.disk_hits += 1,
+            CacheStatus::Miss => self.stats.misses += 1,
+        }
+        if retry_fired {
+            self.stats.retry_fired += 1;
+        }
+        let outcome = ServeOutcome {
+            d_wait,
+            d_open,
+            d_read,
+            d_backend,
+            status,
+            retry_fired,
+        };
+        self.stats.total_latency_s += outcome.total().as_secs_f64();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_workload::{ChunkIndex, VideoId};
+
+    fn key(v: u64, c: u32) -> ObjectKey {
+        ObjectKey {
+            video: VideoId(v),
+            chunk: ChunkIndex(c),
+            bitrate_kbps: 1050,
+        }
+    }
+
+    fn server() -> CdnServer {
+        CdnServer::new(
+            ServerId(0),
+            PopId(0),
+            ServerConfig::default(),
+            RngStream::new(5, "server-test"),
+        )
+    }
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn miss_then_hit_sequence() {
+        let mut s = server();
+        let o1 = s.serve(key(1, 0), MB, 10, SimTime::from_secs(1), &[]);
+        assert_eq!(o1.status, CacheStatus::Miss);
+        assert!(o1.retry_fired);
+        assert!(o1.d_backend > SimDuration::ZERO);
+        let o2 = s.serve(key(1, 0), MB, 10, SimTime::from_secs(2), &[]);
+        assert_eq!(o2.status, CacheStatus::RamHit);
+        assert!(o2.d_backend.is_zero());
+        assert!(o2.total() < o1.total());
+    }
+
+    #[test]
+    fn stats_account_every_request() {
+        let mut s = server();
+        for i in 0..10 {
+            s.serve(key(i, 0), MB, 10, SimTime::from_secs(i), &[]);
+        }
+        for i in 0..5 {
+            s.serve(key(i, 0), MB, 10, SimTime::from_secs(20 + i), &[]);
+        }
+        let st = s.stats();
+        assert_eq!(st.requests, 15);
+        assert_eq!(st.misses, 10);
+        assert_eq!(st.ram_hits + st.disk_hits, 5);
+        assert_eq!(st.bytes, 15 * MB);
+        assert!(st.mean_latency_ms() > 0.0);
+        assert!((st.miss_ratio() - 10.0 / 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prefetch_warms_subsequent_chunks() {
+        let mut s = server();
+        let next: Vec<(ObjectKey, u64)> = (1..4).map(|c| (key(1, c), MB)).collect();
+        let o = s.serve(key(1, 0), MB, 10, SimTime::from_secs(1), &next);
+        assert_eq!(o.status, CacheStatus::Miss);
+        // The session's next chunks now hit.
+        for c in 1..4 {
+            let o = s.serve(key(1, c), MB, 10, SimTime::from_secs(1 + u64::from(c)), &[]);
+            assert!(o.status.is_hit(), "chunk {c} should be prefetched");
+        }
+    }
+
+    #[test]
+    fn load_window_slides() {
+        let mut s = server();
+        for i in 0..20 {
+            s.serve(key(i, 0), MB, 10, SimTime::from_millis(100 * i), &[]);
+        }
+        // At t=2.0 s only requests within [1.0, 2.0] count: t=1.0..1.9.
+        assert_eq!(s.load(SimTime::from_secs(2)), 10);
+        assert_eq!(s.load(SimTime::from_secs(60)), 0);
+    }
+
+    #[test]
+    fn second_hit_admission_defers_caching() {
+        let mut s = CdnServer::new(
+            ServerId(0),
+            PopId(0),
+            ServerConfig {
+                cache: TieredCacheConfig {
+                    admission: crate::cache::AdmissionPolicy::OnSecondRequest,
+                    ..TieredCacheConfig::default()
+                },
+                ..ServerConfig::default()
+            },
+            RngStream::new(6, "server-adm"),
+        );
+        // First request: miss, NOT cached.
+        let o1 = s.serve(key(1, 0), MB, 10, SimTime::from_secs(1), &[]);
+        assert_eq!(o1.status, CacheStatus::Miss);
+        // Second request: still a miss (first one was not admitted)...
+        let o2 = s.serve(key(1, 0), MB, 10, SimTime::from_secs(2), &[]);
+        assert_eq!(o2.status, CacheStatus::Miss);
+        // ...but now it is cached: third request hits.
+        let o3 = s.serve(key(1, 0), MB, 10, SimTime::from_secs(3), &[]);
+        assert!(o3.status.is_hit());
+    }
+
+    #[test]
+    fn deterministic_serving() {
+        let run = || {
+            let mut s = server();
+            (0..20)
+                .map(|i| {
+                    s.serve(key(i % 7, 0), MB, 10, SimTime::from_secs(i), &[])
+                        .total()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the cache layer: under arbitrary request
+//! sequences, every policy preserves the capacity and accounting
+//! invariants.
+
+use proptest::prelude::*;
+use streamlab_cdn::{ByteCache, EvictionPolicy, ObjectKey, TieredCache, TieredCacheConfig};
+use streamlab_workload::{ChunkIndex, VideoId};
+
+fn key(v: u8, c: u8) -> ObjectKey {
+    ObjectKey {
+        video: VideoId(u64::from(v)),
+        chunk: ChunkIndex(u32::from(c)),
+        bitrate_kbps: 1050,
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u8, u8),
+    Insert(u8, u8, u64),
+    Remove(u8, u8),
+    Pin(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u8..8).prop_map(|(v, c)| Op::Lookup(v % 32, c)),
+        (any::<u8>(), 0u8..8, 1u64..5_000).prop_map(|(v, c, s)| Op::Insert(v % 32, c, s)),
+        (any::<u8>(), 0u8..8).prop_map(|(v, c)| Op::Remove(v % 32, c)),
+        (any::<u8>(), 0u8..8).prop_map(|(v, c)| Op::Pin(v % 32, c)),
+    ]
+}
+
+fn policies() -> impl Strategy<Value = EvictionPolicy> {
+    prop_oneof![
+        Just(EvictionPolicy::Lru),
+        Just(EvictionPolicy::PerfectLfu),
+        Just(EvictionPolicy::GdSize),
+        Just(EvictionPolicy::Fifo),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_invariants_under_arbitrary_ops(
+        policy in policies(),
+        capacity in 1_000u64..50_000,
+        ops in proptest::collection::vec(op_strategy(), 1..300)
+    ) {
+        let mut cache = ByteCache::new(policy, capacity);
+        let mut inserted_sizes: std::collections::HashMap<ObjectKey, u64> =
+            std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                Op::Lookup(v, c) => {
+                    let hit = cache.lookup(key(v, c));
+                    prop_assert_eq!(hit, inserted_sizes.contains_key(&key(v, c)) && cache.contains(key(v, c)));
+                }
+                Op::Insert(v, c, s) => {
+                    let evicted = cache.insert(key(v, c), s);
+                    for (k, size) in &evicted {
+                        // Evicted sizes must match what was inserted.
+                        prop_assert_eq!(inserted_sizes.get(k), Some(size));
+                        inserted_sizes.remove(k);
+                    }
+                    if cache.contains(key(v, c)) {
+                        inserted_sizes.entry(key(v, c)).or_insert(s);
+                    }
+                }
+                Op::Remove(v, c) => {
+                    cache.remove(key(v, c));
+                    inserted_sizes.remove(&key(v, c));
+                }
+                Op::Pin(v, c) => cache.pin(key(v, c)),
+            }
+            // The core invariants, after every operation:
+            prop_assert!(cache.used() <= cache.capacity(), "over capacity");
+            let tracked: u64 = inserted_sizes
+                .iter()
+                .filter(|(k, _)| cache.contains(**k))
+                .map(|(_, s)| *s)
+                .sum();
+            prop_assert_eq!(cache.used(), tracked, "byte accounting drifted");
+        }
+        let (hits, misses) = cache.stats();
+        prop_assert!(hits + misses <= 300);
+    }
+
+    #[test]
+    fn tiered_cache_never_loses_track(
+        policy in policies(),
+        ops in proptest::collection::vec((any::<u8>(), 0u8..6, 500u64..4_000), 1..200)
+    ) {
+        let mut t = TieredCache::new(TieredCacheConfig {
+            ram_bytes: 10_000,
+            disk_bytes: 40_000,
+            policy,
+            admission: streamlab_cdn::AdmissionPolicy::Always,
+        });
+        for (v, c, s) in ops {
+            let k = key(v % 16, c);
+            let status = t.fetch(k, s);
+            if !status.is_hit() {
+                t.fill(k, s);
+            }
+            prop_assert!(t.ram().used() <= t.ram().capacity());
+            prop_assert!(t.disk().used() <= t.disk().capacity());
+            // After a fill the object is somewhere (it fits in both tiers).
+            prop_assert!(t.contains(k));
+        }
+    }
+
+    #[test]
+    fn fetch_miss_then_fill_then_hit(policy in policies(), v in any::<u8>(), s in 100u64..5_000) {
+        let mut t = TieredCache::new(TieredCacheConfig {
+            ram_bytes: 100_000,
+            disk_bytes: 100_000,
+            policy,
+            admission: streamlab_cdn::AdmissionPolicy::Always,
+        });
+        let k = key(v, 0);
+        prop_assert!(!t.fetch(k, s).is_hit());
+        t.fill(k, s);
+        prop_assert!(t.fetch(k, s).is_hit());
+    }
+}

@@ -1,0 +1,316 @@
+//! Adaptive-bitrate (ABR) algorithms.
+//!
+//! The paper's deployed ABR is "tuned and tested in the wild to balance
+//! between low startup delay, low re-buffering rate, high quality and
+//! smoothness" (§2). We implement the standard families the related work
+//! covers — rate-based (FESTIVE-style), buffer-based (BBA), and a hybrid —
+//! plus the *outlier-robust* rate estimator the paper's §4.3 take-away
+//! recommends (exclude download-stack-buffered chunks from throughput
+//! estimation, or they poison the moving average).
+
+use serde::{Deserialize, Serialize};
+use streamlab_workload::BitrateLadder;
+
+/// Everything an ABR may look at when choosing the next chunk's bitrate.
+#[derive(Debug, Clone)]
+pub struct AbrContext<'a> {
+    /// The available ladder.
+    pub ladder: &'a BitrateLadder,
+    /// Observed per-chunk delivery throughputs so far, kbps, oldest first
+    /// (client-side estimates: `chunk bits / (D_FB + D_LB)`).
+    pub throughput_kbps: &'a [f64],
+    /// Current playback-buffer level, seconds.
+    pub buffer_s: f64,
+    /// Index of the chunk about to be requested (0 = first).
+    pub next_chunk: u32,
+}
+
+/// Which ABR algorithm a player runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AbrAlgorithm {
+    /// Mean of the last `window` throughput samples, scaled by a safety
+    /// factor, quantized down onto the ladder.
+    RateBased {
+        /// Samples in the moving window.
+        window: usize,
+    },
+    /// Buffer-based (BBA-style): map the buffer level linearly between a
+    /// reservoir and a cushion onto the ladder.
+    BufferBased {
+        /// Below this buffer level (s), pick the minimum rate.
+        reservoir_s: f64,
+        /// Above this level (s), pick the maximum rate.
+        cushion_s: f64,
+    },
+    /// Rate-based choice, capped by what the buffer can absorb: the safety
+    /// factor shrinks when the buffer is low.
+    Hybrid {
+        /// Samples in the moving window.
+        window: usize,
+    },
+    /// Rate-based, but throughput samples more than 2σ from the window
+    /// mean are excluded first (the §4.3.1 take-away: transient
+    /// download-stack buffering produces impossible instantaneous
+    /// throughputs that overshoot naive estimators).
+    RobustRate {
+        /// Samples in the moving window.
+        window: usize,
+    },
+}
+
+impl Default for AbrAlgorithm {
+    fn default() -> Self {
+        AbrAlgorithm::RateBased { window: 5 }
+    }
+}
+
+/// A configured ABR instance.
+#[derive(Debug, Clone)]
+pub struct Abr {
+    algorithm: AbrAlgorithm,
+    /// Multiplied into the rate estimate before quantization.
+    safety: f64,
+    /// Bitrate for the very first chunk, when nothing is known.
+    initial_kbps: u32,
+}
+
+impl Abr {
+    /// Standard configuration: 0.8 safety, upper-mid-ladder start (the
+    /// paper's service starts at a quality high enough that the first
+    /// chunk carries TCP all the way through slow start).
+    pub fn new(algorithm: AbrAlgorithm, ladder: &BitrateLadder) -> Self {
+        Abr {
+            algorithm,
+            safety: 0.8,
+            initial_kbps: ladder.floor_rung(f64::from(ladder.max_kbps()) * 0.8),
+        }
+    }
+
+    /// Conservative variant: start at the lowest rung (the paper suggests
+    /// this for prefixes with known persistent problems, §4.2.1).
+    pub fn conservative(algorithm: AbrAlgorithm, ladder: &BitrateLadder) -> Self {
+        Abr {
+            algorithm,
+            safety: 0.7,
+            initial_kbps: ladder.min_kbps(),
+        }
+    }
+
+    /// The algorithm in use.
+    pub fn algorithm(&self) -> AbrAlgorithm {
+        self.algorithm
+    }
+
+    /// Choose the bitrate for the next chunk.
+    pub fn choose(&self, ctx: &AbrContext<'_>) -> u32 {
+        if ctx.next_chunk == 0 || ctx.throughput_kbps.is_empty() {
+            return self.initial_kbps;
+        }
+        match self.algorithm {
+            AbrAlgorithm::RateBased { window } => {
+                let est = mean_tail(ctx.throughput_kbps, window);
+                ctx.ladder.floor_rung(est * self.safety)
+            }
+            AbrAlgorithm::RobustRate { window } => {
+                let est = robust_mean_tail(ctx.throughput_kbps, window);
+                ctx.ladder.floor_rung(est * self.safety)
+            }
+            AbrAlgorithm::BufferBased {
+                reservoir_s,
+                cushion_s,
+            } => {
+                let rungs = &ctx.ladder.rungs_kbps;
+                if ctx.buffer_s <= reservoir_s {
+                    return ctx.ladder.min_kbps();
+                }
+                if ctx.buffer_s >= cushion_s {
+                    return ctx.ladder.max_kbps();
+                }
+                let f = (ctx.buffer_s - reservoir_s) / (cushion_s - reservoir_s);
+                let idx = (f * (rungs.len() - 1) as f64).floor() as usize;
+                rungs[idx.min(rungs.len() - 1)]
+            }
+            AbrAlgorithm::Hybrid { window } => {
+                let est = mean_tail(ctx.throughput_kbps, window);
+                // Low buffer → be shy; full buffer → trust the estimate.
+                let buffer_factor = (ctx.buffer_s / 20.0).clamp(0.5, 1.0);
+                ctx.ladder.floor_rung(est * self.safety * buffer_factor)
+            }
+        }
+    }
+}
+
+/// Mean of the last `window` samples.
+fn mean_tail(samples: &[f64], window: usize) -> f64 {
+    let tail = &samples[samples.len().saturating_sub(window.max(1))..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// Mean of the last `window` samples after discarding outliers relative
+/// to the window *median*.
+///
+/// The paper's Eq. 4 screens with mean ± 2σ, which works across a whole
+/// session's chunks; in a short ABR window a single extreme sample drags
+/// the mean and σ so far that it can never exceed 2σ of itself (the max
+/// z-score in a window of n is √(n−1)). A median-anchored filter is the
+/// small-window-safe equivalent: samples more than 2× away from the
+/// median (either direction) are dropped.
+fn robust_mean_tail(samples: &[f64], window: usize) -> f64 {
+    let tail = &samples[samples.len().saturating_sub(window.max(1))..];
+    let n = tail.len() as f64;
+    let mean = tail.iter().sum::<f64>() / n;
+    if tail.len() < 3 {
+        return mean;
+    }
+    let mut sorted = tail.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let kept: Vec<f64> = tail
+        .iter()
+        .copied()
+        .filter(|&x| x <= 3.0 * median && x >= median / 3.0)
+        .collect();
+    if kept.is_empty() {
+        mean
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> BitrateLadder {
+        BitrateLadder::default()
+    }
+
+    fn ctx<'a>(
+        ladder: &'a BitrateLadder,
+        tputs: &'a [f64],
+        buffer_s: f64,
+        next_chunk: u32,
+    ) -> AbrContext<'a> {
+        AbrContext {
+            ladder,
+            throughput_kbps: tputs,
+            buffer_s,
+            next_chunk,
+        }
+    }
+
+    #[test]
+    fn first_chunk_uses_initial_rate() {
+        let l = ladder();
+        let abr = Abr::new(AbrAlgorithm::default(), &l);
+        let c = ctx(&l, &[], 0.0, 0);
+        assert_eq!(abr.choose(&c), 2350); // 80% of 3000 → floor 2350
+        let cons = Abr::conservative(AbrAlgorithm::default(), &l);
+        assert_eq!(cons.choose(&c), 235);
+    }
+
+    #[test]
+    fn rate_based_tracks_throughput() {
+        let l = ladder();
+        let abr = Abr::new(AbrAlgorithm::RateBased { window: 3 }, &l);
+        let fast = [4000.0, 4200.0, 3900.0];
+        assert_eq!(abr.choose(&ctx(&l, &fast, 10.0, 3)), 3000);
+        let slow = [700.0, 650.0, 720.0];
+        // mean ≈ 690 * 0.8 = 552 → rung 375.
+        assert_eq!(abr.choose(&ctx(&l, &slow, 10.0, 3)), 375);
+    }
+
+    #[test]
+    fn rate_based_poisoned_by_stack_outlier() {
+        // One impossible instantaneous-throughput sample (Fig. 17) drags a
+        // naive mean up two rungs; the robust variant ignores it.
+        let l = ladder();
+        let naive = Abr::new(AbrAlgorithm::RateBased { window: 5 }, &l);
+        let robust = Abr::new(AbrAlgorithm::RobustRate { window: 5 }, &l);
+        let samples = [900.0, 950.0, 80_000.0, 920.0, 910.0];
+        let naive_pick = naive.choose(&ctx(&l, &samples, 10.0, 5));
+        let robust_pick = robust.choose(&ctx(&l, &samples, 10.0, 5));
+        assert!(naive_pick >= 3000, "naive overshoots: {naive_pick}");
+        // Robust estimate ≈ 920 kbps; with the 0.8 safety factor that
+        // quantizes down to the 560 kbps rung.
+        assert_eq!(robust_pick, 560, "robust should track the ~920 kbps");
+    }
+
+    #[test]
+    fn buffer_based_maps_buffer_to_ladder() {
+        let l = ladder();
+        let abr = Abr::new(
+            AbrAlgorithm::BufferBased {
+                reservoir_s: 5.0,
+                cushion_s: 20.0,
+            },
+            &l,
+        );
+        assert_eq!(abr.choose(&ctx(&l, &[1000.0], 2.0, 1)), 235);
+        assert_eq!(abr.choose(&ctx(&l, &[1000.0], 25.0, 1)), 3000);
+        let mid = abr.choose(&ctx(&l, &[1000.0], 12.0, 1));
+        assert!(mid > 235 && mid < 3000, "mid-buffer pick = {mid}");
+    }
+
+    #[test]
+    fn buffer_based_is_monotone_in_buffer() {
+        let l = ladder();
+        let abr = Abr::new(
+            AbrAlgorithm::BufferBased {
+                reservoir_s: 5.0,
+                cushion_s: 20.0,
+            },
+            &l,
+        );
+        let mut last = 0;
+        for b in [0.0, 6.0, 9.0, 12.0, 15.0, 18.0, 21.0] {
+            let pick = abr.choose(&ctx(&l, &[1000.0], b, 1));
+            assert!(pick >= last, "non-monotone at buffer {b}");
+            last = pick;
+        }
+    }
+
+    #[test]
+    fn hybrid_is_shy_when_buffer_is_low() {
+        let l = ladder();
+        let abr = Abr::new(AbrAlgorithm::Hybrid { window: 3 }, &l);
+        let tputs = [2500.0, 2500.0, 2500.0];
+        let low = abr.choose(&ctx(&l, &tputs, 2.0, 3));
+        let high = abr.choose(&ctx(&l, &tputs, 30.0, 3));
+        assert!(low < high, "low-buffer {low} vs high-buffer {high}");
+    }
+
+    #[test]
+    fn robust_equals_naive_without_outliers() {
+        let l = ladder();
+        let naive = Abr::new(AbrAlgorithm::RateBased { window: 5 }, &l);
+        let robust = Abr::new(AbrAlgorithm::RobustRate { window: 5 }, &l);
+        let clean = [1800.0, 1900.0, 1850.0, 1820.0, 1880.0];
+        assert_eq!(
+            naive.choose(&ctx(&l, &clean, 10.0, 5)),
+            robust.choose(&ctx(&l, &clean, 10.0, 5))
+        );
+    }
+
+    #[test]
+    fn choices_stay_on_ladder() {
+        let l = ladder();
+        for algo in [
+            AbrAlgorithm::RateBased { window: 4 },
+            AbrAlgorithm::RobustRate { window: 4 },
+            AbrAlgorithm::BufferBased {
+                reservoir_s: 5.0,
+                cushion_s: 20.0,
+            },
+            AbrAlgorithm::Hybrid { window: 4 },
+        ] {
+            let abr = Abr::new(algo, &l);
+            for t in [10.0, 100.0, 1000.0, 1.0e7] {
+                for b in [0.0, 10.0, 40.0] {
+                    let pick = abr.choose(&ctx(&l, &[t, t, t], b, 7));
+                    assert!(l.rung_index(pick).is_some(), "{pick} not on ladder");
+                }
+            }
+        }
+    }
+}

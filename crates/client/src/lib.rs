@@ -1,0 +1,35 @@
+//! # streamlab-client
+//!
+//! The client-side substrate: everything between the NIC and the screen.
+//!
+//! The paper (§2, §4.3, §4.4) models the client as two independent
+//! execution paths sharing host resources:
+//!
+//! * the **download path** "moves" chunks from the NIC to the player
+//!   through OS → browser → Flash runtime → player ([`stack`]), adding
+//!   download-stack latency `D_DS` to the first-byte delay (Eq. 1) — with
+//!   per-platform persistent components (Table 5), a first-chunk
+//!   event-listener setup cost (Fig. 18), and rare transient whole-chunk
+//!   buffering that inflates instantaneous throughput (Fig. 17);
+//! * the **rendering path** demuxes, decodes and renders frames
+//!   ([`render`]), dropping frames when the CPU budget or the chunk arrival
+//!   rate (the 1.5 s/s rule of Fig. 19) falls short.
+//!
+//! On top of those sit the player's [`abr`] algorithms (rate-based,
+//! buffer-based, hybrid, and the outlier-robust variant the paper's §4.3
+//! take-away recommends) and the [`player`] playback buffer that converts
+//! delivery timing into startup delay and rebuffering events — the QoE
+//! metrics every figure keys on.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod abr;
+pub mod player;
+pub mod render;
+pub mod stack;
+
+pub use abr::{Abr, AbrAlgorithm, AbrContext};
+pub use player::{PlaybackBuffer, PlayerConfig};
+pub use render::{RenderOutcome, RenderPath};
+pub use stack::{DownloadStack, StackConfig, StackDelivery};

@@ -1,0 +1,370 @@
+//! The playback buffer and its QoE accounting.
+//!
+//! "As a chunk is downloaded, it is added to the playback buffer. If the
+//! playback buffer does not contain enough data, the player pauses and
+//! waits for sufficient data; in case of an already playing video, this
+//! causes a rebuffering event." (§2.1, playout phase.)
+//!
+//! This module is a pure state machine over simulated time: the session
+//! orchestrator feeds it chunk-delivery instants, it reports startup delay,
+//! rebuffer events/durations (`bufcount` / `bufdur`) and buffer levels —
+//! the masking buffer that makes *when* a loss happens matter more than
+//! how many losses there are (Figs. 13/14).
+
+use serde::{Deserialize, Serialize};
+use streamlab_sim::{SimDuration, SimTime};
+
+/// Player buffering policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlayerConfig {
+    /// Playback starts once this much video is buffered, seconds.
+    pub startup_threshold_s: f64,
+    /// After a stall, playback resumes at this level, seconds.
+    pub resume_threshold_s: f64,
+    /// The player stops requesting ahead beyond this level, seconds.
+    pub max_buffer_s: f64,
+    /// QoE-driven abandonment: end the session once total rebuffering
+    /// exceeds this many seconds. `None` (the default, and the paper's
+    /// model) keeps watch time user-driven. Dobrian et al. and Krishnan &
+    /// Sitaraman — the QoE literature the paper builds on — showed stalls
+    /// causally reduce engagement; this switch lets the simulator study
+    /// that coupling.
+    pub abandon_after_stall_s: Option<f64>,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        PlayerConfig {
+            startup_threshold_s: 6.0,
+            resume_threshold_s: 6.0,
+            max_buffer_s: 30.0,
+            abandon_after_stall_s: None,
+        }
+    }
+}
+
+/// Playback state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum State {
+    /// Waiting for the initial buffer.
+    Startup,
+    /// Playing.
+    Playing,
+    /// Stalled mid-session (a rebuffering event is in progress).
+    Rebuffering,
+}
+
+/// The playback buffer of one session.
+#[derive(Debug, Clone)]
+pub struct PlaybackBuffer {
+    cfg: PlayerConfig,
+    state: State,
+    /// Seconds of video buffered.
+    level_s: f64,
+    /// Simulation time of the last state update.
+    clock: SimTime,
+    session_start: SimTime,
+    started_at: Option<SimTime>,
+    stall_began: Option<SimTime>,
+    rebuffer_count: u32,
+    rebuffer_total: SimDuration,
+    played_s: f64,
+}
+
+impl PlaybackBuffer {
+    /// A fresh buffer for a session starting at `start`.
+    pub fn new(cfg: PlayerConfig, start: SimTime) -> Self {
+        PlaybackBuffer {
+            cfg,
+            state: State::Startup,
+            level_s: 0.0,
+            clock: start,
+            session_start: start,
+            started_at: None,
+            stall_began: None,
+            rebuffer_count: 0,
+            rebuffer_total: SimDuration::ZERO,
+            played_s: 0.0,
+        }
+    }
+
+    /// Current buffer level, seconds of video.
+    pub fn level_s(&self) -> f64 {
+        self.level_s
+    }
+
+    /// True once playback has started.
+    pub fn has_started(&self) -> bool {
+        self.started_at.is_some()
+    }
+
+    /// True while a mid-session stall is in progress.
+    pub fn is_stalled(&self) -> bool {
+        self.state == State::Rebuffering
+    }
+
+    /// Startup delay (player-perceived time-to-play), if playback started.
+    pub fn startup_delay(&self) -> Option<SimDuration> {
+        self.started_at.map(|t| t.duration_since(self.session_start))
+    }
+
+    /// Number of mid-session rebuffering events so far.
+    pub fn rebuffer_count(&self) -> u32 {
+        self.rebuffer_count
+    }
+
+    /// Total stalled time so far.
+    pub fn rebuffer_total(&self) -> SimDuration {
+        self.rebuffer_total
+    }
+
+    /// Seconds of video played out so far.
+    pub fn played_s(&self) -> f64 {
+        self.played_s
+    }
+
+    /// True when the QoE-abandonment policy (if configured) says the
+    /// viewer has given up.
+    pub fn should_abandon(&self) -> bool {
+        match self.cfg.abandon_after_stall_s {
+            Some(limit) => self.rebuffer_total.as_secs_f64() > limit,
+            None => false,
+        }
+    }
+
+    /// Rebuffering rate: stalled time over (stalled + played) time — the
+    /// metric of Figs. 11c/12.
+    pub fn rebuffer_rate(&self) -> f64 {
+        let stalled = self.rebuffer_total.as_secs_f64();
+        let denom = stalled + self.played_s;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            stalled / denom
+        }
+    }
+
+    /// Advance the wall clock to `t`, consuming buffer while playing.
+    /// Returns the stall time newly accrued in this interval.
+    pub fn advance_to(&mut self, t: SimTime) -> SimDuration {
+        if t <= self.clock {
+            return SimDuration::ZERO;
+        }
+        let dt = t.duration_since(self.clock).as_secs_f64();
+        self.clock = t;
+        match self.state {
+            State::Startup | State::Rebuffering => {
+                // Nothing plays; stall clocks accrue for rebuffering only
+                // (startup wait is accounted as startup delay instead).
+                if self.state == State::Rebuffering {
+                    let stalled = SimDuration::from_secs_f64(dt);
+                    self.rebuffer_total += stalled;
+                    return stalled;
+                }
+                SimDuration::ZERO
+            }
+            State::Playing => {
+                if self.level_s >= dt {
+                    self.level_s -= dt;
+                    self.played_s += dt;
+                    SimDuration::ZERO
+                } else {
+                    // The buffer ran dry mid-interval: play what was there,
+                    // then stall for the remainder.
+                    let played = self.level_s;
+                    let stalled_s = dt - played;
+                    self.played_s += played;
+                    self.level_s = 0.0;
+                    self.state = State::Rebuffering;
+                    self.rebuffer_count += 1;
+                    self.stall_began = Some(t - SimDuration::from_secs_f64(stalled_s));
+                    let stalled = SimDuration::from_secs_f64(stalled_s);
+                    self.rebuffer_total += stalled;
+                    stalled
+                }
+            }
+        }
+    }
+
+    /// A chunk carrying `chunk_secs` of video finished downloading at `t`.
+    /// Returns the stall time accrued since the last call (for per-chunk
+    /// attribution of `bufdur`).
+    pub fn add_chunk(&mut self, t: SimTime, chunk_secs: f64) -> SimDuration {
+        let stalled = self.advance_to(t);
+        self.level_s += chunk_secs;
+        match self.state {
+            State::Startup => {
+                if self.level_s >= self.cfg.startup_threshold_s {
+                    self.state = State::Playing;
+                    self.started_at = Some(self.clock);
+                }
+            }
+            State::Rebuffering => {
+                if self.level_s >= self.cfg.resume_threshold_s {
+                    self.state = State::Playing;
+                    self.stall_began = None;
+                }
+            }
+            State::Playing => {}
+        }
+        stalled
+    }
+
+    /// Should the player request the next chunk right now, or is the
+    /// buffer full? Returns the time the player must wait before the next
+    /// request (zero when it can request immediately).
+    pub fn request_backoff(&self) -> SimDuration {
+        if self.level_s <= self.cfg.max_buffer_s {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(self.level_s - self.cfg.max_buffer_s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn startup_waits_for_threshold() {
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        assert!(!b.has_started());
+        b.add_chunk(t(1.0), 3.0);
+        assert!(!b.has_started(), "3 s < 6 s startup threshold");
+        b.add_chunk(t(2.0), 3.0);
+        assert!(b.has_started());
+        assert_eq!(b.startup_delay(), Some(SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn steady_delivery_never_stalls() {
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        b.add_chunk(t(0.5), 6.0);
+        b.add_chunk(t(1.0), 6.0); // started with 12 s buffered
+        for i in 2..20 {
+            let stalled = b.add_chunk(t(i as f64 * 6.0), 6.0);
+            assert!(stalled.is_zero(), "stall at chunk {i}");
+        }
+        assert_eq!(b.rebuffer_count(), 0);
+        assert!(b.rebuffer_rate() < 1e-9);
+    }
+
+    #[test]
+    fn late_chunk_causes_one_stall() {
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        b.add_chunk(t(0.5), 6.0); // playback starts at 0.5 with 6 s
+        // Next chunk arrives at 12.0: buffer dries up at 6.5.
+        let stalled = b.add_chunk(t(12.0), 6.0);
+        assert_eq!(b.rebuffer_count(), 1);
+        assert!((stalled.as_secs_f64() - 5.5).abs() < 1e-9, "{stalled}");
+        assert!((b.rebuffer_total().as_secs_f64() - 5.5).abs() < 1e-9);
+        // 6 s played + 5.5 s stalled.
+        assert!((b.rebuffer_rate() - 5.5 / 11.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_resumes_at_resume_threshold() {
+        let cfg = PlayerConfig {
+            startup_threshold_s: 6.0,
+            resume_threshold_s: 12.0,
+            max_buffer_s: 30.0,
+            abandon_after_stall_s: None,
+        };
+        let mut b = PlaybackBuffer::new(cfg, t(0.0));
+        b.add_chunk(t(0.0), 6.0); // starts immediately
+        b.advance_to(t(7.0)); // dry at 6.0, stalled 1 s
+        assert!(b.is_stalled());
+        b.add_chunk(t(8.0), 6.0); // 6 s < 12 s resume: still stalled
+        assert!(b.is_stalled());
+        let stalled = b.add_chunk(t(9.0), 6.0); // 12 s: resumes
+        assert!(!b.is_stalled());
+        assert!(stalled > SimDuration::ZERO);
+        assert_eq!(b.rebuffer_count(), 1, "one continuous stall, one event");
+    }
+
+    #[test]
+    fn early_buffer_masks_late_gap() {
+        // The Fig. 13 mechanism: a big buffer built early absorbs a long
+        // delivery gap later with no rebuffering.
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        for i in 0..5 {
+            b.add_chunk(t(0.2 * (i + 1) as f64), 6.0); // 30 s buffered by t=1
+        }
+        // 20-second delivery gap.
+        let stalled = b.add_chunk(t(21.0), 6.0);
+        assert!(stalled.is_zero());
+        assert_eq!(b.rebuffer_count(), 0);
+        // The same gap with no pre-buffer stalls (contrast case).
+        let mut c = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        c.add_chunk(t(0.2), 6.0);
+        let stalled = c.add_chunk(t(21.0), 6.0);
+        assert!(stalled > SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn request_backoff_when_buffer_full() {
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        for i in 0..6 {
+            b.add_chunk(t(0.1 * (i + 1) as f64), 6.0);
+        }
+        assert!(b.level_s() > 30.0);
+        assert!(b.request_backoff() > SimDuration::ZERO);
+        // After playing for a while the backoff clears.
+        b.advance_to(t(10.0));
+        assert_eq!(b.request_backoff(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn played_seconds_accumulate() {
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        b.add_chunk(t(0.0), 6.0);
+        b.add_chunk(t(3.0), 6.0);
+        b.advance_to(t(9.0));
+        assert!((b.played_s() - 9.0).abs() < 1e-9);
+        assert!((b.level_s() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_backwards_is_a_noop() {
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        b.add_chunk(t(5.0), 6.0);
+        let lvl = b.level_s();
+        assert_eq!(b.advance_to(t(2.0)), SimDuration::ZERO);
+        assert_eq!(b.level_s(), lvl);
+    }
+
+    #[test]
+    fn abandonment_triggers_after_stall_budget() {
+        let cfg = PlayerConfig {
+            abandon_after_stall_s: Some(5.0),
+            ..PlayerConfig::default()
+        };
+        let mut b = PlaybackBuffer::new(cfg, t(0.0));
+        b.add_chunk(t(0.0), 6.0); // playing immediately
+        assert!(!b.should_abandon());
+        b.advance_to(t(10.0)); // dry at 6.0 → 4 s stalled
+        assert!(!b.should_abandon());
+        b.advance_to(t(12.0)); // 6 s stalled > 5 s budget
+        assert!(b.should_abandon());
+        // Without the policy, never.
+        let mut c = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        c.add_chunk(t(0.0), 6.0);
+        c.advance_to(t(1000.0));
+        assert!(!c.should_abandon());
+    }
+
+    #[test]
+    fn startup_wait_is_not_rebuffering() {
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
+        b.advance_to(t(30.0)); // half a minute of nothing
+        assert_eq!(b.rebuffer_count(), 0);
+        assert!(b.rebuffer_total().is_zero());
+        b.add_chunk(t(31.0), 6.0);
+        assert_eq!(b.startup_delay(), Some(SimDuration::from_secs(31)));
+    }
+}

@@ -1,0 +1,331 @@
+//! The rendering path: demux → decode → render, with frame drops.
+//!
+//! §4.4 of the paper: without hardware (GPU) rendering, frames are decoded
+//! and rendered by the CPU, making quality sensitive to CPU utilization;
+//! a chunk arriving slower than **1.5 seconds of video per second** leaves
+//! too little slack for the processing pipeline and frames drop (Fig. 19);
+//! beyond 1.5 s/s the framerate stops improving. Browsers differ in how
+//! efficiently they move frames (internal Flash and native HLS beat
+//! subprocess Flash; unpopular browsers are worst — Figs. 21/22); hidden
+//! players drop frames *by design* to save CPU.
+
+use serde::{Deserialize, Serialize};
+use streamlab_sim::RngStream;
+use streamlab_workload::{Browser, Os};
+
+/// Encoded frames per second of the content.
+pub const CONTENT_FPS: f64 = 30.0;
+
+/// Relative CPU cost multiplier of the browser's rendering path.
+///
+/// 1.0 = Chrome's internal (pepper) Flash. Orderings follow Figs. 21/22:
+/// Chrome and Safari-on-Mac best, Firefox's protected-mode subprocess
+/// middling, the unpopular tail (Yandex, Vivaldi, Opera, Safari-on-Windows)
+/// worst.
+pub fn browser_efficiency(os: Os, browser: Browser) -> f64 {
+    use Browser::*;
+    use Os::*;
+    match (os, browser) {
+        (MacOs, Safari) => 0.95, // native HLS path
+        (_, Chrome) => 1.0,
+        (_, Edge) => 1.12,
+        (_, InternetExplorer) => 1.18,
+        (_, Firefox) => 1.3,
+        (_, Opera) => 1.65,
+        (_, Vivaldi) => 1.8,
+        (Windows, Safari) => 1.95,
+        (Linux, Safari) => 2.0,
+        (_, Yandex) => 2.05,
+        (_, SeaMonkey) => 1.9,
+    }
+}
+
+/// The rendering result for one chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderOutcome {
+    /// Frames the chunk carries.
+    pub frames: u32,
+    /// Frames dropped (`dropfr` in Table 2).
+    pub dropped: u32,
+    /// Average rendered framerate (`avgfr`).
+    pub avg_fps: f64,
+}
+
+impl RenderOutcome {
+    /// Fraction of frames dropped.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            f64::from(self.dropped) / f64::from(self.frames)
+        }
+    }
+}
+
+/// The rendering path of one session.
+#[derive(Debug)]
+pub struct RenderPath {
+    /// Hardware rendering available (GPU decode + composite).
+    gpu: bool,
+    /// Client core count.
+    cores: u8,
+    /// Background CPU utilization, fraction of the whole machine.
+    background_load: f64,
+    /// Browser/OS cost multiplier.
+    efficiency: f64,
+    rng: RngStream,
+}
+
+impl RenderPath {
+    /// Build the rendering path for a session.
+    pub fn new(
+        os: Os,
+        browser: Browser,
+        gpu: bool,
+        cores: u8,
+        background_load: f64,
+        rng: RngStream,
+    ) -> Self {
+        RenderPath {
+            gpu,
+            cores: cores.max(1),
+            background_load: background_load.clamp(0.0, 1.0),
+            efficiency: browser_efficiency(os, browser),
+            rng,
+        }
+    }
+
+    /// True when hardware rendering is in use.
+    pub fn uses_gpu(&self) -> bool {
+        self.gpu
+    }
+
+    /// Render one chunk.
+    ///
+    /// * `chunk_secs` — seconds of video in the chunk;
+    /// * `bitrate_kbps` — encoded bitrate (decode cost scales with it);
+    /// * `download_rate` — seconds-of-video per wall-second for this chunk,
+    ///   `τ / (D_FB + D_LB)` (the Fig. 19 x-axis);
+    /// * `visible` — the `vis` flag; hidden players drop frames by design;
+    /// * `buffer_s` — playback-buffer level when the chunk starts playing;
+    ///   buffered frames mask a slow arrival (the paper's 5.7 % of chunks
+    ///   with low rate but good rendering).
+    pub fn render_chunk(
+        &mut self,
+        chunk_secs: f64,
+        bitrate_kbps: u32,
+        download_rate: f64,
+        visible: bool,
+        buffer_s: f64,
+    ) -> RenderOutcome {
+        let frames = (chunk_secs * CONTENT_FPS).round().max(1.0) as u32;
+
+        if !visible {
+            // Hidden tab / minimized window: frames dropped to save CPU.
+            let ratio = self.rng.uniform_range(0.6, 0.95);
+            return self.outcome(frames, ratio);
+        }
+        if self.gpu {
+            // Hardware rendering: near-zero drops (Fig. 20, first bar).
+            let ratio = self.rng.uniform_range(0.0, 0.01);
+            return self.outcome(frames, ratio);
+        }
+
+        // --- software rendering ---
+        // Demand: demux+decode+render of this bitrate on this browser,
+        // expressed in cores. 1050 kbps on Chrome ≈ 0.56 cores.
+        let demand = self.efficiency * (0.35 + 0.6 * f64::from(bitrate_kbps) / 3000.0);
+        // Supply: the player's fair share against the background threads
+        // (a preemptive scheduler never starves it completely), capped at
+        // 1.2 cores — the Flash rendering path is essentially
+        // single-threaded.
+        let cores = f64::from(self.cores);
+        let busy = cores * self.background_load;
+        let fair_share = cores * demand / (demand + busy);
+        let supply = fair_share.min(1.2);
+        let cpu_shortfall = if supply >= demand {
+            0.0
+        } else {
+            (demand - supply) / demand
+        };
+        // Scheduling interference grows with machine load even before the
+        // player's share is squeezed (cache pressure, context switches) —
+        // the gradual rise of Fig. 20.
+        let contention = 0.04 * self.background_load * self.background_load;
+
+        // Late arrival: below 1.5 s/s the pipeline has no slack; the
+        // shortfall grows toward 1 as the rate approaches 0 (Fig. 19).
+        // A full playback buffer hides it (frames already decoded ahead).
+        let late_shortfall = if download_rate >= 1.5 {
+            0.0
+        } else if buffer_s > 12.0 {
+            0.0
+        } else {
+            ((1.5 - download_rate.max(0.0)) / 1.5).clamp(0.0, 1.0) * 0.55
+        };
+
+        // Small irreducible software-rendering jitter.
+        let base = self.rng.uniform_range(0.0, 0.02);
+        let ratio = (base + contention + cpu_shortfall.max(late_shortfall)).clamp(0.0, 1.0);
+        self.outcome(frames, ratio)
+    }
+
+    fn outcome(&mut self, frames: u32, drop_ratio: f64) -> RenderOutcome {
+        // Binomial-ish realization of the drop ratio with mild noise.
+        let noisy = (drop_ratio * self.rng.uniform_range(0.85, 1.15)).clamp(0.0, 1.0);
+        let dropped = (f64::from(frames) * noisy).round() as u32;
+        let dropped = dropped.min(frames);
+        RenderOutcome {
+            frames,
+            dropped,
+            avg_fps: CONTENT_FPS * (1.0 - f64::from(dropped) / f64::from(frames)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(gpu: bool, cores: u8, load: f64, seed: u64) -> RenderPath {
+        RenderPath::new(
+            Os::Windows,
+            Browser::Chrome,
+            gpu,
+            cores,
+            load,
+            RngStream::new(seed, "render-test"),
+        )
+    }
+
+    fn mean_drop(path: &mut RenderPath, rate: f64, bitrate: u32, n: u32) -> f64 {
+        (0..n)
+            .map(|_| path.render_chunk(6.0, bitrate, rate, true, 0.0).drop_ratio())
+            .sum::<f64>()
+            / f64::from(n)
+    }
+
+    #[test]
+    fn gpu_renders_almost_everything() {
+        let mut p = path(true, 2, 0.9, 1);
+        let d = mean_drop(&mut p, 0.5, 3000, 200);
+        assert!(d < 0.02, "gpu drop = {d}");
+    }
+
+    #[test]
+    fn hidden_player_drops_by_design() {
+        let mut p = path(true, 8, 0.0, 2);
+        let o = p.render_chunk(6.0, 1050, 3.0, false, 30.0);
+        assert!(o.drop_ratio() > 0.5);
+        assert!(o.avg_fps < 15.0);
+    }
+
+    #[test]
+    fn fig19_knee_at_one_point_five() {
+        // Software rendering, idle CPU: drops fall as the download rate
+        // rises, flattening at 1.5 s/s (Fig. 19).
+        let mut p = path(false, 8, 0.0, 3);
+        let slow = mean_drop(&mut p, 0.5, 1050, 300);
+        let near = mean_drop(&mut p, 1.0, 1050, 300);
+        let at_knee = mean_drop(&mut p, 1.5, 1050, 300);
+        let fast = mean_drop(&mut p, 4.0, 1050, 300);
+        assert!(slow > near && near > at_knee, "{slow} > {near} > {at_knee}");
+        assert!(slow > 0.2, "slow-rate drops should be heavy: {slow}");
+        // Beyond the knee there is nothing left to gain.
+        assert!(
+            (at_knee - fast).abs() < 0.02,
+            "knee {at_knee} vs fast {fast}"
+        );
+        assert!(at_knee < 0.05);
+    }
+
+    #[test]
+    fn buffered_frames_mask_slow_arrival() {
+        let mut p = path(false, 8, 0.0, 4);
+        let unmasked = (0..300)
+            .map(|_| p.render_chunk(6.0, 1050, 0.8, true, 0.0).drop_ratio())
+            .sum::<f64>()
+            / 300.0;
+        let masked = (0..300)
+            .map(|_| p.render_chunk(6.0, 1050, 0.8, true, 25.0).drop_ratio())
+            .sum::<f64>()
+            / 300.0;
+        assert!(masked < 0.05, "masked = {masked}");
+        assert!(unmasked > 0.15, "unmasked = {unmasked}");
+    }
+
+    #[test]
+    fn cpu_load_increases_drops() {
+        // The Fig. 20 controlled experiment: 8 cores, load one core at a
+        // time, software rendering.
+        let mut drops = Vec::new();
+        for loaded_cores in 0..=8 {
+            let load = f64::from(loaded_cores) / 8.0;
+            let mut p = path(false, 8, load, 5);
+            drops.push(mean_drop(&mut p, 3.0, 1050, 200));
+        }
+        // Low load: fine. High load: visible drops, monotone-ish growth.
+        assert!(drops[0] < 0.03, "idle drop = {}", drops[0]);
+        assert!(
+            drops[8] > drops[0] + 0.05,
+            "fully loaded {} vs idle {}",
+            drops[8],
+            drops[0]
+        );
+        assert!(drops[8] > drops[4]);
+    }
+
+    #[test]
+    fn unpopular_browsers_render_worse() {
+        let mut worst = RenderPath::new(
+            Os::Windows,
+            Browser::Yandex,
+            false,
+            4,
+            0.3,
+            RngStream::new(6, "render-test"),
+        );
+        let mut best = RenderPath::new(
+            Os::Windows,
+            Browser::Chrome,
+            false,
+            4,
+            0.3,
+            RngStream::new(6, "render-test"),
+        );
+        let dw = mean_drop(&mut worst, 3.0, 2350, 300);
+        let db = mean_drop(&mut best, 3.0, 2350, 300);
+        assert!(dw > db, "yandex {dw} vs chrome {db}");
+    }
+
+    #[test]
+    fn efficiency_table_orderings() {
+        // Figs. 21/22 orderings.
+        let e = |os, b| browser_efficiency(os, b);
+        assert!(e(Os::MacOs, Browser::Safari) < e(Os::Windows, Browser::Firefox));
+        assert!(e(Os::Windows, Browser::Chrome) < e(Os::Windows, Browser::Firefox));
+        assert!(e(Os::Windows, Browser::Firefox) < e(Os::Windows, Browser::Opera));
+        assert!(e(Os::Windows, Browser::Opera) < e(Os::Windows, Browser::Safari));
+        assert!(e(Os::Windows, Browser::Vivaldi) > e(Os::Windows, Browser::Firefox));
+    }
+
+    #[test]
+    fn frames_scale_with_chunk_length() {
+        let mut p = path(true, 4, 0.0, 7);
+        assert_eq!(p.render_chunk(6.0, 1050, 2.0, true, 0.0).frames, 180);
+        assert_eq!(p.render_chunk(2.0, 1050, 2.0, true, 0.0).frames, 60);
+        assert_eq!(p.render_chunk(0.01, 1050, 2.0, true, 0.0).frames, 1);
+    }
+
+    #[test]
+    fn outcome_consistency() {
+        let mut p = path(false, 2, 0.8, 8);
+        for _ in 0..100 {
+            let o = p.render_chunk(6.0, 3000, 0.4, true, 0.0);
+            assert!(o.dropped <= o.frames);
+            assert!((0.0..=CONTENT_FPS).contains(&o.avg_fps));
+            let expect_fps = CONTENT_FPS * (1.0 - o.drop_ratio());
+            assert!((o.avg_fps - expect_fps).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the client substrate.
+
+use proptest::prelude::*;
+use streamlab_client::abr::{Abr, AbrAlgorithm, AbrContext};
+use streamlab_client::{DownloadStack, PlaybackBuffer, PlayerConfig, RenderPath, StackConfig};
+use streamlab_sim::{RngStream, SimDuration, SimTime};
+use streamlab_workload::{BitrateLadder, Browser, ChunkIndex, Os};
+
+fn any_os() -> impl Strategy<Value = Os> {
+    prop_oneof![Just(Os::Windows), Just(Os::MacOs), Just(Os::Linux)]
+}
+
+fn any_browser() -> impl Strategy<Value = Browser> {
+    prop_oneof![
+        Just(Browser::Chrome),
+        Just(Browser::Firefox),
+        Just(Browser::InternetExplorer),
+        Just(Browser::Edge),
+        Just(Browser::Safari),
+        Just(Browser::Opera),
+        Just(Browser::Yandex),
+        Just(Browser::Vivaldi),
+        Just(Browser::SeaMonkey),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn stack_preserves_byte_ordering(
+        os in any_os(),
+        browser in any_browser(),
+        seed in any::<u64>(),
+        chunks in proptest::collection::vec((1u64..10_000, 1u64..20_000), 1..30)
+    ) {
+        let mut stack = DownloadStack::new(os, browser, StackConfig::default(),
+            RngStream::new(seed, "prop-stack"));
+        let mut t = SimTime::ZERO;
+        for (i, (gap_ms, spread_ms)) in chunks.into_iter().enumerate() {
+            let first = t + SimDuration::from_millis(gap_ms);
+            let last = first + SimDuration::from_millis(spread_ms);
+            let d = stack.deliver(ChunkIndex(i as u32), first, last);
+            prop_assert!(d.player_first_byte < d.player_last_byte);
+            // The stack can only delay, never time-travel.
+            prop_assert!(d.player_first_byte >= first);
+            prop_assert!(d.player_last_byte >= first);
+            t = last;
+        }
+    }
+
+    #[test]
+    fn render_outcome_is_well_formed(
+        os in any_os(),
+        browser in any_browser(),
+        gpu in any::<bool>(),
+        cores in 1u8..16,
+        load in 0.0f64..1.0,
+        seed in any::<u64>(),
+        rate in 0.0f64..10.0,
+        bitrate in 100u32..5_000,
+        visible in any::<bool>(),
+        buffer in 0.0f64..40.0,
+    ) {
+        let mut r = RenderPath::new(os, browser, gpu, cores, load,
+            RngStream::new(seed, "prop-render"));
+        let o = r.render_chunk(6.0, bitrate, rate, visible, buffer);
+        prop_assert!(o.dropped <= o.frames);
+        prop_assert!(o.frames > 0);
+        prop_assert!((0.0..=30.0 + 1e-9).contains(&o.avg_fps));
+        prop_assert!((o.avg_fps - 30.0 * (1.0 - o.drop_ratio())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn abr_always_picks_a_ladder_rung(
+        tputs in proptest::collection::vec(0.1f64..1.0e6, 0..30),
+        buffer in 0.0f64..60.0,
+        next_chunk in 0u32..100,
+    ) {
+        let ladder = BitrateLadder::default();
+        for algo in [
+            AbrAlgorithm::RateBased { window: 5 },
+            AbrAlgorithm::RobustRate { window: 5 },
+            AbrAlgorithm::BufferBased { reservoir_s: 5.0, cushion_s: 20.0 },
+            AbrAlgorithm::Hybrid { window: 5 },
+        ] {
+            let abr = Abr::new(algo, &ladder);
+            let pick = abr.choose(&AbrContext {
+                ladder: &ladder,
+                throughput_kbps: &tputs,
+                buffer_s: buffer,
+                next_chunk,
+            });
+            prop_assert!(ladder.rung_index(pick).is_some(), "{pick} off-ladder");
+        }
+    }
+
+    #[test]
+    fn playback_buffer_conservation(
+        arrivals in proptest::collection::vec((1u64..20_000, 0.5f64..6.0), 1..50)
+    ) {
+        // Video in = video played + video buffered, and stall time only
+        // grows. Holds for any arrival pattern.
+        let mut b = PlaybackBuffer::new(PlayerConfig::default(), SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        let mut fed = 0.0;
+        let mut last_stall = SimDuration::ZERO;
+        for (gap_ms, secs) in arrivals {
+            t = t + SimDuration::from_millis(gap_ms);
+            b.add_chunk(t, secs);
+            fed += secs;
+            prop_assert!(b.level_s() >= -1e-9);
+            prop_assert!(b.played_s() >= -1e-9);
+            prop_assert!((b.level_s() + b.played_s() - fed).abs() < 1e-6,
+                "conservation violated: level {} + played {} != fed {}",
+                b.level_s(), b.played_s(), fed);
+            prop_assert!(b.rebuffer_total() >= last_stall);
+            last_stall = b.rebuffer_total();
+            prop_assert!((0.0..=1.0).contains(&b.rebuffer_rate()));
+        }
+        // Startup, once it happened, is fixed and non-negative.
+        if let Some(d) = b.startup_delay() {
+            prop_assert!(d.as_secs_f64() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn playback_never_stalls_with_generous_lead(
+        n in 2u32..40,
+    ) {
+        // All chunks delivered instantly at t=0: playout through the whole
+        // content (the buffer does not model end-of-video; the orchestrator
+        // stops advancing at the last chunk's playout) can never stall.
+        let mut b = PlaybackBuffer::new(PlayerConfig {
+            max_buffer_s: f64::INFINITY,
+            ..PlayerConfig::default()
+        }, SimTime::ZERO);
+        for _ in 0..n {
+            b.add_chunk(SimTime::ZERO, 6.0);
+        }
+        b.advance_to(SimTime::from_secs(u64::from(n) * 6));
+        prop_assert_eq!(b.rebuffer_count(), 0);
+        prop_assert!(b.rebuffer_total().is_zero());
+        prop_assert!((b.played_s() - f64::from(n) * 6.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,285 @@
+//! The `streamlab` command-line interface.
+//!
+//! ```text
+//! streamlab list                         # the experiment registry
+//! streamlab run [opts]                   # full report + exports
+//! streamlab experiment <id> [opts]       # one exhibit to stdout
+//! streamlab ablation [opts]              # the take-away comparison table
+//! streamlab recurrence [--days N] [opts] # the §4.2.1 multi-day study
+//! streamlab trace [opts]                 # write the workload trace as JSON
+//! streamlab replay <trace.json> [opts]   # replay a saved trace
+//! streamlab sweep [--seeds N] [opts]     # seed-robustness sweep
+//!
+//! options: --scale tiny|small|default   (default: small)
+//!          --seed N                     (default: 2016)
+//!          --out DIR                    (run only; default: streamlab-out)
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use streamlab::ablation;
+use streamlab::experiments::{full_report, run_experiment, ExperimentId};
+use streamlab::multiday::recurrence_study;
+use streamlab::telemetry::export;
+use streamlab::{Simulation, SimulationConfig};
+
+struct Opts {
+    scale: String,
+    seed: u64,
+    out: PathBuf,
+    days: usize,
+    rest: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        scale: "small".into(),
+        seed: 2016,
+        out: PathBuf::from("streamlab-out"),
+        days: 5,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = it.next().ok_or("--scale needs a value")?.clone();
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--days" => {
+                opts.days = it
+                    .next()
+                    .ok_or("--days needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad days: {e}"))?;
+            }
+            other => opts.rest.push(other.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn config(opts: &Opts) -> Result<SimulationConfig, String> {
+    match opts.scale.as_str() {
+        "tiny" => Ok(SimulationConfig::tiny(opts.seed)),
+        "small" => Ok(SimulationConfig::small(opts.seed)),
+        "default" => Ok(SimulationConfig::default_scale(opts.seed)),
+        other => Err(format!("unknown scale '{other}' (tiny|small|default)")),
+    }
+}
+
+fn find_experiment(name: &str) -> Option<ExperimentId> {
+    ExperimentId::all()
+        .iter()
+        .copied()
+        .find(|id| format!("{id:?}").eq_ignore_ascii_case(name))
+}
+
+fn usage() -> &'static str {
+    "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep> \
+     [--scale tiny|small|default] [--seed N] [--out DIR] [--days N]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match cmd.as_str() {
+        "list" => {
+            for id in ExperimentId::all() {
+                println!("{:<8} {}", format!("{id:?}"), id.title());
+            }
+            Ok(())
+        }
+        "run" => cmd_run(&opts),
+        "experiment" => cmd_experiment(&opts),
+        "ablation" => cmd_ablation(&opts),
+        "recurrence" => cmd_recurrence(&opts),
+        "trace" => cmd_trace(&opts),
+        "replay" => cmd_replay(&opts),
+        "sweep" => cmd_sweep(&opts),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts)?;
+    eprintln!(
+        "simulating {} sessions / {} videos / {} servers (seed {}) ...",
+        cfg.traffic.sessions,
+        cfg.catalog.videos,
+        cfg.fleet.servers,
+        opts.seed
+    );
+    let out = Simulation::new(cfg).run().map_err(|e| e.to_string())?;
+    fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
+
+    let report = full_report(&out);
+    fs::write(opts.out.join("report.txt"), &report).map_err(|e| e.to_string())?;
+
+    let mut all = serde_json::Map::new();
+    for &id in ExperimentId::all() {
+        all.insert(format!("{id:?}"), run_experiment(id, &out).json);
+    }
+    fs::write(
+        opts.out.join("figures.json"),
+        serde_json::to_string_pretty(&all).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let chunks = fs::File::create(opts.out.join("chunks.csv")).map_err(|e| e.to_string())?;
+    export::write_chunks_csv(&out.dataset, chunks).map_err(|e| e.to_string())?;
+    let sessions = fs::File::create(opts.out.join("sessions.csv")).map_err(|e| e.to_string())?;
+    export::write_sessions_csv(&out.dataset, sessions).map_err(|e| e.to_string())?;
+    let plots = streamlab::plot::emit_all(&out, &opts.out.join("plots")).map_err(|e| e.to_string())?;
+
+    println!("{report}");
+    eprintln!(
+        "wrote report.txt, figures.json, chunks.csv, sessions.csv and {plots} gnuplot scripts to {}",
+        opts.out.display()
+    );
+    Ok(())
+}
+
+fn cmd_experiment(opts: &Opts) -> Result<(), String> {
+    let name = opts
+        .rest
+        .first()
+        .ok_or("experiment needs an id, e.g. `streamlab experiment Fig05` (see `list`)")?;
+    let id = find_experiment(name).ok_or_else(|| format!("unknown experiment '{name}'"))?;
+    let cfg = config(opts)?;
+    let out = Simulation::new(cfg).run().map_err(|e| e.to_string())?;
+    let r = run_experiment(id, &out);
+    println!("== {} ==\n{}", r.title, r.text);
+    Ok(())
+}
+
+fn cmd_ablation(opts: &Opts) -> Result<(), String> {
+    use streamlab::cdn::{AdmissionPolicy, EvictionPolicy, PrefetchPolicy};
+    use streamlab::client::abr::AbrAlgorithm;
+    let cfg = config(opts)?;
+    type Tweak = fn(&mut SimulationConfig);
+    let variants: Vec<(&str, Tweak)> = vec![
+        ("baseline-lru", |_| {}),
+        ("perfect-lfu", |c| {
+            c.fleet.server.cache.policy = EvictionPolicy::PerfectLfu;
+        }),
+        ("gd-size", |c| {
+            c.fleet.server.cache.policy = EvictionPolicy::GdSize;
+        }),
+        ("prefetch", |c| {
+            c.fleet.prefetch = PrefetchPolicy::NextChunksOnMiss(5);
+        }),
+        ("pin-first-chunks", |c| {
+            c.fleet.pin_first_chunks = true;
+        }),
+        ("partition-popular", |c| {
+            c.fleet.partition_popular = true;
+        }),
+        ("pacing", |c| {
+            c.tcp.pacing = true;
+        }),
+        ("cubic", |c| {
+            c.tcp.congestion_control = streamlab::net::CongestionControl::Cubic;
+        }),
+        ("admission-2nd-hit", |c| {
+            c.fleet.server.cache.admission = AdmissionPolicy::OnSecondRequest;
+        }),
+        ("robust-abr", |c| {
+            c.abr = AbrAlgorithm::RobustRate { window: 5 };
+        }),
+    ];
+    let results = ablation::compare(&cfg, &variants).map_err(|e| e.to_string())?;
+    println!("{}", ablation::render(&results));
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts)?;
+    // Reuse --days as the seed count to keep the flag set small.
+    let seeds: Vec<u64> = (0..opts.days as u64).map(|i| opts.seed + i).collect();
+    eprintln!("sweeping {} seeds at the {} scale ...", seeds.len(), opts.scale);
+    let s = streamlab::sweep::run_seeds(&cfg, &seeds).map_err(|e| e.to_string())?;
+    println!("{}", streamlab::sweep::render(&s));
+    Ok(())
+}
+
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts)?;
+    let specs = streamlab::trace::generate_trace(&cfg);
+    fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
+    let path = opts.out.join("trace.json");
+    let file = fs::File::create(&path).map_err(|e| e.to_string())?;
+    streamlab::trace::save_trace(&specs, file).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} sessions to {}", specs.len(), path.display());
+    Ok(())
+}
+
+fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .rest
+        .first()
+        .ok_or("replay needs a trace file, e.g. `streamlab replay out/trace.json`")?;
+    let file = fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let specs = streamlab::trace::load_trace(file).map_err(|e| e.to_string())?;
+    eprintln!("replaying {} sessions ...", specs.len());
+    let cfg = config(opts)?;
+    let out = streamlab::trace::replay(cfg, specs).map_err(|e| e.to_string())?;
+    println!("{}", full_report(&out));
+    Ok(())
+}
+
+fn cmd_recurrence(opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts)?;
+    let study = recurrence_study(&cfg, opts.days, 100.0).map_err(|e| e.to_string())?;
+    println!(
+        "{} days at 100 ms tail threshold: {} prefixes ever in tail, {} persistent (top 10%)",
+        study.days,
+        study.ever_in_tail,
+        study.persistent.len()
+    );
+    println!(
+        "persistent set: {:.0}% non-US; close US tail {:.0}% enterprise; US median distance {:.0} km",
+        100.0 * study.persistent_non_us,
+        100.0 * study.close_enterprise_share,
+        study.us_distance_median_km
+    );
+    for p in study.persistent.iter().take(15) {
+        println!(
+            "  {}  freq={:.2}  dist={:.0}km  {}  {}",
+            p.prefix,
+            p.frequency(),
+            p.mean_distance_km,
+            if p.is_us { "US" } else { "intl" },
+            if p.enterprise { "enterprise" } else { "residential" },
+        );
+    }
+    Ok(())
+}

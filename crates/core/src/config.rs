@@ -1,0 +1,150 @@
+//! Simulation configuration and scale presets.
+
+use serde::{Deserialize, Serialize};
+use streamlab_cdn::{FleetConfig, TieredCacheConfig};
+use streamlab_client::abr::AbrAlgorithm;
+use streamlab_client::{PlayerConfig, StackConfig};
+use streamlab_net::{PropagationModel, TcpConfig};
+use streamlab_workload::catalog::CatalogConfig;
+use streamlab_workload::population::PopulationConfig;
+use streamlab_workload::session::TrafficConfig;
+
+/// Run scale, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Test-sized: hundreds of sessions.
+    Tiny,
+    /// Example-sized: a few thousand sessions.
+    Small,
+    /// Paper-shaped default: tens of thousands of sessions.
+    Default,
+}
+
+/// Full configuration of one simulated measurement window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Master seed; every random stream derives from it.
+    pub seed: u64,
+    /// Day index within a multi-day study (§4.2.1 measures tail-prefix
+    /// *recurrence* across days). The world — catalog, population, fleet —
+    /// is a pure function of `seed`; the traffic drawn on top varies with
+    /// `day`, exactly like re-observing the same deployment on another
+    /// date.
+    pub day: u64,
+    /// Scale tag.
+    pub scale: Scale,
+    /// Video catalog.
+    pub catalog: CatalogConfig,
+    /// Client population.
+    pub population: PopulationConfig,
+    /// Session arrivals and watch times.
+    pub traffic: TrafficConfig,
+    /// CDN fleet.
+    pub fleet: FleetConfig,
+    /// TCP sender parameters (pacing lives here).
+    pub tcp: TcpConfig,
+    /// Client download-stack model.
+    pub stack: StackConfig,
+    /// Player buffering policy.
+    pub player: PlayerConfig,
+    /// ABR algorithm used by all players in the run.
+    pub abr: AbrAlgorithm,
+    /// Distance → delay model.
+    pub propagation: PropagationModel,
+}
+
+impl SimulationConfig {
+    /// The paper-shaped default: 20 k sessions over a day, 10 k videos,
+    /// 85 servers.
+    pub fn default_scale(seed: u64) -> Self {
+        let mut catalog = CatalogConfig::default();
+        // 65 M sessions over Yahoo's catalog give each popular video many
+        // plays; at 20 k sessions the catalog must shrink accordingly so
+        // the sessions-per-video ratio (and hence cache reuse) survives
+        // the scale-down.
+        catalog.videos = 3_000;
+        SimulationConfig {
+            seed,
+            day: 0,
+            scale: Scale::Default,
+            catalog,
+            population: PopulationConfig::default(),
+            traffic: TrafficConfig::default(),
+            fleet: {
+                let mut fleet = FleetConfig::default();
+                fleet.server.cache = TieredCacheConfig {
+                    ram_bytes: 14 * 1024 * 1024 * 1024,
+                    disk_bytes: 120 * 1024 * 1024 * 1024,
+                    ..fleet.server.cache
+                };
+                fleet
+            },
+            tcp: TcpConfig::default(),
+            stack: StackConfig::default(),
+            player: PlayerConfig::default(),
+            abr: AbrAlgorithm::default(),
+            propagation: PropagationModel::default(),
+        }
+    }
+
+    /// Example-sized: a few thousand sessions; runs in seconds.
+    pub fn small(seed: u64) -> Self {
+        let mut cfg = Self::default_scale(seed);
+        cfg.scale = Scale::Small;
+        cfg.catalog.videos = 800;
+        cfg.population.prefixes = 800;
+        cfg.population.enterprises = 6;
+        cfg.traffic.sessions = 4_000;
+        cfg.fleet.servers = 40;
+        cfg.fleet.server.cache = TieredCacheConfig {
+            ram_bytes: 8 * 1024 * 1024 * 1024,
+            disk_bytes: 54 * 1024 * 1024 * 1024,
+            ..cfg.fleet.server.cache
+        };
+        cfg
+    }
+
+    /// Test-sized: hundreds of sessions; fast enough for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        let mut cfg = Self::default_scale(seed);
+        cfg.scale = Scale::Tiny;
+        cfg.catalog.videos = 200;
+        cfg.population.prefixes = 250;
+        cfg.population.enterprises = 4;
+        cfg.traffic.sessions = 600;
+        cfg.traffic.window = streamlab_sim::SimDuration::from_secs(4 * 3600);
+        cfg.fleet.servers = 20;
+        cfg.fleet.server.cache = TieredCacheConfig {
+            ram_bytes: 4 * 1024 * 1024 * 1024,
+            disk_bytes: 30 * 1024 * 1024 * 1024,
+            ..cfg.fleet.server.cache
+        };
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_shrink_monotonically() {
+        let d = SimulationConfig::default_scale(1);
+        let s = SimulationConfig::small(1);
+        let t = SimulationConfig::tiny(1);
+        assert!(d.traffic.sessions > s.traffic.sessions);
+        assert!(s.traffic.sessions > t.traffic.sessions);
+        assert!(d.catalog.videos > s.catalog.videos);
+        assert!(s.fleet.servers > t.fleet.servers);
+        assert!(t.fleet.servers >= 10, "need at least one server per PoP");
+    }
+
+    #[test]
+    fn config_serializes() {
+        let cfg = SimulationConfig::small(42);
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: SimulationConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.traffic.sessions, cfg.traffic.sessions);
+    }
+}

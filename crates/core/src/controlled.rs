@@ -1,0 +1,110 @@
+//! The §4.4 controlled rendering experiment (Fig. 20).
+//!
+//! The paper ran a lab experiment: a player in Firefox on an 8-core OS X
+//! machine streaming a 10-chunk video over GigE, first with hardware
+//! rendering, then with software rendering while loading one additional
+//! CPU core per iteration. We reproduce it by driving the rendering-path
+//! model directly — the network is a non-factor (download rate ≫ 1.5 s/s),
+//! exactly as in the lab setup.
+
+use serde::{Deserialize, Serialize};
+use streamlab_client::RenderPath;
+use streamlab_sim::RngStream;
+use streamlab_workload::{Browser, Os};
+
+/// One bar of Fig. 20.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig20Row {
+    /// Busy cores (0 with GPU = the "<10 %" hardware-rendering bar).
+    pub loaded_cores: u32,
+    /// True for the hardware-rendering bar.
+    pub hardware: bool,
+    /// Mean dropped-frame percentage over the streamed chunks.
+    pub dropped_pct: f64,
+}
+
+/// Run the controlled experiment: `chunks` chunks per configuration on an
+/// 8-core machine, GPU first, then software rendering at increasing load.
+pub fn fig20(seed: u64, chunks: u32) -> Vec<Fig20Row> {
+    const CORES: u8 = 8;
+    let mut rows = Vec::with_capacity(10);
+    let run = |gpu: bool, loaded: u32| -> f64 {
+        let mut path = RenderPath::new(
+            Os::MacOs,
+            Browser::Firefox,
+            gpu,
+            CORES,
+            f64::from(loaded) / f64::from(CORES),
+            RngStream::new(seed, &format!("fig20-{gpu}-{loaded}")),
+        );
+        let mut total = 0.0;
+        for _ in 0..chunks {
+            // GigE to a local server: download rate far above 1.5 s/s.
+            let o = path.render_chunk(6.0, 3000, 20.0, true, 12.0);
+            total += 100.0 * o.drop_ratio();
+        }
+        total / f64::from(chunks)
+    };
+    rows.push(Fig20Row {
+        loaded_cores: 0,
+        hardware: true,
+        dropped_pct: run(true, 0),
+    });
+    for loaded in 0..=8 {
+        rows.push(Fig20Row {
+            loaded_cores: loaded,
+            hardware: false,
+            dropped_pct: run(false, loaded),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_bar_is_lowest() {
+        let rows = fig20(1, 200);
+        let hw = rows.iter().find(|r| r.hardware).unwrap();
+        let max_sw = rows
+            .iter()
+            .filter(|r| !r.hardware)
+            .map(|r| r.dropped_pct)
+            .fold(0.0, f64::max);
+        assert!(hw.dropped_pct < 1.5, "hw = {}", hw.dropped_pct);
+        assert!(max_sw > hw.dropped_pct);
+    }
+
+    #[test]
+    fn drops_grow_with_load() {
+        let rows = fig20(2, 400);
+        let sw: Vec<&Fig20Row> = rows.iter().filter(|r| !r.hardware).collect();
+        assert_eq!(sw.len(), 9);
+        let idle = sw[0].dropped_pct;
+        let full = sw[8].dropped_pct;
+        assert!(full > idle + 2.0, "idle {idle} vs full {full}");
+        // Roughly monotone: each later bar at least 90% of the running max.
+        let mut running_max: f64 = 0.0;
+        for r in &sw {
+            assert!(
+                r.dropped_pct >= 0.9 * running_max - 0.5,
+                "non-monotone at {} cores: {} after max {}",
+                r.loaded_cores,
+                r.dropped_pct,
+                running_max
+            );
+            running_max = running_max.max(r.dropped_pct);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = fig20(3, 100);
+        let b = fig20(3, 100);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.dropped_pct, y.dropped_pct);
+        }
+    }
+}

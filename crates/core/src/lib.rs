@@ -1,0 +1,63 @@
+//! # streamlab
+//!
+//! An end-to-end, chunk-granular reproduction of *Performance
+//! Characterization of a Commercial Video Streaming Service* (Ghasemi et
+//! al., IMC 2016) as a deterministic simulator plus the paper's full
+//! measurement-analysis pipeline.
+//!
+//! The paper instruments a production service — 65 M sessions across
+//! Yahoo's CDN — at both ends of the delivery path and characterizes where
+//! performance is lost: the CDN server, the network, the client's download
+//! stack, and the client's rendering path. That trace is proprietary, so
+//! this crate regenerates an equivalent dataset from mechanism-level
+//! models (ATS-like cache fleet, Reno TCP over parameterized paths, a
+//! Flash-era player with ABR/download-stack/rendering models, a Zipf
+//! workload) and then runs *the same analyses the paper runs* to reproduce
+//! every figure and table.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use streamlab::{Simulation, SimulationConfig};
+//!
+//! // A scaled-down run (hundreds of sessions) that still shows the
+//! // paper-shaped behaviours.
+//! let cfg = SimulationConfig::tiny(7);
+//! let out = Simulation::new(cfg).run().expect("simulation");
+//! let stats = streamlab::analysis::figures::cdn::headline_stats(&out.dataset);
+//! assert!(stats.sessions > 0);
+//! // Cache misses cost an order of magnitude more than hits:
+//! assert!(stats.miss_median_ms > 10.0 * stats.hit_median_ms);
+//! ```
+//!
+//! The [`experiments`] module maps every paper exhibit (Fig. 3 … Fig. 22,
+//! Tables 4–5) to a runnable reproduction; `streamlab-bench` regenerates
+//! them all as Criterion benches, and `examples/` shows domain-specific
+//! usage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod config;
+pub mod controlled;
+pub mod experiments;
+pub mod multiday;
+pub mod plot;
+pub mod report;
+pub mod simulate;
+pub mod sweep;
+pub mod trace;
+
+pub use config::{Scale, SimulationConfig};
+pub use simulate::{RunOutput, ServerReport, SimError, Simulation};
+
+// Re-export the substrate crates under one roof, so downstream users need
+// a single dependency.
+pub use streamlab_analysis as analysis;
+pub use streamlab_cdn as cdn;
+pub use streamlab_client as client;
+pub use streamlab_net as net;
+pub use streamlab_sim as sim;
+pub use streamlab_telemetry as telemetry;
+pub use streamlab_workload as workload;

@@ -1,0 +1,306 @@
+//! The per-session state machine: one chunk request at a time through
+//! manifest → ABR → CDN serve → TCP delivery → download stack → playback
+//! buffer → rendering, emitting both sides' telemetry records.
+
+use streamlab_cdn::{CdnFleet, ObjectKey};
+use streamlab_client::abr::{Abr, AbrContext};
+use streamlab_client::{DownloadStack, PlaybackBuffer, RenderPath};
+use streamlab_net::TcpConnection;
+use streamlab_sim::{RngStream, SimTime};
+use streamlab_telemetry::records::{
+    CacheOutcome, CdnChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
+};
+use streamlab_telemetry::TelemetrySink;
+use streamlab_workload::{Catalog, ChunkIndex, Population, SessionSpec};
+
+/// The runtime state of one in-flight session.
+pub(super) struct SessionRuntime {
+    pub(super) spec: SessionSpec,
+    manifest_done: bool,
+    server_idx: usize,
+    distance_km: f64,
+    conn: TcpConnection,
+    stack: DownloadStack,
+    render: RenderPath,
+    buffer: PlaybackBuffer,
+    abr: Abr,
+    throughputs: Vec<f64>,
+    next_chunk: u32,
+    rng: RngStream,
+    player_records: Vec<PlayerChunkRecord>,
+    cdn_records: Vec<CdnChunkRecord>,
+}
+
+/// Process one chunk request for session `rt` at time `now`. Returns the
+/// time of the session's next request, or `None` when the session ended.
+
+impl SessionRuntime {
+    /// Assemble the runtime for one session: its network path (with
+    /// per-session variation within the prefix), TCP connection, download
+    /// stack, rendering path, playback buffer and ABR instance.
+    pub(super) fn new(
+        spec: SessionSpec,
+        cfg: &crate::config::SimulationConfig,
+        session_master: &RngStream,
+        catalog: &Catalog,
+        population: &Population,
+        fleet: &CdnFleet,
+    ) -> SessionRuntime {
+        use streamlab_net::PathProfile;
+        let mut rng = session_master.fork_indexed(spec.id.raw());
+        let prefix = population.prefix(spec.client.prefix);
+        let server_idx = fleet.assign(&prefix.location, spec.video, spec.id);
+        let distance_km = fleet.distance_km(server_idx, &prefix.location);
+        // A /24 spans many households/desks: individual sessions see the
+        // prefix's path character with per-session variation (this
+        // inter-session spread is what Fig. 10 aggregates). Enterprise
+        // prefixes are the most heterogeneous — the same office block
+        // mixes direct paths, VPN hairpins and branch backhauls.
+        let overhead_spread = match prefix.org_kind {
+            streamlab_workload::OrgKind::Enterprise => rng.uniform_range(0.3, 3.0),
+            streamlab_workload::OrgKind::Residential => rng.uniform_range(0.7, 1.5),
+        };
+        let path = PathProfile::from_parts(
+            &cfg.propagation,
+            distance_km,
+            prefix.path.last_mile_ms * rng.uniform_range(0.8, 1.4),
+            prefix.path.overhead_ms * overhead_spread,
+            prefix.path.bottleneck_mbps * rng.uniform_range(0.7, 1.3),
+            prefix.path.buffer_bdp,
+            prefix.path.random_loss * rng.uniform_range(0.5, 2.0),
+            prefix.path.jitter_sigma,
+            prefix.path.spike_prob * rng.uniform_range(0.5, 1.8),
+            prefix.path.spike_mult,
+        )
+        .with_congestion(
+            prefix.path.congestion_prob * rng.uniform_range(0.5, 1.8),
+            prefix.path.congestion_severity,
+        );
+        let conn = TcpConnection::new(path, cfg.tcp, spec.arrival, rng.fork("tcp"));
+        let stack = DownloadStack::new(
+            spec.client.os,
+            spec.client.browser,
+            cfg.stack,
+            rng.fork("stack"),
+        );
+        let render = RenderPath::new(
+            spec.client.os,
+            spec.client.browser,
+            spec.client.gpu,
+            spec.client.cpu_cores,
+            spec.client.background_load,
+            rng.fork("render"),
+        );
+        let buffer = PlaybackBuffer::new(cfg.player, spec.arrival);
+        let abr = Abr::new(cfg.abr, catalog.ladder());
+        SessionRuntime {
+            spec,
+            manifest_done: false,
+            server_idx,
+            distance_km,
+            conn,
+            stack,
+            render,
+            buffer,
+            abr,
+            throughputs: Vec::new(),
+            next_chunk: 0,
+            rng,
+            player_records: Vec::new(),
+            cdn_records: Vec::new(),
+        }
+    }
+}
+
+pub(super) fn step_chunk(
+    rt: &mut SessionRuntime,
+    now: SimTime,
+    catalog: &Catalog,
+    fleet: &mut CdnFleet,
+) -> Option<SimTime> {
+    let video = catalog.video(rt.spec.video);
+
+    // 0. The session opens by fetching the manifest (§2) — a small, hot
+    // object listing the available bitrates. It rides the same connection
+    // and serve path as the chunks, and its time lands in the startup
+    // delay.
+    let now = if rt.manifest_done {
+        now
+    } else {
+        rt.manifest_done = true;
+        let rtt0 = rt.conn.rtt0_sample(now);
+        let at_server = now + rtt0 / 2;
+        let outcome = fleet.server_mut(rt.server_idx).serve(
+            ObjectKey::manifest(rt.spec.video),
+            streamlab_cdn::MANIFEST_BYTES,
+            rt.spec.video.rank(),
+            at_server,
+            &[],
+        );
+        // A few KB fit the initial window: delivered one round-trip after
+        // the server's first byte.
+        at_server + outcome.total() + rtt0 / 2
+    };
+
+    let chunk = ChunkIndex(rt.next_chunk);
+    let chunk_secs = video.chunk_seconds(chunk);
+
+    // 1. ABR picks the bitrate.
+    let bitrate = rt.abr.choose(&AbrContext {
+        ladder: catalog.ladder(),
+        throughput_kbps: &rt.throughputs,
+        buffer_s: rt.buffer.level_s(),
+        next_chunk: rt.next_chunk,
+    });
+    let key = ObjectKey {
+        video: rt.spec.video,
+        chunk,
+        bitrate_kbps: bitrate,
+    };
+    let size = video.chunk_bytes(chunk, bitrate);
+
+    // 2. The GET crosses the network (half of rtt₀ out).
+    let rtt0 = rt.conn.rtt0_sample(now);
+    let at_server = now + rtt0 / 2;
+
+    // 3. The CDN serves (cache lookup, retry timer, backend, prefetch).
+    let prefetch = fleet.prefetch_list(catalog, key);
+    let rank = rt.spec.video.rank();
+    let outcome = fleet
+        .server_mut(rt.server_idx)
+        .serve(key, size, rank, at_server, &prefetch);
+
+    // 4. TCP delivers the bytes (self-loading, losses, snapshots).
+    let send_start = at_server + outcome.total();
+    let transfer = rt.conn.transfer(send_start, size);
+
+    // 5. The download stack hands bytes to the player.
+    let delivery = rt
+        .stack
+        .deliver(chunk, transfer.first_byte_at, transfer.last_byte_at);
+
+    let d_fb = delivery.player_first_byte.duration_since(now);
+    let d_lb = delivery
+        .player_last_byte
+        .duration_since(delivery.player_first_byte);
+
+    // 6. Playback buffer accounting (stall attribution to this chunk).
+    let rebuf_before = rt.buffer.rebuffer_count();
+    let stalled_a = rt.buffer.advance_to(delivery.player_last_byte);
+    let level_before_add = rt.buffer.level_s();
+    let stalled_b = rt.buffer.add_chunk(delivery.player_last_byte, chunk_secs);
+    let buf_dur = stalled_a + stalled_b;
+    let buf_count = rt.buffer.rebuffer_count() - rebuf_before;
+
+    // 7. Rendering.
+    let dl = (d_fb + d_lb).as_secs_f64();
+    let download_rate = if dl > 0.0 { chunk_secs / dl } else { f64::INFINITY };
+    let rendered = rt.render.render_chunk(
+        chunk_secs,
+        bitrate,
+        download_rate,
+        rt.spec.visible,
+        level_before_add,
+    );
+
+    // 8. Records.
+    rt.player_records.push(PlayerChunkRecord {
+        session: rt.spec.id,
+        chunk,
+        bitrate_kbps: bitrate,
+        requested_at: now,
+        d_fb,
+        d_lb,
+        chunk_secs,
+        buf_count,
+        buf_dur,
+        visible: rt.spec.visible,
+        avg_fps: rendered.avg_fps,
+        dropped_frames: rendered.dropped,
+        frames: rendered.frames,
+        truth: ChunkTruth {
+            dds: delivery.dds,
+            rtt0,
+            transient_buffered: delivery.transient_buffered,
+        },
+    });
+    rt.cdn_records.push(CdnChunkRecord {
+        session: rt.spec.id,
+        chunk,
+        d_wait: outcome.d_wait,
+        d_open: outcome.d_open,
+        d_read: outcome.d_read,
+        d_backend: outcome.d_backend,
+        cache: match outcome.status {
+            streamlab_cdn::CacheStatus::RamHit => CacheOutcome::RamHit,
+            streamlab_cdn::CacheStatus::DiskHit => CacheOutcome::DiskHit,
+            streamlab_cdn::CacheStatus::Miss => CacheOutcome::Miss,
+        },
+        retry_fired: outcome.retry_fired,
+        size_bytes: size,
+        served_at: at_server,
+        segments: transfer.segments,
+        retx_segments: transfer.retx,
+        tcp: transfer.snapshots,
+    });
+    rt.throughputs
+        .push(rt.player_records.last().expect("just pushed").observed_throughput_kbps());
+
+    // 9. Schedule the next request (immediately, unless the buffer is
+    // full — then after it drains to the high-water mark). A session ends
+    // when the user runs out of interest — or, with the QoE-abandonment
+    // policy enabled, out of patience.
+    rt.next_chunk += 1;
+    if rt.next_chunk >= rt.spec.chunks_watched || rt.buffer.should_abandon() {
+        return None;
+    }
+    let next_t = delivery.player_last_byte + rt.buffer.request_backoff();
+    rt.conn.idle_until(next_t);
+    Some(next_t)
+}
+
+/// Emit the session's beacons into the sink.
+pub(super) fn finalize_session(
+    rt: &mut SessionRuntime,
+    population: &Population,
+    fleet: &CdnFleet,
+    sink: &mut TelemetrySink,
+) {
+    let prefix = population.prefix(rt.spec.client.prefix);
+    let startup = rt
+        .buffer
+        .startup_delay()
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    // §3 filter signal (i): proxies rewrite the client IP / user agent
+    // seen by the CDN, detectable on ~90 % of proxied sessions.
+    let ua_mismatch = prefix.proxied && rt.rng.chance(0.9);
+    sink.session(SessionMeta {
+        session: rt.spec.id,
+        prefix: prefix.id,
+        video: rt.spec.video,
+        video_secs: 0.0_f64.max(rt.player_records.iter().map(|r| r.chunk_secs).sum()),
+        os: rt.spec.client.os,
+        browser: rt.spec.client.browser,
+        org: prefix.org.clone(),
+        org_kind: prefix.org_kind,
+        access: prefix.access,
+        region: prefix.region,
+        location: prefix.location,
+        pop: fleet.pop_of(rt.server_idx).id,
+        server: fleet.servers()[rt.server_idx].id(),
+        distance_km: rt.distance_km,
+        arrival: rt.spec.arrival,
+        startup_delay_s: startup,
+        proxied: prefix.proxied,
+        ua_mismatch,
+        gpu: rt.spec.client.gpu,
+        visible: rt.spec.visible,
+    });
+    for r in rt.player_records.drain(..) {
+        sink.player_chunk(r);
+    }
+    for r in rt.cdn_records.drain(..) {
+        sink.cdn_chunk(r);
+    }
+}

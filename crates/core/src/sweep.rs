@@ -1,0 +1,203 @@
+//! Multi-seed sweeps: quantify how robust the reproduced shapes are to the
+//! random seed.
+//!
+//! A measurement paper reports one production sample; a simulator can
+//! re-draw the world many times. The sweep runs the same configuration
+//! under several master seeds — in parallel, one OS thread per seed, since
+//! runs share nothing — and reports mean ± population-σ for the headline
+//! metrics. Integration tests use it to assert that the paper-shape
+//! invariants are not one-seed flukes.
+
+use crate::ablation::AblationMetrics;
+use crate::config::SimulationConfig;
+use crate::simulate::{SimError, Simulation};
+use serde::{Deserialize, Serialize};
+
+/// Mean and population standard deviation of one metric across seeds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MetricSpread {
+    /// Mean across seeds.
+    pub mean: f64,
+    /// Population standard deviation across seeds.
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl MetricSpread {
+    fn from(values: &[f64]) -> Self {
+        let n = values.len().max(1) as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        MetricSpread {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Coefficient of variation across seeds (σ/μ); NaN if the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::NAN
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+/// The sweep result: per-seed metrics plus cross-seed spreads.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// The seeds that ran.
+    pub seeds: Vec<u64>,
+    /// The metrics of each seed's run, in `seeds` order.
+    pub per_seed: Vec<AblationMetrics>,
+    /// Cross-seed spread of the cache miss rate.
+    pub miss_rate: MetricSpread,
+    /// Cross-seed spread of the RAM-hit rate.
+    pub ram_hit_rate: MetricSpread,
+    /// Cross-seed spread of the hit-median latency (ms).
+    pub hit_median_ms: MetricSpread,
+    /// Cross-seed spread of the loss-free session share.
+    pub loss_free_share: MetricSpread,
+    /// Cross-seed spread of the first-chunk retransmission rate (%).
+    pub first_chunk_retx_pct: MetricSpread,
+    /// Cross-seed spread of the mean rebuffering rate (%).
+    pub mean_rebuffer_pct: MetricSpread,
+    /// Cross-seed spread of the median startup delay (s).
+    pub startup_median_s: MetricSpread,
+}
+
+/// Run `base` under each seed (`cfg.seed` is overwritten), in parallel.
+pub fn run_seeds(base: &SimulationConfig, seeds: &[u64]) -> Result<SweepSummary, SimError> {
+    assert!(!seeds.is_empty());
+    // One thread per seed: the runs are fully independent (determinism is
+    // per-seed, so parallelism cannot perturb results).
+    let results: Vec<Result<AblationMetrics, SimError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let mut cfg = base.clone();
+                cfg.seed = seed;
+                scope.spawn(move || {
+                    Simulation::new(cfg)
+                        .run()
+                        .map(|out| AblationMetrics::from_run(&out))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+    });
+    let mut per_seed = Vec::with_capacity(seeds.len());
+    for r in results {
+        per_seed.push(r?);
+    }
+
+    let col = |f: fn(&AblationMetrics) -> f64| -> MetricSpread {
+        MetricSpread::from(&per_seed.iter().map(f).collect::<Vec<_>>())
+    };
+    Ok(SweepSummary {
+        seeds: seeds.to_vec(),
+        miss_rate: col(|m| m.miss_rate),
+        ram_hit_rate: col(|m| m.ram_hit_rate),
+        hit_median_ms: col(|m| m.hit_median_ms),
+        loss_free_share: col(|m| m.loss_free_share),
+        first_chunk_retx_pct: col(|m| m.first_chunk_retx_pct),
+        mean_rebuffer_pct: col(|m| m.mean_rebuffer_pct),
+        startup_median_s: col(|m| m.startup_median_s),
+        per_seed,
+    })
+}
+
+/// Render the sweep as an aligned text table.
+pub fn render(s: &SweepSummary) -> String {
+    let mut t = crate::report::TextTable::new(&["metric", "mean", "std", "min", "max"]);
+    let mut row = |name: &str, m: &MetricSpread, scale: f64, unit: &str| {
+        t.row(vec![
+            name.to_owned(),
+            format!("{:.3}{unit}", m.mean * scale),
+            format!("{:.3}", m.std * scale),
+            format!("{:.3}", m.min * scale),
+            format!("{:.3}", m.max * scale),
+        ]);
+    };
+    row("miss rate", &s.miss_rate, 100.0, "%");
+    row("RAM-hit rate", &s.ram_hit_rate, 100.0, "%");
+    row("hit median", &s.hit_median_ms, 1.0, "ms");
+    row("loss-free share", &s.loss_free_share, 100.0, "%");
+    row("chunk-0 retx", &s.first_chunk_retx_pct, 1.0, "%");
+    row("rebuffering", &s.mean_rebuffer_pct, 1.0, "%");
+    row("startup median", &s.startup_median_s, 1.0, "s");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_base() -> SimulationConfig {
+        let mut cfg = SimulationConfig::tiny(0);
+        cfg.traffic.sessions = 250;
+        cfg
+    }
+
+    #[test]
+    fn sweep_runs_all_seeds_and_spreads_are_sane() {
+        let s = run_seeds(&tiny_base(), &[1, 2, 3]).expect("sweep");
+        assert_eq!(s.seeds, vec![1, 2, 3]);
+        assert_eq!(s.per_seed.len(), 3);
+        assert!(s.miss_rate.min <= s.miss_rate.mean && s.miss_rate.mean <= s.miss_rate.max);
+        assert!(s.miss_rate.std >= 0.0);
+        // Different seeds must actually differ somewhere.
+        let all_equal = s
+            .per_seed
+            .windows(2)
+            .all(|w| w[0].miss_rate == w[1].miss_rate && w[0].hit_median_ms == w[1].hit_median_ms);
+        assert!(!all_equal, "seeds produced identical worlds");
+    }
+
+    #[test]
+    fn headline_shapes_hold_across_seeds() {
+        let s = run_seeds(&tiny_base(), &[11, 22, 33]).expect("sweep");
+        // Every seed individually satisfies the core paper shapes.
+        for (seed, m) in s.seeds.iter().zip(&s.per_seed) {
+            assert!(m.hit_median_ms < 8.0, "seed {seed}: hit median {}", m.hit_median_ms);
+            assert!(
+                (0.1..0.7).contains(&m.loss_free_share),
+                "seed {seed}: loss-free {}",
+                m.loss_free_share
+            );
+            assert!(m.miss_rate < 0.25, "seed {seed}: miss {}", m.miss_rate);
+        }
+        // And the cross-seed variation of the hit median is small — it is
+        // pinned by the mechanism, not the draw.
+        assert!(s.hit_median_ms.cv() < 0.2, "cv = {}", s.hit_median_ms.cv());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_runs() {
+        let base = tiny_base();
+        let sweep = run_seeds(&base, &[5, 6]).expect("sweep");
+        for (i, &seed) in [5u64, 6].iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.seed = seed;
+            let direct = Simulation::new(cfg).run().unwrap();
+            let m = AblationMetrics::from_run(&direct);
+            assert_eq!(m.miss_rate, sweep.per_seed[i].miss_rate);
+            assert_eq!(m.hit_median_ms, sweep.per_seed[i].hit_median_ms);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = run_seeds(&tiny_base(), &[7]).expect("sweep");
+        let table = render(&s);
+        for name in ["miss rate", "RAM-hit", "loss-free", "startup"] {
+            assert!(table.contains(name), "missing {name} in:\n{table}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Session-trace capture and replay.
+//!
+//! A *trace* is the generated workload of one measurement window — every
+//! [`SessionSpec`] (who watches what, from which prefix/device, when, for
+//! how long), serialized as JSON. Replaying a trace through
+//! [`Simulation::run_with_sessions`] drives the *identical* workload
+//! through a different configuration — the cleanest possible A/B for the
+//! paper's take-aways (the ablation module gets this implicitly from seed
+//! determinism; traces make it explicit and portable across processes).
+
+use crate::config::SimulationConfig;
+use crate::simulate::Simulation;
+use std::io::{Read, Write};
+use streamlab_sim::RngStream;
+use streamlab_workload::{Catalog, Population, SessionGenerator, SessionSpec};
+
+/// Generate the session trace a config would run, without running it.
+pub fn generate_trace(cfg: &SimulationConfig) -> Vec<SessionSpec> {
+    let mut cat_rng = RngStream::new(cfg.seed, "catalog");
+    let catalog = Catalog::generate(&cfg.catalog, &mut cat_rng);
+    let mut pop_rng = RngStream::new(cfg.seed, "population");
+    let population = Population::generate(&cfg.population, &mut pop_rng);
+    let mut sess_rng = RngStream::new(cfg.seed, &format!("sessions-day{}", cfg.day));
+    SessionGenerator::new(&catalog, &population).generate(&cfg.traffic, &mut sess_rng)
+}
+
+/// Serialize a trace as JSON.
+pub fn save_trace<W: Write>(specs: &[SessionSpec], w: W) -> serde_json::Result<()> {
+    serde_json::to_writer(w, specs)
+}
+
+/// Load a trace from JSON.
+pub fn load_trace<R: Read>(r: R) -> serde_json::Result<Vec<SessionSpec>> {
+    serde_json::from_reader(r)
+}
+
+/// Convenience: replay `specs` under `cfg`.
+pub fn replay(
+    cfg: SimulationConfig,
+    specs: Vec<SessionSpec>,
+) -> Result<crate::simulate::RunOutput, crate::simulate::SimError> {
+    Simulation::new(cfg).run_with_sessions(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimulationConfig;
+
+    fn tiny() -> SimulationConfig {
+        let mut cfg = SimulationConfig::tiny(55);
+        cfg.traffic.sessions = 150;
+        cfg
+    }
+
+    #[test]
+    fn trace_roundtrips_through_json() {
+        let specs = generate_trace(&tiny());
+        let mut buf = Vec::new();
+        save_trace(&specs, &mut buf).unwrap();
+        let back = load_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), specs.len());
+        for (a, b) in specs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.video, b.video);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.chunks_watched, b.chunks_watched);
+        }
+    }
+
+    #[test]
+    fn replaying_the_generated_trace_reproduces_the_run() {
+        let cfg = tiny();
+        let direct = Simulation::new(cfg.clone()).run().unwrap();
+        let specs = generate_trace(&cfg);
+        let replayed = replay(cfg, specs).unwrap();
+        assert_eq!(direct.dataset.chunk_count(), replayed.dataset.chunk_count());
+        let digest = |o: &crate::simulate::RunOutput| -> u64 {
+            o.dataset
+                .chunks()
+                .map(|(_, c)| c.player.d_fb.as_nanos())
+                .fold(0u64, u64::wrapping_add)
+        };
+        assert_eq!(digest(&direct), digest(&replayed));
+    }
+
+    #[test]
+    fn replay_under_a_different_policy_shares_the_workload() {
+        use streamlab_cdn::EvictionPolicy;
+        let cfg = tiny();
+        let specs = generate_trace(&cfg);
+        let mut alt = cfg.clone();
+        alt.fleet.server.cache.policy = EvictionPolicy::PerfectLfu;
+        let a = replay(cfg, specs.clone()).unwrap();
+        let b = replay(alt, specs).unwrap();
+        // Identical workload (same sessions, same videos)...
+        assert_eq!(a.dataset.sessions.len(), b.dataset.sessions.len());
+        for (x, y) in a.dataset.sessions.iter().zip(&b.dataset.sessions) {
+            assert_eq!(x.meta.video, y.meta.video);
+            assert_eq!(x.meta.prefix, y.meta.prefix);
+        }
+    }
+
+    #[test]
+    fn replay_rejects_foreign_traces() {
+        let cfg = tiny();
+        let mut specs = generate_trace(&cfg);
+        // Point a session at a video the replay world does not have.
+        specs[0].video = streamlab_workload::VideoId(1_000_000);
+        let err = replay(cfg, specs).unwrap_err();
+        assert!(err.to_string().contains("invalid session trace"), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # streamlab-net
+//!
+//! The wide-area network substrate: an explicit-state TCP sender model over
+//! a parameterized bottleneck path.
+//!
+//! The paper measures the network exclusively from the CDN host's kernel —
+//! 500 ms snapshots of Linux's `tcp_info` (SRTT, RTT variance, congestion
+//! window, retransmission counters, MSS) taken while a chunk is being served
+//! (§2.1). This crate reproduces exactly that view:
+//!
+//! * [`PathProfile`] — the path between a CDN PoP and a client /24:
+//!   propagation delay from great-circle distance, last-mile and
+//!   middlebox/VPN overheads, a bottleneck link with a finite drop-tail
+//!   buffer (self-loading inflates sampled RTTs, §4.2), log-normal jitter
+//!   and a latency-spike process (enterprise paths, Table 4).
+//! * [`TcpConnection`] — a Reno-style sender in the smoltcp spirit: explicit
+//!   state machine, slow start with IW=10, congestion avoidance, fast
+//!   retransmit on triple-dupack, retransmission timeouts with the Linux
+//!   RTO formula the paper quotes (`200 ms + srtt + 4·srttvar`), SRTT/RTTVAR
+//!   per RFC 6298, and optional server-side pacing (the §4.2.3 take-away).
+//! * [`TcpInfo`] — the `tcp_info` snapshot struct, including the Eq. 3
+//!   throughput estimate `MSS · CWND / SRTT`.
+//!
+//! One `TcpConnection` persists across all chunks of a session (the paper's
+//! session model is a linearizable sequence of HTTP transactions on one
+//! connection), so congestion state carries over from chunk to chunk —
+//! which is precisely why the paper sees most losses on the *first* chunk
+//! (slow-start overshoot, Fig. 15) and progressively fewer afterwards.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod path;
+pub mod tcp;
+
+pub use path::{PathProfile, PropagationModel};
+pub use tcp::{ChunkTransfer, CongestionControl, TcpConfig, TcpConnection, TcpInfo};

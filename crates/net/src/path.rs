@@ -1,0 +1,195 @@
+//! The network path between a CDN server and a client prefix.
+
+use serde::{Deserialize, Serialize};
+use streamlab_sim::SimDuration;
+
+/// How geographic distance turns into propagation delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// Signal speed in fiber, km per millisecond (~2/3 of c ≈ 200 km/ms).
+    pub km_per_ms: f64,
+    /// Path-stretch factor: real routes are longer than great circles.
+    pub route_inflation: f64,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        PropagationModel {
+            km_per_ms: 200.0,
+            route_inflation: 1.5,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// Round-trip propagation delay for a one-way distance in km.
+    pub fn rtt_ms(&self, distance_km: f64) -> f64 {
+        2.0 * distance_km * self.route_inflation / self.km_per_ms
+    }
+}
+
+/// Everything the TCP model needs to know about one server↔client path.
+///
+/// Constructed by the orchestrator from a client prefix's
+/// `PathCharacter` (workload crate) plus the great-circle distance to the
+/// serving PoP; kept as plain numbers so this crate stays independent of
+/// workload types.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PathProfile {
+    /// Baseline round-trip time: propagation + last mile + fixed overheads.
+    pub base_rtt: SimDuration,
+    /// Bottleneck link rate, bytes per second.
+    pub bottleneck_bytes_per_s: f64,
+    /// Drop-tail buffer at the bottleneck, bytes.
+    pub buffer_bytes: f64,
+    /// Per-segment random (non-congestion) loss probability.
+    pub random_loss: f64,
+    /// Probability of entering a congestion episode per transmission round
+    /// (cross traffic at the bottleneck): throughput collapses and the
+    /// shrunken pipe drops bursts — the mechanism that couples loss with
+    /// rebuffering (paper Figs. 12–14).
+    pub congestion_prob: f64,
+    /// Bottleneck rate multiplier during a congestion episode (0–1).
+    pub congestion_severity: f64,
+    /// Log-space sigma of per-round RTT noise.
+    pub jitter_sigma: f64,
+    /// Probability of entering a latency-spike episode per transmission
+    /// round (middlebox/VPN queueing on enterprise paths).
+    pub spike_prob: f64,
+    /// RTT multiplier while inside a spike episode.
+    pub spike_mult: f64,
+}
+
+impl PathProfile {
+    /// Assemble a profile from its physical parts.
+    ///
+    /// * `distance_km` — great-circle distance client↔PoP;
+    /// * `last_mile_ms` / `overhead_ms` — added to the RTT baseline;
+    /// * `bottleneck_mbps` — access-link rate (Mbit/s);
+    /// * `buffer_bdp` — bottleneck buffer as a multiple of the
+    ///   bandwidth-delay product;
+    /// * loss/jitter/spike parameters pass straight through.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        prop: &PropagationModel,
+        distance_km: f64,
+        last_mile_ms: f64,
+        overhead_ms: f64,
+        bottleneck_mbps: f64,
+        buffer_bdp: f64,
+        random_loss: f64,
+        jitter_sigma: f64,
+        spike_prob: f64,
+        spike_mult: f64,
+    ) -> Self {
+        let base_rtt_ms = prop.rtt_ms(distance_km) + last_mile_ms + overhead_ms;
+        let base_rtt = SimDuration::from_millis_f64(base_rtt_ms.max(1.0));
+        let bottleneck_bytes_per_s = bottleneck_mbps * 1.0e6 / 8.0;
+        let bdp = bottleneck_bytes_per_s * base_rtt.as_secs_f64();
+        // Access-link buffers are sized in *time* at least as much as in
+        // BDPs (cable modems carry ~30+ ms of buffering regardless of the
+        // path's RTT), so the multiplier applies to both terms.
+        let buffer_base = bdp + bottleneck_bytes_per_s * 0.03;
+        PathProfile {
+            base_rtt,
+            bottleneck_bytes_per_s,
+            buffer_bytes: (buffer_base * buffer_bdp).max(16.0 * 1460.0),
+            random_loss,
+            jitter_sigma,
+            spike_prob,
+            spike_mult: spike_mult.max(1.0),
+            congestion_prob: 0.0,
+            congestion_severity: 1.0,
+        }
+    }
+
+    /// Attach a congestion-episode process (builder-style).
+    pub fn with_congestion(mut self, prob: f64, severity: f64) -> Self {
+        self.congestion_prob = prob.clamp(0.0, 1.0);
+        self.congestion_severity = severity.clamp(0.05, 1.0);
+        self
+    }
+
+    /// Bandwidth-delay product, bytes.
+    pub fn bdp_bytes(&self) -> f64 {
+        self.bottleneck_bytes_per_s * self.base_rtt.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagation_matches_physics() {
+        let m = PropagationModel::default();
+        // Coast-to-coast US, ~4000 km: ~60 ms RTT with 1.5x inflation.
+        let rtt = m.rtt_ms(4000.0);
+        assert!((rtt - 60.0).abs() < 1.0, "rtt = {rtt}");
+        assert_eq!(m.rtt_ms(0.0), 0.0);
+    }
+
+    fn profile(mbps: f64, rtt_ms: f64, buffer_bdp: f64) -> PathProfile {
+        PathProfile::from_parts(
+            &PropagationModel::default(),
+            0.0,
+            rtt_ms,
+            0.0,
+            mbps,
+            buffer_bdp,
+            0.0,
+            0.0,
+            0.0,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn from_parts_composes_rtt() {
+        let p = PathProfile::from_parts(
+            &PropagationModel::default(),
+            1000.0, // 15 ms RTT propagation
+            5.0,
+            20.0,
+            50.0,
+            2.0,
+            0.001,
+            0.1,
+            0.01,
+            5.0,
+        );
+        assert!((p.base_rtt.as_millis_f64() - 40.0).abs() < 0.01);
+        assert!((p.bottleneck_bytes_per_s - 6.25e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn bdp_and_buffer() {
+        let p = profile(20.0, 40.0, 2.0);
+        // 20 Mbps * 40 ms = 100 kB BDP; buffer = 2 * (BDP + 30 ms of line
+        // rate) = 2 * (100 kB + 75 kB) = 350 kB.
+        assert!((p.bdp_bytes() - 100_000.0).abs() < 100.0);
+        assert!((p.buffer_bytes - 350_000.0).abs() < 350.0);
+    }
+
+    #[test]
+    fn congestion_builder_clamps() {
+        let p = profile(20.0, 40.0, 2.0).with_congestion(2.0, 0.0);
+        assert_eq!(p.congestion_prob, 1.0);
+        assert_eq!(p.congestion_severity, 0.05);
+        let q = profile(20.0, 40.0, 2.0);
+        assert_eq!(q.congestion_prob, 0.0);
+        assert_eq!(q.congestion_severity, 1.0);
+    }
+
+    #[test]
+    fn buffer_has_floor() {
+        let p = profile(1.0, 1.0, 0.1);
+        assert!(p.buffer_bytes >= 16.0 * 1460.0);
+    }
+
+    #[test]
+    fn base_rtt_has_floor() {
+        let p = profile(100.0, 0.0, 1.0);
+        assert!(p.base_rtt >= SimDuration::from_millis(1));
+    }
+}

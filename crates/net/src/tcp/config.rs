@@ -1,0 +1,60 @@
+//! Sender configuration: congestion-control choice and the knobs the
+//! paper's ablations flip (pacing, idle reset, HyStart, snapshot cadence).
+
+use serde::{Deserialize, Serialize};
+use streamlab_sim::SimDuration;
+
+/// Congestion-control algorithm of the sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CongestionControl {
+    /// Classic Reno: halve on loss, +1 segment per RTT afterwards.
+    #[default]
+    Reno,
+    /// CUBIC (the Linux default since 2.6.19): window grows as a cubic of
+    /// the time since the last reduction, plateauing near the previous
+    /// maximum and probing beyond it — far more aggressive than Reno on
+    /// high-BDP paths.
+    Cubic,
+}
+
+/// TCP sender configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size, bytes.
+    pub mss: u32,
+    /// Initial congestion window, segments (Linux default IW10; the paper's
+    /// Fig. 18 equivalence-set conditions on `CWND > IW (10 MSS)`).
+    pub initial_window: u32,
+    /// Server-side pacing (§4.2.3 take-away): spreads bursts so a buffer
+    /// overrun drops a couple of segments instead of the whole overshoot.
+    pub pacing: bool,
+    /// Reset the window to `initial_window` after an idle period longer
+    /// than the RTO (Linux `slow_start_after_idle`). Disabled by default,
+    /// as CDN servers tune it off for chunked delivery.
+    pub idle_reset: bool,
+    /// `tcp_info` snapshot cadence (the paper samples every 500 ms).
+    pub snapshot_interval: SimDuration,
+    /// Congestion-control algorithm.
+    pub congestion_control: CongestionControl,
+    /// HyStart-style slow-start exit: when the standing queue signals RTT
+    /// inflation, leave slow start *before* overflowing the buffer. Like
+    /// the real heuristic it is imperfect — detection is probabilistic per
+    /// round, so a share of connections still takes the end-of-slow-start
+    /// burst (the paper's Fig. 15 first-chunk losses). Disable for
+    /// deterministic micro-tests.
+    pub hystart: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            initial_window: 10,
+            pacing: false,
+            idle_reset: false,
+            snapshot_interval: SimDuration::from_millis(500),
+            congestion_control: CongestionControl::Reno,
+            hystart: true,
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The kernel's view (`tcp_info`) and the per-chunk transfer record.
+
+use serde::{Deserialize, Serialize};
+use streamlab_sim::{SimDuration, SimTime};
+
+/// A snapshot of the kernel's view of the connection — the fields of
+/// Linux's `tcp_info` the paper collects (Table 2, "CDN (TCP layer)").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcpInfo {
+    /// When the snapshot was taken.
+    pub at: SimTime,
+    /// Smoothed RTT (EWMA, RFC 6298).
+    pub srtt: SimDuration,
+    /// RTT variance estimate (RFC 6298 `rttvar`).
+    pub rttvar: SimDuration,
+    /// Sender congestion window, segments.
+    pub cwnd: u32,
+    /// Total retransmitted segments since the connection was established.
+    pub retx_total: u64,
+    /// Total data segments sent since the connection was established.
+    pub segs_out_total: u64,
+    /// Maximum segment size, bytes.
+    pub mss: u32,
+}
+
+impl TcpInfo {
+    /// The paper's Eq. 3 server-side throughput estimate:
+    /// `MSS · CWND / SRTT`, in bytes per second.
+    pub fn throughput_bytes_per_s(&self) -> f64 {
+        let srtt_s = self.srtt.as_secs_f64();
+        if srtt_s <= 0.0 {
+            return 0.0;
+        }
+        f64::from(self.mss) * f64::from(self.cwnd) / srtt_s
+    }
+
+    /// Same estimate in Mbit/s (as plotted in Fig. 17b).
+    pub fn throughput_mbps(&self) -> f64 {
+        self.throughput_bytes_per_s() * 8.0 / 1.0e6
+    }
+}
+
+/// The outcome of serving one chunk over the connection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkTransfer {
+    /// When the server wrote the first byte to the socket.
+    pub send_start: SimTime,
+    /// Arrival of the chunk's first byte at the client NIC.
+    pub first_byte_at: SimTime,
+    /// Arrival of the chunk's last byte at the client NIC.
+    pub last_byte_at: SimTime,
+    /// Chunk size, bytes.
+    pub bytes: u64,
+    /// Data segments sent (excluding retransmissions).
+    pub segments: u32,
+    /// Retransmitted segments.
+    pub retx: u32,
+    /// Retransmission timeouts suffered.
+    pub timeouts: u32,
+    /// Transmission rounds used.
+    pub rounds: u32,
+    /// Kernel snapshots taken during the transfer (≥ 1: the paper snapshots
+    /// at least once per chunk).
+    pub snapshots: Vec<TcpInfo>,
+    /// Minimum raw RTT observed during the transfer (before smoothing).
+    pub min_rtt: SimDuration,
+}
+
+impl ChunkTransfer {
+    /// Retransmission rate over the chunk (retx / data segments).
+    pub fn retx_rate(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            f64::from(self.retx) / f64::from(self.segments)
+        }
+    }
+
+    /// Last-byte delay as seen from send start.
+    pub fn duration(&self) -> SimDuration {
+        self.last_byte_at.duration_since(self.send_start)
+    }
+}

@@ -1,0 +1,371 @@
+//! Statistical distributions used by the workload and latency models.
+//!
+//! Implemented locally (rather than pulling `rand_distr`) to keep the
+//! dependency set to the approved offline list; each sampler is a few lines
+//! of classical transform sampling and is unit-tested against its analytic
+//! moments.
+
+use crate::rng::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// A continuous distribution that can be sampled from an [`RngStream`].
+pub trait Sample {
+    /// Draw one value.
+    fn sample(&self, rng: &mut RngStream) -> f64;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate parameter λ > 0.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Exponential { lambda: 1.0 / mean }
+    }
+}
+
+impl Sample for Exponential {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        // Inverse-CDF; 1 - U avoids ln(0).
+        -(1.0 - rng.uniform()).ln() / self.lambda
+    }
+}
+
+/// Normal distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (≥ 0).
+    pub sigma: f64,
+}
+
+impl Sample for Normal {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        let u1 = (1.0 - rng.uniform()).max(f64::MIN_POSITIVE);
+        let u2 = rng.uniform();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mu + self.sigma * z
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(mu, sigma))`.
+///
+/// Used for service-time-like latencies (cache lookups, disk seeks, backend
+/// RPCs) and for video lengths, whose CCDF in Fig. 3a is heavy-tailed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Location parameter of the underlying normal.
+    pub mu: f64,
+    /// Scale parameter of the underlying normal (≥ 0).
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Parameterize by the *median* of the log-normal and the log-space
+    /// sigma. The median is `exp(mu)`, which is the natural way the paper
+    /// reports latencies ("median server latency ... 2 ms").
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "log-normal median must be positive");
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
+    }
+
+    /// The distribution median, `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution mean, `exp(mu + sigma^2 / 2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        Normal {
+            mu: self.mu,
+            sigma: self.sigma,
+        }
+        .sample(rng)
+        .exp()
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    /// Minimum value (scale), > 0.
+    pub x_min: f64,
+    /// Tail index (shape), > 0; smaller is heavier-tailed.
+    pub alpha: f64,
+}
+
+impl Sample for Pareto {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        let u = (1.0 - rng.uniform()).max(f64::MIN_POSITIVE);
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+/// Zipf distribution over ranks `1..=n` with exponent `s`.
+///
+/// Sampling is by inverted CDF over precomputed cumulative weights
+/// (O(log n) per draw), which is exact and deterministic. The paper's
+/// popularity curve (Fig. 3b) is Zipf-like with the top 10 % of videos
+/// receiving ≈66 % of playbacks; `s ≈ 0.9–1.0` reproduces that share.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    s: f64,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `n ≥ 1` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative, s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.len()).contains(&k));
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if k == 1 { 0.0 } else { self.cumulative[k - 2] };
+        (self.cumulative[k - 1] - prev) / total
+    }
+
+    /// Fraction of total mass held by the top `m` ranks.
+    pub fn head_share(&self, m: usize) -> f64 {
+        let m = m.min(self.len());
+        if m == 0 {
+            return 0.0;
+        }
+        let total = *self.cumulative.last().expect("non-empty");
+        self.cumulative[m - 1] / total
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample_rank(&self, rng: &mut RngStream) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.uniform() * total;
+        // partition_point: first index whose cumulative weight exceeds target.
+        let idx = self.cumulative.partition_point(|&c| c <= target);
+        idx.min(self.len() - 1) + 1
+    }
+}
+
+/// A discrete distribution over arbitrary items with explicit weights.
+///
+/// Used for categorical mixes: browser share, OS share, connection classes.
+#[derive(Debug, Clone)]
+pub struct Categorical<T: Clone> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Clone> Categorical<T> {
+    /// Build from `(item, weight)` pairs; weights must be non-negative and
+    /// sum to a positive value.
+    pub fn new(pairs: Vec<(T, f64)>) -> Self {
+        assert!(!pairs.is_empty(), "categorical needs at least one item");
+        let mut items = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut total = 0.0;
+        for (item, w) in pairs {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite, >= 0");
+            total += w;
+            items.push(item);
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "categorical weights must sum to > 0");
+        Categorical { items, cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no categories (cannot occur post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Draw one item.
+    pub fn sample(&self, rng: &mut RngStream) -> T {
+        let total = *self.cumulative.last().expect("non-empty");
+        let target = rng.uniform() * total;
+        let idx = self.cumulative.partition_point(|&c| c <= target);
+        self.items[idx.min(self.items.len() - 1)].clone()
+    }
+
+    /// Iterate `(item, probability)` pairs.
+    pub fn probabilities(&self) -> impl Iterator<Item = (&T, f64)> + '_ {
+        let total = *self.cumulative.last().expect("non-empty");
+        self.items.iter().enumerate().map(move |(i, item)| {
+            let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+            (item, (self.cumulative[i] - prev) / total)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> RngStream {
+        RngStream::new(0xD15C0, "dist-tests")
+    }
+
+    fn mean_of(d: &impl Sample, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::with_mean(5.0);
+        let m = mean_of(&d, 50_000);
+        assert!((m - 5.0).abs() < 0.15, "mean = {m}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let d = Exponential { lambda: 2.0 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal { mu: 3.0, sigma: 2.0 };
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.05, "mean = {m}");
+        assert!((v - 4.0).abs() < 0.15, "var = {v}");
+    }
+
+    #[test]
+    fn lognormal_median_and_mean() {
+        let d = LogNormal::from_median(2.0, 0.8);
+        assert!((d.median() - 2.0).abs() < 1e-12);
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..50_001).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med - 2.0).abs() < 0.1, "median = {med}");
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((m - d.mean()).abs() < 0.15 * d.mean(), "mean = {m}");
+    }
+
+    #[test]
+    fn pareto_respects_x_min() {
+        let d = Pareto {
+            x_min: 10.0,
+            alpha: 1.5,
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 10.0);
+        }
+    }
+
+    #[test]
+    fn zipf_head_share_matches_paper_shape() {
+        // Paper §3: top 10% of videos receive about 66% of playbacks.
+        let z = Zipf::new(10_000, 0.95);
+        let share = z.head_share(1_000);
+        assert!(
+            (0.55..0.80).contains(&share),
+            "top-10% share = {share} (want paper-like ~0.66)"
+        );
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank_one_most_likely() {
+        let z = Zipf::new(1_000, 0.9);
+        let mut r = rng();
+        let mut counts = vec![0u32; 1_001];
+        for _ in 0..100_000 {
+            counts[z.sample_rank(&mut r)] += 1;
+        }
+        let max_rank = (1..=1_000).max_by_key(|&k| counts[k]).unwrap();
+        assert_eq!(max_rank, 1);
+        // Empirical rank-1 mass close to analytic pmf.
+        let p1 = counts[1] as f64 / 100_000.0;
+        assert!((p1 - z.pmf(1)).abs() < 0.01, "p1 = {p1}, pmf = {}", z.pmf(1));
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut r = rng();
+        assert_eq!(z.sample_rank(&mut r), 1);
+        assert!((z.head_share(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let c = Categorical::new(vec![("a", 1.0), ("b", 3.0)]);
+        let mut r = rng();
+        let b_hits = (0..40_000).filter(|_| c.sample(&mut r) == "b").count() as f64;
+        let share = b_hits / 40_000.0;
+        assert!((share - 0.75).abs() < 0.02, "share = {share}");
+    }
+
+    #[test]
+    fn categorical_probabilities_normalized() {
+        let c = Categorical::new(vec![(1, 2.0), (2, 2.0), (3, 4.0)]);
+        let probs: Vec<f64> = c.probabilities().map(|(_, p)| p).collect();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((probs[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must sum")]
+    fn categorical_rejects_zero_total() {
+        let _ = Categorical::new(vec![("a", 0.0)]);
+    }
+}

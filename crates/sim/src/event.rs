@@ -1,0 +1,219 @@
+//! A deterministic discrete-event calendar.
+//!
+//! The orchestrator in `streamlab-core` interleaves tens of thousands of
+//! sessions: session arrivals, per-chunk HTTP requests, and periodic TCP
+//! snapshots all mutate shared state (the CDN caches, per-server load), so
+//! they must execute in a single, well-defined order. Ties are broken by
+//! insertion sequence (FIFO), which makes runs independent of heap
+//! internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event plus its scheduled activation time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Monotone insertion sequence number, the FIFO tie-breaker.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop earliest-first, then
+        // lowest sequence number first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A monotone event calendar with deterministic FIFO tie-breaking.
+///
+/// `pop` never returns events out of time order, and the queue rejects
+/// scheduling into the past (which would silently corrupt causality).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulation time (the activation time of the last popped
+    /// event, or zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current simulation time; discrete-event
+    /// causality would otherwise be violated.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({} < {})",
+            at,
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, event });
+    }
+
+    /// Pop the earliest event, advancing the clock to its activation time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// Peek at the activation time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Drain the queue, applying `handler` to every event in order. The
+    /// handler may schedule further events through the queue it receives.
+    pub fn run<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        while let Some(ScheduledEvent { at, event, .. }) = self.pop() {
+            handler(self, at, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.schedule(SimTime::from_millis(10), ());
+        q.schedule(SimTime::from_millis(40), ());
+        let mut last = SimTime::ZERO;
+        while let Some(e) = q.pop() {
+            assert!(e.at >= last);
+            assert_eq!(q.now(), e.at);
+            last = e.at;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn run_supports_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 0u32);
+        let mut fired = Vec::new();
+        q.run(|q, at, depth| {
+            fired.push((at, depth));
+            if depth < 3 {
+                q.schedule(at + SimDuration::from_millis(1), depth + 1);
+            }
+        });
+        assert_eq!(fired.len(), 4);
+        assert_eq!(fired[3], (SimTime::from_millis(4), 3));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), 'x');
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.pop().map(|e| e.event), Some('x'));
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(SimTime::from_millis(1), ());
+        q.schedule(SimTime::from_millis(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # streamlab-sim
+//!
+//! Deterministic discrete-event simulation substrate for the `streamlab`
+//! reproduction of *Performance Characterization of a Commercial Video
+//! Streaming Service* (IMC 2016).
+//!
+//! The paper's dataset comes from a production deployment; we regenerate an
+//! equivalent dataset from a simulator. Everything above this crate (network
+//! path, CDN server, client player, workload) is expressed in terms of the
+//! primitives defined here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulation
+//!   clock. All latencies in the paper are milliseconds, so nanoseconds give
+//!   ample headroom without floating-point drift.
+//! * [`RngStream`] — deterministic, *named* random-number streams. Every
+//!   component derives its stream from one master seed and a stable label,
+//!   so adding a component never perturbs the draws seen by another, and a
+//!   whole multi-million-chunk run is bit-reproducible.
+//! * [`dist`] — the statistical distributions the workload and latency
+//!   models need (log-normal, exponential, Pareto, Zipf, …), implemented
+//!   here to keep the dependency set minimal.
+//! * [`EventQueue`] — a monotone event calendar with deterministic FIFO
+//!   tie-breaking, used by the orchestrator to interleave sessions.
+//!
+//! Following the guidance of the Rust networking guides (tokio's own "when
+//! not to use Tokio"), the engine is synchronous and single-threaded: the
+//! workload is CPU-bound and determinism is a hard requirement.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::{derive_seed, RngStream};
+pub use time::{SimDuration, SimTime};

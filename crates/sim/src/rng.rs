@@ -1,0 +1,207 @@
+//! Deterministic, named random-number streams.
+//!
+//! A multi-component simulator that shares one RNG is fragile: adding a
+//! single draw in the cache model would shift every subsequent draw in the
+//! TCP model and change the whole dataset. Instead, every component derives
+//! an independent stream from `(master_seed, stable label)` via a SplitMix64
+//! hash, so streams are decoupled and the run is reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One step of the SplitMix64 generator; used as a seed-mixing hash.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label string, used to fold component names into seeds.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Derive a child seed from a master seed and a stable component label.
+///
+/// The derivation is pure, so the same `(master, label)` pair always yields
+/// the same stream regardless of how many other streams exist.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    splitmix64(master ^ splitmix64(fnv1a(label)))
+}
+
+/// A named deterministic random stream.
+///
+/// Wraps `rand::StdRng` and exposes only the draw shapes the simulator
+/// needs, which keeps the `rand` API churn contained to this module.
+/// Deliberately not `Clone`: duplicating a stream silently correlates two
+/// components; use [`RngStream::fork`] instead.
+#[derive(Debug)]
+pub struct RngStream {
+    rng: StdRng,
+    label: String,
+}
+
+impl RngStream {
+    /// Create the stream for `label`, derived from `master` seed.
+    pub fn new(master: u64, label: &str) -> Self {
+        RngStream {
+            rng: StdRng::seed_from_u64(derive_seed(master, label)),
+            label: label.to_owned(),
+        }
+    }
+
+    /// Derive a sub-stream, e.g. per-session from a per-component stream.
+    pub fn fork(&self, sublabel: &str) -> RngStream {
+        // Forking is by label composition, not by drawing from the parent,
+        // so forks do not consume parent state.
+        let composed = format!("{}/{}", self.label, sublabel);
+        RngStream {
+            rng: StdRng::seed_from_u64(derive_seed(fnv1a(&self.label), &composed)),
+            label: composed,
+        }
+    }
+
+    /// Derive a numbered sub-stream (hot path: avoids string formatting cost
+    /// dominating per-session setup).
+    pub fn fork_indexed(&self, index: u64) -> RngStream {
+        let seed = splitmix64(fnv1a(&self.label) ^ splitmix64(index));
+        RngStream {
+            rng: StdRng::seed_from_u64(seed),
+            label: format!("{}#{}", self.label, index),
+        }
+    }
+
+    /// The stream's label (for diagnostics).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "RngStream::index called with n = 0");
+        self.rng.random_range(0..n)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.random_bool(p)
+        }
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.random::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_label_same_stream() {
+        let mut a = RngStream::new(7, "tcp");
+        let mut b = RngStream::new(7, "tcp");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_decorrelated() {
+        let mut a = RngStream::new(7, "tcp");
+        let mut b = RngStream::new(7, "cache");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn different_masters_differ() {
+        let mut a = RngStream::new(1, "tcp");
+        let mut b = RngStream::new(2, "tcp");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_does_not_consume_parent() {
+        let mut a = RngStream::new(9, "x");
+        let mut b = RngStream::new(9, "x");
+        let _f = a.fork("child");
+        let _g = a.fork_indexed(3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_indexed_is_stable_and_distinct() {
+        let parent = RngStream::new(5, "sessions");
+        let mut f3a = parent.fork_indexed(3);
+        let mut f3b = parent.fork_indexed(3);
+        let mut f4 = parent.fork_indexed(4);
+        let x = f3a.next_u64();
+        assert_eq!(x, f3b.next_u64());
+        assert_ne!(x, f4.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = RngStream::new(11, "u");
+        for _ in 0..1000 {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::new(11, "c");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn uniform_range_degenerate() {
+        let mut r = RngStream::new(11, "d");
+        assert_eq!(r.uniform_range(5.0, 5.0), 5.0);
+        assert_eq!(r.uniform_range(5.0, 4.0), 5.0);
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = RngStream::new(13, "cal");
+        let hits = (0..20_000).filter(|_| r.chance(0.25)).count() as f64;
+        let rate = hits / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn derive_seed_is_pure() {
+        assert_eq!(derive_seed(42, "a"), derive_seed(42, "a"));
+        assert_ne!(derive_seed(42, "a"), derive_seed(42, "b"));
+    }
+}

@@ -1,0 +1,306 @@
+//! Simulation clock types.
+//!
+//! The paper reports latencies from sub-millisecond (cache hits ≈ 2 ms,
+//! `D_wait` < 1 ms) up to multi-second stalls, and samples TCP state every
+//! 500 ms. A `u64` nanosecond counter covers ~584 years of simulated time at
+//! full precision, so one representation serves every layer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulation clock, in nanoseconds since the start of the
+/// simulated measurement window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant (used as an "never" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds. Negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime(SimDuration::from_secs_f64(s).as_nanos())
+    }
+
+    /// Raw nanoseconds since the clock origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since the clock origin, as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Seconds since the clock origin, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// Elapsed time since `earlier`; saturates at zero if `earlier` is later.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional milliseconds. Negative values clamp to zero.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        SimDuration::from_secs_f64(ms / 1.0e3)
+    }
+
+    /// Construct from fractional seconds. Negative values clamp to zero;
+    /// non-finite values clamp to zero as well (a defensive choice: latency
+    /// models occasionally divide by sampled rates).
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        let ns = s * 1.0e9;
+        if ns >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1.0e9
+    }
+
+    /// True when the duration is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by a non-negative float (clamping as in `from_secs_f64`).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 = self.0.saturating_add(d.0);
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.duration_since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 = self.0.saturating_add(other.0);
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, other: SimDuration) {
+        self.0 = self.0.saturating_sub(other.0);
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1.0e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_millis_f64(2000.0)
+        );
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_millis(100);
+        let d = SimDuration::from_millis(40);
+        assert_eq!((t + d).duration_since(t), d);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - d, SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let a = SimTime::from_millis(5);
+        let b = SimTime::from_millis(10);
+        assert_eq!(a.duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_pathological_inputs() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::INFINITY),
+            SimDuration::from_nanos(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn float_accessors() {
+        let d = SimDuration::from_millis(1500);
+        assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((d.as_millis_f64() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimDuration::from_micros(250)), "250.0us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimDuration::from_micros(999) < SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn mul_f64_scales() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(250));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+}

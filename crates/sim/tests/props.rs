@@ -1,0 +1,129 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use streamlab_sim::dist::{Categorical, Exponential, LogNormal, Sample, Zipf};
+use streamlab_sim::{EventQueue, RngStream, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn simtime_add_sub_roundtrip(base in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(base);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t + dur).duration_since(t), dur);
+        prop_assert_eq!((t + dur) - dur, t);
+    }
+
+    #[test]
+    fn duration_since_never_negative(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+        // Saturating semantics: both directions are valid durations.
+        let d1 = ta.duration_since(tb);
+        let d2 = tb.duration_since(ta);
+        prop_assert!(d1.is_zero() || d2.is_zero());
+        prop_assert_eq!(d1.as_nanos().max(d2.as_nanos()), a.abs_diff(b));
+    }
+
+    #[test]
+    fn secs_f64_roundtrip(ms in 0.0f64..1.0e9) {
+        let d = SimDuration::from_millis_f64(ms);
+        prop_assert!((d.as_millis_f64() - ms).abs() < 0.001);
+    }
+
+    #[test]
+    fn rng_streams_are_label_stable(master in any::<u64>(), label in "[a-z]{1,12}") {
+        let mut a = RngStream::new(master, &label);
+        let mut b = RngStream::new(master, &label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_range_stays_in_bounds(master in any::<u64>(), lo in -1.0e6f64..1.0e6, width in 0.0f64..1.0e6) {
+        let mut r = RngStream::new(master, "bounds");
+        let hi = lo + width;
+        for _ in 0..32 {
+            let x = r.uniform_range(lo, hi);
+            prop_assert!(x >= lo && (x < hi || width == 0.0));
+        }
+    }
+
+    #[test]
+    fn exponential_is_nonnegative(master in any::<u64>(), mean in 0.001f64..1.0e4) {
+        let d = Exponential::with_mean(mean);
+        let mut r = RngStream::new(master, "exp");
+        for _ in 0..32 {
+            prop_assert!(d.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive(master in any::<u64>(), median in 0.001f64..1.0e4, sigma in 0.0f64..3.0) {
+        let d = LogNormal::from_median(median, sigma);
+        let mut r = RngStream::new(master, "ln");
+        for _ in 0..32 {
+            prop_assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_range(master in any::<u64>(), n in 1usize..5000, s in 0.1f64..2.0) {
+        let z = Zipf::new(n, s);
+        let mut r = RngStream::new(master, "zipf");
+        for _ in 0..64 {
+            let k = z.sample_rank(&mut r);
+            prop_assert!((1..=n).contains(&k));
+        }
+        // Head shares are monotone and normalized.
+        prop_assert!((z.head_share(n) - 1.0).abs() < 1e-9);
+        prop_assert!(z.head_share(n / 2 + 1) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn zipf_pmf_is_monotone_decreasing(n in 2usize..500, s in 0.1f64..2.0) {
+        let z = Zipf::new(n, s);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn categorical_samples_only_given_items(
+        master in any::<u64>(),
+        weights in proptest::collection::vec(0.01f64..100.0, 1..20)
+    ) {
+        let items: Vec<(usize, f64)> = weights.iter().copied().enumerate().collect();
+        let n = items.len();
+        let c = Categorical::new(items);
+        let mut r = RngStream::new(master, "cat");
+        for _ in 0..64 {
+            prop_assert!(c.sample(&mut r) < n);
+        }
+        let total: f64 = c.probabilities().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..1_000_000u64, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut seen_at_time: Option<(SimTime, usize)> = None;
+        let mut count = 0;
+        while let Some(ev) = q.pop() {
+            count += 1;
+            prop_assert!(ev.at >= last);
+            // FIFO among equal timestamps: payload indices increase.
+            if let Some((t, idx)) = seen_at_time {
+                if t == ev.at {
+                    prop_assert!(ev.event > idx);
+                }
+            }
+            seen_at_time = Some((ev.at, ev.event));
+            last = ev.at;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+}

@@ -1,0 +1,356 @@
+//! The per-chunk and per-session measurement records (paper Tables 2–3).
+
+use serde::{Deserialize, Serialize};
+use streamlab_net::TcpInfo;
+use streamlab_sim::{SimDuration, SimTime};
+use streamlab_workload::{
+    AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
+    SessionId, VideoId,
+};
+
+/// Where the CDN found a chunk. Mirrors `streamlab-cdn`'s status but is
+/// defined independently so telemetry does not depend on the CDN crate
+/// (the paper's beacon pipeline likewise only sees a logged string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// Served from main memory.
+    RamHit,
+    /// Served from local disk.
+    DiskHit,
+    /// Fetched from the backend.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Hit in the paper's sense (no backend involved).
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheOutcome::Miss)
+    }
+}
+
+/// Ground truth the production system could not measure; used to validate
+/// the paper's estimators against the simulator's knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ChunkTruth {
+    /// The actual download-stack latency added to this chunk's first byte.
+    pub dds: SimDuration,
+    /// The actual unloaded round-trip time when the chunk was requested.
+    pub rtt0: SimDuration,
+    /// Whether the chunk was transiently buffered inside the client stack.
+    pub transient_buffered: bool,
+}
+
+/// Player-side per-chunk record (paper Table 2, "Player" rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlayerChunkRecord {
+    /// Join key 1.
+    pub session: SessionId,
+    /// Join key 2.
+    pub chunk: ChunkIndex,
+    /// Requested bitrate, kbps.
+    pub bitrate_kbps: u32,
+    /// When the HTTP GET left the player.
+    pub requested_at: SimTime,
+    /// First-byte delay `D_FB` (GET sent → first byte at the player).
+    pub d_fb: SimDuration,
+    /// Last-byte delay `D_LB` (first byte → last byte at the player).
+    pub d_lb: SimDuration,
+    /// Seconds of video in the chunk (τ in Eq. 2).
+    pub chunk_secs: f64,
+    /// Rebuffering events attributed to this chunk (`bufcount`).
+    pub buf_count: u32,
+    /// Rebuffering time attributed to this chunk (`bufdur`).
+    pub buf_dur: SimDuration,
+    /// Player visibility while the chunk displayed (`vis`).
+    pub visible: bool,
+    /// Average rendered framerate over the chunk (`avgfr`).
+    pub avg_fps: f64,
+    /// Frames dropped while rendering the chunk (`dropfr`).
+    pub dropped_frames: u32,
+    /// Frames the chunk carries.
+    pub frames: u32,
+    /// Simulation ground truth (not available in production).
+    pub truth: ChunkTruth,
+}
+
+impl PlayerChunkRecord {
+    /// The paper's Eq. 2 performance score, `τ / (D_FB + D_LB)`; below 1
+    /// the chunk drains the playback buffer.
+    pub fn perf_score(&self) -> f64 {
+        let d = (self.d_fb + self.d_lb).as_secs_f64();
+        if d <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.chunk_secs / d
+        }
+    }
+
+    /// Download rate in seconds-of-video per second (Fig. 19 x-axis);
+    /// numerically identical to `perf_score`.
+    pub fn download_rate(&self) -> f64 {
+        self.perf_score()
+    }
+
+    /// Client-observed delivery throughput, kbps (what a rate-based ABR
+    /// feeds on).
+    pub fn observed_throughput_kbps(&self) -> f64 {
+        let d = (self.d_fb + self.d_lb).as_secs_f64();
+        if d <= 0.0 {
+            return f64::INFINITY;
+        }
+        f64::from(self.bitrate_kbps) * self.chunk_secs / d
+    }
+
+    /// Instantaneous throughput `TP_inst = chunk bits / D_LB` (§4.3 Eq. 4
+    /// input), in Mbit/s.
+    pub fn instantaneous_tp_mbps(&self) -> f64 {
+        let d = self.d_lb.as_secs_f64();
+        if d <= 0.0 {
+            return f64::INFINITY;
+        }
+        f64::from(self.bitrate_kbps) / 1000.0 * self.chunk_secs / d
+    }
+
+    /// Fraction of frames dropped.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            f64::from(self.dropped_frames) / f64::from(self.frames)
+        }
+    }
+}
+
+/// CDN-side per-chunk record (paper Table 2, "CDN" rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CdnChunkRecord {
+    /// Join key 1.
+    pub session: SessionId,
+    /// Join key 2.
+    pub chunk: ChunkIndex,
+    /// Request queue wait.
+    pub d_wait: SimDuration,
+    /// Header read → first open attempt.
+    pub d_open: SimDuration,
+    /// Open → first byte at the socket (includes retry timer / backend
+    /// wait).
+    pub d_read: SimDuration,
+    /// Backend latency (`D_BE`); zero on hits.
+    pub d_backend: SimDuration,
+    /// Cache status.
+    pub cache: CacheOutcome,
+    /// Whether the 10 ms open-read retry timer fired.
+    pub retry_fired: bool,
+    /// Chunk size, bytes.
+    pub size_bytes: u64,
+    /// When the server received the request.
+    pub served_at: SimTime,
+    /// Data segments sent for this chunk.
+    pub segments: u32,
+    /// Segments retransmitted while serving this chunk.
+    pub retx_segments: u32,
+    /// Kernel `tcp_info` snapshots taken while this chunk was in flight
+    /// (≥ 1 per chunk, 500 ms cadence).
+    pub tcp: Vec<TcpInfo>,
+}
+
+impl CdnChunkRecord {
+    /// `D_CDN` of Eq. 1 (server latency excluding the backend wait).
+    pub fn d_cdn(&self) -> SimDuration {
+        self.d_wait + self.d_open + (self.d_read - self.d_backend)
+    }
+
+    /// Total server-side latency (`D_CDN + D_BE`), the Fig. 5
+    /// total-hit/total-miss quantity.
+    pub fn server_total(&self) -> SimDuration {
+        self.d_wait + self.d_open + self.d_read
+    }
+
+    /// Retransmission rate while serving this chunk.
+    pub fn retx_rate(&self) -> f64 {
+        if self.segments == 0 {
+            0.0
+        } else {
+            f64::from(self.retx_segments) / f64::from(self.segments)
+        }
+    }
+
+    /// The last kernel snapshot taken during this chunk.
+    pub fn last_tcp(&self) -> Option<&TcpInfo> {
+        self.tcp.last()
+    }
+}
+
+/// A joined per-chunk record: both vantage points fused on
+/// `(session, chunk)` — the measurement unit every §4 analysis runs on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Player-side half.
+    pub player: PlayerChunkRecord,
+    /// CDN-side half.
+    pub cdn: CdnChunkRecord,
+}
+
+impl ChunkRecord {
+    /// Chunk index (identical on both halves by construction).
+    pub fn chunk(&self) -> ChunkIndex {
+        self.player.chunk
+    }
+
+    /// The Eq. 1 residual `D_FB − (D_CDN + D_BE)`: an upper bound on
+    /// `rtt₀ + D_DS`, the basis of both the baseline-latency estimate
+    /// (§4.2.1) and the Eq. 5 download-stack bound.
+    pub fn fb_residual(&self) -> SimDuration {
+        self.player
+            .d_fb
+            .saturating_sub(self.cdn.d_cdn() + self.cdn.d_backend)
+    }
+}
+
+/// Per-session metadata from both sides (paper Table 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionMeta {
+    /// Session id (the global join key).
+    pub session: SessionId,
+    /// Client /24 prefix ("user IP", coarsened exactly as §4.2 does).
+    pub prefix: PrefixId,
+    /// Video watched.
+    pub video: VideoId,
+    /// Full video length, seconds.
+    pub video_secs: f64,
+    /// Client OS (from the user agent).
+    pub os: Os,
+    /// Client browser (from the user agent).
+    pub browser: Browser,
+    /// Organization that owns the prefix (ISP or enterprise).
+    pub org: String,
+    /// Residential vs enterprise.
+    pub org_kind: OrgKind,
+    /// Access-link class ("connection type").
+    pub access: AccessClass,
+    /// Client world region.
+    pub region: Region,
+    /// Client location (coarse geolocation).
+    pub location: GeoPoint,
+    /// Serving PoP.
+    pub pop: PopId,
+    /// Serving CDN server.
+    pub server: ServerId,
+    /// Great-circle distance client ↔ serving PoP, km.
+    pub distance_km: f64,
+    /// Session arrival time.
+    pub arrival: SimTime,
+    /// Player-reported startup delay (time-to-play), seconds; `NaN` when
+    /// playback never started. Part of the player's session QoE beacon.
+    pub startup_delay_s: f64,
+    /// Ground truth: the session sits behind an HTTP proxy.
+    pub proxied: bool,
+    /// Detectable proxy signal: user agent / client IP mismatch between
+    /// HTTP requests and player beacons (§3's filter (i)).
+    pub ua_mismatch: bool,
+    /// Hardware rendering available.
+    pub gpu: bool,
+    /// Session visibility flag.
+    pub visible: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn player_record(d_fb_ms: u64, d_lb_ms: u64) -> PlayerChunkRecord {
+        PlayerChunkRecord {
+            session: SessionId(1),
+            chunk: ChunkIndex(0),
+            bitrate_kbps: 1050,
+            requested_at: SimTime::ZERO,
+            d_fb: SimDuration::from_millis(d_fb_ms),
+            d_lb: SimDuration::from_millis(d_lb_ms),
+            chunk_secs: 6.0,
+            buf_count: 0,
+            buf_dur: SimDuration::ZERO,
+            visible: true,
+            avg_fps: 30.0,
+            dropped_frames: 9,
+            frames: 180,
+            truth: ChunkTruth::default(),
+        }
+    }
+
+    #[test]
+    fn perf_score_thresholds() {
+        // 6 s chunk delivered in 3 s: score 2 (good).
+        assert!((player_record(500, 2500).perf_score() - 2.0).abs() < 1e-9);
+        // Delivered in 12 s: score 0.5 (bad, buffer drains).
+        assert!((player_record(2000, 10_000).perf_score() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughputs_are_consistent() {
+        let r = player_record(500, 2500);
+        // 1050 kbps * 6 s = 6300 kbit over 3 s → 2100 kbps observed.
+        assert!((r.observed_throughput_kbps() - 2100.0).abs() < 1e-6);
+        // Instantaneous uses D_LB only: 6300 kbit / 2.5 s = 2.52 Mbps.
+        assert!((r.instantaneous_tp_mbps() - 2.52).abs() < 1e-9);
+        assert!((r.drop_ratio() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdn_decomposition() {
+        let c = CdnChunkRecord {
+            session: SessionId(1),
+            chunk: ChunkIndex(0),
+            d_wait: SimDuration::from_millis(1),
+            d_open: SimDuration::from_millis(1),
+            d_read: SimDuration::from_millis(76),
+            d_backend: SimDuration::from_millis(66),
+            cache: CacheOutcome::Miss,
+            retry_fired: true,
+            size_bytes: 787_500,
+            served_at: SimTime::ZERO,
+            segments: 540,
+            retx_segments: 27,
+            tcp: vec![],
+        };
+        assert_eq!(c.d_cdn(), SimDuration::from_millis(12));
+        assert_eq!(c.server_total(), SimDuration::from_millis(78));
+        assert!((c.retx_rate() - 0.05).abs() < 1e-9);
+        assert!(c.last_tcp().is_none());
+        assert!(!c.cache.is_hit());
+    }
+
+    #[test]
+    fn fb_residual_bounds_rtt_plus_dds() {
+        let mut p = player_record(200, 1000);
+        p.truth = ChunkTruth {
+            dds: SimDuration::from_millis(40),
+            rtt0: SimDuration::from_millis(60),
+            transient_buffered: false,
+        };
+        let c = CdnChunkRecord {
+            session: SessionId(1),
+            chunk: ChunkIndex(0),
+            d_wait: SimDuration::from_millis(1),
+            d_open: SimDuration::from_millis(1),
+            d_read: SimDuration::from_millis(98),
+            d_backend: SimDuration::ZERO,
+            cache: CacheOutcome::RamHit,
+            retry_fired: false,
+            size_bytes: 787_500,
+            served_at: SimTime::ZERO,
+            segments: 540,
+            retx_segments: 0,
+            tcp: vec![],
+        };
+        let joined = ChunkRecord { player: p, cdn: c };
+        // Residual = 200 − 100 = 100 ms = rtt0 + dds here.
+        assert_eq!(joined.fb_residual(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn zero_duration_edge_cases() {
+        let r = player_record(0, 0);
+        assert!(r.perf_score().is_infinite());
+        assert!(r.observed_throughput_kbps().is_infinite());
+    }
+}

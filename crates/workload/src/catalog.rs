@@ -1,0 +1,337 @@
+//! The video catalog: lengths, popularity, chunking, bitrate ladder.
+//!
+//! Paper inputs reproduced here (§3, Fig. 3):
+//! * all chunks carry six seconds of video (except possibly the last);
+//! * video lengths are heavy-tailed, from tens of seconds (clips) to
+//!   multi-thousand-second long-form content (Fig. 3a CCDF);
+//! * popularity is Zipf-like with the top 10 % of videos receiving about
+//!   66 % of playbacks (Fig. 3b).
+
+use crate::ids::{ChunkIndex, VideoId};
+use serde::{Deserialize, Serialize};
+use streamlab_sim::dist::{LogNormal, Sample, Zipf};
+use streamlab_sim::RngStream;
+
+/// Chunk duration used throughout the service (§3: "All chunks in our
+/// dataset contain six seconds of video").
+pub const CHUNK_SECONDS: f64 = 6.0;
+
+/// The ABR bitrate ladder, kilobits per second.
+///
+/// A typical premium-VoD ladder; the paper reports session bitrates from a
+/// few hundred kbps to a few Mbps (Fig. 11b spans ~10² to ~10⁴ kbps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitrateLadder {
+    /// Available bitrates, ascending, kbps.
+    pub rungs_kbps: Vec<u32>,
+}
+
+impl Default for BitrateLadder {
+    fn default() -> Self {
+        BitrateLadder {
+            rungs_kbps: vec![235, 375, 560, 750, 1050, 1750, 2350, 3000],
+        }
+    }
+}
+
+impl BitrateLadder {
+    /// Lowest bitrate, kbps.
+    pub fn min_kbps(&self) -> u32 {
+        *self.rungs_kbps.first().expect("ladder non-empty")
+    }
+
+    /// Highest bitrate, kbps.
+    pub fn max_kbps(&self) -> u32 {
+        *self.rungs_kbps.last().expect("ladder non-empty")
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.rungs_kbps.len()
+    }
+
+    /// True when the ladder has no rungs (invalid; default is non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.rungs_kbps.is_empty()
+    }
+
+    /// The highest rung not exceeding `kbps`, or the lowest rung if none
+    /// qualifies. This is the quantizer ABR algorithms use.
+    pub fn floor_rung(&self, kbps: f64) -> u32 {
+        let mut chosen = self.min_kbps();
+        for &r in &self.rungs_kbps {
+            if f64::from(r) <= kbps {
+                chosen = r;
+            } else {
+                break;
+            }
+        }
+        chosen
+    }
+
+    /// The rung index of `kbps`, if it is exactly on the ladder.
+    pub fn rung_index(&self, kbps: u32) -> Option<usize> {
+        self.rungs_kbps.iter().position(|&r| r == kbps)
+    }
+
+    /// Step one rung down from `kbps` (saturating at the bottom).
+    pub fn step_down(&self, kbps: u32) -> u32 {
+        match self.rung_index(kbps) {
+            Some(0) | None => self.min_kbps(),
+            Some(i) => self.rungs_kbps[i - 1],
+        }
+    }
+
+    /// Step one rung up from `kbps` (saturating at the top).
+    pub fn step_up(&self, kbps: u32) -> u32 {
+        match self.rung_index(kbps) {
+            None => self.min_kbps(),
+            Some(i) if i + 1 == self.rungs_kbps.len() => self.max_kbps(),
+            Some(i) => self.rungs_kbps[i + 1],
+        }
+    }
+}
+
+/// One video in the catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Video {
+    /// Identity; ids are assigned in popularity order (id 0 = rank 1).
+    pub id: VideoId,
+    /// Total duration in seconds.
+    pub duration_s: f64,
+}
+
+impl Video {
+    /// Number of chunks (6 s each, last chunk possibly short).
+    pub fn chunk_count(&self) -> u32 {
+        (self.duration_s / CHUNK_SECONDS).ceil().max(1.0) as u32
+    }
+
+    /// Seconds of video in chunk `idx` (the last chunk may be shorter).
+    pub fn chunk_seconds(&self, idx: ChunkIndex) -> f64 {
+        let n = self.chunk_count();
+        assert!(idx.raw() < n, "chunk index out of range");
+        if idx.raw() + 1 < n {
+            CHUNK_SECONDS
+        } else {
+            let rem = self.duration_s - CHUNK_SECONDS * f64::from(n - 1);
+            if rem <= 0.0 {
+                CHUNK_SECONDS
+            } else {
+                rem
+            }
+        }
+    }
+
+    /// Size in bytes of chunk `idx` encoded at `bitrate_kbps`.
+    pub fn chunk_bytes(&self, idx: ChunkIndex, bitrate_kbps: u32) -> u64 {
+        let secs = self.chunk_seconds(idx);
+        ((f64::from(bitrate_kbps) * 1000.0 / 8.0) * secs).round() as u64
+    }
+}
+
+/// Configuration for catalog generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Number of videos.
+    pub videos: usize,
+    /// Zipf popularity exponent (≈0.95 gives the paper's 66 % top-decile
+    /// share).
+    pub zipf_exponent: f64,
+    /// Median video length, seconds (Fig. 3a: mass between ~60 s and ~600 s).
+    pub median_length_s: f64,
+    /// Log-space sigma of the length distribution (heavier ⇒ longer tail).
+    pub length_sigma: f64,
+    /// Bitrate ladder offered for every video.
+    pub ladder: BitrateLadder,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            videos: 10_000,
+            zipf_exponent: 0.95,
+            median_length_s: 180.0,
+            length_sigma: 1.1,
+            ladder: BitrateLadder::default(),
+        }
+    }
+}
+
+/// The generated catalog plus its popularity law.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    videos: Vec<Video>,
+    popularity: Zipf,
+    ladder: BitrateLadder,
+}
+
+impl Catalog {
+    /// Generate a catalog from `cfg`, drawing lengths from `rng`.
+    pub fn generate(cfg: &CatalogConfig, rng: &mut RngStream) -> Self {
+        assert!(cfg.videos >= 1);
+        let lengths = LogNormal::from_median(cfg.median_length_s, cfg.length_sigma);
+        let videos = (0..cfg.videos)
+            .map(|i| {
+                // Clamp to [10 s, 4 h]: below 10 s is not a video session,
+                // and Fig. 3a's support ends near 10^4 seconds.
+                let duration_s = lengths.sample(rng).clamp(10.0, 4.0 * 3600.0);
+                Video {
+                    id: VideoId(i as u64),
+                    duration_s,
+                }
+            })
+            .collect();
+        Catalog {
+            videos,
+            popularity: Zipf::new(cfg.videos, cfg.zipf_exponent),
+            ladder: cfg.ladder.clone(),
+        }
+    }
+
+    /// Number of videos.
+    pub fn len(&self) -> usize {
+        self.videos.len()
+    }
+
+    /// True when the catalog is empty (cannot occur post-generation).
+    pub fn is_empty(&self) -> bool {
+        self.videos.is_empty()
+    }
+
+    /// Look up a video.
+    pub fn video(&self, id: VideoId) -> &Video {
+        &self.videos[id.0 as usize]
+    }
+
+    /// All videos, in rank order.
+    pub fn videos(&self) -> &[Video] {
+        &self.videos
+    }
+
+    /// The shared bitrate ladder.
+    pub fn ladder(&self) -> &BitrateLadder {
+        &self.ladder
+    }
+
+    /// Draw a video according to the popularity law.
+    pub fn sample_video(&self, rng: &mut RngStream) -> VideoId {
+        VideoId::from_rank(self.popularity.sample_rank(rng))
+    }
+
+    /// Fraction of requests going to the `m` most popular videos.
+    pub fn head_share(&self, m: usize) -> f64 {
+        self.popularity.head_share(m)
+    }
+
+    /// Probability mass of the video at 1-based `rank`.
+    pub fn rank_probability(&self, rank: usize) -> f64 {
+        self.popularity.pmf(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut rng = RngStream::new(77, "catalog-test");
+        Catalog::generate(&CatalogConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn chunking_covers_duration() {
+        let v = Video {
+            id: VideoId(0),
+            duration_s: 100.0,
+        };
+        assert_eq!(v.chunk_count(), 17); // 16 full chunks + 4 s tail
+        let total: f64 = (0..v.chunk_count())
+            .map(|i| v.chunk_seconds(ChunkIndex(i)))
+            .sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_multiple_has_full_last_chunk() {
+        let v = Video {
+            id: VideoId(0),
+            duration_s: 60.0,
+        };
+        assert_eq!(v.chunk_count(), 10);
+        assert!((v.chunk_seconds(ChunkIndex(9)) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_bytes_scale_with_bitrate() {
+        let v = Video {
+            id: VideoId(0),
+            duration_s: 120.0,
+        };
+        let lo = v.chunk_bytes(ChunkIndex(0), 235);
+        let hi = v.chunk_bytes(ChunkIndex(0), 3000);
+        // 6 s at 235 kbps = 176_250 bytes.
+        assert_eq!(lo, 176_250);
+        assert!((hi as f64 / lo as f64 - 3000.0 / 235.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ladder_floor_and_steps() {
+        let l = BitrateLadder::default();
+        assert_eq!(l.floor_rung(1_000.0), 750);
+        assert_eq!(l.floor_rung(99_999.0), 3000);
+        assert_eq!(l.floor_rung(10.0), 235); // below the ladder: lowest rung
+        assert_eq!(l.step_down(235), 235);
+        assert_eq!(l.step_down(1750), 1050);
+        assert_eq!(l.step_up(3000), 3000);
+        assert_eq!(l.step_up(560), 750);
+    }
+
+    #[test]
+    fn catalog_head_share_is_paper_like() {
+        let c = catalog();
+        let share = c.head_share(c.len() / 10);
+        assert!(
+            (0.55..0.8).contains(&share),
+            "top-10% share = {share}, paper reports ~0.66"
+        );
+    }
+
+    #[test]
+    fn catalog_lengths_are_heavy_tailed() {
+        let c = catalog();
+        let mut lens: Vec<f64> = c.videos().iter().map(|v| v.duration_s).collect();
+        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = lens[lens.len() / 2];
+        let p99 = lens[(lens.len() as f64 * 0.99) as usize];
+        assert!((120.0..260.0).contains(&median), "median = {median}");
+        assert!(p99 > 1_000.0, "p99 = {p99}: tail should reach 10^3+ s");
+        assert!(lens.iter().all(|&l| (10.0..=14_400.0).contains(&l)));
+    }
+
+    #[test]
+    fn sample_video_prefers_low_ranks() {
+        let c = catalog();
+        let mut rng = RngStream::new(78, "sample");
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if c.sample_video(&mut rng).rank() <= c.len() / 10 {
+                head += 1;
+            }
+        }
+        let share = head as f64 / N as f64;
+        assert!((share - c.head_share(c.len() / 10)).abs() < 0.02);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = RngStream::new(5, "cat");
+        let mut r2 = RngStream::new(5, "cat");
+        let c1 = Catalog::generate(&CatalogConfig::default(), &mut r1);
+        let c2 = Catalog::generate(&CatalogConfig::default(), &mut r2);
+        for (a, b) in c1.videos().iter().zip(c2.videos()) {
+            assert_eq!(a.duration_s, b.duration_s);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Coarse geography: PoP locations, client placement, great-circle distance.
+//!
+//! The paper's dataset is served by 85 CDN servers across the US with >93 %
+//! of clients in North America; persistent tail latency correlates either
+//! with geographic distance (international clients) or with enterprise paths
+//! despite proximity (Fig. 9). We model geography as real lat/long metros so
+//! that "mean distance of prefix from CDN servers (km)" is meaningful.
+
+use crate::ids::PopId;
+use serde::{Deserialize, Serialize};
+
+/// A point on the globe, degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, north positive.
+    pub lat: f64,
+    /// Longitude in degrees, east positive.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Great-circle distance to `other` in kilometres (haversine, mean
+    /// Earth radius 6371 km).
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        const R: f64 = 6371.0;
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * R * a.sqrt().asin()
+    }
+}
+
+/// World region of a client, used for the US/international split of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// United States (the paper's dominant client base).
+    UnitedStates,
+    /// Canada / Mexico (rest of North America).
+    NorthAmericaOther,
+    /// Europe.
+    Europe,
+    /// Asia-Pacific.
+    AsiaPacific,
+    /// South America.
+    SouthAmerica,
+    /// Everything else.
+    Other,
+}
+
+impl Region {
+    /// True for US clients (the focus of the paper's geo analysis, since IP
+    /// geolocation outside the US is unreliable [Poese et al.]).
+    pub fn is_us(self) -> bool {
+        matches!(self, Region::UnitedStates)
+    }
+}
+
+/// A CDN point of presence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pop {
+    /// The PoP id.
+    pub id: PopId,
+    /// Metro name, for reports.
+    pub metro: &'static str,
+    /// Location.
+    pub location: GeoPoint,
+}
+
+/// The US metros that host CDN PoPs in the simulated deployment.
+///
+/// Chosen to span the continental US the way a commercial CDN footprint
+/// does; exact cities are irrelevant to the analyses, distances are not.
+pub const POP_METROS: &[(&str, f64, f64)] = &[
+    ("Ashburn-VA", 39.04, -77.49),
+    ("NewYork-NY", 40.71, -74.01),
+    ("Atlanta-GA", 33.75, -84.39),
+    ("Chicago-IL", 41.88, -87.63),
+    ("Dallas-TX", 32.78, -96.80),
+    ("Denver-CO", 39.74, -104.99),
+    ("LosAngeles-CA", 34.05, -118.24),
+    ("SanJose-CA", 37.34, -121.89),
+    ("Seattle-WA", 47.61, -122.33),
+    ("Miami-FL", 25.76, -80.19),
+];
+
+/// US client metros (a superset of the PoP metros) with rough population
+/// weights, used to place residential and enterprise prefixes.
+pub const US_CLIENT_METROS: &[(&str, f64, f64, f64)] = &[
+    ("NewYork-NY", 40.71, -74.01, 19.0),
+    ("LosAngeles-CA", 34.05, -118.24, 13.0),
+    ("Chicago-IL", 41.88, -87.63, 9.5),
+    ("Dallas-TX", 32.78, -96.80, 7.5),
+    ("Houston-TX", 29.76, -95.37, 7.0),
+    ("WashingtonDC", 38.91, -77.04, 6.3),
+    ("Miami-FL", 25.76, -80.19, 6.1),
+    ("Philadelphia-PA", 39.95, -75.17, 6.0),
+    ("Atlanta-GA", 33.75, -84.39, 6.0),
+    ("Phoenix-AZ", 33.45, -112.07, 4.8),
+    ("Boston-MA", 42.36, -71.06, 4.9),
+    ("SanFrancisco-CA", 37.77, -122.42, 4.7),
+    ("Detroit-MI", 42.33, -83.05, 4.3),
+    ("Seattle-WA", 47.61, -122.33, 4.0),
+    ("Minneapolis-MN", 44.98, -93.27, 3.6),
+    ("Denver-CO", 39.74, -104.99, 3.0),
+    ("Billings-MT", 45.79, -108.50, 0.6),
+    ("Fargo-ND", 46.88, -96.79, 0.5),
+    ("ElPaso-TX", 31.76, -106.49, 0.8),
+    ("Anchorage-AK", 61.22, -149.90, 0.3),
+];
+
+/// International client metros with rough traffic weights (the paper: ~7 %
+/// of clients outside North America, spread over 96 countries).
+pub const INTL_CLIENT_METROS: &[(&str, f64, f64, f64, Region)] = &[
+    ("Toronto-CA", 43.65, -79.38, 3.0, Region::NorthAmericaOther),
+    ("Vancouver-CA", 49.28, -123.12, 1.2, Region::NorthAmericaOther),
+    ("MexicoCity-MX", 19.43, -99.13, 1.5, Region::NorthAmericaOther),
+    ("London-UK", 51.51, -0.13, 1.6, Region::Europe),
+    ("Frankfurt-DE", 50.11, 8.68, 1.0, Region::Europe),
+    ("Paris-FR", 48.86, 2.35, 0.8, Region::Europe),
+    ("Madrid-ES", 40.42, -3.70, 0.5, Region::Europe),
+    ("Tokyo-JP", 35.68, 139.69, 0.8, Region::AsiaPacific),
+    ("Singapore-SG", 1.35, 103.82, 0.6, Region::AsiaPacific),
+    ("Sydney-AU", -33.87, 151.21, 0.7, Region::AsiaPacific),
+    ("Mumbai-IN", 19.08, 72.88, 0.6, Region::AsiaPacific),
+    ("SaoPaulo-BR", -23.55, -46.63, 0.7, Region::SouthAmerica),
+    ("BuenosAires-AR", -34.60, -58.38, 0.3, Region::SouthAmerica),
+    ("Johannesburg-ZA", -26.20, 28.05, 0.2, Region::Other),
+];
+
+/// Build the PoP list for the simulated deployment.
+pub fn build_pops() -> Vec<Pop> {
+    POP_METROS
+        .iter()
+        .enumerate()
+        .map(|(i, (metro, lat, lon))| Pop {
+            id: PopId(i as u64),
+            metro,
+            location: GeoPoint {
+                lat: *lat,
+                lon: *lon,
+            },
+        })
+        .collect()
+}
+
+/// Index of the PoP nearest to `p`.
+pub fn nearest_pop(pops: &[Pop], p: &GeoPoint) -> usize {
+    assert!(!pops.is_empty());
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, pop) in pops.iter().enumerate() {
+        let d = pop.location.distance_km(p);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_known_distance() {
+        // New York to Los Angeles is ~3940 km.
+        let ny = GeoPoint {
+            lat: 40.71,
+            lon: -74.01,
+        };
+        let la = GeoPoint {
+            lat: 34.05,
+            lon: -118.24,
+        };
+        let d = ny.distance_km(&la);
+        assert!((3800.0..4100.0).contains(&d), "d = {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = GeoPoint {
+            lat: 39.0,
+            lon: -77.0,
+        };
+        let b = GeoPoint {
+            lat: 35.68,
+            lon: 139.69,
+        };
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn pops_cover_the_us() {
+        let pops = build_pops();
+        assert_eq!(pops.len(), POP_METROS.len());
+        // Every US client metro should be within 2500 km of some PoP.
+        for (name, lat, lon, _) in US_CLIENT_METROS {
+            let p = GeoPoint {
+                lat: *lat,
+                lon: *lon,
+            };
+            let i = nearest_pop(&pops, &p);
+            let d = pops[i].location.distance_km(&p);
+            assert!(d < 2500.0, "{name} is {d} km from nearest PoP");
+        }
+    }
+
+    #[test]
+    fn nearest_pop_is_actually_nearest() {
+        let pops = build_pops();
+        let seattle = GeoPoint {
+            lat: 47.61,
+            lon: -122.33,
+        };
+        let i = nearest_pop(&pops, &seattle);
+        assert_eq!(pops[i].metro, "Seattle-WA");
+    }
+
+    #[test]
+    fn international_metros_are_far_from_us_pops() {
+        let pops = build_pops();
+        for (name, lat, lon, _, region) in INTL_CLIENT_METROS {
+            if matches!(region, Region::NorthAmericaOther) {
+                continue;
+            }
+            let p = GeoPoint {
+                lat: *lat,
+                lon: *lon,
+            };
+            let i = nearest_pop(&pops, &p);
+            let d = pops[i].location.distance_km(&p);
+            assert!(d > 3000.0, "{name} only {d} km from a US PoP");
+        }
+    }
+
+    #[test]
+    fn region_us_flag() {
+        assert!(Region::UnitedStates.is_us());
+        assert!(!Region::Europe.is_us());
+    }
+}

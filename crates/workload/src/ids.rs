@@ -1,0 +1,138 @@
+//! Strongly-typed identifiers shared across the whole reproduction.
+//!
+//! The paper joins the two measurement vantage points (player beacons and
+//! CDN logs) on a globally unique session ID plus a per-session chunk ID
+//! (§2.2); these newtypes make that join impossible to get wrong at the type
+//! level.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The raw numeric value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A video in the catalog. `VideoId(0)` is the most popular video; IDs
+    /// are assigned in popularity-rank order so `rank = id + 1`.
+    VideoId,
+    "v"
+);
+id_type!(
+    /// A globally unique streaming session (one player, one video, one CDN
+    /// server, one TCP connection).
+    SessionId,
+    "s"
+);
+id_type!(
+    /// A CDN server machine (the paper's dataset covers 85 of them).
+    ServerId,
+    "srv"
+);
+id_type!(
+    /// A CDN point of presence; each PoP hosts several servers.
+    PopId,
+    "pop"
+);
+id_type!(
+    /// A /24 client address block, the aggregation unit of §4.2. The id is
+    /// opaque; equality is all the analyses need.
+    PrefixId,
+    "pfx"
+);
+
+/// Index of a chunk within its session, starting at 0 for the first chunk.
+///
+/// The paper's findings repeatedly key on this ("losses on the first chunk
+/// hurt the most", Fig. 14/15; "first chunks have higher download-stack
+/// latency", Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChunkIndex(pub u32);
+
+impl ChunkIndex {
+    /// True for the session's first chunk.
+    pub const fn is_first(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw zero-based index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ChunkIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl VideoId {
+    /// Popularity rank (1-based; rank 1 is the most popular video).
+    pub const fn rank(self) -> usize {
+        self.0 as usize + 1
+    }
+
+    /// The id for a given 1-based popularity rank.
+    pub const fn from_rank(rank: usize) -> VideoId {
+        VideoId(rank as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(VideoId(3).to_string(), "v3");
+        assert_eq!(SessionId(10).to_string(), "s10");
+        assert_eq!(ServerId(1).to_string(), "srv1");
+        assert_eq!(PopId(0).to_string(), "pop0");
+        assert_eq!(PrefixId(9).to_string(), "pfx9");
+        assert_eq!(ChunkIndex(2).to_string(), "c2");
+    }
+
+    #[test]
+    fn rank_round_trips() {
+        for rank in [1usize, 2, 100, 10_000] {
+            assert_eq!(VideoId::from_rank(rank).rank(), rank);
+        }
+    }
+
+    #[test]
+    fn first_chunk_flag() {
+        assert!(ChunkIndex(0).is_first());
+        assert!(!ChunkIndex(1).is_first());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(VideoId(1));
+        set.insert(VideoId(1));
+        set.insert(VideoId(2));
+        assert_eq!(set.len(), 2);
+        assert!(VideoId(1) < VideoId(2));
+    }
+}

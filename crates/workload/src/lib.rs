@@ -1,0 +1,40 @@
+//! # streamlab-workload
+//!
+//! Workload and population generator: the synthetic stand-in for Yahoo's
+//! proprietary viewership (65 M sessions over 18 days, §3 of the paper).
+//!
+//! This crate owns the *domain vocabulary* of the reproduction — video,
+//! catalog, client, session identities — plus the generators that produce a
+//! paper-shaped population:
+//!
+//! * [`catalog`] — a video catalog with Zipf-skewed popularity (top 10 % of
+//!   videos ≈ 66 % of playbacks), heavy-tailed video lengths (paper Fig. 3a),
+//!   6-second chunks and an ABR bitrate ladder.
+//! * [`geo`] — coarse geography: CDN PoP locations, client placement around
+//!   metros, great-circle distances (paper Fig. 9 is distance-vs-latency).
+//! * [`population`] — client profiles: /24 prefix, ISP/organization class
+//!   (residential vs enterprise, paper Table 4), access-link class, OS and
+//!   browser mix (§3), rendering capability (GPU, cores), proxy flag
+//!   (filtered in preprocessing, §3).
+//! * [`session`] — session specs: which client watches which video, when,
+//!   and for how long.
+//!
+//! Everything is generated from named [`streamlab_sim::RngStream`]s, so the
+//! same seed reproduces the same population bit-for-bit.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod geo;
+pub mod ids;
+pub mod population;
+pub mod session;
+
+pub use catalog::{BitrateLadder, Catalog, CatalogConfig, Video, CHUNK_SECONDS};
+pub use geo::{GeoPoint, Pop, Region};
+pub use ids::{ChunkIndex, PopId, PrefixId, ServerId, SessionId, VideoId};
+pub use population::{
+    AccessClass, Browser, ClientProfile, OrgKind, Os, Population, PopulationConfig,
+};
+pub use session::{FlashCrowd, SessionGenerator, SessionSpec, TrafficConfig};

@@ -1,0 +1,75 @@
+//! Client device identity: operating system and browser (the §3 mixes).
+
+use serde::{Deserialize, Serialize};
+
+/// Client operating system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Os {
+    /// Microsoft Windows (88.5 % of sessions).
+    Windows,
+    /// Apple OS X (9.38 % of sessions).
+    MacOs,
+    /// Linux desktop (the remainder).
+    Linux,
+}
+
+impl Os {
+    /// Short label used in reports, matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Os::Windows => "Windows",
+            Os::MacOs => "Mac",
+            Os::Linux => "Linux",
+        }
+    }
+}
+
+/// Client browser. The long tail matters: the paper's Figs. 21–22 and
+/// Table 5 single out unpopular browsers for bad download-stack and
+/// rendering behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Browser {
+    /// Google Chrome (ships its own Flash — best download/rendering path).
+    Chrome,
+    /// Mozilla Firefox (Flash in protected-mode subprocess).
+    Firefox,
+    /// Internet Explorer.
+    InternetExplorer,
+    /// Microsoft Edge.
+    Edge,
+    /// Apple Safari (native HLS on OS X; poor on other platforms).
+    Safari,
+    /// Opera.
+    Opera,
+    /// Yandex Browser (paper: among the worst download-stack latencies).
+    Yandex,
+    /// Vivaldi.
+    Vivaldi,
+    /// SeaMonkey.
+    SeaMonkey,
+}
+
+impl Browser {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Browser::Chrome => "Chrome",
+            Browser::Firefox => "Firefox",
+            Browser::InternetExplorer => "IE",
+            Browser::Edge => "Edge",
+            Browser::Safari => "Safari",
+            Browser::Opera => "Opera",
+            Browser::Yandex => "Yandex",
+            Browser::Vivaldi => "Vivaldi",
+            Browser::SeaMonkey => "SeaMonkey",
+        }
+    }
+
+    /// True for the browsers the paper groups as "Other" (unpopular).
+    pub fn is_unpopular(self) -> bool {
+        matches!(
+            self,
+            Browser::Opera | Browser::Yandex | Browser::Vivaldi | Browser::SeaMonkey
+        )
+    }
+}

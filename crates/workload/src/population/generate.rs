@@ -1,0 +1,358 @@
+//! Population generation: prefixes, weights, device sampling, and the
+//! per-access-class path parameters.
+
+use super::device::{Browser, Os};
+use super::prefix::{AccessClass, ClientProfile, OrgKind, PathCharacter, Prefix};
+use crate::geo::{GeoPoint, Region, INTL_CLIENT_METROS, US_CLIENT_METROS};
+use crate::ids::PrefixId;
+use serde::{Deserialize, Serialize};
+use streamlab_sim::dist::Categorical;
+use streamlab_sim::RngStream;
+
+/// Configuration for population generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of /24 prefixes to generate.
+    pub prefixes: usize,
+    /// Fraction of prefixes that belong to enterprises.
+    pub enterprise_fraction: f64,
+    /// Fraction of prefixes outside the US (paper: ~7 % of clients).
+    pub international_fraction: f64,
+    /// Fraction of *sessions* behind proxies before preprocessing (paper
+    /// keeps 77 % after filtering, so ~23 % are proxy sessions).
+    pub proxy_session_fraction: f64,
+    /// Number of major residential ISPs.
+    pub residential_isps: usize,
+    /// Number of enterprise organizations.
+    pub enterprises: usize,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            prefixes: 4_000,
+            enterprise_fraction: 0.10,
+            international_fraction: 0.07,
+            proxy_session_fraction: 0.23,
+            residential_isps: 5,
+            enterprises: 40,
+        }
+    }
+}
+
+/// The generated population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    prefixes: Vec<Prefix>,
+    prefix_picker: Categorical<usize>,
+    os_browser: Categorical<(Os, Browser)>,
+    cores: Categorical<u8>,
+}
+
+/// Joint OS × browser weights calibrated to §3's marginals
+/// (Chrome 43, Firefox 37, IE 13, Safari 6, other ≈2;
+/// Windows 88.5, OS X 9.38, Linux ≈2).
+fn os_browser_weights() -> Vec<((Os, Browser), f64)> {
+    use Browser::*;
+    use Os::*;
+    vec![
+        ((Windows, Chrome), 40.0),
+        ((Windows, Firefox), 33.2),
+        ((Windows, InternetExplorer), 13.0),
+        ((Windows, Edge), 1.0),
+        ((Windows, Safari), 0.4),
+        ((Windows, Opera), 0.35),
+        ((Windows, Yandex), 0.25),
+        ((Windows, Vivaldi), 0.20),
+        ((Windows, SeaMonkey), 0.10),
+        ((MacOs, Safari), 5.3),
+        ((MacOs, Chrome), 2.4),
+        ((MacOs, Firefox), 1.6),
+        ((MacOs, Opera), 0.08),
+        ((Linux, Chrome), 0.6),
+        ((Linux, Firefox), 1.2),
+        ((Linux, Safari), 0.15),
+        ((Linux, Opera), 0.15),
+    ]
+}
+
+impl Population {
+    /// Generate a population from `cfg`, drawing from `rng`.
+    pub fn generate(cfg: &PopulationConfig, rng: &mut RngStream) -> Self {
+        assert!(cfg.prefixes >= 1);
+        let us_metros = Categorical::new(
+            US_CLIENT_METROS
+                .iter()
+                .map(|(n, lat, lon, w)| ((*n, *lat, *lon), *w))
+                .collect(),
+        );
+        let intl_metros = Categorical::new(
+            INTL_CLIENT_METROS
+                .iter()
+                .map(|(n, lat, lon, w, r)| ((*n, *lat, *lon, *r), *w))
+                .collect(),
+        );
+
+        let mut prefixes = Vec::with_capacity(cfg.prefixes);
+        for i in 0..cfg.prefixes {
+            let id = PrefixId(i as u64);
+            let international = rng.chance(cfg.international_fraction);
+            let enterprise = !international && rng.chance(cfg.enterprise_fraction);
+
+            let (location, region) = if international {
+                let (_, lat, lon, r) = intl_metros.sample(rng);
+                (scatter(GeoPoint { lat, lon }, 120.0, rng), r)
+            } else {
+                let (_, lat, lon) = us_metros.sample(rng);
+                (
+                    scatter(GeoPoint { lat, lon }, 180.0, rng),
+                    Region::UnitedStates,
+                )
+            };
+
+            let (org, org_kind, access) = if enterprise {
+                let k = rng.index(cfg.enterprises);
+                (
+                    format!("Enterprise-{k}"),
+                    OrgKind::Enterprise,
+                    AccessClass::EnterpriseLan,
+                )
+            } else if international {
+                let k = rng.index(cfg.residential_isps * 3);
+                (
+                    format!("Intl-ISP-{k}"),
+                    OrgKind::Residential,
+                    AccessClass::International,
+                )
+            } else {
+                let k = rng.index(cfg.residential_isps);
+                let access = match rng.index(10) {
+                    0..=5 => AccessClass::Cable,
+                    6..=7 => AccessClass::Fiber,
+                    _ => AccessClass::Dsl,
+                };
+                (format!("Residential-ISP-{k}"), OrgKind::Residential, access)
+            };
+
+            let path = path_character(access, rng);
+            // Proxies concentrate on enterprise prefixes (corporate HTTP
+            // proxies) but some ISP-level proxies exist too. Calibrated so
+            // that the session-weighted proxy share lands near
+            // `proxy_session_fraction`.
+            // Proxies: corporate HTTP proxies plus transparent ISP proxies
+            // (Xu et al., Weaver et al.). Enterprise prefixes carry ~15 %
+            // of sessions (weights below); the rates are set to land the
+            // session-weighted share near `proxy_session_fraction` while
+            // leaving most enterprise sessions *observable* — Table 4's
+            // enterprises survive preprocessing in the paper too.
+            let proxied = match org_kind {
+                OrgKind::Enterprise => rng.chance(0.4),
+                OrgKind::Residential => {
+                    rng.chance((cfg.proxy_session_fraction * 0.87).clamp(0.0, 1.0))
+                }
+            };
+
+            // Traffic weight: enterprise prefixes host many employees, a
+            // few very large (Table 4's Enterprise#2 has 11k sessions);
+            // residential prefixes are Pareto-ish but lighter.
+            let weight = match org_kind {
+                OrgKind::Enterprise => 0.5 + 8.0 * rng.uniform().powi(4),
+                OrgKind::Residential => 0.3 + 3.0 * rng.uniform().powi(2),
+            };
+
+            prefixes.push(Prefix {
+                id,
+                location,
+                region,
+                org,
+                org_kind,
+                access,
+                path,
+                proxied,
+                weight,
+            });
+        }
+
+        let prefix_picker =
+            Categorical::new(prefixes.iter().map(|p| (p.id.0 as usize, p.weight)).collect());
+
+        Population {
+            prefixes,
+            prefix_picker,
+            os_browser: Categorical::new(os_browser_weights()),
+            cores: Categorical::new(vec![(2u8, 0.25), (4u8, 0.45), (8u8, 0.30)]),
+        }
+    }
+
+    /// All prefixes.
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+
+    /// Look up a prefix.
+    pub fn prefix(&self, id: PrefixId) -> &Prefix {
+        &self.prefixes[id.0 as usize]
+    }
+
+    /// Draw the client for a new session: a prefix (traffic-weighted) plus
+    /// a device profile.
+    pub fn sample_client(&self, rng: &mut RngStream) -> ClientProfile {
+        let idx = self.prefix_picker.sample(rng);
+        let (os, browser) = self.os_browser.sample(rng);
+        // Hardware rendering available for ~70 % of machines; Chrome's
+        // internal Flash and Safari's native HLS use it most reliably.
+        let gpu = rng.chance(match browser {
+            Browser::Chrome => 0.85,
+            Browser::Safari if os == Os::MacOs => 0.9,
+            Browser::Firefox | Browser::InternetExplorer | Browser::Edge => 0.65,
+            _ => 0.4,
+        });
+        ClientProfile {
+            prefix: PrefixId(idx as u64),
+            os,
+            browser,
+            gpu,
+            cpu_cores: self.cores.sample(rng),
+            // Mixture: mostly idle machines, a tail of heavily loaded ones.
+            background_load: if rng.chance(0.2) {
+                rng.uniform_range(0.4, 0.95)
+            } else {
+                rng.uniform_range(0.0, 0.35)
+            },
+        }
+    }
+}
+
+/// Scatter a point around a metro center by up to ~`radius_km`.
+fn scatter(center: GeoPoint, radius_km: f64, rng: &mut RngStream) -> GeoPoint {
+    // ~111 km per degree of latitude; crude but adequate for metro-scale
+    // scatter.
+    let dlat = rng.uniform_range(-radius_km, radius_km) / 111.0;
+    let dlon = rng.uniform_range(-radius_km, radius_km)
+        / (111.0 * center.lat.to_radians().cos().abs().max(0.2));
+    GeoPoint {
+        lat: (center.lat + dlat).clamp(-89.0, 89.0),
+        lon: center.lon + dlon,
+    }
+}
+
+/// Access-class path parameters (with per-prefix variation).
+fn path_character(access: AccessClass, rng: &mut RngStream) -> PathCharacter {
+    match access {
+        AccessClass::Cable => PathCharacter {
+            last_mile_ms: rng.uniform_range(5.0, 16.0),
+            spike_prob: rng.uniform_range(0.0, 0.004),
+            spike_mult: rng.uniform_range(2.0, 4.0),
+            overhead_ms: 0.0,
+            jitter_sigma: rng.uniform_range(0.03, 0.10),
+            bottleneck_mbps: rng.uniform_range(20.0, 100.0),
+            // Cable modems are notoriously over-buffered; deep buffers also
+            // absorb the slow-start burst on most paths (the paper sees
+            // 40 % of sessions with no retransmissions at all).
+            buffer_bdp: rng.uniform_range(0.6, 5.0),
+            random_loss: if rng.chance(0.55) {
+                0.0
+            } else if rng.chance(0.08) {
+                // In-home Wi-Fi gone bad: heavy sustained loss. These are
+                // the sessions populating the right side of Fig. 12 — high
+                // retransmission rates *and* stalls.
+                rng.uniform_range(0.01, 0.06)
+            } else {
+                rng.uniform_range(1.0e-5, 1.5e-3)
+            },
+            congestion_prob: if rng.chance(0.6) {
+                0.0
+            } else {
+                rng.uniform_range(0.0008, 0.008)
+            },
+            congestion_severity: rng.uniform_range(0.2, 0.6),
+        },
+        AccessClass::Fiber => PathCharacter {
+            last_mile_ms: rng.uniform_range(1.0, 5.0),
+            spike_prob: rng.uniform_range(0.0, 0.002),
+            spike_mult: rng.uniform_range(2.0, 3.0),
+            overhead_ms: 0.0,
+            jitter_sigma: rng.uniform_range(0.02, 0.06),
+            bottleneck_mbps: rng.uniform_range(100.0, 400.0),
+            buffer_bdp: rng.uniform_range(1.0, 4.0),
+            random_loss: if rng.chance(0.7) {
+                0.0
+            } else {
+                rng.uniform_range(1.0e-5, 5.0e-4)
+            },
+            congestion_prob: if rng.chance(0.8) {
+                0.0
+            } else {
+                rng.uniform_range(0.0004, 0.003)
+            },
+            congestion_severity: rng.uniform_range(0.3, 0.7),
+        },
+        AccessClass::Dsl => PathCharacter {
+            last_mile_ms: rng.uniform_range(12.0, 35.0),
+            spike_prob: rng.uniform_range(0.001, 0.008),
+            spike_mult: rng.uniform_range(2.0, 5.0),
+            overhead_ms: 0.0,
+            jitter_sigma: rng.uniform_range(0.05, 0.15),
+            bottleneck_mbps: rng.uniform_range(4.0, 15.0),
+            buffer_bdp: rng.uniform_range(0.8, 6.0),
+            random_loss: if rng.chance(0.35) {
+                0.0
+            } else if rng.chance(0.08) {
+                rng.uniform_range(0.01, 0.05)
+            } else {
+                rng.uniform_range(1.0e-4, 3.0e-3)
+            },
+            congestion_prob: if rng.chance(0.45) {
+                0.0
+            } else {
+                rng.uniform_range(0.001, 0.01)
+            },
+            congestion_severity: rng.uniform_range(0.18, 0.5),
+        },
+        AccessClass::EnterpriseLan => PathCharacter {
+            // Paper §4.2: enterprises sit close to PoPs yet show high
+            // baseline latency and high variability — security middleboxes,
+            // VPN hairpins, proxy chains.
+            last_mile_ms: rng.uniform_range(2.0, 8.0),
+            spike_prob: rng.uniform_range(0.008, 0.032),
+            spike_mult: rng.uniform_range(12.0, 45.0),
+            overhead_ms: rng.uniform_range(20.0, 150.0),
+            jitter_sigma: rng.uniform_range(0.25, 0.9),
+            bottleneck_mbps: rng.uniform_range(10.0, 100.0),
+            buffer_bdp: rng.uniform_range(0.6, 6.0),
+            random_loss: if rng.chance(0.25) {
+                0.0
+            } else {
+                rng.uniform_range(2.0e-4, 5.0e-3)
+            },
+            congestion_prob: if rng.chance(0.4) {
+                0.0
+            } else {
+                rng.uniform_range(0.001, 0.012)
+            },
+            congestion_severity: rng.uniform_range(0.2, 0.55),
+        },
+        AccessClass::International => PathCharacter {
+            last_mile_ms: rng.uniform_range(5.0, 25.0),
+            spike_prob: rng.uniform_range(0.002, 0.02),
+            spike_mult: rng.uniform_range(2.0, 6.0),
+            overhead_ms: rng.uniform_range(0.0, 20.0),
+            jitter_sigma: rng.uniform_range(0.05, 0.2),
+            bottleneck_mbps: rng.uniform_range(5.0, 50.0),
+            buffer_bdp: rng.uniform_range(0.8, 5.0),
+            random_loss: if rng.chance(0.25) {
+                0.0
+            } else if rng.chance(0.1) {
+                rng.uniform_range(0.01, 0.06)
+            } else {
+                rng.uniform_range(2.0e-4, 8.0e-3)
+            },
+            congestion_prob: if rng.chance(0.35) {
+                0.0
+            } else {
+                rng.uniform_range(0.0015, 0.012)
+            },
+            congestion_severity: rng.uniform_range(0.18, 0.5),
+        },
+    }
+}

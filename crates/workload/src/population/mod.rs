@@ -1,0 +1,155 @@
+//! The client population: prefixes, organizations, devices, access links.
+//!
+//! Reproduces the population mixes reported in §3 of the paper:
+//! * browsers: 43 % Chrome, 37 % Firefox, 13 % IE, 6 % Safari, ~2 % other
+//!   (Yandex, SeaMonkey, Vivaldi, Opera show up in Figs. 21/22);
+//! * OS: 88.5 % Windows, 9.38 % OS X, the rest Linux;
+//! * >93 % of clients in North America, the rest spread internationally;
+//! * residential ISPs vs enterprise organizations (Table 4: enterprises have
+//!   far more sessions with high RTT variability);
+//! * HTTP proxies that must be filtered in preprocessing (the paper keeps
+//!   77 % of sessions after filtering).
+//!
+//! Sessions are aggregated by /24 prefix in §4.2, so the population is
+//! organized as a set of *prefixes* (with geography, organization and path
+//! characteristics), from which per-session clients (device + prefix) are
+//! drawn.
+
+mod device;
+mod generate;
+mod prefix;
+
+pub use device::{Browser, Os};
+pub use generate::{Population, PopulationConfig};
+pub use prefix::{AccessClass, ClientProfile, OrgKind, PathCharacter, Prefix};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_sim::RngStream;
+
+    fn population() -> Population {
+        let mut rng = RngStream::new(99, "pop-test");
+        Population::generate(&PopulationConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn marginals_match_paper_browser_mix() {
+        let pop = population();
+        let mut rng = RngStream::new(100, "draw");
+        const N: usize = 50_000;
+        let mut chrome = 0;
+        let mut firefox = 0;
+        let mut ie = 0;
+        let mut safari = 0;
+        let mut windows = 0;
+        let mut mac = 0;
+        for _ in 0..N {
+            let c = pop.sample_client(&mut rng);
+            match c.browser {
+                Browser::Chrome => chrome += 1,
+                Browser::Firefox => firefox += 1,
+                Browser::InternetExplorer => ie += 1,
+                Browser::Safari => safari += 1,
+                _ => {}
+            }
+            match c.os {
+                Os::Windows => windows += 1,
+                Os::MacOs => mac += 1,
+                Os::Linux => {}
+            }
+        }
+        let pct = |x: i32| f64::from(x) * 100.0 / N as f64;
+        assert!((pct(chrome) - 43.0).abs() < 2.0, "chrome {}", pct(chrome));
+        assert!((pct(firefox) - 36.0).abs() < 2.0, "ff {}", pct(firefox));
+        assert!((pct(ie) - 13.0).abs() < 1.5, "ie {}", pct(ie));
+        assert!((pct(safari) - 5.9).abs() < 1.5, "safari {}", pct(safari));
+        assert!((pct(windows) - 88.5).abs() < 2.0, "win {}", pct(windows));
+        assert!((pct(mac) - 9.38).abs() < 2.0, "mac {}", pct(mac));
+    }
+
+    #[test]
+    fn enterprise_and_international_fractions() {
+        let pop = population();
+        let n = pop.prefixes().len() as f64;
+        let ent = pop
+            .prefixes()
+            .iter()
+            .filter(|p| p.org_kind == OrgKind::Enterprise)
+            .count() as f64;
+        let intl = pop.prefixes().iter().filter(|p| !p.region.is_us()).count() as f64;
+        assert!((ent / n - 0.09).abs() < 0.03, "enterprise share {}", ent / n);
+        assert!((intl / n - 0.07).abs() < 0.02, "intl share {}", intl / n);
+    }
+
+    #[test]
+    fn enterprise_paths_are_jittery_and_overheaded() {
+        let pop = population();
+        let (mut e_jitter, mut r_jitter) = (Vec::new(), Vec::new());
+        for p in pop.prefixes() {
+            match p.org_kind {
+                OrgKind::Enterprise => e_jitter.push(p.path.jitter_sigma),
+                OrgKind::Residential => r_jitter.push(p.path.jitter_sigma),
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&e_jitter) > 3.0 * mean(&r_jitter));
+        let e_overhead: f64 = pop
+            .prefixes()
+            .iter()
+            .filter(|p| p.org_kind == OrgKind::Enterprise)
+            .map(|p| p.path.overhead_ms)
+            .sum::<f64>()
+            / e_jitter.len() as f64;
+        assert!(e_overhead > 20.0);
+    }
+
+    #[test]
+    fn proxy_session_share_is_paper_like() {
+        // §3: filtering proxies keeps 77 % of sessions, so ~23 % of raw
+        // sessions should come from proxied prefixes (traffic-weighted).
+        let pop = population();
+        let mut rng = RngStream::new(101, "proxy");
+        const N: usize = 40_000;
+        let proxied = (0..N)
+            .filter(|_| {
+                let c = pop.sample_client(&mut rng);
+                pop.prefix(c.prefix).proxied
+            })
+            .count() as f64;
+        let share = proxied / N as f64;
+        assert!((0.15..0.32).contains(&share), "proxy share = {share}");
+    }
+
+    #[test]
+    fn background_load_is_bounded() {
+        let pop = population();
+        let mut rng = RngStream::new(102, "load");
+        for _ in 0..1000 {
+            let c = pop.sample_client(&mut rng);
+            assert!((0.0..=0.95).contains(&c.background_load));
+            assert!(matches!(c.cpu_cores, 2 | 4 | 8));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut r1 = RngStream::new(7, "p");
+        let mut r2 = RngStream::new(7, "p");
+        let a = Population::generate(&PopulationConfig::default(), &mut r1);
+        let b = Population::generate(&PopulationConfig::default(), &mut r2);
+        for (x, y) in a.prefixes().iter().zip(b.prefixes()) {
+            assert_eq!(x.org, y.org);
+            assert_eq!(x.location, y.location);
+            assert_eq!(x.proxied, y.proxied);
+        }
+    }
+
+    #[test]
+    fn unpopular_browser_flag() {
+        assert!(Browser::Yandex.is_unpopular());
+        assert!(Browser::Vivaldi.is_unpopular());
+        assert!(!Browser::Chrome.is_unpopular());
+        assert!(!Browser::Safari.is_unpopular());
+    }
+}

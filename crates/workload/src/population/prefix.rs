@@ -1,0 +1,106 @@
+//! Prefix-level identity: organization, access class, path character.
+
+use super::device::{Browser, Os};
+use crate::geo::{GeoPoint, Region};
+use crate::ids::PrefixId;
+use serde::{Deserialize, Serialize};
+
+/// Kind of organization that owns a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrgKind {
+    /// A residential ISP (cable/fiber/DSL eyeballs).
+    Residential,
+    /// A corporation or private enterprise (proxied, jittery paths).
+    Enterprise,
+}
+
+/// How a prefix reaches the Internet; fixes bottleneck rate, last-mile
+/// latency, queueing and loss characteristics consumed by `streamlab-net`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessClass {
+    /// Cable broadband: tens of Mbps, moderate buffering.
+    Cable,
+    /// Fiber-to-the-home: ~100 Mbps, low latency.
+    Fiber,
+    /// DSL: ~6–15 Mbps, higher last-mile latency.
+    Dsl,
+    /// Enterprise LAN behind a campus/VPN path: high nominal bandwidth but
+    /// high and variable path latency (paper §4.2: enterprises dominate the
+    /// high-CV list and the close-but-slow prefix tail).
+    EnterpriseLan,
+    /// International broadband reached over transoceanic paths.
+    International,
+}
+
+/// Network-path parameters attached to a prefix, consumed by the network
+/// model. Kept as plain numbers here so `streamlab-net` has no dependency
+/// back into workload internals.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PathCharacter {
+    /// Last-mile one-way latency contribution, milliseconds.
+    pub last_mile_ms: f64,
+    /// Additional fixed overhead (enterprise security stacks, VPN
+    /// hairpins), milliseconds of RTT.
+    pub overhead_ms: f64,
+    /// Log-space sigma of per-round RTT noise; enterprises are jittery.
+    pub jitter_sigma: f64,
+    /// Probability that a transmission round falls inside a latency spike
+    /// (middlebox queueing, VPN churn). Enterprises spike often; this is
+    /// what pushes their per-session CV(SRTT) above 1 (paper Table 4).
+    pub spike_prob: f64,
+    /// Multiplier applied to the base RTT during a spike.
+    pub spike_mult: f64,
+    /// Bottleneck downlink rate in Mbit/s.
+    pub bottleneck_mbps: f64,
+    /// Bottleneck buffer, as a multiple of the bandwidth-delay product.
+    pub buffer_bdp: f64,
+    /// Random (non-congestion) segment loss probability.
+    pub random_loss: f64,
+    /// Probability (per TCP round) of entering a congestion episode in
+    /// which cross traffic squeezes the bottleneck.
+    pub congestion_prob: f64,
+    /// Bottleneck rate multiplier during congestion episodes.
+    pub congestion_severity: f64,
+}
+
+/// A /24 client prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Identity.
+    pub id: PrefixId,
+    /// Where the prefix's users are.
+    pub location: GeoPoint,
+    /// World region (US vs international drives the Fig. 9 analysis).
+    pub region: Region,
+    /// Organization name (e.g. `Residential-ISP-2`, `Enterprise-17`).
+    pub org: String,
+    /// Residential or enterprise.
+    pub org_kind: OrgKind,
+    /// Access-link class.
+    pub access: AccessClass,
+    /// Path parameters for the network model.
+    pub path: PathCharacter,
+    /// True when the prefix sits behind an HTTP proxy (to be filtered in
+    /// preprocessing, §3).
+    pub proxied: bool,
+    /// Relative traffic weight of this prefix.
+    pub weight: f64,
+}
+
+/// A per-session client: a prefix plus the device that plays the video.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientProfile {
+    /// The /24 the session originates from.
+    pub prefix: PrefixId,
+    /// Operating system.
+    pub os: Os,
+    /// Browser.
+    pub browser: Browser,
+    /// True when hardware (GPU) rendering is available and enabled.
+    pub gpu: bool,
+    /// CPU core count of the client machine.
+    pub cpu_cores: u8,
+    /// Background CPU utilization (0–1 of total machine capacity) from
+    /// other applications, competing with the software rendering path.
+    pub background_load: f64,
+}

@@ -1,0 +1,316 @@
+//! Session generation: who watches what, when, and for how long.
+
+use crate::catalog::Catalog;
+use crate::ids::{SessionId, VideoId};
+
+use crate::population::{ClientProfile, Population};
+use serde::{Deserialize, Serialize};
+use streamlab_sim::{RngStream, SimDuration, SimTime};
+
+/// A fully specified session, ready to be simulated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// Globally unique session id (the join key of §2.2).
+    pub id: SessionId,
+    /// The client (prefix + device).
+    pub client: ClientProfile,
+    /// The video being watched.
+    pub video: VideoId,
+    /// Arrival time of the session within the measurement window.
+    pub arrival: SimTime,
+    /// How many chunks the user will watch before leaving (capped by video
+    /// length). Abandonment is user-driven, not QoE-driven, in this model.
+    pub chunks_watched: u32,
+    /// False when the player is in a hidden tab or minimized window for the
+    /// whole session (the paper's `vis` flag; such chunks drop frames by
+    /// design to save CPU).
+    pub visible: bool,
+}
+
+/// A flash crowd: a single video suddenly drawing a large share of new
+/// sessions partway through the window (breaking news, a viral clip).
+/// Stresses exactly what the §4.1 cache analyses measure: a recency-driven
+/// policy (LRU) adapts within a few requests, while a frequency-driven one
+/// lags until the counts catch up.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Popularity rank of the video that goes viral (1-based; pick a tail
+    /// rank for the starkest effect).
+    pub video_rank: usize,
+    /// When the crowd starts, as a fraction of the window (0–1).
+    pub start_frac: f64,
+    /// Share of post-start sessions that watch the viral video.
+    pub share: f64,
+}
+
+/// Traffic model configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Length of the measurement window.
+    pub window: SimDuration,
+    /// Enable a diurnal (sinusoidal) arrival intensity.
+    pub diurnal: bool,
+    /// Probability a session watches the video to the end.
+    pub complete_watch_prob: f64,
+    /// Per-chunk continuation probability for early-abandon sessions.
+    pub continue_prob: f64,
+    /// Fraction of sessions played in a hidden/minimized window.
+    pub hidden_fraction: f64,
+    /// Optional flash-crowd event.
+    pub flash_crowd: Option<FlashCrowd>,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            sessions: 20_000,
+            window: SimDuration::from_secs(24 * 3600),
+            diurnal: true,
+            complete_watch_prob: 0.35,
+            continue_prob: 0.93,
+            hidden_fraction: 0.03,
+            flash_crowd: None,
+        }
+    }
+}
+
+/// Generates the session list for a run.
+#[derive(Debug)]
+pub struct SessionGenerator<'a> {
+    catalog: &'a Catalog,
+    population: &'a Population,
+}
+
+impl<'a> SessionGenerator<'a> {
+    /// Create a generator over a catalog and population.
+    pub fn new(catalog: &'a Catalog, population: &'a Population) -> Self {
+        SessionGenerator {
+            catalog,
+            population,
+        }
+    }
+
+    /// Generate `cfg.sessions` sessions sorted by arrival time.
+    pub fn generate(&self, cfg: &TrafficConfig, rng: &mut RngStream) -> Vec<SessionSpec> {
+        let mut arrivals: Vec<SimTime> = (0..cfg.sessions)
+            .map(|_| self.sample_arrival(cfg, rng))
+            .collect();
+        arrivals.sort_unstable();
+
+        arrivals
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let client = self.population.sample_client(rng);
+                let video = match cfg.flash_crowd {
+                    Some(fc)
+                        if arrival.as_secs_f64() >= fc.start_frac * cfg.window.as_secs_f64()
+                            && fc.video_rank >= 1
+                            && fc.video_rank <= self.catalog.len()
+                            && rng.chance(fc.share) =>
+                    {
+                        VideoId::from_rank(fc.video_rank)
+                    }
+                    _ => self.catalog.sample_video(rng),
+                };
+                let n_chunks = self.catalog.video(video).chunk_count();
+                let chunks_watched = self.sample_watch_chunks(n_chunks, cfg, rng);
+                SessionSpec {
+                    id: SessionId(i as u64),
+                    client,
+                    video,
+                    arrival,
+                    chunks_watched,
+                    visible: !rng.chance(cfg.hidden_fraction),
+                }
+            })
+            .collect()
+    }
+
+    /// Draw one arrival time, optionally diurnally modulated (peak in the
+    /// evening at 3/4 of the window, trough early morning) via rejection
+    /// sampling against the sinusoidal intensity.
+    fn sample_arrival(&self, cfg: &TrafficConfig, rng: &mut RngStream) -> SimTime {
+        let w = cfg.window.as_secs_f64();
+        if !cfg.diurnal {
+            return SimTime::from_secs_f64(rng.uniform() * w);
+        }
+        loop {
+            let t = rng.uniform() * w;
+            let phase = (t / w) * std::f64::consts::TAU;
+            // Intensity in [0.25, 1.0], peaking at 3/4 of the window
+            // (evening), bottoming out at 1/4 (early morning).
+            let intensity = 0.625 - 0.375 * phase.sin();
+            if rng.chance(intensity) {
+                return SimTime::from_secs_f64(t);
+            }
+        }
+    }
+
+    /// Watch-time model: a share of sessions watch to the end; the rest
+    /// continue chunk-to-chunk with fixed probability (geometric early
+    /// abandonment, consistent with Fig. 11a's mass below ~20 chunks).
+    fn sample_watch_chunks(&self, n_chunks: u32, cfg: &TrafficConfig, rng: &mut RngStream) -> u32 {
+        if rng.chance(cfg.complete_watch_prob) {
+            return n_chunks;
+        }
+        let mut watched = 1;
+        while watched < n_chunks && rng.chance(cfg.continue_prob) {
+            watched += 1;
+        }
+        watched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogConfig;
+    use crate::population::PopulationConfig;
+
+    fn world() -> (Catalog, Population) {
+        let mut crng = RngStream::new(1, "cat");
+        let mut prng = RngStream::new(1, "pop");
+        (
+            Catalog::generate(&CatalogConfig::default(), &mut crng),
+            Population::generate(&PopulationConfig::default(), &mut prng),
+        )
+    }
+
+    #[test]
+    fn sessions_sorted_and_ids_sequential() {
+        let (cat, pop) = world();
+        let mut rng = RngStream::new(2, "sess");
+        let cfg = TrafficConfig {
+            sessions: 500,
+            ..TrafficConfig::default()
+        };
+        let sessions = SessionGenerator::new(&cat, &pop).generate(&cfg, &mut rng);
+        assert_eq!(sessions.len(), 500);
+        for (i, s) in sessions.iter().enumerate() {
+            assert_eq!(s.id, SessionId(i as u64));
+            if i > 0 {
+                assert!(s.arrival >= sessions[i - 1].arrival);
+            }
+            assert!(s.arrival.as_secs_f64() <= cfg.window.as_secs_f64());
+            let n = cat.video(s.video).chunk_count();
+            assert!(s.chunks_watched >= 1 && s.chunks_watched <= n);
+        }
+    }
+
+    #[test]
+    fn watch_time_mass_is_short_sessions() {
+        let (cat, pop) = world();
+        let mut rng = RngStream::new(3, "sess");
+        let cfg = TrafficConfig {
+            sessions: 5_000,
+            ..TrafficConfig::default()
+        };
+        let sessions = SessionGenerator::new(&cat, &pop).generate(&cfg, &mut rng);
+        let short = sessions.iter().filter(|s| s.chunks_watched <= 20).count() as f64;
+        // Fig. 11a: the bulk of sessions are <= 20 chunks.
+        assert!(short / 5_000.0 > 0.5, "short share = {}", short / 5_000.0);
+    }
+
+    #[test]
+    fn hidden_fraction_is_respected() {
+        let (cat, pop) = world();
+        let mut rng = RngStream::new(4, "sess");
+        let cfg = TrafficConfig {
+            sessions: 10_000,
+            ..TrafficConfig::default()
+        };
+        let sessions = SessionGenerator::new(&cat, &pop).generate(&cfg, &mut rng);
+        let hidden = sessions.iter().filter(|s| !s.visible).count() as f64;
+        assert!((hidden / 10_000.0 - 0.03).abs() < 0.01);
+    }
+
+    #[test]
+    fn diurnal_arrivals_peak_late() {
+        let (cat, pop) = world();
+        let mut rng = RngStream::new(5, "sess");
+        let cfg = TrafficConfig {
+            sessions: 20_000,
+            ..TrafficConfig::default()
+        };
+        let sessions = SessionGenerator::new(&cat, &pop).generate(&cfg, &mut rng);
+        let w = cfg.window.as_secs_f64();
+        let first_quarter = sessions
+            .iter()
+            .filter(|s| s.arrival.as_secs_f64() < w / 4.0)
+            .count() as f64;
+        let third_quarter = sessions
+            .iter()
+            .filter(|s| {
+                let t = s.arrival.as_secs_f64();
+                t >= w / 2.0 && t < 3.0 * w / 4.0
+            })
+            .count() as f64;
+        assert!(
+            third_quarter > 1.3 * first_quarter,
+            "q3 = {third_quarter}, q1 = {first_quarter}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_floods_one_video() {
+        let (cat, pop) = world();
+        let mut rng = RngStream::new(8, "sess");
+        let viral_rank = cat.len() - 3; // a tail video goes viral
+        let cfg = TrafficConfig {
+            sessions: 8_000,
+            diurnal: false,
+            flash_crowd: Some(FlashCrowd {
+                video_rank: viral_rank,
+                start_frac: 0.5,
+                share: 0.4,
+            }),
+            ..TrafficConfig::default()
+        };
+        let sessions = SessionGenerator::new(&cat, &pop).generate(&cfg, &mut rng);
+        let w = cfg.window.as_secs_f64();
+        let viral = VideoId::from_rank(viral_rank);
+        let before = sessions
+            .iter()
+            .filter(|s| s.arrival.as_secs_f64() < 0.5 * w && s.video == viral)
+            .count() as f64;
+        let before_n = sessions
+            .iter()
+            .filter(|s| s.arrival.as_secs_f64() < 0.5 * w)
+            .count() as f64;
+        let after = sessions
+            .iter()
+            .filter(|s| s.arrival.as_secs_f64() >= 0.5 * w && s.video == viral)
+            .count() as f64;
+        let after_n = sessions
+            .iter()
+            .filter(|s| s.arrival.as_secs_f64() >= 0.5 * w)
+            .count() as f64;
+        assert!(before / before_n < 0.01, "tail video popular too early");
+        let post_share = after / after_n;
+        assert!(
+            (post_share - 0.4).abs() < 0.05,
+            "post-start share = {post_share}"
+        );
+    }
+
+    #[test]
+    fn popular_videos_dominate_sessions() {
+        let (cat, pop) = world();
+        let mut rng = RngStream::new(6, "sess");
+        let cfg = TrafficConfig {
+            sessions: 20_000,
+            diurnal: false,
+            ..TrafficConfig::default()
+        };
+        let sessions = SessionGenerator::new(&cat, &pop).generate(&cfg, &mut rng);
+        let head = sessions
+            .iter()
+            .filter(|s| s.video.rank() <= cat.len() / 10)
+            .count() as f64;
+        let share = head / sessions.len() as f64;
+        assert!((0.55..0.80).contains(&share), "head share = {share}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the workload substrate.
+
+use proptest::prelude::*;
+use streamlab_sim::RngStream;
+use streamlab_workload::catalog::{BitrateLadder, Catalog, CatalogConfig, Video};
+use streamlab_workload::population::{Population, PopulationConfig};
+use streamlab_workload::{ChunkIndex, VideoId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunking_partitions_the_video(duration in 10.0f64..14_400.0) {
+        let v = Video {
+            id: VideoId(0),
+            duration_s: duration,
+        };
+        let n = v.chunk_count();
+        prop_assert!(n >= 1);
+        let total: f64 = (0..n).map(|i| v.chunk_seconds(ChunkIndex(i))).sum();
+        prop_assert!((total - duration).abs() < 1e-6,
+            "chunks sum to {total}, video is {duration}");
+        // All chunks except possibly the last are exactly 6 s.
+        for i in 0..n.saturating_sub(1) {
+            prop_assert!((v.chunk_seconds(ChunkIndex(i)) - 6.0).abs() < 1e-12);
+        }
+        // The last chunk is positive and at most 6 s.
+        let last = v.chunk_seconds(ChunkIndex(n - 1));
+        prop_assert!(last > 0.0 && last <= 6.0 + 1e-12);
+    }
+
+    #[test]
+    fn chunk_bytes_match_bitrate(duration in 10.0f64..2_000.0, kbps in 100u32..5_000) {
+        let v = Video {
+            id: VideoId(0),
+            duration_s: duration,
+        };
+        for i in [0, v.chunk_count() - 1] {
+            let bytes = v.chunk_bytes(ChunkIndex(i), kbps);
+            let expect = f64::from(kbps) * 1000.0 / 8.0 * v.chunk_seconds(ChunkIndex(i));
+            prop_assert!((bytes as f64 - expect).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn ladder_quantizer_laws(kbps in 0.0f64..10_000.0) {
+        let l = BitrateLadder::default();
+        let pick = l.floor_rung(kbps);
+        // Always on the ladder.
+        prop_assert!(l.rung_index(pick).is_some());
+        // Floor semantics: the pick never exceeds the input unless the
+        // input is below the whole ladder.
+        if kbps >= f64::from(l.min_kbps()) {
+            prop_assert!(f64::from(pick) <= kbps);
+            // And no higher rung would still fit.
+            if let Some(i) = l.rung_index(pick) {
+                if i + 1 < l.rungs_kbps.len() {
+                    prop_assert!(f64::from(l.rungs_kbps[i + 1]) > kbps);
+                }
+            }
+        } else {
+            prop_assert_eq!(pick, l.min_kbps());
+        }
+        // Step laws.
+        prop_assert!(l.step_up(pick) >= pick);
+        prop_assert!(l.step_down(pick) <= pick);
+    }
+
+    #[test]
+    fn catalog_respects_config(videos in 1usize..500, s in 0.3f64..2.0, seed in any::<u64>()) {
+        let cfg = CatalogConfig {
+            videos,
+            zipf_exponent: s,
+            ..CatalogConfig::default()
+        };
+        let mut rng = RngStream::new(seed, "prop-catalog");
+        let cat = Catalog::generate(&cfg, &mut rng);
+        prop_assert_eq!(cat.len(), videos);
+        // Popularity sampling stays in range and rank probabilities are
+        // monotone decreasing.
+        for _ in 0..32 {
+            let v = cat.sample_video(&mut rng);
+            prop_assert!((v.raw() as usize) < videos);
+        }
+        for k in 1..videos.min(20) {
+            prop_assert!(cat.rank_probability(k) >= cat.rank_probability(k + 1));
+        }
+        // head_share is monotone in m and normalized at the full catalog.
+        prop_assert!((cat.head_share(videos) - 1.0).abs() < 1e-9);
+        prop_assert!(cat.head_share(1) <= cat.head_share(videos.div_ceil(2)) + 1e-12);
+    }
+
+    #[test]
+    fn population_prefixes_are_well_formed(prefixes in 10usize..300, seed in any::<u64>()) {
+        let cfg = PopulationConfig {
+            prefixes,
+            ..PopulationConfig::default()
+        };
+        let mut rng = RngStream::new(seed, "prop-pop");
+        let pop = Population::generate(&cfg, &mut rng);
+        prop_assert_eq!(pop.prefixes().len(), prefixes);
+        for p in pop.prefixes() {
+            prop_assert!(p.weight > 0.0);
+            prop_assert!(p.path.bottleneck_mbps > 0.0);
+            prop_assert!(p.path.last_mile_ms > 0.0);
+            prop_assert!((0.0..=1.0).contains(&p.path.random_loss));
+            prop_assert!((0.0..=1.0).contains(&p.path.spike_prob));
+            prop_assert!(p.path.spike_mult >= 1.0);
+            prop_assert!((0.0..=1.0).contains(&p.path.congestion_prob));
+            prop_assert!((0.0..=1.0).contains(&p.path.congestion_severity));
+            prop_assert!((-90.0..=90.0).contains(&p.location.lat));
+        }
+        // Sampling clients only ever references existing prefixes.
+        for _ in 0..32 {
+            let c = pop.sample_client(&mut rng);
+            prop_assert!((c.prefix.raw() as usize) < prefixes);
+            prop_assert!((0.0..=1.0).contains(&c.background_load));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! The §4.2 network characterization, split by organization kind.
+//!
+//! Reproduces the Table 4 story interactively: enterprise paths show high
+//! RTT variability (CV > 1 sessions), high baselines despite proximity,
+//! and worse QoE — while residential ISPs stay calm.
+//!
+//! Usage: `cargo run --release --example enterprise_vs_residential [-- seed]`
+
+use streamlab::analysis::netchar::session_srtt_stats;
+use streamlab::analysis::stats::Cdf;
+use streamlab::workload::OrgKind;
+use streamlab::{Simulation, SimulationConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
+    let out = Simulation::new(SimulationConfig::small(seed))
+        .run()
+        .expect("simulation");
+    let ds = &out.dataset;
+
+    let mut groups: Vec<(&str, Vec<&streamlab::telemetry::SessionData>)> = vec![
+        (
+            "enterprise",
+            ds.sessions
+                .iter()
+                .filter(|s| s.meta.org_kind == OrgKind::Enterprise)
+                .collect(),
+        ),
+        (
+            "residential",
+            ds.sessions
+                .iter()
+                .filter(|s| s.meta.org_kind == OrgKind::Residential && s.meta.region.is_us())
+                .collect(),
+        ),
+    ];
+
+    println!(
+        "{:<12} {:>9} {:>14} {:>12} {:>10} {:>12} {:>12}",
+        "group", "sessions", "srtt_min med", "sigma med", "CV>1 %", "rebuffer %", "dist med km"
+    );
+    for (name, sessions) in groups.iter_mut() {
+        if sessions.is_empty() {
+            println!("{name:<12} (none)");
+            continue;
+        }
+        let stats: Vec<_> = sessions.iter().map(|s| session_srtt_stats(s)).collect();
+        let min_cdf = Cdf::new(stats.iter().map(|s| s.srtt_min_ms).collect());
+        let sigma_cdf = Cdf::new(stats.iter().map(|s| s.sigma_ms).collect());
+        let high_cv = stats.iter().filter(|s| s.cv > 1.0).count();
+        let rebuf =
+            sessions.iter().map(|s| s.rebuffer_rate_pct()).sum::<f64>() / sessions.len() as f64;
+        let dist_cdf = Cdf::new(sessions.iter().map(|s| s.meta.distance_km).collect());
+        println!(
+            "{:<12} {:>9} {:>12.1}ms {:>10.1}ms {:>9.1}% {:>11.2}% {:>12.0}",
+            name,
+            sessions.len(),
+            min_cdf.median(),
+            sigma_cdf.median(),
+            100.0 * high_cv as f64 / sessions.len() as f64,
+            rebuf,
+            dist_cdf.median(),
+        );
+    }
+
+    println!();
+    println!("paper's Table 4: top enterprises reach ~40% CV>1 sessions; major");
+    println!("residential ISPs sit near 1%. Enterprises are *close* to the CDN yet");
+    println!("slow — middlebox/VPN paths, not distance (Fig. 9).");
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the `streamlab` reproduction repository.
+//!
+//! The real library surface lives in the [`streamlab`] crate (re-exported
+//! here); this root package exists to host workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`).
+
+pub use streamlab;

@@ -1,0 +1,75 @@
+//! Flash-crowd integration: when a tail video suddenly goes viral, an
+//! LRU cache adapts after the first wave of misses — the §4.1 mechanism
+//! under a popularity *shift* instead of a static distribution.
+
+use streamlab::workload::{FlashCrowd, VideoId};
+use streamlab::{Simulation, SimulationConfig};
+
+#[test]
+fn lru_adapts_to_a_flash_crowd() {
+    let mut cfg = SimulationConfig::tiny(77);
+    cfg.traffic.sessions = 800;
+    let viral_rank = cfg.catalog.videos - 5; // deep-tail video goes viral
+    cfg.traffic.flash_crowd = Some(FlashCrowd {
+        video_rank: viral_rank,
+        start_frac: 0.3,
+        share: 0.35,
+    });
+    let out = Simulation::new(cfg).run().expect("run");
+    let viral = VideoId::from_rank(viral_rank);
+
+    // Collect the viral video's chunk requests in arrival order.
+    let mut requests: Vec<(u64, bool)> = out
+        .dataset
+        .chunks()
+        .filter(|(meta, _)| meta.video == viral)
+        .map(|(_, c)| (c.player.requested_at.as_nanos(), c.cdn.cache.is_hit()))
+        .collect();
+    requests.sort_unstable_by_key(|&(t, _)| t);
+    assert!(
+        requests.len() > 300,
+        "flash crowd produced only {} chunk requests",
+        requests.len()
+    );
+
+    // Early wave: cold cache, mostly misses. Late wave: hot, mostly hits.
+    let split = requests.len() / 4;
+    let early_hits = requests[..split].iter().filter(|&&(_, h)| h).count() as f64;
+    let late = &requests[requests.len() - split..];
+    let late_hits = late.iter().filter(|&&(_, h)| h).count() as f64;
+    let early_rate = early_hits / split as f64;
+    let late_rate = late_hits / split as f64;
+    assert!(
+        late_rate > 0.9,
+        "cache failed to adapt: late hit rate {late_rate}"
+    );
+    assert!(
+        late_rate > early_rate,
+        "no adaptation visible: early {early_rate} vs late {late_rate}"
+    );
+}
+
+#[test]
+fn flash_crowd_shifts_the_popularity_head() {
+    let mut cfg = SimulationConfig::tiny(78);
+    cfg.traffic.sessions = 800;
+    let viral_rank = cfg.catalog.videos - 5;
+    cfg.traffic.flash_crowd = Some(FlashCrowd {
+        video_rank: viral_rank,
+        start_frac: 0.3,
+        share: 0.35,
+    });
+    let out = Simulation::new(cfg).run().expect("run");
+    let viral = VideoId::from_rank(viral_rank);
+    // The viral video becomes one of the most-played videos of the window.
+    let mut counts: std::collections::HashMap<VideoId, usize> = std::collections::HashMap::new();
+    for s in &out.dataset.sessions {
+        *counts.entry(s.meta.video).or_insert(0) += 1;
+    }
+    let viral_plays = counts.get(&viral).copied().unwrap_or(0);
+    let max_plays = counts.values().copied().max().unwrap_or(0);
+    assert!(
+        viral_plays * 2 >= max_plays,
+        "viral video got {viral_plays} plays vs top {max_plays}"
+    );
+}

@@ -1,0 +1,353 @@
+//! End-to-end integration tests: one simulated measurement window must
+//! reproduce the *shapes* of the paper's findings (Table 1).
+//!
+//! These run at the `tiny` scale (hundreds of sessions) so the suite stays
+//! fast; magnitudes are asserted loosely, orderings and crossovers
+//! strictly.
+
+use streamlab::analysis::figures::{cdn, client, network};
+use streamlab::experiments::{run_experiment, ExperimentId};
+use streamlab::{RunOutput, Simulation, SimulationConfig};
+
+/// One shared tiny run per test binary (the assertions are read-only).
+fn run() -> &'static RunOutput {
+    use std::sync::OnceLock;
+    static OUT: OnceLock<RunOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        Simulation::new(SimulationConfig::tiny(2016))
+            .run()
+            .expect("tiny simulation")
+    })
+}
+
+#[test]
+fn dataset_is_joined_and_preprocessed() {
+    let out = run();
+    assert!(out.dataset.sessions.len() > 300);
+    assert!(out.dataset.chunk_count() > 5_000);
+    // §3: proxy filtering keeps roughly 77% of sessions.
+    let retention = out.dataset.retention();
+    assert!(
+        (0.68..0.92).contains(&retention),
+        "retention = {retention}"
+    );
+}
+
+#[test]
+fn finding_cdn1_retry_timer_bimodalizes_read_latency() {
+    // Fig. 5: D_read splits into two modes separated by ~10 ms.
+    let out = run();
+    let series = cdn::fig05(&out.dataset, 400);
+    let read = &series[2];
+    assert_eq!(read.label, "read");
+    let p25 = read.x_at(0.25).unwrap();
+    let p90 = read.x_at(0.90).unwrap();
+    assert!(p25 < 5.0, "fast mode should be RAM-speed, got {p25} ms");
+    assert!(p90 > 10.0, "slow mode must sit past the 10 ms timer, got {p90}");
+}
+
+#[test]
+fn finding_cdn2_misses_cost_an_order_of_magnitude() {
+    let out = run();
+    let s = cdn::headline_stats(&out.dataset);
+    assert!(s.miss_rate > 0.005 && s.miss_rate < 0.25, "miss = {}", s.miss_rate);
+    assert!(
+        s.miss_median_ms > 10.0 * s.hit_median_ms,
+        "hit {} vs miss {}",
+        s.hit_median_ms,
+        s.miss_median_ms
+    );
+    // Hit median is single-digit milliseconds, like the paper's 2 ms.
+    assert!(s.hit_median_ms < 8.0, "hit median = {}", s.hit_median_ms);
+}
+
+#[test]
+fn finding_cdn3_unpopular_videos_miss_persistently() {
+    let out = run();
+    let rows = cdn::fig06(&out.dataset, out.catalog.len(), 10);
+    let head = &rows[0];
+    let tail = rows.last().unwrap();
+    assert!(
+        tail.miss_pct > 5.0 * head.miss_pct.max(0.5),
+        "head {}% vs tail {}%",
+        head.miss_pct,
+        tail.miss_pct
+    );
+}
+
+#[test]
+fn finding_cdn4_cache_focused_routing_load_paradox() {
+    // §4.1.3: busier servers are *not* slower; under content-affinity
+    // routing the correlation is flat-to-negative.
+    let out = run();
+    let corr = out.load_latency_correlation();
+    assert!(corr < 0.35, "load/latency correlation = {corr}");
+}
+
+#[test]
+fn finding_net1_enterprises_dominate_high_variability() {
+    let out = run();
+    let t4 = network::tab04(&out.dataset, 10, 5);
+    // The CV ranking is led by an enterprise, by a wide margin over the
+    // pooled residential rate (paper: ~40% vs ~1%).
+    let top = t4.top.first().expect("ranking non-empty");
+    assert_eq!(top.kind, streamlab::workload::OrgKind::Enterprise, "{top:?}");
+    assert!(
+        top.pct() > 8.0 * t4.residential_pct.max(0.3),
+        "top {}% vs residential {}%",
+        top.pct(),
+        t4.residential_pct
+    );
+    // ...while residential ISPs pool near the paper's ~1%.
+    assert!(t4.residential_pct < 5.0, "residential = {}%", t4.residential_pct);
+}
+
+#[test]
+fn finding_net2_tail_latency_is_distance_or_enterprise() {
+    let out = run();
+    let f9 = network::fig09(&out.dataset, 100.0, 100);
+    assert!(f9.tail_prefixes > 0);
+    // Most tail prefixes are outside the US (paper: 75%)...
+    assert!(f9.non_us_share > 0.4, "non-US share = {}", f9.non_us_share);
+    // ...and the close-by US tail is enterprise-dominated (paper: 90%).
+    // At tiny scale the close set can be empty; assert only when it has
+    // enough members to mean something.
+    if f9.close_us_prefixes >= 3 {
+        assert!(
+            f9.close_enterprise_share > 0.6,
+            "close enterprise share = {} over {} prefixes",
+            f9.close_enterprise_share,
+            f9.close_us_prefixes
+        );
+    }
+}
+
+#[test]
+fn finding_net3_early_losses_hurt_most() {
+    let out = run();
+    // Fig. 15: the first chunk has the highest retransmission rate.
+    let f15 = network::fig15(&out.dataset, 19);
+    let first = f15.bins.first().expect("chunk 0");
+    assert_eq!(first.x_center, 0.0);
+    let later: Vec<&_> = f15.bins.iter().filter(|b| b.x_center >= 3.0).collect();
+    let later_mean = later.iter().map(|b| b.mean).sum::<f64>() / later.len() as f64;
+    assert!(
+        first.mean > 1.5 * later_mean.max(0.01),
+        "first {} vs later {}",
+        first.mean,
+        later_mean
+    );
+    // Fig. 14: a loss at a chunk raises the rebuffering odds there.
+    let f14 = network::fig14(&out.dataset, 19);
+    let lift: Vec<f64> = f14
+        .iter()
+        .filter(|r| r.n > 50 && r.p_rebuf > 0.0)
+        .map(|r| r.p_rebuf_given_loss / r.p_rebuf)
+        .collect();
+    let mean_lift = lift.iter().sum::<f64>() / lift.len().max(1) as f64;
+    assert!(mean_lift > 1.3, "conditional lift = {mean_lift}");
+}
+
+#[test]
+fn finding_net3b_loss_free_sessions_are_common_and_rebuffer_less() {
+    let out = run();
+    let f11 = network::fig11(&out.dataset, 100);
+    // Paper: 40% of sessions see no loss; >90% stay under 10% retx.
+    assert!(
+        (0.15..0.65).contains(&f11.loss_free_share),
+        "loss-free share = {}",
+        f11.loss_free_share
+    );
+    assert!(f11.below_10pct_share > 0.9);
+    // Rebuffering mass concentrates in the loss sessions: compare the
+    // CCDF at a 1% rebuffering rate.
+    let at = |s: &streamlab::analysis::figures::CdfSeries| {
+        s.points
+            .iter()
+            .find(|&&(x, _)| x >= 1.0)
+            .map(|&(_, p)| p)
+            .unwrap_or(0.0)
+    };
+    assert!(at(&f11.rebuf_loss) > at(&f11.rebuf_no_loss));
+}
+
+#[test]
+fn finding_net4_throughput_dominates_bad_performance() {
+    let out = run();
+    let f16 = network::fig16(&out.dataset, 200);
+    // Bad chunks exist but are the minority.
+    assert!((0.005..0.35).contains(&f16.bad_share), "bad = {}", f16.bad_share);
+    // D_LB separates good from bad far more than D_FB does (medians).
+    let med = |s: &streamlab::analysis::figures::CdfSeries| s.x_at(0.5).unwrap();
+    let dlb_ratio = med(&f16.dlb_bad) / med(&f16.dlb_good);
+    let dfb_ratio = med(&f16.dfb_bad) / med(&f16.dfb_good);
+    assert!(dlb_ratio > 2.0 * dfb_ratio, "dlb x{dlb_ratio} vs dfb x{dfb_ratio}");
+    // Bad chunks have a lower latency *share* (throughput-dominated).
+    assert!(med(&f16.share_bad) < med(&f16.share_good));
+}
+
+#[test]
+fn finding_client1_transient_stack_buffering_detected() {
+    let out = run();
+    let f17 = client::fig17(&out.dataset);
+    let rate = f17.flagged_chunks as f64 / f17.total_chunks.max(1) as f64;
+    // Paper: 0.32% of chunks, 3.1% of sessions.
+    assert!((0.0005..0.02).contains(&rate), "flag rate = {rate}");
+    assert!(f17.precision > 0.6, "precision = {}", f17.precision);
+    assert!(f17.recall > 0.2, "recall = {}", f17.recall);
+}
+
+#[test]
+fn finding_client2_first_chunks_have_higher_stack_latency() {
+    let out = run();
+    let f18 = client::fig18(&out.dataset, (20.0, 120.0), 100);
+    assert!(
+        (100.0..700.0).contains(&f18.median_gap_ms),
+        "median gap = {} ms (paper ~300)",
+        f18.median_gap_ms
+    );
+}
+
+#[test]
+fn finding_client3_unpopular_browsers_render_worse() {
+    let out = run();
+    let f22 = client::fig22(&out.dataset, 20);
+    assert!(!f22.rows.is_empty(), "no unpopular-browser rows at this scale");
+    for row in &f22.rows {
+        assert!(
+            row.dropped_pct > f22.rest_avg_pct,
+            "{} drops {}% <= rest {}%",
+            row.label,
+            row.dropped_pct,
+            f22.rest_avg_pct
+        );
+    }
+}
+
+#[test]
+fn finding_client4_download_rate_knee_at_1_5() {
+    let out = run();
+    let f19 = client::fig19(&out.dataset);
+    let mean_at = |lo: f64, hi: f64| {
+        let bins: Vec<&_> = f19
+            .by_rate
+            .bins
+            .iter()
+            .filter(|b| b.x_center >= lo && b.x_center < hi)
+            .collect();
+        bins.iter().map(|b| b.mean * b.count as f64).sum::<f64>()
+            / bins.iter().map(|b| b.count as f64).sum::<f64>().max(1.0)
+    };
+    let slow = mean_at(0.0, 1.0);
+    let knee = mean_at(1.5, 2.5);
+    let fast = mean_at(2.5, 5.0);
+    assert!(slow > 2.0 * knee, "slow {slow} vs knee {knee}");
+    // Beyond the knee nothing improves — but nothing collapses either
+    // (high-rate bins carry CPU-bound sessions; allow their noise).
+    assert!(fast < 2.5 * knee.max(1.0), "knee {knee} vs fast {fast}");
+    assert!(f19.hardware_mean_pct < 2.0);
+}
+
+#[test]
+fn finding_client5_dds_platform_ranking() {
+    let out = run();
+    let t5 = client::tab05(&out.dataset, 30);
+    assert!(!t5.rows.is_empty());
+    // Paper: 17.6% of chunks show non-zero D_DS.
+    assert!(
+        (0.03..0.45).contains(&t5.nonzero_fraction),
+        "nonzero D_DS fraction = {}",
+        t5.nonzero_fraction
+    );
+    // Safari-off-Mac should rank above Chrome wherever both appear.
+    let rank_of = |os: streamlab::workload::Os,
+                   b: streamlab::workload::Browser| {
+        t5.rows.iter().position(|r| r.os == os && r.browser == b)
+    };
+    use streamlab::workload::{Browser, Os};
+    if let (Some(safari), Some(chrome)) = (
+        rank_of(Os::Windows, Browser::Safari),
+        rank_of(Os::Windows, Browser::Chrome),
+    ) {
+        assert!(safari < chrome, "Safari/Win must out-rank Chrome/Win");
+    }
+}
+
+#[test]
+fn every_experiment_produces_output() {
+    let out = run();
+    for &id in ExperimentId::all() {
+        let r = run_experiment(id, out);
+        assert!(!r.text.trim().is_empty(), "{id:?} rendered empty");
+        assert!(r.json.is_object() || r.json.is_array() || !r.json.is_null() || id == ExperimentId::Fig13,
+            "{id:?} produced null JSON");
+    }
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let a = Simulation::new(SimulationConfig::tiny(77)).run().unwrap();
+    let b = Simulation::new(SimulationConfig::tiny(77)).run().unwrap();
+    assert_eq!(a.dataset.chunk_count(), b.dataset.chunk_count());
+    let digest = |o: &RunOutput| -> (u64, u64, u64) {
+        let mut fb = 0u64;
+        let mut retx = 0u64;
+        let mut drops = 0u64;
+        for (_, c) in o.dataset.chunks() {
+            fb = fb.wrapping_add(c.player.d_fb.as_nanos());
+            retx += u64::from(c.cdn.retx_segments);
+            drops += u64::from(c.player.dropped_frames);
+        }
+        (fb, retx, drops)
+    };
+    assert_eq!(digest(&a), digest(&b));
+}
+
+#[test]
+fn finding_client6_bitrate_paradox() {
+    // §4.4.2: high-bitrate sessions render *better*, because the ABR
+    // selects high bitrates exactly on the connections with lower RTT
+    // variation and lower loss. The low-bitrate bucket is a small minority
+    // (most links comfortably exceed 1 Mbps), so this test runs its own
+    // larger window for sample size.
+    let mut cfg = SimulationConfig::tiny(2016);
+    cfg.traffic.sessions = 2_000;
+    let out = Simulation::new(cfg).run().expect("run");
+    let p = client::bitrate_paradox(&out.dataset);
+    assert!(p.high_sessions > 200 && p.low_sessions >= 40,
+        "split: {} high / {} low", p.high_sessions, p.low_sessions);
+    assert!(
+        p.high_dropped_pct < p.low_dropped_pct,
+        "high-bitrate drops {} >= low-bitrate {}",
+        p.high_dropped_pct,
+        p.low_dropped_pct
+    );
+    assert!(
+        p.high_srttvar_ms < p.low_srttvar_ms,
+        "selection effect missing: srttvar {} vs {}",
+        p.high_srttvar_ms,
+        p.low_srttvar_ms
+    );
+    assert!(p.high_retx_rate < p.low_retx_rate);
+}
+
+#[test]
+fn finding_client7_stack_latency_estimate_tracks_rebuffering() {
+    // §4.3.2: the paper reports that rebuffering sessions carry much
+    // higher D_DS. What production measures is the Eq. 5 *estimate*, and
+    // that estimate inflates under network queueing — so the association
+    // must show in the estimate columns. The ground-truth columns reveal
+    // how much of it the estimator's network sensitivity supplies (a
+    // decomposition only a simulator can do).
+    let out = run();
+    let b = client::dds_vs_rebuffering(&out.dataset);
+    assert!(b.counts[0] > 50, "bucket sizes: {:?}", b.counts);
+    if b.counts[2] >= 10 {
+        assert!(
+            b.est_heavy_rebuffer_ms > b.est_no_rebuffer_ms,
+            "estimated D_DS: heavy {} <= none {}",
+            b.est_heavy_rebuffer_ms,
+            b.est_no_rebuffer_ms
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Estimator validation on a full simulated dataset: the paper's Eq. 1/4/5
+//! estimators measured against the simulator's ground truth.
+
+use streamlab::analysis::validate::{validate_eq4, validate_eq5, validate_rtt0};
+use streamlab::{RunOutput, Simulation, SimulationConfig};
+
+fn run() -> &'static RunOutput {
+    use std::sync::OnceLock;
+    static OUT: OnceLock<RunOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        Simulation::new(SimulationConfig::tiny(404))
+            .run()
+            .expect("tiny simulation")
+    })
+}
+
+#[test]
+fn eq5_bound_rarely_violates_and_has_power() {
+    let v = validate_eq5(&run().dataset);
+    assert!(v.chunks > 5_000);
+    // The RTO argument can be beaten by RTT spikes beyond the smoothed
+    // estimate; that must stay a rare corner, not a systematic error.
+    assert!(
+        v.violation_rate() < 0.01,
+        "violation rate = {} ({} of {})",
+        v.violation_rate(),
+        v.violations,
+        v.chunks
+    );
+    // And the bound must actually surface large stack latencies.
+    assert!(v.big_dds_chunks > 0, "no large-D_DS chunks at this scale?");
+    assert!(v.power() > 0.5, "power = {}", v.power());
+}
+
+#[test]
+fn eq4_detector_is_precise_on_full_sim() {
+    let v = validate_eq4(&run().dataset);
+    assert!(v.truth_events > 0, "no transient events generated");
+    assert!(v.precision() > 0.6, "precision = {}", v.precision());
+    assert!(v.recall() > 0.2, "recall = {}", v.recall());
+    // Flag rate in the paper's ballpark (0.32%).
+    let rate = v.flagged as f64 / v.chunks as f64;
+    assert!(rate < 0.02, "flag rate = {rate}");
+}
+
+#[test]
+fn rtt0_residual_upper_bounds_truth() {
+    let v = validate_rtt0(&run().dataset);
+    assert!(v.chunks > 5_000);
+    // Jitter-level undershoot is expected (two independent RTT draws),
+    // and a latency-spike episode can begin or end *between* the rtt0
+    // sample and the first data round, making the two draws diverge by
+    // the full spike multiplier. Only a systematic excess would indicate
+    // an accounting bug.
+    assert!(
+        (v.violations as f64) < 0.035 * v.chunks as f64,
+        "violations = {} of {} (jitter-level: {})",
+        v.violations,
+        v.chunks,
+        v.jitter_undershoots
+    );
+    assert!(v.mean_over_ms >= 0.0);
+}
