@@ -77,7 +77,12 @@ pub fn detect_transient_buffering(s: &SessionData) -> Vec<Eq4Flags> {
     let cwnd: Vec<f64> = s
         .chunks
         .iter()
-        .map(|c| c.cdn.last_tcp().map(|t| f64::from(t.cwnd)).unwrap_or(f64::NAN))
+        .map(|c| {
+            c.cdn
+                .last_tcp()
+                .map(|t| f64::from(t.cwnd))
+                .unwrap_or(f64::NAN)
+        })
         .collect();
 
     let (m_dfb, s_dfb) = mean_std(&dfb);
@@ -130,8 +135,8 @@ mod tests {
     };
     use streamlab_telemetry::SessionData;
     use streamlab_workload::{
-        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region,
-        ServerId, SessionId, VideoId,
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
+        SessionId, VideoId,
     };
 
     /// A session of `n` well-behaved chunks; caller then perturbs one.
@@ -272,7 +277,10 @@ mod tests {
             est > SimDuration::from_millis(1000),
             "bound too weak: {est}"
         );
-        assert!(est < SimDuration::from_millis(1500), "bound must stay a lower bound");
+        assert!(
+            est < SimDuration::from_millis(1500),
+            "bound must stay a lower bound"
+        );
         // Clean chunks bound to zero.
         let clean = estimate_dds_lower_bound(&s.chunks[0]);
         assert!(clean.is_zero());
@@ -293,6 +301,9 @@ mod tests {
             SimDuration::from_millis(60) + s.chunks[1].cdn.server_total() + truth_dds;
         let est = estimate_dds_lower_bound(&s.chunks[1]);
         assert!(est <= truth_dds, "est {est} exceeds truth {truth_dds}");
-        assert!(est > SimDuration::from_millis(300), "est {est} uselessly weak");
+        assert!(
+            est > SimDuration::from_millis(300),
+            "est {est} uselessly weak"
+        );
     }
 }

@@ -261,8 +261,14 @@ pub fn fig21(ds: &Dataset) -> Vec<Fig21Row> {
         })
         .collect();
     rows.sort_by(|a, b| {
-        (a.os.label(), std::cmp::Reverse((a.chunk_share_pct * 100.0) as u64))
-            .cmp(&(b.os.label(), std::cmp::Reverse((b.chunk_share_pct * 100.0) as u64)))
+        (
+            a.os.label(),
+            std::cmp::Reverse((a.chunk_share_pct * 100.0) as u64),
+        )
+            .cmp(&(
+                b.os.label(),
+                std::cmp::Reverse((b.chunk_share_pct * 100.0) as u64),
+            ))
     });
     rows
 }
@@ -299,8 +305,8 @@ pub fn fig22(ds: &Dataset, min_chunks: usize) -> Fig22 {
         if !c.player.visible || c.player.download_rate() < 1.5 {
             continue;
         }
-        let unpopular =
-            meta.browser.is_unpopular() || (meta.browser == Browser::Safari && meta.os != Os::MacOs);
+        let unpopular = meta.browser.is_unpopular()
+            || (meta.browser == Browser::Safari && meta.os != Os::MacOs);
         let drop_pct = 100.0 * c.player.drop_ratio();
         if unpopular {
             let e = acc.entry((meta.os, meta.browser)).or_insert((0, 0.0));
@@ -323,7 +329,11 @@ pub fn fig22(ds: &Dataset, min_chunks: usize) -> Fig22 {
     rows.sort_by(|a, b| b.dropped_pct.partial_cmp(&a.dropped_pct).unwrap());
     Fig22 {
         rows,
-        rest_avg_pct: if rest_n == 0 { 0.0 } else { rest_sum / rest_n as f64 },
+        rest_avg_pct: if rest_n == 0 {
+            0.0
+        } else {
+            rest_sum / rest_n as f64
+        },
     }
 }
 
@@ -533,8 +543,7 @@ pub fn bitrate_paradox(ds: &Dataset) -> BitrateParadox {
         if !s.meta.visible || s.chunks.is_empty() {
             continue;
         }
-        let dropped: f64 = 100.0
-            * s.chunks.iter().map(|c| c.player.drop_ratio()).sum::<f64>()
+        let dropped: f64 = 100.0 * s.chunks.iter().map(|c| c.player.drop_ratio()).sum::<f64>()
             / s.chunks.len() as f64;
         let srttvar: f64 = {
             let vals: Vec<f64> = s

@@ -217,13 +217,10 @@ pub fn fig13(ds: &Dataset) -> Option<Fig13> {
         s.chunks.iter().map(|c| 100.0 * c.cdn.retx_rate()).collect()
     };
     let early = ds.sessions.iter().find(|s| {
-        s.chunks.len() >= 8
-            && s.chunks[0].cdn.retx_segments > 0
-            && s.rebuffer_rate_pct() > 0.0
-            && {
-                let total: u32 = s.chunks.iter().map(|c| c.cdn.retx_segments).sum();
-                f64::from(s.chunks[0].cdn.retx_segments) / f64::from(total.max(1)) > 0.5
-            }
+        s.chunks.len() >= 8 && s.chunks[0].cdn.retx_segments > 0 && s.rebuffer_rate_pct() > 0.0 && {
+            let total: u32 = s.chunks.iter().map(|c| c.cdn.retx_segments).sum();
+            f64::from(s.chunks[0].cdn.retx_segments) / f64::from(total.max(1)) > 0.5
+        }
     })?;
     let late = ds.sessions.iter().find(|s| {
         s.chunks.len() >= 8

@@ -4,23 +4,26 @@ mod prefix;
 mod session;
 mod variability;
 
-pub use prefix::{persistent_tail, prefix_latencies, tail_prefixes, tail_recurrence, PrefixLatency, PrefixRecurrence};
+pub use prefix::{
+    persistent_tail, prefix_latencies, tail_prefixes, tail_recurrence, PrefixLatency,
+    PrefixRecurrence,
+};
 pub use session::{session_srtt_stats, SessionSrtt};
 pub use variability::{org_variability, path_cv, OrgVariability};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use streamlab_telemetry::dataset::{Dataset, SessionData};
-    use streamlab_workload::{OrgKind, PopId, PrefixId};
     use streamlab_net::TcpInfo;
     use streamlab_sim::{SimDuration, SimTime};
+    use streamlab_telemetry::dataset::{Dataset, SessionData};
     use streamlab_telemetry::records::{
         CacheOutcome, CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
     };
     use streamlab_workload::{
         AccessClass, Browser, ChunkIndex, GeoPoint, Os, Region, ServerId, SessionId, VideoId,
     };
+    use streamlab_workload::{OrgKind, PopId, PrefixId};
 
     fn tcp(at_ms: u64, srtt_ms: u64) -> TcpInfo {
         TcpInfo {
@@ -111,7 +114,12 @@ mod tests {
 
     #[test]
     fn srtt_stats_basics() {
-        let s = session(0, &[50, 60, 55, 52], "Residential-ISP-0", OrgKind::Residential);
+        let s = session(
+            0,
+            &[50, 60, 55, 52],
+            "Residential-ISP-0",
+            OrgKind::Residential,
+        );
         let st = session_srtt_stats(&s);
         assert_eq!(st.samples, 4);
         assert_eq!(st.srtt_min_ms, 50.0);
@@ -125,7 +133,12 @@ mod tests {
     fn baseline_filters_self_loading() {
         // SRTT samples are inflated (self-loading) but the Eq. 1 residual
         // reveals the true ~30 ms baseline.
-        let mut s = session(0, &[200, 220, 210], "Residential-ISP-0", OrgKind::Residential);
+        let mut s = session(
+            0,
+            &[200, 220, 210],
+            "Residential-ISP-0",
+            OrgKind::Residential,
+        );
         for c in &mut s.chunks {
             c.player.d_fb = SimDuration::from_millis(34);
         }

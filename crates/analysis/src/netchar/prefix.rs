@@ -146,11 +146,13 @@ pub fn tail_recurrence(daily: &[Vec<PrefixLatency>], threshold_ms: f64) -> Vec<P
 /// The persistently-slow prefix set: the top `top_fraction` (the paper
 /// uses 10 %) of prefixes by recurrence frequency, among those that were
 /// ever in the tail.
-pub fn persistent_tail<'a>(
-    recurrence: &'a [PrefixRecurrence],
+pub fn persistent_tail(
+    recurrence: &[PrefixRecurrence],
     top_fraction: f64,
-) -> Vec<&'a PrefixRecurrence> {
+) -> Vec<&PrefixRecurrence> {
     let ever: Vec<&PrefixRecurrence> = recurrence.iter().filter(|p| p.days_in_tail > 0).collect();
-    let keep = ((ever.len() as f64 * top_fraction).ceil() as usize).max(1).min(ever.len());
+    let keep = ((ever.len() as f64 * top_fraction).ceil() as usize)
+        .max(1)
+        .min(ever.len());
     ever.into_iter().take(keep).collect()
 }

@@ -56,7 +56,12 @@ pub fn org_variability(ds: &Dataset, min_sessions: usize) -> Vec<OrgVariability>
             sessions: n,
         })
         .collect();
-    out.sort_by(|a, b| b.pct().partial_cmp(&a.pct()).unwrap().then(a.org.cmp(&b.org)));
+    out.sort_by(|a, b| {
+        b.pct()
+            .partial_cmp(&a.pct())
+            .unwrap()
+            .then(a.org.cmp(&b.org))
+    });
     out
 }
 

@@ -116,8 +116,8 @@ mod tests {
     };
     use streamlab_telemetry::SessionData;
     use streamlab_workload::{
-        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region,
-        ServerId, SessionId, VideoId,
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
+        SessionId, VideoId,
     };
 
     fn session(id: u64, startup: f64, stall_s: f64, dropped: u32) -> SessionData {
@@ -132,7 +132,10 @@ mod tests {
             org_kind: OrgKind::Residential,
             access: AccessClass::Cable,
             region: Region::UnitedStates,
-            location: GeoPoint { lat: 40.0, lon: -75.0 },
+            location: GeoPoint {
+                lat: 40.0,
+                lon: -75.0,
+            },
             pop: PopId(0),
             server: ServerId(0),
             distance_km: 10.0,
@@ -223,10 +226,26 @@ mod tests {
             dropped_pct: 1.0,
         };
         assert!(good.acceptable());
-        assert!(!SessionQoe { startup_s: 6.0, ..good }.acceptable());
-        assert!(!SessionQoe { rebuffer_pct: 3.0, ..good }.acceptable());
-        assert!(!SessionQoe { dropped_pct: 20.0, ..good }.acceptable());
-        assert!(!SessionQoe { startup_s: f64::NAN, ..good }.acceptable());
+        assert!(!SessionQoe {
+            startup_s: 6.0,
+            ..good
+        }
+        .acceptable());
+        assert!(!SessionQoe {
+            rebuffer_pct: 3.0,
+            ..good
+        }
+        .acceptable());
+        assert!(!SessionQoe {
+            dropped_pct: 20.0,
+            ..good
+        }
+        .acceptable());
+        assert!(!SessionQoe {
+            startup_s: f64::NAN,
+            ..good
+        }
+        .acceptable());
     }
 
     #[test]

@@ -209,8 +209,8 @@ mod tests {
     };
     use streamlab_telemetry::{Dataset, SessionData};
     use streamlab_workload::{
-        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region,
-        ServerId, SessionId, VideoId,
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
+        SessionId, VideoId,
     };
 
     fn synthetic_session(n: u32, dds_ms: u64, transient_at: Option<u32>) -> SessionData {
@@ -225,7 +225,10 @@ mod tests {
             org_kind: OrgKind::Residential,
             access: AccessClass::Cable,
             region: Region::UnitedStates,
-            location: GeoPoint { lat: 40.0, lon: -75.0 },
+            location: GeoPoint {
+                lat: 40.0,
+                lon: -75.0,
+            },
             pop: PopId(0),
             server: ServerId(0),
             distance_km: 50.0,

@@ -109,7 +109,10 @@ impl SessionBuilder {
             org_kind: OrgKind::Residential,
             access: AccessClass::Cable,
             region: Region::UnitedStates,
-            location: GeoPoint { lat: 40.0, lon: -75.0 },
+            location: GeoPoint {
+                lat: 40.0,
+                lon: -75.0,
+            },
             pop: PopId(0),
             server: ServerId(0),
             distance_km: 25.0,
@@ -214,10 +217,22 @@ fn fig04_bins_startup_by_server_latency() {
 fn fig03b_normalizes_rank_and_frequency() {
     // Video 0 played 3x, video 1 played 1x.
     let ds = dataset(vec![
-        SessionBuilder::new(0).video(0).chunks(2, ChunkSpec::default()).build(),
-        SessionBuilder::new(1).video(0).chunks(2, ChunkSpec::default()).build(),
-        SessionBuilder::new(2).video(0).chunks(2, ChunkSpec::default()).build(),
-        SessionBuilder::new(3).video(1).chunks(2, ChunkSpec::default()).build(),
+        SessionBuilder::new(0)
+            .video(0)
+            .chunks(2, ChunkSpec::default())
+            .build(),
+        SessionBuilder::new(1)
+            .video(0)
+            .chunks(2, ChunkSpec::default())
+            .build(),
+        SessionBuilder::new(2)
+            .video(0)
+            .chunks(2, ChunkSpec::default())
+            .build(),
+        SessionBuilder::new(3)
+            .video(1)
+            .chunks(2, ChunkSpec::default())
+            .build(),
     ]);
     let rows = cdn::fig03b(&ds);
     assert_eq!(rows.len(), 2);
@@ -248,13 +263,19 @@ fn fig05_separates_hit_and_miss_totals() {
 #[test]
 fn fig06_rank_thresholds_partition_chunks() {
     let ds = dataset(vec![
-        SessionBuilder::new(0).video(0).chunks(4, ChunkSpec::default()).build(),
+        SessionBuilder::new(0)
+            .video(0)
+            .chunks(4, ChunkSpec::default())
+            .build(),
         SessionBuilder::new(1)
             .video(90)
-            .chunks(4, ChunkSpec {
-                cache: CacheOutcome::Miss,
-                ..ChunkSpec::default()
-            })
+            .chunks(
+                4,
+                ChunkSpec {
+                    cache: CacheOutcome::Miss,
+                    ..ChunkSpec::default()
+                },
+            )
             .build(),
     ]);
     let rows = cdn::fig06(&ds, 100, 2);
@@ -271,12 +292,17 @@ fn fig06_rank_thresholds_partition_chunks() {
 #[test]
 fn fig11_splits_by_loss_and_computes_shares() {
     let ds = dataset(vec![
-        SessionBuilder::new(0).chunks(10, ChunkSpec::default()).build(),
+        SessionBuilder::new(0)
+            .chunks(10, ChunkSpec::default())
+            .build(),
         SessionBuilder::new(1)
-            .chunks(10, ChunkSpec {
-                retx: 90, // 10% retx rate per chunk
-                ..ChunkSpec::default()
-            })
+            .chunks(
+                10,
+                ChunkSpec {
+                    retx: 90, // 10% retx rate per chunk
+                    ..ChunkSpec::default()
+                },
+            )
             .build(),
         SessionBuilder::new(2)
             .chunk(ChunkSpec {
@@ -342,7 +368,10 @@ fn fig15_per_chunk_means() {
             .build(),
     ]);
     let series = network::fig15(&ds, 3);
-    assert!((series.bins[0].mean - 6.0).abs() < 1e-9, "mean of 10% and 2%");
+    assert!(
+        (series.bins[0].mean - 6.0).abs() < 1e-9,
+        "mean of 10% and 2%"
+    );
     assert!((series.bins[1].mean - 0.0).abs() < 1e-9);
 }
 
@@ -369,17 +398,23 @@ fn fig16_classifies_by_perf_score() {
 
 #[test]
 fn fig19_uses_visible_software_chunks_only() {
-    let mut hw = SessionBuilder::new(0).chunks(5, ChunkSpec {
-        dropped: 0,
-        ..ChunkSpec::default()
-    });
+    let mut hw = SessionBuilder::new(0).chunks(
+        5,
+        ChunkSpec {
+            dropped: 0,
+            ..ChunkSpec::default()
+        },
+    );
     hw.gpu = true;
-    let sw = SessionBuilder::new(1).chunks(5, ChunkSpec {
-        dropped: 18, // 10%
-        d_fb_ms: 1000,
-        d_lb_ms: 2000, // rate = 2.0
-        ..ChunkSpec::default()
-    });
+    let sw = SessionBuilder::new(1).chunks(
+        5,
+        ChunkSpec {
+            dropped: 18, // 10%
+            d_fb_ms: 1000,
+            d_lb_ms: 2000, // rate = 2.0
+            ..ChunkSpec::default()
+        },
+    );
     let ds = dataset(vec![hw.build(), sw.build()]);
     let f = client::fig19(&ds);
     assert!((f.hardware_mean_pct - 0.0).abs() < 1e-9);
@@ -396,17 +431,23 @@ fn fig21_normalizes_within_platform_and_skips_hidden() {
     let ds = dataset(vec![
         SessionBuilder::new(0)
             .platform(Os::Windows, Browser::Chrome)
-            .chunks(6, ChunkSpec {
-                dropped: 9,
-                ..ChunkSpec::default()
-            })
+            .chunks(
+                6,
+                ChunkSpec {
+                    dropped: 9,
+                    ..ChunkSpec::default()
+                },
+            )
             .build(),
         SessionBuilder::new(1)
             .platform(Os::Windows, Browser::Firefox)
-            .chunks(2, ChunkSpec {
-                dropped: 36,
-                ..ChunkSpec::default()
-            })
+            .chunks(
+                2,
+                ChunkSpec {
+                    dropped: 36,
+                    ..ChunkSpec::default()
+                },
+            )
             .build(),
         hidden.build(),
     ]);
@@ -442,12 +483,15 @@ fn fig22_filters_by_rate_visibility_and_popularity() {
             .build(),
         SessionBuilder::new(1)
             .platform(Os::Windows, Browser::Chrome)
-            .chunks(30, ChunkSpec {
-                dropped: 2,
-                d_fb_ms: 1000,
-                d_lb_ms: 2000,
-                ..ChunkSpec::default()
-            })
+            .chunks(
+                30,
+                ChunkSpec {
+                    dropped: 2,
+                    d_fb_ms: 1000,
+                    d_lb_ms: 2000,
+                    ..ChunkSpec::default()
+                },
+            )
             .build(),
     ]);
     let f = client::fig22(&ds, 10);
@@ -464,12 +508,18 @@ fn headline_stats_on_known_mixture() {
         SessionBuilder::new(0)
             .video(0)
             .chunks(8, ChunkSpec::default())
-            .chunks(2, ChunkSpec {
-                cache: CacheOutcome::Miss,
-                ..ChunkSpec::default()
-            })
+            .chunks(
+                2,
+                ChunkSpec {
+                    cache: CacheOutcome::Miss,
+                    ..ChunkSpec::default()
+                },
+            )
             .build(),
-        SessionBuilder::new(1).video(0).chunks(10, ChunkSpec::default()).build(),
+        SessionBuilder::new(1)
+            .video(0)
+            .chunks(10, ChunkSpec::default())
+            .build(),
     ]);
     let s = cdn::headline_stats(&ds);
     assert_eq!(s.sessions, 2);
@@ -485,7 +535,9 @@ fn headline_stats_on_known_mixture() {
 #[test]
 fn dds_rebuffering_buckets_use_ground_truth() {
     use streamlab_analysis::figures::client::dds_vs_rebuffering;
-    let mut calm = SessionBuilder::new(0).chunks(10, ChunkSpec::default()).build();
+    let mut calm = SessionBuilder::new(0)
+        .chunks(10, ChunkSpec::default())
+        .build();
     for c in &mut calm.chunks {
         c.player.truth.dds = SimDuration::from_millis(50);
     }

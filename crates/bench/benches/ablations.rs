@@ -68,9 +68,7 @@ fn bench_ablations(c: &mut Criterion) {
         let out = tiny_run(2016, tweak);
         print_variant_summary(name, &out);
         drop(out);
-        group.bench_function(*name, |b| {
-            b.iter(|| black_box(tiny_run(2016, tweak)))
-        });
+        group.bench_function(*name, |b| b.iter(|| black_box(tiny_run(2016, tweak))));
     }
     group.finish();
 }

@@ -1,0 +1,34 @@
+//! Sequential vs shard-parallel engine wall time.
+//!
+//! The contract under test elsewhere (tests/determinism.rs) is that
+//! `threads` changes nothing but wall clock; this bench measures the wall
+//! clock itself. Speedup is bounded by the number of PoPs and by how
+//! evenly sessions land across them, and on a single-core host the
+//! parallel engine should simply not be slower than its extra
+//! partition/merge bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use streamlab::{Simulation, SimulationConfig};
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("tiny", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut cfg = SimulationConfig::tiny(2016);
+                    cfg.threads = threads;
+                    black_box(Simulation::new(cfg).run().expect("run"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

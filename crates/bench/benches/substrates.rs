@@ -158,7 +158,10 @@ fn bench_sim_primitives(c: &mut Criterion) {
         b.iter(|| {
             let mut q = EventQueue::new();
             for i in 0..1_000u64 {
-                q.schedule(SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000), i);
+                q.schedule(
+                    SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 1_000_000),
+                    i,
+                );
             }
             let mut n = 0;
             while q.pop().is_some() {

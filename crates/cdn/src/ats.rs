@@ -204,8 +204,7 @@ impl AtsTimings {
                 // First open attempt fails (not in RAM); the asynchronous
                 // retry fires after the fixed timer, then the disk seek
                 // pays a popularity penalty: colder content reads slower.
-                let seek_extra =
-                    self.cfg.disk_rank_ms_per_ln * (1.0 + rank as f64).ln().max(0.0);
+                let seek_extra = self.cfg.disk_rank_ms_per_ln * (1.0 + rank as f64).ln().max(0.0);
                 let read = self.cfg.retry_timer
                     + SimDuration::from_millis_f64(self.disk_read.sample(rng) + seek_extra);
                 (read, SimDuration::ZERO, true)
@@ -276,10 +275,18 @@ mod tests {
         let t = timings();
         let mut r = rng();
         let ram: Vec<f64> = (0..2000)
-            .map(|_| t.sample_read(CacheStatus::RamHit, 10, &mut r).0.as_millis_f64())
+            .map(|_| {
+                t.sample_read(CacheStatus::RamHit, 10, &mut r)
+                    .0
+                    .as_millis_f64()
+            })
             .collect();
         let disk: Vec<f64> = (0..2000)
-            .map(|_| t.sample_read(CacheStatus::DiskHit, 10, &mut r).0.as_millis_f64())
+            .map(|_| {
+                t.sample_read(CacheStatus::DiskHit, 10, &mut r)
+                    .0
+                    .as_millis_f64()
+            })
             .collect();
         let gap = median(disk) - median(ram);
         assert!((8.0..25.0).contains(&gap), "mode separation = {gap} ms");
@@ -314,7 +321,11 @@ mod tests {
         let mut r = rng();
         let hot = median(
             (0..2000)
-                .map(|_| t.sample_read(CacheStatus::DiskHit, 2, &mut r).0.as_millis_f64())
+                .map(|_| {
+                    t.sample_read(CacheStatus::DiskHit, 2, &mut r)
+                        .0
+                        .as_millis_f64()
+                })
                 .collect(),
         );
         let cold = median(

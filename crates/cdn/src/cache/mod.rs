@@ -182,10 +182,19 @@ mod tests {
             admission: AdmissionPolicy::OnSecondRequest,
         });
         let mut rng = RngStream::new(1, "adm");
-        assert!(!t.should_admit(key(1, 0), &mut rng), "first request rejected");
-        assert!(t.should_admit(key(1, 0), &mut rng), "second request admitted");
+        assert!(
+            !t.should_admit(key(1, 0), &mut rng),
+            "first request rejected"
+        );
+        assert!(
+            t.should_admit(key(1, 0), &mut rng),
+            "second request admitted"
+        );
         assert!(t.should_admit(key(1, 0), &mut rng), "third too");
-        assert!(!t.should_admit(key(2, 0), &mut rng), "other keys independent");
+        assert!(
+            !t.should_admit(key(2, 0), &mut rng),
+            "other keys independent"
+        );
     }
 
     #[test]

@@ -75,11 +75,7 @@ impl TieredCache {
     /// Should a backend fill of `key` be admitted, per the configured
     /// policy? Second-hit counting is updated by this call, so invoke it
     /// exactly once per miss.
-    pub fn should_admit(
-        &mut self,
-        key: ObjectKey,
-        rng: &mut streamlab_sim::RngStream,
-    ) -> bool {
+    pub fn should_admit(&mut self, key: ObjectKey, rng: &mut streamlab_sim::RngStream) -> bool {
         match self.admission {
             AdmissionPolicy::Always => true,
             AdmissionPolicy::OnSecondRequest => {

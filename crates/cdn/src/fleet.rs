@@ -17,18 +17,44 @@ use streamlab_workload::geo::{build_pops, nearest_pop, GeoPoint, Pop};
 use streamlab_workload::{Catalog, ChunkIndex, ServerId, SessionId, VideoId};
 
 /// Chunk prefetching policy (§4.1.2 take-aways).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PrefetchPolicy {
     /// No prefetching (the deployed baseline).
+    #[default]
     None,
     /// After a cache miss, pull the next `n` chunks of the same video and
     /// bitrate into the cache in the background.
     NextChunksOnMiss(u32),
 }
 
-impl Default for PrefetchPolicy {
-    fn default() -> Self {
-        PrefetchPolicy::None
+impl PrefetchPolicy {
+    /// The background-prefetch list for a request under this policy:
+    /// subsequent chunks of the same video/bitrate. Pure — depends only on
+    /// the policy, the catalog and the requested key — which is what lets
+    /// shard workers compute it without any fleet reference.
+    pub fn list(self, catalog: &Catalog, key: ObjectKey) -> Vec<(ObjectKey, u64)> {
+        match self {
+            PrefetchPolicy::None => Vec::new(),
+            PrefetchPolicy::NextChunksOnMiss(n) => {
+                let video = catalog.video(key.video);
+                let total = video.chunk_count();
+                (1..=n)
+                    .filter_map(|d| {
+                        let idx = key.chunk.raw() + d;
+                        if idx < total {
+                            let k = ObjectKey {
+                                video: key.video,
+                                chunk: ChunkIndex(idx),
+                                bitrate_kbps: key.bitrate_kbps,
+                            };
+                            Some((k, video.chunk_bytes(ChunkIndex(idx), k.bitrate_kbps)))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            }
+        }
     }
 }
 
@@ -170,28 +196,68 @@ impl CdnFleet {
     /// Compute the background-prefetch list for a request under the
     /// fleet's policy: subsequent chunks of the same video/bitrate.
     pub fn prefetch_list(&self, catalog: &Catalog, key: ObjectKey) -> Vec<(ObjectKey, u64)> {
-        match self.cfg.prefetch {
-            PrefetchPolicy::None => Vec::new(),
-            PrefetchPolicy::NextChunksOnMiss(n) => {
-                let video = catalog.video(key.video);
-                let total = video.chunk_count();
-                (1..=n)
-                    .filter_map(|d| {
-                        let idx = key.chunk.raw() + d;
-                        if idx < total {
-                            let k = ObjectKey {
-                                video: key.video,
-                                chunk: ChunkIndex(idx),
-                                bitrate_kbps: key.bitrate_kbps,
-                            };
-                            Some((k, video.chunk_bytes(ChunkIndex(idx), k.bitrate_kbps)))
-                        } else {
-                            None
-                        }
-                    })
-                    .collect()
+        self.cfg.prefetch.list(catalog, key)
+    }
+
+    /// Index (into [`CdnFleet::pops`]) of the PoP hosting a server.
+    pub fn pop_index_of(&self, server_idx: usize) -> usize {
+        self.servers[server_idx].pop().raw() as usize
+    }
+
+    /// Carve the fleet into per-PoP shards, moving every server into the
+    /// shard of its PoP. The fleet keeps its configuration and PoP list but
+    /// holds no servers until [`CdnFleet::merge_shards`] puts them back;
+    /// serving methods ([`CdnFleet::server_mut`], reports) must not be used
+    /// in between.
+    ///
+    /// PoPs with no servers produce no shard. Within a shard, servers keep
+    /// their relative (ascending global-index) order.
+    pub fn split_shards(&mut self) -> Vec<FleetShard> {
+        let servers = std::mem::take(&mut self.servers);
+        let mut shards: Vec<FleetShard> = Vec::new();
+        for (global_idx, server) in servers.into_iter().enumerate() {
+            let pop_index = server.pop().raw() as usize;
+            match shards.iter_mut().find(|s| s.pop_index == pop_index) {
+                Some(shard) => {
+                    shard.server_indices.push(global_idx);
+                    shard.servers.push(server);
+                }
+                None => shards.push(FleetShard {
+                    pop_index,
+                    server_indices: vec![global_idx],
+                    servers: vec![server],
+                }),
             }
         }
+        shards.sort_by_key(|s| s.pop_index);
+        shards
+    }
+
+    /// Reassemble the fleet from shards produced by
+    /// [`CdnFleet::split_shards`], restoring every server to its global
+    /// index. Accepts shards in any order; panics if the shard set does not
+    /// cover exactly the servers that were split off.
+    pub fn merge_shards(&mut self, shards: Vec<FleetShard>) {
+        assert!(
+            self.servers.is_empty(),
+            "merge_shards on a fleet that still owns servers"
+        );
+        let total: usize = shards.iter().map(|s| s.servers.len()).sum();
+        let mut slots: Vec<Option<CdnServer>> = (0..total).map(|_| None).collect();
+        for shard in shards {
+            for (global_idx, server) in shard.server_indices.into_iter().zip(shard.servers) {
+                assert!(
+                    slots[global_idx].is_none(),
+                    "server {global_idx} appears in two shards"
+                );
+                slots[global_idx] = Some(server);
+            }
+        }
+        self.servers = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("server {i} missing from shards")))
+            .collect();
     }
 
     /// Warm every server's cache to a plausible steady state.
@@ -269,7 +335,8 @@ impl CdnFleet {
                     if ram_pass {
                         cache.fill_ram(ObjectKey::manifest(video.id), crate::cache::MANIFEST_BYTES);
                     } else {
-                        cache.fill_disk(ObjectKey::manifest(video.id), crate::cache::MANIFEST_BYTES);
+                        cache
+                            .fill_disk(ObjectKey::manifest(video.id), crate::cache::MANIFEST_BYTES);
                     }
                     let full = if ram_pass {
                         cache.ram().used() as f64 >= 0.9 * cache.ram().capacity() as f64
@@ -314,6 +381,65 @@ impl CdnFleet {
                 }
             }
         }
+    }
+}
+
+/// One PoP's slice of the fleet: the servers it hosts, detached from the
+/// fleet so an independent worker can mutate them.
+///
+/// This is the unit of parallelism in the sharded simulation engine.
+/// Client→server assignment never crosses PoP boundaries (nearest PoP,
+/// then affinity *within* the PoP), so every session's serve path touches
+/// exactly one shard and shards can run concurrently without
+/// synchronization.
+#[derive(Debug)]
+pub struct FleetShard {
+    pop_index: usize,
+    /// Global fleet indices of `servers`, ascending, parallel to `servers`.
+    server_indices: Vec<usize>,
+    servers: Vec<CdnServer>,
+}
+
+impl FleetShard {
+    /// Index of the PoP this shard serves.
+    pub fn pop_index(&self) -> usize {
+        self.pop_index
+    }
+
+    /// Number of servers in the shard.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True when the shard holds no servers (never produced by
+    /// [`CdnFleet::split_shards`]).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Access a server by its *global* fleet index. Panics if the server
+    /// lives in a different shard — a cross-PoP touch would break the
+    /// parallelism contract, so it must fail loudly.
+    pub fn server_mut(&mut self, global_idx: usize) -> &mut CdnServer {
+        let local = self.local_index(global_idx);
+        &mut self.servers[local]
+    }
+
+    /// Shared access to a server by its *global* fleet index.
+    pub fn server(&self, global_idx: usize) -> &CdnServer {
+        let local = self.local_index(global_idx);
+        &self.servers[local]
+    }
+
+    fn local_index(&self, global_idx: usize) -> usize {
+        self.server_indices
+            .binary_search(&global_idx)
+            .unwrap_or_else(|_| {
+                panic!(
+                    "server {global_idx} is not in the PoP-{} shard",
+                    self.pop_index
+                )
+            })
     }
 }
 
@@ -444,9 +570,11 @@ mod tests {
         // that its early chunks are warmer than its last chunk somewhere.
         let mid_rung = cat.ladder().floor_rung(1_200.0);
         let mut partial_seen = false;
-        for v in cat.videos().iter().filter(|v| {
-            v.id.rank() * 5 > cat.len() && v.chunk_count() >= 10
-        }) {
+        for v in cat
+            .videos()
+            .iter()
+            .filter(|v| v.id.rank() * 5 > cat.len() && v.chunk_count() >= 10)
+        {
             let idx = f.assign(&ny, v.id, SessionId(0));
             let server = &f.servers()[idx];
             let first = ObjectKey {
@@ -530,6 +658,67 @@ mod tests {
         };
         let list = f.prefetch_list(&cat, start);
         assert_eq!(list.len(), 5.min(v.chunk_count() as usize - 1));
+    }
+
+    #[test]
+    fn split_covers_every_server_and_merge_restores_order() {
+        let mut f = fleet(FleetConfig::default());
+        let ids_before: Vec<_> = f.servers().iter().map(|s| s.id()).collect();
+        let shards = f.split_shards();
+        assert!(f.servers().is_empty(), "split must move the servers out");
+        // Every shard is a single PoP and shards partition the fleet.
+        let mut seen = std::collections::HashSet::new();
+        for shard in &shards {
+            assert!(!shard.is_empty());
+            for i in 0..shard.len() {
+                let global = shard.server_indices[i];
+                assert!(seen.insert(global), "server {global} in two shards");
+                assert_eq!(shard.server(global).pop().raw() as usize, shard.pop_index());
+            }
+        }
+        assert_eq!(seen.len(), ids_before.len());
+        f.merge_shards(shards);
+        let ids_after: Vec<_> = f.servers().iter().map(|s| s.id()).collect();
+        assert_eq!(ids_before, ids_after, "merge must restore global order");
+    }
+
+    #[test]
+    fn merge_accepts_shards_in_any_order() {
+        let mut f = fleet(FleetConfig::default());
+        let ids_before: Vec<_> = f.servers().iter().map(|s| s.id()).collect();
+        let mut shards = f.split_shards();
+        shards.reverse();
+        f.merge_shards(shards);
+        let ids_after: Vec<_> = f.servers().iter().map(|s| s.id()).collect();
+        assert_eq!(ids_before, ids_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not in the PoP")]
+    fn shard_rejects_cross_pop_server_access() {
+        let mut f = fleet(FleetConfig::default());
+        let mut shards = f.split_shards();
+        // Find a server that belongs to a different shard than shards[0].
+        let foreign = shards[1].server_indices[0];
+        let _ = shards[0].server_mut(foreign);
+    }
+
+    #[test]
+    fn prefetch_policy_list_matches_fleet_prefetch_list() {
+        let f = fleet(FleetConfig {
+            prefetch: PrefetchPolicy::NextChunksOnMiss(3),
+            ..FleetConfig::default()
+        });
+        let cat = small_catalog();
+        let key = ObjectKey {
+            video: VideoId(1),
+            chunk: ChunkIndex(0),
+            bitrate_kbps: 1050,
+        };
+        assert_eq!(
+            f.prefetch_list(&cat, key),
+            PrefetchPolicy::NextChunksOnMiss(3).list(&cat, key)
+        );
     }
 
     #[test]

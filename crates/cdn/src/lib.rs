@@ -28,6 +28,9 @@ pub mod fleet;
 pub mod server;
 
 pub use ats::{AtsConfig, BackendConfig, CacheStatus, ServeOutcome};
-pub use cache::{AdmissionPolicy, ByteCache, EvictionPolicy, ObjectKey, TieredCache, TieredCacheConfig, MANIFEST_BYTES};
-pub use fleet::{CdnFleet, FleetConfig, PrefetchPolicy};
+pub use cache::{
+    AdmissionPolicy, ByteCache, EvictionPolicy, ObjectKey, TieredCache, TieredCacheConfig,
+    MANIFEST_BYTES,
+};
+pub use fleet::{CdnFleet, FleetConfig, FleetShard, PrefetchPolicy};
 pub use server::{CdnServer, ServerConfig};

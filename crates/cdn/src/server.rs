@@ -153,7 +153,8 @@ impl CdnServer {
         let d_wait = self.timings.sample_wait(concurrent, &mut self.rng);
         let d_open = self.timings.sample_open(&mut self.rng);
         let status = self.cache.fetch(key, size);
-        let (d_read, d_backend, retry_fired) = self.timings.sample_read(status, rank, &mut self.rng);
+        let (d_read, d_backend, retry_fired) =
+            self.timings.sample_read(status, rank, &mut self.rng);
         if status == CacheStatus::Miss {
             // Admission gate: one-hit wonders may not be worth a slot.
             if self.cache.should_admit(key, &mut self.rng) {

@@ -105,7 +105,8 @@ impl PlaybackBuffer {
 
     /// Startup delay (player-perceived time-to-play), if playback started.
     pub fn startup_delay(&self) -> Option<SimDuration> {
-        self.started_at.map(|t| t.duration_since(self.session_start))
+        self.started_at
+            .map(|t| t.duration_since(self.session_start))
     }
 
     /// Number of mid-session rebuffering events so far.
@@ -258,7 +259,7 @@ mod tests {
     fn late_chunk_causes_one_stall() {
         let mut b = PlaybackBuffer::new(PlayerConfig::default(), t(0.0));
         b.add_chunk(t(0.5), 6.0); // playback starts at 0.5 with 6 s
-        // Next chunk arrives at 12.0: buffer dries up at 6.5.
+                                  // Next chunk arrives at 12.0: buffer dries up at 6.5.
         let stalled = b.add_chunk(t(12.0), 6.0);
         assert_eq!(b.rebuffer_count(), 1);
         assert!((stalled.as_secs_f64() - 5.5).abs() < 1e-9, "{stalled}");

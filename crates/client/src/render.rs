@@ -156,9 +156,7 @@ impl RenderPath {
         // Late arrival: below 1.5 s/s the pipeline has no slack; the
         // shortfall grows toward 1 as the rate approaches 0 (Fig. 19).
         // A full playback buffer hides it (frames already decoded ahead).
-        let late_shortfall = if download_rate >= 1.5 {
-            0.0
-        } else if buffer_s > 12.0 {
+        let late_shortfall = if download_rate >= 1.5 || buffer_s > 12.0 {
             0.0
         } else {
             ((1.5 - download_rate.max(0.0)) / 1.5).clamp(0.0, 1.0) * 0.55
@@ -200,7 +198,10 @@ mod tests {
 
     fn mean_drop(path: &mut RenderPath, rate: f64, bitrate: u32, n: u32) -> f64 {
         (0..n)
-            .map(|_| path.render_chunk(6.0, bitrate, rate, true, 0.0).drop_ratio())
+            .map(|_| {
+                path.render_chunk(6.0, bitrate, rate, true, 0.0)
+                    .drop_ratio()
+            })
             .sum::<f64>()
             / f64::from(n)
     }

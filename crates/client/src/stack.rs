@@ -113,7 +113,10 @@ impl DownloadStack {
             None
         };
         DownloadStack {
-            first_chunk_extra: LogNormal::from_median(cfg.first_chunk_median_ms, cfg.first_chunk_sigma),
+            first_chunk_extra: LogNormal::from_median(
+                cfg.first_chunk_median_ms,
+                cfg.first_chunk_sigma,
+            ),
             cfg,
             rng,
             persistent,
@@ -324,7 +327,10 @@ mod tests {
             safari_win > 2.5 * ff_win,
             "safari {safari_win} vs firefox {ff_win}"
         );
-        assert!(ff_win > 2.0 * chrome_win, "ff {ff_win} vs chrome {chrome_win}");
+        assert!(
+            ff_win > 2.0 * chrome_win,
+            "ff {ff_win} vs chrome {chrome_win}"
+        );
     }
 
     #[test]
@@ -349,12 +355,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut s = DownloadStack::new(
-                Os::MacOs,
-                Browser::Firefox,
-                StackConfig::default(),
-                rng(9),
-            );
+            let mut s =
+                DownloadStack::new(Os::MacOs, Browser::Firefox, StackConfig::default(), rng(9));
             deliver_n(&mut s, 15)
                 .iter()
                 .map(|d| d.dds.as_nanos())

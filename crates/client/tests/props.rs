@@ -106,7 +106,7 @@ proptest! {
         let mut fed = 0.0;
         let mut last_stall = SimDuration::ZERO;
         for (gap_ms, secs) in arrivals {
-            t = t + SimDuration::from_millis(gap_ms);
+            t += SimDuration::from_millis(gap_ms);
             b.add_chunk(t, secs);
             fed += secs;
             prop_assert!(b.level_s() >= -1e-9);

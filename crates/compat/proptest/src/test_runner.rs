@@ -1,0 +1,137 @@
+//! Test configuration, deterministic RNG, and case outcomes.
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` cases (upstream associated-fn form).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        Config {
+            cases,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is regenerated without counting.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole property fails.
+    Fail(String),
+}
+
+/// Deterministic RNG driving value generation (xoshiro256++).
+///
+/// Seeded from the test's module path + name so every run generates the
+/// same cases; set `PROPTEST_SEED=<u64>` to explore a different sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+impl TestRng {
+    /// Build the RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Build the RNG from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to key xoshiro.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let (mut n0, mut n1, mut n2, mut n3) = (s0, s1, s2, s3);
+        n2 ^= n0;
+        n3 ^= n1;
+        n1 ^= n2;
+        n0 ^= n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.state = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x::y");
+        let mut b = TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+}

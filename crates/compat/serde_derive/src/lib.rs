@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the value-tree model in
+//! the vendored `serde` crate. Because both traits convert through an owned
+//! `Value`, the macro only needs the *shape* of a type (struct/enum, field
+//! and variant names) — never the field types — which lets it parse the
+//! item with the bare `proc_macro` API instead of depending on `syn`.
+//!
+//! Supported shapes (everything this workspace uses):
+//! * structs with named fields → JSON objects, declaration order;
+//! * newtype structs → the inner value;
+//! * tuple structs → arrays;
+//! * unit structs → `null`;
+//! * enums with unit / newtype / tuple / struct variants → externally
+//!   tagged, exactly like upstream serde's default.
+//!
+//! Not supported (and rejected with a compile error): generic types and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_serialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => gen_deserialize(&shape).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+// --- parsing ---
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde compat derive does not support generic type `{name}`"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok(Shape::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                if arity == 1 {
+                    Ok(Shape::TupleStruct { name, arity: 1 })
+                } else {
+                    Ok(Shape::TupleStruct { name, arity })
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok(Shape::Enum { name, variants })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]`
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            // `pub`, `pub(crate)`, `pub(super)` …
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a field/variant list on top-level commas, tracking `<...>` depth so
+/// commas inside generic types (e.g. `Vec<(f64, f64)>`) do not split.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    let mut prev_was_dash = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if prev_was_dash => {} // `->` in fn types
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    prev_was_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_was_dash = p.as_char() == '-';
+        } else {
+            prev_was_dash = false;
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        match part.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field name, got {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream)
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match part.get(i + 1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde compat derive does not support explicit discriminants (variant `{name}`)"
+                ));
+            }
+            other => return Err(format!("unsupported variant body: {other:?}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// --- codegen ---
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Object(m)");
+            impl_serialize(name, &body)
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Array(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Shape::UnitStruct { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(x0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from({vn:?}), {inner});\n\
+                             ::serde::Value::Object(m)\n}},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {fields} }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}},\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::Error::msg(\
+                 ::std::format!(\"expected object for {name}, got {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(m.get({f:?})\
+                     .ok_or_else(|| ::serde::Error::msg(\
+                     \"missing field {name}.{f}\"))?)?,\n"
+                ));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Shape::TupleStruct { name, arity: 1 } => impl_deserialize(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let mut body = format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 ::std::format!(\"expected array for {name}, got {{}}\", v.kind())))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"expected {arity} elements for {name}, got {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                ));
+            }
+            body.push_str("))");
+            impl_deserialize(name, &body)
+        }
+        Shape::UnitStruct { name } => impl_deserialize(
+            name,
+            &format!(
+                "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"expected null for {name}, got {{}}\", other.kind()))),\n}}"
+            ),
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{\n\
+                             let items = inner.as_array().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected array for {name}::{vn}\"))?;\n\
+                             if items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                             \"wrong tuple arity for {name}::{vn}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for i in 0..*arity {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                            ));
+                        }
+                        arm.push_str("))\n},\n");
+                        data_arms.push_str(&arm);
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut arm = format!(
+                            "{vn:?} => {{\n\
+                             let fm = inner.as_object().ok_or_else(|| ::serde::Error::msg(\
+                             \"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(fm.get({f:?})\
+                                 .ok_or_else(|| ::serde::Error::msg(\
+                                 \"missing field {name}::{vn}.{f}\"))?)?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n},\n");
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let mut it = m.iter();\n\
+                 let (tag, inner) = it.next().ok_or_else(|| ::serde::Error::msg(\
+                 \"empty object for enum {name}\"))?;\n\
+                 if it.next().is_some() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::msg(\
+                 \"multiple keys in externally tagged enum {name}\"));\n}}\n\
+                 match tag.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"expected string or object for {name}, got {{}}\", other.kind()))),\n\
+                 }}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

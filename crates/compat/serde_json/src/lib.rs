@@ -1,0 +1,137 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the function surface this workspace uses (`to_string`,
+//! `to_string_pretty`, `to_writer`, `to_vec`, `from_str`, `from_slice`,
+//! `from_reader`, `to_value`, `from_value`, the [`json!`] macro, and the
+//! [`Value`]/[`Map`]/[`Number`] types) on top of the vendored `serde`
+//! value-tree model.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::{Read, Write};
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serialize `value` to a pretty (2-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json_pretty())
+}
+
+/// Serialize `value` to a compact JSON byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serialize `value` as compact JSON into `writer`.
+pub fn to_writer<W: Write, T: serde::Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serialize `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Deserialize `T` from a JSON string.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    T::from_value(&Value::parse_json(text)?)
+}
+
+/// Deserialize `T` from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid utf-8: {e}")))?;
+    from_str(text)
+}
+
+/// Deserialize `T` from a reader.
+pub fn from_reader<R: Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Rebuild a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+/// Construct a [`Value`] from a JSON-ish literal: `json!(null)`,
+/// `json!([a, b])`, `json!({ "k": expr })`, or `json!(expr)` for any
+/// `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $( $elem:expr ),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $( $key:literal : $val:expr ),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert(::std::string::String::from($key), $crate::to_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(to_string(&json!(3u32)).unwrap(), "3");
+        let obj = json!({ "a": 1u8, "b": [1u8, 2u8] });
+        assert_eq!(to_string(&obj).unwrap(), r#"{"a":1,"b":[1,2]}"#);
+    }
+
+    #[test]
+    fn roundtrip_vec() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        let s = to_string(&v).unwrap();
+        let back: Vec<u32> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn writer_and_reader() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![1u64, 2]).unwrap();
+        let back: Vec<u64> = from_reader(&buf[..]).unwrap();
+        assert_eq!(back, vec![1, 2]);
+    }
+
+    #[test]
+    fn map_pretty() {
+        let mut m = Map::new();
+        m.insert("x".into(), json!(1u8));
+        assert_eq!(to_string_pretty(&m).unwrap(), "{\n  \"x\": 1\n}");
+    }
+
+    #[test]
+    fn nan_serializes_as_null_and_back() {
+        let s = to_string(&f64::NAN).unwrap();
+        assert_eq!(s, "null");
+        let back: f64 = from_str(&s).unwrap();
+        assert!(back.is_nan());
+    }
+}

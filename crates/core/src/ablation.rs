@@ -58,9 +58,22 @@ impl AblationMetrics {
             miss_session_ratio: s.mean_miss_ratio_in_miss_sessions,
             loss_free_share: f11.loss_free_share,
             first_chunk_retx_pct: f15.bins.first().map(|b| b.mean).unwrap_or(0.0),
-            mean_rebuffer_pct: ds.sessions.iter().map(|x| x.rebuffer_rate_pct()).sum::<f64>() / n,
-            mean_bitrate_kbps: ds.sessions.iter().map(|x| x.avg_bitrate_kbps()).sum::<f64>() / n,
-            startup_median_s: startups.get(startups.len() / 2).copied().unwrap_or(f64::NAN),
+            mean_rebuffer_pct: ds
+                .sessions
+                .iter()
+                .map(|x| x.rebuffer_rate_pct())
+                .sum::<f64>()
+                / n,
+            mean_bitrate_kbps: ds
+                .sessions
+                .iter()
+                .map(|x| x.avg_bitrate_kbps())
+                .sum::<f64>()
+                / n,
+            startup_median_s: startups
+                .get(startups.len() / 2)
+                .copied()
+                .unwrap_or(f64::NAN),
             load_latency_corr: out.load_latency_correlation(),
         }
     }
@@ -215,17 +228,16 @@ mod tests {
         // negatively (it should move toward zero or positive).
         let b = results[0].metrics.load_latency_corr;
         let p = results[1].metrics.load_latency_corr;
-        assert!(p >= b - 0.1, "partitioning made the paradox worse: {b} -> {p}");
+        assert!(
+            p >= b - 0.1,
+            "partitioning made the paradox worse: {b} -> {p}"
+        );
     }
 
     #[test]
     fn render_produces_one_row_per_variant() {
         let base = SimulationConfig::tiny(44);
-        let results = compare(
-            &base,
-            &[("only", (|_| {}) as fn(&mut SimulationConfig))],
-        )
-        .unwrap();
+        let results = compare(&base, &[("only", (|_| {}) as fn(&mut SimulationConfig))]).unwrap();
         let table = render(&results);
         assert_eq!(table.lines().count(), 3); // header + rule + 1 row
         assert!(table.contains("only"));

@@ -13,6 +13,9 @@
 //! options: --scale tiny|small|default   (default: small)
 //!          --seed N                     (default: 2016)
 //!          --out DIR                    (run only; default: streamlab-out)
+//!          --threads N                  (default: 1 = sequential engine;
+//!                                        >1 shards the run by PoP, output
+//!                                        is identical at any thread count)
 //! ```
 
 use std::fs;
@@ -29,6 +32,7 @@ struct Opts {
     seed: u64,
     out: PathBuf,
     days: usize,
+    threads: usize,
     rest: Vec<String>,
 }
 
@@ -38,6 +42,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         seed: 2016,
         out: PathBuf::from("streamlab-out"),
         days: 5,
+        threads: 1,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -63,6 +68,16 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("bad days: {e}"))?;
             }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad threads: {e}"))?;
+                if opts.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             other => opts.rest.push(other.to_owned()),
         }
     }
@@ -70,12 +85,14 @@ fn parse(args: &[String]) -> Result<Opts, String> {
 }
 
 fn config(opts: &Opts) -> Result<SimulationConfig, String> {
-    match opts.scale.as_str() {
-        "tiny" => Ok(SimulationConfig::tiny(opts.seed)),
-        "small" => Ok(SimulationConfig::small(opts.seed)),
-        "default" => Ok(SimulationConfig::default_scale(opts.seed)),
-        other => Err(format!("unknown scale '{other}' (tiny|small|default)")),
-    }
+    let mut cfg = match opts.scale.as_str() {
+        "tiny" => SimulationConfig::tiny(opts.seed),
+        "small" => SimulationConfig::small(opts.seed),
+        "default" => SimulationConfig::default_scale(opts.seed),
+        other => return Err(format!("unknown scale '{other}' (tiny|small|default)")),
+    };
+    cfg.threads = opts.threads;
+    Ok(cfg)
 }
 
 fn find_experiment(name: &str) -> Option<ExperimentId> {
@@ -87,7 +104,7 @@ fn find_experiment(name: &str) -> Option<ExperimentId> {
 
 fn usage() -> &'static str {
     "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep> \
-     [--scale tiny|small|default] [--seed N] [--out DIR] [--days N]"
+     [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--threads N]"
 }
 
 fn main() -> ExitCode {
@@ -133,10 +150,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let cfg = config(opts)?;
     eprintln!(
         "simulating {} sessions / {} videos / {} servers (seed {}) ...",
-        cfg.traffic.sessions,
-        cfg.catalog.videos,
-        cfg.fleet.servers,
-        opts.seed
+        cfg.traffic.sessions, cfg.catalog.videos, cfg.fleet.servers, opts.seed
     );
     let out = Simulation::new(cfg).run().map_err(|e| e.to_string())?;
     fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
@@ -158,7 +172,8 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     export::write_chunks_csv(&out.dataset, chunks).map_err(|e| e.to_string())?;
     let sessions = fs::File::create(opts.out.join("sessions.csv")).map_err(|e| e.to_string())?;
     export::write_sessions_csv(&out.dataset, sessions).map_err(|e| e.to_string())?;
-    let plots = streamlab::plot::emit_all(&out, &opts.out.join("plots")).map_err(|e| e.to_string())?;
+    let plots =
+        streamlab::plot::emit_all(&out, &opts.out.join("plots")).map_err(|e| e.to_string())?;
 
     println!("{report}");
     eprintln!(
@@ -225,7 +240,11 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let cfg = config(opts)?;
     // Reuse --days as the seed count to keep the flag set small.
     let seeds: Vec<u64> = (0..opts.days as u64).map(|i| opts.seed + i).collect();
-    eprintln!("sweeping {} seeds at the {} scale ...", seeds.len(), opts.scale);
+    eprintln!(
+        "sweeping {} seeds at the {} scale ...",
+        seeds.len(),
+        opts.scale
+    );
     let s = streamlab::sweep::run_seeds(&cfg, &seeds).map_err(|e| e.to_string())?;
     println!("{}", streamlab::sweep::render(&s));
     Ok(())
@@ -278,7 +297,11 @@ fn cmd_recurrence(opts: &Opts) -> Result<(), String> {
             p.frequency(),
             p.mean_distance_km,
             if p.is_us { "US" } else { "intl" },
-            if p.enterprise { "enterprise" } else { "residential" },
+            if p.enterprise {
+                "enterprise"
+            } else {
+                "residential"
+            },
         );
     }
     Ok(())

@@ -51,18 +51,26 @@ pub struct SimulationConfig {
     pub abr: AbrAlgorithm,
     /// Distance → delay model.
     pub propagation: PropagationModel,
+    /// Worker threads for the event loop. `1` runs the sequential
+    /// reference engine; `>1` runs one event loop per PoP shard across
+    /// this many threads. Output is bit-identical at every thread count
+    /// (sessions never touch servers outside their assigned PoP), so this
+    /// is purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl SimulationConfig {
     /// The paper-shaped default: 20 k sessions over a day, 10 k videos,
     /// 85 servers.
     pub fn default_scale(seed: u64) -> Self {
-        let mut catalog = CatalogConfig::default();
         // 65 M sessions over Yahoo's catalog give each popular video many
         // plays; at 20 k sessions the catalog must shrink accordingly so
         // the sessions-per-video ratio (and hence cache reuse) survives
         // the scale-down.
-        catalog.videos = 3_000;
+        let catalog = CatalogConfig {
+            videos: 3_000,
+            ..CatalogConfig::default()
+        };
         SimulationConfig {
             seed,
             day: 0,
@@ -84,6 +92,7 @@ impl SimulationConfig {
             player: PlayerConfig::default(),
             abr: AbrAlgorithm::default(),
             propagation: PropagationModel::default(),
+            threads: 1,
         }
     }
 

@@ -47,9 +47,8 @@ impl ExperimentId {
     pub fn all() -> &'static [ExperimentId] {
         use ExperimentId::*;
         &[
-            Fig03a, Fig03b, Fig04, Fig05, Fig06, Fig07, Fig08, Fig09, Fig10, Tab04, Fig11,
-            Fig12, Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, Fig20, Fig21, Fig22, Tab05,
-            Stats,
+            Fig03a, Fig03b, Fig04, Fig05, Fig06, Fig07, Fig08, Fig09, Fig10, Tab04, Fig11, Fig12,
+            Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, Fig20, Fig21, Fig22, Tab05, Stats,
         ]
     }
 
@@ -224,7 +223,10 @@ pub fn run_experiment(id: ExperimentId, out: &RunOutput) -> ExperimentResult {
                 );
                 (text, json!(f))
             }
-            None => ("no matching case pair found at this scale".into(), json!(null)),
+            None => (
+                "no matching case pair found at this scale".into(),
+                json!(null),
+            ),
         },
         ExperimentId::Fig14 => {
             let rows = network::fig14(ds, 19);
@@ -330,7 +332,11 @@ pub fn run_experiment(id: ExperimentId, out: &RunOutput) -> ExperimentResult {
                     r.chunks.to_string(),
                 ]);
             }
-            let text = format!("{}\naverage in the rest: {:.2}%", t.render(), f.rest_avg_pct);
+            let text = format!(
+                "{}\naverage in the rest: {:.2}%",
+                t.render(),
+                f.rest_avg_pct
+            );
             (text, json!(f))
         }
         ExperimentId::Tab05 => {
@@ -387,7 +393,10 @@ pub fn run_experiment(id: ExperimentId, out: &RunOutput) -> ExperimentResult {
                 100.0 * qoe.any_rebuffer_share,
                 100.0 * qoe.acceptable_share,
             );
-            (text, json!({ "stats": s, "load_latency_correlation": corr, "trends": trends, "qoe": qoe }))
+            (
+                text,
+                json!({ "stats": s, "load_latency_correlation": corr, "trends": trends, "qoe": qoe }),
+            )
         }
     };
     ExperimentResult {

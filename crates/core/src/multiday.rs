@@ -66,8 +66,7 @@ pub fn recurrence_study(
     let ever = recurrence.iter().filter(|p| p.days_in_tail > 0).count();
     let non_us = persistent.iter().filter(|p| !p.is_us).count();
     let us: Vec<&PrefixRecurrence> = persistent.iter().filter(|p| p.is_us).collect();
-    let close: Vec<&&PrefixRecurrence> =
-        us.iter().filter(|p| p.mean_distance_km < 400.0).collect();
+    let close: Vec<&&PrefixRecurrence> = us.iter().filter(|p| p.mean_distance_km < 400.0).collect();
     let close_ent = close.iter().filter(|p| p.enterprise).count();
     let us_dist = Cdf::new(us.iter().map(|p| p.mean_distance_km).collect());
     Ok(RecurrenceStudy {
@@ -116,23 +115,15 @@ mod tests {
             .map(|p| p.frequency())
             .sum::<f64>()
             / s.ever_in_tail as f64;
-        let avg_persistent: f64 = s
-            .persistent
-            .iter()
-            .map(|p| p.frequency())
-            .sum::<f64>()
-            / s.persistent.len() as f64;
+        let avg_persistent: f64 =
+            s.persistent.iter().map(|p| p.frequency()).sum::<f64>() / s.persistent.len() as f64;
         assert!(
             avg_persistent >= avg_all,
             "persistent {avg_persistent} < population {avg_all}"
         );
         // And most of it recurs on more than one day — these are not
         // one-off congestion events.
-        let multi_day = s
-            .persistent
-            .iter()
-            .filter(|p| p.days_in_tail >= 2)
-            .count();
+        let multi_day = s.persistent.iter().filter(|p| p.days_in_tail >= 2).count();
         assert!(
             multi_day * 2 >= s.persistent.len(),
             "{multi_day}/{} persistent prefixes recur",

@@ -114,7 +114,14 @@ pub fn emit_all(out: &RunOutput, dir: &Path) -> io::Result<usize> {
     let mut n = 0;
 
     let f3a = cdn::fig03a(&out.catalog, points);
-    cdf_plot(dir, "fig03a", "CCDF of video lengths", "video length (s)", true, &[&f3a])?;
+    cdf_plot(
+        dir,
+        "fig03a",
+        "CCDF of video lengths",
+        "video length (s)",
+        true,
+        &[&f3a],
+    )?;
     n += 1;
 
     let f3b = cdn::fig03b(ds);
@@ -133,41 +140,113 @@ pub fn emit_all(out: &RunOutput, dir: &Path) -> io::Result<usize> {
     )?;
     n += 1;
 
-    binned_plot(dir, "fig04", "Startup time vs server latency", "server latency (ms)", "startup (s)", &cdn::fig04(ds))?;
+    binned_plot(
+        dir,
+        "fig04",
+        "Startup time vs server latency",
+        "server latency (ms)",
+        "startup (s)",
+        &cdn::fig04(ds),
+    )?;
     n += 1;
 
     let f5 = cdn::fig05(ds, points);
     let refs: Vec<&CdfSeries> = f5.iter().collect();
-    cdf_plot(dir, "fig05", "CDN latency breakdown", "latency (ms)", true, &refs)?;
+    cdf_plot(
+        dir,
+        "fig05",
+        "CDN latency breakdown",
+        "latency (ms)",
+        true,
+        &refs,
+    )?;
     n += 1;
 
-    binned_plot(dir, "fig07", "Startup vs first-chunk SRTT", "srtt (ms)", "startup (s)", &network::fig07(ds))?;
+    binned_plot(
+        dir,
+        "fig07",
+        "Startup vs first-chunk SRTT",
+        "srtt (ms)",
+        "startup (s)",
+        &network::fig07(ds),
+    )?;
     n += 1;
 
     let (mins, sigmas) = network::fig08(ds, points);
-    cdf_plot(dir, "fig08", "Session latency: baseline and variation", "latency (ms)", true, &[&mins, &sigmas])?;
+    cdf_plot(
+        dir,
+        "fig08",
+        "Session latency: baseline and variation",
+        "latency (ms)",
+        true,
+        &[&mins, &sigmas],
+    )?;
     n += 1;
 
     let f9 = network::fig09(ds, 100.0, points);
-    cdf_plot(dir, "fig09", "Distance of US tail-latency prefixes", "distance (km)", false, &[&f9.distance_cdf])?;
+    cdf_plot(
+        dir,
+        "fig09",
+        "Distance of US tail-latency prefixes",
+        "distance (km)",
+        false,
+        &[&f9.distance_cdf],
+    )?;
     n += 1;
 
     let f10 = network::fig10(ds, 2, points);
-    cdf_plot(dir, "fig10", "CV of latency per (prefix, PoP)", "CV(srtt)", false, &[&f10])?;
+    cdf_plot(
+        dir,
+        "fig10",
+        "CV of latency per (prefix, PoP)",
+        "CV(srtt)",
+        false,
+        &[&f10],
+    )?;
     n += 1;
 
     let f11 = network::fig11(ds, points);
-    cdf_plot(dir, "fig11a", "Session length, loss vs no loss", "#chunks", false, &[&f11.len_no_loss, &f11.len_loss])?;
-    cdf_plot(dir, "fig11b", "Average bitrate, loss vs no loss", "kbps", true, &[&f11.bitrate_no_loss, &f11.bitrate_loss])?;
-    cdf_plot(dir, "fig11c", "Rebuffering CCDF, loss vs no loss", "rebuffering rate (%)", true, &[&f11.rebuf_no_loss, &f11.rebuf_loss])?;
+    cdf_plot(
+        dir,
+        "fig11a",
+        "Session length, loss vs no loss",
+        "#chunks",
+        false,
+        &[&f11.len_no_loss, &f11.len_loss],
+    )?;
+    cdf_plot(
+        dir,
+        "fig11b",
+        "Average bitrate, loss vs no loss",
+        "kbps",
+        true,
+        &[&f11.bitrate_no_loss, &f11.bitrate_loss],
+    )?;
+    cdf_plot(
+        dir,
+        "fig11c",
+        "Rebuffering CCDF, loss vs no loss",
+        "rebuffering rate (%)",
+        true,
+        &[&f11.rebuf_no_loss, &f11.rebuf_loss],
+    )?;
     n += 3;
 
-    binned_plot(dir, "fig12", "Rebuffering vs retransmission rate", "retx (%)", "rebuffering (%)", &network::fig12(ds))?;
+    binned_plot(
+        dir,
+        "fig12",
+        "Rebuffering vs retransmission rate",
+        "retx (%)",
+        "rebuffering (%)",
+        &network::fig12(ds),
+    )?;
 
     // Fig. 14: unconditional and loss-conditioned rebuffering per chunk.
     let f14 = network::fig14(ds, 19);
-    let mut dat = String::from("# chunk p_rebuf p_rebuf_given_loss
-");
+    let mut dat = String::from(
+        "# chunk p_rebuf p_rebuf_given_loss
+",
+    );
     for r in &f14 {
         let _ = writeln!(dat, "{} {} {}", r.chunk, r.p_rebuf, r.p_rebuf_given_loss);
     }
@@ -185,20 +264,62 @@ set grid
 ",
     )?;
 
-    binned_plot(dir, "fig15", "Retransmission rate per chunk ID", "chunk ID", "retx (%)", &network::fig15(ds, 19))?;
+    binned_plot(
+        dir,
+        "fig15",
+        "Retransmission rate per chunk ID",
+        "chunk ID",
+        "retx (%)",
+        &network::fig15(ds, 19),
+    )?;
     n += 3;
 
     let f16 = network::fig16(ds, points);
-    cdf_plot(dir, "fig16a", "Latency share by perf score", "D_FB/(D_FB+D_LB)", false, &[&f16.share_good, &f16.share_bad])?;
-    cdf_plot(dir, "fig16b", "D_FB by perf score", "D_FB (ms)", true, &[&f16.dfb_good, &f16.dfb_bad])?;
-    cdf_plot(dir, "fig16c", "D_LB by perf score", "D_LB (ms)", true, &[&f16.dlb_good, &f16.dlb_bad])?;
+    cdf_plot(
+        dir,
+        "fig16a",
+        "Latency share by perf score",
+        "D_FB/(D_FB+D_LB)",
+        false,
+        &[&f16.share_good, &f16.share_bad],
+    )?;
+    cdf_plot(
+        dir,
+        "fig16b",
+        "D_FB by perf score",
+        "D_FB (ms)",
+        true,
+        &[&f16.dfb_good, &f16.dfb_bad],
+    )?;
+    cdf_plot(
+        dir,
+        "fig16c",
+        "D_LB by perf score",
+        "D_LB (ms)",
+        true,
+        &[&f16.dlb_good, &f16.dlb_bad],
+    )?;
     n += 3;
 
     let f18 = client::fig18(ds, (40.0, 90.0), points);
-    cdf_plot(dir, "fig18", "D_FB: first vs other chunks (equivalent set)", "D_FB (ms)", true, &[&f18.first, &f18.other])?;
+    cdf_plot(
+        dir,
+        "fig18",
+        "D_FB: first vs other chunks (equivalent set)",
+        "D_FB (ms)",
+        true,
+        &[&f18.first, &f18.other],
+    )?;
     n += 1;
 
-    binned_plot(dir, "fig19", "Dropped frames vs download rate", "download rate (s/s)", "dropped (%)", &client::fig19(ds).by_rate)?;
+    binned_plot(
+        dir,
+        "fig19",
+        "Dropped frames vs download rate",
+        "download rate (s/s)",
+        "dropped (%)",
+        &client::fig19(ds).by_rate,
+    )?;
     n += 1;
 
     // Fig. 20 (controlled) as an impulse plot.

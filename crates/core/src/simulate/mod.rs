@@ -1,10 +1,24 @@
 //! The end-to-end orchestrator: interleaves every session's chunk requests
-//! in global time order over the shared CDN fleet, producing the joined
-//! telemetry dataset.
+//! in time order over the CDN fleet, producing the joined telemetry
+//! dataset.
+//!
+//! Two engines share the per-session state machine:
+//!
+//! * **Sequential** (`threads == 1`): one global [`EventQueue`] over every
+//!   session — the reference implementation.
+//! * **Sharded** (`threads > 1`): sessions are partitioned by the PoP of
+//!   their assigned server, the fleet is split into per-PoP
+//!   [`FleetShard`]s, and one independent event loop runs per shard
+//!   across a thread pool. Because a session only ever touches its own
+//!   server (assignment is nearest-PoP + in-PoP affinity, fixed at
+//!   session start) and the telemetry join canonicalizes by session id,
+//!   the merged output is **bit-identical** to the sequential engine at
+//!   any thread count. See DESIGN.md for the full argument.
 
 use crate::config::SimulationConfig;
 use serde::{Deserialize, Serialize};
-use streamlab_cdn::CdnFleet;
+use std::sync::Mutex;
+use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
 use streamlab_sim::{EventQueue, RngStream};
 use streamlab_telemetry::{Dataset, TelemetrySink};
 use streamlab_workload::{Catalog, Population, SessionGenerator, SessionSpec};
@@ -198,26 +212,19 @@ impl Simulation {
 
         // --- per-session runtimes ---
         let session_master = RngStream::new(seed, &format!("session-streams-day{}", cfg.day));
-        let mut runtimes: Vec<SessionRuntime> = specs
+        let runtimes: Vec<SessionRuntime> = specs
             .into_iter()
-            .map(|spec| SessionRuntime::new(spec, cfg, &session_master, &catalog, &population, &fleet))
+            .map(|spec| {
+                SessionRuntime::new(spec, cfg, &session_master, &catalog, &population, &fleet)
+            })
             .collect();
 
         // --- the event loop: one event per chunk request ---
-        let mut sink = TelemetrySink::new();
-        let mut queue: EventQueue<usize> = EventQueue::new();
-        for (idx, rt) in runtimes.iter().enumerate() {
-            queue.schedule(rt.spec.arrival, idx);
-        }
-        while let Some(ev) = queue.pop() {
-            let idx = ev.event;
-            let now = ev.at;
-            let next = step_chunk(&mut runtimes[idx], now, &catalog, &mut fleet);
-            match next {
-                Some(next_t) => queue.schedule(next_t.max(now), idx),
-                None => finalize_session(&mut runtimes[idx], &population, &fleet, &mut sink),
-            }
-        }
+        let sink = if cfg.threads <= 1 {
+            run_sequential(&mut fleet, runtimes, &catalog, &population)
+        } else {
+            run_sharded(cfg.threads, &mut fleet, runtimes, &catalog, &population)
+        };
 
         // --- join + preprocessing ---
         let dataset = Dataset::join(sink).map_err(SimError::Join)?;
@@ -252,6 +259,153 @@ impl Simulation {
             catalog,
         })
     }
+}
+
+/// The reference engine: one global event queue over every session.
+fn run_sequential(
+    fleet: &mut CdnFleet,
+    mut runtimes: Vec<SessionRuntime>,
+    catalog: &Catalog,
+    population: &Population,
+) -> TelemetrySink {
+    let policy = fleet.config().prefetch;
+    let mut sink = TelemetrySink::new();
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for (idx, rt) in runtimes.iter().enumerate() {
+        queue.schedule(rt.spec.arrival, idx);
+    }
+    while let Some(ev) = queue.pop() {
+        let idx = ev.event;
+        let now = ev.at;
+        let server_idx = runtimes[idx].server_idx;
+        let next = step_chunk(
+            &mut runtimes[idx],
+            now,
+            catalog,
+            policy,
+            fleet.server_mut(server_idx),
+        );
+        match next {
+            Some(next_t) => queue.schedule(next_t.max(now), idx),
+            None => {
+                let server = &fleet.servers()[server_idx];
+                let (pop, id) = (server.pop(), server.id());
+                finalize_session(&mut runtimes[idx], population, pop, id, &mut sink);
+            }
+        }
+    }
+    sink
+}
+
+/// The sharded engine: sessions partitioned by PoP, one independent event
+/// loop per [`FleetShard`], run across `threads` workers.
+///
+/// Exactness (not just statistical equivalence) holds because:
+/// 1. a session's server assignment is fixed before the loop and every
+///    [`step_chunk`] touches only that server, so cross-PoP event
+///    interleavings never affect state;
+/// 2. the partition is stable and [`EventQueue`] breaks timestamp ties in
+///    FIFO insertion order, so any two same-PoP events pop in the same
+///    relative order as in the global queue;
+/// 3. [`Dataset::join`] canonicalizes by session id, making the sink
+///    concatenation order irrelevant.
+fn run_sharded(
+    threads: usize,
+    fleet: &mut CdnFleet,
+    runtimes: Vec<SessionRuntime>,
+    catalog: &Catalog,
+    population: &Population,
+) -> TelemetrySink {
+    let policy = fleet.config().prefetch;
+    // Stable partition of sessions by the PoP of their assigned server:
+    // ascending session index within each shard preserves the insertion
+    // order the determinism argument rests on.
+    let n_pops = fleet.pops().len();
+    let mut by_pop: Vec<Vec<SessionRuntime>> = (0..n_pops).map(|_| Vec::new()).collect();
+    for rt in runtimes {
+        let pop_index = fleet.pop_index_of(rt.server_idx);
+        by_pop[pop_index].push(rt);
+    }
+    let work: Vec<(FleetShard, Vec<SessionRuntime>)> = fleet
+        .split_shards()
+        .into_iter()
+        .map(|shard| {
+            let sessions = std::mem::take(&mut by_pop[shard.pop_index()]);
+            (shard, sessions)
+        })
+        .collect();
+
+    // Shards are coarse and few (one per PoP), so a mutex-guarded work
+    // list beats anything fancier; which worker runs which shard never
+    // affects the output.
+    let queue = Mutex::new(work);
+    let done: Mutex<Vec<(FleetShard, TelemetrySink)>> = Mutex::new(Vec::new());
+    let workers = threads.min(n_pops).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("work queue poisoned").pop();
+                let Some((mut shard, sessions)) = job else {
+                    break;
+                };
+                let sink = run_shard(&mut shard, sessions, catalog, population, policy);
+                done.lock()
+                    .expect("result store poisoned")
+                    .push((shard, sink));
+            });
+        }
+    });
+
+    let mut results = done.into_inner().expect("result store poisoned");
+    // Canonical PoP order for the merge. The join canonicalizes by session
+    // id anyway; sorting just keeps the intermediate sink layout
+    // reproducible run-to-run.
+    results.sort_by_key(|(shard, _)| shard.pop_index());
+    let mut sink = TelemetrySink::new();
+    let mut shards = Vec::with_capacity(results.len());
+    for (shard, shard_sink) in results {
+        sink.absorb(shard_sink);
+        shards.push(shard);
+    }
+    fleet.merge_shards(shards);
+    sink
+}
+
+/// One shard's event loop — structurally identical to [`run_sequential`],
+/// restricted to the shard's sessions and servers.
+fn run_shard(
+    shard: &mut FleetShard,
+    mut sessions: Vec<SessionRuntime>,
+    catalog: &Catalog,
+    population: &Population,
+    policy: PrefetchPolicy,
+) -> TelemetrySink {
+    let mut sink = TelemetrySink::new();
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for (idx, rt) in sessions.iter().enumerate() {
+        queue.schedule(rt.spec.arrival, idx);
+    }
+    while let Some(ev) = queue.pop() {
+        let idx = ev.event;
+        let now = ev.at;
+        let server_idx = sessions[idx].server_idx;
+        let next = step_chunk(
+            &mut sessions[idx],
+            now,
+            catalog,
+            policy,
+            shard.server_mut(server_idx),
+        );
+        match next {
+            Some(next_t) => queue.schedule(next_t.max(now), idx),
+            None => {
+                let server = shard.server(server_idx);
+                let (pop, id) = (server.pop(), server.id());
+                finalize_session(&mut sessions[idx], population, pop, id, &mut sink);
+            }
+        }
+    }
+    sink
 }
 
 #[cfg(test)]
@@ -381,6 +535,45 @@ mod tests {
             assert!((0.0..=1.0).contains(&p.miss_ratio));
             assert!(p.mean_latency_ms >= 0.0);
         }
+    }
+
+    fn run_tiny_threads(seed: u64, threads: usize) -> RunOutput {
+        let mut cfg = SimulationConfig::tiny(seed);
+        cfg.threads = threads;
+        Simulation::new(cfg).run().expect("tiny run")
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_exactly() {
+        let seq = run_tiny_threads(42, 1);
+        let par = run_tiny_threads(42, 4);
+        assert_eq!(seq.dataset.sessions.len(), par.dataset.sessions.len());
+        assert_eq!(seq.dataset.chunk_count(), par.dataset.chunk_count());
+        for (a, b) in seq.dataset.sessions.iter().zip(&par.dataset.sessions) {
+            assert_eq!(a.meta.session, b.meta.session);
+            assert_eq!(a.meta.server, b.meta.server);
+            assert_eq!(a.chunks.len(), b.chunks.len());
+            for (ca, cb) in a.chunks.iter().zip(&b.chunks) {
+                assert_eq!(ca.player.requested_at, cb.player.requested_at);
+                assert_eq!(ca.player.d_fb, cb.player.d_fb);
+                assert_eq!(ca.cdn.retx_segments, cb.cdn.retx_segments);
+            }
+        }
+        // Per-server aggregates are identical too, in the same order.
+        assert_eq!(seq.servers.len(), par.servers.len());
+        for (a, b) in seq.servers.iter().zip(&par.servers) {
+            assert_eq!(a.server, b.server);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.miss_ratio, b.miss_ratio);
+            assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+            assert_eq!(a.retry_ratio, b.retry_ratio);
+        }
+    }
+
+    #[test]
+    fn thread_count_beyond_pop_count_is_harmless() {
+        let out = run_tiny_threads(9, 64);
+        assert!(out.dataset.sessions.len() > 300);
     }
 
     #[test]

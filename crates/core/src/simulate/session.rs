@@ -2,7 +2,7 @@
 //! manifest → ABR → CDN serve → TCP delivery → download stack → playback
 //! buffer → rendering, emitting both sides' telemetry records.
 
-use streamlab_cdn::{CdnFleet, ObjectKey};
+use streamlab_cdn::{CdnFleet, CdnServer, ObjectKey, PrefetchPolicy};
 use streamlab_client::abr::{Abr, AbrContext};
 use streamlab_client::{DownloadStack, PlaybackBuffer, RenderPath};
 use streamlab_net::TcpConnection;
@@ -17,7 +17,7 @@ use streamlab_workload::{Catalog, ChunkIndex, Population, SessionSpec};
 pub(super) struct SessionRuntime {
     pub(super) spec: SessionSpec,
     manifest_done: bool,
-    server_idx: usize,
+    pub(super) server_idx: usize,
     distance_km: f64,
     conn: TcpConnection,
     stack: DownloadStack,
@@ -30,9 +30,6 @@ pub(super) struct SessionRuntime {
     player_records: Vec<PlayerChunkRecord>,
     cdn_records: Vec<CdnChunkRecord>,
 }
-
-/// Process one chunk request for session `rt` at time `now`. Returns the
-/// time of the session's next request, or `None` when the session ended.
 
 impl SessionRuntime {
     /// Assemble the runtime for one session: its network path (with
@@ -112,12 +109,27 @@ impl SessionRuntime {
     }
 }
 
+/// Process one chunk request for session `rt` at time `now`, serving from
+/// `server` — the session's assigned server (`rt.server_idx`) — under the
+/// fleet-wide prefetch policy. Returns the time of the session's next
+/// request, or `None` when the session ended.
+///
+/// Taking the server (not the fleet) is what makes the engine shardable:
+/// a step touches exactly one server's state, so per-PoP shards can run
+/// concurrently. The policy is `Copy` and pure, so workers need no fleet
+/// reference at all.
 pub(super) fn step_chunk(
     rt: &mut SessionRuntime,
     now: SimTime,
     catalog: &Catalog,
-    fleet: &mut CdnFleet,
+    prefetch_policy: PrefetchPolicy,
+    server: &mut CdnServer,
 ) -> Option<SimTime> {
+    debug_assert_eq!(
+        server.id().raw() as usize,
+        rt.server_idx,
+        "session stepped against a server it was not assigned to"
+    );
     let video = catalog.video(rt.spec.video);
 
     // 0. The session opens by fetching the manifest (§2) — a small, hot
@@ -130,7 +142,7 @@ pub(super) fn step_chunk(
         rt.manifest_done = true;
         let rtt0 = rt.conn.rtt0_sample(now);
         let at_server = now + rtt0 / 2;
-        let outcome = fleet.server_mut(rt.server_idx).serve(
+        let outcome = server.serve(
             ObjectKey::manifest(rt.spec.video),
             streamlab_cdn::MANIFEST_BYTES,
             rt.spec.video.rank(),
@@ -164,11 +176,9 @@ pub(super) fn step_chunk(
     let at_server = now + rtt0 / 2;
 
     // 3. The CDN serves (cache lookup, retry timer, backend, prefetch).
-    let prefetch = fleet.prefetch_list(catalog, key);
+    let prefetch = prefetch_policy.list(catalog, key);
     let rank = rt.spec.video.rank();
-    let outcome = fleet
-        .server_mut(rt.server_idx)
-        .serve(key, size, rank, at_server, &prefetch);
+    let outcome = server.serve(key, size, rank, at_server, &prefetch);
 
     // 4. TCP delivers the bytes (self-loading, losses, snapshots).
     let send_start = at_server + outcome.total();
@@ -194,7 +204,11 @@ pub(super) fn step_chunk(
 
     // 7. Rendering.
     let dl = (d_fb + d_lb).as_secs_f64();
-    let download_rate = if dl > 0.0 { chunk_secs / dl } else { f64::INFINITY };
+    let download_rate = if dl > 0.0 {
+        chunk_secs / dl
+    } else {
+        f64::INFINITY
+    };
     let rendered = rt.render.render_chunk(
         chunk_secs,
         bitrate,
@@ -243,8 +257,12 @@ pub(super) fn step_chunk(
         retx_segments: transfer.retx,
         tcp: transfer.snapshots,
     });
-    rt.throughputs
-        .push(rt.player_records.last().expect("just pushed").observed_throughput_kbps());
+    rt.throughputs.push(
+        rt.player_records
+            .last()
+            .expect("just pushed")
+            .observed_throughput_kbps(),
+    );
 
     // 9. Schedule the next request (immediately, unless the buffer is
     // full — then after it drains to the high-water mark). A session ends
@@ -259,11 +277,14 @@ pub(super) fn step_chunk(
     Some(next_t)
 }
 
-/// Emit the session's beacons into the sink.
+/// Emit the session's beacons into the sink. `pop` and `server` identify
+/// the serving server (`rt.server_idx`) — passed as plain ids so shard
+/// workers can finalize without a fleet reference.
 pub(super) fn finalize_session(
     rt: &mut SessionRuntime,
     population: &Population,
-    fleet: &CdnFleet,
+    pop: streamlab_workload::PopId,
+    server: streamlab_workload::ServerId,
     sink: &mut TelemetrySink,
 ) {
     let prefix = population.prefix(rt.spec.client.prefix);
@@ -287,8 +308,8 @@ pub(super) fn finalize_session(
         access: prefix.access,
         region: prefix.region,
         location: prefix.location,
-        pop: fleet.pop_of(rt.server_idx).id,
-        server: fleet.servers()[rt.server_idx].id(),
+        pop,
+        server,
         distance_km: rt.distance_km,
         arrival: rt.spec.arrival,
         startup_delay_s: startup,

@@ -157,8 +157,9 @@ impl TcpConnection {
         };
         let jitter = (self.path.jitter_sigma * z).exp();
         let queue_delay = standing_queue / drain_rate.max(1.0);
-        let rtt =
-            SimDuration::from_secs_f64(self.path.base_rtt.as_secs_f64() * spike * jitter + queue_delay);
+        let rtt = SimDuration::from_secs_f64(
+            self.path.base_rtt.as_secs_f64() * spike * jitter + queue_delay,
+        );
         let rtt = rtt.max(SimDuration::from_micros(100));
         if rtt < self.min_rtt_ever {
             self.min_rtt_ever = rtt;
@@ -247,7 +248,7 @@ impl TcpConnection {
         // grid over the idle gap since the previous chunk, otherwise a
         // burst of stale samples would flood out at the first round.
         while self.next_snapshot_at < send_start {
-            self.next_snapshot_at = self.next_snapshot_at + self.cfg.snapshot_interval;
+            self.next_snapshot_at += self.cfg.snapshot_interval;
         }
 
         let mut remaining = bytes as f64;
@@ -279,9 +280,9 @@ impl TcpConnection {
             let bdp = rate * self.path.base_rtt.as_secs_f64();
             let avail_buffer = eff_buffer * share;
             let capacity = bdp + avail_buffer;
-            let cross_queue_delay =
-                SimDuration::from_secs_f64((1.0 - share) * self.path.buffer_bytes * 0.5
-                    / self.path.bottleneck_bytes_per_s);
+            let cross_queue_delay = SimDuration::from_secs_f64(
+                (1.0 - share) * self.path.buffer_bytes * 0.5 / self.path.bottleneck_bytes_per_s,
+            );
 
             let w_segs = self
                 .cwnd
@@ -307,7 +308,8 @@ impl TcpConnection {
             };
 
             let sent_segs = w_segs as u32;
-            let random_lost = self.poisson((w_segs - overflow_segs).max(0.0) * self.path.random_loss);
+            let random_lost =
+                self.poisson((w_segs - overflow_segs).max(0.0) * self.path.random_loss);
             let lost = (overflow_segs as u32 + random_lost).min(sent_segs);
 
             // The path's own latency this round (jitter/spikes/cross
@@ -393,9 +395,8 @@ impl TcpConnection {
                             // per-round growth (at most +50%).
                             let elapsed = t.duration_since(self.cubic_epoch).as_secs_f64();
                             let target = self.cubic_window(elapsed + rtt.as_secs_f64());
-                            self.cwnd = target
-                                .clamp(self.cwnd + 0.1, self.cwnd * 1.5)
-                                .min(max_cwnd);
+                            self.cwnd =
+                                target.clamp(self.cwnd + 0.1, self.cwnd * 1.5).min(max_cwnd);
                         }
                     }
                 }

@@ -28,8 +28,8 @@ pub use info::{ChunkTransfer, TcpInfo};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use streamlab_sim::{RngStream, SimDuration, SimTime};
     use crate::path::{PathProfile, PropagationModel};
+    use streamlab_sim::{RngStream, SimDuration, SimTime};
 
     fn quiet_path(mbps: f64, rtt_ms: f64, buffer_bdp: f64) -> PathProfile {
         PathProfile::from_parts(
@@ -79,9 +79,17 @@ mod tests {
         let mut c = conn(quiet_path(20.0, 40.0, 8.0), TcpConfig::default(), 2);
         let t = c.transfer(SimTime::ZERO, CHUNK);
         // Serialization floor: 1.3125 MB at 2.5 MB/s = 525 ms.
-        assert!(t.duration() >= SimDuration::from_millis(525), "{}", t.duration());
+        assert!(
+            t.duration() >= SimDuration::from_millis(525),
+            "{}",
+            t.duration()
+        );
         // And it should be within a small factor of it on a clean path.
-        assert!(t.duration() < SimDuration::from_millis(1800), "{}", t.duration());
+        assert!(
+            t.duration() < SimDuration::from_millis(1800),
+            "{}",
+            t.duration()
+        );
     }
 
     #[test]
@@ -345,7 +353,11 @@ mod tests {
             let _ = c.transfer(SimTime::from_millis(200 * i), 20_000); // ~14 segs
         }
         let info = c.info(SimTime::from_secs(100));
-        assert!(info.cwnd <= 64, "cwnd grew to {} while app-limited", info.cwnd);
+        assert!(
+            info.cwnd <= 64,
+            "cwnd grew to {} while app-limited",
+            info.cwnd
+        );
     }
 
     #[test]

@@ -7,35 +7,33 @@ use streamlab_sim::{RngStream, SimTime};
 
 fn arbitrary_path() -> impl Strategy<Value = PathProfile> {
     (
-        0.0f64..9_000.0,   // distance km
-        1.0f64..80.0,      // last mile ms
-        0.0f64..150.0,     // overhead ms
-        2.0f64..400.0,     // bottleneck mbps
-        0.5f64..8.0,       // buffer bdp
-        0.0f64..0.02,      // random loss
-        0.0f64..0.9,       // jitter sigma
-        0.0f64..0.1,       // spike prob
-        1.0f64..40.0,      // spike mult
-        0.0f64..0.05,      // congestion prob
-        0.1f64..1.0,       // congestion severity
+        0.0f64..9_000.0, // distance km
+        1.0f64..80.0,    // last mile ms
+        0.0f64..150.0,   // overhead ms
+        2.0f64..400.0,   // bottleneck mbps
+        0.5f64..8.0,     // buffer bdp
+        0.0f64..0.02,    // random loss
+        0.0f64..0.9,     // jitter sigma
+        0.0f64..0.1,     // spike prob
+        1.0f64..40.0,    // spike mult
+        0.0f64..0.05,    // congestion prob
+        0.1f64..1.0,     // congestion severity
     )
-        .prop_map(
-            |(d, lm, oh, bw, buf, loss, jit, sp, sm, cp, cs)| {
-                PathProfile::from_parts(
-                    &PropagationModel::default(),
-                    d,
-                    lm,
-                    oh,
-                    bw,
-                    buf,
-                    loss,
-                    jit,
-                    sp,
-                    sm,
-                )
-                .with_congestion(cp, cs)
-            },
-        )
+        .prop_map(|(d, lm, oh, bw, buf, loss, jit, sp, sm, cp, cs)| {
+            PathProfile::from_parts(
+                &PropagationModel::default(),
+                d,
+                lm,
+                oh,
+                bw,
+                buf,
+                loss,
+                jit,
+                sp,
+                sm,
+            )
+            .with_congestion(cp, cs)
+        })
 }
 
 proptest! {

@@ -271,7 +271,10 @@ mod tests {
 
     #[test]
     fn normal_moments() {
-        let d = Normal { mu: 3.0, sigma: 2.0 };
+        let d = Normal {
+            mu: 3.0,
+            sigma: 2.0,
+        };
         let mut r = rng();
         let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
         let m = xs.iter().sum::<f64>() / xs.len() as f64;
@@ -335,7 +338,11 @@ mod tests {
         assert_eq!(max_rank, 1);
         // Empirical rank-1 mass close to analytic pmf.
         let p1 = counts[1] as f64 / 100_000.0;
-        assert!((p1 - z.pmf(1)).abs() < 0.01, "p1 = {p1}, pmf = {}", z.pmf(1));
+        assert!(
+            (p1 - z.pmf(1)).abs() < 0.01,
+            "p1 = {p1}, pmf = {}",
+            z.pmf(1)
+        );
     }
 
     #[test]

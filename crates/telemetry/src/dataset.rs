@@ -44,6 +44,18 @@ impl TelemetrySink {
     pub fn counts(&self) -> (usize, usize, usize) {
         (self.player.len(), self.cdn.len(), self.sessions.len())
     }
+
+    /// Append every record from `other`, consuming it.
+    ///
+    /// Used to merge the per-shard sinks of a parallel run. Concatenation
+    /// order does not matter for the result of [`Dataset::join`]: the join
+    /// canonicalizes by session id, so any interleaving of shard sinks
+    /// produces the same dataset.
+    pub fn absorb(&mut self, other: TelemetrySink) {
+        self.player.extend(other.player);
+        self.cdn.extend(other.cdn);
+        self.sessions.extend(other.sessions);
+    }
 }
 
 /// A join failure: the two vantage points disagree about what happened.

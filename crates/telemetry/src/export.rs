@@ -123,8 +123,8 @@ mod tests {
     };
     use streamlab_sim::{SimDuration, SimTime};
     use streamlab_workload::{
-        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region,
-        ServerId, SessionId, VideoId,
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
+        SessionId, VideoId,
     };
 
     fn tiny_dataset() -> Dataset {

@@ -20,6 +20,4 @@ pub mod export;
 pub mod records;
 
 pub use dataset::{Dataset, JoinError, SessionData, TelemetrySink};
-pub use records::{
-    CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
-};
+pub use records::{CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta};

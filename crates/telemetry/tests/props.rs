@@ -26,7 +26,10 @@ fn meta(id: u64, ua_mismatch: bool) -> SessionMeta {
         org_kind: OrgKind::Residential,
         access: AccessClass::Cable,
         region: Region::UnitedStates,
-        location: GeoPoint { lat: 40.0, lon: -75.0 },
+        location: GeoPoint {
+            lat: 40.0,
+            lon: -75.0,
+        },
         pop: PopId(0),
         server: ServerId(1),
         distance_km: 30.0,
@@ -201,5 +204,65 @@ proptest! {
             err,
             JoinError::DuplicateKey(SessionId(dup_session), ChunkIndex(dup_chunk))
         );
+    }
+
+    /// The invariant the sharded simulation engine rests on: splitting the
+    /// session set into per-shard sinks (any assignment of sessions to
+    /// shards, absorbed back in any shard order) must reproduce the
+    /// unpartitioned join exactly — same sessions, same per-session chunk
+    /// ordering, same total request count.
+    #[test]
+    fn any_partition_of_sessions_joins_identically(
+        sessions in proptest::collection::vec((1u32..12, 0u8..8), 1..30),
+        reverse_merge in any::<bool>(),
+    ) {
+        let n_shards = 1 + sessions.iter().map(|&(_, s)| s).max().unwrap_or(0) as usize;
+
+        // Unpartitioned reference: every record in one sink.
+        let mut reference = TelemetrySink::new();
+        // Partitioned: each session's records go to its assigned shard.
+        let mut shards: Vec<TelemetrySink> =
+            (0..n_shards).map(|_| TelemetrySink::new()).collect();
+        for (id, &(chunks, shard)) in sessions.iter().enumerate() {
+            let id = id as u64;
+            reference.session(meta(id, false));
+            shards[shard as usize].session(meta(id, false));
+            for c in 0..chunks {
+                reference.player_chunk(player(id, c));
+                reference.cdn_chunk(cdn(id, c));
+                shards[shard as usize].player_chunk(player(id, c));
+                shards[shard as usize].cdn_chunk(cdn(id, c));
+            }
+        }
+
+        let mut merged = TelemetrySink::new();
+        if reverse_merge {
+            for s in shards.into_iter().rev() {
+                merged.absorb(s);
+            }
+        } else {
+            for s in shards {
+                merged.absorb(s);
+            }
+        }
+
+        let expected = Dataset::join(reference).expect("reference join");
+        let got = Dataset::join(merged).expect("merged join");
+
+        prop_assert_eq!(got.sessions.len(), expected.sessions.len());
+        prop_assert_eq!(got.chunk_count(), expected.chunk_count());
+        let total_requests: usize = sessions.iter().map(|&(c, _)| c as usize).sum();
+        prop_assert_eq!(got.chunk_count(), total_requests);
+        for (a, b) in got.sessions.iter().zip(&expected.sessions) {
+            prop_assert_eq!(a.meta.session, b.meta.session);
+            prop_assert_eq!(a.chunks.len(), b.chunks.len());
+            // Chunk ordering within the session is preserved: contiguous
+            // indices from zero, in the same order as the reference.
+            for (j, (ca, cb)) in a.chunks.iter().zip(&b.chunks).enumerate() {
+                prop_assert_eq!(ca.chunk().raw() as usize, j);
+                prop_assert_eq!(ca.chunk(), cb.chunk());
+                prop_assert_eq!(ca.player.requested_at, cb.player.requested_at);
+            }
+        }
     }
 }

@@ -114,8 +114,20 @@ pub const US_CLIENT_METROS: &[(&str, f64, f64, f64)] = &[
 /// of clients outside North America, spread over 96 countries).
 pub const INTL_CLIENT_METROS: &[(&str, f64, f64, f64, Region)] = &[
     ("Toronto-CA", 43.65, -79.38, 3.0, Region::NorthAmericaOther),
-    ("Vancouver-CA", 49.28, -123.12, 1.2, Region::NorthAmericaOther),
-    ("MexicoCity-MX", 19.43, -99.13, 1.5, Region::NorthAmericaOther),
+    (
+        "Vancouver-CA",
+        49.28,
+        -123.12,
+        1.2,
+        Region::NorthAmericaOther,
+    ),
+    (
+        "MexicoCity-MX",
+        19.43,
+        -99.13,
+        1.5,
+        Region::NorthAmericaOther,
+    ),
     ("London-UK", 51.51, -0.13, 1.6, Region::Europe),
     ("Frankfurt-DE", 50.11, 8.68, 1.0, Region::Europe),
     ("Paris-FR", 48.86, 2.35, 0.8, Region::Europe),

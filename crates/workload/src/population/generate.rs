@@ -173,8 +173,12 @@ impl Population {
             });
         }
 
-        let prefix_picker =
-            Categorical::new(prefixes.iter().map(|p| (p.id.0 as usize, p.weight)).collect());
+        let prefix_picker = Categorical::new(
+            prefixes
+                .iter()
+                .map(|p| (p.id.0 as usize, p.weight))
+                .collect(),
+        );
 
         Population {
             prefixes,

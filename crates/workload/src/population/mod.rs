@@ -78,7 +78,11 @@ mod tests {
             .filter(|p| p.org_kind == OrgKind::Enterprise)
             .count() as f64;
         let intl = pop.prefixes().iter().filter(|p| !p.region.is_us()).count() as f64;
-        assert!((ent / n - 0.09).abs() < 0.03, "enterprise share {}", ent / n);
+        assert!(
+            (ent / n - 0.09).abs() < 0.03,
+            "enterprise share {}",
+            ent / n
+        );
         assert!((intl / n - 0.07).abs() < 0.02, "intl share {}", intl / n);
     }
 

@@ -26,8 +26,18 @@ fn run(name: &'static str, algorithm: AbrAlgorithm, seed: u64) -> Row {
     let ds = &out.dataset;
 
     let n = ds.sessions.len().max(1) as f64;
-    let avg_bitrate = ds.sessions.iter().map(|s| s.avg_bitrate_kbps()).sum::<f64>() / n;
-    let rebuffer = ds.sessions.iter().map(|s| s.rebuffer_rate_pct()).sum::<f64>() / n;
+    let avg_bitrate = ds
+        .sessions
+        .iter()
+        .map(|s| s.avg_bitrate_kbps())
+        .sum::<f64>()
+        / n;
+    let rebuffer = ds
+        .sessions
+        .iter()
+        .map(|s| s.rebuffer_rate_pct())
+        .sum::<f64>()
+        / n;
     let mut startups: Vec<f64> = ds
         .sessions
         .iter()
@@ -35,7 +45,10 @@ fn run(name: &'static str, algorithm: AbrAlgorithm, seed: u64) -> Row {
         .filter(|x| x.is_finite())
         .collect();
     startups.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let startup_median = startups.get(startups.len() / 2).copied().unwrap_or(f64::NAN);
+    let startup_median = startups
+        .get(startups.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
     let (mut bad, mut total) = (0usize, 0usize);
     for (_, c) in ds.chunks() {
         total += 1;
@@ -60,7 +73,11 @@ fn main() {
     println!("running 4 ABR algorithms over the same world (seed {seed}) ...\n");
 
     let rows = vec![
-        run("rate-based (w=5)", AbrAlgorithm::RateBased { window: 5 }, seed),
+        run(
+            "rate-based (w=5)",
+            AbrAlgorithm::RateBased { window: 5 },
+            seed,
+        ),
         run(
             "robust-rate (w=5)",
             AbrAlgorithm::RobustRate { window: 5 },

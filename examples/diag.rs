@@ -1,6 +1,8 @@
 use streamlab::{Simulation, SimulationConfig};
 fn main() {
-    let out = Simulation::new(SimulationConfig::default_scale(2016)).run().unwrap();
+    let out = Simulation::new(SimulationConfig::default_scale(2016))
+        .run()
+        .unwrap();
     let s = streamlab::analysis::figures::cdn::headline_stats(&out.dataset);
     println!("default: sessions={} chunks={} miss={:.3} ram={:.3} retry={:.3} hit_med={:.2} miss_med={:.1} ratio={:.2} top10={:.2} corr={:.2}",
         s.sessions, s.chunks, s.miss_rate, s.ram_hit_rate, s.retry_fraction, s.hit_median_ms, s.miss_median_ms,

@@ -56,7 +56,16 @@ fn main() {
 
     println!(
         "\n{:>5} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>8}",
-        "chunk", "cache", "rtt0 ms", "D_CDN ms", "D_BE ms", "D_DS ms", "D_FB ms", "D_LB s", "retx", "buffer s"
+        "chunk",
+        "cache",
+        "rtt0 ms",
+        "D_CDN ms",
+        "D_BE ms",
+        "D_DS ms",
+        "D_FB ms",
+        "D_LB s",
+        "retx",
+        "buffer s"
     );
 
     let video = VideoId(42);
@@ -128,7 +137,13 @@ fn main() {
             chunk: ChunkIndex(i),
             bitrate_kbps: 2350,
         };
-        let outcome = server.serve(key, chunk_bytes, 500, t + streamlab::sim::SimDuration::from_secs(60 + u64::from(i) * 6), &[]);
+        let outcome = server.serve(
+            key,
+            chunk_bytes,
+            500,
+            t + streamlab::sim::SimDuration::from_secs(60 + u64::from(i) * 6),
+            &[],
+        );
         assert!(outcome.status.is_hit(), "second viewer must hit");
         total_hit_ms += outcome.total().as_millis_f64();
     }

@@ -16,9 +16,7 @@ fn main() {
     };
     eprintln!(
         "simulating {} sessions over {} videos on {} servers (seed {seed})...",
-        cfg.traffic.sessions,
-        cfg.catalog.videos,
-        cfg.fleet.servers
+        cfg.traffic.sessions, cfg.catalog.videos, cfg.fleet.servers
     );
     let out = Simulation::new(cfg).run().expect("simulation");
     println!("{}", full_report(&out));

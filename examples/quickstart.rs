@@ -23,11 +23,32 @@ fn main() {
 
     let s = headline_stats(&out.dataset);
     println!();
-    println!("dataset:   {} sessions, {} chunks (proxy filter kept {:.0}%)", s.sessions, s.chunks, 100.0 * s.retention);
-    println!("caching:   miss rate {:.1}%, RAM-hit rate {:.0}%, retry timer fired on {:.0}% of chunks", 100.0 * s.miss_rate, 100.0 * s.ram_hit_rate, 100.0 * s.retry_fraction);
-    println!("latency:   median server latency {:.1} ms on hits vs {:.0} ms on misses ({:.0}x)", s.hit_median_ms, s.miss_median_ms, s.miss_median_ms / s.hit_median_ms);
-    println!("content:   top 10% of videos get {:.0}% of playbacks", 100.0 * s.top_decile_play_share);
-    println!("persistence: sessions with >=1 miss average {:.0}% missed chunks", 100.0 * s.mean_miss_ratio_in_miss_sessions);
+    println!(
+        "dataset:   {} sessions, {} chunks (proxy filter kept {:.0}%)",
+        s.sessions,
+        s.chunks,
+        100.0 * s.retention
+    );
+    println!(
+        "caching:   miss rate {:.1}%, RAM-hit rate {:.0}%, retry timer fired on {:.0}% of chunks",
+        100.0 * s.miss_rate,
+        100.0 * s.ram_hit_rate,
+        100.0 * s.retry_fraction
+    );
+    println!(
+        "latency:   median server latency {:.1} ms on hits vs {:.0} ms on misses ({:.0}x)",
+        s.hit_median_ms,
+        s.miss_median_ms,
+        s.miss_median_ms / s.hit_median_ms
+    );
+    println!(
+        "content:   top 10% of videos get {:.0}% of playbacks",
+        100.0 * s.top_decile_play_share
+    );
+    println!(
+        "persistence: sessions with >=1 miss average {:.0}% missed chunks",
+        100.0 * s.mean_miss_ratio_in_miss_sessions
+    );
 
     let f11 = fig11(&out.dataset, 100);
     println!("loss:      {:.0}% of sessions see no retransmission at all; {:.0}% stay under a 10% retx rate", 100.0 * f11.loss_free_share, 100.0 * f11.below_10pct_share);

@@ -157,5 +157,9 @@ fn survives_extreme_zipf() {
     let out = Simulation::new(cfg).run().expect("run");
     check_coherent(&out);
     let stats = streamlab::analysis::figures::cdn::headline_stats(&out.dataset);
-    assert!(stats.top_decile_play_share >= 0.75, "share = {}", stats.top_decile_play_share);
+    assert!(
+        stats.top_decile_play_share >= 0.75,
+        "share = {}",
+        stats.top_decile_play_share
+    );
 }

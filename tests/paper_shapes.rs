@@ -27,10 +27,7 @@ fn dataset_is_joined_and_preprocessed() {
     assert!(out.dataset.chunk_count() > 5_000);
     // §3: proxy filtering keeps roughly 77% of sessions.
     let retention = out.dataset.retention();
-    assert!(
-        (0.68..0.92).contains(&retention),
-        "retention = {retention}"
-    );
+    assert!((0.68..0.92).contains(&retention), "retention = {retention}");
 }
 
 #[test]
@@ -43,14 +40,21 @@ fn finding_cdn1_retry_timer_bimodalizes_read_latency() {
     let p25 = read.x_at(0.25).unwrap();
     let p90 = read.x_at(0.90).unwrap();
     assert!(p25 < 5.0, "fast mode should be RAM-speed, got {p25} ms");
-    assert!(p90 > 10.0, "slow mode must sit past the 10 ms timer, got {p90}");
+    assert!(
+        p90 > 10.0,
+        "slow mode must sit past the 10 ms timer, got {p90}"
+    );
 }
 
 #[test]
 fn finding_cdn2_misses_cost_an_order_of_magnitude() {
     let out = run();
     let s = cdn::headline_stats(&out.dataset);
-    assert!(s.miss_rate > 0.005 && s.miss_rate < 0.25, "miss = {}", s.miss_rate);
+    assert!(
+        s.miss_rate > 0.005 && s.miss_rate < 0.25,
+        "miss = {}",
+        s.miss_rate
+    );
     assert!(
         s.miss_median_ms > 10.0 * s.hit_median_ms,
         "hit {} vs miss {}",
@@ -91,7 +95,11 @@ fn finding_net1_enterprises_dominate_high_variability() {
     // The CV ranking is led by an enterprise, by a wide margin over the
     // pooled residential rate (paper: ~40% vs ~1%).
     let top = t4.top.first().expect("ranking non-empty");
-    assert_eq!(top.kind, streamlab::workload::OrgKind::Enterprise, "{top:?}");
+    assert_eq!(
+        top.kind,
+        streamlab::workload::OrgKind::Enterprise,
+        "{top:?}"
+    );
     assert!(
         top.pct() > 8.0 * t4.residential_pct.max(0.3),
         "top {}% vs residential {}%",
@@ -99,7 +107,11 @@ fn finding_net1_enterprises_dominate_high_variability() {
         t4.residential_pct
     );
     // ...while residential ISPs pool near the paper's ~1%.
-    assert!(t4.residential_pct < 5.0, "residential = {}%", t4.residential_pct);
+    assert!(
+        t4.residential_pct < 5.0,
+        "residential = {}%",
+        t4.residential_pct
+    );
 }
 
 #[test]
@@ -176,12 +188,19 @@ fn finding_net4_throughput_dominates_bad_performance() {
     let out = run();
     let f16 = network::fig16(&out.dataset, 200);
     // Bad chunks exist but are the minority.
-    assert!((0.005..0.35).contains(&f16.bad_share), "bad = {}", f16.bad_share);
+    assert!(
+        (0.005..0.35).contains(&f16.bad_share),
+        "bad = {}",
+        f16.bad_share
+    );
     // D_LB separates good from bad far more than D_FB does (medians).
     let med = |s: &streamlab::analysis::figures::CdfSeries| s.x_at(0.5).unwrap();
     let dlb_ratio = med(&f16.dlb_bad) / med(&f16.dlb_good);
     let dfb_ratio = med(&f16.dfb_bad) / med(&f16.dfb_good);
-    assert!(dlb_ratio > 2.0 * dfb_ratio, "dlb x{dlb_ratio} vs dfb x{dfb_ratio}");
+    assert!(
+        dlb_ratio > 2.0 * dfb_ratio,
+        "dlb x{dlb_ratio} vs dfb x{dfb_ratio}"
+    );
     // Bad chunks have a lower latency *share* (throughput-dominated).
     assert!(med(&f16.share_bad) < med(&f16.share_good));
 }
@@ -212,7 +231,10 @@ fn finding_client2_first_chunks_have_higher_stack_latency() {
 fn finding_client3_unpopular_browsers_render_worse() {
     let out = run();
     let f22 = client::fig22(&out.dataset, 20);
-    assert!(!f22.rows.is_empty(), "no unpopular-browser rows at this scale");
+    assert!(
+        !f22.rows.is_empty(),
+        "no unpopular-browser rows at this scale"
+    );
     for row in &f22.rows {
         assert!(
             row.dropped_pct > f22.rest_avg_pct,
@@ -260,8 +282,7 @@ fn finding_client5_dds_platform_ranking() {
         t5.nonzero_fraction
     );
     // Safari-off-Mac should rank above Chrome wherever both appear.
-    let rank_of = |os: streamlab::workload::Os,
-                   b: streamlab::workload::Browser| {
+    let rank_of = |os: streamlab::workload::Os, b: streamlab::workload::Browser| {
         t5.rows.iter().position(|r| r.os == os && r.browser == b)
     };
     use streamlab::workload::{Browser, Os};
@@ -279,8 +300,13 @@ fn every_experiment_produces_output() {
     for &id in ExperimentId::all() {
         let r = run_experiment(id, out);
         assert!(!r.text.trim().is_empty(), "{id:?} rendered empty");
-        assert!(r.json.is_object() || r.json.is_array() || !r.json.is_null() || id == ExperimentId::Fig13,
-            "{id:?} produced null JSON");
+        assert!(
+            r.json.is_object()
+                || r.json.is_array()
+                || !r.json.is_null()
+                || id == ExperimentId::Fig13,
+            "{id:?} produced null JSON"
+        );
     }
 }
 
@@ -314,8 +340,12 @@ fn finding_client6_bitrate_paradox() {
     cfg.traffic.sessions = 2_000;
     let out = Simulation::new(cfg).run().expect("run");
     let p = client::bitrate_paradox(&out.dataset);
-    assert!(p.high_sessions > 200 && p.low_sessions >= 40,
-        "split: {} high / {} low", p.high_sessions, p.low_sessions);
+    assert!(
+        p.high_sessions > 200 && p.low_sessions >= 40,
+        "split: {} high / {} low",
+        p.high_sessions,
+        p.low_sessions
+    );
     assert!(
         p.high_dropped_pct < p.low_dropped_pct,
         "high-bitrate drops {} >= low-bitrate {}",
