@@ -260,14 +260,19 @@ pub fn fig21(ds: &Dataset) -> Vec<Fig21Row> {
             chunks: n,
         })
         .collect();
+    // The share key is coarse (2 decimals) and rows start in HashMap order,
+    // so ties need a total tie-break or the output order is nondeterministic
+    // per process.
     rows.sort_by(|a, b| {
         (
             a.os.label(),
             std::cmp::Reverse((a.chunk_share_pct * 100.0) as u64),
+            a.browser.label(),
         )
             .cmp(&(
                 b.os.label(),
                 std::cmp::Reverse((b.chunk_share_pct * 100.0) as u64),
+                b.browser.label(),
             ))
     });
     rows
@@ -326,7 +331,12 @@ pub fn fig22(ds: &Dataset, min_chunks: usize) -> Fig22 {
             chunks: n,
         })
         .collect();
-    rows.sort_by(|a, b| b.dropped_pct.partial_cmp(&a.dropped_pct).unwrap());
+    rows.sort_by(|a, b| {
+        b.dropped_pct
+            .partial_cmp(&a.dropped_pct)
+            .unwrap()
+            .then_with(|| a.label.cmp(&b.label))
+    });
     Fig22 {
         rows,
         rest_avg_pct: if rest_n == 0 {
@@ -411,7 +421,12 @@ pub fn tab05(ds: &Dataset, min_chunks: usize) -> Tab05 {
             chunks: n,
         })
         .collect();
-    rows.sort_by(|a, b| b.mean_ds_ms.partial_cmp(&a.mean_ds_ms).unwrap());
+    rows.sort_by(|a, b| {
+        b.mean_ds_ms
+            .partial_cmp(&a.mean_ds_ms)
+            .unwrap()
+            .then_with(|| (a.os.label(), a.browser.label()).cmp(&(b.os.label(), b.browser.label())))
+    });
     Tab05 {
         rows,
         nonzero_fraction: nonzero as f64 / total.max(1) as f64,

@@ -46,6 +46,23 @@ impl Default for TieredCacheConfig {
     }
 }
 
+/// Movement counters for the two-tier cache: how much churn the serve
+/// path generated. Deterministic (pure functions of the request stream),
+/// aggregated across servers in canonical order by the observability
+/// layer. Warming (`fill_disk` / `fill_ram`) is not counted — it happens
+/// once before the event loop and is not churn.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierChurn {
+    /// Disk-tier objects promoted to RAM on a disk hit.
+    pub promotions: u64,
+    /// RAM victims demoted to the disk tier.
+    pub demotions: u64,
+    /// Backend fills admitted on the serve path.
+    pub fills: u64,
+    /// Objects evicted from the disk tier outright.
+    pub disk_evictions: u64,
+}
+
 /// The ATS-style two-tier cache: a RAM cache in front of a disk cache.
 ///
 /// Lookup order is RAM → disk → miss (§4.1: "The server first checks the
@@ -59,6 +76,7 @@ pub struct TieredCache {
     admission: AdmissionPolicy,
     /// Request counts for second-hit admission (requests, not hits).
     seen: HashMap<ObjectKey, u32>,
+    churn: TierChurn,
 }
 
 impl TieredCache {
@@ -69,7 +87,13 @@ impl TieredCache {
             disk: ByteCache::new(cfg.policy, cfg.disk_bytes),
             admission: cfg.admission,
             seen: HashMap::new(),
+            churn: TierChurn::default(),
         }
+    }
+
+    /// Serve-path movement counters accumulated so far.
+    pub fn churn(&self) -> TierChurn {
+        self.churn
     }
 
     /// Should a backend fill of `key` be admitted, per the configured
@@ -106,8 +130,10 @@ impl TieredCache {
         if self.disk.lookup(key) {
             // Promote to RAM; demoted RAM victims fall back to disk (they
             // were recently useful, so they deserve a disk slot).
+            self.churn.promotions += 1;
             for (victim, vsize) in self.ram.insert(key, size) {
-                self.disk.insert(victim, vsize);
+                self.churn.demotions += 1;
+                self.churn.disk_evictions += self.disk.insert(victim, vsize).len() as u64;
             }
             return CacheStatus::DiskHit;
         }
@@ -116,9 +142,11 @@ impl TieredCache {
 
     /// Install a backend fill into both tiers; RAM victims demote to disk.
     pub fn fill(&mut self, key: ObjectKey, size: u64) {
-        self.disk.insert(key, size);
+        self.churn.fills += 1;
+        self.churn.disk_evictions += self.disk.insert(key, size).len() as u64;
         for (victim, vsize) in self.ram.insert(key, size) {
-            self.disk.insert(victim, vsize);
+            self.churn.demotions += 1;
+            self.churn.disk_evictions += self.disk.insert(victim, vsize).len() as u64;
         }
     }
 

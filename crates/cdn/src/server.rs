@@ -4,8 +4,19 @@ use crate::ats::{AtsConfig, AtsTimings, BackendConfig, CacheStatus, ServeOutcome
 use crate::cache::{ObjectKey, TieredCache, TieredCacheConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use streamlab_obs::{CacheLookup, CacheTier, Meta, NoopSubscriber, RetryTimerFired, Subscriber};
 use streamlab_sim::{RngStream, SimDuration, SimTime};
 use streamlab_workload::{PopId, ServerId};
+
+impl From<CacheStatus> for CacheTier {
+    fn from(s: CacheStatus) -> CacheTier {
+        match s {
+            CacheStatus::RamHit => CacheTier::Ram,
+            CacheStatus::DiskHit => CacheTier::Disk,
+            CacheStatus::Miss => CacheTier::Miss,
+        }
+    }
+}
 
 /// Per-server configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -147,6 +158,25 @@ impl CdnServer {
         now: SimTime,
         prefetch: &[(ObjectKey, u64)],
     ) -> ServeOutcome {
+        self.serve_with(key, size, rank, now, prefetch, None, &mut NoopSubscriber)
+    }
+
+    /// [`serve`](Self::serve), emitting observability events to `sub`.
+    ///
+    /// `session` attributes the events to a session id (None for fleet- or
+    /// warmup-level requests). With [`NoopSubscriber`] the probes
+    /// monomorphize to nothing, so the plain `serve` path pays no cost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_with<S: Subscriber>(
+        &mut self,
+        key: ObjectKey,
+        size: u64,
+        rank: usize,
+        now: SimTime,
+        prefetch: &[(ObjectKey, u64)],
+        session: Option<u64>,
+        sub: &mut S,
+    ) -> ServeOutcome {
         self.note_request(now);
         let concurrent = self.recent.len() as u32;
 
@@ -180,6 +210,21 @@ impl CdnServer {
         }
         if retry_fired {
             self.stats.retry_fired += 1;
+        }
+        let meta = match session {
+            Some(id) => Meta::session(now, id),
+            None => Meta::fleet(now),
+        };
+        sub.on_cache_lookup(
+            &meta,
+            &CacheLookup {
+                tier: status.into(),
+                manifest: key.is_manifest(),
+                bytes: size,
+            },
+        );
+        if retry_fired {
+            sub.on_retry_timer_fired(&meta, &RetryTimerFired {});
         }
         let outcome = ServeOutcome {
             d_wait,
@@ -296,6 +341,55 @@ mod tests {
         // ...but now it is cached: third request hits.
         let o3 = s.serve(key(1, 0), MB, 10, SimTime::from_secs(3), &[]);
         assert!(o3.status.is_hit());
+    }
+
+    #[test]
+    fn serve_with_emits_lookup_and_retry_events() {
+        use streamlab_obs::MetricsRecorder;
+        let mut s = server();
+        let mut rec = MetricsRecorder::new(false);
+        // Miss, then RAM hit, then a manifest miss.
+        s.serve_with(
+            key(1, 0),
+            MB,
+            10,
+            SimTime::from_secs(1),
+            &[],
+            Some(7),
+            &mut rec,
+        );
+        s.serve_with(
+            key(1, 0),
+            MB,
+            10,
+            SimTime::from_secs(2),
+            &[],
+            Some(7),
+            &mut rec,
+        );
+        s.serve_with(
+            ObjectKey::manifest(VideoId(1)),
+            1024,
+            10,
+            SimTime::from_secs(3),
+            &[],
+            None,
+            &mut rec,
+        );
+        let m = rec.metrics();
+        assert_eq!(m.chunk_misses.get(), 1);
+        assert_eq!(m.chunk_ram_hits.get(), 1);
+        assert_eq!(m.manifest_requests.get(), 1);
+        assert_eq!(m.bytes_served.get(), 2 * MB + 1024);
+        // Event counters mirror the server's own stats.
+        let st = s.stats();
+        assert_eq!(
+            m.retry_timer_fires.get(),
+            st.retry_fired,
+            "subscriber retry count must match ServerStats"
+        );
+        // Churn: the chunk miss filled both tiers; the manifest may too.
+        assert!(s.cache().churn().fills >= 1);
     }
 
     #[test]

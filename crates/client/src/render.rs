@@ -74,6 +74,10 @@ pub struct RenderPath {
     /// Browser/OS cost multiplier.
     efficiency: f64,
     rng: RngStream,
+    /// Cumulative frames rendered across all chunks of the session.
+    frames_total: u64,
+    /// Cumulative frames dropped across all chunks of the session.
+    dropped_total: u64,
 }
 
 impl RenderPath {
@@ -92,12 +96,24 @@ impl RenderPath {
             background_load: background_load.clamp(0.0, 1.0),
             efficiency: browser_efficiency(os, browser),
             rng,
+            frames_total: 0,
+            dropped_total: 0,
         }
     }
 
     /// True when hardware rendering is in use.
     pub fn uses_gpu(&self) -> bool {
         self.gpu
+    }
+
+    /// Total frames this session's chunks carried so far.
+    pub fn frames_total(&self) -> u64 {
+        self.frames_total
+    }
+
+    /// Total frames dropped so far.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total
     }
 
     /// Render one chunk.
@@ -173,6 +189,8 @@ impl RenderPath {
         let noisy = (drop_ratio * self.rng.uniform_range(0.85, 1.15)).clamp(0.0, 1.0);
         let dropped = (f64::from(frames) * noisy).round() as u32;
         let dropped = dropped.min(frames);
+        self.frames_total += u64::from(frames);
+        self.dropped_total += u64::from(dropped);
         RenderOutcome {
             frames,
             dropped,
@@ -316,6 +334,20 @@ mod tests {
         assert_eq!(p.render_chunk(6.0, 1050, 2.0, true, 0.0).frames, 180);
         assert_eq!(p.render_chunk(2.0, 1050, 2.0, true, 0.0).frames, 60);
         assert_eq!(p.render_chunk(0.01, 1050, 2.0, true, 0.0).frames, 1);
+    }
+
+    #[test]
+    fn cumulative_counters_sum_outcomes() {
+        let mut p = path(false, 2, 0.8, 9);
+        let (mut frames, mut dropped) = (0u64, 0u64);
+        for _ in 0..50 {
+            let o = p.render_chunk(6.0, 3000, 0.4, true, 0.0);
+            frames += u64::from(o.frames);
+            dropped += u64::from(o.dropped);
+        }
+        assert_eq!(p.frames_total(), frames);
+        assert_eq!(p.dropped_total(), dropped);
+        assert!(p.dropped_total() > 0);
     }
 
     #[test]

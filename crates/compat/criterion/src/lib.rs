@@ -14,7 +14,35 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Summary statistics for one completed benchmark, in nanoseconds.
+///
+/// Every benchmark run through [`Criterion`] pushes one record into a
+/// process-wide registry; harnesses that want machine-readable output
+/// (e.g. a JSON artifact for CI) drain it with [`take_records`] after
+/// the groups have run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Full benchmark label, `group/function/parameter`.
+    pub label: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drain all [`BenchRecord`]s accumulated since the last call.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().expect("bench record registry poisoned"))
+}
 
 /// Re-export of `std::hint::black_box` matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -216,6 +244,16 @@ fn report(label: &str, samples: &mut [Duration]) {
         "{label:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({n} samples)",
         min, median, mean
     );
+    RECORDS
+        .lock()
+        .expect("bench record registry poisoned")
+        .push(BenchRecord {
+            label: label.to_string(),
+            mean_ns: mean.as_nanos() as f64,
+            median_ns: median.as_nanos() as f64,
+            min_ns: min.as_nanos() as f64,
+            samples: n,
+        });
 }
 
 /// Collect benchmark functions into a named group runner.
@@ -272,6 +310,27 @@ mod tests {
         });
         group.finish();
         assert!(calls >= 3);
+    }
+
+    #[test]
+    fn records_are_registered_and_drained() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("records-test");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 0u8));
+        group.finish();
+        let records = take_records();
+        let rec = records
+            .iter()
+            .find(|r| r.label == "records-test/noop")
+            .expect("benchmark record missing");
+        assert_eq!(rec.samples, 2);
+        assert!(rec.mean_ns >= rec.min_ns);
+        // Drained: a second take (minus races from parallel tests) must not
+        // see the same label again.
+        assert!(!take_records()
+            .iter()
+            .any(|r| r.label == "records-test/noop"));
     }
 
     #[test]

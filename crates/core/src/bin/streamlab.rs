@@ -12,10 +12,15 @@
 //!
 //! options: --scale tiny|small|default   (default: small)
 //!          --seed N                     (default: 2016)
+//!          --seeds N                    (sweep only: number of seeds)
 //!          --out DIR                    (run only; default: streamlab-out)
 //!          --threads N                  (default: 1 = sequential engine;
 //!                                        >1 shards the run by PoP, output
 //!                                        is identical at any thread count)
+//!          --metrics-out FILE           (run only: write the deterministic
+//!                                        metrics block as JSON)
+//!          --trace-events FILE          (run only: write the structured
+//!                                        event trace as JSONL)
 //! ```
 
 use std::fs;
@@ -25,14 +30,17 @@ use streamlab::ablation;
 use streamlab::experiments::{full_report, run_experiment, ExperimentId};
 use streamlab::multiday::recurrence_study;
 use streamlab::telemetry::export;
-use streamlab::{Simulation, SimulationConfig};
+use streamlab::{ObsOptions, Simulation, SimulationConfig};
 
 struct Opts {
     scale: String,
     seed: u64,
     out: PathBuf,
     days: usize,
+    seeds: Option<usize>,
     threads: usize,
+    metrics_out: Option<PathBuf>,
+    trace_events: Option<PathBuf>,
     rest: Vec<String>,
 }
 
@@ -42,7 +50,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         seed: 2016,
         out: PathBuf::from("streamlab-out"),
         days: 5,
+        seeds: None,
         threads: 1,
+        metrics_out: None,
+        trace_events: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -68,6 +79,14 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("bad days: {e}"))?;
             }
+            "--seeds" => {
+                opts.seeds = Some(
+                    it.next()
+                        .ok_or("--seeds needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad seeds: {e}"))?,
+                );
+            }
             "--threads" => {
                 opts.threads = it
                     .next()
@@ -77,6 +96,16 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 if opts.threads == 0 {
                     return Err("--threads must be at least 1".into());
                 }
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a value")?,
+                ));
+            }
+            "--trace-events" => {
+                opts.trace_events = Some(PathBuf::from(
+                    it.next().ok_or("--trace-events needs a value")?,
+                ));
             }
             other => opts.rest.push(other.to_owned()),
         }
@@ -104,7 +133,10 @@ fn find_experiment(name: &str) -> Option<ExperimentId> {
 
 fn usage() -> &'static str {
     "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep> \
-     [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--threads N]"
+     [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--seeds N] [--threads N] \
+     [--metrics-out FILE] [--trace-events FILE]\n\
+     (sweep: --seeds sets the seed count; passing --days for that is deprecated \
+     and kept only for backward compatibility)"
 }
 
 fn main() -> ExitCode {
@@ -152,8 +184,29 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         "simulating {} sessions / {} videos / {} servers (seed {}) ...",
         cfg.traffic.sessions, cfg.catalog.videos, cfg.fleet.servers, opts.seed
     );
-    let out = Simulation::new(cfg).run().map_err(|e| e.to_string())?;
+    let obs = ObsOptions {
+        trace: opts.trace_events.is_some(),
+    };
+    let out = Simulation::new(cfg)
+        .run_observed(obs)
+        .map_err(|e| e.to_string())?;
     fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
+
+    let metrics = out.metrics.as_ref().expect("observed run carries metrics");
+    if let Some(path) = &opts.metrics_out {
+        // Only the deterministic block goes to disk: byte-identical at
+        // any --threads value (the wall-clock profile is not).
+        let json = serde_json::to_string_pretty(&metrics.sim).map_err(|e| e.to_string())?;
+        fs::write(path, json + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    if let Some(path) = &opts.trace_events {
+        let lines = out.trace_lines.as_deref().unwrap_or(&[]);
+        let mut body = lines.join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
 
     let report = full_report(&out);
     fs::write(opts.out.join("report.txt"), &report).map_err(|e| e.to_string())?;
@@ -176,10 +229,18 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         streamlab::plot::emit_all(&out, &opts.out.join("plots")).map_err(|e| e.to_string())?;
 
     println!("{report}");
+    // The compact self-telemetry summary every run ends with.
+    print!("{}", metrics.summary());
     eprintln!(
         "wrote report.txt, figures.json, chunks.csv, sessions.csv and {plots} gnuplot scripts to {}",
         opts.out.display()
     );
+    if let Some(path) = &opts.metrics_out {
+        eprintln!("wrote deterministic metrics to {}", path.display());
+    }
+    if let Some(path) = &opts.trace_events {
+        eprintln!("wrote event trace to {}", path.display());
+    }
     Ok(())
 }
 
@@ -238,8 +299,10 @@ fn cmd_ablation(opts: &Opts) -> Result<(), String> {
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let cfg = config(opts)?;
-    // Reuse --days as the seed count to keep the flag set small.
-    let seeds: Vec<u64> = (0..opts.days as u64).map(|i| opts.seed + i).collect();
+    // --seeds is the real flag; --days is honored as a deprecated alias
+    // (earlier releases reused it to keep the flag set small).
+    let n_seeds = opts.seeds.unwrap_or(opts.days);
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| opts.seed + i).collect();
     eprintln!(
         "sweeping {} seeds at the {} scale ...",
         seeds.len(),

@@ -50,7 +50,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use config::{Scale, SimulationConfig};
-pub use simulate::{RunOutput, ServerReport, SimError, Simulation};
+pub use simulate::{ObsOptions, RunOutput, ServerReport, SimError, Simulation};
 
 // Re-export the substrate crates under one roof, so downstream users need
 // a single dependency.
@@ -58,6 +58,7 @@ pub use streamlab_analysis as analysis;
 pub use streamlab_cdn as cdn;
 pub use streamlab_client as client;
 pub use streamlab_net as net;
+pub use streamlab_obs as obs;
 pub use streamlab_sim as sim;
 pub use streamlab_telemetry as telemetry;
 pub use streamlab_workload as workload;

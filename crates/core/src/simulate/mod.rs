@@ -18,8 +18,13 @@
 use crate::config::SimulationConfig;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
+use std::time::Instant;
 use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
-use streamlab_sim::{EventQueue, RngStream};
+use streamlab_obs::{
+    Meta, MetricsRecorder, NoopSubscriber, RunMetrics, RunProfile, ShardMerge, ShardProfile,
+    SimMetrics, Subscriber,
+};
+use streamlab_sim::{EventQueue, RngStream, SimTime};
 use streamlab_telemetry::{Dataset, TelemetrySink};
 use streamlab_workload::{Catalog, Population, SessionGenerator, SessionSpec};
 
@@ -60,6 +65,13 @@ pub struct ServerReport {
     pub retry_ratio: f64,
 }
 
+/// Observability options for [`Simulation::run_observed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObsOptions {
+    /// Also buffer a structured JSONL event trace (one line per event).
+    pub trace: bool,
+}
+
 /// Everything a run produces.
 #[derive(Debug)]
 pub struct RunOutput {
@@ -72,6 +84,13 @@ pub struct RunOutput {
     pub servers: Vec<ServerReport>,
     /// The catalog used (several figures need it).
     pub catalog: Catalog,
+    /// Self-telemetry: deterministic simulation metrics plus the
+    /// wall-clock run profile. `None` unless the run was started with
+    /// [`Simulation::run_observed`].
+    pub metrics: Option<RunMetrics>,
+    /// The structured JSONL event trace (`None` unless requested via
+    /// [`ObsOptions::trace`]).
+    pub trace_lines: Option<Vec<String>>,
 }
 
 /// Per-PoP aggregation of the fleet's serving statistics.
@@ -152,8 +171,20 @@ impl Simulation {
     }
 
     /// Run the full measurement window and return the joined dataset.
+    ///
+    /// Runs uninstrumented ([`NoopSubscriber`], no metrics): the probes
+    /// monomorphize away and this path costs the same as before the
+    /// observability subsystem existed.
     pub fn run(self) -> Result<RunOutput, SimError> {
-        self.run_inner(None)
+        self.run_inner(None, None)
+    }
+
+    /// Run with self-telemetry: [`RunOutput::metrics`] carries the
+    /// deterministic [`SimMetrics`] plus the wall-clock [`RunProfile`],
+    /// and, with [`ObsOptions::trace`], [`RunOutput::trace_lines`] holds
+    /// the structured JSONL event trace.
+    pub fn run_observed(self, obs: ObsOptions) -> Result<RunOutput, SimError> {
+        self.run_inner(None, Some(obs))
     }
 
     /// Run against an explicit session trace instead of generating one —
@@ -164,12 +195,17 @@ impl Simulation {
     /// prefixes), which holds whenever it was generated from a config with
     /// the same `seed`, `catalog` and `population` sections.
     pub fn run_with_sessions(self, specs: Vec<SessionSpec>) -> Result<RunOutput, SimError> {
-        self.run_inner(Some(specs))
+        self.run_inner(Some(specs), None)
     }
 
-    fn run_inner(self, specs_override: Option<Vec<SessionSpec>>) -> Result<RunOutput, SimError> {
+    fn run_inner(
+        self,
+        specs_override: Option<Vec<SessionSpec>>,
+        obs: Option<ObsOptions>,
+    ) -> Result<RunOutput, SimError> {
         let cfg = &self.cfg;
         let seed = cfg.seed;
+        let setup_started = Instant::now();
 
         // --- world generation ---
         let mut cat_rng = RngStream::new(seed, "catalog");
@@ -219,19 +255,100 @@ impl Simulation {
             })
             .collect();
 
+        let setup_ms = setup_started.elapsed().as_secs_f64() * 1.0e3;
+        let loop_started = Instant::now();
+
         // --- the event loop: one event per chunk request ---
-        let sink = if cfg.threads <= 1 {
-            run_sequential(&mut fleet, runtimes, &catalog, &population)
-        } else {
-            run_sharded(cfg.threads, &mut fleet, runtimes, &catalog, &population)
+        // Four paths: {sequential, sharded} × {instrumented, noop}. The
+        // noop paths drive the same generic engines with
+        // [`NoopSubscriber`], which monomorphizes the probes away.
+        let (sink, recorder, shard_profiles, loop_stats) = match obs {
+            Some(o) if cfg.threads <= 1 => {
+                let mut rec = MetricsRecorder::new(o.trace);
+                let (sink, stats) =
+                    run_sequential(&mut fleet, runtimes, &catalog, &population, &mut rec);
+                rec.add_events_processed(stats.events);
+                (sink, Some(rec), Vec::new(), stats)
+            }
+            Some(o) => {
+                let (sink, runs) = run_sharded(
+                    cfg.threads,
+                    &mut fleet,
+                    runtimes,
+                    &catalog,
+                    &population,
+                    || MetricsRecorder::new(o.trace),
+                );
+                // Fold shard recorders in canonical (pop_index) order —
+                // the commutative merges make SimMetrics byte-identical
+                // to the sequential engine's regardless.
+                let mut rec = MetricsRecorder::new(o.trace);
+                let mut profiles = Vec::with_capacity(runs.len());
+                let mut total = EngineStats::default();
+                for run in runs {
+                    total.events += run.stats.events;
+                    total.peak_queue = total.peak_queue.max(run.stats.peak_queue);
+                    profiles.push(ShardProfile {
+                        pop_index: run.pop_index as u64,
+                        sessions: run.sessions,
+                        events: run.stats.events,
+                        peak_queue_depth: run.stats.peak_queue as u64,
+                        wall_ms: run.wall_ms,
+                    });
+                    rec.absorb(run.sub);
+                }
+                rec.add_events_processed(total.events);
+                // Engine-topology events land after the per-shard streams;
+                // they never touch SimMetrics (threads-invariance).
+                for p in &profiles {
+                    rec.on_shard_merge(
+                        &Meta::fleet(SimTime::ZERO),
+                        &ShardMerge {
+                            pop_index: p.pop_index,
+                            sessions: p.sessions,
+                            events: p.events,
+                        },
+                    );
+                }
+                (sink, Some(rec), profiles, total)
+            }
+            None if cfg.threads <= 1 => {
+                let (sink, stats) = run_sequential(
+                    &mut fleet,
+                    runtimes,
+                    &catalog,
+                    &population,
+                    &mut NoopSubscriber,
+                );
+                (sink, None, Vec::new(), stats)
+            }
+            None => {
+                let (sink, runs) = run_sharded(
+                    cfg.threads,
+                    &mut fleet,
+                    runtimes,
+                    &catalog,
+                    &population,
+                    || NoopSubscriber,
+                );
+                let mut total = EngineStats::default();
+                for run in &runs {
+                    total.events += run.stats.events;
+                    total.peak_queue = total.peak_queue.max(run.stats.peak_queue);
+                }
+                (sink, None, Vec::new(), total)
+            }
         };
+
+        let event_loop_ms = loop_started.elapsed().as_secs_f64() * 1.0e3;
+        let merge_started = Instant::now();
 
         // --- join + preprocessing ---
         let dataset = Dataset::join(sink).map_err(SimError::Join)?;
         let raw_sessions = dataset.raw_sessions;
         let dataset = dataset.filter_proxies();
 
-        let servers = fleet
+        let servers: Vec<ServerReport> = fleet
             .servers()
             .iter()
             .enumerate()
@@ -251,23 +368,93 @@ impl Simulation {
                 }
             })
             .collect();
+        let merge_ms = merge_started.elapsed().as_secs_f64() * 1.0e3;
+
+        let (metrics, trace_lines) = match recorder {
+            Some(rec) => {
+                let want_trace = obs.map(|o| o.trace).unwrap_or(false);
+                let (mut sim, lines) = rec.into_parts();
+                fold_cache_churn(&mut sim, &fleet);
+                let events = sim.events_processed.get();
+                let profile = RunProfile {
+                    engine: if cfg.threads <= 1 {
+                        "sequential".to_owned()
+                    } else {
+                        "sharded".to_owned()
+                    },
+                    threads: cfg.threads.max(1) as u64,
+                    setup_ms,
+                    event_loop_ms,
+                    merge_ms,
+                    events_per_sec: if event_loop_ms > 0.0 {
+                        events as f64 * 1.0e3 / event_loop_ms
+                    } else {
+                        0.0
+                    },
+                    peak_queue_depth: loop_stats.peak_queue as u64,
+                    shards: shard_profiles,
+                };
+                (
+                    Some(RunMetrics { sim, profile }),
+                    if want_trace { Some(lines) } else { None },
+                )
+            }
+            None => (None, None),
+        };
 
         Ok(RunOutput {
             dataset,
             raw_sessions,
             servers,
             catalog,
+            metrics,
+            trace_lines,
         })
     }
 }
 
+/// Deterministic event-loop throughput counters an engine reports back.
+#[derive(Debug, Default, Clone, Copy)]
+struct EngineStats {
+    /// Events the loop(s) popped — equals the number ever scheduled, so
+    /// the total is identical under any sharding.
+    events: u64,
+    /// Peak pending-event count (global queue, or per-shard maximum —
+    /// profile-only, not threads-invariant).
+    peak_queue: usize,
+}
+
+/// One shard's engine result: canonical position, throughput, wall time
+/// and the subscriber that observed it.
+struct ShardRun<S> {
+    pop_index: usize,
+    sessions: u64,
+    wall_ms: f64,
+    stats: EngineStats,
+    sub: S,
+}
+
+/// Fold the fleet's cache-churn counters into the metrics block, in
+/// canonical server order. Churn is a pure function of each server's
+/// request stream, so the totals are threads-invariant.
+fn fold_cache_churn(sim: &mut SimMetrics, fleet: &CdnFleet) {
+    for s in fleet.servers() {
+        let churn = s.cache().churn();
+        sim.cache_promotions.add(churn.promotions);
+        sim.cache_demotions.add(churn.demotions);
+        sim.cache_fills.add(churn.fills);
+        sim.cache_disk_evictions.add(churn.disk_evictions);
+    }
+}
+
 /// The reference engine: one global event queue over every session.
-fn run_sequential(
+fn run_sequential<S: Subscriber>(
     fleet: &mut CdnFleet,
     mut runtimes: Vec<SessionRuntime>,
     catalog: &Catalog,
     population: &Population,
-) -> TelemetrySink {
+    sub: &mut S,
+) -> (TelemetrySink, EngineStats) {
     let policy = fleet.config().prefetch;
     let mut sink = TelemetrySink::new();
     let mut queue: EventQueue<usize> = EventQueue::new();
@@ -284,6 +471,7 @@ fn run_sequential(
             catalog,
             policy,
             fleet.server_mut(server_idx),
+            sub,
         );
         match next {
             Some(next_t) => queue.schedule(next_t.max(now), idx),
@@ -294,7 +482,11 @@ fn run_sequential(
             }
         }
     }
-    sink
+    let stats = EngineStats {
+        events: queue.popped(),
+        peak_queue: queue.peak_len(),
+    };
+    (sink, stats)
 }
 
 /// The sharded engine: sessions partitioned by PoP, one independent event
@@ -309,13 +501,18 @@ fn run_sequential(
 ///    relative order as in the global queue;
 /// 3. [`Dataset::join`] canonicalizes by session id, making the sink
 ///    concatenation order irrelevant.
-fn run_sharded(
+fn run_sharded<S, F>(
     threads: usize,
     fleet: &mut CdnFleet,
     runtimes: Vec<SessionRuntime>,
     catalog: &Catalog,
     population: &Population,
-) -> TelemetrySink {
+    make_sub: F,
+) -> (TelemetrySink, Vec<ShardRun<S>>)
+where
+    S: Subscriber + Send,
+    F: Fn() -> S + Sync,
+{
     let policy = fleet.config().prefetch;
     // Stable partition of sessions by the PoP of their assigned server:
     // ascending session index within each shard preserves the insertion
@@ -339,7 +536,7 @@ fn run_sharded(
     // list beats anything fancier; which worker runs which shard never
     // affects the output.
     let queue = Mutex::new(work);
-    let done: Mutex<Vec<(FleetShard, TelemetrySink)>> = Mutex::new(Vec::new());
+    let done: Mutex<Vec<(FleetShard, TelemetrySink, ShardRun<S>)>> = Mutex::new(Vec::new());
     let workers = threads.min(n_pops).max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -348,38 +545,52 @@ fn run_sharded(
                 let Some((mut shard, sessions)) = job else {
                     break;
                 };
-                let sink = run_shard(&mut shard, sessions, catalog, population, policy);
+                let started = Instant::now();
+                let n_sessions = sessions.len() as u64;
+                let mut sub = make_sub();
+                let (sink, stats) =
+                    run_shard(&mut shard, sessions, catalog, population, policy, &mut sub);
+                let run = ShardRun {
+                    pop_index: shard.pop_index(),
+                    sessions: n_sessions,
+                    wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
+                    stats,
+                    sub,
+                };
                 done.lock()
                     .expect("result store poisoned")
-                    .push((shard, sink));
+                    .push((shard, sink, run));
             });
         }
     });
 
     let mut results = done.into_inner().expect("result store poisoned");
     // Canonical PoP order for the merge. The join canonicalizes by session
-    // id anyway; sorting just keeps the intermediate sink layout
-    // reproducible run-to-run.
-    results.sort_by_key(|(shard, _)| shard.pop_index());
+    // id anyway; sorting just keeps the intermediate sink layout — and the
+    // order shard recorders are folded in — reproducible run-to-run.
+    results.sort_by_key(|(shard, _, _)| shard.pop_index());
     let mut sink = TelemetrySink::new();
     let mut shards = Vec::with_capacity(results.len());
-    for (shard, shard_sink) in results {
+    let mut runs = Vec::with_capacity(results.len());
+    for (shard, shard_sink, run) in results {
         sink.absorb(shard_sink);
         shards.push(shard);
+        runs.push(run);
     }
     fleet.merge_shards(shards);
-    sink
+    (sink, runs)
 }
 
 /// One shard's event loop — structurally identical to [`run_sequential`],
 /// restricted to the shard's sessions and servers.
-fn run_shard(
+fn run_shard<S: Subscriber>(
     shard: &mut FleetShard,
     mut sessions: Vec<SessionRuntime>,
     catalog: &Catalog,
     population: &Population,
     policy: PrefetchPolicy,
-) -> TelemetrySink {
+    sub: &mut S,
+) -> (TelemetrySink, EngineStats) {
     let mut sink = TelemetrySink::new();
     let mut queue: EventQueue<usize> = EventQueue::new();
     for (idx, rt) in sessions.iter().enumerate() {
@@ -395,6 +606,7 @@ fn run_shard(
             catalog,
             policy,
             shard.server_mut(server_idx),
+            sub,
         );
         match next {
             Some(next_t) => queue.schedule(next_t.max(now), idx),
@@ -405,7 +617,11 @@ fn run_shard(
             }
         }
     }
-    sink
+    let stats = EngineStats {
+        events: queue.popped(),
+        peak_queue: queue.peak_len(),
+    };
+    (sink, stats)
 }
 
 #[cfg(test)]
@@ -574,6 +790,62 @@ mod tests {
     fn thread_count_beyond_pop_count_is_harmless() {
         let out = run_tiny_threads(9, 64);
         assert!(out.dataset.sessions.len() > 300);
+    }
+
+    #[test]
+    fn observed_run_yields_consistent_metrics() {
+        let mut cfg = SimulationConfig::tiny(11);
+        cfg.threads = 2;
+        let out = Simulation::new(cfg)
+            .run_observed(ObsOptions { trace: true })
+            .expect("observed run");
+        let m = out.metrics.as_ref().expect("metrics present");
+        // Every session starts, ends, and shows up in the raw dataset.
+        assert_eq!(m.sim.sessions_started.get(), m.sim.sessions_ended.get());
+        assert_eq!(m.sim.sessions_started.get(), out.raw_sessions as u64);
+        // One event pop per chunk step; tiers partition the lookups.
+        assert_eq!(m.sim.chunks_served.get(), m.sim.events_processed.get());
+        assert_eq!(
+            m.sim.chunks_served.get(),
+            m.sim.chunk_ram_hits.get() + m.sim.chunk_disk_hits.get() + m.sim.chunk_misses.get()
+        );
+        assert_eq!(m.sim.chunks_served.get(), m.sim.serve_latency_ns.count());
+        assert!(m.sim.frames_rendered.get() > 0);
+        assert!(m.sim.segments_sent.get() > m.sim.retx_segments.get());
+        // Sharded profile carries per-shard spans; trace is non-empty and
+        // each line is one JSON object.
+        assert_eq!(m.profile.engine, "sharded");
+        assert!(!m.profile.shards.is_empty());
+        let lines = out.trace_lines.as_ref().expect("trace requested");
+        assert!(lines.len() as u64 >= m.sim.chunks_served.get());
+        let first = serde::Value::parse_json(&lines[0]).expect("line parses");
+        assert!(first.get("at_ns").is_some());
+        assert!(m.summary().contains("sharded"));
+    }
+
+    #[test]
+    fn sim_metrics_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let mut cfg = SimulationConfig::tiny(42);
+            cfg.threads = threads;
+            Simulation::new(cfg)
+                .run_observed(ObsOptions { trace: false })
+                .expect("observed run")
+                .metrics
+                .expect("metrics present")
+                .sim
+        };
+        let json = |m: &SimMetrics| serde::Serialize::to_value(m).to_json_string();
+        let seq = json(&run(1));
+        assert_eq!(seq, json(&run(2)));
+        assert_eq!(seq, json(&run(8)));
+    }
+
+    #[test]
+    fn unobserved_run_carries_no_metrics() {
+        let out = run_tiny(12);
+        assert!(out.metrics.is_none());
+        assert!(out.trace_lines.is_none());
     }
 
     #[test]

@@ -6,6 +6,10 @@ use streamlab_cdn::{CdnFleet, CdnServer, ObjectKey, PrefetchPolicy};
 use streamlab_client::abr::{Abr, AbrContext};
 use streamlab_client::{DownloadStack, PlaybackBuffer, RenderPath};
 use streamlab_net::TcpConnection;
+use streamlab_obs::{
+    ChunkRendered, ChunkServed, CwndReset, Meta, ResetReason, SessionEnd, SessionStart, Stall,
+    Subscriber,
+};
 use streamlab_sim::{RngStream, SimTime};
 use streamlab_telemetry::records::{
     CacheOutcome, CdnChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta,
@@ -118,18 +122,24 @@ impl SessionRuntime {
 /// a step touches exactly one server's state, so per-PoP shards can run
 /// concurrently. The policy is `Copy` and pure, so workers need no fleet
 /// reference at all.
-pub(super) fn step_chunk(
+///
+/// Observability events flow into `sub`; with
+/// [`streamlab_obs::NoopSubscriber`] the probes monomorphize away and this
+/// is the uninstrumented step.
+pub(super) fn step_chunk<S: Subscriber>(
     rt: &mut SessionRuntime,
     now: SimTime,
     catalog: &Catalog,
     prefetch_policy: PrefetchPolicy,
     server: &mut CdnServer,
+    sub: &mut S,
 ) -> Option<SimTime> {
     debug_assert_eq!(
         server.id().raw() as usize,
         rt.server_idx,
         "session stepped against a server it was not assigned to"
     );
+    let session_id = rt.spec.id.raw();
     let video = catalog.video(rt.spec.video);
 
     // 0. The session opens by fetching the manifest (§2) — a small, hot
@@ -140,14 +150,22 @@ pub(super) fn step_chunk(
         now
     } else {
         rt.manifest_done = true;
+        sub.on_session_start(
+            &Meta::session(now, session_id),
+            &SessionStart {
+                server: rt.server_idx as u64,
+            },
+        );
         let rtt0 = rt.conn.rtt0_sample(now);
         let at_server = now + rtt0 / 2;
-        let outcome = server.serve(
+        let outcome = server.serve_with(
             ObjectKey::manifest(rt.spec.video),
             streamlab_cdn::MANIFEST_BYTES,
             rt.spec.video.rank(),
             at_server,
             &[],
+            Some(session_id),
+            sub,
         );
         // A few KB fit the initial window: delivered one round-trip after
         // the server's first byte.
@@ -178,11 +196,13 @@ pub(super) fn step_chunk(
     // 3. The CDN serves (cache lookup, retry timer, backend, prefetch).
     let prefetch = prefetch_policy.list(catalog, key);
     let rank = rt.spec.video.rank();
-    let outcome = server.serve(key, size, rank, at_server, &prefetch);
+    let outcome = server.serve_with(key, size, rank, at_server, &prefetch, Some(session_id), sub);
 
     // 4. TCP delivers the bytes (self-loading, losses, snapshots).
     let send_start = at_server + outcome.total();
-    let transfer = rt.conn.transfer(send_start, size);
+    let transfer = rt
+        .conn
+        .transfer_with(send_start, size, Some(session_id), sub);
 
     // 5. The download stack hands bytes to the player.
     let delivery = rt
@@ -215,6 +235,34 @@ pub(super) fn step_chunk(
         download_rate,
         rt.spec.visible,
         level_before_add,
+    );
+
+    let meta_done = Meta::session(delivery.player_last_byte, session_id);
+    sub.on_chunk_served(
+        &Meta::session(now, session_id),
+        &ChunkServed {
+            bytes: size,
+            segments: transfer.segments,
+            serve: outcome.total(),
+            first_byte: d_fb,
+            download: d_lb,
+        },
+    );
+    if buf_count > 0 || !buf_dur.is_zero() {
+        sub.on_stall(
+            &meta_done,
+            &Stall {
+                count: buf_count,
+                duration: buf_dur,
+            },
+        );
+    }
+    sub.on_chunk_rendered(
+        &meta_done,
+        &ChunkRendered {
+            frames: rendered.frames,
+            dropped: rendered.dropped,
+        },
     );
 
     // 8. Records.
@@ -270,10 +318,23 @@ pub(super) fn step_chunk(
     // policy enabled, out of patience.
     rt.next_chunk += 1;
     if rt.next_chunk >= rt.spec.chunks_watched || rt.buffer.should_abandon() {
+        sub.on_session_end(
+            &meta_done,
+            &SessionEnd {
+                chunks: rt.next_chunk,
+            },
+        );
         return None;
     }
     let next_t = delivery.player_last_byte + rt.buffer.request_backoff();
-    rt.conn.idle_until(next_t);
+    if rt.conn.idle_until(next_t) {
+        sub.on_cwnd_reset(
+            &Meta::session(next_t, session_id),
+            &CwndReset {
+                reason: ResetReason::Idle,
+            },
+        );
+    }
     Some(next_t)
 }
 

@@ -4,6 +4,9 @@
 
 use super::{ChunkTransfer, CongestionControl, TcpConfig, TcpInfo};
 use crate::path::PathProfile;
+use streamlab_obs::{
+    CwndReset, Meta, NoopSubscriber, ResetReason, Retransmit, RtoTimeout, Subscriber,
+};
 use streamlab_sim::{RngStream, SimDuration, SimTime};
 
 /// A persistent TCP connection between a CDN server and one client.
@@ -216,20 +219,41 @@ impl TcpConnection {
 
     /// Mark the connection idle until `t` (between chunks). With
     /// `idle_reset` the window collapses back to IW after an RTO of idle.
-    pub fn idle_until(&mut self, t: SimTime) {
+    /// Returns `true` when the window actually collapsed, so callers can
+    /// emit a [`CwndReset`] observability event.
+    pub fn idle_until(&mut self, t: SimTime) -> bool {
+        let mut reset = false;
         if self.cfg.idle_reset && t.duration_since(self.last_activity) > self.rto() {
             self.ssthresh = self.cwnd.max(f64::from(self.cfg.initial_window));
             self.cwnd = f64::from(self.cfg.initial_window);
+            reset = true;
         }
         if t > self.last_activity {
             self.last_activity = t;
         }
+        reset
     }
 
     /// Serve `bytes` starting at `send_start` (the moment the server first
     /// writes to the socket). Returns the transfer record, including
     /// kernel snapshots on the 500 ms grid plus one at completion.
     pub fn transfer(&mut self, send_start: SimTime, bytes: u64) -> ChunkTransfer {
+        self.transfer_with(send_start, bytes, None, &mut NoopSubscriber)
+    }
+
+    /// [`transfer`](Self::transfer), emitting loss-path observability
+    /// events ([`Retransmit`], [`RtoTimeout`], [`CwndReset`]) to `sub`.
+    ///
+    /// `session` attributes the events to a session id. With
+    /// [`NoopSubscriber`] the probes monomorphize to nothing, so the plain
+    /// `transfer` path pays no cost (the `parallel` bench guards this).
+    pub fn transfer_with<S: Subscriber>(
+        &mut self,
+        send_start: SimTime,
+        bytes: u64,
+        session: Option<u64>,
+        sub: &mut S,
+    ) -> ChunkTransfer {
         let mss = f64::from(self.cfg.mss);
         // Pacing uses the buffer fully; un-paced ack bursts waste headroom.
         let eff_buffer = if self.cfg.pacing {
@@ -344,9 +368,21 @@ impl TcpConnection {
             if lost > 0 {
                 retx = retx.saturating_add(lost);
                 self.retx_total += u64::from(lost);
+                let meta = match session {
+                    Some(id) => Meta::session(t, id),
+                    None => Meta::fleet(t),
+                };
+                sub.on_retransmit(&meta, &Retransmit { segments: lost });
                 let survivors = sent_segs - lost;
                 if survivors < 3 {
                     // Not enough dup-acks for fast retransmit: RTO fires.
+                    sub.on_rto_timeout(&meta, &RtoTimeout {});
+                    sub.on_cwnd_reset(
+                        &meta,
+                        &CwndReset {
+                            reason: ResetReason::Loss,
+                        },
+                    );
                     timeouts += 1;
                     t += self.rto();
                     self.cubic_w_max = self.cwnd;

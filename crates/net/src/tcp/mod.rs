@@ -191,9 +191,44 @@ mod tests {
             9,
         );
         let t1 = c.transfer(SimTime::ZERO, CHUNK);
-        c.idle_until(t1.last_byte_at + SimDuration::from_secs(10));
+        assert!(
+            c.idle_until(t1.last_byte_at + SimDuration::from_secs(10)),
+            "idle_until must report the collapse"
+        );
         let info = c.info(SimTime::from_secs(20));
         assert_eq!(info.cwnd, 10);
+    }
+
+    #[test]
+    fn transfer_with_emits_loss_events_matching_counters() {
+        use streamlab_obs::MetricsRecorder;
+        let mut path = quiet_path(50.0, 40.0, 4.0);
+        path.random_loss = 0.3;
+        let mut c = conn(path, TcpConfig::default(), 7);
+        let mut rec = MetricsRecorder::new(false);
+        let t = c.transfer_with(SimTime::ZERO, CHUNK / 4, Some(42), &mut rec);
+        let m = rec.metrics();
+        assert_eq!(m.retx_segments.get(), u64::from(t.retx));
+        assert_eq!(m.rto_timeouts.get(), u64::from(t.timeouts));
+        assert_eq!(m.cwnd_resets_loss.get(), u64::from(t.timeouts));
+        assert!(m.retx_segments.get() > 0);
+    }
+
+    #[test]
+    fn transfer_with_noop_matches_plain_transfer() {
+        use streamlab_obs::NoopSubscriber;
+        let mk = || {
+            let mut path = quiet_path(20.0, 50.0, 2.0);
+            path.random_loss = 0.005;
+            path.jitter_sigma = 0.1;
+            conn(path, TcpConfig::default(), 99)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let ta = a.transfer(SimTime::ZERO, CHUNK);
+        let tb = b.transfer_with(SimTime::ZERO, CHUNK, Some(1), &mut NoopSubscriber);
+        assert_eq!(ta.last_byte_at, tb.last_byte_at);
+        assert_eq!(ta.retx, tb.retx);
+        assert_eq!(ta.segments, tb.segments);
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! # streamlab-obs
+//!
+//! The simulator's self-telemetry substrate: typed simulation events with
+//! an s2n-quic-style [`Subscriber`] trait, deterministic metric primitives
+//! (counters, gauges, a log-linear latency histogram), and wall-clock run
+//! profiling.
+//!
+//! The paper's whole method is instrumentation — per-chunk records from
+//! both vantage points joined into one dataset (§2.2) — and this crate
+//! gives the simulator that *generates* the dataset the same treatment:
+//!
+//! * [`event`] — one struct per simulation event (cache lookups, retry
+//!   timer fires, TCP retransmits, stalls, …) plus the [`Subscriber`]
+//!   trait. Every `on_*` method has an inlined no-op default, so the
+//!   instrumented hot paths compile down to nothing when driven with
+//!   [`NoopSubscriber`] — probes are free unless someone listens.
+//! * [`metrics`] — [`SimMetrics`], the *deterministic* half of a run's
+//!   telemetry: integer counters and fixed-bucket histograms keyed to
+//!   sim-time quantities only. Collected per shard and merged in canonical
+//!   shard order, its serialized form is byte-identical at any thread
+//!   count.
+//! * [`profile`] — [`RunProfile`], the *non-deterministic* half:
+//!   wall-clock spans (setup / event loop / merge), per-shard wall times,
+//!   and event-loop throughput. Wall-clock readings never appear anywhere
+//!   else.
+//! * [`recorder`] — [`MetricsRecorder`], the built-in subscriber that
+//!   folds events into [`SimMetrics`] and optionally buffers a JSONL
+//!   structured trace.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+
+pub use event::{
+    CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, Meta, NoopSubscriber,
+    ResetReason, Retransmit, RetryTimerFired, RtoTimeout, SessionEnd, SessionStart, ShardMerge,
+    Stall, Subscriber,
+};
+pub use metrics::{Counter, Gauge, LogLinearHistogram, SimMetrics};
+pub use profile::{RunMetrics, RunProfile, ShardProfile};
+pub use recorder::MetricsRecorder;

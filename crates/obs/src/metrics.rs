@@ -1,0 +1,483 @@
+//! Deterministic metric primitives and the merged run metrics block.
+//!
+//! Everything in this module is a pure function of simulation events —
+//! integers keyed to sim-time quantities. Shards accumulate their own
+//! [`SimMetrics`] and the orchestrator merges them in canonical shard
+//! order, so the serialized block is **byte-identical at any thread
+//! count** (see DESIGN.md §10 for the argument). Wall-clock readings are
+//! banned here; they live in [`crate::profile`].
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A monotonically increasing event count. Serializes as a bare number.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Fold another shard's count in (addition — associative and
+    /// commutative, so merge order cannot matter).
+    pub fn merge(&mut self, other: Counter) {
+        self.0 += other.0;
+    }
+}
+
+/// A last/extreme-value metric. Serializes as a bare number.
+///
+/// The only merge offered is `merge_max`, because "peak across shards" is
+/// the one gauge combination that stays order-independent; a last-writer
+/// merge would depend on shard order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gauge(pub u64);
+
+impl Gauge {
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&mut self, v: u64) {
+        self.0 = v;
+    }
+
+    /// Raise the gauge to `v` if larger (peak tracking).
+    #[inline]
+    pub fn set_max(&mut self, v: u64) {
+        if v > self.0 {
+            self.0 = v;
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Fold another shard's gauge in, keeping the maximum.
+    pub fn merge_max(&mut self, other: Gauge) {
+        self.set_max(other.0);
+    }
+}
+
+/// Sub-buckets per power of two: 8 linear buckets each, giving ≤ 12.5 %
+/// relative bucket width everywhere.
+const SUB: u64 = 8;
+/// Bucket count covering the full `u64` range at 8 sub-buckets per power
+/// of two: values below 8 get exact buckets, then `(63 - 2)` octaves × 8.
+const BUCKETS: usize = 496;
+
+/// A fixed-bucket log-linear histogram (HdrHistogram-style).
+///
+/// Values are bucketed exactly below `SUB` (8) and into 8 linear sub-buckets
+/// per power of two above it. The bucket layout is *fixed* — independent
+/// of the values recorded — so merging is element-wise bucket addition:
+/// associative, commutative, and therefore independent of shard merge
+/// order (property-tested in `tests/histogram_props.rs`).
+///
+/// Serializes sparsely as an ascending array of `[bucket_index, count]`
+/// pairs, which keeps the JSON stable and small.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogLinearHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogLinearHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+        }
+    }
+
+    /// Bucket index for `v`.
+    fn index(v: u64) -> usize {
+        if v < SUB {
+            return v as usize;
+        }
+        // 2^exp <= v < 2^(exp+1), exp >= 3.
+        let exp = 63 - v.leading_zeros() as u64;
+        let sub = (v >> (exp - 3)) & (SUB - 1);
+        ((exp - 2) * SUB + sub) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i` (its representative value).
+    fn lower_bound(i: usize) -> u64 {
+        let i = i as u64;
+        if i < SUB {
+            return i;
+        }
+        let group = i / SUB; // >= 1
+        let sub = i % SUB;
+        let exp = group + 2;
+        (SUB + sub) << (exp - 3)
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index(v)] += 1;
+        self.count += 1;
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another histogram in (element-wise bucket addition).
+    pub fn merge(&mut self, other: &LogLinearHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the lower bound of the
+    /// bucket holding the `q`-th recorded value, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::lower_bound(i));
+            }
+        }
+        Some(Self::lower_bound(BUCKETS - 1))
+    }
+
+    /// Mean of the bucket lower bounds weighted by count (an
+    /// underestimate of the true mean by at most the bucket width).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * Self::lower_bound(i) as f64)
+            .sum();
+        sum / self.count as f64
+    }
+}
+
+impl Serialize for LogLinearHistogram {
+    fn to_value(&self) -> Value {
+        let pairs: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Array(vec![(i as u64).to_value(), c.to_value()]))
+            .collect();
+        Value::Array(pairs)
+    }
+}
+
+impl Deserialize for LogLinearHistogram {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let pairs = v
+            .as_array()
+            .ok_or_else(|| Error::msg("histogram: expected array of [index, count] pairs"))?;
+        let mut h = LogLinearHistogram::new();
+        for p in pairs {
+            let pair = p
+                .as_array()
+                .ok_or_else(|| Error::msg("histogram: expected [index, count] pair"))?;
+            if pair.len() != 2 {
+                return Err(Error::msg("histogram: pair must have exactly two elements"));
+            }
+            let i = u64::from_value(&pair[0])? as usize;
+            let c = u64::from_value(&pair[1])?;
+            if i >= BUCKETS {
+                return Err(Error::msg(format!(
+                    "histogram: bucket index {i} out of range"
+                )));
+            }
+            h.buckets[i] += c;
+            h.count += c;
+        }
+        Ok(h)
+    }
+}
+
+/// The deterministic metrics block of one run (or one shard, before
+/// merging). All fields are sim-time-keyed integers; serialized output is
+/// byte-identical at any `--threads` value.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Sessions whose first chunk request was processed.
+    pub sessions_started: Counter,
+    /// Sessions that finished (exhausted chunks or abandoned).
+    pub sessions_ended: Counter,
+    /// Media chunks served end to end.
+    pub chunks_served: Counter,
+    /// Manifest requests served.
+    pub manifest_requests: Counter,
+    /// Bytes served by the fleet (chunks + manifests).
+    pub bytes_served: Counter,
+    /// Engine events processed (queue pops, summed over shards).
+    pub events_processed: Counter,
+    /// Chunk lookups satisfied by the RAM tier.
+    pub chunk_ram_hits: Counter,
+    /// Chunk lookups satisfied by the disk tier.
+    pub chunk_disk_hits: Counter,
+    /// Chunk lookups that missed to the backend.
+    pub chunk_misses: Counter,
+    /// Manifest lookups satisfied by the RAM tier.
+    pub manifest_ram_hits: Counter,
+    /// Manifest lookups satisfied by the disk tier.
+    pub manifest_disk_hits: Counter,
+    /// Manifest lookups that missed to the backend.
+    pub manifest_misses: Counter,
+    /// ATS open-read retry timer fires (all serves).
+    pub retry_timer_fires: Counter,
+    /// Disk-tier objects promoted to RAM on a disk hit.
+    pub cache_promotions: Counter,
+    /// RAM-tier victims demoted to disk.
+    pub cache_demotions: Counter,
+    /// Backend fills admitted into the cache (serve path only).
+    pub cache_fills: Counter,
+    /// Objects evicted from the disk tier outright.
+    pub cache_disk_evictions: Counter,
+    /// TCP segments sent.
+    pub segments_sent: Counter,
+    /// TCP segments retransmitted.
+    pub retx_segments: Counter,
+    /// Retransmission timeouts.
+    pub rto_timeouts: Counter,
+    /// Congestion-window collapses caused by an RTO.
+    pub cwnd_resets_loss: Counter,
+    /// Congestion-window collapses caused by idle restart.
+    pub cwnd_resets_idle: Counter,
+    /// Rebuffering events.
+    pub stall_events: Counter,
+    /// Total stall duration, sim-time nanoseconds.
+    pub stall_sim_ns: Counter,
+    /// Frames carried by all rendered chunks.
+    pub frames_rendered: Counter,
+    /// Frames dropped.
+    pub frames_dropped: Counter,
+    /// Total server-side serve latency per chunk, nanoseconds.
+    pub serve_latency_ns: LogLinearHistogram,
+    /// Request → player first byte (`D_FB`) per chunk, nanoseconds.
+    pub first_byte_ns: LogLinearHistogram,
+    /// Player first → last byte (`D_LB`) per chunk, nanoseconds.
+    pub download_ns: LogLinearHistogram,
+}
+
+impl SimMetrics {
+    /// Fold another shard's metrics in. Every field merges with an
+    /// associative, commutative operation (addition), so the result is
+    /// independent of shard count and merge order — the determinism
+    /// contract the byte-identity tests pin down.
+    pub fn merge(&mut self, other: &SimMetrics) {
+        self.sessions_started.merge(other.sessions_started);
+        self.sessions_ended.merge(other.sessions_ended);
+        self.chunks_served.merge(other.chunks_served);
+        self.manifest_requests.merge(other.manifest_requests);
+        self.bytes_served.merge(other.bytes_served);
+        self.events_processed.merge(other.events_processed);
+        self.chunk_ram_hits.merge(other.chunk_ram_hits);
+        self.chunk_disk_hits.merge(other.chunk_disk_hits);
+        self.chunk_misses.merge(other.chunk_misses);
+        self.manifest_ram_hits.merge(other.manifest_ram_hits);
+        self.manifest_disk_hits.merge(other.manifest_disk_hits);
+        self.manifest_misses.merge(other.manifest_misses);
+        self.retry_timer_fires.merge(other.retry_timer_fires);
+        self.cache_promotions.merge(other.cache_promotions);
+        self.cache_demotions.merge(other.cache_demotions);
+        self.cache_fills.merge(other.cache_fills);
+        self.cache_disk_evictions.merge(other.cache_disk_evictions);
+        self.segments_sent.merge(other.segments_sent);
+        self.retx_segments.merge(other.retx_segments);
+        self.rto_timeouts.merge(other.rto_timeouts);
+        self.cwnd_resets_loss.merge(other.cwnd_resets_loss);
+        self.cwnd_resets_idle.merge(other.cwnd_resets_idle);
+        self.stall_events.merge(other.stall_events);
+        self.stall_sim_ns.merge(other.stall_sim_ns);
+        self.frames_rendered.merge(other.frames_rendered);
+        self.frames_dropped.merge(other.frames_dropped);
+        self.serve_latency_ns.merge(&other.serve_latency_ns);
+        self.first_byte_ns.merge(&other.first_byte_ns);
+        self.download_ns.merge(&other.download_ns);
+    }
+
+    /// Chunk serves (hits + misses).
+    pub fn chunk_lookups(&self) -> u64 {
+        self.chunk_ram_hits.get() + self.chunk_disk_hits.get() + self.chunk_misses.get()
+    }
+
+    /// Fraction of chunk lookups served without the backend.
+    pub fn chunk_hit_ratio(&self) -> f64 {
+        let total = self.chunk_lookups();
+        if total == 0 {
+            0.0
+        } else {
+            (self.chunk_ram_hits.get() + self.chunk_disk_hits.get()) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of sent segments that were retransmitted.
+    pub fn retx_ratio(&self) -> f64 {
+        let sent = self.segments_sent.get();
+        if sent == 0 {
+            0.0
+        } else {
+            self.retx_segments.get() as f64 / sent as f64
+        }
+    }
+
+    /// Fraction of serves (chunks + manifests) on which the retry timer
+    /// fired.
+    pub fn retry_ratio(&self) -> f64 {
+        let serves = self.chunk_lookups()
+            + self.manifest_ram_hits.get()
+            + self.manifest_disk_hits.get()
+            + self.manifest_misses.get();
+        if serves == 0 {
+            0.0
+        } else {
+            self.retry_timer_fires.get() as f64 / serves as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(4);
+        let mut other = Counter(7);
+        other.merge(c);
+        assert_eq!(other.get(), 12);
+
+        let mut g = Gauge::default();
+        g.set(10);
+        g.set_max(3);
+        assert_eq!(g.get(), 10);
+        g.set_max(15);
+        let mut peak = Gauge(12);
+        peak.merge_max(g);
+        assert_eq!(peak.get(), 15);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_exhaustive() {
+        let mut prev = 0;
+        for v in [0u64, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, u64::MAX] {
+            let i = LogLinearHistogram::index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(
+                LogLinearHistogram::lower_bound(i) <= v,
+                "lower bound above value at {v}"
+            );
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogLinearHistogram::new();
+        for v in 0..SUB {
+            h.record(v);
+            assert_eq!(
+                LogLinearHistogram::lower_bound(LogLinearHistogram::index(v)),
+                v
+            );
+        }
+        assert_eq!(h.count(), SUB);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        // Each sub-bucket spans 1/8 of its octave: lower bound within
+        // 12.5 % of any value it holds.
+        for v in [10u64, 100, 12_345, 1_000_000, 123_456_789, 1 << 40] {
+            let lb = LogLinearHistogram::lower_bound(LogLinearHistogram::index(v));
+            assert!(lb <= v);
+            assert!(
+                (v - lb) as f64 <= 0.125 * v as f64 + 1.0,
+                "bucket too wide at {v}: lower bound {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_order_correctly() {
+        let mut h = LogLinearHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let p10 = h.quantile(0.10).unwrap();
+        let p50 = h.quantile(0.50).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p10 <= p50 && p50 <= p99);
+        assert!((400_000..=500_000).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(1.0).unwrap() >= 900_000);
+        assert!(LogLinearHistogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_serde_roundtrip() {
+        let mut h = LogLinearHistogram::new();
+        for v in [0u64, 5, 12, 12, 900, 1 << 30] {
+            h.record(v);
+        }
+        let v = h.to_value();
+        let text = v.to_json_string();
+        assert!(text.starts_with('['), "{text}");
+        let back = LogLinearHistogram::from_value(&v).expect("roundtrip");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn sim_metrics_merge_adds_everything() {
+        let mut a = SimMetrics::default();
+        a.chunks_served.add(3);
+        a.chunk_ram_hits.add(2);
+        a.chunk_misses.add(1);
+        a.serve_latency_ns.record(5_000_000);
+        let mut b = SimMetrics::default();
+        b.chunks_served.add(2);
+        b.chunk_disk_hits.add(2);
+        b.serve_latency_ns.record(80_000_000);
+        a.merge(&b);
+        assert_eq!(a.chunks_served.get(), 5);
+        assert_eq!(a.chunk_lookups(), 5);
+        assert!((a.chunk_hit_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(a.serve_latency_ns.count(), 2);
+    }
+}

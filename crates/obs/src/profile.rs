@@ -1,0 +1,180 @@
+//! Wall-clock run profiling — the explicitly **non-deterministic** half
+//! of a run's telemetry.
+//!
+//! Everything here is measured with the host's monotonic clock and varies
+//! run to run and with `--threads`; it is kept in a separate struct so
+//! the deterministic [`SimMetrics`] block can be
+//! serialized alone (that is what `--metrics-out` writes, and what the
+//! byte-identity tests compare).
+
+use crate::metrics::SimMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Wall-time and throughput profile of one shard's event loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardProfile {
+    /// PoP index the shard covered (shards are one-per-PoP).
+    pub pop_index: u64,
+    /// Sessions the shard ran.
+    pub sessions: u64,
+    /// Events its event loop processed.
+    pub events: u64,
+    /// Peak pending-event count in the shard's queue.
+    pub peak_queue_depth: u64,
+    /// Wall time the shard's event loop took, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Wall-clock profile of one run: where the time went.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Engine used: `"sequential"` or `"sharded"`.
+    pub engine: String,
+    /// Worker threads requested.
+    pub threads: u64,
+    /// World generation + session-runtime setup, milliseconds.
+    pub setup_ms: f64,
+    /// Event loop(s), wall milliseconds (for the sharded engine this is
+    /// the span from first shard start to last shard finish).
+    pub event_loop_ms: f64,
+    /// Telemetry join + preprocessing + report assembly, milliseconds.
+    pub merge_ms: f64,
+    /// Events processed per wall second across the whole event loop.
+    pub events_per_sec: f64,
+    /// Peak pending-event count (global queue for the sequential engine;
+    /// maximum over shards for the sharded engine).
+    pub peak_queue_depth: u64,
+    /// Per-shard breakdown (empty for the sequential engine).
+    pub shards: Vec<ShardProfile>,
+}
+
+/// Everything a run's self-telemetry produces: the deterministic metrics
+/// block plus the wall-clock profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Deterministic, sim-time-keyed metrics (byte-identical at any
+    /// thread count; what `--metrics-out` writes).
+    pub sim: SimMetrics,
+    /// Wall-clock profile (non-deterministic by nature).
+    pub profile: RunProfile,
+}
+
+impl RunMetrics {
+    /// The compact end-of-run summary every `streamlab run` prints.
+    pub fn summary(&self) -> String {
+        let s = &self.sim;
+        let p = &self.profile;
+        let ns_ms = |q: Option<u64>| q.map(|v| v as f64 / 1.0e6).unwrap_or(0.0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "engine {} ({} threads): {} events in {:.0} ms ({:.0}k events/s), peak queue {}\n",
+            p.engine,
+            p.threads,
+            s.events_processed.get(),
+            p.event_loop_ms,
+            p.events_per_sec / 1.0e3,
+            p.peak_queue_depth,
+        ));
+        out.push_str(&format!(
+            "chunks {} (hit ratio {:.3}: ram {} disk {} miss {}), manifests {}, retry fires {} ({:.1}% of serves)\n",
+            s.chunks_served.get(),
+            s.chunk_hit_ratio(),
+            s.chunk_ram_hits.get(),
+            s.chunk_disk_hits.get(),
+            s.chunk_misses.get(),
+            s.manifest_requests.get(),
+            s.retry_timer_fires.get(),
+            100.0 * s.retry_ratio(),
+        ));
+        out.push_str(&format!(
+            "tcp: {} segs, retx {} ({:.2}%), rto {}, cwnd resets {} loss / {} idle; stalls {} ({:.1} s); frames dropped {}/{}\n",
+            s.segments_sent.get(),
+            s.retx_segments.get(),
+            100.0 * s.retx_ratio(),
+            s.rto_timeouts.get(),
+            s.cwnd_resets_loss.get(),
+            s.cwnd_resets_idle.get(),
+            s.stall_events.get(),
+            s.stall_sim_ns.get() as f64 / 1.0e9,
+            s.frames_dropped.get(),
+            s.frames_rendered.get(),
+        ));
+        out.push_str(&format!(
+            "serve latency p50/p99 {:.1}/{:.1} ms, first byte p50 {:.1} ms; wall: setup {:.0} ms, loop {:.0} ms, merge {:.0} ms\n",
+            ns_ms(s.serve_latency_ns.quantile(0.5)),
+            ns_ms(s.serve_latency_ns.quantile(0.99)),
+            ns_ms(s.first_byte_ns.quantile(0.5)),
+            p.setup_ms,
+            p.event_loop_ms,
+            p.merge_ms,
+        ));
+        if !p.shards.is_empty() {
+            out.push_str("shards:");
+            for sh in &p.shards {
+                out.push_str(&format!(
+                    " pop{} {:.0}ms/{}ev",
+                    sh.pop_index, sh.wall_ms, sh.events
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_the_headline_numbers() {
+        let mut sim = SimMetrics::default();
+        sim.chunks_served.add(1234);
+        sim.chunk_ram_hits.add(1000);
+        sim.chunk_misses.add(234);
+        sim.events_processed.add(5000);
+        let m = RunMetrics {
+            sim,
+            profile: RunProfile {
+                engine: "sharded".into(),
+                threads: 4,
+                setup_ms: 12.0,
+                event_loop_ms: 340.0,
+                merge_ms: 8.0,
+                events_per_sec: 14_705.0,
+                peak_queue_depth: 77,
+                shards: vec![ShardProfile {
+                    pop_index: 0,
+                    sessions: 60,
+                    events: 5000,
+                    peak_queue_depth: 77,
+                    wall_ms: 340.0,
+                }],
+            },
+        };
+        let text = m.summary();
+        assert!(text.contains("1234"));
+        assert!(text.contains("sharded"));
+        assert!(text.contains("pop0"));
+    }
+
+    #[test]
+    fn run_metrics_serialize() {
+        let m = RunMetrics {
+            sim: SimMetrics::default(),
+            profile: RunProfile {
+                engine: "sequential".into(),
+                threads: 1,
+                setup_ms: 1.0,
+                event_loop_ms: 2.0,
+                merge_ms: 3.0,
+                events_per_sec: 0.0,
+                peak_queue_depth: 0,
+                shards: Vec::new(),
+            },
+        };
+        let v = serde::Serialize::to_value(&m);
+        assert!(v.get("sim").is_some());
+        assert!(v.get("profile").is_some());
+    }
+}

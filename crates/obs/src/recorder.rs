@@ -1,0 +1,267 @@
+//! The built-in subscriber: folds events into [`SimMetrics`] and
+//! optionally buffers a structured JSONL trace.
+
+use crate::event::{
+    CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, Meta, ResetReason, Retransmit,
+    RetryTimerFired, RtoTimeout, SessionEnd, SessionStart, ShardMerge, Stall, Subscriber,
+};
+use crate::metrics::SimMetrics;
+use serde::{Map, Serialize, Value};
+
+/// A per-shard metrics collector.
+///
+/// Each shard (or the single sequential event loop) owns one recorder;
+/// after the run the orchestrator merges them **in canonical shard
+/// order**. Counter and histogram merges are commutative, so
+/// [`SimMetrics`] is byte-identical at any thread count; trace lines are
+/// concatenated in the same canonical order, but *within-run interleaving
+/// across shards* necessarily differs from the sequential engine's global
+/// time order, so the trace promises "non-empty and parseable", not
+/// byte-identity (see DESIGN.md §10).
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    metrics: SimMetrics,
+    trace: Option<Vec<String>>,
+}
+
+impl MetricsRecorder {
+    /// A recorder; with `trace` set, every event is also buffered as one
+    /// JSONL line.
+    pub fn new(trace: bool) -> Self {
+        MetricsRecorder {
+            metrics: SimMetrics::default(),
+            trace: if trace { Some(Vec::new()) } else { None },
+        }
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &SimMetrics {
+        &self.metrics
+    }
+
+    /// Buffered trace lines (empty when tracing is off).
+    pub fn trace_lines(&self) -> &[String] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Fold another recorder in: metrics merge additively, trace lines
+    /// append. Call in canonical shard order.
+    pub fn absorb(&mut self, other: MetricsRecorder) {
+        self.metrics.merge(&other.metrics);
+        match (&mut self.trace, other.trace) {
+            (Some(mine), Some(theirs)) => mine.extend(theirs),
+            (None, Some(theirs)) => self.trace = Some(theirs),
+            _ => {}
+        }
+    }
+
+    /// Decompose into metrics and trace lines.
+    pub fn into_parts(self) -> (SimMetrics, Vec<String>) {
+        (self.metrics, self.trace.unwrap_or_default())
+    }
+
+    /// Record engine-level throughput that arrives as plain numbers
+    /// rather than events (queue pops).
+    pub fn add_events_processed(&mut self, n: u64) {
+        self.metrics.events_processed.add(n);
+    }
+
+    fn emit<E: Serialize>(&mut self, meta: &Meta, name: &str, event: &E) {
+        if let Some(buf) = &mut self.trace {
+            let mut line = Map::new();
+            line.insert("at_ns".into(), meta.at.as_nanos().to_value());
+            line.insert(
+                "session".into(),
+                match meta.session {
+                    Some(s) => s.to_value(),
+                    None => Value::Null,
+                },
+            );
+            let mut body = Map::new();
+            body.insert(name.into(), event.to_value());
+            line.insert("event".into(), Value::Object(body));
+            buf.push(Value::Object(line).to_json_string());
+        }
+    }
+}
+
+impl Subscriber for MetricsRecorder {
+    fn on_session_start(&mut self, meta: &Meta, event: &SessionStart) {
+        self.metrics.sessions_started.inc();
+        self.emit(meta, "SessionStart", event);
+    }
+
+    fn on_session_end(&mut self, meta: &Meta, event: &SessionEnd) {
+        self.metrics.sessions_ended.inc();
+        self.emit(meta, "SessionEnd", event);
+    }
+
+    fn on_cache_lookup(&mut self, meta: &Meta, event: &CacheLookup) {
+        if event.manifest {
+            self.metrics.manifest_requests.inc();
+            match event.tier {
+                CacheTier::Ram => self.metrics.manifest_ram_hits.inc(),
+                CacheTier::Disk => self.metrics.manifest_disk_hits.inc(),
+                CacheTier::Miss => self.metrics.manifest_misses.inc(),
+            }
+        } else {
+            match event.tier {
+                CacheTier::Ram => self.metrics.chunk_ram_hits.inc(),
+                CacheTier::Disk => self.metrics.chunk_disk_hits.inc(),
+                CacheTier::Miss => self.metrics.chunk_misses.inc(),
+            }
+        }
+        self.metrics.bytes_served.add(event.bytes);
+        self.emit(meta, "CacheLookup", event);
+    }
+
+    fn on_retry_timer_fired(&mut self, meta: &Meta, event: &RetryTimerFired) {
+        self.metrics.retry_timer_fires.inc();
+        self.emit(meta, "RetryTimerFired", event);
+    }
+
+    fn on_retransmit(&mut self, meta: &Meta, event: &Retransmit) {
+        self.metrics.retx_segments.add(u64::from(event.segments));
+        self.emit(meta, "Retransmit", event);
+    }
+
+    fn on_rto_timeout(&mut self, meta: &Meta, event: &RtoTimeout) {
+        self.metrics.rto_timeouts.inc();
+        self.emit(meta, "RtoTimeout", event);
+    }
+
+    fn on_cwnd_reset(&mut self, meta: &Meta, event: &CwndReset) {
+        match event.reason {
+            ResetReason::Loss => self.metrics.cwnd_resets_loss.inc(),
+            ResetReason::Idle => self.metrics.cwnd_resets_idle.inc(),
+        }
+        self.emit(meta, "CwndReset", event);
+    }
+
+    fn on_stall(&mut self, meta: &Meta, event: &Stall) {
+        self.metrics.stall_events.add(u64::from(event.count));
+        self.metrics.stall_sim_ns.add(event.duration.as_nanos());
+        self.emit(meta, "Stall", event);
+    }
+
+    fn on_chunk_rendered(&mut self, meta: &Meta, event: &ChunkRendered) {
+        self.metrics.frames_rendered.add(u64::from(event.frames));
+        self.metrics.frames_dropped.add(u64::from(event.dropped));
+        self.emit(meta, "ChunkRendered", event);
+    }
+
+    fn on_chunk_served(&mut self, meta: &Meta, event: &ChunkServed) {
+        self.metrics.chunks_served.inc();
+        self.metrics.segments_sent.add(u64::from(event.segments));
+        self.metrics.serve_latency_ns.record(event.serve.as_nanos());
+        self.metrics
+            .first_byte_ns
+            .record(event.first_byte.as_nanos());
+        self.metrics.download_ns.record(event.download.as_nanos());
+        self.emit(meta, "ChunkServed", event);
+    }
+
+    fn on_shard_merge(&mut self, meta: &Meta, event: &ShardMerge) {
+        // Shard merges are an engine-topology fact, not a simulation
+        // fact: counting them into SimMetrics would break the
+        // threads-invariance contract (the sequential engine has none).
+        // They appear in the trace and in RunProfile only.
+        self.emit(meta, "ShardMerge", event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlab_sim::{SimDuration, SimTime};
+
+    fn meta() -> Meta {
+        Meta::session(SimTime::from_millis(10), 3)
+    }
+
+    #[test]
+    fn counters_accumulate_per_event() {
+        let mut r = MetricsRecorder::new(false);
+        r.on_cache_lookup(
+            &meta(),
+            &CacheLookup {
+                tier: CacheTier::Ram,
+                manifest: false,
+                bytes: 100,
+            },
+        );
+        r.on_cache_lookup(
+            &meta(),
+            &CacheLookup {
+                tier: CacheTier::Miss,
+                manifest: true,
+                bytes: 50,
+            },
+        );
+        r.on_retry_timer_fired(&meta(), &RetryTimerFired {});
+        r.on_chunk_served(
+            &meta(),
+            &ChunkServed {
+                bytes: 100,
+                segments: 70,
+                serve: SimDuration::from_millis(2),
+                first_byte: SimDuration::from_millis(40),
+                download: SimDuration::from_millis(300),
+            },
+        );
+        let m = r.metrics();
+        assert_eq!(m.segments_sent.get(), 70);
+        assert_eq!(m.chunk_ram_hits.get(), 1);
+        assert_eq!(m.manifest_misses.get(), 1);
+        assert_eq!(m.manifest_requests.get(), 1);
+        assert_eq!(m.bytes_served.get(), 150);
+        assert_eq!(m.retry_timer_fires.get(), 1);
+        assert_eq!(m.chunks_served.get(), 1);
+        assert_eq!(m.serve_latency_ns.count(), 1);
+        assert!(r.trace_lines().is_empty());
+    }
+
+    #[test]
+    fn trace_lines_are_json_objects() {
+        let mut r = MetricsRecorder::new(true);
+        r.on_stall(
+            &meta(),
+            &Stall {
+                count: 2,
+                duration: SimDuration::from_millis(500),
+            },
+        );
+        r.on_shard_merge(
+            &Meta::fleet(SimTime::ZERO),
+            &ShardMerge {
+                pop_index: 4,
+                sessions: 10,
+                events: 99,
+            },
+        );
+        let lines = r.trace_lines();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            let v = Value::parse_json(l).expect("valid json");
+            assert!(v.get("at_ns").is_some());
+            assert!(v.get("event").is_some());
+        }
+        assert!(lines[0].contains("Stall"));
+        assert!(lines[1].contains("ShardMerge"));
+        // Fleet-level event has a null session.
+        assert!(lines[1].contains("\"session\":null"));
+    }
+
+    #[test]
+    fn absorb_merges_metrics_and_appends_trace() {
+        let mut a = MetricsRecorder::new(true);
+        a.on_rto_timeout(&meta(), &RtoTimeout {});
+        let mut b = MetricsRecorder::new(true);
+        b.on_rto_timeout(&meta(), &RtoTimeout {});
+        b.on_retransmit(&meta(), &Retransmit { segments: 3 });
+        a.absorb(b);
+        assert_eq!(a.metrics().rto_timeouts.get(), 2);
+        assert_eq!(a.metrics().retx_segments.get(), 3);
+        assert_eq!(a.trace_lines().len(), 3);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the histogram merge algebra.
+//!
+//! The determinism argument for `SimMetrics` (DESIGN.md §10) rests on the
+//! merge operation being associative and commutative: whatever partition
+//! of sessions the sharded engine produces, and whatever order shards are
+//! folded in, the merged histogram must equal the one a sequential run
+//! would have recorded directly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use streamlab_obs::LogLinearHistogram;
+
+fn record_all(values: &[u64]) -> LogLinearHistogram {
+    let mut h = LogLinearHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_over_any_partition_equals_direct_recording(
+        values in vec(any::<u64>(), 0..200),
+        cuts in vec(any::<u64>(), 0..6),
+    ) {
+        // Partition `values` into contiguous shards at arbitrary cut
+        // points, the way the engine partitions sessions by PoP.
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|&c| if values.is_empty() { 0 } else { (c % values.len() as u64) as usize })
+            .collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+
+        let mut merged = LogLinearHistogram::new();
+        for w in bounds.windows(2) {
+            merged.merge(&record_all(&values[w[0]..w[1]]));
+        }
+        prop_assert_eq!(merged, record_all(&values));
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in vec(any::<u64>(), 0..100),
+        b in vec(any::<u64>(), 0..100),
+    ) {
+        let (ha, hb) = (record_all(&a), record_all(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in vec(any::<u64>(), 0..80),
+        b in vec(any::<u64>(), 0..80),
+        c in vec(any::<u64>(), 0..80),
+    ) {
+        let (ha, hb, hc) = (record_all(&a), record_all(&b), record_all(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn count_is_preserved_and_quantiles_bounded(values in vec(any::<u64>(), 1..200)) {
+        let h = record_all(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let max = *values.iter().max().expect("non-empty");
+        let min = *values.iter().min().expect("non-empty");
+        // Bucket lower bounds never exceed the true value.
+        prop_assert!(h.quantile(1.0).expect("non-empty") <= max);
+        prop_assert!(h.quantile(0.0).expect("non-empty") <= min.max(1));
+    }
+
+    #[test]
+    fn serialization_roundtrips(values in vec(any::<u64>(), 0..200)) {
+        let h = record_all(&values);
+        let v = serde::Serialize::to_value(&h);
+        let back: LogLinearHistogram = serde::Deserialize::from_value(&v).expect("roundtrip");
+        prop_assert_eq!(back, h);
+    }
+}

@@ -56,6 +56,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     next_seq: u64,
     now: SimTime,
+    popped: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,6 +73,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            popped: 0,
+            peak_len: 0,
         }
     }
 
@@ -90,6 +94,21 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
+    /// Events popped so far — the loop-throughput counter the
+    /// observability layer reports. Deterministic: the total equals the
+    /// number of events ever scheduled and drained, independent of how
+    /// the run is sharded.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// Peak pending-event count this queue ever held. Reported in the
+    /// (explicitly non-deterministic across thread counts) run profile:
+    /// a global queue and per-shard queues peak differently.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
     /// Schedule `event` at absolute time `at`.
     ///
     /// # Panics
@@ -105,6 +124,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { at, seq, event });
+        if self.heap.len() > self.peak_len {
+            self.peak_len = self.heap.len();
+        }
     }
 
     /// Pop the earliest event, advancing the clock to its activation time.
@@ -112,6 +134,7 @@ impl<E> EventQueue<E> {
         let ev = self.heap.pop()?;
         debug_assert!(ev.at >= self.now);
         self.now = ev.at;
+        self.popped += 1;
         Some(ev)
     }
 
@@ -204,6 +227,24 @@ mod tests {
         assert_eq!(q.pop().map(|e| e.event), Some('x'));
         assert_eq!(q.peek_time(), None);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn popped_and_peak_track_throughput() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.popped(), 0);
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        q.schedule(SimTime::from_millis(3), 3);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        // Scheduling after draining below the peak must not lower it.
+        q.schedule(SimTime::from_millis(4), 4);
+        assert_eq!(q.peak_len(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.popped(), 4);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! **byte-identical** serialized dataset and identical per-server reports
 //! at every thread count.
 
-use streamlab::{Simulation, SimulationConfig};
+use streamlab::{ObsOptions, Simulation, SimulationConfig};
 
 fn run_serialized(seed: u64, threads: usize) -> (String, String) {
     let mut cfg = SimulationConfig::tiny(seed);
@@ -12,6 +12,19 @@ fn run_serialized(seed: u64, threads: usize) -> (String, String) {
     let dataset = serde_json::to_string(&out.dataset).expect("serialize dataset");
     let servers = serde_json::to_string(&out.servers).expect("serialize servers");
     (dataset, servers)
+}
+
+/// Run instrumented and serialize the deterministic metrics block — the
+/// exact bytes `streamlab run --metrics-out` writes (modulo pretty-printing,
+/// which is itself deterministic).
+fn run_metrics_serialized(seed: u64, threads: usize) -> String {
+    let mut cfg = SimulationConfig::tiny(seed);
+    cfg.threads = threads;
+    let out = Simulation::new(cfg)
+        .run_observed(ObsOptions { trace: false })
+        .expect("run");
+    let metrics = out.metrics.expect("observed run must carry metrics");
+    serde_json::to_string(&metrics.sim).expect("serialize sim metrics")
 }
 
 #[test]
@@ -35,4 +48,26 @@ fn parallel_runs_are_reproducible_run_to_run() {
     let a = run_serialized(7, 4);
     let b = run_serialized(7, 4);
     assert!(a == b, "two threads=4 runs of the same seed diverge");
+}
+
+#[test]
+fn sim_metrics_are_byte_identical_across_thread_counts() {
+    let metrics_1 = run_metrics_serialized(2016, 1);
+    for threads in [2, 8] {
+        let metrics_n = run_metrics_serialized(2016, threads);
+        assert!(
+            metrics_1 == metrics_n,
+            "sim metrics bytes diverge between threads=1 and threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn sim_metrics_are_reproducible_run_to_run() {
+    let a = run_metrics_serialized(7, 4);
+    let b = run_metrics_serialized(7, 4);
+    assert!(
+        a == b,
+        "two observed threads=4 runs of the same seed diverge"
+    );
 }

@@ -1,0 +1,88 @@
+//! Cross-checks between the self-telemetry counters (`SimMetrics`) and the
+//! simulation's primary outputs (`Dataset`, `ServerReport`). The metrics
+//! subsystem observes the same events the telemetry pipeline records, via a
+//! completely different path (subscriber probes vs beacon join); any drift
+//! between the two is an instrumentation bug.
+//!
+//! Proxy filtering drops whole sessions from the `Dataset` *after* their
+//! chunks were served, while the metrics counters see every serve. To make
+//! the two comparable the config below disables proxies entirely:
+//! `proxy_session_fraction = 0` alone is NOT enough, because enterprise
+//! prefixes are proxied at a fixed rate regardless of that knob — so
+//! `enterprise_fraction` is zeroed too.
+
+use streamlab::telemetry::records::CacheOutcome;
+use streamlab::{ObsOptions, Simulation, SimulationConfig};
+
+fn proxyless_tiny(seed: u64) -> SimulationConfig {
+    let mut cfg = SimulationConfig::tiny(seed);
+    cfg.population.proxy_session_fraction = 0.0;
+    cfg.population.enterprise_fraction = 0.0;
+    cfg
+}
+
+#[test]
+fn metrics_agree_with_dataset_and_server_reports() {
+    let out = Simulation::new(proxyless_tiny(11))
+        .run_observed(ObsOptions { trace: false })
+        .expect("run");
+    let m = &out.metrics.as_ref().expect("metrics").sim;
+
+    // Precondition: nothing was filtered, so the dataset holds every
+    // session the metrics saw.
+    assert_eq!(
+        out.dataset.filtered_proxy_sessions, 0,
+        "proxyless config must not trigger the proxy filter"
+    );
+    assert_eq!(out.dataset.sessions.len(), out.dataset.raw_sessions);
+
+    // Session lifecycle counters vs the dataset's session count.
+    assert_eq!(m.sessions_started.get(), out.dataset.raw_sessions as u64);
+    assert_eq!(m.sessions_ended.get(), out.dataset.raw_sessions as u64);
+
+    // Per-tier chunk counters vs the joined per-chunk records.
+    let mut ram = 0u64;
+    let mut disk = 0u64;
+    let mut miss = 0u64;
+    for (_, chunk) in out.dataset.chunks() {
+        match chunk.cdn.cache {
+            CacheOutcome::RamHit => ram += 1,
+            CacheOutcome::DiskHit => disk += 1,
+            CacheOutcome::Miss => miss += 1,
+        }
+    }
+    assert_eq!(m.chunk_ram_hits.get(), ram, "RAM-hit counter drifted");
+    assert_eq!(m.chunk_disk_hits.get(), disk, "disk-hit counter drifted");
+    assert_eq!(m.chunk_misses.get(), miss, "miss counter drifted");
+    assert_eq!(
+        m.chunks_served.get(),
+        out.dataset.chunk_count() as u64,
+        "chunks-served counter drifted"
+    );
+
+    // Retry-timer counter vs the per-server reports. `retry_ratio` is
+    // computed as retry_fired / requests exactly, so the integer count is
+    // recoverable by rounding.
+    let report_retries: u64 = out
+        .servers
+        .iter()
+        .map(|s| (s.retry_ratio * s.requests as f64).round() as u64)
+        .sum();
+    assert_eq!(
+        m.retry_timer_fires.get(),
+        report_retries,
+        "retry-timer counter disagrees with ServerReport.retry_ratio"
+    );
+
+    // Serve-request totals: every server request is either a chunk or a
+    // manifest serve.
+    let report_requests: u64 = out.servers.iter().map(|s| s.requests).sum();
+    assert_eq!(
+        m.chunks_served.get() + m.manifest_requests.get(),
+        report_requests,
+        "chunk+manifest serves disagree with ServerReport.requests"
+    );
+
+    // Latency histogram: one serve-latency sample per chunk.
+    assert_eq!(m.serve_latency_ns.count(), m.chunks_served.get());
+}
