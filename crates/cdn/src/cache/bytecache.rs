@@ -176,6 +176,16 @@ impl ByteCache {
         evicted
     }
 
+    /// Drop every entry at once (a process restart losing its in-memory
+    /// contents). Lifetime hit/miss stats and the Perfect-LFU frequency
+    /// history survive — they model knowledge that outlives a restart —
+    /// but pins are lost with the entries that held them.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+
     /// Pin `key` so it is never evicted (used by the "cache the first chunk
     /// of every video" policy). No-op if absent.
     pub fn pin(&mut self, key: ObjectKey) {

@@ -160,6 +160,14 @@ impl TieredCache {
         self.ram.insert(key, size);
     }
 
+    /// Wipe the RAM tier (a server restart: memory contents are lost, the
+    /// disk tier stays warm). The next requests for the hot working set
+    /// fall through to disk or the backend — the paper's §5 churn →
+    /// miss-storm mechanism.
+    pub fn wipe_ram(&mut self) {
+        self.ram.clear();
+    }
+
     /// Pin an object in the disk tier (and RAM if present).
     pub fn pin(&mut self, key: ObjectKey) {
         self.disk.pin(key);

@@ -12,6 +12,7 @@
 use crate::cache::ObjectKey;
 use crate::server::{CdnServer, ServerConfig};
 use serde::{Deserialize, Serialize};
+use streamlab_faults::FaultScenario;
 use streamlab_sim::{derive_seed, RngStream};
 use streamlab_workload::geo::{build_pops, nearest_pop, GeoPoint, Pop};
 use streamlab_workload::{Catalog, ChunkIndex, ServerId, SessionId, VideoId};
@@ -202,6 +203,28 @@ impl CdnFleet {
     /// Index (into [`CdnFleet::pops`]) of the PoP hosting a server.
     pub fn pop_index_of(&self, server_idx: usize) -> usize {
         self.servers[server_idx].pop().raw() as usize
+    }
+
+    /// Global indices of a PoP's member servers, ascending.
+    pub fn pop_members(&self, pop_index: usize) -> &[usize] {
+        &self.by_pop[pop_index]
+    }
+
+    /// Compile and install a fault scenario's per-server timelines
+    /// (restarts, server/PoP outages, backend slowdowns). No-op for a
+    /// scenario without server-level faults. Call before
+    /// [`CdnFleet::split_shards`] so shards carry their timelines along.
+    pub fn install_faults(&mut self, scenario: &FaultScenario) {
+        if !scenario.has_server_faults() {
+            return;
+        }
+        for idx in 0..self.servers.len() {
+            let pop = self.pop_index_of(idx);
+            let timeline = scenario.server_timeline(idx, pop);
+            if !timeline.is_empty() {
+                self.servers[idx].install_fault_timeline(timeline);
+            }
+        }
     }
 
     /// Carve the fleet into per-PoP shards, moving every server into the
@@ -431,6 +454,12 @@ impl FleetShard {
         &self.servers[local]
     }
 
+    /// Global fleet indices of the shard's servers, ascending — the same
+    /// order [`CdnFleet::pop_members`] reports for this PoP.
+    pub fn members(&self) -> &[usize] {
+        &self.server_indices
+    }
+
     fn local_index(&self, global_idx: usize) -> usize {
         self.server_indices
             .binary_search(&global_idx)
@@ -440,6 +469,57 @@ impl FleetShard {
                     self.pop_index
                 )
             })
+    }
+}
+
+/// Mutable access to servers plus same-PoP membership — the interface the
+/// session step drives, implemented by both the whole [`CdnFleet`]
+/// (sequential engine) and one [`FleetShard`] (sharded engine).
+///
+/// Failover never leaves the session's PoP, and both implementations
+/// expose a PoP's members in the same ascending global-index order, so
+/// retry/failover decisions are bit-identical in both engines — that is
+/// the fault layer's thread-invariance argument.
+pub trait ServerPool {
+    /// Mutable server by global fleet index.
+    fn pool_server_mut(&mut self, global_idx: usize) -> &mut CdnServer;
+
+    /// Shared server by global fleet index.
+    fn pool_server(&self, global_idx: usize) -> &CdnServer;
+
+    /// Global indices of a PoP's member servers, ascending.
+    fn pop_members(&self, pop_index: usize) -> &[usize];
+}
+
+impl ServerPool for CdnFleet {
+    fn pool_server_mut(&mut self, global_idx: usize) -> &mut CdnServer {
+        self.server_mut(global_idx)
+    }
+
+    fn pool_server(&self, global_idx: usize) -> &CdnServer {
+        &self.servers[global_idx]
+    }
+
+    fn pop_members(&self, pop_index: usize) -> &[usize] {
+        CdnFleet::pop_members(self, pop_index)
+    }
+}
+
+impl ServerPool for FleetShard {
+    fn pool_server_mut(&mut self, global_idx: usize) -> &mut CdnServer {
+        self.server_mut(global_idx)
+    }
+
+    fn pool_server(&self, global_idx: usize) -> &CdnServer {
+        self.server(global_idx)
+    }
+
+    fn pop_members(&self, pop_index: usize) -> &[usize] {
+        assert_eq!(
+            pop_index, self.pop_index,
+            "cross-PoP membership query on a shard"
+        );
+        &self.server_indices
     }
 }
 
@@ -719,6 +799,48 @@ mod tests {
             f.prefetch_list(&cat, key),
             PrefetchPolicy::NextChunksOnMiss(3).list(&cat, key)
         );
+    }
+
+    #[test]
+    fn install_faults_covers_every_pop_member() {
+        use streamlab_faults::PopOutage;
+        use streamlab_sim::SimTime;
+        let mut f = fleet(FleetConfig::default());
+        let scenario = FaultScenario {
+            pop_outages: vec![PopOutage {
+                pop: 2,
+                from_s: 100.0,
+                until_s: 200.0,
+            }],
+            ..FaultScenario::default()
+        };
+        f.install_faults(&scenario);
+        let mid = SimTime::from_secs(150);
+        for idx in 0..f.len() {
+            let out = f.servers()[idx].is_out(mid);
+            assert_eq!(
+                out,
+                f.pop_index_of(idx) == 2,
+                "server {idx} outage state wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_members_agree_between_fleet_and_shard() {
+        let mut f = fleet(FleetConfig::default());
+        let fleet_members: Vec<Vec<usize>> = (0..f.pops().len())
+            .map(|p| CdnFleet::pop_members(&f, p).to_vec())
+            .collect();
+        let shards = f.split_shards();
+        for shard in &shards {
+            assert_eq!(
+                ServerPool::pop_members(shard, shard.pop_index()),
+                &fleet_members[shard.pop_index()][..],
+                "failover order must match between engines"
+            );
+        }
+        f.merge_shards(shards);
     }
 
     #[test]

@@ -4,7 +4,10 @@ use crate::ats::{AtsConfig, AtsTimings, BackendConfig, CacheStatus, ServeOutcome
 use crate::cache::{ObjectKey, TieredCache, TieredCacheConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use streamlab_obs::{CacheLookup, CacheTier, Meta, NoopSubscriber, RetryTimerFired, Subscriber};
+use streamlab_faults::ServerFaultTimeline;
+use streamlab_obs::{
+    CacheLookup, CacheTier, Meta, NoopSubscriber, RetryTimerFired, ServerRestarted, Subscriber,
+};
 use streamlab_sim::{RngStream, SimDuration, SimTime};
 use streamlab_workload::{PopId, ServerId};
 
@@ -82,6 +85,9 @@ pub struct CdnServer {
     /// sessions, or bytes served per second" (§4.1 footnote).
     recent: VecDeque<SimTime>,
     stats: ServerStats,
+    /// Injected fault timeline (empty by default; queried lazily on the
+    /// serve path so unfaulted runs pay one `is_empty`-style check).
+    faults: ServerFaultTimeline,
 }
 
 impl CdnServer {
@@ -95,7 +101,20 @@ impl CdnServer {
             rng,
             recent: VecDeque::new(),
             stats: ServerStats::default(),
+            faults: ServerFaultTimeline::default(),
         }
+    }
+
+    /// Install this server's compiled fault timeline (restarts, outage
+    /// windows, backend slowdowns).
+    pub fn install_fault_timeline(&mut self, timeline: ServerFaultTimeline) {
+        self.faults = timeline;
+    }
+
+    /// True when the server is inside an injected outage window at `now`
+    /// and rejects new requests.
+    pub fn is_out(&self, now: SimTime) -> bool {
+        self.faults.is_out(now)
     }
 
     /// Server identity.
@@ -177,14 +196,43 @@ impl CdnServer {
         session: Option<u64>,
         sub: &mut S,
     ) -> ServeOutcome {
+        // Apply any injected restarts due before this request: the RAM
+        // tier is wiped once (the disk tier stays warm) and the request
+        // proceeds against the cold memory cache. Applied lazily at serve
+        // time, the wipe is a pure function of the server's request
+        // stream, which is identical at every thread count.
+        let due_restarts = self.faults.take_due_restarts(now);
+        if due_restarts > 0 {
+            self.cache.wipe_ram();
+            let meta = Meta::fleet(now);
+            for _ in 0..due_restarts {
+                sub.on_server_restarted(
+                    &meta,
+                    &ServerRestarted {
+                        server: self.id.raw(),
+                    },
+                );
+            }
+        }
+
         self.note_request(now);
         let concurrent = self.recent.len() as u32;
 
         let d_wait = self.timings.sample_wait(concurrent, &mut self.rng);
         let d_open = self.timings.sample_open(&mut self.rng);
         let status = self.cache.fetch(key, size);
-        let (d_read, d_backend, retry_fired) =
+        let (mut d_read, mut d_backend, retry_fired) =
             self.timings.sample_read(status, rank, &mut self.rng);
+        if status == CacheStatus::Miss {
+            // Injected origin slowdown: backend fetches stretch by the
+            // window's factor, lengthening the read the response waits on.
+            let factor = self.faults.slowdown_factor(now);
+            if factor > 1.0 {
+                let extra = d_backend.mul_f64(factor - 1.0);
+                d_read += extra;
+                d_backend += extra;
+            }
+        }
         if status == CacheStatus::Miss {
             // Admission gate: one-hit wonders may not be worth a slot.
             if self.cache.should_admit(key, &mut self.rng) {
@@ -390,6 +438,94 @@ mod tests {
         );
         // Churn: the chunk miss filled both tiers; the manifest may too.
         assert!(s.cache().churn().fills >= 1);
+    }
+
+    #[test]
+    fn restart_wipes_ram_but_leaves_disk_warm() {
+        let mut s = server();
+        s.serve(key(1, 0), MB, 10, SimTime::from_secs(1), &[]); // miss → fills
+        let o = s.serve(key(1, 0), MB, 10, SimTime::from_secs(2), &[]);
+        assert_eq!(o.status, CacheStatus::RamHit);
+        s.install_fault_timeline(ServerFaultTimeline::new(
+            vec![SimTime::from_secs(5)],
+            Vec::new(),
+            Vec::new(),
+        ));
+        // First request after the restart: RAM is cold, disk still warm.
+        let o = s.serve(key(1, 0), MB, 10, SimTime::from_secs(6), &[]);
+        assert_eq!(o.status, CacheStatus::DiskHit);
+        // The promoted object is back in RAM afterwards.
+        let o = s.serve(key(1, 0), MB, 10, SimTime::from_secs(7), &[]);
+        assert_eq!(o.status, CacheStatus::RamHit);
+    }
+
+    #[test]
+    fn restart_emits_event_through_subscriber() {
+        use streamlab_obs::MetricsRecorder;
+        let mut s = server();
+        s.install_fault_timeline(ServerFaultTimeline::new(
+            vec![SimTime::from_secs(2)],
+            Vec::new(),
+            Vec::new(),
+        ));
+        let mut rec = MetricsRecorder::new(false);
+        s.serve_with(
+            key(1, 0),
+            MB,
+            10,
+            SimTime::from_secs(1),
+            &[],
+            None,
+            &mut rec,
+        );
+        assert_eq!(rec.metrics().server_restarts.get(), 0);
+        s.serve_with(
+            key(1, 0),
+            MB,
+            10,
+            SimTime::from_secs(3),
+            &[],
+            None,
+            &mut rec,
+        );
+        assert_eq!(rec.metrics().server_restarts.get(), 1);
+    }
+
+    #[test]
+    fn outage_window_reports_is_out() {
+        let mut s = server();
+        assert!(!s.is_out(SimTime::from_secs(15)));
+        s.install_fault_timeline(ServerFaultTimeline::new(
+            Vec::new(),
+            vec![(SimTime::from_secs(10), SimTime::from_secs(20))],
+            Vec::new(),
+        ));
+        assert!(s.is_out(SimTime::from_secs(10)));
+        assert!(s.is_out(SimTime::from_secs(19)));
+        assert!(!s.is_out(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn backend_slowdown_stretches_miss_latency() {
+        let mut plain = server();
+        let mut slowed = server(); // identical seed → identical samples
+        slowed.install_fault_timeline(ServerFaultTimeline::new(
+            Vec::new(),
+            Vec::new(),
+            vec![(SimTime::ZERO, SimTime::from_secs(100), 5.0)],
+        ));
+        let a = plain.serve(key(1, 0), MB, 10, SimTime::from_secs(1), &[]);
+        let b = slowed.serve(key(1, 0), MB, 10, SimTime::from_secs(1), &[]);
+        assert_eq!(a.status, CacheStatus::Miss);
+        assert_eq!(b.status, CacheStatus::Miss);
+        let ratio = b.d_backend.as_secs_f64() / a.d_backend.as_secs_f64();
+        assert!((ratio - 5.0).abs() < 1e-6, "ratio {ratio}");
+        assert!(b.d_read > a.d_read);
+        // Hits are untouched by a backend slowdown.
+        let a2 = plain.serve(key(1, 0), MB, 10, SimTime::from_secs(2), &[]);
+        let b2 = slowed.serve(key(1, 0), MB, 10, SimTime::from_secs(2), &[]);
+        assert!(a2.status.is_hit() && b2.status.is_hit());
+        assert_eq!(a2.d_backend, b2.d_backend);
     }
 
     #[test]

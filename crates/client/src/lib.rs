@@ -27,9 +27,11 @@
 pub mod abr;
 pub mod player;
 pub mod render;
+pub mod retry;
 pub mod stack;
 
 pub use abr::{Abr, AbrAlgorithm, AbrContext};
 pub use player::{PlaybackBuffer, PlayerConfig};
 pub use render::{RenderOutcome, RenderPath};
+pub use retry::{RetryDecision, RetryState};
 pub use stack::{DownloadStack, StackConfig, StackDelivery};

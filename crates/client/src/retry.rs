@@ -1,0 +1,193 @@
+//! Client-side request-retry state: timeout detection, capped exponential
+//! backoff with seeded jitter, same-PoP failover, and the per-chunk abort
+//! budget.
+//!
+//! The orchestrator drives one [`RetryState`] per session. Each failed
+//! chunk request (injected outage or blackout) is recorded here; the state
+//! answers with what the player does next — wait and retry, fail over to
+//! another server, or give up. Jitter draws come from a dedicated RNG fork
+//! so sessions that never see a failure consume no randomness from it.
+
+use streamlab_faults::{retry_delay, ResilienceConfig};
+use streamlab_sim::{RngStream, SimDuration};
+
+/// What the client does after a failed chunk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Wait `delay` (timeout + jittered backoff), then retry the same
+    /// server.
+    Retry {
+        /// Full wait before the next attempt.
+        delay: SimDuration,
+    },
+    /// Wait `delay`, then retry on the next server of the same PoP.
+    Failover {
+        /// Full wait before the next attempt.
+        delay: SimDuration,
+    },
+    /// The chunk exhausted `max_attempts_per_chunk`; the session aborts.
+    Abort,
+}
+
+/// Per-session retry state machine.
+#[derive(Debug)]
+pub struct RetryState {
+    cfg: ResilienceConfig,
+    rng: RngStream,
+    /// Consecutive failures on the chunk currently being fetched.
+    consecutive: u32,
+}
+
+impl RetryState {
+    /// A fresh state under `cfg`, drawing jitter from `rng`.
+    pub fn new(cfg: ResilienceConfig, rng: RngStream) -> Self {
+        RetryState {
+            cfg,
+            rng,
+            consecutive: 0,
+        }
+    }
+
+    /// The resilience policy in force.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.cfg
+    }
+
+    /// Consecutive failures recorded for the current chunk.
+    pub fn attempts(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Record one failed request and decide the next move. Draws one
+    /// jitter value from the retry stream unless the chunk aborts.
+    pub fn record_failure(&mut self) -> RetryDecision {
+        self.consecutive += 1;
+        let attempt = self.consecutive;
+        if attempt >= self.cfg.max_attempts_per_chunk {
+            return RetryDecision::Abort;
+        }
+        let delay = retry_delay(&self.cfg, attempt, self.rng.uniform());
+        if self.cfg.failover_after > 0 && attempt.is_multiple_of(self.cfg.failover_after) {
+            RetryDecision::Failover { delay }
+        } else {
+            RetryDecision::Retry { delay }
+        }
+    }
+
+    /// Record a successful request: the consecutive-failure run ends.
+    pub fn record_success(&mut self) {
+        self.consecutive = 0;
+    }
+
+    /// True when the chunk's retries have drained the playback buffer
+    /// below the emergency threshold — the ABR should drop to the lowest
+    /// rung for this chunk. `attempts_this_chunk` is the failure count
+    /// the current chunk burned before finally being served.
+    pub fn emergency_active(&self, attempts_this_chunk: u32, buffer_s: f64) -> bool {
+        attempts_this_chunk > 0 && buffer_s < self.cfg.emergency_buffer_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(cfg: ResilienceConfig) -> RetryState {
+        RetryState::new(cfg, RngStream::new(11, "retry-test"))
+    }
+
+    #[test]
+    fn failover_fires_every_n_failures() {
+        let mut s = state(ResilienceConfig {
+            failover_after: 2,
+            max_attempts_per_chunk: 100,
+            ..ResilienceConfig::default()
+        });
+        let kinds: Vec<bool> = (0..6)
+            .map(|_| matches!(s.record_failure(), RetryDecision::Failover { .. }))
+            .collect();
+        assert_eq!(kinds, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_run() {
+        let mut s = state(ResilienceConfig {
+            failover_after: 2,
+            max_attempts_per_chunk: 100,
+            ..ResilienceConfig::default()
+        });
+        assert!(matches!(s.record_failure(), RetryDecision::Retry { .. }));
+        s.record_success();
+        assert_eq!(s.attempts(), 0);
+        // The run restarts: first failure after a success retries again.
+        assert!(matches!(s.record_failure(), RetryDecision::Retry { .. }));
+    }
+
+    #[test]
+    fn abort_after_max_attempts() {
+        let mut s = state(ResilienceConfig {
+            max_attempts_per_chunk: 3,
+            failover_after: 0,
+            ..ResilienceConfig::default()
+        });
+        assert!(matches!(s.record_failure(), RetryDecision::Retry { .. }));
+        assert!(matches!(s.record_failure(), RetryDecision::Retry { .. }));
+        assert_eq!(s.record_failure(), RetryDecision::Abort);
+    }
+
+    #[test]
+    fn zero_failover_after_disables_failover() {
+        let mut s = state(ResilienceConfig {
+            failover_after: 0,
+            max_attempts_per_chunk: 50,
+            ..ResilienceConfig::default()
+        });
+        for _ in 0..10 {
+            assert!(matches!(s.record_failure(), RetryDecision::Retry { .. }));
+        }
+    }
+
+    #[test]
+    fn delays_grow_with_the_run() {
+        let mut s = state(ResilienceConfig {
+            backoff_jitter: 0.0,
+            failover_after: 0,
+            max_attempts_per_chunk: 50,
+            ..ResilienceConfig::default()
+        });
+        let d = |dec: RetryDecision| match dec {
+            RetryDecision::Retry { delay } | RetryDecision::Failover { delay } => delay,
+            RetryDecision::Abort => panic!("unexpected abort"),
+        };
+        let d1 = d(s.record_failure());
+        let d2 = d(s.record_failure());
+        let d3 = d(s.record_failure());
+        assert!(d1 < d2 && d2 < d3);
+    }
+
+    #[test]
+    fn emergency_needs_both_failures_and_low_buffer() {
+        let s = state(ResilienceConfig {
+            emergency_buffer_s: 8.0,
+            ..ResilienceConfig::default()
+        });
+        assert!(s.emergency_active(1, 3.0));
+        assert!(!s.emergency_active(0, 3.0), "no failures → no emergency");
+        assert!(
+            !s.emergency_active(2, 20.0),
+            "healthy buffer → no emergency"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut s = state(ResilienceConfig {
+                max_attempts_per_chunk: 50,
+                ..ResilienceConfig::default()
+            });
+            (0..8).map(|_| s.record_failure()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -21,6 +21,10 @@
 //!                                        metrics block as JSON)
 //!          --trace-events FILE          (run only: write the structured
 //!                                        event trace as JSONL)
+//!          --faults FILE                (JSON fault scenario — server
+//!                                        restarts/outages, loss bursts,
+//!                                        blackouts, backend slowdowns —
+//!                                        see examples/*.json)
 //! ```
 
 use std::fs;
@@ -41,6 +45,7 @@ struct Opts {
     threads: usize,
     metrics_out: Option<PathBuf>,
     trace_events: Option<PathBuf>,
+    faults: Option<String>,
     rest: Vec<String>,
 }
 
@@ -54,6 +59,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         threads: 1,
         metrics_out: None,
         trace_events: None,
+        faults: None,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -107,6 +113,9 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     it.next().ok_or("--trace-events needs a value")?,
                 ));
             }
+            "--faults" => {
+                opts.faults = Some(it.next().ok_or("--faults needs a value")?.clone());
+            }
             other => opts.rest.push(other.to_owned()),
         }
     }
@@ -121,7 +130,24 @@ fn config(opts: &Opts) -> Result<SimulationConfig, String> {
         other => return Err(format!("unknown scale '{other}' (tiny|small|default)")),
     };
     cfg.threads = opts.threads;
+    if let Some(path) = &opts.faults {
+        cfg.faults = streamlab::faults::FaultScenario::from_json_file(path)?;
+    }
     Ok(cfg)
+}
+
+/// Report shards that died mid-run. The run still succeeds with partial
+/// results; the warning makes the gap impossible to miss.
+fn warn_partial(out: &streamlab::RunOutput) {
+    for e in &out.shard_errors {
+        eprintln!("warning: partial results — {e}");
+    }
+    if !out.shard_errors.is_empty() {
+        eprintln!(
+            "warning: {} shard(s) lost; the dataset covers the surviving PoPs only",
+            out.shard_errors.len()
+        );
+    }
 }
 
 fn find_experiment(name: &str) -> Option<ExperimentId> {
@@ -134,7 +160,7 @@ fn find_experiment(name: &str) -> Option<ExperimentId> {
 fn usage() -> &'static str {
     "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep> \
      [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--seeds N] [--threads N] \
-     [--metrics-out FILE] [--trace-events FILE]\n\
+     [--metrics-out FILE] [--trace-events FILE] [--faults FILE]\n\
      (sweep: --seeds sets the seed count; passing --days for that is deprecated \
      and kept only for backward compatibility)"
 }
@@ -190,9 +216,13 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     let out = Simulation::new(cfg)
         .run_observed(obs)
         .map_err(|e| e.to_string())?;
+    warn_partial(&out);
     fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
 
-    let metrics = out.metrics.as_ref().expect("observed run carries metrics");
+    let metrics = out
+        .metrics
+        .as_ref()
+        .ok_or("internal error: observed run returned no metrics block")?;
     if let Some(path) = &opts.metrics_out {
         // Only the deterministic block goes to disk: byte-identical at
         // any --threads value (the wall-clock profile is not).
@@ -252,6 +282,7 @@ fn cmd_experiment(opts: &Opts) -> Result<(), String> {
     let id = find_experiment(name).ok_or_else(|| format!("unknown experiment '{name}'"))?;
     let cfg = config(opts)?;
     let out = Simulation::new(cfg).run().map_err(|e| e.to_string())?;
+    warn_partial(&out);
     let r = run_experiment(id, &out);
     println!("== {} ==\n{}", r.title, r.text);
     Ok(())
@@ -334,6 +365,7 @@ fn cmd_replay(opts: &Opts) -> Result<(), String> {
     eprintln!("replaying {} sessions ...", specs.len());
     let cfg = config(opts)?;
     let out = streamlab::trace::replay(cfg, specs).map_err(|e| e.to_string())?;
+    warn_partial(&out);
     println!("{}", full_report(&out));
     Ok(())
 }

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use streamlab_cdn::{FleetConfig, TieredCacheConfig};
 use streamlab_client::abr::AbrAlgorithm;
 use streamlab_client::{PlayerConfig, StackConfig};
+use streamlab_faults::FaultScenario;
 use streamlab_net::{PropagationModel, TcpConfig};
 use streamlab_workload::catalog::CatalogConfig;
 use streamlab_workload::population::PopulationConfig;
@@ -51,6 +52,12 @@ pub struct SimulationConfig {
     pub abr: AbrAlgorithm,
     /// Distance → delay model.
     pub propagation: PropagationModel,
+    /// Fault-injection scenario plus the clients' resilience policy.
+    /// The default is inert (nothing scheduled, no random draws), so
+    /// unfaulted runs are byte-identical to a build without the fault
+    /// layer. Loaded from a JSON file via the CLI's `--faults` flag or
+    /// set programmatically.
+    pub faults: FaultScenario,
     /// Worker threads for the event loop. `1` runs the sequential
     /// reference engine; `>1` runs one event loop per PoP shard across
     /// this many threads. Output is bit-identical at every thread count
@@ -92,6 +99,7 @@ impl SimulationConfig {
             player: PlayerConfig::default(),
             abr: AbrAlgorithm::default(),
             propagation: PropagationModel::default(),
+            faults: FaultScenario::default(),
             threads: 1,
         }
     }

@@ -50,13 +50,14 @@ pub mod sweep;
 pub mod trace;
 
 pub use config::{Scale, SimulationConfig};
-pub use simulate::{ObsOptions, RunOutput, ServerReport, SimError, Simulation};
+pub use simulate::{ObsOptions, RunOutput, ServerReport, ShardError, SimError, Simulation};
 
 // Re-export the substrate crates under one roof, so downstream users need
 // a single dependency.
 pub use streamlab_analysis as analysis;
 pub use streamlab_cdn as cdn;
 pub use streamlab_client as client;
+pub use streamlab_faults as faults;
 pub use streamlab_net as net;
 pub use streamlab_obs as obs;
 pub use streamlab_sim as sim;

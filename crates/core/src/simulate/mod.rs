@@ -17,6 +17,7 @@
 
 use crate::config::SimulationConfig;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
@@ -47,6 +48,27 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// One shard worker died. The run still completes: surviving shards'
+/// sessions land in the dataset, and the error is reported here instead
+/// of poisoning the whole run.
+#[derive(Debug, Clone)]
+pub struct ShardError {
+    /// PoP index of the shard whose worker panicked.
+    pub pop_index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard for PoP {} panicked: {}",
+            self.pop_index, self.message
+        )
+    }
+}
 
 /// Per-server aggregate for the §4.1.3 load-vs-performance analysis.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -91,6 +113,10 @@ pub struct RunOutput {
     /// The structured JSONL event trace (`None` unless requested via
     /// [`ObsOptions::trace`]).
     pub trace_lines: Option<Vec<String>>,
+    /// Shards whose worker panicked (sharded engine only). Their sessions
+    /// are missing from the dataset; everything else is intact. Empty on
+    /// a healthy run.
+    pub shard_errors: Vec<ShardError>,
 }
 
 /// Per-PoP aggregation of the fleet's serving statistics.
@@ -245,6 +271,12 @@ impl Simulation {
 
         let mut fleet = CdnFleet::new(cfg.fleet.clone(), seed);
         fleet.warm(&catalog);
+        fleet.install_faults(&cfg.faults);
+        // Harness faults: shard jobs for these PoPs panic at start. Only
+        // meaningful for the sharded engine; the sequential engine has no
+        // shard workers to isolate and ignores them.
+        let mut panic_pops = cfg.faults.panic_pops.clone();
+        panic_pops.sort_unstable();
 
         // --- per-session runtimes ---
         let session_master = RngStream::new(seed, &format!("session-streams-day{}", cfg.day));
@@ -262,21 +294,22 @@ impl Simulation {
         // Four paths: {sequential, sharded} × {instrumented, noop}. The
         // noop paths drive the same generic engines with
         // [`NoopSubscriber`], which monomorphizes the probes away.
-        let (sink, recorder, shard_profiles, loop_stats) = match obs {
+        let (sink, recorder, shard_profiles, loop_stats, shard_errors) = match obs {
             Some(o) if cfg.threads <= 1 => {
                 let mut rec = MetricsRecorder::new(o.trace);
                 let (sink, stats) =
                     run_sequential(&mut fleet, runtimes, &catalog, &population, &mut rec);
                 rec.add_events_processed(stats.events);
-                (sink, Some(rec), Vec::new(), stats)
+                (sink, Some(rec), Vec::new(), stats, Vec::new())
             }
             Some(o) => {
-                let (sink, runs) = run_sharded(
+                let (sink, runs, errors) = run_sharded(
                     cfg.threads,
                     &mut fleet,
                     runtimes,
                     &catalog,
                     &population,
+                    &panic_pops,
                     || MetricsRecorder::new(o.trace),
                 );
                 // Fold shard recorders in canonical (pop_index) order —
@@ -310,7 +343,7 @@ impl Simulation {
                         },
                     );
                 }
-                (sink, Some(rec), profiles, total)
+                (sink, Some(rec), profiles, total, errors)
             }
             None if cfg.threads <= 1 => {
                 let (sink, stats) = run_sequential(
@@ -320,15 +353,16 @@ impl Simulation {
                     &population,
                     &mut NoopSubscriber,
                 );
-                (sink, None, Vec::new(), stats)
+                (sink, None, Vec::new(), stats, Vec::new())
             }
             None => {
-                let (sink, runs) = run_sharded(
+                let (sink, runs, errors) = run_sharded(
                     cfg.threads,
                     &mut fleet,
                     runtimes,
                     &catalog,
                     &population,
+                    &panic_pops,
                     || NoopSubscriber,
                 );
                 let mut total = EngineStats::default();
@@ -336,7 +370,7 @@ impl Simulation {
                     total.events += run.stats.events;
                     total.peak_queue = total.peak_queue.max(run.stats.peak_queue);
                 }
-                (sink, None, Vec::new(), total)
+                (sink, None, Vec::new(), total, errors)
             }
         };
 
@@ -409,6 +443,7 @@ impl Simulation {
             catalog,
             metrics,
             trace_lines,
+            shard_errors,
         })
     }
 }
@@ -464,19 +499,13 @@ fn run_sequential<S: Subscriber>(
     while let Some(ev) = queue.pop() {
         let idx = ev.event;
         let now = ev.at;
-        let server_idx = runtimes[idx].server_idx;
-        let next = step_chunk(
-            &mut runtimes[idx],
-            now,
-            catalog,
-            policy,
-            fleet.server_mut(server_idx),
-            sub,
-        );
+        let next = step_chunk(&mut runtimes[idx], now, catalog, policy, fleet, sub);
         match next {
             Some(next_t) => queue.schedule(next_t.max(now), idx),
             None => {
-                let server = &fleet.servers()[server_idx];
+                // Read the server after the step: failover may have moved
+                // the session within its PoP.
+                let server = &fleet.servers()[runtimes[idx].server_idx];
                 let (pop, id) = (server.pop(), server.id());
                 finalize_session(&mut runtimes[idx], population, pop, id, &mut sink);
             }
@@ -494,21 +523,26 @@ fn run_sequential<S: Subscriber>(
 ///
 /// Exactness (not just statistical equivalence) holds because:
 /// 1. a session's server assignment is fixed before the loop and every
-///    [`step_chunk`] touches only that server, so cross-PoP event
-///    interleavings never affect state;
+///    [`step_chunk`] touches only that server's PoP (failover stays
+///    in-PoP), so cross-PoP event interleavings never affect state;
 /// 2. the partition is stable and [`EventQueue`] breaks timestamp ties in
 ///    FIFO insertion order, so any two same-PoP events pop in the same
 ///    relative order as in the global queue;
 /// 3. [`Dataset::join`] canonicalizes by session id, making the sink
 ///    concatenation order irrelevant.
+///
+/// Each shard job runs under [`catch_unwind`]: a panicking shard (a bug,
+/// or an injected `panic_pops` harness fault) is isolated, its error is
+/// reported as a [`ShardError`], and every other shard's results survive.
 fn run_sharded<S, F>(
     threads: usize,
     fleet: &mut CdnFleet,
     runtimes: Vec<SessionRuntime>,
     catalog: &Catalog,
     population: &Population,
+    panic_pops: &[usize],
     make_sub: F,
-) -> (TelemetrySink, Vec<ShardRun<S>>)
+) -> (TelemetrySink, Vec<ShardRun<S>>, Vec<ShardError>)
 where
     S: Subscriber + Send,
     F: Fn() -> S + Sync,
@@ -534,37 +568,67 @@ where
 
     // Shards are coarse and few (one per PoP), so a mutex-guarded work
     // list beats anything fancier; which worker runs which shard never
-    // affects the output.
+    // affects the output. A panic inside a shard job is caught below, so
+    // these locks are never actually poisoned — `into_inner` recovery is
+    // belt-and-braces against panics in the bookkeeping itself.
+    type ShardResult<S> = (
+        FleetShard,
+        Option<(TelemetrySink, ShardRun<S>)>,
+        Option<ShardError>,
+    );
     let queue = Mutex::new(work);
-    let done: Mutex<Vec<(FleetShard, TelemetrySink, ShardRun<S>)>> = Mutex::new(Vec::new());
+    let done: Mutex<Vec<ShardResult<S>>> = Mutex::new(Vec::new());
     let workers = threads.min(n_pops).max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("work queue poisoned").pop();
+                let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
                 let Some((mut shard, sessions)) = job else {
                     break;
                 };
                 let started = Instant::now();
                 let n_sessions = sessions.len() as u64;
-                let mut sub = make_sub();
-                let (sink, stats) =
-                    run_shard(&mut shard, sessions, catalog, population, policy, &mut sub);
-                let run = ShardRun {
-                    pop_index: shard.pop_index(),
-                    sessions: n_sessions,
-                    wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
-                    stats,
-                    sub,
+                let pop_index = shard.pop_index();
+                let inject = panic_pops.binary_search(&pop_index).is_ok();
+                // `AssertUnwindSafe`: on panic the shard is returned as-is
+                // (so the fleet merge stays total) and the half-built sink
+                // and subscriber are dropped — exactly the partial-result
+                // semantics we want.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if inject {
+                        panic!("injected shard panic (panic_pops includes PoP {pop_index})");
+                    }
+                    let mut sub = make_sub();
+                    let (sink, stats) =
+                        run_shard(&mut shard, sessions, catalog, population, policy, &mut sub);
+                    (sink, stats, sub)
+                }));
+                let entry: ShardResult<S> = match result {
+                    Ok((sink, stats, sub)) => {
+                        let run = ShardRun {
+                            pop_index,
+                            sessions: n_sessions,
+                            wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
+                            stats,
+                            sub,
+                        };
+                        (shard, Some((sink, run)), None)
+                    }
+                    Err(payload) => (
+                        shard,
+                        None,
+                        Some(ShardError {
+                            pop_index,
+                            message: panic_message(payload),
+                        }),
+                    ),
                 };
-                done.lock()
-                    .expect("result store poisoned")
-                    .push((shard, sink, run));
+                done.lock().unwrap_or_else(|e| e.into_inner()).push(entry);
             });
         }
     });
 
-    let mut results = done.into_inner().expect("result store poisoned");
+    let mut results = done.into_inner().unwrap_or_else(|e| e.into_inner());
     // Canonical PoP order for the merge. The join canonicalizes by session
     // id anyway; sorting just keeps the intermediate sink layout — and the
     // order shard recorders are folded in — reproducible run-to-run.
@@ -572,13 +636,31 @@ where
     let mut sink = TelemetrySink::new();
     let mut shards = Vec::with_capacity(results.len());
     let mut runs = Vec::with_capacity(results.len());
-    for (shard, shard_sink, run) in results {
-        sink.absorb(shard_sink);
+    let mut errors = Vec::new();
+    for (shard, ok, err) in results {
+        if let Some((shard_sink, run)) = ok {
+            sink.absorb(shard_sink);
+            runs.push(run);
+        }
+        if let Some(e) = err {
+            errors.push(e);
+        }
         shards.push(shard);
-        runs.push(run);
     }
     fleet.merge_shards(shards);
-    (sink, runs)
+    (sink, runs, errors)
+}
+
+/// Render a caught panic payload: strings pass through, anything else
+/// gets a generic marker.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shard worker panicked with a non-string payload".to_owned()
+    }
 }
 
 /// One shard's event loop — structurally identical to [`run_sequential`],
@@ -599,19 +681,13 @@ fn run_shard<S: Subscriber>(
     while let Some(ev) = queue.pop() {
         let idx = ev.event;
         let now = ev.at;
-        let server_idx = sessions[idx].server_idx;
-        let next = step_chunk(
-            &mut sessions[idx],
-            now,
-            catalog,
-            policy,
-            shard.server_mut(server_idx),
-            sub,
-        );
+        let next = step_chunk(&mut sessions[idx], now, catalog, policy, shard, sub);
         match next {
             Some(next_t) => queue.schedule(next_t.max(now), idx),
             None => {
-                let server = shard.server(server_idx);
+                // Read the server after the step: failover may have moved
+                // the session within its PoP (never across shards).
+                let server = shard.server(sessions[idx].server_idx);
                 let (pop, id) = (server.pop(), server.id());
                 finalize_session(&mut sessions[idx], population, pop, id, &mut sink);
             }
@@ -846,6 +922,108 @@ mod tests {
         let out = run_tiny(12);
         assert!(out.metrics.is_none());
         assert!(out.trace_lines.is_none());
+    }
+
+    /// A scenario exercising every injection type at tiny scale: restarts
+    /// across the fleet, a PoP outage, a loss burst, a blackout and a
+    /// backend slowdown, all inside the 4 h tiny window.
+    fn stress_scenario() -> streamlab_faults::FaultScenario {
+        streamlab_faults::FaultScenario::from_json_str(
+            r#"{
+                "server_restarts": [
+                    {"server": 0, "at_s": 3600.0}, {"server": 1, "at_s": 3600.0},
+                    {"server": 2, "at_s": 3600.0}, {"server": 3, "at_s": 3600.0},
+                    {"server": 4, "at_s": 3600.0}, {"server": 5, "at_s": 3600.0}
+                ],
+                "pop_outages": [{"pop": 1, "from_s": 5000.0, "until_s": 5600.0}],
+                "loss_bursts": [{"from_s": 2000.0, "until_s": 2600.0, "added_loss": 0.08}],
+                "blackouts": [{"from_s": 8000.0, "until_s": 8030.0}],
+                "backend_slowdowns": [{"from_s": 9000.0, "until_s": 9600.0, "factor": 3.0}]
+            }"#,
+        )
+        .expect("valid scenario")
+    }
+
+    fn run_faulted(threads: usize) -> RunOutput {
+        let mut cfg = SimulationConfig::tiny(42);
+        cfg.threads = threads;
+        cfg.faults = stress_scenario();
+        Simulation::new(cfg)
+            .run_observed(ObsOptions { trace: false })
+            .expect("faulted run")
+    }
+
+    #[test]
+    fn faulted_run_reports_fault_activity() {
+        let out = run_faulted(2);
+        let m = &out.metrics.as_ref().expect("metrics present").sim;
+        assert_eq!(m.server_restarts.get(), 6);
+        assert!(m.outage_rejections.get() > 0, "PoP outage must reject");
+        assert!(m.request_retries.get() > 0);
+        assert!(m.retry_backoff_ns.count() == m.request_retries.get());
+        assert!(out.shard_errors.is_empty());
+        // Sessions either finish or abort; nothing is silently dropped.
+        assert_eq!(
+            m.sessions_started.get(),
+            m.sessions_ended.get(),
+            "aborted sessions still emit SessionEnd"
+        );
+    }
+
+    #[test]
+    fn faulted_metrics_identical_across_thread_counts() {
+        let json = |out: &RunOutput| {
+            serde::Serialize::to_value(&out.metrics.as_ref().expect("metrics").sim).to_json_string()
+        };
+        let seq = run_faulted(1);
+        assert!(seq.metrics.as_ref().expect("metrics").sim.fault_activity() > 0);
+        let s = json(&seq);
+        assert_eq!(s, json(&run_faulted(2)));
+        assert_eq!(s, json(&run_faulted(8)));
+    }
+
+    #[test]
+    fn injected_shard_panic_yields_partial_results() {
+        let full = run_tiny_threads(13, 2);
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 2;
+        cfg.faults.panic_pops = vec![0];
+        let out = Simulation::new(cfg).run().expect("partial run succeeds");
+        assert_eq!(out.shard_errors.len(), 1);
+        assert_eq!(out.shard_errors[0].pop_index, 0);
+        assert!(out.shard_errors[0].message.contains("injected shard panic"));
+        // The surviving shards' sessions are all there — and nothing else.
+        assert!(!out.dataset.sessions.is_empty());
+        assert!(out.dataset.sessions.len() < full.dataset.sessions.len());
+        let survivors: std::collections::HashSet<_> = out
+            .dataset
+            .sessions
+            .iter()
+            .map(|s| s.meta.session)
+            .collect();
+        // Every surviving session matches its counterpart in the full run
+        // (panic isolation does not perturb other shards).
+        for s in &full.dataset.sessions {
+            if survivors.contains(&s.meta.session) {
+                let p = out
+                    .dataset
+                    .sessions
+                    .iter()
+                    .find(|x| x.meta.session == s.meta.session)
+                    .expect("present");
+                assert_eq!(p.chunks.len(), s.chunks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_engine_ignores_panic_pops() {
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 1;
+        cfg.faults.panic_pops = vec![0];
+        let out = Simulation::new(cfg).run().expect("sequential run");
+        assert!(out.shard_errors.is_empty());
+        assert!(out.dataset.sessions.len() > 300);
     }
 
     #[test]

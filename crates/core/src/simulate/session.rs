@@ -2,13 +2,13 @@
 //! manifest → ABR → CDN serve → TCP delivery → download stack → playback
 //! buffer → rendering, emitting both sides' telemetry records.
 
-use streamlab_cdn::{CdnFleet, CdnServer, ObjectKey, PrefetchPolicy};
+use streamlab_cdn::{CdnFleet, ObjectKey, PrefetchPolicy, ServerPool};
 use streamlab_client::abr::{Abr, AbrContext};
-use streamlab_client::{DownloadStack, PlaybackBuffer, RenderPath};
+use streamlab_client::{DownloadStack, PlaybackBuffer, RenderPath, RetryDecision, RetryState};
 use streamlab_net::TcpConnection;
 use streamlab_obs::{
-    ChunkRendered, ChunkServed, CwndReset, Meta, ResetReason, SessionEnd, SessionStart, Stall,
-    Subscriber,
+    AbrEmergency, ChunkRendered, ChunkServed, CwndReset, FailReason, Failover, Meta, RequestFailed,
+    ResetReason, SessionAborted, SessionEnd, SessionStart, Stall, Subscriber,
 };
 use streamlab_sim::{RngStream, SimTime};
 use streamlab_telemetry::records::{
@@ -22,6 +22,10 @@ pub(super) struct SessionRuntime {
     pub(super) spec: SessionSpec,
     manifest_done: bool,
     pub(super) server_idx: usize,
+    /// PoP of the assigned server. Failover moves `server_idx` only
+    /// within this PoP, which is what keeps the sharded engine exact.
+    pop_index: usize,
+    retry: RetryState,
     distance_km: f64,
     conn: TcpConnection,
     stack: DownloadStack,
@@ -77,7 +81,13 @@ impl SessionRuntime {
             prefix.path.congestion_prob * rng.uniform_range(0.5, 1.8),
             prefix.path.congestion_severity,
         );
-        let conn = TcpConnection::new(path, cfg.tcp, spec.arrival, rng.fork("tcp"));
+        let mut conn = TcpConnection::new(path, cfg.tcp, spec.arrival, rng.fork("tcp"));
+        if cfg.faults.has_path_faults() {
+            conn.install_faults(cfg.faults.path_timeline());
+        }
+        // The retry stream is a fork, so sessions that never see a fault
+        // consume nothing from it and unfaulted runs stay byte-identical.
+        let retry = RetryState::new(cfg.faults.resilience, rng.fork("retry"));
         let stack = DownloadStack::new(
             spec.client.os,
             spec.client.browser,
@@ -98,6 +108,8 @@ impl SessionRuntime {
             spec,
             manifest_done: false,
             server_idx,
+            pop_index: fleet.pop_index_of(server_idx),
+            retry,
             distance_km,
             conn,
             stack,
@@ -114,35 +126,115 @@ impl SessionRuntime {
 }
 
 /// Process one chunk request for session `rt` at time `now`, serving from
-/// `server` — the session's assigned server (`rt.server_idx`) — under the
+/// its assigned server (`rt.server_idx`) in pool `pool`, under the
 /// fleet-wide prefetch policy. Returns the time of the session's next
 /// request, or `None` when the session ended.
 ///
-/// Taking the server (not the fleet) is what makes the engine shardable:
-/// a step touches exactly one server's state, so per-PoP shards can run
-/// concurrently. The policy is `Copy` and pure, so workers need no fleet
-/// reference at all.
+/// The pool is either the whole [`CdnFleet`] (sequential engine) or the
+/// session's PoP [`FleetShard`]: a step only ever touches servers of the
+/// session's own PoP (assignment and failover both stay in-PoP), so
+/// per-PoP shards can run concurrently and remain exact.
 ///
 /// Observability events flow into `sub`; with
 /// [`streamlab_obs::NoopSubscriber`] the probes monomorphize away and this
 /// is the uninstrumented step.
-pub(super) fn step_chunk<S: Subscriber>(
+pub(super) fn step_chunk<P: ServerPool, S: Subscriber>(
     rt: &mut SessionRuntime,
     now: SimTime,
     catalog: &Catalog,
     prefetch_policy: PrefetchPolicy,
-    server: &mut CdnServer,
+    pool: &mut P,
     sub: &mut S,
 ) -> Option<SimTime> {
-    debug_assert_eq!(
-        server.id().raw() as usize,
-        rt.server_idx,
-        "session stepped against a server it was not assigned to"
-    );
     let session_id = rt.spec.id.raw();
     let video = catalog.video(rt.spec.video);
 
-    // 0. The session opens by fetching the manifest (§2) — a small, hot
+    // The session-start event fires at the arrival instant, before any
+    // retry delay the acquire loop below may add.
+    if !rt.manifest_done {
+        sub.on_session_start(
+            &Meta::session(now, session_id),
+            &SessionStart {
+                server: rt.server_idx as u64,
+            },
+        );
+    }
+
+    // 0a. Acquire a serviceable request slot. A request issued inside a
+    // blackout window, or aimed at a server inside an outage window,
+    // fails after the client's timeout; the client backs off (capped
+    // exponential + seeded jitter), fails over to the next same-PoP
+    // server every `failover_after` consecutive failures, and aborts the
+    // session once a chunk burns `max_attempts_per_chunk` attempts.
+    // Faults are pure functions of the request time, so this loop is a
+    // pure function of the session's own timeline — thread-invariant.
+    let mut now = now;
+    let mut attempts_this_chunk: u32 = 0;
+    loop {
+        let reason = if rt.conn.in_blackout(now) {
+            Some(FailReason::Blackout)
+        } else if pool.pool_server(rt.server_idx).is_out(now) {
+            Some(FailReason::Outage)
+        } else {
+            None
+        };
+        let Some(reason) = reason else {
+            if attempts_this_chunk > 0 {
+                rt.retry.record_success();
+            }
+            break;
+        };
+        attempts_this_chunk += 1;
+        let decision = rt.retry.record_failure();
+        let delay = match decision {
+            RetryDecision::Retry { delay } | RetryDecision::Failover { delay } => delay,
+            RetryDecision::Abort => {
+                let meta = Meta::session(now, session_id);
+                sub.on_session_aborted(
+                    &meta,
+                    &SessionAborted {
+                        attempts: attempts_this_chunk,
+                    },
+                );
+                sub.on_session_end(
+                    &meta,
+                    &SessionEnd {
+                        chunks: rt.next_chunk,
+                    },
+                );
+                return None;
+            }
+        };
+        sub.on_request_failed(
+            &Meta::session(now, session_id),
+            &RequestFailed {
+                server: rt.server_idx as u64,
+                reason,
+                attempt: attempts_this_chunk,
+                retry_delay: delay,
+            },
+        );
+        if matches!(decision, RetryDecision::Failover { .. }) {
+            let members = pool.pop_members(rt.pop_index);
+            let pos = members
+                .binary_search(&rt.server_idx)
+                .expect("session's server is a member of its PoP");
+            let to = members[(pos + 1) % members.len()];
+            if to != rt.server_idx {
+                sub.on_failover(
+                    &Meta::session(now, session_id),
+                    &Failover {
+                        from_server: rt.server_idx as u64,
+                        to_server: to as u64,
+                    },
+                );
+                rt.server_idx = to;
+            }
+        }
+        now += delay;
+    }
+
+    // 0b. The session opens by fetching the manifest (§2) — a small, hot
     // object listing the available bitrates. It rides the same connection
     // and serve path as the chunks, and its time lands in the startup
     // delay.
@@ -150,15 +242,9 @@ pub(super) fn step_chunk<S: Subscriber>(
         now
     } else {
         rt.manifest_done = true;
-        sub.on_session_start(
-            &Meta::session(now, session_id),
-            &SessionStart {
-                server: rt.server_idx as u64,
-            },
-        );
         let rtt0 = rt.conn.rtt0_sample(now);
         let at_server = now + rtt0 / 2;
-        let outcome = server.serve_with(
+        let outcome = pool.pool_server_mut(rt.server_idx).serve_with(
             ObjectKey::manifest(rt.spec.video),
             streamlab_cdn::MANIFEST_BYTES,
             rt.spec.video.rank(),
@@ -175,13 +261,33 @@ pub(super) fn step_chunk<S: Subscriber>(
     let chunk = ChunkIndex(rt.next_chunk);
     let chunk_secs = video.chunk_seconds(chunk);
 
-    // 1. ABR picks the bitrate.
-    let bitrate = rt.abr.choose(&AbrContext {
+    // 1. ABR picks the bitrate. When retries have eaten the buffer below
+    // the emergency threshold, the player overrides it with the lowest
+    // rung — rebuffering is the one thing worse than ugly video.
+    let chosen = rt.abr.choose(&AbrContext {
         ladder: catalog.ladder(),
         throughput_kbps: &rt.throughputs,
         buffer_s: rt.buffer.level_s(),
         next_chunk: rt.next_chunk,
     });
+    let bitrate = if rt
+        .retry
+        .emergency_active(attempts_this_chunk, rt.buffer.level_s())
+    {
+        let floor = catalog.ladder().min_kbps();
+        if floor != chosen {
+            sub.on_abr_emergency(
+                &Meta::session(now, session_id),
+                &AbrEmergency {
+                    from_kbps: chosen,
+                    to_kbps: floor,
+                },
+            );
+        }
+        floor
+    } else {
+        chosen
+    };
     let key = ObjectKey {
         video: rt.spec.video,
         chunk,
@@ -196,7 +302,15 @@ pub(super) fn step_chunk<S: Subscriber>(
     // 3. The CDN serves (cache lookup, retry timer, backend, prefetch).
     let prefetch = prefetch_policy.list(catalog, key);
     let rank = rt.spec.video.rank();
-    let outcome = server.serve_with(key, size, rank, at_server, &prefetch, Some(session_id), sub);
+    let outcome = pool.pool_server_mut(rt.server_idx).serve_with(
+        key,
+        size,
+        rank,
+        at_server,
+        &prefetch,
+        Some(session_id),
+        sub,
+    );
 
     // 4. TCP delivers the bytes (self-loading, losses, snapshots).
     let send_start = at_server + outcome.total();

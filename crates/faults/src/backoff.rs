@@ -1,0 +1,74 @@
+//! Retry delay policy: timeout + capped exponential backoff with jitter.
+
+use crate::scenario::ResilienceConfig;
+use streamlab_sim::SimDuration;
+
+/// The full delay a client waits after its `attempt`-th consecutive
+/// failure (1-based) before reissuing the request:
+///
+/// ```text
+/// delay = request_timeout + min(cap, base · 2^(attempt-1)) · (1 + jitter · u)
+/// ```
+///
+/// `jitter_u` is a uniform draw in `[0, 1)` from the session's dedicated
+/// retry stream, so jitter decorrelates retry storms across sessions
+/// without perturbing any other random stream. For a fixed `jitter_u` the
+/// delay is monotone non-decreasing in `attempt` and bounded by
+/// `timeout + cap · (1 + jitter)` — both properties are proptested.
+pub fn retry_delay(cfg: &ResilienceConfig, attempt: u32, jitter_u: f64) -> SimDuration {
+    // 2^(attempt-1) in f64; clamp the exponent so huge attempt counts
+    // saturate at the cap instead of overflowing to infinity.
+    let exp = (attempt.max(1) - 1).min(63);
+    let backoff = (cfg.backoff_base_s * (1u64 << exp) as f64).min(cfg.backoff_cap_s);
+    let jittered = backoff * (1.0 + cfg.backoff_jitter * jitter_u.clamp(0.0, 1.0));
+    SimDuration::from_secs_f64(cfg.request_timeout_s + jittered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn delay_grows_then_caps() {
+        let cfg = ResilienceConfig::default();
+        let d1 = retry_delay(&cfg, 1, 0.0);
+        let d2 = retry_delay(&cfg, 2, 0.0);
+        let d10 = retry_delay(&cfg, 10, 0.0);
+        let d11 = retry_delay(&cfg, 11, 0.0);
+        assert!(d2 > d1);
+        assert_eq!(d10, d11, "capped backoff stops growing");
+        assert_eq!(
+            d10,
+            SimDuration::from_secs_f64(cfg.request_timeout_s + cfg.backoff_cap_s)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn delays_are_monotone_and_bounded(
+            attempt in 1u32..200,
+            jitter_u in 0.0f64..1.0,
+            base in 0.01f64..2.0,
+            cap in 2.0f64..30.0,
+            timeout in 0.1f64..5.0,
+            jitter in 0.0f64..1.0,
+        ) {
+            let cfg = ResilienceConfig {
+                request_timeout_s: timeout,
+                backoff_base_s: base,
+                backoff_cap_s: cap,
+                backoff_jitter: jitter,
+                ..ResilienceConfig::default()
+            };
+            let d = retry_delay(&cfg, attempt, jitter_u);
+            let next = retry_delay(&cfg, attempt + 1, jitter_u);
+            // Monotone non-decreasing in attempt for a fixed jitter draw.
+            prop_assert!(next >= d);
+            // Bounded below by the timeout, above by timeout + cap·(1+jitter).
+            prop_assert!(d >= SimDuration::from_secs_f64(timeout));
+            let bound = timeout + cap * (1.0 + jitter) + 1e-9;
+            prop_assert!(d <= SimDuration::from_secs_f64(bound));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Compiled fault timelines, queried lazily at the point of use.
+
+use streamlab_sim::SimTime;
+
+/// One server's compiled fault timeline.
+///
+/// Restarts are applied lazily: the server calls
+/// [`take_due_restarts`](ServerFaultTimeline::take_due_restarts) when a
+/// request reaches it, so the wipe happens "between" requests exactly as
+/// it would on a real machine that rebooted while idle. Because the
+/// server's request stream is identical at every thread count, so is the
+/// point at which the wipe lands.
+#[derive(Debug, Clone, Default)]
+pub struct ServerFaultTimeline {
+    /// Restart instants, sorted ascending.
+    restarts: Vec<SimTime>,
+    /// Restarts already applied (index into `restarts`).
+    next_restart: usize,
+    /// Outage windows `[from, until)`, sorted by start.
+    outages: Vec<(SimTime, SimTime)>,
+    /// Backend slowdown windows `[from, until, factor)`.
+    slowdowns: Vec<(SimTime, SimTime, f64)>,
+}
+
+impl ServerFaultTimeline {
+    /// Build a timeline from raw windows (sorted internally).
+    pub fn new(
+        mut restarts: Vec<SimTime>,
+        mut outages: Vec<(SimTime, SimTime)>,
+        mut slowdowns: Vec<(SimTime, SimTime, f64)>,
+    ) -> Self {
+        restarts.sort_unstable();
+        outages.sort_unstable();
+        slowdowns.sort_unstable_by_key(|w| (w.0, w.1));
+        ServerFaultTimeline {
+            restarts,
+            next_restart: 0,
+            outages,
+            slowdowns,
+        }
+    }
+
+    /// True when the timeline holds no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.restarts.is_empty() && self.outages.is_empty() && self.slowdowns.is_empty()
+    }
+
+    /// Number of restarts due at or before `now` that have not yet been
+    /// applied; advances the cursor so each restart fires exactly once.
+    pub fn take_due_restarts(&mut self, now: SimTime) -> u32 {
+        let mut n = 0;
+        while self.next_restart < self.restarts.len() && self.restarts[self.next_restart] <= now {
+            self.next_restart += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// True when the server is inside an outage window at `now`.
+    pub fn is_out(&self, now: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|&(from, until)| from <= now && now < until)
+    }
+
+    /// Backend latency multiplier at `now` (product of overlapping
+    /// windows; `1.0` outside every window).
+    pub fn slowdown_factor(&self, now: SimTime) -> f64 {
+        self.slowdowns
+            .iter()
+            .filter(|&&(from, until, _)| from <= now && now < until)
+            .map(|&(_, _, f)| f)
+            .product()
+    }
+}
+
+/// The path-level fault timeline shared by every session's connection.
+#[derive(Debug, Clone, Default)]
+pub struct PathFaultTimeline {
+    /// Loss bursts `[from, until, added_loss)`.
+    bursts: Vec<(SimTime, SimTime, f64)>,
+    /// Blackout windows `[from, until)`.
+    blackouts: Vec<(SimTime, SimTime)>,
+}
+
+impl PathFaultTimeline {
+    /// Build a timeline from raw windows (sorted internally).
+    pub fn new(
+        mut bursts: Vec<(SimTime, SimTime, f64)>,
+        mut blackouts: Vec<(SimTime, SimTime)>,
+    ) -> Self {
+        bursts.sort_unstable_by_key(|w| (w.0, w.1));
+        blackouts.sort_unstable();
+        PathFaultTimeline { bursts, blackouts }
+    }
+
+    /// True when the timeline holds no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.bursts.is_empty() && self.blackouts.is_empty()
+    }
+
+    /// Additional random segment-loss probability at `now` (sum of
+    /// overlapping bursts; callers clamp the combined probability to 1).
+    pub fn loss_boost(&self, now: SimTime) -> f64 {
+        self.bursts
+            .iter()
+            .filter(|&&(from, until, _)| from <= now && now < until)
+            .map(|&(_, _, p)| p)
+            .sum()
+    }
+
+    /// True when a new request issued at `now` falls into a blackout.
+    pub fn in_blackout(&self, now: SimTime) -> bool {
+        self.blackouts
+            .iter()
+            .any(|&(from, until)| from <= now && now < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restarts_fire_exactly_once_in_order() {
+        let mut t = ServerFaultTimeline::new(
+            vec![SimTime::from_secs(30), SimTime::from_secs(10)],
+            Vec::new(),
+            Vec::new(),
+        );
+        assert_eq!(t.take_due_restarts(SimTime::from_secs(5)), 0);
+        assert_eq!(t.take_due_restarts(SimTime::from_secs(10)), 1);
+        assert_eq!(t.take_due_restarts(SimTime::from_secs(10)), 0);
+        assert_eq!(t.take_due_restarts(SimTime::from_secs(100)), 1);
+        assert_eq!(t.take_due_restarts(SimTime::from_secs(200)), 0);
+    }
+
+    #[test]
+    fn slowdown_factors_multiply_when_windows_overlap() {
+        let t = ServerFaultTimeline::new(
+            Vec::new(),
+            Vec::new(),
+            vec![
+                (SimTime::from_secs(0), SimTime::from_secs(10), 2.0),
+                (SimTime::from_secs(5), SimTime::from_secs(15), 3.0),
+            ],
+        );
+        assert_eq!(t.slowdown_factor(SimTime::from_secs(2)), 2.0);
+        assert_eq!(t.slowdown_factor(SimTime::from_secs(7)), 6.0);
+        assert_eq!(t.slowdown_factor(SimTime::from_secs(12)), 3.0);
+        assert_eq!(t.slowdown_factor(SimTime::from_secs(20)), 1.0);
+    }
+
+    #[test]
+    fn path_timeline_sums_bursts_and_finds_blackouts() {
+        let t = PathFaultTimeline::new(
+            vec![
+                (SimTime::from_secs(0), SimTime::from_secs(10), 0.02),
+                (SimTime::from_secs(5), SimTime::from_secs(10), 0.03),
+            ],
+            vec![(SimTime::from_secs(20), SimTime::from_secs(21))],
+        );
+        assert!((t.loss_boost(SimTime::from_secs(7)) - 0.05).abs() < 1e-12);
+        assert!((t.loss_boost(SimTime::from_secs(2)) - 0.02).abs() < 1e-12);
+        assert_eq!(t.loss_boost(SimTime::from_secs(15)), 0.0);
+        assert!(t.in_blackout(SimTime::from_secs(20)));
+        assert!(!t.in_blackout(SimTime::from_secs(21)));
+    }
+}

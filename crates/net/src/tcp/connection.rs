@@ -4,6 +4,7 @@
 
 use super::{ChunkTransfer, CongestionControl, TcpConfig, TcpInfo};
 use crate::path::PathProfile;
+use streamlab_faults::PathFaultTimeline;
 use streamlab_obs::{
     CwndReset, Meta, NoopSubscriber, ResetReason, Retransmit, RtoTimeout, Subscriber,
 };
@@ -35,6 +36,8 @@ pub struct TcpConnection {
     cubic_w_max: f64,
     /// CUBIC state: when the current growth epoch began.
     cubic_epoch: SimTime,
+    /// Injected path faults (loss bursts, blackouts); empty by default.
+    faults: PathFaultTimeline,
 }
 
 impl TcpConnection {
@@ -58,7 +61,21 @@ impl TcpConnection {
             min_rtt_ever: SimDuration::from_nanos(u64::MAX),
             cubic_w_max: 0.0,
             cubic_epoch: SimTime::ZERO,
+            faults: PathFaultTimeline::default(),
         }
+    }
+
+    /// Install the injected path-fault timeline (loss bursts, blackouts).
+    pub fn install_faults(&mut self, faults: PathFaultTimeline) {
+        self.faults = faults;
+    }
+
+    /// True when a *new* request issued at `t` falls into an injected
+    /// blackout window. Transfers already in flight ride the episode out
+    /// inside TCP (retransmissions), so the orchestrator checks this at
+    /// request time only.
+    pub fn in_blackout(&self, t: SimTime) -> bool {
+        self.faults.in_blackout(t)
     }
 
     /// CUBIC window at `elapsed` seconds into the current epoch:
@@ -332,8 +349,10 @@ impl TcpConnection {
             };
 
             let sent_segs = w_segs as u32;
-            let random_lost =
-                self.poisson((w_segs - overflow_segs).max(0.0) * self.path.random_loss);
+            // Injected loss bursts stack on the path's baseline random
+            // loss for rounds inside the burst window.
+            let loss_p = (self.path.random_loss + self.faults.loss_boost(t)).min(1.0);
+            let random_lost = self.poisson((w_segs - overflow_segs).max(0.0) * loss_p);
             let lost = (overflow_segs as u32 + random_lost).min(sent_segs);
 
             // The path's own latency this round (jitter/spikes/cross

@@ -468,4 +468,38 @@ mod tests {
         let r = c.rtt0_sample(SimTime::ZERO);
         assert!((r.as_millis_f64() - 80.0).abs() < 1.0, "{r}");
     }
+
+    #[test]
+    fn loss_burst_injects_retransmissions() {
+        use streamlab_faults::PathFaultTimeline;
+        // Identical seeds: the only difference is the installed burst.
+        let mut clean = conn(quiet_path(100.0, 40.0, 8.0), TcpConfig::default(), 17);
+        let mut bursty = conn(quiet_path(100.0, 40.0, 8.0), TcpConfig::default(), 17);
+        bursty.install_faults(PathFaultTimeline::new(
+            vec![(SimTime::ZERO, SimTime::from_secs(60), 0.10)],
+            Vec::new(),
+        ));
+        let a = clean.transfer(SimTime::ZERO, CHUNK);
+        let b = bursty.transfer(SimTime::ZERO, CHUNK);
+        assert_eq!(a.retx, 0, "clean fat path has no loss");
+        assert!(b.retx > 0, "10% injected loss must retransmit");
+        assert!(b.duration() > a.duration());
+        // Outside the burst window the same connection is clean again.
+        let after = bursty.transfer(SimTime::from_secs(120), CHUNK);
+        assert_eq!(after.retx, 0, "burst must end with its window");
+    }
+
+    #[test]
+    fn blackout_window_is_queryable_at_request_time() {
+        use streamlab_faults::PathFaultTimeline;
+        let mut c = conn(quiet_path(50.0, 40.0, 4.0), TcpConfig::default(), 18);
+        assert!(!c.in_blackout(SimTime::from_secs(30)));
+        c.install_faults(PathFaultTimeline::new(
+            Vec::new(),
+            vec![(SimTime::from_secs(20), SimTime::from_secs(40))],
+        ));
+        assert!(c.in_blackout(SimTime::from_secs(20)));
+        assert!(c.in_blackout(SimTime::from_secs(39)));
+        assert!(!c.in_blackout(SimTime::from_secs(40)));
+    }
 }

@@ -141,6 +141,66 @@ pub struct ChunkServed {
     pub download: SimDuration,
 }
 
+/// Why an injected fault rejected a chunk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FailReason {
+    /// The target server (or its whole PoP) was inside an outage window.
+    Outage,
+    /// The network path was inside a blackout window.
+    Blackout,
+}
+
+/// An injected server restart was applied: the server's RAM cache was
+/// wiped while its disk tier stayed warm (the paper's §5 churn
+/// mechanism).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServerRestarted {
+    /// Global index of the restarted server.
+    pub server: u64,
+}
+
+/// A chunk request failed (injected outage or blackout) and the client
+/// scheduled a retry.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RequestFailed {
+    /// Global index of the server the request targeted.
+    pub server: u64,
+    /// Why the request failed.
+    pub reason: FailReason,
+    /// How many attempts this chunk has burned so far (1-based).
+    pub attempt: u32,
+    /// Timeout + backoff the client waits before the next attempt.
+    pub retry_delay: SimDuration,
+}
+
+/// After repeated failures the client switched to another server in the
+/// same PoP.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Failover {
+    /// Server the session was on.
+    pub from_server: u64,
+    /// Server it moved to.
+    pub to_server: u64,
+}
+
+/// Retries ate the playback buffer below the emergency threshold and the
+/// ABR dropped to the lowest rung.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct AbrEmergency {
+    /// Bitrate the ABR would have picked, kbit/s.
+    pub from_kbps: u32,
+    /// Emergency bitrate actually used, kbit/s.
+    pub to_kbps: u32,
+}
+
+/// A session gave up on a chunk after `max_attempts_per_chunk` failures
+/// and ended early.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SessionAborted {
+    /// Failed attempts the final chunk burned.
+    pub attempts: u32,
+}
+
 /// A fleet shard was merged back after its event loop drained.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ShardMerge {
@@ -225,6 +285,41 @@ pub trait Subscriber {
     /// A chunk was served end to end.
     #[inline]
     fn on_chunk_served(&mut self, meta: &Meta, event: &ChunkServed) {
+        let _ = meta;
+        let _ = event;
+    }
+
+    /// An injected server restart was applied.
+    #[inline]
+    fn on_server_restarted(&mut self, meta: &Meta, event: &ServerRestarted) {
+        let _ = meta;
+        let _ = event;
+    }
+
+    /// A chunk request failed and will be retried.
+    #[inline]
+    fn on_request_failed(&mut self, meta: &Meta, event: &RequestFailed) {
+        let _ = meta;
+        let _ = event;
+    }
+
+    /// A session failed over to another server.
+    #[inline]
+    fn on_failover(&mut self, meta: &Meta, event: &Failover) {
+        let _ = meta;
+        let _ = event;
+    }
+
+    /// The ABR made an emergency down-switch.
+    #[inline]
+    fn on_abr_emergency(&mut self, meta: &Meta, event: &AbrEmergency) {
+        let _ = meta;
+        let _ = event;
+    }
+
+    /// A session aborted after exhausting its retry budget.
+    #[inline]
+    fn on_session_aborted(&mut self, meta: &Meta, event: &SessionAborted) {
         let _ = meta;
         let _ = event;
     }

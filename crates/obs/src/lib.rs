@@ -36,9 +36,10 @@ pub mod profile;
 pub mod recorder;
 
 pub use event::{
-    CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, Meta, NoopSubscriber,
-    ResetReason, Retransmit, RetryTimerFired, RtoTimeout, SessionEnd, SessionStart, ShardMerge,
-    Stall, Subscriber,
+    AbrEmergency, CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, FailReason,
+    Failover, Meta, NoopSubscriber, RequestFailed, ResetReason, Retransmit, RetryTimerFired,
+    RtoTimeout, ServerRestarted, SessionAborted, SessionEnd, SessionStart, ShardMerge, Stall,
+    Subscriber,
 };
 pub use metrics::{Counter, Gauge, LogLinearHistogram, SimMetrics};
 pub use profile::{RunMetrics, RunProfile, ShardProfile};

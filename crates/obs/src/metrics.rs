@@ -285,12 +285,28 @@ pub struct SimMetrics {
     pub frames_rendered: Counter,
     /// Frames dropped.
     pub frames_dropped: Counter,
+    /// Injected server restarts applied (RAM cache wiped).
+    pub server_restarts: Counter,
+    /// Chunk requests rejected by a server/PoP outage window.
+    pub outage_rejections: Counter,
+    /// Chunk requests rejected by a network blackout window.
+    pub blackout_rejections: Counter,
+    /// Chunk request retries scheduled (== failed attempts).
+    pub request_retries: Counter,
+    /// Same-PoP server failovers performed by sessions.
+    pub failovers: Counter,
+    /// ABR emergency down-switches (retries ate the buffer).
+    pub abr_emergency_switches: Counter,
+    /// Sessions aborted after exhausting their per-chunk retry budget.
+    pub sessions_aborted: Counter,
     /// Total server-side serve latency per chunk, nanoseconds.
     pub serve_latency_ns: LogLinearHistogram,
     /// Request → player first byte (`D_FB`) per chunk, nanoseconds.
     pub first_byte_ns: LogLinearHistogram,
     /// Player first → last byte (`D_LB`) per chunk, nanoseconds.
     pub download_ns: LogLinearHistogram,
+    /// Retry delay (timeout + backoff) per failed attempt, nanoseconds.
+    pub retry_backoff_ns: LogLinearHistogram,
 }
 
 impl SimMetrics {
@@ -325,9 +341,18 @@ impl SimMetrics {
         self.stall_sim_ns.merge(other.stall_sim_ns);
         self.frames_rendered.merge(other.frames_rendered);
         self.frames_dropped.merge(other.frames_dropped);
+        self.server_restarts.merge(other.server_restarts);
+        self.outage_rejections.merge(other.outage_rejections);
+        self.blackout_rejections.merge(other.blackout_rejections);
+        self.request_retries.merge(other.request_retries);
+        self.failovers.merge(other.failovers);
+        self.abr_emergency_switches
+            .merge(other.abr_emergency_switches);
+        self.sessions_aborted.merge(other.sessions_aborted);
         self.serve_latency_ns.merge(&other.serve_latency_ns);
         self.first_byte_ns.merge(&other.first_byte_ns);
         self.download_ns.merge(&other.download_ns);
+        self.retry_backoff_ns.merge(&other.retry_backoff_ns);
     }
 
     /// Chunk serves (hits + misses).
@@ -367,6 +392,18 @@ impl SimMetrics {
         } else {
             self.retry_timer_fires.get() as f64 / serves as f64
         }
+    }
+
+    /// Total injected-fault / resilience activity; zero for an unfaulted
+    /// run (used to decide whether summaries print a faults line).
+    pub fn fault_activity(&self) -> u64 {
+        self.server_restarts.get()
+            + self.outage_rejections.get()
+            + self.blackout_rejections.get()
+            + self.request_retries.get()
+            + self.failovers.get()
+            + self.abr_emergency_switches.get()
+            + self.sessions_aborted.get()
     }
 }
 

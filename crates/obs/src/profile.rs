@@ -108,6 +108,18 @@ impl RunMetrics {
             p.event_loop_ms,
             p.merge_ms,
         ));
+        if s.fault_activity() > 0 {
+            out.push_str(&format!(
+                "faults: {} restarts, {} outage / {} blackout rejections, {} retries, {} failovers, {} emergency switches, {} aborted\n",
+                s.server_restarts.get(),
+                s.outage_rejections.get(),
+                s.blackout_rejections.get(),
+                s.request_retries.get(),
+                s.failovers.get(),
+                s.abr_emergency_switches.get(),
+                s.sessions_aborted.get(),
+            ));
+        }
         if !p.shards.is_empty() {
             out.push_str("shards:");
             for sh in &p.shards {

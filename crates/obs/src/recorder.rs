@@ -2,8 +2,9 @@
 //! optionally buffers a structured JSONL trace.
 
 use crate::event::{
-    CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, Meta, ResetReason, Retransmit,
-    RetryTimerFired, RtoTimeout, SessionEnd, SessionStart, ShardMerge, Stall, Subscriber,
+    AbrEmergency, CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, FailReason,
+    Failover, Meta, RequestFailed, ResetReason, Retransmit, RetryTimerFired, RtoTimeout,
+    ServerRestarted, SessionAborted, SessionEnd, SessionStart, ShardMerge, Stall, Subscriber,
 };
 use crate::metrics::SimMetrics;
 use serde::{Map, Serialize, Value};
@@ -159,6 +160,38 @@ impl Subscriber for MetricsRecorder {
             .record(event.first_byte.as_nanos());
         self.metrics.download_ns.record(event.download.as_nanos());
         self.emit(meta, "ChunkServed", event);
+    }
+
+    fn on_server_restarted(&mut self, meta: &Meta, event: &ServerRestarted) {
+        self.metrics.server_restarts.inc();
+        self.emit(meta, "ServerRestarted", event);
+    }
+
+    fn on_request_failed(&mut self, meta: &Meta, event: &RequestFailed) {
+        match event.reason {
+            FailReason::Outage => self.metrics.outage_rejections.inc(),
+            FailReason::Blackout => self.metrics.blackout_rejections.inc(),
+        }
+        self.metrics.request_retries.inc();
+        self.metrics
+            .retry_backoff_ns
+            .record(event.retry_delay.as_nanos());
+        self.emit(meta, "RequestFailed", event);
+    }
+
+    fn on_failover(&mut self, meta: &Meta, event: &Failover) {
+        self.metrics.failovers.inc();
+        self.emit(meta, "Failover", event);
+    }
+
+    fn on_abr_emergency(&mut self, meta: &Meta, event: &AbrEmergency) {
+        self.metrics.abr_emergency_switches.inc();
+        self.emit(meta, "AbrEmergency", event);
+    }
+
+    fn on_session_aborted(&mut self, meta: &Meta, event: &SessionAborted) {
+        self.metrics.sessions_aborted.inc();
+        self.emit(meta, "SessionAborted", event);
     }
 
     fn on_shard_merge(&mut self, meta: &Meta, event: &ShardMerge) {
