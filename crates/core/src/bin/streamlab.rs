@@ -8,15 +8,26 @@
 //! streamlab recurrence [--days N] [opts] # the §4.2.1 multi-day study
 //! streamlab trace [opts]                 # write the workload trace as JSON
 //! streamlab replay <trace.json> [opts]   # replay a saved trace
-//! streamlab sweep [--seeds N] [opts]     # seed-robustness sweep
+//! streamlab sweep [--seeds N] [opts]     # seed-robustness sweep (checkpointed)
+//! streamlab sweep --resume DIR           # resume an interrupted sweep
 //!
 //! options: --scale tiny|small|default   (default: small)
 //!          --seed N                     (default: 2016)
 //!          --seeds N                    (sweep only: number of seeds)
-//!          --out DIR                    (run only; default: streamlab-out)
+//!          --out DIR                    (run/sweep; default: streamlab-out)
+//!          --resume DIR                 (sweep only: continue from a run
+//!                                        directory, skipping completed
+//!                                        seeds; config comes from its
+//!                                        manifest)
 //!          --threads N                  (default: 1 = sequential engine;
 //!                                        >1 shards the run by PoP, output
 //!                                        is identical at any thread count)
+//!          --shard-deadline SECS        (watchdog: cancel a shard that
+//!                                        makes no progress for SECS wall
+//!                                        seconds and keep the rest)
+//!          --audit                      (verify structural invariants of
+//!                                        the finished run and fail loudly
+//!                                        on any violation)
 //!          --metrics-out FILE           (run only: write the deterministic
 //!                                        metrics block as JSON)
 //!          --trace-events FILE          (run only: write the structured
@@ -25,14 +36,19 @@
 //!                                        restarts/outages, loss bursts,
 //!                                        blackouts, backend slowdowns —
 //!                                        see examples/*.json)
+//!
+//! All file outputs are atomic: written to a same-directory staging file,
+//! fsynced, then renamed into place, so a crash never leaves a torn file.
 //! ```
 
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use streamlab::ablation;
 use streamlab::experiments::{full_report, run_experiment, ExperimentId};
 use streamlab::multiday::recurrence_study;
+use streamlab::supervisor::{atomic_write, atomic_write_with};
 use streamlab::telemetry::export;
 use streamlab::{ObsOptions, Simulation, SimulationConfig};
 
@@ -41,8 +57,12 @@ struct Opts {
     seed: u64,
     out: PathBuf,
     days: usize,
+    days_given: bool,
     seeds: Option<usize>,
     threads: usize,
+    shard_deadline: Option<f64>,
+    audit: bool,
+    resume: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     trace_events: Option<PathBuf>,
     faults: Option<String>,
@@ -55,8 +75,12 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         seed: 2016,
         out: PathBuf::from("streamlab-out"),
         days: 5,
+        days_given: false,
         seeds: None,
         threads: 1,
+        shard_deadline: None,
+        audit: false,
+        resume: None,
         metrics_out: None,
         trace_events: None,
         faults: None,
@@ -84,6 +108,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     .ok_or("--days needs a value")?
                     .parse()
                     .map_err(|e| format!("bad days: {e}"))?;
+                opts.days_given = true;
             }
             "--seeds" => {
                 opts.seeds = Some(
@@ -102,6 +127,23 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 if opts.threads == 0 {
                     return Err("--threads must be at least 1".into());
                 }
+            }
+            "--shard-deadline" => {
+                let secs: f64 = it
+                    .next()
+                    .ok_or("--shard-deadline needs a value (seconds)")?
+                    .parse()
+                    .map_err(|e| format!("bad shard deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--shard-deadline must be a positive number of seconds".into());
+                }
+                opts.shard_deadline = Some(secs);
+            }
+            "--audit" => {
+                opts.audit = true;
+            }
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(it.next().ok_or("--resume needs a value")?));
             }
             "--metrics-out" => {
                 opts.metrics_out = Some(PathBuf::from(
@@ -130,10 +172,18 @@ fn config(opts: &Opts) -> Result<SimulationConfig, String> {
         other => return Err(format!("unknown scale '{other}' (tiny|small|default)")),
     };
     cfg.threads = opts.threads;
+    if let Some(secs) = opts.shard_deadline {
+        cfg.shard_deadline_ms = (secs * 1000.0).round().max(1.0) as u64;
+    }
     if let Some(path) = &opts.faults {
         cfg.faults = streamlab::faults::FaultScenario::from_json_file(path)?;
     }
     Ok(cfg)
+}
+
+/// `io::Error` → CLI error with the offending path.
+fn at(path: &std::path::Path) -> impl Fn(io::Error) -> String + '_ {
+    move |e| format!("{}: {e}", path.display())
 }
 
 /// Report shards that died mid-run. The run still succeeds with partial
@@ -160,9 +210,11 @@ fn find_experiment(name: &str) -> Option<ExperimentId> {
 fn usage() -> &'static str {
     "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep> \
      [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--seeds N] [--threads N] \
+     [--shard-deadline SECS] [--audit] [--resume DIR] \
      [--metrics-out FILE] [--trace-events FILE] [--faults FILE]\n\
      (sweep: --seeds sets the seed count; passing --days for that is deprecated \
-     and kept only for backward compatibility)"
+     and kept only for backward compatibility. sweep checkpoints per-seed results \
+     under --out; --resume DIR continues an interrupted sweep from its manifest.)"
 }
 
 fn main() -> ExitCode {
@@ -217,6 +269,17 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         .run_observed(obs)
         .map_err(|e| e.to_string())?;
     warn_partial(&out);
+
+    if opts.audit {
+        let report = out
+            .audit()
+            .ok_or("internal error: observed run has no metrics to audit")?;
+        eprintln!("{}", report.render());
+        if !report.is_clean() {
+            return Err("audit failed: structural invariants violated (see above)".into());
+        }
+    }
+
     fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
 
     let metrics = out
@@ -227,7 +290,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         // Only the deterministic block goes to disk: byte-identical at
         // any --threads value (the wall-clock profile is not).
         let json = serde_json::to_string_pretty(&metrics.sim).map_err(|e| e.to_string())?;
-        fs::write(path, json + "\n").map_err(|e| format!("{}: {e}", path.display()))?;
+        atomic_write(path, (json + "\n").as_bytes()).map_err(at(path))?;
     }
     if let Some(path) = &opts.trace_events {
         let lines = out.trace_lines.as_deref().unwrap_or(&[]);
@@ -235,26 +298,34 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         if !body.is_empty() {
             body.push('\n');
         }
-        fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+        atomic_write(path, body.as_bytes()).map_err(at(path))?;
     }
 
     let report = full_report(&out);
-    fs::write(opts.out.join("report.txt"), &report).map_err(|e| e.to_string())?;
+    let report_path = opts.out.join("report.txt");
+    atomic_write(&report_path, report.as_bytes()).map_err(at(&report_path))?;
 
     let mut all = serde_json::Map::new();
     for &id in ExperimentId::all() {
         all.insert(format!("{id:?}"), run_experiment(id, &out).json);
     }
-    fs::write(
-        opts.out.join("figures.json"),
-        serde_json::to_string_pretty(&all).map_err(|e| e.to_string())?,
+    let figures_path = opts.out.join("figures.json");
+    atomic_write(
+        &figures_path,
+        serde_json::to_string_pretty(&all)
+            .map_err(|e| e.to_string())?
+            .as_bytes(),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(at(&figures_path))?;
 
-    let chunks = fs::File::create(opts.out.join("chunks.csv")).map_err(|e| e.to_string())?;
-    export::write_chunks_csv(&out.dataset, chunks).map_err(|e| e.to_string())?;
-    let sessions = fs::File::create(opts.out.join("sessions.csv")).map_err(|e| e.to_string())?;
-    export::write_sessions_csv(&out.dataset, sessions).map_err(|e| e.to_string())?;
+    let chunks_path = opts.out.join("chunks.csv");
+    atomic_write_with(&chunks_path, |f| export::write_chunks_csv(&out.dataset, f))
+        .map_err(at(&chunks_path))?;
+    let sessions_path = opts.out.join("sessions.csv");
+    atomic_write_with(&sessions_path, |f| {
+        export::write_sessions_csv(&out.dataset, f)
+    })
+    .map_err(at(&sessions_path))?;
     let plots =
         streamlab::plot::emit_all(&out, &opts.out.join("plots")).map_err(|e| e.to_string())?;
 
@@ -329,18 +400,45 @@ fn cmd_ablation(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
-    let cfg = config(opts)?;
     // --seeds is the real flag; --days is honored as a deprecated alias
-    // (earlier releases reused it to keep the flag set small).
-    let n_seeds = opts.seeds.unwrap_or(opts.days);
-    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| opts.seed + i).collect();
-    eprintln!(
-        "sweeping {} seeds at the {} scale ...",
-        seeds.len(),
-        opts.scale
-    );
-    let s = streamlab::sweep::run_seeds(&cfg, &seeds).map_err(|e| e.to_string())?;
-    println!("{}", streamlab::sweep::render(&s));
+    // (earlier releases reused it to keep the flag set small). Warn once.
+    if opts.days_given && opts.seeds.is_none() {
+        eprintln!(
+            "warning: `sweep --days N` is deprecated; use `sweep --seeds N` \
+             (--days keeps working for now)"
+        );
+    }
+    let result = if let Some(dir) = &opts.resume {
+        eprintln!("resuming sweep from {} ...", dir.display());
+        streamlab::sweep::resume_checkpointed(dir, opts.audit)?
+    } else {
+        let cfg = config(opts)?;
+        let n_seeds = opts.seeds.unwrap_or(opts.days);
+        let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| opts.seed + i).collect();
+        eprintln!(
+            "sweeping {} seeds at the {} scale (checkpoints in {}) ...",
+            seeds.len(),
+            opts.scale,
+            opts.out.display()
+        );
+        streamlab::sweep::run_seeds_checkpointed(&cfg, &seeds, &opts.out, opts.audit)?
+    };
+    if !result.resumed.is_empty() {
+        eprintln!(
+            "resumed {} completed seed(s) from checkpoints; computed {} fresh",
+            result.resumed.len(),
+            result.computed.len()
+        );
+    }
+    for name in &result.skipped_records {
+        eprintln!("warning: ignored unusable checkpoint record {name} (recomputed its seed)");
+    }
+    // The merged summary, durable next to the per-seed records.
+    let dir = opts.resume.as_deref().unwrap_or(&opts.out);
+    let summary_path = dir.join("sweep.json");
+    let json = serde_json::to_string_pretty(&result.summary).map_err(|e| e.to_string())?;
+    atomic_write(&summary_path, (json + "\n").as_bytes()).map_err(at(&summary_path))?;
+    println!("{}", streamlab::sweep::render(&result.summary));
     Ok(())
 }
 
@@ -349,8 +447,10 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
     let specs = streamlab::trace::generate_trace(&cfg);
     fs::create_dir_all(&opts.out).map_err(|e| e.to_string())?;
     let path = opts.out.join("trace.json");
-    let file = fs::File::create(&path).map_err(|e| e.to_string())?;
-    streamlab::trace::save_trace(&specs, file).map_err(|e| e.to_string())?;
+    atomic_write_with(&path, |f| {
+        streamlab::trace::save_trace(&specs, f).map_err(io::Error::other)
+    })
+    .map_err(at(&path))?;
     eprintln!("wrote {} sessions to {}", specs.len(), path.display());
     Ok(())
 }

@@ -64,6 +64,13 @@ pub struct SimulationConfig {
     /// (sessions never touch servers outside their assigned PoP), so this
     /// is purely a wall-clock knob.
     pub threads: usize,
+    /// Shard watchdog deadline, wall-clock milliseconds; `0` disables
+    /// the watchdog. With a deadline set, a shard whose *sim-time* stops
+    /// advancing for this long is cancelled and reported as a structured
+    /// stall (partial results) instead of hanging the run. Wall-clock
+    /// only decides *whether a shard is abandoned*, never any simulated
+    /// quantity, so determinism is unaffected on runs that don't stall.
+    pub shard_deadline_ms: u64,
 }
 
 impl SimulationConfig {
@@ -101,6 +108,7 @@ impl SimulationConfig {
             propagation: PropagationModel::default(),
             faults: FaultScenario::default(),
             threads: 1,
+            shard_deadline_ms: 0,
         }
     }
 

@@ -61,5 +61,6 @@ pub use streamlab_faults as faults;
 pub use streamlab_net as net;
 pub use streamlab_obs as obs;
 pub use streamlab_sim as sim;
+pub use streamlab_supervisor as supervisor;
 pub use streamlab_telemetry as telemetry;
 pub use streamlab_workload as workload;

@@ -12,6 +12,13 @@ use std::io;
 use std::path::Path;
 use streamlab_analysis::figures::{cdn, client, network, CdfSeries};
 use streamlab_analysis::stats::BinnedSeries;
+use streamlab_supervisor::atomic_write;
+
+/// All plot files go through the atomic temp-file + rename path: a crash
+/// mid-emission never leaves a torn `.dat`/`.gp` for gnuplot to choke on.
+fn write_file(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> io::Result<()> {
+    atomic_write(path.as_ref(), contents.as_ref())
+}
 
 /// Write `series` as a two-column `.dat` file.
 fn write_xy(path: &Path, points: &[(f64, f64)]) -> io::Result<()> {
@@ -19,7 +26,7 @@ fn write_xy(path: &Path, points: &[(f64, f64)]) -> io::Result<()> {
     for (x, y) in points {
         let _ = writeln!(s, "{x} {y}");
     }
-    fs::write(path, s)
+    write_file(path, s)
 }
 
 /// Write a binned series as `x mean median q25 q75`.
@@ -32,7 +39,7 @@ fn write_binned(path: &Path, series: &BinnedSeries) -> io::Result<()> {
             b.x_center, b.mean, b.median, b.q25, b.q75, b.count
         );
     }
-    fs::write(path, s)
+    write_file(path, s)
 }
 
 /// A gnuplot script plotting one or more curves from `.dat` files.
@@ -78,7 +85,7 @@ fn cdf_plot(
         plots.push((dat, s.label.clone()));
     }
     let script = gp_script(&format!("{stem}.png"), title, xlabel, "CDF", logx, &plots);
-    fs::write(dir.join(format!("{stem}.gp")), script)
+    write_file(dir.join(format!("{stem}.gp")), script)
 }
 
 fn binned_plot(
@@ -102,7 +109,7 @@ fn binned_plot(
         s,
         "plot '{dat}' using 1:2 with linespoints lw 2 title 'mean', \\\n     '{dat}' using 1:3:4:5 with yerrorbars title 'median (IQR)'"
     );
-    fs::write(dir.join(format!("{stem}.gp")), s)
+    write_file(dir.join(format!("{stem}.gp")), s)
 }
 
 /// Emit `.dat` + `.gp` files for every plottable exhibit into `dir`.
@@ -126,7 +133,7 @@ pub fn emit_all(out: &RunOutput, dir: &Path) -> io::Result<usize> {
 
     let f3b = cdn::fig03b(ds);
     write_xy(&dir.join("fig03b.dat"), &f3b)?;
-    fs::write(
+    write_file(
         dir.join("fig03b.gp"),
         gp_script(
             "fig03b.png",
@@ -250,8 +257,8 @@ pub fn emit_all(out: &RunOutput, dir: &Path) -> io::Result<usize> {
     for r in &f14 {
         let _ = writeln!(dat, "{} {} {}", r.chunk, r.p_rebuf, r.p_rebuf_given_loss);
     }
-    fs::write(dir.join("fig14.dat"), dat)?;
-    fs::write(
+    write_file(dir.join("fig14.dat"), dat)?;
+    write_file(
         dir.join("fig14.gp"),
         "set terminal pngcairo size 800,560
 set output 'fig14.png'
@@ -328,8 +335,8 @@ set grid
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(dat, "{} {}", i, r.dropped_pct);
     }
-    fs::write(dir.join("fig20.dat"), dat)?;
-    fs::write(
+    write_file(dir.join("fig20.dat"), dat)?;
+    write_file(
         dir.join("fig20.gp"),
         "set terminal pngcairo size 800,560\nset output 'fig20.png'\n\
          set title 'Dropped frames vs CPU load (controlled)'\n\

@@ -18,14 +18,15 @@
 use crate::config::SimulationConfig;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
 use streamlab_obs::{
-    Meta, MetricsRecorder, NoopSubscriber, RunMetrics, RunProfile, ShardMerge, ShardProfile,
-    SimMetrics, Subscriber,
+    Meta, MetricsRecorder, NoopSubscriber, ProgressCell, RunMetrics, RunProfile, ShardMerge,
+    ShardProfile, ShardStalled, SimMetrics, Subscriber,
 };
 use streamlab_sim::{EventQueue, RngStream, SimTime};
+use streamlab_supervisor::watchdog::{self, WatchdogConfig};
 use streamlab_telemetry::{Dataset, TelemetrySink};
 use streamlab_workload::{Catalog, Population, SessionGenerator, SessionSpec};
 
@@ -36,6 +37,9 @@ pub enum SimError {
     Join(streamlab_telemetry::JoinError),
     /// A replayed session trace references entities outside this world.
     InvalidTrace(String),
+    /// The configuration is self-contradictory (e.g. a stall harness
+    /// fault without a shard deadline to detect it).
+    Config(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -43,6 +47,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Join(e) => write!(f, "telemetry join failed: {e}"),
             SimError::InvalidTrace(msg) => write!(f, "invalid session trace: {msg}"),
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -53,20 +58,58 @@ impl std::error::Error for SimError {}
 /// sessions land in the dataset, and the error is reported here instead
 /// of poisoning the whole run.
 #[derive(Debug, Clone)]
-pub struct ShardError {
-    /// PoP index of the shard whose worker panicked.
-    pub pop_index: usize,
-    /// The panic payload, when it was a string (the common case).
-    pub message: String,
+pub enum ShardError {
+    /// The shard's worker panicked (a bug, or an injected `panic_pops`
+    /// harness fault); its half-built results were dropped.
+    Panicked {
+        /// PoP index of the shard whose worker panicked.
+        pop_index: usize,
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
+    /// The shard's sim-time stopped advancing past the configured
+    /// `shard_deadline_ms` and the supervisor watchdog cancelled it; its
+    /// partial results were dropped.
+    Stalled {
+        /// PoP index of the stalled shard.
+        pop_index: usize,
+        /// Events the shard had processed when it was cancelled.
+        events: u64,
+        /// The sim-time (ns) the shard was stuck at.
+        sim_ns: u64,
+        /// The deadline it exceeded, wall-clock milliseconds.
+        deadline_ms: u64,
+    },
+}
+
+impl ShardError {
+    /// PoP index of the failed shard, whatever the failure mode.
+    pub fn pop_index(&self) -> usize {
+        match self {
+            ShardError::Panicked { pop_index, .. } => *pop_index,
+            ShardError::Stalled { pop_index, .. } => *pop_index,
+        }
+    }
 }
 
 impl std::fmt::Display for ShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "shard for PoP {} panicked: {}",
-            self.pop_index, self.message
-        )
+        match self {
+            ShardError::Panicked { pop_index, message } => {
+                write!(f, "shard for PoP {pop_index} panicked: {message}")
+            }
+            ShardError::Stalled {
+                pop_index,
+                events,
+                sim_ns,
+                deadline_ms,
+            } => write!(
+                f,
+                "shard for PoP {pop_index} stalled at sim t={:.3}s after {events} events \
+                 (no progress for {deadline_ms} ms); cancelled by the watchdog",
+                *sim_ns as f64 / 1.0e9
+            ),
+        }
     }
 }
 
@@ -159,6 +202,47 @@ impl RunOutput {
             .collect();
         out.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.metro.cmp(&b.metro)));
         out
+    }
+
+    /// Summarize the primary outputs into the plain numbers the
+    /// supervisor's invariant auditor checks against [`SimMetrics`].
+    pub fn audit_facts(&self) -> streamlab_supervisor::DatasetFacts {
+        let mut nonmonotonic = Vec::new();
+        let mut noncontiguous = Vec::new();
+        let mut chunks = 0u64;
+        for s in &self.dataset.sessions {
+            chunks += s.chunks.len() as u64;
+            let monotone = s
+                .chunks
+                .windows(2)
+                .all(|w| w[0].player.requested_at <= w[1].player.requested_at);
+            if !monotone {
+                nonmonotonic.push(s.meta.session.raw());
+            }
+            let contiguous = s
+                .chunks
+                .iter()
+                .enumerate()
+                .all(|(i, c)| c.player.chunk.0 as usize == i && c.cdn.chunk == c.player.chunk);
+            if !contiguous {
+                noncontiguous.push(s.meta.session.raw());
+            }
+        }
+        streamlab_supervisor::DatasetFacts {
+            raw_sessions: self.raw_sessions as u64,
+            dataset_sessions: self.dataset.sessions.len() as u64,
+            dataset_chunks: chunks,
+            nonmonotonic_sessions: nonmonotonic,
+            noncontiguous_sessions: noncontiguous,
+            shard_errors: self.shard_errors.len() as u64,
+        }
+    }
+
+    /// Run the supervisor's structural invariant audit over this run.
+    /// `None` when the run was not observed (no [`SimMetrics`] to check).
+    pub fn audit(&self) -> Option<streamlab_supervisor::AuditReport> {
+        let m = &self.metrics.as_ref()?.sim;
+        Some(streamlab_supervisor::audit::audit(m, &self.audit_facts()))
     }
 
     /// Pearson correlation between per-server request count and mean
@@ -272,11 +356,21 @@ impl Simulation {
         let mut fleet = CdnFleet::new(cfg.fleet.clone(), seed);
         fleet.warm(&catalog);
         fleet.install_faults(&cfg.faults);
-        // Harness faults: shard jobs for these PoPs panic at start. Only
-        // meaningful for the sharded engine; the sequential engine has no
-        // shard workers to isolate and ignores them.
+        // Harness faults: shard jobs for these PoPs panic at start (or
+        // wedge, for `stall_pops`). Only meaningful for the sharded
+        // engine; the sequential engine has no shard workers to isolate
+        // and ignores them.
         let mut panic_pops = cfg.faults.panic_pops.clone();
         panic_pops.sort_unstable();
+        let mut stall_pops = cfg.faults.stall_pops.clone();
+        stall_pops.sort_unstable();
+        if cfg.threads > 1 && !stall_pops.is_empty() && cfg.shard_deadline_ms == 0 {
+            return Err(SimError::Config(
+                "stall_pops wedges shard workers forever unless a watchdog can cancel them; \
+                 set shard_deadline_ms (CLI: --shard-deadline)"
+                    .into(),
+            ));
+        }
 
         // --- per-session runtimes ---
         let session_master = RngStream::new(seed, &format!("session-streams-day{}", cfg.day));
@@ -310,6 +404,8 @@ impl Simulation {
                     &catalog,
                     &population,
                     &panic_pops,
+                    &stall_pops,
+                    cfg.shard_deadline_ms,
                     || MetricsRecorder::new(o.trace),
                 );
                 // Fold shard recorders in canonical (pop_index) order —
@@ -343,6 +439,24 @@ impl Simulation {
                         },
                     );
                 }
+                for e in &errors {
+                    if let ShardError::Stalled {
+                        pop_index,
+                        events,
+                        sim_ns,
+                        ..
+                    } = e
+                    {
+                        rec.on_shard_stalled(
+                            &Meta::fleet(SimTime::ZERO),
+                            &ShardStalled {
+                                pop_index: *pop_index as u64,
+                                events: *events,
+                                sim_ns: *sim_ns,
+                            },
+                        );
+                    }
+                }
                 (sink, Some(rec), profiles, total, errors)
             }
             None if cfg.threads <= 1 => {
@@ -363,6 +477,8 @@ impl Simulation {
                     &catalog,
                     &population,
                     &panic_pops,
+                    &stall_pops,
+                    cfg.shard_deadline_ms,
                     || NoopSubscriber,
                 );
                 let mut total = EngineStats::default();
@@ -534,6 +650,13 @@ fn run_sequential<S: Subscriber>(
 /// Each shard job runs under [`catch_unwind`]: a panicking shard (a bug,
 /// or an injected `panic_pops` harness fault) is isolated, its error is
 /// reported as a [`ShardError`], and every other shard's results survive.
+///
+/// With `deadline_ms > 0` a supervisor watchdog thread runs alongside the
+/// workers: each shard publishes its progress into a [`ProgressCell`]
+/// every event pop, and a shard whose sim-time sits still past the
+/// deadline is cancelled cooperatively and reported as
+/// [`ShardError::Stalled`] — same partial-results semantics as a panic.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded<S, F>(
     threads: usize,
     fleet: &mut CdnFleet,
@@ -541,6 +664,8 @@ fn run_sharded<S, F>(
     catalog: &Catalog,
     population: &Population,
     panic_pops: &[usize],
+    stall_pops: &[usize],
+    deadline_ms: u64,
     make_sub: F,
 ) -> (TelemetrySink, Vec<ShardRun<S>>, Vec<ShardError>)
 where
@@ -557,13 +682,19 @@ where
         let pop_index = fleet.pop_index_of(rt.server_idx);
         by_pop[pop_index].push(rt);
     }
-    let work: Vec<(FleetShard, Vec<SessionRuntime>)> = fleet
+    let work: Vec<(FleetShard, Vec<SessionRuntime>, Arc<ProgressCell>)> = fleet
         .split_shards()
         .into_iter()
         .map(|shard| {
             let sessions = std::mem::take(&mut by_pop[shard.pop_index()]);
-            (shard, sessions)
+            let cell = Arc::new(ProgressCell::new());
+            (shard, sessions, cell)
         })
+        .collect();
+    // The watchdog's view of every shard, fixed before workers start.
+    let cells: Vec<(usize, Arc<ProgressCell>)> = work
+        .iter()
+        .map(|(shard, _, cell)| (shard.pop_index(), cell.clone()))
         .collect();
 
     // Shards are coarse and few (one per PoP), so a mutex-guarded work
@@ -580,31 +711,65 @@ where
     let done: Mutex<Vec<ShardResult<S>>> = Mutex::new(Vec::new());
     let workers = threads.min(n_pops).max(1);
     std::thread::scope(|scope| {
+        // The watchdog joins on its own: workers mark their cell Done in
+        // every outcome (completed, panicked, cancelled), and the
+        // watchdog's loop exits once all cells are Done — so the scope
+        // never deadlocks waiting for it.
+        if deadline_ms > 0 {
+            let cells = &cells;
+            scope.spawn(move || {
+                watchdog::run(
+                    cells,
+                    WatchdogConfig::with_deadline(Duration::from_millis(deadline_ms)),
+                );
+            });
+        }
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
-                let Some((mut shard, sessions)) = job else {
+                let Some((mut shard, sessions, cell)) = job else {
                     break;
                 };
                 let started = Instant::now();
                 let n_sessions = sessions.len() as u64;
                 let pop_index = shard.pop_index();
-                let inject = panic_pops.binary_search(&pop_index).is_ok();
+                let inject_panic = panic_pops.binary_search(&pop_index).is_ok();
+                let inject_stall = stall_pops.binary_search(&pop_index).is_ok();
+                cell.start();
                 // `AssertUnwindSafe`: on panic the shard is returned as-is
                 // (so the fleet merge stays total) and the half-built sink
                 // and subscriber are dropped — exactly the partial-result
                 // semantics we want.
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    if inject {
+                    if inject_panic {
                         panic!("injected shard panic (panic_pops includes PoP {pop_index})");
                     }
+                    if inject_stall {
+                        // Harness fault: sim-time never advances, so the
+                        // watchdog must cancel us. run_inner rejects this
+                        // fault when no deadline is configured.
+                        while !cell.cancelled() {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        return None;
+                    }
                     let mut sub = make_sub();
-                    let (sink, stats) =
-                        run_shard(&mut shard, sessions, catalog, population, policy, &mut sub);
-                    (sink, stats, sub)
+                    let (sink, stats, completed) = run_shard(
+                        &mut shard,
+                        sessions,
+                        catalog,
+                        population,
+                        policy,
+                        &mut sub,
+                        Some(&cell),
+                    );
+                    // A cancelled loop's results are dropped here: partial
+                    // shard state must never leak into the merged output.
+                    completed.then_some((sink, stats, sub))
                 }));
+                cell.finish();
                 let entry: ShardResult<S> = match result {
-                    Ok((sink, stats, sub)) => {
+                    Ok(Some((sink, stats, sub))) => {
                         let run = ShardRun {
                             pop_index,
                             sessions: n_sessions,
@@ -614,10 +779,23 @@ where
                         };
                         (shard, Some((sink, run)), None)
                     }
+                    Ok(None) => {
+                        let snap = cell.snapshot();
+                        (
+                            shard,
+                            None,
+                            Some(ShardError::Stalled {
+                                pop_index,
+                                events: snap.events,
+                                sim_ns: snap.sim_ns,
+                                deadline_ms,
+                            }),
+                        )
+                    }
                     Err(payload) => (
                         shard,
                         None,
-                        Some(ShardError {
+                        Some(ShardError::Panicked {
                             pop_index,
                             message: panic_message(payload),
                         }),
@@ -665,6 +843,15 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// One shard's event loop — structurally identical to [`run_sequential`],
 /// restricted to the shard's sessions and servers.
+///
+/// With a `progress` cell the loop publishes a heartbeat (events popped,
+/// current sim-time) after every pop and honors the cell's cancel flag at
+/// the pop boundary. The returned flag is `true` when the queue drained
+/// normally, `false` when the loop was cancelled mid-run — the caller
+/// must drop the partial results in that case. On runs that are never
+/// cancelled the loop's behavior is byte-for-byte the uninstrumented one:
+/// the heartbeat is two relaxed stores and never feeds back into
+/// simulation state.
 fn run_shard<S: Subscriber>(
     shard: &mut FleetShard,
     mut sessions: Vec<SessionRuntime>,
@@ -672,15 +859,24 @@ fn run_shard<S: Subscriber>(
     population: &Population,
     policy: PrefetchPolicy,
     sub: &mut S,
-) -> (TelemetrySink, EngineStats) {
+    progress: Option<&ProgressCell>,
+) -> (TelemetrySink, EngineStats, bool) {
     let mut sink = TelemetrySink::new();
     let mut queue: EventQueue<usize> = EventQueue::new();
     for (idx, rt) in sessions.iter().enumerate() {
         queue.schedule(rt.spec.arrival, idx);
     }
+    let mut completed = true;
     while let Some(ev) = queue.pop() {
         let idx = ev.event;
         let now = ev.at;
+        if let Some(cell) = progress {
+            cell.beat(queue.popped(), now.as_nanos());
+            if cell.cancelled() {
+                completed = false;
+                break;
+            }
+        }
         let next = step_chunk(&mut sessions[idx], now, catalog, policy, shard, sub);
         match next {
             Some(next_t) => queue.schedule(next_t.max(now), idx),
@@ -697,7 +893,7 @@ fn run_shard<S: Subscriber>(
         events: queue.popped(),
         peak_queue: queue.peak_len(),
     };
-    (sink, stats)
+    (sink, stats, completed)
 }
 
 #[cfg(test)]
@@ -990,8 +1186,11 @@ mod tests {
         cfg.faults.panic_pops = vec![0];
         let out = Simulation::new(cfg).run().expect("partial run succeeds");
         assert_eq!(out.shard_errors.len(), 1);
-        assert_eq!(out.shard_errors[0].pop_index, 0);
-        assert!(out.shard_errors[0].message.contains("injected shard panic"));
+        assert_eq!(out.shard_errors[0].pop_index(), 0);
+        assert!(matches!(&out.shard_errors[0], ShardError::Panicked { .. }));
+        assert!(out.shard_errors[0]
+            .to_string()
+            .contains("injected shard panic"));
         // The surviving shards' sessions are all there — and nothing else.
         assert!(!out.dataset.sessions.is_empty());
         assert!(out.dataset.sessions.len() < full.dataset.sessions.len());
@@ -1021,6 +1220,83 @@ mod tests {
         let mut cfg = SimulationConfig::tiny(13);
         cfg.threads = 1;
         cfg.faults.panic_pops = vec![0];
+        let out = Simulation::new(cfg).run().expect("sequential run");
+        assert!(out.shard_errors.is_empty());
+        assert!(out.dataset.sessions.len() > 300);
+    }
+
+    #[test]
+    fn stalled_shard_trips_watchdog_and_yields_partial_results() {
+        let full = run_tiny_threads(13, 2);
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 2;
+        cfg.faults.stall_pops = vec![0];
+        cfg.shard_deadline_ms = 150;
+        let out = Simulation::new(cfg).run().expect("partial run succeeds");
+        assert_eq!(out.shard_errors.len(), 1);
+        assert_eq!(out.shard_errors[0].pop_index(), 0);
+        assert!(
+            matches!(
+                out.shard_errors[0],
+                ShardError::Stalled {
+                    deadline_ms: 150,
+                    ..
+                }
+            ),
+            "expected a stall, got {:?}",
+            out.shard_errors[0]
+        );
+        assert!(out.shard_errors[0].to_string().contains("stalled"));
+        // Survivors are intact and byte-equal to the healthy run's.
+        assert!(!out.dataset.sessions.is_empty());
+        assert!(out.dataset.sessions.len() < full.dataset.sessions.len());
+        for p in &out.dataset.sessions {
+            let f = full
+                .dataset
+                .sessions
+                .iter()
+                .find(|x| x.meta.session == p.meta.session)
+                .expect("survivor present in full run");
+            assert_eq!(p.chunks.len(), f.chunks.len());
+        }
+    }
+
+    #[test]
+    fn healthy_run_is_untouched_by_an_armed_watchdog() {
+        // A generous deadline must never perturb output: the heartbeat is
+        // observe-only, so bytes match the watchdog-less run exactly.
+        let plain = run_tiny_threads(17, 4);
+        let mut cfg = SimulationConfig::tiny(17);
+        cfg.threads = 4;
+        cfg.shard_deadline_ms = 60_000;
+        let watched = Simulation::new(cfg).run().expect("watched run");
+        assert!(watched.shard_errors.is_empty());
+        assert_eq!(watched.dataset.sessions.len(), plain.dataset.sessions.len());
+        assert_eq!(watched.dataset.chunk_count(), plain.dataset.chunk_count());
+        for (w, p) in watched.dataset.sessions.iter().zip(&plain.dataset.sessions) {
+            assert_eq!(w.meta.session, p.meta.session);
+            assert_eq!(w.chunks.len(), p.chunks.len());
+        }
+    }
+
+    #[test]
+    fn stall_fault_without_deadline_is_rejected() {
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 2;
+        cfg.faults.stall_pops = vec![0];
+        let err = Simulation::new(cfg).run().unwrap_err();
+        assert!(
+            matches!(err, SimError::Config(_)),
+            "expected config error, got {err}"
+        );
+        assert!(err.to_string().contains("shard-deadline"));
+    }
+
+    #[test]
+    fn sequential_engine_ignores_stall_pops() {
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 1;
+        cfg.faults.stall_pops = vec![0];
         let out = Simulation::new(cfg).run().expect("sequential run");
         assert!(out.shard_errors.is_empty());
         assert!(out.dataset.sessions.len() > 300);

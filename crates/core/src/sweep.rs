@@ -10,8 +10,12 @@
 
 use crate::ablation::AblationMetrics;
 use crate::config::SimulationConfig;
-use crate::simulate::{SimError, Simulation};
-use serde::{Deserialize, Serialize};
+use crate::simulate::{ObsOptions, SimError, Simulation};
+use serde::{Deserialize, Map, Serialize, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use streamlab_supervisor::{Manifest, RunDir};
 
 /// Mean and population standard deviation of one metric across seeds.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -72,6 +76,30 @@ pub struct SweepSummary {
     pub startup_median_s: MetricSpread,
 }
 
+impl SweepSummary {
+    /// Assemble the summary from per-seed metrics (in `seeds` order).
+    /// Pure: the single assembly path shared by live and resumed sweeps,
+    /// which is what makes a resumed sweep's output byte-identical to an
+    /// uninterrupted one.
+    pub fn from_per_seed(seeds: Vec<u64>, per_seed: Vec<AblationMetrics>) -> SweepSummary {
+        assert_eq!(seeds.len(), per_seed.len());
+        let col = |f: fn(&AblationMetrics) -> f64| -> MetricSpread {
+            MetricSpread::from(&per_seed.iter().map(f).collect::<Vec<_>>())
+        };
+        SweepSummary {
+            seeds,
+            miss_rate: col(|m| m.miss_rate),
+            ram_hit_rate: col(|m| m.ram_hit_rate),
+            hit_median_ms: col(|m| m.hit_median_ms),
+            loss_free_share: col(|m| m.loss_free_share),
+            first_chunk_retx_pct: col(|m| m.first_chunk_retx_pct),
+            mean_rebuffer_pct: col(|m| m.mean_rebuffer_pct),
+            startup_median_s: col(|m| m.startup_median_s),
+            per_seed,
+        }
+    }
+}
+
 /// Run `base` under each seed (`cfg.seed` is overwritten), in parallel.
 pub fn run_seeds(base: &SimulationConfig, seeds: &[u64]) -> Result<SweepSummary, SimError> {
     assert!(!seeds.is_empty());
@@ -99,20 +127,218 @@ pub fn run_seeds(base: &SimulationConfig, seeds: &[u64]) -> Result<SweepSummary,
     for r in results {
         per_seed.push(r?);
     }
+    Ok(SweepSummary::from_per_seed(seeds.to_vec(), per_seed))
+}
 
-    let col = |f: fn(&AblationMetrics) -> f64| -> MetricSpread {
-        MetricSpread::from(&per_seed.iter().map(f).collect::<Vec<_>>())
-    };
-    Ok(SweepSummary {
-        seeds: seeds.to_vec(),
-        miss_rate: col(|m| m.miss_rate),
-        ram_hit_rate: col(|m| m.ram_hit_rate),
-        hit_median_ms: col(|m| m.hit_median_ms),
-        loss_free_share: col(|m| m.loss_free_share),
-        first_chunk_retx_pct: col(|m| m.first_chunk_retx_pct),
-        mean_rebuffer_pct: col(|m| m.mean_rebuffer_pct),
-        startup_median_s: col(|m| m.startup_median_s),
-        per_seed,
+// ---------------------------------------------------------------------------
+// Checkpointed sweeps: crash-safe, resumable
+// ---------------------------------------------------------------------------
+
+/// Number of `f64` fields persisted per seed record, in the order they are
+/// declared on [`AblationMetrics`].
+const METRIC_FIELDS: usize = 10;
+
+/// The metrics as raw IEEE-754 bit patterns, in field-declaration order.
+///
+/// JSON text round-trips every *finite* f64 exactly but collapses
+/// non-finite values to `null`; correlation can legitimately be NaN on
+/// degenerate seeds, so records store bits, not decimal text.
+fn metrics_bits(m: &AblationMetrics) -> [u64; METRIC_FIELDS] {
+    [
+        m.miss_rate.to_bits(),
+        m.ram_hit_rate.to_bits(),
+        m.hit_median_ms.to_bits(),
+        m.miss_session_ratio.to_bits(),
+        m.loss_free_share.to_bits(),
+        m.first_chunk_retx_pct.to_bits(),
+        m.mean_rebuffer_pct.to_bits(),
+        m.mean_bitrate_kbps.to_bits(),
+        m.startup_median_s.to_bits(),
+        m.load_latency_corr.to_bits(),
+    ]
+}
+
+fn metrics_from_bits(bits: &[u64]) -> Option<AblationMetrics> {
+    if bits.len() != METRIC_FIELDS {
+        return None;
+    }
+    Some(AblationMetrics {
+        miss_rate: f64::from_bits(bits[0]),
+        ram_hit_rate: f64::from_bits(bits[1]),
+        hit_median_ms: f64::from_bits(bits[2]),
+        miss_session_ratio: f64::from_bits(bits[3]),
+        loss_free_share: f64::from_bits(bits[4]),
+        first_chunk_retx_pct: f64::from_bits(bits[5]),
+        mean_rebuffer_pct: f64::from_bits(bits[6]),
+        mean_bitrate_kbps: f64::from_bits(bits[7]),
+        startup_median_s: f64::from_bits(bits[8]),
+        load_latency_corr: f64::from_bits(bits[9]),
+    })
+}
+
+/// The per-seed record payload: exact bits for resume, readable metrics for
+/// humans poking at the run directory. Only `bits` is read back.
+fn seed_payload(m: &AblationMetrics) -> Value {
+    let bits = metrics_bits(m)
+        .iter()
+        .map(|&b| Value::Number(serde::Number::UInt(b)))
+        .collect::<Vec<_>>();
+    let mut obj = Map::new();
+    obj.insert("bits".to_owned(), Value::Array(bits));
+    obj.insert("metrics".to_owned(), m.to_value());
+    Value::Object(obj)
+}
+
+fn payload_metrics(v: &Value) -> Option<AblationMetrics> {
+    let bits = v
+        .get("bits")?
+        .as_array()?
+        .iter()
+        .map(|b| b.as_u64())
+        .collect::<Option<Vec<u64>>>()?;
+    metrics_from_bits(&bits)
+}
+
+/// The config as stored in the run-dir manifest: the per-seed `seed` field
+/// is normalized to 0 (each record carries its own seed), and the
+/// driver-level `kill_after_seeds` harness fault is stripped so a resumed
+/// process completes instead of re-killing itself — and so the killed run
+/// and its resume agree on the fingerprint.
+fn manifest_config(base: &SimulationConfig) -> Value {
+    let mut cfg = base.clone();
+    cfg.seed = 0;
+    cfg.faults.kill_after_seeds = 0;
+    cfg.to_value()
+}
+
+/// Outcome of a checkpointed sweep: the summary plus provenance of each
+/// seed (recovered from disk vs computed this process).
+#[derive(Debug, Clone)]
+pub struct CheckpointedSweep {
+    /// The merged summary over all planned seeds, in manifest order.
+    pub summary: SweepSummary,
+    /// Seeds recovered from existing on-disk records.
+    pub resumed: Vec<u64>,
+    /// Seeds computed (and recorded) by this process.
+    pub computed: Vec<u64>,
+    /// Record files that were present but unusable (torn writes, foreign
+    /// files); their seeds were recomputed.
+    pub skipped_records: Vec<String>,
+}
+
+/// Start a fresh checkpointed sweep in `dir` (wiping any stale records).
+pub fn run_seeds_checkpointed(
+    base: &SimulationConfig,
+    seeds: &[u64],
+    dir: &Path,
+    audit: bool,
+) -> Result<CheckpointedSweep, String> {
+    assert!(!seeds.is_empty());
+    let manifest = Manifest::new("sweep", seeds.to_vec(), manifest_config(base));
+    let run_dir = RunDir::create(dir, manifest)?;
+    run_checkpointed(&run_dir, base.clone(), seeds.to_vec(), audit)
+}
+
+/// Resume a checkpointed sweep from an existing run directory: the config
+/// and seed plan come from the manifest, completed seeds are loaded from
+/// their records, and only the missing ones are simulated.
+pub fn resume_checkpointed(dir: &Path, audit: bool) -> Result<CheckpointedSweep, String> {
+    let run_dir = RunDir::open(dir)?;
+    let cfg = SimulationConfig::from_value(&run_dir.manifest().config).map_err(|e| {
+        format!(
+            "{}: manifest config does not deserialize: {e}",
+            dir.display()
+        )
+    })?;
+    let seeds = run_dir.manifest().seeds.clone();
+    if seeds.is_empty() {
+        return Err(format!("{}: manifest plans no seeds", dir.display()));
+    }
+    run_checkpointed(&run_dir, cfg, seeds, audit)
+}
+
+fn run_checkpointed(
+    run_dir: &RunDir,
+    base: SimulationConfig,
+    seeds: Vec<u64>,
+    audit: bool,
+) -> Result<CheckpointedSweep, String> {
+    // The kill_after fault acts at this driver level, not inside the
+    // simulation, so the config every worker actually runs has it zeroed —
+    // a killed run and its resume simulate identical worlds.
+    let kill_after = base.faults.kill_after_seeds;
+    let mut sim_base = base;
+    sim_base.faults.kill_after_seeds = 0;
+
+    let (records, skipped_records) = run_dir.completed_seeds();
+    let mut done: BTreeMap<u64, AblationMetrics> = BTreeMap::new();
+    for (&seed, payload) in records.iter() {
+        if let Some(m) = payload_metrics(payload) {
+            done.insert(seed, m);
+        }
+    }
+    let resumed: Vec<u64> = seeds
+        .iter()
+        .copied()
+        .filter(|s| done.contains_key(s))
+        .collect();
+    let missing: Vec<u64> = seeds
+        .iter()
+        .copied()
+        .filter(|s| !done.contains_key(s))
+        .collect();
+
+    // `recorded` counts records written by THIS process; once it reaches
+    // kill_after the whole process aborts — the harness's stand-in for a
+    // machine dying mid-sweep.
+    let recorded = AtomicU32::new(0);
+    let computed: Vec<(u64, Result<AblationMetrics, String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = missing
+            .iter()
+            .map(|&seed| {
+                let mut cfg = sim_base.clone();
+                cfg.seed = seed;
+                let recorded = &recorded;
+                scope.spawn(move || {
+                    let m = if audit {
+                        let out = Simulation::new(cfg)
+                            .run_observed(ObsOptions { trace: false })
+                            .map_err(|e| format!("seed {seed}: {e}"))?;
+                        let report = out.audit().expect("observed run has metrics");
+                        if !report.is_clean() {
+                            return Err(format!("seed {seed}: {}", report.render()));
+                        }
+                        AblationMetrics::from_run(&out)
+                    } else {
+                        let out = Simulation::new(cfg)
+                            .run()
+                            .map_err(|e| format!("seed {seed}: {e}"))?;
+                        AblationMetrics::from_run(&out)
+                    };
+                    run_dir.record_seed(seed, seed_payload(&m))?;
+                    if kill_after > 0 && recorded.fetch_add(1, Ordering::SeqCst) + 1 >= kill_after {
+                        std::process::abort();
+                    }
+                    Ok(m)
+                })
+            })
+            .collect();
+        missing
+            .iter()
+            .copied()
+            .zip(handles.into_iter().map(|h| h.join().expect("no panics")))
+            .collect()
+    });
+
+    for (seed, result) in computed {
+        done.insert(seed, result?);
+    }
+    let per_seed: Vec<AblationMetrics> = seeds.iter().map(|s| done[s]).collect();
+    Ok(CheckpointedSweep {
+        summary: SweepSummary::from_per_seed(seeds, per_seed),
+        resumed,
+        computed: missing,
+        skipped_records,
     })
 }
 
@@ -209,5 +435,94 @@ mod tests {
         for name in ["miss rate", "RAM-hit", "loss-free", "startup"] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
         }
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("streamlab-sweep-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn metrics_survive_the_bit_roundtrip_including_nan() {
+        let mut m = AblationMetrics {
+            miss_rate: 0.1,
+            ram_hit_rate: 0.7,
+            hit_median_ms: 2.5,
+            miss_session_ratio: 1.3,
+            loss_free_share: 0.4,
+            first_chunk_retx_pct: 3.0,
+            mean_rebuffer_pct: 0.8,
+            mean_bitrate_kbps: 2500.0,
+            startup_median_s: 1.1,
+            load_latency_corr: f64::NAN,
+        };
+        // A value with no short decimal form: one ulp above 0.1.
+        m.miss_rate = f64::from_bits(0.1f64.to_bits() + 1);
+        let back = payload_metrics(&seed_payload(&m)).expect("roundtrip");
+        assert_eq!(metrics_bits(&m), metrics_bits(&back));
+        assert!(back.load_latency_corr.is_nan());
+    }
+
+    #[test]
+    fn truncated_bits_are_rejected() {
+        let m = run_seeds(&tiny_base(), &[3]).unwrap().per_seed.remove(0);
+        let Value::Object(mut obj) = seed_payload(&m) else {
+            panic!("payload is an object")
+        };
+        let Some(Value::Array(mut bits)) = obj.get("bits").cloned() else {
+            panic!("bits array")
+        };
+        bits.pop();
+        obj.insert("bits".to_owned(), Value::Array(bits));
+        assert!(payload_metrics(&Value::Object(obj)).is_none());
+    }
+
+    #[test]
+    fn resumed_sweep_is_bitwise_identical_to_a_fresh_one() {
+        let base = tiny_base();
+        let seeds = [11u64, 12, 13];
+
+        let dir_full = scratch("full");
+        let full = run_seeds_checkpointed(&base, &seeds, &dir_full, false).expect("full sweep");
+        assert_eq!(full.resumed, Vec::<u64>::new());
+        assert_eq!(full.computed, seeds.to_vec());
+
+        // Fake an interrupted run: a fresh dir with only seed 12's record.
+        let dir_part = scratch("part");
+        let manifest = Manifest::new("sweep", seeds.to_vec(), manifest_config(&base));
+        let run_dir = RunDir::create(&dir_part, manifest).unwrap();
+        run_dir
+            .record_seed(12, seed_payload(&full.summary.per_seed[1]))
+            .unwrap();
+
+        let resumed = resume_checkpointed(&dir_part, false).expect("resume");
+        assert_eq!(resumed.resumed, vec![12]);
+        assert_eq!(resumed.computed, vec![11, 13]);
+        assert!(resumed.skipped_records.is_empty());
+        // Byte-identical merged output: render + JSON agree exactly.
+        assert_eq!(render(&resumed.summary), render(&full.summary));
+        assert_eq!(
+            resumed.summary.to_value().to_json_string(),
+            full.summary.to_value().to_json_string()
+        );
+
+        let _ = std::fs::remove_dir_all(&dir_full);
+        let _ = std::fs::remove_dir_all(&dir_part);
+    }
+
+    #[test]
+    fn audit_mode_passes_on_a_healthy_sweep() {
+        let dir = scratch("audit");
+        let out = run_seeds_checkpointed(&tiny_base(), &[4], &dir, true).expect("audited sweep");
+        assert_eq!(out.computed, vec![4]);
+        // Audit must not perturb the metrics relative to a plain run.
+        let plain = run_seeds(&tiny_base(), &[4]).unwrap();
+        assert_eq!(
+            metrics_bits(&out.summary.per_seed[0]),
+            metrics_bits(&plain.per_seed[0])
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

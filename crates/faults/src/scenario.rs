@@ -170,6 +170,18 @@ pub struct FaultScenario {
     /// affects the sharded engine; exercises the orchestrator's panic
     /// isolation and partial-result reporting.
     pub panic_pops: Vec<usize>,
+    /// Harness fault: PoP indices whose shard job wedges (sim-time stops
+    /// advancing) instead of finishing. Only affects the sharded engine;
+    /// exercises the supervisor watchdog's stall detection. Without a
+    /// `--shard-deadline` the run would hang, so the engine rejects this
+    /// fault when no deadline is configured.
+    pub stall_pops: Vec<usize>,
+    /// Harness fault: abort the whole process (as if `SIGKILL`ed) after
+    /// this many sweep seed records have been written by this process
+    /// (0 = off). A driver-level fault used to exercise checkpoint
+    /// resume; it is stripped from the config stored in a sweep's run
+    /// directory so the resumed run completes.
+    pub kill_after_seeds: u32,
     /// Client resilience policy.
     pub resilience: ResilienceConfig,
 }
@@ -194,6 +206,13 @@ impl Deserialize for FaultScenario {
             blackouts: list(v, "blackouts")?,
             backend_slowdowns: list(v, "backend_slowdowns")?,
             panic_pops: list(v, "panic_pops")?,
+            stall_pops: list(v, "stall_pops")?,
+            kill_after_seeds: match v.get("kill_after_seeds") {
+                Some(x) => x.as_u64().map(|n| n as u32).ok_or_else(|| {
+                    Error::msg("fault scenario kill_after_seeds: expected integer")
+                })?,
+                None => 0,
+            },
             resilience: match v.get("resilience") {
                 Some(r) => ResilienceConfig::from_value(r)?,
                 None => ResilienceConfig::default(),
@@ -214,6 +233,8 @@ impl FaultScenario {
             && self.blackouts.is_empty()
             && self.backend_slowdowns.is_empty()
             && self.panic_pops.is_empty()
+            && self.stall_pops.is_empty()
+            && self.kill_after_seeds == 0
     }
 
     /// True when any *path-level* fault (loss burst or blackout) is
@@ -432,6 +453,8 @@ mod tests {
                 factor: 4.0,
             }],
             panic_pops: vec![2],
+            stall_pops: vec![1],
+            kill_after_seeds: 3,
             resilience: ResilienceConfig::default(),
         };
         let text = sc.to_value().to_json_string();

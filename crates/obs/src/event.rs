@@ -201,6 +201,19 @@ pub struct SessionAborted {
     pub attempts: u32,
 }
 
+/// A fleet shard was cancelled by the run watchdog: its sim-time sat
+/// still past the configured deadline and the shard gave up at an
+/// event-pop boundary.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ShardStalled {
+    /// PoP index the shard covered.
+    pub pop_index: u64,
+    /// Events the shard had processed when it was declared stalled.
+    pub events: u64,
+    /// The sim-time (ns) the shard was stuck at.
+    pub sim_ns: u64,
+}
+
 /// A fleet shard was merged back after its event loop drained.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ShardMerge {
@@ -327,6 +340,13 @@ pub trait Subscriber {
     /// A fleet shard merged back.
     #[inline]
     fn on_shard_merge(&mut self, meta: &Meta, event: &ShardMerge) {
+        let _ = meta;
+        let _ = event;
+    }
+
+    /// A fleet shard was cancelled by the run watchdog.
+    #[inline]
+    fn on_shard_stalled(&mut self, meta: &Meta, event: &ShardStalled) {
         let _ = meta;
         let _ = event;
     }

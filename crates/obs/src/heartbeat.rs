@@ -1,0 +1,161 @@
+//! Per-shard liveness: lock-free progress cells for the run watchdog.
+//!
+//! Each shard job publishes its progress — events popped and current
+//! sim-time — into a [`ProgressCell`] as it runs. A watchdog thread
+//! polls the cells against wall-clock time; a shard whose *sim-time*
+//! stops advancing for too long is asked to stop via the cell's cancel
+//! flag, which the shard's event loop checks between events.
+//!
+//! Everything is `Relaxed` atomics on purpose: the watchdog only needs an
+//! eventually-visible monotone progress signal, not synchronization, and
+//! the hot path (one store per event pop) must stay free. Determinism is
+//! unaffected — the cells never feed back into simulation state, only
+//! into the *decision to abandon* a shard, which surfaces as a structured
+//! stall error.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Lifecycle states a shard job moves through, as stored in
+/// [`ProgressCell`]. The watchdog only applies the deadline to `Running`
+/// cells: a `Pending` shard is waiting for a worker (queue delay is not a
+/// stall) and a `Done` shard needs no further watching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardState {
+    /// Queued; no worker has picked the shard up yet.
+    Pending,
+    /// A worker is inside the shard's event loop.
+    Running,
+    /// The shard finished — completed, panicked, or cancelled.
+    Done,
+}
+
+const STATE_PENDING: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_DONE: u8 = 2;
+
+/// A single shard's shared progress slot.
+///
+/// Writers: the shard's worker thread ([`start`](Self::start),
+/// [`beat`](Self::beat), [`finish`](Self::finish)). Readers: the
+/// watchdog ([`snapshot`](Self::snapshot), [`cancel`](Self::cancel)) and
+/// the shard loop itself ([`cancelled`](Self::cancelled)).
+#[derive(Debug, Default)]
+pub struct ProgressCell {
+    events: AtomicU64,
+    sim_ns: AtomicU64,
+    state: AtomicU8,
+    cancel: AtomicBool,
+}
+
+/// One coherent-enough reading of a [`ProgressCell`]. Fields are read
+/// individually with `Relaxed` loads; the watchdog tolerates torn
+/// combinations because it only compares successive `sim_ns` readings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Events popped by the shard so far.
+    pub events: u64,
+    /// The shard's current simulation time in nanoseconds.
+    pub sim_ns: u64,
+    /// Where the shard is in its lifecycle.
+    pub state: ShardState,
+}
+
+impl ProgressCell {
+    /// Fresh cell in the `Pending` state.
+    pub fn new() -> ProgressCell {
+        ProgressCell::default()
+    }
+
+    /// Worker picked the shard up: enter `Running`.
+    pub fn start(&self) {
+        self.state.store(STATE_RUNNING, Ordering::Relaxed);
+    }
+
+    /// Publish progress: total events popped and current sim-time (ns).
+    /// Called once per event pop — two relaxed stores, nothing else.
+    #[inline]
+    pub fn beat(&self, events: u64, sim_ns: u64) {
+        self.events.store(events, Ordering::Relaxed);
+        self.sim_ns.store(sim_ns, Ordering::Relaxed);
+    }
+
+    /// Shard finished (in any way): enter `Done`. Idempotent.
+    pub fn finish(&self) {
+        self.state.store(STATE_DONE, Ordering::Relaxed);
+    }
+
+    /// Ask the shard to stop at its next event-pop boundary.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called. Checked by the
+    /// shard loop between events.
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Read the cell.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let state = match self.state.load(Ordering::Relaxed) {
+            STATE_PENDING => ShardState::Pending,
+            STATE_RUNNING => ShardState::Running,
+            _ => ShardState::Done,
+        };
+        ProgressSnapshot {
+            events: self.events.load(Ordering::Relaxed),
+            sim_ns: self.sim_ns.load(Ordering::Relaxed),
+            state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_beats_are_visible() {
+        let cell = ProgressCell::new();
+        assert_eq!(cell.snapshot().state, ShardState::Pending);
+        cell.start();
+        cell.beat(10, 1_000);
+        let snap = cell.snapshot();
+        assert_eq!(snap.state, ShardState::Running);
+        assert_eq!(snap.events, 10);
+        assert_eq!(snap.sim_ns, 1_000);
+        cell.finish();
+        assert_eq!(cell.snapshot().state, ShardState::Done);
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_observable() {
+        let cell = ProgressCell::new();
+        assert!(!cell.cancelled());
+        cell.cancel();
+        assert!(cell.cancelled());
+        cell.cancel();
+        assert!(cell.cancelled());
+    }
+
+    #[test]
+    fn cross_thread_visibility() {
+        let cell = std::sync::Arc::new(ProgressCell::new());
+        let writer = {
+            let cell = cell.clone();
+            std::thread::spawn(move || {
+                cell.start();
+                for i in 1..=100u64 {
+                    cell.beat(i, i * 7);
+                }
+                cell.finish();
+            })
+        };
+        writer.join().unwrap();
+        let snap = cell.snapshot();
+        assert_eq!(snap.state, ShardState::Done);
+        assert_eq!(snap.events, 100);
+        assert_eq!(snap.sim_ns, 700);
+    }
+}

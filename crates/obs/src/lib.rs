@@ -26,11 +26,15 @@
 //! * [`recorder`] — [`MetricsRecorder`], the built-in subscriber that
 //!   folds events into [`SimMetrics`] and optionally buffers a JSONL
 //!   structured trace.
+//! * [`heartbeat`] — [`ProgressCell`], a lock-free per-shard liveness
+//!   slot (events popped, current sim-time, cancel flag) that the run
+//!   supervisor's watchdog polls to detect stalled shards.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod heartbeat;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;
@@ -38,9 +42,10 @@ pub mod recorder;
 pub use event::{
     AbrEmergency, CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, FailReason,
     Failover, Meta, NoopSubscriber, RequestFailed, ResetReason, Retransmit, RetryTimerFired,
-    RtoTimeout, ServerRestarted, SessionAborted, SessionEnd, SessionStart, ShardMerge, Stall,
-    Subscriber,
+    RtoTimeout, ServerRestarted, SessionAborted, SessionEnd, SessionStart, ShardMerge,
+    ShardStalled, Stall, Subscriber,
 };
+pub use heartbeat::{ProgressCell, ProgressSnapshot, ShardState};
 pub use metrics::{Counter, Gauge, LogLinearHistogram, SimMetrics};
 pub use profile::{RunMetrics, RunProfile, ShardProfile};
 pub use recorder::MetricsRecorder;

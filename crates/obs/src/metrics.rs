@@ -243,6 +243,12 @@ pub struct SimMetrics {
     pub manifest_requests: Counter,
     /// Bytes served by the fleet (chunks + manifests).
     pub bytes_served: Counter,
+    /// Bytes of lookups satisfied by the RAM tier (chunks + manifests).
+    pub bytes_ram: Counter,
+    /// Bytes of lookups satisfied by the disk tier (chunks + manifests).
+    pub bytes_disk: Counter,
+    /// Bytes of lookups that missed to the backend (chunks + manifests).
+    pub bytes_miss: Counter,
     /// Engine events processed (queue pops, summed over shards).
     pub events_processed: Counter,
     /// Chunk lookups satisfied by the RAM tier.
@@ -320,6 +326,9 @@ impl SimMetrics {
         self.chunks_served.merge(other.chunks_served);
         self.manifest_requests.merge(other.manifest_requests);
         self.bytes_served.merge(other.bytes_served);
+        self.bytes_ram.merge(other.bytes_ram);
+        self.bytes_disk.merge(other.bytes_disk);
+        self.bytes_miss.merge(other.bytes_miss);
         self.events_processed.merge(other.events_processed);
         self.chunk_ram_hits.merge(other.chunk_ram_hits);
         self.chunk_disk_hits.merge(other.chunk_disk_hits);

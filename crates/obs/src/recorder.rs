@@ -4,7 +4,8 @@
 use crate::event::{
     AbrEmergency, CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, FailReason,
     Failover, Meta, RequestFailed, ResetReason, Retransmit, RetryTimerFired, RtoTimeout,
-    ServerRestarted, SessionAborted, SessionEnd, SessionStart, ShardMerge, Stall, Subscriber,
+    ServerRestarted, SessionAborted, SessionEnd, SessionStart, ShardMerge, ShardStalled, Stall,
+    Subscriber,
 };
 use crate::metrics::SimMetrics;
 use serde::{Map, Serialize, Value};
@@ -113,6 +114,11 @@ impl Subscriber for MetricsRecorder {
             }
         }
         self.metrics.bytes_served.add(event.bytes);
+        match event.tier {
+            CacheTier::Ram => self.metrics.bytes_ram.add(event.bytes),
+            CacheTier::Disk => self.metrics.bytes_disk.add(event.bytes),
+            CacheTier::Miss => self.metrics.bytes_miss.add(event.bytes),
+        }
         self.emit(meta, "CacheLookup", event);
     }
 
@@ -201,6 +207,14 @@ impl Subscriber for MetricsRecorder {
         // They appear in the trace and in RunProfile only.
         self.emit(meta, "ShardMerge", event);
     }
+
+    fn on_shard_stalled(&mut self, meta: &Meta, event: &ShardStalled) {
+        // Same reasoning as shard merges: a stall is a harness-topology
+        // fact (wall-clock watchdog), so it must not perturb SimMetrics.
+        // It surfaces in the trace here and as ShardError::Stalled in the
+        // run output.
+        self.emit(meta, "ShardStalled", event);
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +262,9 @@ mod tests {
         assert_eq!(m.manifest_misses.get(), 1);
         assert_eq!(m.manifest_requests.get(), 1);
         assert_eq!(m.bytes_served.get(), 150);
+        assert_eq!(m.bytes_ram.get(), 100);
+        assert_eq!(m.bytes_disk.get(), 0);
+        assert_eq!(m.bytes_miss.get(), 50);
         assert_eq!(m.retry_timer_fires.get(), 1);
         assert_eq!(m.chunks_served.get(), 1);
         assert_eq!(m.serve_latency_ns.count(), 1);

@@ -1,0 +1,142 @@
+//! Atomic, durable file emission.
+//!
+//! Every file the harness writes goes through [`atomic_write`] /
+//! [`atomic_write_with`]: the bytes land in a same-directory temp file,
+//! the file is fsynced, and the temp file is renamed over the target.
+//! POSIX rename is atomic within a filesystem, so a reader (or a resumed
+//! run) sees either the old complete file or the new complete file —
+//! never a truncated one, no matter when the process is killed. After the
+//! rename the parent directory is fsynced too, so the rename itself
+//! survives a power cut, not just a process kill.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Name of the temp file used for an in-flight write of `name`. Includes
+/// the pid so concurrent writers (parallel sweep workers recording
+/// different seeds, or two runs pointed at the same directory) never
+/// clobber each other's staging file.
+fn staging_name(name: &str) -> String {
+    format!(".{name}.tmp.{}", std::process::id())
+}
+
+/// Atomically replace `path` with `bytes`.
+///
+/// See [`atomic_write_with`] for the mechanism and guarantees.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(path, |f| f.write_all(bytes))
+}
+
+/// Atomically replace `path` with whatever `write` produces.
+///
+/// The closure receives the staging [`fs::File`]; on success the file is
+/// fsynced and renamed over `path`, and the parent directory is fsynced.
+/// On any error the staging file is removed and `path` is untouched.
+pub fn atomic_write_with<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut fs::File) -> io::Result<()>,
+{
+    let name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("atomic_write: {} has no usable file name", path.display()),
+        )
+    })?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let tmp = dir.join(staging_name(name));
+
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        write(&mut f)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+    // Make the rename itself durable. Directory fsync is advisory on some
+    // platforms (and opening a directory read-only fails on Windows), so
+    // failures here are ignored: the content guarantee already holds.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("streamlab-atomic-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites_without_leftovers() {
+        let dir = scratch("basic");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"{\"v\":1}\n").expect("first write");
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":1}\n");
+        atomic_write(&path, b"{\"v\":2}\n").expect("overwrite");
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":2}\n");
+        // No staging files left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.starts_with('.'))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "leftover staging files: {leftovers:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_target_intact() {
+        let dir = scratch("fail");
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"original").expect("seed file");
+        let err = atomic_write_with(&path, |_| Err(io::Error::other("injected failure")));
+        assert!(err.is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"original");
+        // The staging file was cleaned up.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_writer_variant_works() {
+        let dir = scratch("stream");
+        let path = dir.join("rows.csv");
+        atomic_write_with(&path, |f| {
+            writeln!(f, "a,b")?;
+            writeln!(f, "1,2")
+        })
+        .expect("streamed write");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bare_file_name_writes_into_cwd() {
+        // `path.parent()` is empty for a bare name; the staging file must
+        // land next to it (the cwd), not error out.
+        let name = format!("streamlab-atomic-cwd-{}.tmp-target", std::process::id());
+        let path = PathBuf::from(&name);
+        atomic_write(&path, b"x").expect("cwd write");
+        assert_eq!(fs::read(&path).unwrap(), b"x");
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -81,8 +81,10 @@ fn outage_restart_scenario_reports_resilience_activity() {
 fn shard_panic_scenario_yields_structured_partial_results() {
     let out = run_with(scenario("faults_shard_panic.json"), 2016, 2);
     assert_eq!(out.shard_errors.len(), 1);
-    assert_eq!(out.shard_errors[0].pop_index, 0);
-    assert!(out.shard_errors[0].message.contains("injected shard panic"));
+    assert_eq!(out.shard_errors[0].pop_index(), 0);
+    assert!(out.shard_errors[0]
+        .to_string()
+        .contains("injected shard panic"));
     assert!(
         !out.dataset.sessions.is_empty(),
         "surviving shards still produce their sessions"

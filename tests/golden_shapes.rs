@@ -102,7 +102,9 @@ fn paper_shapes_match_golden_snapshot() {
 
     if std::env::var_os("GOLDEN_REGEN").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir golden");
-        std::fs::write(&path, to_json(&shapes) + "\n").expect("write golden");
+        // Atomic so an interrupted regen can't leave a torn golden file.
+        streamlab::supervisor::atomic_write(&path, (to_json(&shapes) + "\n").as_bytes())
+            .expect("write golden");
         eprintln!("regenerated {}", path.display());
         return;
     }
