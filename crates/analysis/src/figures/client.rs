@@ -263,7 +263,7 @@ pub fn fig21(ds: &Dataset) -> Vec<Fig21Row> {
     // The share key is coarse (2 decimals) and rows start in HashMap order,
     // so ties need a total tie-break or the output order is nondeterministic
     // per process.
-    rows.sort_by(|a, b| {
+    rows.sort_unstable_by(|a, b| {
         (
             a.os.label(),
             std::cmp::Reverse((a.chunk_share_pct * 100.0) as u64),
@@ -331,7 +331,7 @@ pub fn fig22(ds: &Dataset, min_chunks: usize) -> Fig22 {
             chunks: n,
         })
         .collect();
-    rows.sort_by(|a, b| {
+    rows.sort_unstable_by(|a, b| {
         b.dropped_pct
             .partial_cmp(&a.dropped_pct)
             .unwrap()
@@ -421,7 +421,7 @@ pub fn tab05(ds: &Dataset, min_chunks: usize) -> Tab05 {
             chunks: n,
         })
         .collect();
-    rows.sort_by(|a, b| {
+    rows.sort_unstable_by(|a, b| {
         b.mean_ds_ms
             .partial_cmp(&a.mean_ds_ms)
             .unwrap()

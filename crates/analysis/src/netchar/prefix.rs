@@ -59,7 +59,7 @@ pub fn prefix_latencies(ds: &Dataset) -> Vec<PrefixLatency> {
             enterprise: a.enterprise,
         })
         .collect();
-    out.sort_by_key(|p| p.prefix);
+    out.sort_unstable_by_key(|p| p.prefix);
     out
 }
 
@@ -134,7 +134,7 @@ pub fn tail_recurrence(daily: &[Vec<PrefixLatency>], threshold_ms: f64) -> Vec<P
             p
         })
         .collect();
-    out.sort_by(|a, b| {
+    out.sort_unstable_by(|a, b| {
         b.frequency()
             .partial_cmp(&a.frequency())
             .unwrap()

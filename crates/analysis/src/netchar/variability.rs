@@ -56,7 +56,7 @@ pub fn org_variability(ds: &Dataset, min_sessions: usize) -> Vec<OrgVariability>
             sessions: n,
         })
         .collect();
-    out.sort_by(|a, b| {
+    out.sort_unstable_by(|a, b| {
         b.pct()
             .partial_cmp(&a.pct())
             .unwrap()
@@ -84,6 +84,6 @@ pub fn path_cv(ds: &Dataset, min_sessions: usize) -> Vec<((PrefixId, PopId), f64
         .map(|(k, v)| (k, Cdf::new(v).cv()))
         .filter(|(_, cv)| cv.is_finite())
         .collect();
-    out.sort_by_key(|&((p, pop), _)| (p, pop));
+    out.sort_unstable_by_key(|&((p, pop), _)| (p, pop));
     out
 }

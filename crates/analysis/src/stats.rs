@@ -13,7 +13,7 @@ impl Cdf {
     /// Build from samples.
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
         Cdf { sorted: samples }
     }
 
@@ -261,7 +261,7 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
     }
     fn ranks(v: &[f64]) -> Vec<f64> {
         let mut idx: Vec<usize> = (0..v.len()).collect();
-        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_unstable_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap_or(std::cmp::Ordering::Equal));
         let mut out = vec![0.0; v.len()];
         let mut i = 0;
         while i < idx.len() {

@@ -15,19 +15,19 @@ type Tweak = fn(&mut SimulationConfig);
 const VARIANTS: &[(&str, Tweak)] = &[
     ("baseline_lru", |_| {}),
     ("eviction_perfect_lfu", |c| {
-        c.fleet.server.cache.policy = EvictionPolicy::PerfectLfu;
+        c.fleet_mut().server.cache.policy = EvictionPolicy::PerfectLfu;
     }),
     ("eviction_gdsize", |c| {
-        c.fleet.server.cache.policy = EvictionPolicy::GdSize;
+        c.fleet_mut().server.cache.policy = EvictionPolicy::GdSize;
     }),
     ("prefetch_on_miss", |c| {
-        c.fleet.prefetch = PrefetchPolicy::NextChunksOnMiss(5);
+        c.fleet_mut().prefetch = PrefetchPolicy::NextChunksOnMiss(5);
     }),
     ("pin_first_chunks", |c| {
-        c.fleet.pin_first_chunks = true;
+        c.fleet_mut().pin_first_chunks = true;
     }),
     ("partition_popular", |c| {
-        c.fleet.partition_popular = true;
+        c.fleet_mut().partition_popular = true;
     }),
     ("server_pacing", |c| {
         c.tcp.pacing = true;
@@ -36,7 +36,7 @@ const VARIANTS: &[(&str, Tweak)] = &[
         c.tcp.congestion_control = streamlab::net::CongestionControl::Cubic;
     }),
     ("admission_second_hit", |c| {
-        c.fleet.server.cache.admission = AdmissionPolicy::OnSecondRequest;
+        c.fleet_mut().server.cache.admission = AdmissionPolicy::OnSecondRequest;
     }),
     ("robust_abr", |c| {
         c.abr = AbrAlgorithm::RobustRate { window: 5 };

@@ -1,54 +1,103 @@
-//! Sequential vs shard-parallel engine wall time.
+//! Sequential vs shard-parallel engine wall time, plus the telemetry
+//! assembly hot path.
 //!
 //! The contract under test elsewhere (tests/determinism.rs) is that
 //! `threads` changes nothing but wall clock; this bench measures the wall
 //! clock itself. Speedup is bounded by the number of PoPs and by how
-//! evenly sessions land across them, and on a single-core host the
-//! parallel engine should simply not be slower than its extra
-//! partition/merge bookkeeping.
+//! evenly sessions land across them. The `tiny` scenario finishes in
+//! hundreds of milliseconds, so at that size partition/merge bookkeeping
+//! drowns the signal; the `small` scenario carries ≥10× the chunk volume
+//! and is what thread-scaling claims (and the CI perf gate) are judged
+//! against. `dataset/assemble` isolates the player↔CDN join from the
+//! engine so join regressions are attributable.
 //!
 //! Unlike the other benches this one has a hand-written `main`: after the
 //! timed runs it drains the criterion-compat record registry and writes
-//! `BENCH_parallel.json` at the workspace root so CI can track engine
-//! wall time per thread count without scraping stdout. The `observed`
+//! `BENCH_parallel.json` at the workspace root (override the path with
+//! `STREAMLAB_BENCH_OUT`) so CI can track wall time per scenario without
+//! scraping stdout. Each record carries a `chunks_per_sec` throughput
+//! field — chunk records processed per wall second at the median sample —
+//! which is the scale-free number to compare across scenarios. CI's
+//! perf-gate job sets `STREAMLAB_BENCH_SAMPLES` to trade precision for
+//! queue time; the committed baseline uses the default. The `observed`
 //! group runs the same workload with the metrics subscriber attached,
 //! which is what the "<2% uninstrumented overhead" budget in ISSUE.md is
 //! judged against (`engine` group = no subscriber).
 
-use criterion::{take_records, BenchmarkId, Criterion};
+use criterion::{take_records, BatchSize, BenchmarkId, Criterion};
+use std::collections::HashMap;
 use std::hint::black_box;
+use streamlab::telemetry::records::CacheOutcome;
+use streamlab::telemetry::{
+    CdnChunkRecord, ChunkTruth, Dataset, PlayerChunkRecord, SessionMeta, TelemetrySink,
+};
 use streamlab::{ObsOptions, Simulation, SimulationConfig};
 
-fn bench_parallel(c: &mut Criterion) {
+/// Timed samples per benchmark; CI lowers this via `STREAMLAB_BENCH_SAMPLES`.
+fn sample_size() -> usize {
+    std::env::var("STREAMLAB_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+fn tiny_cfg(threads: usize) -> SimulationConfig {
+    let mut cfg = SimulationConfig::tiny(2016);
+    cfg.threads = threads;
+    cfg
+}
+
+/// The thread-scaling workload: the `small` preset widened to 10× tiny's
+/// session count (~150k chunk records), so the event loop dominates the
+/// partition/merge bookkeeping and per-thread deltas are measurable.
+fn small_cfg(threads: usize) -> SimulationConfig {
+    let mut cfg = SimulationConfig::small(2016);
+    cfg.traffic.sessions = 6_000;
+    cfg.threads = threads;
+    cfg
+}
+
+/// Joined chunk records one iteration of `cfg` produces (untimed probe
+/// run); the numerator of the `chunks_per_sec` field.
+fn chunk_volume(cfg: SimulationConfig) -> u64 {
+    Simulation::new(cfg)
+        .run()
+        .expect("probe run")
+        .dataset
+        .chunk_count() as u64
+}
+
+/// A scenario constructor: thread count in, ready-to-run config out.
+type ScenarioFn = fn(usize) -> SimulationConfig;
+
+fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>) {
+    let scenarios: [(&str, ScenarioFn); 2] = [("tiny", tiny_cfg), ("small", small_cfg)];
+
     let mut group = c.benchmark_group("engine");
-    group.sample_size(10);
-    for threads in [1usize, 2, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("tiny", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let mut cfg = SimulationConfig::tiny(2016);
-                    cfg.threads = threads;
-                    black_box(Simulation::new(cfg).run().expect("run"))
-                })
-            },
-        );
+    group.sample_size(sample_size());
+    for (name, make) in scenarios {
+        let chunks = chunk_volume(make(1));
+        for threads in [1usize, 2, 4] {
+            chunks_by_label.insert(format!("engine/{name}/{threads}"), chunks);
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
+                b.iter(|| black_box(Simulation::new(make(threads)).run().expect("run")))
+            });
+        }
     }
     group.finish();
 
     let mut group = c.benchmark_group("engine-observed");
-    group.sample_size(10);
+    group.sample_size(sample_size());
+    let chunks = chunk_volume(tiny_cfg(1));
     for threads in [1usize, 2] {
+        chunks_by_label.insert(format!("engine-observed/tiny/{threads}"), chunks);
         group.bench_with_input(
             BenchmarkId::new("tiny", threads),
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let mut cfg = SimulationConfig::tiny(2016);
-                    cfg.threads = threads;
                     black_box(
-                        Simulation::new(cfg)
+                        Simulation::new(tiny_cfg(threads))
                             .run_observed(ObsOptions { trace: false })
                             .expect("run"),
                     )
@@ -59,20 +108,126 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sessions × chunks-per-session for the synthetic assembly workload.
+const ASSEMBLE_SESSIONS: u64 = 2_000;
+const ASSEMBLE_CHUNKS_EACH: u64 = 30;
+
+/// A sink shaped exactly like engine output: per-session chunk records
+/// contiguous and ascending, one player + one CDN record per chunk pushed
+/// adjacently, one metadata beacon per session. Synthetic so the bench
+/// needs no engine run and the record count is exact.
+fn synth_sink() -> TelemetrySink {
+    use streamlab::sim::{SimDuration, SimTime};
+    use streamlab::workload::{
+        AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
+        SessionId, VideoId,
+    };
+
+    let total = (ASSEMBLE_SESSIONS * ASSEMBLE_CHUNKS_EACH) as usize;
+    let mut sink = TelemetrySink::with_capacity(ASSEMBLE_SESSIONS as usize, total);
+    for s in 0..ASSEMBLE_SESSIONS {
+        let session = SessionId(s);
+        for k in 0..ASSEMBLE_CHUNKS_EACH {
+            let at = SimTime::from_nanos(s * 1_000_000 + k * 4_000_000_000);
+            sink.player_chunk(PlayerChunkRecord {
+                session,
+                chunk: ChunkIndex(k as u32),
+                bitrate_kbps: 3_000,
+                requested_at: at,
+                d_fb: SimDuration::from_nanos(40_000_000),
+                d_lb: SimDuration::from_nanos(900_000_000),
+                chunk_secs: 4.0,
+                buf_count: 0,
+                buf_dur: SimDuration::ZERO,
+                visible: true,
+                avg_fps: 30.0,
+                dropped_frames: 0,
+                frames: 120,
+                truth: ChunkTruth {
+                    dds: SimDuration::from_nanos(850_000_000),
+                    rtt0: SimDuration::from_nanos(30_000_000),
+                    transient_buffered: false,
+                },
+            });
+            sink.cdn_chunk(CdnChunkRecord {
+                session,
+                chunk: ChunkIndex(k as u32),
+                d_wait: SimDuration::from_nanos(1_000_000),
+                d_open: SimDuration::from_nanos(2_000_000),
+                d_read: SimDuration::from_nanos(5_000_000),
+                d_backend: SimDuration::ZERO,
+                cache: CacheOutcome::RamHit,
+                retry_fired: false,
+                size_bytes: 1_500_000,
+                served_at: at,
+                segments: 1_000,
+                retx_segments: 3,
+                tcp: Vec::new(),
+            });
+        }
+        sink.session(SessionMeta {
+            session,
+            prefix: PrefixId(s % 64),
+            video: VideoId(s % 128),
+            video_secs: 600.0,
+            os: Os::Windows,
+            browser: Browser::Chrome,
+            org: String::new(),
+            org_kind: OrgKind::Residential,
+            access: AccessClass::Cable,
+            region: Region::UnitedStates,
+            location: GeoPoint { lat: 0.0, lon: 0.0 },
+            pop: PopId(s % 8),
+            server: ServerId(s % 40),
+            distance_km: 100.0,
+            arrival: SimTime::from_nanos(s * 1_000_000),
+            startup_delay_s: 0.8,
+            proxied: false,
+            ua_mismatch: false,
+            gpu: true,
+            visible: true,
+        });
+    }
+    sink
+}
+
+fn bench_assemble(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>) {
+    let total = ASSEMBLE_SESSIONS * ASSEMBLE_CHUNKS_EACH;
+    let label = format!("dataset/assemble/{total}");
+    chunks_by_label.insert(label, total);
+
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(sample_size());
+    group.bench_with_input(BenchmarkId::new("assemble", total), &total, |b, _| {
+        b.iter_batched(
+            synth_sink,
+            |sink| black_box(Dataset::assemble(sink).expect("assemble")),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
 /// Serialize drained [`criterion::BenchRecord`]s as a JSON array.
 ///
 /// Labels only ever contain `[A-Za-z0-9/_-]`, so no string escaping is
 /// needed; floats are emitted with enough precision for CI diffing.
-fn records_to_json(records: &[criterion::BenchRecord]) -> String {
+/// `chunks_per_sec` is the scenario's chunk-record volume divided by the
+/// median sample (0.0 when the volume is unknown for a label).
+fn records_to_json(records: &[criterion::BenchRecord], chunks: &HashMap<String, u64>) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
+        let cps = match chunks.get(&r.label) {
+            Some(&n) if r.median_ns > 0.0 => n as f64 / (r.median_ns / 1.0e9),
+            _ => 0.0,
+        };
         out.push_str(&format!(
             "  {{\"label\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-             \"min_ns\": {:.1}, \"samples\": {}}}",
-            r.label, r.mean_ns, r.median_ns, r.min_ns, r.samples
+             \"min_ns\": {:.1}, \"samples\": {}, \"chunks_per_sec\": {:.1}}}",
+            r.label, r.mean_ns, r.median_ns, r.min_ns, r.samples, cps
         ));
     }
     out.push_str("\n]\n");
@@ -81,13 +236,16 @@ fn records_to_json(records: &[criterion::BenchRecord]) -> String {
 
 fn main() {
     let mut c = Criterion::default();
-    bench_parallel(&mut c);
+    let mut chunks_by_label = HashMap::new();
+    bench_parallel(&mut c, &mut chunks_by_label);
+    bench_assemble(&mut c, &mut chunks_by_label);
     c.final_summary();
 
     let records = take_records();
-    let json = records_to_json(&records);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
-    match std::fs::write(path, &json) {
+    let json = records_to_json(&records, &chunks_by_label);
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let path = std::env::var("STREAMLAB_BENCH_OUT").unwrap_or_else(|_| default_path.to_string());
+    match std::fs::write(&path, &json) {
         Ok(()) => println!("wrote {} ({} records)", path, records.len()),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }

@@ -1,0 +1,122 @@
+//! CI perf-regression gate.
+//!
+//! Compares a freshly benchmarked `BENCH_parallel.json` against the
+//! committed baseline and fails (exit 1) when any shared label's median
+//! wall time regressed beyond the tolerance. Labels present in only one
+//! file are reported but never fail the gate, so adding or retiring a
+//! scenario doesn't need a lockstep baseline refresh.
+//!
+//! ```text
+//! perf-gate <baseline.json> <candidate.json> [--tolerance 0.15]
+//! ```
+//!
+//! The tolerance is generous (default +15%) because CI runners are noisy
+//! and the compat criterion harness does no outlier rejection; the gate
+//! exists to catch order-of-magnitude mistakes (an accidentally quadratic
+//! join, a queue that degenerates to linear scans), not ±5% drift.
+//! Improvements are never an error — refresh the baseline by committing
+//! the new JSON when they're real.
+
+use std::process::ExitCode;
+
+/// One benchmark entry: label plus median nanoseconds.
+struct Entry {
+    label: String,
+    median_ns: f64,
+}
+
+fn parse_entries(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let arr = value
+        .as_array()
+        .ok_or_else(|| format!("{path}: expected a top-level JSON array"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for item in arr {
+        let label = item
+            .get("label")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("{path}: entry missing \"label\""))?
+            .to_string();
+        let median_ns = item
+            .get("median_ns")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{path}: entry {label} missing \"median_ns\""))?;
+        out.push(Entry { label, median_ns });
+    }
+    Ok(out)
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut tolerance = 0.15f64;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let v = it
+                .next()
+                .ok_or_else(|| "--tolerance needs a value".to_string())?;
+            tolerance = v.parse().map_err(|e| format!("bad --tolerance {v}: {e}"))?;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err("usage: perf-gate <baseline.json> <candidate.json> [--tolerance 0.15]".into());
+    };
+
+    let baseline = parse_entries(baseline_path)?;
+    let candidate = parse_entries(candidate_path)?;
+
+    let mut failed = false;
+    println!(
+        "{:<28} {:>12} {:>12} {:>8}  verdict",
+        "label", "base ms", "new ms", "delta"
+    );
+    for b in &baseline {
+        let Some(c) = candidate.iter().find(|c| c.label == b.label) else {
+            println!("{:<28} (label absent from candidate — skipped)", b.label);
+            continue;
+        };
+        let ratio = c.median_ns / b.median_ns;
+        let verdict = if ratio > 1.0 + tolerance {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<28} {:>12.1} {:>12.1} {:>+7.1}%  {}",
+            b.label,
+            b.median_ns / 1.0e6,
+            c.median_ns / 1.0e6,
+            (ratio - 1.0) * 100.0,
+            verdict
+        );
+    }
+    for c in &candidate {
+        if !baseline.iter().any(|b| b.label == c.label) {
+            println!("{:<28} (new label, no baseline — informational)", c.label);
+        }
+    }
+    Ok(!failed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => {
+            println!("perf gate: ok");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("perf gate: median regression beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -237,7 +237,7 @@ mod tests {
     }
 
     fn median(mut xs: Vec<f64>) -> f64 {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         xs[xs.len() / 2]
     }
 

@@ -1,34 +1,153 @@
 //! A byte-capacity cache with pluggable eviction.
 
 use super::{EvictionPolicy, ObjectKey};
-use std::collections::{BTreeSet, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeSet;
+
+/// Slab sentinel for "no node".
+const NIL: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
 struct Entry {
     size: u64,
-    /// Ordering key currently held in `order` (recency counter, frequency,
-    /// scaled GD priority, or insertion counter, depending on the policy).
+    /// Ordering key currently held in the `Tree` index (frequency or scaled
+    /// GD priority plus tie-break). Unused by `List` policies.
     order_key: (u64, u64),
+    /// Slab index of this entry's node in the `List` index. Unused by
+    /// `Tree` policies.
+    node: u32,
     pinned: bool,
+}
+
+/// Intrusive doubly-linked recency list over a slab, for the queue-shaped
+/// policies (LRU / FIFO): head = oldest = victim side, tail = newest.
+/// Touch, insert and evict are all O(1), versus O(log n) `BTreeSet` churn.
+#[derive(Debug, Clone)]
+struct OrderList {
+    nodes: Vec<ListNode>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+}
+
+#[derive(Debug, Clone)]
+struct ListNode {
+    key: ObjectKey,
+    prev: u32,
+    next: u32,
+}
+
+impl OrderList {
+    fn new() -> Self {
+        OrderList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn push_back(&mut self, key: ObjectKey) -> u32 {
+        let node = ListNode {
+            key,
+            prev: self.tail,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        };
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        idx
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.free.push(idx);
+    }
+
+    fn move_to_back(&mut self, idx: u32) {
+        if self.tail == idx {
+            return;
+        }
+        let key = self.nodes[idx as usize].key;
+        self.unlink(idx);
+        self.free.pop(); // reuse the slot we just freed
+        let node = ListNode {
+            key,
+            prev: self.tail,
+            next: NIL,
+        };
+        self.nodes[idx as usize] = node;
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// The eviction-order index. LRU and FIFO only ever need queue order, so
+/// they get the O(1) list; Perfect-LFU and GD-Size order by a computed
+/// priority and keep the `BTreeSet`. Both indices yield the exact same
+/// victim sequence the old all-`BTreeSet` representation produced: for
+/// LRU/FIFO the old order key was a strictly monotone counter, so set
+/// order ≡ insertion/touch order ≡ list order.
+#[derive(Debug, Clone)]
+enum OrderIndex {
+    Tree(BTreeSet<((u64, u64), ObjectKey)>),
+    List(OrderList),
 }
 
 /// A byte-capacity cache over [`ObjectKey`]s.
 ///
-/// All four policies share one representation: a `HashMap` of entries plus
-/// a `BTreeSet` of `(order_key, tiebreak)` pairs; the policy only decides
-/// how `order_key` evolves on insert/access. Eviction pops the smallest
-/// order key, skipping pinned entries.
+/// All four policies share one entry table (an `FxHashMap` — see the
+/// determinism note in `rustc-hash`); the policy decides the shape of the
+/// eviction-order index (`OrderIndex`). Eviction pops the lowest-priority
+/// (or oldest) entry, skipping pinned entries.
 #[derive(Debug, Clone)]
 pub struct ByteCache {
     policy: EvictionPolicy,
     capacity: u64,
     used: u64,
-    entries: HashMap<ObjectKey, Entry>,
-    order: BTreeSet<((u64, u64), ObjectKey)>,
-    /// Monotone counter used for recency / insertion order / ties.
+    entries: FxHashMap<ObjectKey, Entry>,
+    order: OrderIndex,
+    /// Monotone counter used for priority ties in the `Tree` index.
     tick: u64,
     /// Perfect-LFU frequency table (survives eviction).
-    freq: HashMap<ObjectKey, u64>,
+    freq: FxHashMap<ObjectKey, u64>,
     /// GD-Size inflation value L (scaled by `GD_SCALE`).
     gd_inflation: u64,
     hits: u64,
@@ -42,14 +161,20 @@ const GD_SCALE: f64 = 1.0e12;
 impl ByteCache {
     /// An empty cache of `capacity` bytes under `policy`.
     pub fn new(policy: EvictionPolicy, capacity: u64) -> Self {
+        let order = match policy {
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => OrderIndex::List(OrderList::new()),
+            EvictionPolicy::PerfectLfu | EvictionPolicy::GdSize => {
+                OrderIndex::Tree(BTreeSet::new())
+            }
+        };
         ByteCache {
             policy,
             capacity,
             used: 0,
-            entries: HashMap::new(),
-            order: BTreeSet::new(),
+            entries: FxHashMap::default(),
+            order,
             tick: 0,
-            freq: HashMap::new(),
+            freq: FxHashMap::default(),
             gd_inflation: 0,
             hits: 0,
             misses: 0,
@@ -86,13 +211,10 @@ impl ByteCache {
         self.tick
     }
 
+    /// Priority key for the `Tree` index policies.
     fn order_key_for(&mut self, key: ObjectKey, size: u64) -> (u64, u64) {
         match self.policy {
-            EvictionPolicy::Lru => (self.next_tick(), 0),
-            EvictionPolicy::Fifo => {
-                // Insertion order only; set once at insert, never on access.
-                (self.next_tick(), 0)
-            }
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => unreachable!("list policies"),
             EvictionPolicy::PerfectLfu => {
                 let f = *self.freq.get(&key).unwrap_or(&0);
                 (f, self.next_tick())
@@ -106,19 +228,27 @@ impl ByteCache {
     }
 
     fn reorder(&mut self, key: ObjectKey) {
+        if self.policy == EvictionPolicy::Fifo {
+            return; // FIFO ignores accesses
+        }
         let Some(entry) = self.entries.get(&key) else {
             return;
         };
-        let size = entry.size;
-        let old = entry.order_key;
-        let new = match self.policy {
-            EvictionPolicy::Fifo => return, // FIFO ignores accesses
-            _ => self.order_key_for(key, size),
-        };
-        self.order.remove(&(old, key));
-        self.order.insert((new, key));
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.order_key = new;
+        match &mut self.order {
+            OrderIndex::List(list) => list.move_to_back(entry.node),
+            OrderIndex::Tree(_) => {
+                let size = entry.size;
+                let old = entry.order_key;
+                let new = self.order_key_for(key, size);
+                let OrderIndex::Tree(tree) = &mut self.order else {
+                    unreachable!()
+                };
+                tree.remove(&(old, key));
+                tree.insert((new, key));
+                if let Some(e) = self.entries.get_mut(&key) {
+                    e.order_key = new;
+                }
+            }
         }
     }
 
@@ -162,13 +292,23 @@ impl ByteCache {
                 None => return evicted, // everything pinned; cannot admit
             }
         }
-        let order_key = self.order_key_for(key, size);
-        self.order.insert((order_key, key));
+        let (order_key, node) = match &mut self.order {
+            OrderIndex::List(list) => ((0, 0), list.push_back(key)),
+            OrderIndex::Tree(_) => {
+                let ok = self.order_key_for(key, size);
+                let OrderIndex::Tree(tree) = &mut self.order else {
+                    unreachable!()
+                };
+                tree.insert((ok, key));
+                (ok, NIL)
+            }
+        };
         self.entries.insert(
             key,
             Entry {
                 size,
                 order_key,
+                node,
                 pinned: false,
             },
         );
@@ -182,7 +322,10 @@ impl ByteCache {
     /// but pins are lost with the entries that held them.
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.order.clear();
+        match &mut self.order {
+            OrderIndex::List(list) => list.clear(),
+            OrderIndex::Tree(tree) => tree.clear(),
+        }
         self.used = 0;
     }
 
@@ -197,7 +340,12 @@ impl ByteCache {
     /// Remove a specific key (e.g. when promoting between tiers).
     pub fn remove(&mut self, key: ObjectKey) -> bool {
         if let Some(e) = self.entries.remove(&key) {
-            self.order.remove(&(e.order_key, key));
+            match &mut self.order {
+                OrderIndex::List(list) => list.unlink(e.node),
+                OrderIndex::Tree(tree) => {
+                    tree.remove(&(e.order_key, key));
+                }
+            }
             self.used -= e.size;
             true
         } else {
@@ -207,18 +355,38 @@ impl ByteCache {
 
     /// Evict the policy's victim, skipping pinned entries.
     fn pop_victim(&mut self) -> Option<(ObjectKey, u64)> {
-        let victim = self
-            .order
-            .iter()
-            .find(|(_, k)| !self.entries.get(k).map(|e| e.pinned).unwrap_or(false))
-            .map(|&(ok, k)| (ok, k))?;
-        let (order_key, key) = victim;
-        self.order.remove(&(order_key, key));
+        let key = match &self.order {
+            OrderIndex::List(list) => {
+                let mut idx = list.head;
+                loop {
+                    if idx == NIL {
+                        return None;
+                    }
+                    let k = list.nodes[idx as usize].key;
+                    if !self.entries.get(&k).map(|e| e.pinned).unwrap_or(false) {
+                        break k;
+                    }
+                    idx = list.nodes[idx as usize].next;
+                }
+            }
+            OrderIndex::Tree(tree) => {
+                let (_, k) = *tree
+                    .iter()
+                    .find(|(_, k)| !self.entries.get(k).map(|e| e.pinned).unwrap_or(false))?;
+                k
+            }
+        };
         let e = self.entries.remove(&key).expect("order/entries in sync");
+        match &mut self.order {
+            OrderIndex::List(list) => list.unlink(e.node),
+            OrderIndex::Tree(tree) => {
+                tree.remove(&(e.order_key, key));
+            }
+        }
         self.used -= e.size;
         if self.policy == EvictionPolicy::GdSize {
             // GD-Size: the evicted priority becomes the new inflation L.
-            self.gd_inflation = order_key.0;
+            self.gd_inflation = e.order_key.0;
         }
         Some((key, e.size))
     }

@@ -2,8 +2,8 @@
 
 use super::{ByteCache, EvictionPolicy, ObjectKey};
 use crate::ats::CacheStatus;
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Cache admission policy: which backend fills are worth caching at all.
 ///
@@ -75,7 +75,7 @@ pub struct TieredCache {
     disk: ByteCache,
     admission: AdmissionPolicy,
     /// Request counts for second-hit admission (requests, not hits).
-    seen: HashMap<ObjectKey, u32>,
+    seen: FxHashMap<ObjectKey, u32>,
     churn: TierChurn,
 }
 
@@ -86,7 +86,7 @@ impl TieredCache {
             ram: ByteCache::new(cfg.policy, cfg.ram_bytes),
             disk: ByteCache::new(cfg.policy, cfg.disk_bytes),
             admission: cfg.admission,
-            seen: HashMap::new(),
+            seen: FxHashMap::default(),
             churn: TierChurn::default(),
         }
     }

@@ -12,6 +12,7 @@
 use crate::cache::ObjectKey;
 use crate::server::{CdnServer, ServerConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use streamlab_faults::FaultScenario;
 use streamlab_sim::{derive_seed, RngStream};
 use streamlab_workload::geo::{build_pops, nearest_pop, GeoPoint, Pop};
@@ -101,14 +102,17 @@ pub struct CdnFleet {
     servers: Vec<CdnServer>,
     /// Server indices per PoP.
     by_pop: Vec<Vec<usize>>,
-    cfg: FleetConfig,
+    /// Shared immutable configuration: the orchestrator, sweeps and
+    /// ablations all hold the same `Arc`, so building a fleet never deep-
+    /// copies the config.
+    cfg: Arc<FleetConfig>,
     catalog_len: usize,
 }
 
 impl CdnFleet {
     /// Build the fleet: `cfg.servers` machines spread round-robin over the
     /// standard PoP set.
-    pub fn new(cfg: FleetConfig, master_seed: u64) -> Self {
+    pub fn new(cfg: Arc<FleetConfig>, master_seed: u64) -> Self {
         assert!(cfg.servers >= 1);
         let pops = build_pops();
         let mut servers = Vec::with_capacity(cfg.servers);
@@ -252,7 +256,7 @@ impl CdnFleet {
                 }),
             }
         }
-        shards.sort_by_key(|s| s.pop_index);
+        shards.sort_unstable_by_key(|s| s.pop_index);
         shards
     }
 
@@ -540,7 +544,7 @@ mod tests {
     }
 
     fn fleet(cfg: FleetConfig) -> CdnFleet {
-        CdnFleet::new(cfg, 42)
+        CdnFleet::new(Arc::new(cfg), 42)
     }
 
     #[test]

@@ -163,7 +163,7 @@ fn robust_mean_tail(samples: &[f64], window: usize) -> f64 {
         return mean;
     }
     let mut sorted = tail.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
     let median = sorted[sorted.len() / 2];
     let kept: Vec<f64> = tail
         .iter()

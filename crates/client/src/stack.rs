@@ -245,8 +245,8 @@ mod tests {
             firsts.push(ds[0].dds.as_millis_f64());
             others.extend(ds[1..].iter().map(|d| d.dds.as_millis_f64()));
         }
-        firsts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        others.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        firsts.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        others.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         let gap = firsts[firsts.len() / 2] - others[others.len() / 2];
         assert!((150.0..600.0).contains(&gap), "median gap = {gap} ms");
     }

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `rustc-hash` crate: the FxHash function used by
+//! rustc itself. A non-cryptographic multiply-and-rotate hash that is much
+//! faster than the std `SipHash13` default for small keys (integers, short
+//! tuples) at the cost of DoS resistance — which is irrelevant here because
+//! every key hashed in the simulator is derived from seeded-PRNG state, not
+//! attacker-controlled input.
+//!
+//! Determinism note: `FxHasher` is *fully deterministic* (no per-process
+//! random state), which is stricter than the std default. Nothing in the
+//! simulator is allowed to observe hash-map iteration order anyway (all
+//! ordered output goes through `BTreeSet`/`BTreeMap` or explicit canonical
+//! sorts), so swapping hashers cannot change `RunOutput`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A speedy hash map keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A speedy hash set keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// Zero-sized builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The hasher behind `rustc-hash`: for each word of input,
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let key = (42u64, 7u32, "edge-pop");
+        assert_eq!(hash_of(&key), hash_of(&key));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a collision-resistance claim, just a smoke check that the mix
+        // actually incorporates every word.
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u64, 2u64)), hash_of(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn map_behaves_like_std() {
+        let mut fx: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut std_map: HashMap<u64, u64> = HashMap::new();
+        for i in 0..1000u64 {
+            let k = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            fx.insert(k, i);
+            std_map.insert(k, i);
+        }
+        assert_eq!(fx.len(), std_map.len());
+        for (k, v) in &std_map {
+            assert_eq!(fx.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn partial_tail_bytes_differ_from_padded() {
+        // write() pads the tail with zeros; make sure length still matters
+        // because the chunking differs.
+        assert_ne!(hash_of(&[1u8, 0, 0]), hash_of(&[1u8]));
+    }
+}

@@ -293,6 +293,20 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// Like real serde, `Arc<T>` round-trips as a plain `T` (sharing is a runtime
+// optimization, not a serialized property).
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
 macro_rules! ser_de_tuple {
     ($(($($n:tt $t:ident),+),)*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {

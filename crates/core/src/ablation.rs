@@ -50,7 +50,7 @@ impl AblationMetrics {
             .map(|x| x.meta.startup_delay_s)
             .filter(|x| x.is_finite())
             .collect();
-        startups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        startups.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         AblationMetrics {
             miss_rate: s.miss_rate,
             ram_hit_rate: s.ram_hit_rate,
@@ -162,7 +162,7 @@ mod tests {
             &[
                 ("baseline", (|_| {}) as fn(&mut SimulationConfig)),
                 ("prefetch", |c| {
-                    c.fleet.prefetch = PrefetchPolicy::NextChunksOnMiss(8);
+                    c.fleet_mut().prefetch = PrefetchPolicy::NextChunksOnMiss(8);
                 }),
             ],
         )
@@ -218,7 +218,7 @@ mod tests {
             &[
                 ("baseline", (|_| {}) as fn(&mut SimulationConfig)),
                 ("partition", |c| {
-                    c.fleet.partition_popular = true;
+                    c.fleet_mut().partition_popular = true;
                 }),
             ],
         )

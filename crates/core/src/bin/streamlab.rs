@@ -367,19 +367,19 @@ fn cmd_ablation(opts: &Opts) -> Result<(), String> {
     let variants: Vec<(&str, Tweak)> = vec![
         ("baseline-lru", |_| {}),
         ("perfect-lfu", |c| {
-            c.fleet.server.cache.policy = EvictionPolicy::PerfectLfu;
+            c.fleet_mut().server.cache.policy = EvictionPolicy::PerfectLfu;
         }),
         ("gd-size", |c| {
-            c.fleet.server.cache.policy = EvictionPolicy::GdSize;
+            c.fleet_mut().server.cache.policy = EvictionPolicy::GdSize;
         }),
         ("prefetch", |c| {
-            c.fleet.prefetch = PrefetchPolicy::NextChunksOnMiss(5);
+            c.fleet_mut().prefetch = PrefetchPolicy::NextChunksOnMiss(5);
         }),
         ("pin-first-chunks", |c| {
-            c.fleet.pin_first_chunks = true;
+            c.fleet_mut().pin_first_chunks = true;
         }),
         ("partition-popular", |c| {
-            c.fleet.partition_popular = true;
+            c.fleet_mut().partition_popular = true;
         }),
         ("pacing", |c| {
             c.tcp.pacing = true;
@@ -388,7 +388,7 @@ fn cmd_ablation(opts: &Opts) -> Result<(), String> {
             c.tcp.congestion_control = streamlab::net::CongestionControl::Cubic;
         }),
         ("admission-2nd-hit", |c| {
-            c.fleet.server.cache.admission = AdmissionPolicy::OnSecondRequest;
+            c.fleet_mut().server.cache.admission = AdmissionPolicy::OnSecondRequest;
         }),
         ("robust-abr", |c| {
             c.abr = AbrAlgorithm::RobustRate { window: 5 };

@@ -1,6 +1,7 @@
 //! Simulation configuration and scale presets.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use streamlab_cdn::{FleetConfig, TieredCacheConfig};
 use streamlab_client::abr::AbrAlgorithm;
 use streamlab_client::{PlayerConfig, StackConfig};
@@ -40,8 +41,11 @@ pub struct SimulationConfig {
     pub population: PopulationConfig,
     /// Session arrivals and watch times.
     pub traffic: TrafficConfig,
-    /// CDN fleet.
-    pub fleet: FleetConfig,
+    /// CDN fleet. Shared (`Arc`) because sweeps, ablations and multi-day
+    /// studies clone the whole config once per run: the fleet section is
+    /// immutable at run time, so every clone is a pointer bump. Mutate
+    /// through [`SimulationConfig::fleet_mut`] while still configuring.
+    pub fleet: Arc<FleetConfig>,
     /// TCP sender parameters (pacing lives here).
     pub tcp: TcpConfig,
     /// Client download-stack model.
@@ -99,7 +103,7 @@ impl SimulationConfig {
                     disk_bytes: 120 * 1024 * 1024 * 1024,
                     ..fleet.server.cache
                 };
-                fleet
+                Arc::new(fleet)
             },
             tcp: TcpConfig::default(),
             stack: StackConfig::default(),
@@ -120,11 +124,12 @@ impl SimulationConfig {
         cfg.population.prefixes = 800;
         cfg.population.enterprises = 6;
         cfg.traffic.sessions = 4_000;
-        cfg.fleet.servers = 40;
-        cfg.fleet.server.cache = TieredCacheConfig {
+        let fleet = cfg.fleet_mut();
+        fleet.servers = 40;
+        fleet.server.cache = TieredCacheConfig {
             ram_bytes: 8 * 1024 * 1024 * 1024,
             disk_bytes: 54 * 1024 * 1024 * 1024,
-            ..cfg.fleet.server.cache
+            ..fleet.server.cache
         };
         cfg
     }
@@ -138,13 +143,21 @@ impl SimulationConfig {
         cfg.population.enterprises = 4;
         cfg.traffic.sessions = 600;
         cfg.traffic.window = streamlab_sim::SimDuration::from_secs(4 * 3600);
-        cfg.fleet.servers = 20;
-        cfg.fleet.server.cache = TieredCacheConfig {
+        let fleet = cfg.fleet_mut();
+        fleet.servers = 20;
+        fleet.server.cache = TieredCacheConfig {
             ram_bytes: 4 * 1024 * 1024 * 1024,
             disk_bytes: 30 * 1024 * 1024 * 1024,
-            ..cfg.fleet.server.cache
+            ..fleet.server.cache
         };
         cfg
+    }
+
+    /// Mutable access to the fleet section for configuration-time edits
+    /// (presets, ablations, CLI flags). Copies the section on write only
+    /// if another config still shares it.
+    pub fn fleet_mut(&mut self) -> &mut FleetConfig {
+        Arc::make_mut(&mut self.fleet)
     }
 }
 

@@ -18,6 +18,7 @@
 use crate::config::SimulationConfig;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
@@ -200,7 +201,7 @@ impl RunOutput {
                 mean_latency_ms: if req == 0 { 0.0 } else { lat_w / req as f64 },
             })
             .collect();
-        out.sort_by(|a, b| b.requests.cmp(&a.requests).then(a.metro.cmp(&b.metro)));
+        out.sort_unstable_by(|a, b| b.requests.cmp(&a.requests).then(a.metro.cmp(&b.metro)));
         out
     }
 
@@ -607,15 +608,27 @@ fn run_sequential<S: Subscriber>(
     sub: &mut S,
 ) -> (TelemetrySink, EngineStats) {
     let policy = fleet.config().prefetch;
-    let mut sink = TelemetrySink::new();
-    let mut queue: EventQueue<usize> = EventQueue::new();
+    let est_chunks: usize = runtimes
+        .iter()
+        .map(|rt| rt.spec.chunks_watched as usize)
+        .sum();
+    let mut sink = TelemetrySink::with_capacity(runtimes.len(), est_chunks);
+    let mut queue: EventQueue<usize> = EventQueue::with_capacity(runtimes.len());
     for (idx, rt) in runtimes.iter().enumerate() {
         queue.schedule(rt.spec.arrival, idx);
     }
     while let Some(ev) = queue.pop() {
         let idx = ev.event;
         let now = ev.at;
-        let next = step_chunk(&mut runtimes[idx], now, catalog, policy, fleet, sub);
+        let next = step_chunk(
+            &mut runtimes[idx],
+            now,
+            catalog,
+            policy,
+            fleet,
+            &mut sink,
+            sub,
+        );
         match next {
             Some(next_t) => queue.schedule(next_t.max(now), idx),
             None => {
@@ -697,18 +710,26 @@ where
         .map(|(shard, _, cell)| (shard.pop_index(), cell.clone()))
         .collect();
 
-    // Shards are coarse and few (one per PoP), so a mutex-guarded work
-    // list beats anything fancier; which worker runs which shard never
-    // affects the output. A panic inside a shard job is caught below, so
-    // these locks are never actually poisoned — `into_inner` recovery is
-    // belt-and-braces against panics in the bookkeeping itself.
+    // Shards are coarse and few (one per PoP): workers claim job indices
+    // off an atomic counter and write each shard's result into its own
+    // pre-allocated slot. Slot `i` belongs to the `i`-th shard of
+    // `split_shards` (ascending `pop_index`), so the results come out of
+    // the scope already in canonical PoP order — no shared accumulator to
+    // contend on and nothing to sort afterwards. Which worker runs which
+    // shard never affects the output. A panic inside a shard job is caught
+    // below, so these locks are never actually poisoned — `into_inner`
+    // recovery is belt-and-braces against panics in the bookkeeping
+    // itself.
+    type Job = (FleetShard, Vec<SessionRuntime>, Arc<ProgressCell>);
     type ShardResult<S> = (
         FleetShard,
         Option<(TelemetrySink, ShardRun<S>)>,
         Option<ShardError>,
     );
-    let queue = Mutex::new(work);
-    let done: Mutex<Vec<ShardResult<S>>> = Mutex::new(Vec::new());
+    let n_jobs = work.len();
+    let jobs: Vec<Mutex<Option<Job>>> = work.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<ShardResult<S>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next_job = AtomicUsize::new(0);
     let workers = threads.min(n_pops).max(1);
     std::thread::scope(|scope| {
         // The watchdog joins on its own: workers mark their cell Done in
@@ -726,7 +747,11 @@ where
         }
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let job = queue.lock().unwrap_or_else(|e| e.into_inner()).pop();
+                let i = next_job.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap_or_else(|e| e.into_inner()).take();
                 let Some((mut shard, sessions, cell)) = job else {
                     break;
                 };
@@ -801,17 +826,31 @@ where
                         }),
                     ),
                 };
-                done.lock().unwrap_or_else(|e| e.into_inner()).push(entry);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(entry);
             });
         }
     });
 
-    let mut results = done.into_inner().unwrap_or_else(|e| e.into_inner());
-    // Canonical PoP order for the merge. The join canonicalizes by session
-    // id anyway; sorting just keeps the intermediate sink layout — and the
-    // order shard recorders are folded in — reproducible run-to-run.
-    results.sort_by_key(|(shard, _, _)| shard.pop_index());
-    let mut sink = TelemetrySink::new();
+    // Slot order *is* canonical PoP order (see above), so the sink layout
+    // — and the order shard recorders are folded in — is reproducible
+    // run-to-run without a sort. The join canonicalizes by session id
+    // anyway.
+    let results: Vec<ShardResult<S>> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every shard job is claimed and resolved exactly once")
+        })
+        .collect();
+    let (total_sessions, total_chunks) = results.iter().filter_map(|(_, ok, _)| ok.as_ref()).fold(
+        (0usize, 0usize),
+        |(ns, nc), (shard_sink, _)| {
+            let (p, _, m) = shard_sink.counts();
+            (ns + m, nc + p)
+        },
+    );
+    let mut sink = TelemetrySink::with_capacity(total_sessions, total_chunks);
     let mut shards = Vec::with_capacity(results.len());
     let mut runs = Vec::with_capacity(results.len());
     let mut errors = Vec::new();
@@ -861,8 +900,12 @@ fn run_shard<S: Subscriber>(
     sub: &mut S,
     progress: Option<&ProgressCell>,
 ) -> (TelemetrySink, EngineStats, bool) {
-    let mut sink = TelemetrySink::new();
-    let mut queue: EventQueue<usize> = EventQueue::new();
+    let est_chunks: usize = sessions
+        .iter()
+        .map(|rt| rt.spec.chunks_watched as usize)
+        .sum();
+    let mut sink = TelemetrySink::with_capacity(sessions.len(), est_chunks);
+    let mut queue: EventQueue<usize> = EventQueue::with_capacity(sessions.len());
     for (idx, rt) in sessions.iter().enumerate() {
         queue.schedule(rt.spec.arrival, idx);
     }
@@ -877,7 +920,15 @@ fn run_shard<S: Subscriber>(
                 break;
             }
         }
-        let next = step_chunk(&mut sessions[idx], now, catalog, policy, shard, sub);
+        let next = step_chunk(
+            &mut sessions[idx],
+            now,
+            catalog,
+            policy,
+            shard,
+            &mut sink,
+            sub,
+        );
         match next {
             Some(next_t) => queue.schedule(next_t.max(now), idx),
             None => {

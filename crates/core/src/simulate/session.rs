@@ -35,8 +35,11 @@ pub(super) struct SessionRuntime {
     throughputs: Vec<f64>,
     next_chunk: u32,
     rng: RngStream,
-    player_records: Vec<PlayerChunkRecord>,
-    cdn_records: Vec<CdnChunkRecord>,
+    /// Running sum of recorded chunk playback seconds. Chunk records
+    /// themselves go straight into the shard's [`TelemetrySink`] arena as
+    /// they happen (no per-session buffering), so the session only keeps
+    /// the aggregates its own logic needs.
+    video_secs: f64,
 }
 
 impl SessionRuntime {
@@ -104,6 +107,7 @@ impl SessionRuntime {
         );
         let buffer = PlaybackBuffer::new(cfg.player, spec.arrival);
         let abr = Abr::new(cfg.abr, catalog.ladder());
+        let chunks_hint = spec.chunks_watched as usize;
         SessionRuntime {
             spec,
             manifest_done: false,
@@ -116,11 +120,10 @@ impl SessionRuntime {
             render,
             buffer,
             abr,
-            throughputs: Vec::new(),
+            throughputs: Vec::with_capacity(chunks_hint),
             next_chunk: 0,
             rng,
-            player_records: Vec::new(),
-            cdn_records: Vec::new(),
+            video_secs: 0.0,
         }
     }
 }
@@ -144,6 +147,7 @@ pub(super) fn step_chunk<P: ServerPool, S: Subscriber>(
     catalog: &Catalog,
     prefetch_policy: PrefetchPolicy,
     pool: &mut P,
+    sink: &mut TelemetrySink,
     sub: &mut S,
 ) -> Option<SimTime> {
     let session_id = rt.spec.id.raw();
@@ -379,8 +383,11 @@ pub(super) fn step_chunk<P: ServerPool, S: Subscriber>(
         },
     );
 
-    // 8. Records.
-    rt.player_records.push(PlayerChunkRecord {
+    // 8. Records — appended straight into the shard's sink arenas. The
+    // player and CDN records of a chunk are pushed adjacently, so
+    // `sink.player[i]` and `sink.cdn[i]` stay 1:1 aligned — the invariant
+    // the indexed dataset join exploits.
+    let player_record = PlayerChunkRecord {
         session: rt.spec.id,
         chunk,
         bitrate_kbps: bitrate,
@@ -399,8 +406,12 @@ pub(super) fn step_chunk<P: ServerPool, S: Subscriber>(
             rtt0,
             transient_buffered: delivery.transient_buffered,
         },
-    });
-    rt.cdn_records.push(CdnChunkRecord {
+    };
+    rt.throughputs
+        .push(player_record.observed_throughput_kbps());
+    rt.video_secs += chunk_secs;
+    sink.player_chunk(player_record);
+    sink.cdn_chunk(CdnChunkRecord {
         session: rt.spec.id,
         chunk,
         d_wait: outcome.d_wait,
@@ -419,12 +430,6 @@ pub(super) fn step_chunk<P: ServerPool, S: Subscriber>(
         retx_segments: transfer.retx,
         tcp: transfer.snapshots,
     });
-    rt.throughputs.push(
-        rt.player_records
-            .last()
-            .expect("just pushed")
-            .observed_throughput_kbps(),
-    );
 
     // 9. Schedule the next request (immediately, unless the buffer is
     // full — then after it drains to the high-water mark). A session ends
@@ -475,7 +480,7 @@ pub(super) fn finalize_session(
         session: rt.spec.id,
         prefix: prefix.id,
         video: rt.spec.video,
-        video_secs: 0.0_f64.max(rt.player_records.iter().map(|r| r.chunk_secs).sum()),
+        video_secs: 0.0_f64.max(rt.video_secs),
         os: rt.spec.client.os,
         browser: rt.spec.client.browser,
         org: prefix.org.clone(),
@@ -493,10 +498,4 @@ pub(super) fn finalize_session(
         gpu: rt.spec.client.gpu,
         visible: rt.spec.visible,
     });
-    for r in rt.player_records.drain(..) {
-        sink.player_chunk(r);
-    }
-    for r in rt.cdn_records.drain(..) {
-        sink.cdn_chunk(r);
-    }
 }

@@ -14,7 +14,7 @@ use crate::simulate::{ObsOptions, SimError, Simulation};
 use serde::{Deserialize, Map, Serialize, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 use streamlab_supervisor::{Manifest, RunDir};
 
 /// Mean and population standard deviation of one metric across seeds.
@@ -290,8 +290,12 @@ fn run_checkpointed(
 
     // `recorded` counts records written by THIS process; once it reaches
     // kill_after the whole process aborts — the harness's stand-in for a
-    // machine dying mid-sweep.
-    let recorded = AtomicU32::new(0);
+    // machine dying mid-sweep. The record-write and the counter share one
+    // critical section so the abort fires with exactly `kill_after`
+    // records on disk no matter how the seed workers interleave — fast
+    // seeds finish nearly simultaneously, and an atomic counter alone
+    // would let later workers slip their records in before the abort.
+    let recorded = Mutex::new(0u32);
     let computed: Vec<(u64, Result<AblationMetrics, String>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = missing
             .iter()
@@ -315,9 +319,15 @@ fn run_checkpointed(
                             .map_err(|e| format!("seed {seed}: {e}"))?;
                         AblationMetrics::from_run(&out)
                     };
-                    run_dir.record_seed(seed, seed_payload(&m))?;
-                    if kill_after > 0 && recorded.fetch_add(1, Ordering::SeqCst) + 1 >= kill_after {
-                        std::process::abort();
+                    if kill_after > 0 {
+                        let mut n = recorded.lock().unwrap_or_else(|e| e.into_inner());
+                        run_dir.record_seed(seed, seed_payload(&m))?;
+                        *n += 1;
+                        if *n >= kill_after {
+                            std::process::abort();
+                        }
+                    } else {
+                        run_dir.record_seed(seed, seed_payload(&m))?;
                     }
                     Ok(m)
                 })

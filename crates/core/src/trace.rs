@@ -90,7 +90,7 @@ mod tests {
         let cfg = tiny();
         let specs = generate_trace(&cfg);
         let mut alt = cfg.clone();
-        alt.fleet.server.cache.policy = EvictionPolicy::PerfectLfu;
+        alt.fleet_mut().server.cache.policy = EvictionPolicy::PerfectLfu;
         let a = replay(cfg, specs.clone()).unwrap();
         let b = replay(alt, specs).unwrap();
         // Identical workload (same sessions, same videos)...

@@ -289,7 +289,7 @@ mod tests {
         assert!((d.median() - 2.0).abs() < 1e-12);
         let mut r = rng();
         let mut xs: Vec<f64> = (0..50_001).map(|_| d.sample(&mut r)).collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         let med = xs[xs.len() / 2];
         assert!((med - 2.0).abs() < 0.1, "median = {med}");
         let m = xs.iter().sum::<f64>() / xs.len() as f64;

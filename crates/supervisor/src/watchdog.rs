@@ -120,7 +120,7 @@ pub fn run(cells: &[(usize, Arc<ProgressCell>)], cfg: WatchdogConfig) -> Vec<Sta
         }
         std::thread::sleep(cfg.poll);
     }
-    stalls.sort_by_key(|s| s.pop_index);
+    stalls.sort_unstable_by_key(|s| s.pop_index);
     stalls
 }
 

@@ -25,6 +25,18 @@ impl TelemetrySink {
         Self::default()
     }
 
+    /// A sink with pre-sized arenas: room for `sessions` metadata beacons
+    /// and `chunks` records in each per-chunk stream. The engines size
+    /// this from the session specs so the hot loop appends without ever
+    /// reallocating.
+    pub fn with_capacity(sessions: usize, chunks: usize) -> Self {
+        TelemetrySink {
+            player: Vec::with_capacity(chunks),
+            cdn: Vec::with_capacity(chunks),
+            sessions: Vec::with_capacity(sessions),
+        }
+    }
+
     /// Record a player-side chunk beacon.
     pub fn player_chunk(&mut self, r: PlayerChunkRecord) {
         self.player.push(r);
@@ -165,18 +177,28 @@ impl SessionData {
     }
 
     /// All kernel SRTT samples of the session, ms, in time order.
+    ///
+    /// Chunks are sequential and each chunk's snapshots are taken on a
+    /// forward-moving clock, so the flattened stream is almost always
+    /// already time-ordered — detected in the same pass that collects it,
+    /// skipping the sort entirely. The (stable, tie-preserving) sort only
+    /// runs on streams that actually interleave.
     pub fn srtt_samples_ms(&self) -> Vec<f64> {
-        let mut v: Vec<(u64, f64)> = self
-            .chunks
-            .iter()
-            .flat_map(|c| {
-                c.cdn
-                    .tcp
-                    .iter()
-                    .map(|s| (s.at.as_nanos(), s.srtt.as_millis_f64()))
-            })
-            .collect();
-        v.sort_by_key(|&(at, _)| at);
+        let n: usize = self.chunks.iter().map(|c| c.cdn.tcp.len()).sum();
+        let mut v: Vec<(u64, f64)> = Vec::with_capacity(n);
+        let mut sorted = true;
+        let mut last = 0u64;
+        for c in &self.chunks {
+            for s in &c.cdn.tcp {
+                let at = s.at.as_nanos();
+                sorted &= at >= last;
+                last = at;
+                v.push((at, s.srtt.as_millis_f64()));
+            }
+        }
+        if !sorted {
+            v.sort_by_key(|&(at, _)| at);
+        }
         v.into_iter().map(|(_, s)| s).collect()
     }
 
@@ -206,6 +228,114 @@ impl Dataset {
     /// unlike production — the join must be total, and a violation is a
     /// bug in the orchestrator.
     pub fn join(sink: TelemetrySink) -> Result<Dataset, JoinError> {
+        Self::assemble(sink)
+    }
+
+    /// The production join: a linear indexed pass exploiting the shape
+    /// the engines actually emit, falling back to [`Dataset::join_reference`]
+    /// when any invariant does not hold.
+    ///
+    /// The engines push each chunk's player and CDN records adjacently
+    /// (`sink.player[i]` ↔ `sink.cdn[i]` are the same chunk) and each
+    /// session's chunks in order `0, 1, 2, …` — invariants a single O(n)
+    /// validation pass can confirm without hashing a single key. When they
+    /// hold, assembly is pure moves into pre-sized per-session vectors in
+    /// ascending session-id order: exactly the dataset the hash-join
+    /// reference builds, without the `HashMap`, the `BTreeMap` or the
+    /// per-session sort. When they don't (hand-built sinks, out-of-order
+    /// replays), the reference path runs and reports the exact same
+    /// [`JoinError`]s it always did.
+    pub fn assemble(sink: TelemetrySink) -> Result<Dataset, JoinError> {
+        match Self::join_indexed(sink) {
+            Ok(ds) => Ok(ds),
+            Err(sink) => Self::join_reference(sink),
+        }
+    }
+
+    /// The indexed fast path. Returns the sink unchanged if any invariant
+    /// fails, so the caller can fall back to the reference join.
+    fn join_indexed(sink: TelemetrySink) -> Result<Dataset, TelemetrySink> {
+        // --- validation: one read-only linear pass ---
+        if sink.player.len() != sink.cdn.len() {
+            return Err(sink);
+        }
+        let mut max_id: u64 = 0;
+        for m in &sink.sessions {
+            max_id = max_id.max(m.session.raw());
+        }
+        for p in &sink.player {
+            max_id = max_id.max(p.session.raw());
+        }
+        let slots = max_id as usize + 1;
+        // Engines hand out dense session ids; a sparse id space would blow
+        // the direct-indexed tables up, so punt to the hash join instead.
+        if slots > 4 * (sink.sessions.len() + sink.player.len()) + 1024 {
+            return Err(sink);
+        }
+        // Per-session expected next chunk id; doubles as the chunk count.
+        let mut next: Vec<u32> = vec![0; slots];
+        for (p, c) in sink.player.iter().zip(&sink.cdn) {
+            if p.session != c.session || p.chunk != c.chunk {
+                return Err(sink);
+            }
+            let sid = p.session.raw() as usize;
+            if p.chunk.raw() != next[sid] {
+                return Err(sink);
+            }
+            next[sid] += 1;
+        }
+        let mut has_meta = vec![false; slots];
+        for m in &sink.sessions {
+            has_meta[m.session.raw() as usize] = true;
+        }
+        if next.iter().zip(&has_meta).any(|(&n, &has)| n > 0 && !has) {
+            return Err(sink);
+        }
+
+        // --- assembly: pure moves, cannot fail ---
+        let TelemetrySink {
+            player,
+            cdn,
+            sessions,
+        } = sink;
+        let mut meta_slot: Vec<Option<SessionMeta>> = (0..slots).map(|_| None).collect();
+        for m in sessions {
+            // Last meta wins, matching the reference join's map insert.
+            let sid = m.session.raw() as usize;
+            meta_slot[sid] = Some(m);
+        }
+        let mut chunk_slot: Vec<Vec<ChunkRecord>> = next
+            .iter()
+            .map(|&n| Vec::with_capacity(n as usize))
+            .collect();
+        for (p, c) in player.into_iter().zip(cdn) {
+            chunk_slot[p.session.raw() as usize].push(ChunkRecord { player: p, cdn: c });
+        }
+        let live = next.iter().filter(|&&n| n > 0).count();
+        let mut out = Vec::with_capacity(live);
+        for (sid, chunks) in chunk_slot.into_iter().enumerate() {
+            if chunks.is_empty() {
+                // Zero-chunk sessions are dropped, like the reference join
+                // (it only materializes sessions seen in the chunk streams).
+                continue;
+            }
+            let meta = meta_slot[sid].take().expect("validated above");
+            out.push(SessionData { meta, chunks });
+        }
+        let raw = out.len();
+        Ok(Dataset {
+            sessions: out,
+            filtered_proxy_sessions: 0,
+            raw_sessions: raw,
+        })
+    }
+
+    /// The reference hash join: builds the dataset key-by-key with no
+    /// assumptions about record order or alignment. This is the semantic
+    /// definition [`Dataset::assemble`]'s fast path is tested against, and
+    /// the path that diagnoses malformed sinks with a precise
+    /// [`JoinError`].
+    pub fn join_reference(sink: TelemetrySink) -> Result<Dataset, JoinError> {
         let mut metas: BTreeMap<SessionId, SessionMeta> = BTreeMap::new();
         for m in sink.sessions {
             metas.insert(m.session, m);
@@ -239,7 +369,10 @@ impl Dataset {
 
         let mut sessions = Vec::with_capacity(by_session.len());
         for (id, mut chunks) in by_session {
-            chunks.sort_by_key(|c| c.chunk());
+            // (session, chunk) keys are unique past the duplicate check, so
+            // an unstable sort cannot reorder equal elements — there are
+            // none.
+            chunks.sort_unstable_by_key(|c| c.chunk());
             let meta = metas.remove(&id).expect("checked above");
             sessions.push(SessionData { meta, chunks });
         }

@@ -301,7 +301,7 @@ mod tests {
     fn catalog_lengths_are_heavy_tailed() {
         let c = catalog();
         let mut lens: Vec<f64> = c.videos().iter().map(|v| v.duration_s).collect();
-        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lens.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         let median = lens[lens.len() / 2];
         let p99 = lens[(lens.len() as f64 * 0.99) as usize];
         assert!((120.0..260.0).contains(&median), "median = {median}");

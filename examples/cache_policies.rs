@@ -48,22 +48,22 @@ fn main() {
     let rows = vec![
         run("LRU (deployed)", seed, |_| {}),
         run("perfect-LFU", seed, |c| {
-            c.fleet.server.cache.policy = EvictionPolicy::PerfectLfu;
+            c.fleet_mut().server.cache.policy = EvictionPolicy::PerfectLfu;
         }),
         run("GD-Size", seed, |c| {
-            c.fleet.server.cache.policy = EvictionPolicy::GdSize;
+            c.fleet_mut().server.cache.policy = EvictionPolicy::GdSize;
         }),
         run("FIFO", seed, |c| {
-            c.fleet.server.cache.policy = EvictionPolicy::Fifo;
+            c.fleet_mut().server.cache.policy = EvictionPolicy::Fifo;
         }),
         run("LRU + prefetch(5)", seed, |c| {
-            c.fleet.prefetch = PrefetchPolicy::NextChunksOnMiss(5);
+            c.fleet_mut().prefetch = PrefetchPolicy::NextChunksOnMiss(5);
         }),
         run("LRU + pin first chunks", seed, |c| {
-            c.fleet.pin_first_chunks = true;
+            c.fleet_mut().pin_first_chunks = true;
         }),
         run("LRU + partition top-10%", seed, |c| {
-            c.fleet.partition_popular = true;
+            c.fleet_mut().partition_popular = true;
         }),
     ];
 

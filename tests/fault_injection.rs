@@ -64,8 +64,9 @@ fn survives_single_rung_ladder() {
 #[test]
 fn survives_zero_capacity_caches() {
     let mut cfg = base();
-    cfg.fleet.server.cache.ram_bytes = 0;
-    cfg.fleet.server.cache.disk_bytes = 0;
+    let fleet = cfg.fleet_mut();
+    fleet.server.cache.ram_bytes = 0;
+    fleet.server.cache.disk_bytes = 0;
     let out = Simulation::new(cfg).run().expect("run");
     check_coherent(&out);
     // Nothing can be cached: every chunk is a miss.
