@@ -57,6 +57,21 @@ fn small_cfg(threads: usize) -> SimulationConfig {
     cfg
 }
 
+/// The steal-or-stall workload: `small` with 75% of prefixes pinned to
+/// one metro, so one PoP carries the bulk of the sessions. Under the old
+/// fixed slot-claiming this scenario flatlined past 2 threads (the hot
+/// PoP was one indivisible shard); per-server shards plus work stealing
+/// let idle workers drain the hot PoP's tail, which is exactly what this
+/// group exists to measure.
+fn skewed_cfg(threads: usize) -> SimulationConfig {
+    let mut cfg = SimulationConfig::small(2016);
+    cfg.traffic.sessions = 6_000;
+    cfg.population.focus_metro = "NewYork-NY".to_owned();
+    cfg.population.focus_fraction = 0.75;
+    cfg.threads = threads;
+    cfg
+}
+
 /// Joined chunk records one iteration of `cfg` produces (untimed probe
 /// run); the numerator of the `chunks_per_sec` field.
 fn chunk_volume(cfg: SimulationConfig) -> u64 {
@@ -71,13 +86,21 @@ fn chunk_volume(cfg: SimulationConfig) -> u64 {
 type ScenarioFn = fn(usize) -> SimulationConfig;
 
 fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>) {
-    let scenarios: [(&str, ScenarioFn); 2] = [("tiny", tiny_cfg), ("small", small_cfg)];
+    // `small/8` exists because CI's scaling gate judges near-linear speedup
+    // through 4 threads and wants the curve past the knee on record;
+    // `skewed` only needs enough points to show stealing beats the worst
+    // PoP imbalance.
+    let scenarios: [(&str, ScenarioFn, &[usize]); 3] = [
+        ("tiny", tiny_cfg, &[1, 2, 4]),
+        ("small", small_cfg, &[1, 2, 4, 8]),
+        ("skewed", skewed_cfg, &[1, 2, 4]),
+    ];
 
     let mut group = c.benchmark_group("engine");
     group.sample_size(sample_size());
-    for (name, make) in scenarios {
+    for (name, make, thread_counts) in scenarios {
         let chunks = chunk_volume(make(1));
-        for threads in [1usize, 2, 4] {
+        for &threads in thread_counts {
             chunks_by_label.insert(format!("engine/{name}/{threads}"), chunks);
             group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
                 b.iter(|| black_box(Simulation::new(make(threads)).run().expect("run")))

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! perf-gate <baseline.json> <candidate.json> [--tolerance 0.15]
+//! perf-gate <candidate.json> --scaling engine/small:2:1.6 [--scaling ...]
 //! ```
 //!
 //! The tolerance is generous (default +15%) because CI runners are noisy
@@ -16,6 +17,16 @@
 //! join, a queue that degenerates to linear scans), not ±5% drift.
 //! Improvements are never an error — refresh the baseline by committing
 //! the new JSON when they're real.
+//!
+//! `--scaling <group>:<threads>:<min_ratio>` asserts thread-scaling
+//! *within one file*: the `{group}/1` median divided by the
+//! `{group}/{threads}` median must be at least `min_ratio`, or the gate
+//! fails. Because both medians come from the same run on the same
+//! machine, this check is immune to runner-generation drift that the
+//! baseline comparison has to tolerate — it is the hard floor under "the
+//! `--threads` flag actually scales". With a single path argument the
+//! gate runs in scaling-only mode; with two, scaling checks run after
+//! the regression comparison against the candidate file.
 
 use std::process::ExitCode;
 
@@ -48,9 +59,76 @@ fn parse_entries(path: &str) -> Result<Vec<Entry>, String> {
     Ok(out)
 }
 
+/// One `--scaling` assertion: `{group}/1` must be at least `min_ratio`×
+/// slower than `{group}/{threads}` in the same file.
+struct ScalingSpec {
+    group: String,
+    threads: usize,
+    min_ratio: f64,
+}
+
+fn parse_scaling_spec(raw: &str) -> Result<ScalingSpec, String> {
+    // The group name may itself contain `:`-free path segments only, so
+    // splitting from the right keeps `engine/small:4:3.0` unambiguous.
+    let mut parts = raw.rsplitn(3, ':');
+    let (Some(ratio), Some(threads), Some(group)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!(
+            "bad --scaling {raw}: expected <group>:<threads>:<min_ratio>"
+        ));
+    };
+    Ok(ScalingSpec {
+        group: group.to_string(),
+        threads: threads
+            .parse()
+            .map_err(|e| format!("bad --scaling thread count {threads}: {e}"))?,
+        min_ratio: ratio
+            .parse()
+            .map_err(|e| format!("bad --scaling ratio {ratio}: {e}"))?,
+    })
+}
+
+/// Check every `--scaling` spec against `entries`; returns false when any
+/// speedup lands under its floor. A missing label is an error, not a
+/// skip — a gate that silently passes because the bench was renamed is
+/// worse than no gate.
+fn check_scaling(entries: &[Entry], specs: &[ScalingSpec]) -> Result<bool, String> {
+    let median_of = |label: &str| -> Result<f64, String> {
+        entries
+            .iter()
+            .find(|e| e.label == label)
+            .map(|e| e.median_ns)
+            .ok_or_else(|| format!("--scaling: label {label} not found in candidate"))
+    };
+    let mut ok = true;
+    for spec in specs {
+        let base = median_of(&format!("{}/1", spec.group))?;
+        let scaled = median_of(&format!("{}/{}", spec.group, spec.threads))?;
+        if scaled <= 0.0 {
+            return Err(format!(
+                "--scaling: {}/{} median is zero",
+                spec.group, spec.threads
+            ));
+        }
+        let speedup = base / scaled;
+        let verdict = if speedup < spec.min_ratio {
+            ok = false;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "scaling {:<22} {}t speedup {:>5.2}x (floor {:.2}x)  {}",
+            spec.group, spec.threads, speedup, spec.min_ratio, verdict
+        );
+    }
+    Ok(ok)
+}
+
 fn run(args: &[String]) -> Result<bool, String> {
     let mut tolerance = 0.15f64;
     let mut paths = Vec::new();
+    let mut scaling = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -58,12 +136,29 @@ fn run(args: &[String]) -> Result<bool, String> {
                 .next()
                 .ok_or_else(|| "--tolerance needs a value".to_string())?;
             tolerance = v.parse().map_err(|e| format!("bad --tolerance {v}: {e}"))?;
+        } else if a == "--scaling" {
+            let v = it
+                .next()
+                .ok_or_else(|| "--scaling needs <group>:<threads>:<min_ratio>".to_string())?;
+            scaling.push(parse_scaling_spec(v)?);
         } else {
             paths.push(a.clone());
         }
     }
+
+    // Scaling-only mode: one file, no baseline comparison.
+    if let ([candidate_path], false) = (paths.as_slice(), scaling.is_empty()) {
+        let candidate = parse_entries(candidate_path)?;
+        return check_scaling(&candidate, &scaling);
+    }
+
     let [baseline_path, candidate_path] = paths.as_slice() else {
-        return Err("usage: perf-gate <baseline.json> <candidate.json> [--tolerance 0.15]".into());
+        return Err(
+            "usage: perf-gate <baseline.json> <candidate.json> [--tolerance 0.15] \
+             [--scaling <group>:<threads>:<min_ratio>] | \
+             perf-gate <candidate.json> --scaling <group>:<threads>:<min_ratio>"
+                .into(),
+        );
     };
 
     let baseline = parse_entries(baseline_path)?;
@@ -100,6 +195,9 @@ fn run(args: &[String]) -> Result<bool, String> {
             println!("{:<28} (new label, no baseline — informational)", c.label);
         }
     }
+    if !scaling.is_empty() && !check_scaling(&candidate, &scaling)? {
+        failed = true;
+    }
     Ok(!failed)
 }
 
@@ -111,7 +209,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("perf gate: median regression beyond tolerance");
+            eprintln!("perf gate: median regression beyond tolerance or scaling under floor");
             ExitCode::FAILURE
         }
         Err(e) => {

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use streamlab_faults::FaultScenario;
 use streamlab_sim::{derive_seed, RngStream};
 use streamlab_workload::geo::{build_pops, nearest_pop, GeoPoint, Pop};
-use streamlab_workload::{Catalog, ChunkIndex, ServerId, SessionId, VideoId};
+use streamlab_workload::{Catalog, ChunkIndex, ServerId, SessionId, Video, VideoId};
 
 /// Chunk prefetching policy (§4.1.2 take-aways).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -240,23 +240,49 @@ impl CdnFleet {
     /// PoPs with no servers produce no shard. Within a shard, servers keep
     /// their relative (ascending global-index) order.
     pub fn split_shards(&mut self) -> Vec<FleetShard> {
-        let servers = std::mem::take(&mut self.servers);
+        let coarse = vec![true; self.pops.len()];
+        self.split_shards_with(&coarse)
+    }
+
+    /// Carve the fleet into mixed-granularity shards: PoPs flagged in
+    /// `coarse` become one whole-PoP shard each (sessions there may fail
+    /// over between member servers, so the members must stay together);
+    /// every other PoP is split one-shard-per-server — the fine
+    /// granularity that lets a work-stealing scheduler balance a skewed
+    /// session distribution.
+    ///
+    /// Shards come out in canonical order: ascending PoP index, then
+    /// ascending global server index within a split PoP. PoPs with no
+    /// servers produce no shard. Same fleet-ownership contract as
+    /// [`CdnFleet::split_shards`].
+    pub fn split_shards_with(&mut self, coarse: &[bool]) -> Vec<FleetShard> {
+        assert_eq!(coarse.len(), self.pops.len(), "one coarseness flag per PoP");
+        let mut slots: Vec<Option<CdnServer>> = std::mem::take(&mut self.servers)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut take = |i: usize| slots[i].take().expect("server split into two shards");
         let mut shards: Vec<FleetShard> = Vec::new();
-        for (global_idx, server) in servers.into_iter().enumerate() {
-            let pop_index = server.pop().raw() as usize;
-            match shards.iter_mut().find(|s| s.pop_index == pop_index) {
-                Some(shard) => {
-                    shard.server_indices.push(global_idx);
-                    shard.servers.push(server);
-                }
-                None => shards.push(FleetShard {
+        for (pop_index, members) in self.by_pop.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            if coarse[pop_index] {
+                shards.push(FleetShard {
                     pop_index,
-                    server_indices: vec![global_idx],
-                    servers: vec![server],
-                }),
+                    server_indices: members.clone(),
+                    servers: members.iter().map(|&i| take(i)).collect(),
+                });
+            } else {
+                for &i in members {
+                    shards.push(FleetShard {
+                        pop_index,
+                        server_indices: vec![i],
+                        servers: vec![take(i)],
+                    });
+                }
             }
         }
-        shards.sort_unstable_by_key(|s| s.pop_index);
         shards
     }
 
@@ -299,6 +325,21 @@ impl CdnFleet {
     /// caches and overstate miss rates relative to the paper's
     /// steady-state 2 %.
     pub fn warm(&mut self, catalog: &Catalog) {
+        self.warm_parallel(catalog, 1);
+    }
+
+    /// [`CdnFleet::warm`] spread across up to `threads` workers.
+    ///
+    /// Warming is embarrassingly parallel *per server*: every fill, pin
+    /// and fullness check touches only the server being warmed, and the
+    /// affinity assignment is a pure function of `(video, PoP)`. The
+    /// historical videos×PoPs loop is therefore restructured as one pass
+    /// per server over that server's assigned videos in ascending catalog
+    /// (popularity) order — the exact per-server subsequence of the old
+    /// global order — so cache contents and churn counters are
+    /// byte-identical at any `threads`, and worker scheduling cannot leak
+    /// into the output.
+    pub fn warm_parallel(&mut self, catalog: &Catalog, threads: usize) {
         self.catalog_len = catalog.len();
         if !self.cfg.warm_caches && !self.cfg.pin_first_chunks {
             return;
@@ -314,20 +355,21 @@ impl CdnFleet {
             catalog.ladder().max_kbps(),
         ];
 
-        let affinity_server = |by_pop: &[Vec<usize>], pop_idx: usize, video: VideoId| {
-            let members = &by_pop[pop_idx];
-            let h = derive_seed(video.raw(), "fleet-affinity");
-            members[(h % members.len() as u64) as usize]
-        };
+        // Each PoP warms a video on its affinity server; collect every
+        // server's assignment list up front, in catalog order.
+        let mut assigned: Vec<Vec<&Video>> = vec![Vec::new(); self.servers.len()];
+        for video in catalog.videos() {
+            for members in self.by_pop.iter().filter(|m| !m.is_empty()) {
+                let h = derive_seed(video.id.raw(), "fleet-affinity");
+                assigned[members[(h % members.len() as u64) as usize]].push(video);
+            }
+        }
 
-        if self.cfg.pin_first_chunks {
-            for video in catalog.videos() {
-                for pop_idx in 0..self.pops.len() {
-                    if self.by_pop[pop_idx].is_empty() {
-                        continue;
-                    }
-                    let idx = affinity_server(&self.by_pop, pop_idx, video.id);
-                    let server = &mut self.servers[idx];
+        let cfg = &self.cfg;
+        let catalog_len = self.catalog_len;
+        let warm_one = |server: &mut CdnServer, videos: &[&Video]| {
+            if cfg.pin_first_chunks {
+                for video in videos {
                     for &rung in &warm_rungs {
                         let k = ObjectKey {
                             video: video.id,
@@ -340,22 +382,15 @@ impl CdnFleet {
                     }
                 }
             }
-        }
-        if !self.cfg.warm_caches {
-            return;
-        }
-
-        // Pass 1: disk, most popular first, until ~90 % full per server.
-        // Pass 2: RAM the same way — so RAM ends up holding the *head* of
-        // the popularity distribution, as an LRU in steady state would.
-        for ram_pass in [false, true] {
-            for video in catalog.videos() {
-                for pop_idx in 0..self.pops.len() {
-                    if self.by_pop[pop_idx].is_empty() {
-                        continue;
-                    }
-                    let idx = affinity_server(&self.by_pop, pop_idx, video.id);
-                    let cache = self.servers[idx].cache_mut();
+            if !cfg.warm_caches {
+                return;
+            }
+            // Pass 1: disk, most popular first, until ~90 % full. Pass 2:
+            // RAM the same way — so RAM ends up holding the *head* of the
+            // popularity distribution, as an LRU in steady state would.
+            for ram_pass in [false, true] {
+                for video in videos {
+                    let cache = server.cache_mut();
                     // Manifests are a few KB and requested by every
                     // session: always warm, in both tiers — even for
                     // videos whose chunks no longer fit.
@@ -380,7 +415,7 @@ impl CdnFleet {
                     // only through a watch-prefix. Sessions that outlast
                     // the warmed prefix then mix hits and misses (the
                     // paper's 60 % mean miss ratio within miss sessions).
-                    let head = video.id.rank() * 5 <= self.catalog_len;
+                    let head = video.id.rank() * 5 <= catalog_len;
                     let warmed_chunks = if head {
                         video.chunk_count()
                     } else {
@@ -407,17 +442,47 @@ impl CdnFleet {
                     }
                 }
             }
+        };
+
+        if threads <= 1 {
+            for (idx, server) in self.servers.iter_mut().enumerate() {
+                warm_one(server, &assigned[idx]);
+            }
+        } else {
+            // Servers are independent work items; any pickup order yields
+            // the same caches, so a plain shared stack suffices.
+            let work: Vec<(&mut CdnServer, &[&Video])> = self
+                .servers
+                .iter_mut()
+                .zip(assigned.iter().map(Vec::as_slice))
+                .collect();
+            let n = work.len();
+            let work = std::sync::Mutex::new(work);
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(n) {
+                    scope.spawn(|| loop {
+                        let item = work.lock().unwrap_or_else(|e| e.into_inner()).pop();
+                        match item {
+                            Some((server, videos)) => warm_one(server, videos),
+                            None => break,
+                        }
+                    });
+                }
+            });
         }
     }
 }
 
-/// One PoP's slice of the fleet: the servers it hosts, detached from the
-/// fleet so an independent worker can mutate them.
+/// A slice of the fleet — a whole PoP's servers, or a single server of a
+/// split PoP — detached from the fleet so an independent worker can
+/// mutate it.
 ///
 /// This is the unit of parallelism in the sharded simulation engine.
 /// Client→server assignment never crosses PoP boundaries (nearest PoP,
-/// then affinity *within* the PoP), so every session's serve path touches
-/// exactly one shard and shards can run concurrently without
+/// then affinity *within* the PoP), and a session only leaves its
+/// assigned *server* on failover — which the engine's failover-domain
+/// analysis rules out for split PoPs — so every session's serve path
+/// touches exactly one shard and shards can run concurrently without
 /// synchronization.
 #[derive(Debug)]
 pub struct FleetShard {
@@ -523,6 +588,9 @@ impl ServerPool for FleetShard {
             pop_index, self.pop_index,
             "cross-PoP membership query on a shard"
         );
+        // Failover consults this, and failover only fires under faults
+        // that force the session's PoP into one whole-PoP (coarse) shard —
+        // so when it is consulted, the list is the full PoP membership.
         &self.server_indices
     }
 }
@@ -764,6 +832,73 @@ mod tests {
         f.merge_shards(shards);
         let ids_after: Vec<_> = f.servers().iter().map(|s| s.id()).collect();
         assert_eq!(ids_before, ids_after, "merge must restore global order");
+    }
+
+    #[test]
+    fn split_with_mixed_granularity_covers_and_merges() {
+        let mut f = fleet(FleetConfig::default());
+        let ids_before: Vec<_> = f.servers().iter().map(|s| s.id()).collect();
+        // PoPs 0 and 3 stay coarse, every other PoP splits per server.
+        let mut coarse = vec![false; f.pops().len()];
+        coarse[0] = true;
+        coarse[3] = true;
+        let shards = f.split_shards_with(&coarse);
+        let mut seen = std::collections::HashSet::new();
+        let mut last_key = (0usize, 0usize);
+        for (i, shard) in shards.iter().enumerate() {
+            if coarse[shard.pop_index()] {
+                assert!(shard.len() > 1, "85 servers over 10 PoPs: coarse > 1");
+            } else {
+                assert_eq!(shard.len(), 1, "split PoPs yield singleton shards");
+            }
+            for &global in shard.members() {
+                assert!(seen.insert(global), "server {global} in two shards");
+            }
+            // Canonical order: ascending (PoP, first server).
+            let key = (shard.pop_index(), shard.members()[0]);
+            if i > 0 {
+                assert!(key > last_key, "shards out of canonical order: {key:?}");
+            }
+            last_key = key;
+        }
+        assert_eq!(seen.len(), ids_before.len());
+        f.merge_shards(shards);
+        let ids_after: Vec<_> = f.servers().iter().map(|s| s.id()).collect();
+        assert_eq!(ids_before, ids_after);
+    }
+
+    #[test]
+    fn all_fine_split_is_one_shard_per_server() {
+        let mut f = fleet(FleetConfig::default());
+        let n = f.len();
+        let coarse = vec![false; f.pops().len()];
+        let shards = f.split_shards_with(&coarse);
+        assert_eq!(shards.len(), n);
+        f.merge_shards(shards);
+    }
+
+    #[test]
+    fn parallel_warm_matches_sequential_warm() {
+        let cat = small_catalog();
+        let mut seq = fleet(FleetConfig {
+            pin_first_chunks: true,
+            ..FleetConfig::default()
+        });
+        seq.warm(&cat);
+        let mut par = fleet(FleetConfig {
+            pin_first_chunks: true,
+            ..FleetConfig::default()
+        });
+        par.warm_parallel(&cat, 4);
+        for (a, b) in seq.servers().iter().zip(par.servers()) {
+            assert_eq!(a.cache().ram().used(), b.cache().ram().used());
+            assert_eq!(a.cache().disk().used(), b.cache().disk().used());
+            let (ca, cb) = (a.cache().churn(), b.cache().churn());
+            assert_eq!(ca.fills, cb.fills);
+            assert_eq!(ca.promotions, cb.promotions);
+            assert_eq!(ca.demotions, cb.demotions);
+            assert_eq!(ca.disk_evictions, cb.disk_evictions);
+        }
     }
 
     #[test]

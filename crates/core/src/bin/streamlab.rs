@@ -20,8 +20,10 @@
 //!                                        seeds; config comes from its
 //!                                        manifest)
 //!          --threads N                  (default: 1 = sequential engine;
-//!                                        >1 shards the run by PoP, output
-//!                                        is identical at any thread count)
+//!                                        >1 shards the run per server —
+//!                                        per PoP under failure faults —
+//!                                        with work stealing; output is
+//!                                        identical at any thread count)
 //!          --shard-deadline SECS        (watchdog: cancel a shard that
 //!                                        makes no progress for SECS wall
 //!                                        seconds and keep the rest)
@@ -194,7 +196,7 @@ fn warn_partial(out: &streamlab::RunOutput) {
     }
     if !out.shard_errors.is_empty() {
         eprintln!(
-            "warning: {} shard(s) lost; the dataset covers the surviving PoPs only",
+            "warning: {} shard(s) lost; the dataset covers the surviving shards' servers only",
             out.shard_errors.len()
         );
     }

@@ -63,17 +63,23 @@ pub struct SimulationConfig {
     /// set programmatically.
     pub faults: FaultScenario,
     /// Worker threads for the event loop. `1` runs the sequential
-    /// reference engine; `>1` runs one event loop per PoP shard across
-    /// this many threads. Output is bit-identical at every thread count
-    /// (sessions never touch servers outside their assigned PoP), so this
-    /// is purely a wall-clock knob.
+    /// reference engine; `>1` runs one event loop per fleet shard —
+    /// per *server* wherever the fault scenario cannot reject requests
+    /// (no failover possible there), per PoP where it can — across this
+    /// many workers with work stealing, so idle workers drain the tail
+    /// of a skewed PoP. Output is bit-identical at every thread count
+    /// (sessions never touch servers outside their shard, and results
+    /// merge in canonical shard order), so this is purely a wall-clock
+    /// knob.
     pub threads: usize,
     /// Shard watchdog deadline, wall-clock milliseconds; `0` disables
-    /// the watchdog. With a deadline set, a shard whose *sim-time* stops
-    /// advancing for this long is cancelled and reported as a structured
-    /// stall (partial results) instead of hanging the run. Wall-clock
-    /// only decides *whether a shard is abandoned*, never any simulated
-    /// quantity, so determinism is unaffected on runs that don't stall.
+    /// the watchdog. With a deadline set, a shard (a server's — or,
+    /// under failure faults, a PoP's — event loop) whose *sim-time*
+    /// stops advancing for this long is cancelled and reported as a
+    /// structured stall (partial results) instead of hanging the run.
+    /// Wall-clock only decides *whether a shard is abandoned*, never any
+    /// simulated quantity, so determinism is unaffected on runs that
+    /// don't stall.
     pub shard_deadline_ms: u64,
 }
 

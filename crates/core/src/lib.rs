@@ -45,6 +45,7 @@ pub mod experiments;
 pub mod multiday;
 pub mod plot;
 pub mod report;
+pub mod scheduler;
 pub mod simulate;
 pub mod sweep;
 pub mod trace;

@@ -1,0 +1,191 @@
+//! Work-stealing job scheduler for the sharded engine.
+//!
+//! The engine's shard jobs are coarse, independent and of wildly uneven
+//! size (one PoP can hold most of a day's sessions). A fixed round-robin
+//! deal — or the plain `fetch_add` claim loop this module replaced —
+//! leaves workers idle while the largest shard finishes alone. The
+//! [`WorkQueue`] here deals jobs LPT-style (longest processing time
+//! first) onto per-worker deques by a static cost estimate, then lets
+//! idle workers *steal* from the tail of a loaded worker's deque.
+//!
+//! Determinism contract: the queue only decides **which worker runs
+//! which job when**. Callers write each job's result into a
+//! pre-allocated slot indexed by job id, so the steal order — which is
+//! timing-dependent and not reproducible — can never reach the output.
+//! Every job id in `0..jobs` is handed out exactly once; the property
+//! test in `tests/scheduler_steal.rs` drives adversarial interleavings
+//! against exactly this contract.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed set of jobs (ids `0..n`) dealt across per-worker deques, with
+/// stealing between them. Create with [`WorkQueue::deal`], drain with
+/// [`WorkQueue::pop`].
+#[derive(Debug)]
+pub struct WorkQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl WorkQueue {
+    /// Deal jobs `0..costs.len()` across `workers` deques by LPT: jobs
+    /// sorted by descending cost (ties: ascending id) are assigned
+    /// greedily to the currently lightest worker (ties: lowest worker
+    /// index). The deal is a pure function of `costs`, so the *initial*
+    /// assignment is reproducible; only steal timing is not.
+    pub fn deal(workers: usize, costs: &[u64]) -> WorkQueue {
+        assert!(workers >= 1, "a work queue needs at least one worker");
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let mut loads = vec![0u64; workers];
+        for job in order {
+            let lightest = (0..workers)
+                .min_by_key(|&w| (loads[w], w))
+                .expect("workers >= 1");
+            loads[lightest] += costs[job].max(1);
+            deques[lightest].push_back(job);
+        }
+        WorkQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// The current contents of every deque, front to back — the full deal
+    /// when called before any pop. Test/introspection helper.
+    pub fn assignments(&self) -> Vec<Vec<usize>> {
+        self.deques
+            .iter()
+            .map(|d| {
+                d.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .copied()
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Claim the next job from `worker`'s own deque (front — its largest
+    /// remaining job, per the LPT deal order).
+    pub fn pop_own(&self, worker: usize) -> Option<usize> {
+        self.deques[worker]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// Steal a job for `worker` from another deque's tail (the victim's
+    /// cheapest remaining job — the owner keeps draining its front, so
+    /// the two ends never contend on the same job). Victims are scanned
+    /// in ring order starting after `worker`.
+    pub fn steal(&self, worker: usize) -> Option<usize> {
+        let n = self.deques.len();
+        for d in 1..n {
+            let victim = (worker + d) % n;
+            let job = self.deques[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back();
+            if job.is_some() {
+                return job;
+            }
+        }
+        None
+    }
+
+    /// Claim the next job for `worker`: its own deque first, then steal.
+    /// `None` means every deque was empty at scan time — with independent
+    /// jobs (no job enqueues another) that worker is done.
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        self.pop_own(worker).or_else(|| self.steal(worker))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_deal_balances_known_loads() {
+        // Costs 10, 9, 2, 2, 2, 2: LPT over two workers puts the 10 alone
+        // against {9, 2, ...} — never 10+9 on one side.
+        let q = WorkQueue::deal(2, &[10, 9, 2, 2, 2, 2]);
+        let a = q.assignments();
+        let load = |w: &Vec<usize>| -> u64 { w.iter().map(|&j| [10u64, 9, 2, 2, 2, 2][j]).sum() };
+        let (l0, l1) = (load(&a[0]), load(&a[1]));
+        assert_eq!(l0 + l1, 27);
+        assert!(l0.abs_diff(l1) <= 5, "unbalanced deal: {a:?}");
+        assert!(a[0].contains(&0) != a[1].contains(&0));
+    }
+
+    #[test]
+    fn deal_is_deterministic_and_total() {
+        let costs = [5u64, 0, 3, 3, 8, 1, 1];
+        let a = WorkQueue::deal(3, &costs).assignments();
+        let b = WorkQueue::deal(3, &costs).assignments();
+        assert_eq!(a, b);
+        let mut all: Vec<usize> = a.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..costs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn own_pops_drain_front_steals_drain_back() {
+        let q = WorkQueue::deal(2, &[8, 7, 1, 1]);
+        let before = q.assignments();
+        // Worker 0 pops its own front; worker 1 then steals worker 0's
+        // back once its own deque is dry.
+        let own = q.pop_own(0).unwrap();
+        assert_eq!(own, before[0][0]);
+        while q.pop_own(1).is_some() {}
+        let stolen = q.steal(1).unwrap();
+        assert_eq!(stolen, *before[0].last().unwrap());
+    }
+
+    #[test]
+    fn every_job_claimed_exactly_once_under_concurrent_drain() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let costs: Vec<u64> = (0..97).map(|i| (i * 37) % 11 + 1).collect();
+        let claims: Vec<AtomicU32> = (0..costs.len()).map(|_| AtomicU32::new(0)).collect();
+        let q = WorkQueue::deal(4, &costs);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let (q, claims) = (&q, &claims);
+                s.spawn(move || {
+                    while let Some(job) = q.pop(w) {
+                        claims[job].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i} claim count");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_leaves_spares_idle() {
+        let q = WorkQueue::deal(8, &[3, 1]);
+        assert_eq!(q.workers(), 8);
+        assert_eq!(q.pop(5), Some(3 - 3)); // steals job 0 (cost 3)
+        assert_eq!(q.pop(5), Some(1));
+        assert_eq!(q.pop(5), None);
+        for w in 0..8 {
+            assert_eq!(q.pop(w), None);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let q = WorkQueue::deal(3, &[]);
+        for w in 0..3 {
+            assert_eq!(q.pop(w), None);
+        }
+    }
+}

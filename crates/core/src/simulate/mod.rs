@@ -6,19 +6,22 @@
 //!
 //! * **Sequential** (`threads == 1`): one global [`EventQueue`] over every
 //!   session — the reference implementation.
-//! * **Sharded** (`threads > 1`): sessions are partitioned by the PoP of
-//!   their assigned server, the fleet is split into per-PoP
-//!   [`FleetShard`]s, and one independent event loop runs per shard
-//!   across a thread pool. Because a session only ever touches its own
-//!   server (assignment is nearest-PoP + in-PoP affinity, fixed at
-//!   session start) and the telemetry join canonicalizes by session id,
-//!   the merged output is **bit-identical** to the sequential engine at
-//!   any thread count. See DESIGN.md for the full argument.
+//! * **Sharded** (`threads > 1`): the fleet is split into
+//!   [`FleetShard`]s — one **per server** wherever the active fault
+//!   scenario cannot make requests fail (so no session can ever fail
+//!   over off its server), falling back to one per PoP where it can —
+//!   sessions are partitioned by the shard owning their assigned server,
+//!   and one independent event loop runs per shard across a
+//!   work-stealing thread pool ([`crate::scheduler::WorkQueue`]).
+//!   Because a session only ever touches servers inside its own shard
+//!   and the telemetry join canonicalizes by session id, the merged
+//!   output is **bit-identical** to the sequential engine at any thread
+//!   count. See DESIGN.md for the full argument.
 
 use crate::config::SimulationConfig;
+use crate::scheduler::WorkQueue;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
@@ -60,11 +63,17 @@ impl std::error::Error for SimError {}
 /// of poisoning the whole run.
 #[derive(Debug, Clone)]
 pub enum ShardError {
-    /// The shard's worker panicked (a bug, or an injected `panic_pops`
-    /// harness fault); its half-built results were dropped.
+    /// The shard's worker panicked (a bug, or an injected `panic_pops` /
+    /// `panic_servers` harness fault); its half-built results were
+    /// dropped.
     Panicked {
+        /// Canonical shard index in the engine's shard order.
+        shard_index: usize,
         /// PoP index of the shard whose worker panicked.
         pop_index: usize,
+        /// Global indices of the servers the shard owned (one for a
+        /// per-server shard, the PoP's members for a whole-PoP shard).
+        servers: Vec<usize>,
         /// The panic payload, when it was a string (the common case).
         message: String,
     },
@@ -72,8 +81,12 @@ pub enum ShardError {
     /// `shard_deadline_ms` and the supervisor watchdog cancelled it; its
     /// partial results were dropped.
     Stalled {
+        /// Canonical shard index in the engine's shard order.
+        shard_index: usize,
         /// PoP index of the stalled shard.
         pop_index: usize,
+        /// Global indices of the servers the shard owned.
+        servers: Vec<usize>,
         /// Events the shard had processed when it was cancelled.
         events: u64,
         /// The sim-time (ns) the shard was stuck at.
@@ -84,6 +97,14 @@ pub enum ShardError {
 }
 
 impl ShardError {
+    /// Canonical shard index of the failed shard.
+    pub fn shard_index(&self) -> usize {
+        match self {
+            ShardError::Panicked { shard_index, .. } => *shard_index,
+            ShardError::Stalled { shard_index, .. } => *shard_index,
+        }
+    }
+
     /// PoP index of the failed shard, whatever the failure mode.
     pub fn pop_index(&self) -> usize {
         match self {
@@ -91,23 +112,53 @@ impl ShardError {
             ShardError::Stalled { pop_index, .. } => *pop_index,
         }
     }
+
+    /// Global server indices the failed shard owned — the sessions lost
+    /// with it are exactly those assigned to these servers.
+    pub fn servers(&self) -> &[usize] {
+        match self {
+            ShardError::Panicked { servers, .. } => servers,
+            ShardError::Stalled { servers, .. } => servers,
+        }
+    }
 }
 
 impl std::fmt::Display for ShardError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Name the single server of a fine shard; a coarse shard is its
+        // whole PoP.
+        let scope = |servers: &[usize], pop_index: usize| {
+            if servers.len() == 1 {
+                format!("server {} (PoP {pop_index})", servers[0])
+            } else {
+                format!("PoP {pop_index}")
+            }
+        };
         match self {
-            ShardError::Panicked { pop_index, message } => {
-                write!(f, "shard for PoP {pop_index} panicked: {message}")
+            ShardError::Panicked {
+                pop_index,
+                servers,
+                message,
+                ..
+            } => {
+                write!(
+                    f,
+                    "shard for {} panicked: {message}",
+                    scope(servers, *pop_index)
+                )
             }
             ShardError::Stalled {
                 pop_index,
+                servers,
                 events,
                 sim_ns,
                 deadline_ms,
+                ..
             } => write!(
                 f,
-                "shard for PoP {pop_index} stalled at sim t={:.3}s after {events} events \
+                "shard for {} stalled at sim t={:.3}s after {events} events \
                  (no progress for {deadline_ms} ms); cancelled by the watchdog",
+                scope(servers, *pop_index),
                 *sim_ns as f64 / 1.0e9
             ),
         }
@@ -355,32 +406,33 @@ impl Simulation {
         };
 
         let mut fleet = CdnFleet::new(cfg.fleet.clone(), seed);
-        fleet.warm(&catalog);
+        fleet.warm_parallel(&catalog, cfg.threads.max(1));
         fleet.install_faults(&cfg.faults);
-        // Harness faults: shard jobs for these PoPs panic at start (or
-        // wedge, for `stall_pops`). Only meaningful for the sharded
-        // engine; the sequential engine has no shard workers to isolate
-        // and ignores them.
-        let mut panic_pops = cfg.faults.panic_pops.clone();
-        panic_pops.sort_unstable();
-        let mut stall_pops = cfg.faults.stall_pops.clone();
-        stall_pops.sort_unstable();
-        if cfg.threads > 1 && !stall_pops.is_empty() && cfg.shard_deadline_ms == 0 {
+        // Harness faults: shard jobs covering these PoPs/servers panic at
+        // start (or wedge, for the stall variants). Only meaningful for
+        // the sharded engine; the sequential engine has no shard workers
+        // to isolate and ignores them.
+        let harness = HarnessFaults::from_scenario(&cfg.faults);
+        if cfg.threads > 1 && harness.wants_stall() && cfg.shard_deadline_ms == 0 {
             return Err(SimError::Config(
-                "stall_pops wedges shard workers forever unless a watchdog can cancel them; \
+                "stall faults wedge shard workers forever unless a watchdog can cancel them; \
                  set shard_deadline_ms (CLI: --shard-deadline)"
                     .into(),
             ));
         }
+        let coarse = coarse_pop_plan(&fleet, &cfg.faults, &harness);
 
         // --- per-session runtimes ---
         let session_master = RngStream::new(seed, &format!("session-streams-day{}", cfg.day));
-        let runtimes: Vec<SessionRuntime> = specs
-            .into_iter()
-            .map(|spec| {
-                SessionRuntime::new(spec, cfg, &session_master, &catalog, &population, &fleet)
-            })
-            .collect();
+        let runtimes = build_runtimes(
+            specs,
+            cfg,
+            &session_master,
+            &catalog,
+            &population,
+            &fleet,
+            cfg.threads.max(1),
+        );
 
         let setup_ms = setup_started.elapsed().as_secs_f64() * 1.0e3;
         let loop_started = Instant::now();
@@ -404,12 +456,12 @@ impl Simulation {
                     runtimes,
                     &catalog,
                     &population,
-                    &panic_pops,
-                    &stall_pops,
+                    &harness,
+                    &coarse,
                     cfg.shard_deadline_ms,
                     || MetricsRecorder::new(o.trace),
                 );
-                // Fold shard recorders in canonical (pop_index) order —
+                // Fold shard recorders in canonical (shard_index) order —
                 // the commutative merges make SimMetrics byte-identical
                 // to the sequential engine's regardless.
                 let mut rec = MetricsRecorder::new(o.trace);
@@ -419,7 +471,10 @@ impl Simulation {
                     total.events += run.stats.events;
                     total.peak_queue = total.peak_queue.max(run.stats.peak_queue);
                     profiles.push(ShardProfile {
+                        shard_index: run.shard_index as u64,
                         pop_index: run.pop_index as u64,
+                        first_server: run.first_server as u64,
+                        servers: run.n_servers as u64,
                         sessions: run.sessions,
                         events: run.stats.events,
                         peak_queue_depth: run.stats.peak_queue as u64,
@@ -434,6 +489,7 @@ impl Simulation {
                     rec.on_shard_merge(
                         &Meta::fleet(SimTime::ZERO),
                         &ShardMerge {
+                            shard_index: p.shard_index,
                             pop_index: p.pop_index,
                             sessions: p.sessions,
                             events: p.events,
@@ -442,6 +498,7 @@ impl Simulation {
                 }
                 for e in &errors {
                     if let ShardError::Stalled {
+                        shard_index,
                         pop_index,
                         events,
                         sim_ns,
@@ -451,6 +508,7 @@ impl Simulation {
                         rec.on_shard_stalled(
                             &Meta::fleet(SimTime::ZERO),
                             &ShardStalled {
+                                shard_index: *shard_index as u64,
                                 pop_index: *pop_index as u64,
                                 events: *events,
                                 sim_ns: *sim_ns,
@@ -477,8 +535,8 @@ impl Simulation {
                     runtimes,
                     &catalog,
                     &population,
-                    &panic_pops,
-                    &stall_pops,
+                    &harness,
+                    &coarse,
                     cfg.shard_deadline_ms,
                     || NoopSubscriber,
                 );
@@ -565,6 +623,171 @@ impl Simulation {
     }
 }
 
+/// The harness (test-infrastructure) faults of a scenario, preprocessed
+/// for shard-level injection checks: sorted id lists plus per-shard
+/// predicates.
+struct HarnessFaults {
+    panic_pops: Vec<usize>,
+    stall_pops: Vec<usize>,
+    panic_servers: Vec<usize>,
+    stall_servers: Vec<usize>,
+}
+
+impl HarnessFaults {
+    fn from_scenario(sc: &streamlab_faults::FaultScenario) -> HarnessFaults {
+        let sorted = |v: &[usize]| {
+            let mut v = v.to_vec();
+            v.sort_unstable();
+            v
+        };
+        HarnessFaults {
+            panic_pops: sorted(&sc.panic_pops),
+            stall_pops: sorted(&sc.stall_pops),
+            panic_servers: sorted(&sc.panic_servers),
+            stall_servers: sorted(&sc.stall_servers),
+        }
+    }
+
+    /// Any fault that wedges a worker — those are only survivable with a
+    /// watchdog deadline configured.
+    fn wants_stall(&self) -> bool {
+        !self.stall_pops.is_empty() || !self.stall_servers.is_empty()
+    }
+
+    /// The injected panic message for `shard`, if any of its PoP or
+    /// servers is targeted.
+    fn panic_for(&self, shard: &FleetShard) -> Option<String> {
+        let pop_index = shard.pop_index();
+        if self.panic_pops.binary_search(&pop_index).is_ok() {
+            return Some(format!(
+                "injected shard panic (panic_pops includes PoP {pop_index})"
+            ));
+        }
+        shard
+            .members()
+            .iter()
+            .find(|s| self.panic_servers.binary_search(s).is_ok())
+            .map(|s| format!("injected shard panic (panic_servers includes server {s})"))
+    }
+
+    /// True when `shard` must wedge (sim-time never advances) so the
+    /// watchdog path gets exercised.
+    fn stall_for(&self, shard: &FleetShard) -> bool {
+        self.stall_pops.binary_search(&shard.pop_index()).is_ok()
+            || shard
+                .members()
+                .iter()
+                .any(|s| self.stall_servers.binary_search(s).is_ok())
+    }
+}
+
+/// Decide, per PoP, whether the sharded engine must keep the PoP's
+/// servers together (coarse) or may split them one shard per server.
+///
+/// A fine (per-server) shard is exact only while no session in it can
+/// *fail over*: failover consults the PoP member list and may move a
+/// session between servers, which a per-server split cannot represent.
+/// The acquire loop fails a request in exactly two cases — the client is
+/// inside a blackout window, or the assigned server is inside an outage
+/// window — so those are precisely the faults that force coarseness:
+///
+/// * any `blackout` can fail sessions of **every** PoP → all coarse;
+/// * a `pop_outage` / `server_outage` fails sessions on the affected
+///   PoP's servers → that PoP coarse.
+///
+/// Restarts, loss bursts and backend slowdowns only change latency and
+/// cache state, never reject a request, so they coarsen nothing. The
+/// harness faults `panic_pops` / `stall_pops` target a *PoP's* shard and
+/// keep their historical whole-PoP blast radius (`panic_servers` /
+/// `stall_servers` are the per-server variants and need no coarsening).
+fn coarse_pop_plan(
+    fleet: &CdnFleet,
+    scenario: &streamlab_faults::FaultScenario,
+    harness: &HarnessFaults,
+) -> Vec<bool> {
+    let n_pops = fleet.pops().len();
+    if !scenario.blackouts.is_empty() {
+        return vec![true; n_pops];
+    }
+    let mut coarse = vec![false; n_pops];
+    for o in &scenario.pop_outages {
+        if o.pop < n_pops {
+            coarse[o.pop] = true;
+        }
+    }
+    for o in &scenario.server_outages {
+        if o.server < fleet.len() {
+            coarse[fleet.pop_index_of(o.server)] = true;
+        }
+    }
+    for &p in harness.panic_pops.iter().chain(&harness.stall_pops) {
+        if p < n_pops {
+            coarse[p] = true;
+        }
+    }
+    coarse
+}
+
+/// Build every session's runtime state, in spec order, across up to
+/// `threads` workers.
+///
+/// Construction is independent per session — each forks its own RNG
+/// stream off the shared master by session id and reads the immutable
+/// world — so contiguous batches built on separate threads and
+/// concatenated in batch order are byte-identical to the sequential
+/// build. Small runs stay sequential: thread spawn overhead would
+/// dominate.
+fn build_runtimes(
+    specs: Vec<SessionSpec>,
+    cfg: &SimulationConfig,
+    session_master: &RngStream,
+    catalog: &Catalog,
+    population: &Population,
+    fleet: &CdnFleet,
+    threads: usize,
+) -> Vec<SessionRuntime> {
+    let n = specs.len();
+    if threads <= 1 || n < 512 {
+        return specs
+            .into_iter()
+            .map(|spec| SessionRuntime::new(spec, cfg, session_master, catalog, population, fleet))
+            .collect();
+    }
+    let batch = n.div_ceil(threads);
+    let batches: Vec<Vec<SessionSpec>> = {
+        let mut it = specs.into_iter();
+        (0..threads)
+            .map(|_| it.by_ref().take(batch).collect())
+            .collect()
+    };
+    let mut built: Vec<Vec<SessionRuntime>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|b| {
+                scope.spawn(move || {
+                    b.into_iter()
+                        .map(|spec| {
+                            SessionRuntime::new(
+                                spec,
+                                cfg,
+                                session_master,
+                                catalog,
+                                population,
+                                fleet,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            built.push(h.join().expect("runtime-builder threads do not panic"));
+        }
+    });
+    built.into_iter().flatten().collect()
+}
+
 /// Deterministic event-loop throughput counters an engine reports back.
 #[derive(Debug, Default, Clone, Copy)]
 struct EngineStats {
@@ -579,7 +802,10 @@ struct EngineStats {
 /// One shard's engine result: canonical position, throughput, wall time
 /// and the subscriber that observed it.
 struct ShardRun<S> {
+    shard_index: usize,
     pop_index: usize,
+    first_server: usize,
+    n_servers: usize,
     sessions: u64,
     wall_ms: f64,
     stats: EngineStats,
@@ -647,22 +873,32 @@ fn run_sequential<S: Subscriber>(
     (sink, stats)
 }
 
-/// The sharded engine: sessions partitioned by PoP, one independent event
-/// loop per [`FleetShard`], run across `threads` workers.
+/// The sharded engine: sessions partitioned by the shard owning their
+/// assigned server, one independent event loop per [`FleetShard`], run
+/// across `threads` workers by a work-stealing [`WorkQueue`].
+///
+/// Shards are per **server** wherever `coarse` permits (see
+/// [`coarse_pop_plan`]) and per PoP elsewhere, so a skewed session
+/// distribution — one PoP holding most of the day — splits into many
+/// independently runnable jobs instead of one monolithic tail.
 ///
 /// Exactness (not just statistical equivalence) holds because:
 /// 1. a session's server assignment is fixed before the loop and every
-///    [`step_chunk`] touches only that server's PoP (failover stays
-///    in-PoP), so cross-PoP event interleavings never affect state;
+///    [`step_chunk`] touches only servers inside the session's shard
+///    (failover — the one cross-server move — can only fire on coarse
+///    shards, where the whole PoP is present), so cross-shard event
+///    interleavings never affect state;
 /// 2. the partition is stable and [`EventQueue`] breaks timestamp ties in
-///    FIFO insertion order, so any two same-PoP events pop in the same
+///    FIFO insertion order, so any two same-shard events pop in the same
 ///    relative order as in the global queue;
 /// 3. [`Dataset::join`] canonicalizes by session id, making the sink
 ///    concatenation order irrelevant.
 ///
 /// Each shard job runs under [`catch_unwind`]: a panicking shard (a bug,
-/// or an injected `panic_pops` harness fault) is isolated, its error is
-/// reported as a [`ShardError`], and every other shard's results survive.
+/// or an injected `panic_pops` / `panic_servers` harness fault) is
+/// isolated, its error is reported as a [`ShardError`], and every other
+/// shard's results survive — including sibling per-server shards of the
+/// same PoP.
 ///
 /// With `deadline_ms > 0` a supervisor watchdog thread runs alongside the
 /// workers: each shard publishes its progress into a [`ProgressCell`]
@@ -676,8 +912,8 @@ fn run_sharded<S, F>(
     runtimes: Vec<SessionRuntime>,
     catalog: &Catalog,
     population: &Population,
-    panic_pops: &[usize],
-    stall_pops: &[usize],
+    harness: &HarnessFaults,
+    coarse: &[bool],
     deadline_ms: u64,
     make_sub: F,
 ) -> (TelemetrySink, Vec<ShardRun<S>>, Vec<ShardError>)
@@ -686,51 +922,67 @@ where
     F: Fn() -> S + Sync,
 {
     let policy = fleet.config().prefetch;
-    // Stable partition of sessions by the PoP of their assigned server:
-    // ascending session index within each shard preserves the insertion
-    // order the determinism argument rests on.
-    let n_pops = fleet.pops().len();
-    let mut by_pop: Vec<Vec<SessionRuntime>> = (0..n_pops).map(|_| Vec::new()).collect();
-    for rt in runtimes {
-        let pop_index = fleet.pop_index_of(rt.server_idx);
-        by_pop[pop_index].push(rt);
+    let n_servers = fleet.len();
+    let shards = fleet.split_shards_with(coarse);
+    let n_jobs = shards.len();
+    // Stable partition of sessions by the shard owning their assigned
+    // server: ascending session index within each shard preserves the
+    // insertion order the determinism argument rests on.
+    let mut shard_of_server = vec![usize::MAX; n_servers];
+    for (slot, shard) in shards.iter().enumerate() {
+        for &s in shard.members() {
+            shard_of_server[s] = slot;
+        }
     }
-    let work: Vec<(FleetShard, Vec<SessionRuntime>, Arc<ProgressCell>)> = fleet
-        .split_shards()
-        .into_iter()
-        .map(|shard| {
-            let sessions = std::mem::take(&mut by_pop[shard.pop_index()]);
-            let cell = Arc::new(ProgressCell::new());
-            (shard, sessions, cell)
+    let mut by_shard: Vec<Vec<SessionRuntime>> = (0..n_jobs).map(|_| Vec::new()).collect();
+    for rt in runtimes {
+        by_shard[shard_of_server[rt.server_idx]].push(rt);
+    }
+    // Static cost estimate for the LPT deal: one event per chunk watched,
+    // plus one so empty shards still spread. The estimate only shapes the
+    // schedule, never the results.
+    let costs: Vec<u64> = by_shard
+        .iter()
+        .map(|sessions| {
+            sessions
+                .iter()
+                .map(|rt| rt.spec.chunks_watched as u64 + 1)
+                .sum()
         })
         .collect();
-    // The watchdog's view of every shard, fixed before workers start.
+    let work: Vec<(FleetShard, Vec<SessionRuntime>, Arc<ProgressCell>)> = shards
+        .into_iter()
+        .zip(by_shard)
+        .map(|(shard, sessions)| (shard, sessions, Arc::new(ProgressCell::new())))
+        .collect();
+    // The watchdog's view of every shard, fixed before workers start and
+    // keyed by canonical shard index.
     let cells: Vec<(usize, Arc<ProgressCell>)> = work
         .iter()
-        .map(|(shard, _, cell)| (shard.pop_index(), cell.clone()))
+        .enumerate()
+        .map(|(slot, (_, _, cell))| (slot, cell.clone()))
         .collect();
 
-    // Shards are coarse and few (one per PoP): workers claim job indices
-    // off an atomic counter and write each shard's result into its own
-    // pre-allocated slot. Slot `i` belongs to the `i`-th shard of
-    // `split_shards` (ascending `pop_index`), so the results come out of
-    // the scope already in canonical PoP order — no shared accumulator to
-    // contend on and nothing to sort afterwards. Which worker runs which
-    // shard never affects the output. A panic inside a shard job is caught
-    // below, so these locks are never actually poisoned — `into_inner`
-    // recovery is belt-and-braces against panics in the bookkeeping
-    // itself.
+    // Workers drain a work-stealing deque: each starts on its own LPT-
+    // dealt share and steals from the tail of loaded peers once dry, so
+    // idle workers absorb a large PoP's per-server shards instead of
+    // waiting. Each job's result lands in its own pre-allocated slot;
+    // slot `i` belongs to the `i`-th shard of `split_shards_with`
+    // (canonical order), so the results come out of the scope already
+    // ordered — which worker ran which shard when never reaches the
+    // output. A panic inside a shard job is caught below, so these locks
+    // are never actually poisoned — `into_inner` recovery is belt-and-
+    // braces against panics in the bookkeeping itself.
     type Job = (FleetShard, Vec<SessionRuntime>, Arc<ProgressCell>);
     type ShardResult<S> = (
         FleetShard,
         Option<(TelemetrySink, ShardRun<S>)>,
         Option<ShardError>,
     );
-    let n_jobs = work.len();
     let jobs: Vec<Mutex<Option<Job>>> = work.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let slots: Vec<Mutex<Option<ShardResult<S>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-    let next_job = AtomicUsize::new(0);
-    let workers = threads.min(n_pops).max(1);
+    let workers = threads.min(n_jobs).max(1);
+    let queue = WorkQueue::deal(workers, &costs);
     std::thread::scope(|scope| {
         // The watchdog joins on its own: workers mark their cell Done in
         // every outcome (completed, panicked, cancelled), and the
@@ -745,96 +997,108 @@ where
                 );
             });
         }
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next_job.fetch_add(1, Ordering::Relaxed);
-                if i >= n_jobs {
-                    break;
-                }
-                let job = jobs[i].lock().unwrap_or_else(|e| e.into_inner()).take();
-                let Some((mut shard, sessions, cell)) = job else {
-                    break;
-                };
-                let started = Instant::now();
-                let n_sessions = sessions.len() as u64;
-                let pop_index = shard.pop_index();
-                let inject_panic = panic_pops.binary_search(&pop_index).is_ok();
-                let inject_stall = stall_pops.binary_search(&pop_index).is_ok();
-                cell.start();
-                // `AssertUnwindSafe`: on panic the shard is returned as-is
-                // (so the fleet merge stays total) and the half-built sink
-                // and subscriber are dropped — exactly the partial-result
-                // semantics we want.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    if inject_panic {
-                        panic!("injected shard panic (panic_pops includes PoP {pop_index})");
-                    }
-                    if inject_stall {
-                        // Harness fault: sim-time never advances, so the
-                        // watchdog must cancel us. run_inner rejects this
-                        // fault when no deadline is configured.
-                        while !cell.cancelled() {
-                            std::thread::sleep(Duration::from_millis(1));
+        for w in 0..workers {
+            let (queue, jobs, slots, make_sub) = (&queue, &jobs, &slots, &make_sub);
+            scope.spawn(move || {
+                while let Some(i) = queue.pop(w) {
+                    let job = jobs[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+                    let Some((mut shard, sessions, cell)) = job else {
+                        continue;
+                    };
+                    let started = Instant::now();
+                    let n_sessions = sessions.len() as u64;
+                    let pop_index = shard.pop_index();
+                    let inject_panic = harness.panic_for(&shard);
+                    let inject_stall = harness.stall_for(&shard);
+                    cell.start();
+                    // `AssertUnwindSafe`: on panic the shard is returned
+                    // as-is (so the fleet merge stays total) and the half-
+                    // built sink and subscriber are dropped — exactly the
+                    // partial-result semantics we want.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if let Some(message) = inject_panic {
+                            panic!("{message}");
                         }
-                        return None;
-                    }
-                    let mut sub = make_sub();
-                    let (sink, stats, completed) = run_shard(
-                        &mut shard,
-                        sessions,
-                        catalog,
-                        population,
-                        policy,
-                        &mut sub,
-                        Some(&cell),
-                    );
-                    // A cancelled loop's results are dropped here: partial
-                    // shard state must never leak into the merged output.
-                    completed.then_some((sink, stats, sub))
-                }));
-                cell.finish();
-                let entry: ShardResult<S> = match result {
-                    Ok(Some((sink, stats, sub))) => {
-                        let run = ShardRun {
-                            pop_index,
-                            sessions: n_sessions,
-                            wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
-                            stats,
-                            sub,
-                        };
-                        (shard, Some((sink, run)), None)
-                    }
-                    Ok(None) => {
-                        let snap = cell.snapshot();
-                        (
-                            shard,
-                            None,
-                            Some(ShardError::Stalled {
+                        if inject_stall {
+                            // Harness fault: sim-time never advances, so
+                            // the watchdog must cancel us. run_inner
+                            // rejects this fault when no deadline is
+                            // configured.
+                            while !cell.cancelled() {
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            return None;
+                        }
+                        let mut sub = make_sub();
+                        let (sink, stats, completed) = run_shard(
+                            &mut shard,
+                            sessions,
+                            catalog,
+                            population,
+                            policy,
+                            &mut sub,
+                            Some(&cell),
+                        );
+                        // A cancelled loop's results are dropped here:
+                        // partial shard state must never leak into the
+                        // merged output.
+                        completed.then_some((sink, stats, sub))
+                    }));
+                    cell.finish();
+                    let entry: ShardResult<S> = match result {
+                        Ok(Some((sink, stats, sub))) => {
+                            let run = ShardRun {
+                                shard_index: i,
                                 pop_index,
-                                events: snap.events,
-                                sim_ns: snap.sim_ns,
-                                deadline_ms,
-                            }),
-                        )
-                    }
-                    Err(payload) => (
-                        shard,
-                        None,
-                        Some(ShardError::Panicked {
-                            pop_index,
-                            message: panic_message(payload),
-                        }),
-                    ),
-                };
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(entry);
+                                first_server: shard.members()[0],
+                                n_servers: shard.members().len(),
+                                sessions: n_sessions,
+                                wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
+                                stats,
+                                sub,
+                            };
+                            (shard, Some((sink, run)), None)
+                        }
+                        Ok(None) => {
+                            let snap = cell.snapshot();
+                            let servers = shard.members().to_vec();
+                            (
+                                shard,
+                                None,
+                                Some(ShardError::Stalled {
+                                    shard_index: i,
+                                    pop_index,
+                                    servers,
+                                    events: snap.events,
+                                    sim_ns: snap.sim_ns,
+                                    deadline_ms,
+                                }),
+                            )
+                        }
+                        Err(payload) => {
+                            let servers = shard.members().to_vec();
+                            (
+                                shard,
+                                None,
+                                Some(ShardError::Panicked {
+                                    shard_index: i,
+                                    pop_index,
+                                    servers,
+                                    message: panic_message(payload),
+                                }),
+                            )
+                        }
+                    };
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(entry);
+                }
             });
         }
     });
 
-    // Slot order *is* canonical PoP order (see above), so the sink layout
-    // — and the order shard recorders are folded in — is reproducible
-    // run-to-run without a sort. The join canonicalizes by session id
-    // anyway.
+    // Slot order *is* canonical shard order (see above), so the sink
+    // layout — and the order shard recorders are folded in — is
+    // reproducible run-to-run without a sort. The join canonicalizes by
+    // session id anyway.
     let results: Vec<ShardResult<S>> = slots
         .into_iter()
         .map(|s| {
@@ -1351,6 +1615,271 @@ mod tests {
         let out = Simulation::new(cfg).run().expect("sequential run");
         assert!(out.shard_errors.is_empty());
         assert!(out.dataset.sessions.len() > 300);
+    }
+
+    #[test]
+    fn injected_server_panic_loses_only_that_server() {
+        let full = run_tiny_threads(13, 2);
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 2;
+        cfg.faults.panic_servers = vec![0];
+        let out = Simulation::new(cfg).run().expect("partial run succeeds");
+        // Without failure faults the engine shards per server, so the
+        // blast radius is exactly one server — not its whole PoP.
+        assert_eq!(out.shard_errors.len(), 1);
+        let err = &out.shard_errors[0];
+        assert!(matches!(err, ShardError::Panicked { .. }));
+        assert_eq!(err.servers(), &[0]);
+        let msg = err.to_string();
+        assert!(msg.contains("injected shard panic"), "{msg}");
+        assert!(msg.contains("panic_servers includes server 0"), "{msg}");
+        assert!(msg.contains("server 0"), "{msg}");
+        // Exactly server 0's sessions are missing; every survivor —
+        // including those on server 0's PoP siblings — is byte-equal to
+        // its counterpart in the healthy run.
+        let lost = full
+            .dataset
+            .sessions
+            .iter()
+            .filter(|s| s.meta.server.raw() == 0)
+            .count();
+        assert!(lost > 0, "server 0 must serve someone at tiny scale");
+        assert_eq!(
+            out.dataset.sessions.len(),
+            full.dataset.sessions.len() - lost
+        );
+        assert!(out
+            .dataset
+            .sessions
+            .iter()
+            .all(|s| s.meta.server.raw() != 0));
+        let metro0 = full.servers[0].metro.clone();
+        let siblings: std::collections::HashSet<u64> = full
+            .servers
+            .iter()
+            .filter(|s| s.metro == metro0 && s.server != 0)
+            .map(|s| s.server as u64)
+            .collect();
+        assert!(!siblings.is_empty(), "tiny fleet has >1 server per PoP");
+        let mut sibling_sessions = 0;
+        for (p, f) in out.dataset.sessions.iter().zip(
+            full.dataset
+                .sessions
+                .iter()
+                .filter(|s| s.meta.server.raw() != 0),
+        ) {
+            assert_eq!(p.meta.session, f.meta.session);
+            assert_eq!(p.chunks.len(), f.chunks.len());
+            for (cp, cf) in p.chunks.iter().zip(&f.chunks) {
+                assert_eq!(cp.player.d_fb, cf.player.d_fb);
+                assert_eq!(cp.cdn.retx_segments, cf.cdn.retx_segments);
+            }
+            if siblings.contains(&p.meta.server.raw()) {
+                sibling_sessions += 1;
+            }
+        }
+        assert!(
+            sibling_sessions > 0,
+            "sibling shards of the panicked server's PoP must survive"
+        );
+    }
+
+    #[test]
+    fn injected_server_stall_is_cancelled_at_server_granularity() {
+        let full = run_tiny_threads(13, 2);
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 2;
+        cfg.faults.stall_servers = vec![3];
+        cfg.shard_deadline_ms = 150;
+        let out = Simulation::new(cfg).run().expect("partial run succeeds");
+        assert_eq!(out.shard_errors.len(), 1);
+        let err = &out.shard_errors[0];
+        assert!(
+            matches!(
+                err,
+                ShardError::Stalled {
+                    deadline_ms: 150,
+                    ..
+                }
+            ),
+            "expected a stall, got {err:?}"
+        );
+        assert_eq!(err.servers(), &[3]);
+        let msg = err.to_string();
+        assert!(msg.contains("stalled"), "{msg}");
+        assert!(msg.contains("server 3"), "{msg}");
+        assert!(msg.contains("cancelled by the watchdog"), "{msg}");
+        // Only server 3's sessions are gone.
+        let lost = full
+            .dataset
+            .sessions
+            .iter()
+            .filter(|s| s.meta.server.raw() == 3)
+            .count();
+        assert!(lost > 0);
+        assert_eq!(
+            out.dataset.sessions.len(),
+            full.dataset.sessions.len() - lost
+        );
+        assert!(out
+            .dataset
+            .sessions
+            .iter()
+            .all(|s| s.meta.server.raw() != 3));
+    }
+
+    #[test]
+    fn server_fault_in_coarse_pop_takes_the_whole_pop_shard() {
+        // A pop_outage on PoP 0 forces that PoP coarse (failover is
+        // possible there); a panic_servers fault on one of its members
+        // then costs the whole PoP's shard — the documented fallback.
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 2;
+        cfg.faults = streamlab_faults::FaultScenario::from_json_str(
+            r#"{
+                "pop_outages": [{"pop": 0, "from_s": 5000.0, "until_s": 5100.0}],
+                "panic_servers": [0]
+            }"#,
+        )
+        .expect("valid scenario");
+        let out = Simulation::new(cfg).run().expect("partial run succeeds");
+        assert_eq!(out.shard_errors.len(), 1);
+        let err = &out.shard_errors[0];
+        assert_eq!(err.pop_index(), 0);
+        assert!(
+            err.servers().len() > 1,
+            "coarse shard owns the whole PoP, got {:?}",
+            err.servers()
+        );
+        assert!(err.to_string().contains("PoP 0"));
+    }
+
+    #[test]
+    fn sequential_engine_ignores_server_harness_faults() {
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 1;
+        cfg.faults.panic_servers = vec![0];
+        cfg.faults.stall_servers = vec![1];
+        let out = Simulation::new(cfg).run().expect("sequential run");
+        assert!(out.shard_errors.is_empty());
+        assert!(out.dataset.sessions.len() > 300);
+    }
+
+    #[test]
+    fn stall_server_without_deadline_is_rejected() {
+        let mut cfg = SimulationConfig::tiny(13);
+        cfg.threads = 2;
+        cfg.faults.stall_servers = vec![1];
+        let err = Simulation::new(cfg).run().unwrap_err();
+        assert!(matches!(err, SimError::Config(_)));
+        assert!(err.to_string().contains("shard-deadline"));
+    }
+
+    #[test]
+    fn healthy_run_shards_per_server() {
+        let mut cfg = SimulationConfig::tiny(11);
+        cfg.threads = 4;
+        let out = Simulation::new(cfg)
+            .run_observed(ObsOptions { trace: false })
+            .expect("observed run");
+        let m = out.metrics.expect("metrics present");
+        // Tiny = 20 servers over 10 PoPs, no failure faults: every shard
+        // is a single server, in canonical (PoP, then server) order.
+        assert_eq!(m.profile.shards.len(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for (i, w) in m.profile.shards.windows(2).enumerate() {
+            assert_eq!(w[0].shard_index, i as u64);
+            assert!(
+                (w[0].pop_index, w[0].first_server) < (w[1].pop_index, w[1].first_server),
+                "canonical order violated at shard {i}"
+            );
+        }
+        for sh in &m.profile.shards {
+            assert_eq!(sh.servers, 1);
+            assert!(seen.insert(sh.first_server), "server in two shards");
+        }
+        assert_eq!(seen.len(), 20);
+        assert!(m.summary().contains("srv"));
+    }
+
+    #[test]
+    fn failure_faults_coarsen_only_their_pop() {
+        let mut cfg = SimulationConfig::tiny(42);
+        cfg.threads = 4;
+        cfg.faults = stress_scenario();
+        let out = Simulation::new(cfg)
+            .run_observed(ObsOptions { trace: false })
+            .expect("observed run");
+        let m = out.metrics.expect("metrics present");
+        // stress_scenario has a blackout, which can fail any session:
+        // every PoP must stay coarse (10 whole-PoP shards).
+        assert_eq!(m.profile.shards.len(), 10);
+        assert!(m.profile.shards.iter().all(|s| s.servers == 2));
+
+        // Outage-only scenario: PoP 1 coarse, the other 9 PoPs split.
+        let mut cfg = SimulationConfig::tiny(42);
+        cfg.threads = 4;
+        cfg.faults = streamlab_faults::FaultScenario::from_json_str(
+            r#"{"pop_outages": [{"pop": 1, "from_s": 5000.0, "until_s": 5600.0}]}"#,
+        )
+        .expect("valid scenario");
+        let out = Simulation::new(cfg)
+            .run_observed(ObsOptions { trace: false })
+            .expect("observed run");
+        let m = out.metrics.expect("metrics present");
+        assert_eq!(m.profile.shards.len(), 19, "9 split PoPs + 1 coarse");
+        let coarse: Vec<_> = m.profile.shards.iter().filter(|s| s.servers > 1).collect();
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(coarse[0].pop_index, 1);
+    }
+
+    #[test]
+    fn zero_session_shards_are_harmless() {
+        // Few sessions over many servers: some shards run zero sessions
+        // and must still round-trip (empty sink, zero events, merged
+        // back) without perturbing the output.
+        let mut seq_cfg = SimulationConfig::tiny(21);
+        seq_cfg.traffic.sessions = 40;
+        let seq = Simulation::new(seq_cfg).run().expect("sequential run");
+        let mut cfg = SimulationConfig::tiny(21);
+        cfg.traffic.sessions = 40;
+        cfg.threads = 4;
+        let out = Simulation::new(cfg)
+            .run_observed(ObsOptions { trace: false })
+            .expect("observed run");
+        let m = out.metrics.as_ref().expect("metrics present");
+        assert!(
+            m.profile.shards.iter().any(|s| s.sessions == 0),
+            "40 sessions over 20 servers must leave some shard empty"
+        );
+        assert_eq!(out.dataset.sessions.len(), seq.dataset.sessions.len());
+        for (a, b) in seq.dataset.sessions.iter().zip(&out.dataset.sessions) {
+            assert_eq!(a.meta.session, b.meta.session);
+            assert_eq!(a.chunks.len(), b.chunks.len());
+        }
+    }
+
+    #[test]
+    fn singleton_pop_fleet_matches_sequential() {
+        // One server per PoP: every shard is simultaneously per-server
+        // and per-PoP — the fine/coarse boundary collapses; more workers
+        // than shards leaves the spares idle.
+        let build = |threads: usize| {
+            let mut cfg = SimulationConfig::tiny(5);
+            cfg.fleet_mut().servers = 10;
+            cfg.threads = threads;
+            Simulation::new(cfg).run().expect("run")
+        };
+        let seq = build(1);
+        let par = build(16);
+        assert!(seq.dataset.sessions.len() > 300);
+        assert_eq!(seq.dataset.sessions.len(), par.dataset.sessions.len());
+        for (a, b) in seq.dataset.sessions.iter().zip(&par.dataset.sessions) {
+            assert_eq!(a.meta.session, b.meta.session);
+            for (ca, cb) in a.chunks.iter().zip(&b.chunks) {
+                assert_eq!(ca.player.d_fb, cb.player.d_fb);
+            }
+        }
     }
 
     #[test]

@@ -176,6 +176,17 @@ pub struct FaultScenario {
     /// `--shard-deadline` the run would hang, so the engine rejects this
     /// fault when no deadline is configured.
     pub stall_pops: Vec<usize>,
+    /// Harness fault: global server indices whose shard job panics at
+    /// start. With fine-grained (per-server) sharding this kills just the
+    /// one server's shard and its PoP siblings survive; when the server's
+    /// PoP runs as a single coarse shard (because another fault pins it
+    /// together), the whole PoP's shard panics. Sharded engine only.
+    pub panic_servers: Vec<usize>,
+    /// Harness fault: global server indices whose shard job wedges
+    /// instead of finishing — the per-server analogue of `stall_pops`,
+    /// with the same shard-granularity semantics as `panic_servers`.
+    /// Rejected without a `--shard-deadline`, like `stall_pops`.
+    pub stall_servers: Vec<usize>,
     /// Harness fault: abort the whole process (as if `SIGKILL`ed) after
     /// this many sweep seed records have been written by this process
     /// (0 = off). A driver-level fault used to exercise checkpoint
@@ -207,6 +218,8 @@ impl Deserialize for FaultScenario {
             backend_slowdowns: list(v, "backend_slowdowns")?,
             panic_pops: list(v, "panic_pops")?,
             stall_pops: list(v, "stall_pops")?,
+            panic_servers: list(v, "panic_servers")?,
+            stall_servers: list(v, "stall_servers")?,
             kill_after_seeds: match v.get("kill_after_seeds") {
                 Some(x) => x.as_u64().map(|n| n as u32).ok_or_else(|| {
                     Error::msg("fault scenario kill_after_seeds: expected integer")
@@ -234,6 +247,8 @@ impl FaultScenario {
             && self.backend_slowdowns.is_empty()
             && self.panic_pops.is_empty()
             && self.stall_pops.is_empty()
+            && self.panic_servers.is_empty()
+            && self.stall_servers.is_empty()
             && self.kill_after_seeds == 0
     }
 
@@ -454,6 +469,8 @@ mod tests {
             }],
             panic_pops: vec![2],
             stall_pops: vec![1],
+            panic_servers: vec![4],
+            stall_servers: vec![5],
             kill_after_seeds: 3,
             resilience: ResilienceConfig::default(),
         };

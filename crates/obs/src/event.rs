@@ -206,7 +206,10 @@ pub struct SessionAborted {
 /// event-pop boundary.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ShardStalled {
-    /// PoP index the shard covered.
+    /// Canonical shard index in the engine's shard order.
+    pub shard_index: u64,
+    /// PoP index the shard covered (shards are per server or per PoP,
+    /// so several shards may share a PoP).
     pub pop_index: u64,
     /// Events the shard had processed when it was declared stalled.
     pub events: u64,
@@ -217,7 +220,10 @@ pub struct ShardStalled {
 /// A fleet shard was merged back after its event loop drained.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ShardMerge {
-    /// PoP index the shard covered.
+    /// Canonical shard index in the engine's shard order.
+    pub shard_index: u64,
+    /// PoP index the shard covered (shards are per server or per PoP,
+    /// so several shards may share a PoP).
     pub pop_index: u64,
     /// Sessions the shard ran.
     pub sessions: u64,
@@ -406,6 +412,7 @@ mod tests {
         sub.on_shard_merge(
             &meta,
             &ShardMerge {
+                shard_index: 0,
                 pop_index: 0,
                 sessions: 1,
                 events: 2,

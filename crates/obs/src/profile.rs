@@ -13,8 +13,17 @@ use serde::{Deserialize, Serialize};
 /// Wall-time and throughput profile of one shard's event loop.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardProfile {
-    /// PoP index the shard covered (shards are one-per-PoP).
+    /// Canonical shard index — the shard's slot in the engine's
+    /// (PoP-ascending, then server-ascending) shard order.
+    pub shard_index: u64,
+    /// PoP index the shard covered (several shards share a PoP when it is
+    /// split per server).
     pub pop_index: u64,
+    /// Global index of the shard's first server.
+    pub first_server: u64,
+    /// Servers in the shard: 1 for a per-server shard, the PoP's member
+    /// count for a coarse (whole-PoP) shard.
+    pub servers: u64,
     /// Sessions the shard ran.
     pub sessions: u64,
     /// Events its event loop processed.
@@ -121,12 +130,32 @@ impl RunMetrics {
             ));
         }
         if !p.shards.is_empty() {
+            // Per-server sharding yields dozens of shards; print the
+            // slowest few (the ones that bound wall time) and summarize
+            // the rest.
+            const SHOWN: usize = 8;
+            let mut by_wall: Vec<&ShardProfile> = p.shards.iter().collect();
+            by_wall.sort_by(|a, b| {
+                b.wall_ms
+                    .total_cmp(&a.wall_ms)
+                    .then(a.shard_index.cmp(&b.shard_index))
+            });
             out.push_str("shards:");
-            for sh in &p.shards {
-                out.push_str(&format!(
-                    " pop{} {:.0}ms/{}ev",
-                    sh.pop_index, sh.wall_ms, sh.events
-                ));
+            for sh in by_wall.iter().take(SHOWN) {
+                if sh.servers == 1 {
+                    out.push_str(&format!(
+                        " pop{}/srv{} {:.0}ms/{}ev",
+                        sh.pop_index, sh.first_server, sh.wall_ms, sh.events
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        " pop{} {:.0}ms/{}ev",
+                        sh.pop_index, sh.wall_ms, sh.events
+                    ));
+                }
+            }
+            if by_wall.len() > SHOWN {
+                out.push_str(&format!(" (+{} more)", by_wall.len() - SHOWN));
             }
             out.push('\n');
         }
@@ -155,19 +184,70 @@ mod tests {
                 merge_ms: 8.0,
                 events_per_sec: 14_705.0,
                 peak_queue_depth: 77,
-                shards: vec![ShardProfile {
-                    pop_index: 0,
-                    sessions: 60,
-                    events: 5000,
-                    peak_queue_depth: 77,
-                    wall_ms: 340.0,
-                }],
+                shards: vec![
+                    ShardProfile {
+                        shard_index: 0,
+                        pop_index: 0,
+                        first_server: 0,
+                        servers: 2,
+                        sessions: 60,
+                        events: 5000,
+                        peak_queue_depth: 77,
+                        wall_ms: 340.0,
+                    },
+                    ShardProfile {
+                        shard_index: 1,
+                        pop_index: 1,
+                        first_server: 7,
+                        servers: 1,
+                        sessions: 12,
+                        events: 900,
+                        peak_queue_depth: 9,
+                        wall_ms: 40.0,
+                    },
+                ],
             },
         };
         let text = m.summary();
         assert!(text.contains("1234"));
         assert!(text.contains("sharded"));
+        // Coarse shards print their PoP; fine shards name their server.
         assert!(text.contains("pop0"));
+        assert!(text.contains("pop1/srv7"));
+    }
+
+    #[test]
+    fn summary_caps_the_shard_breakdown() {
+        let shards: Vec<ShardProfile> = (0..20)
+            .map(|i| ShardProfile {
+                shard_index: i,
+                pop_index: i / 2,
+                first_server: i,
+                servers: 1,
+                sessions: 5,
+                events: 100,
+                peak_queue_depth: 3,
+                wall_ms: i as f64,
+            })
+            .collect();
+        let m = RunMetrics {
+            sim: SimMetrics::default(),
+            profile: RunProfile {
+                engine: "sharded".into(),
+                threads: 4,
+                setup_ms: 1.0,
+                event_loop_ms: 2.0,
+                merge_ms: 3.0,
+                events_per_sec: 0.0,
+                peak_queue_depth: 3,
+                shards,
+            },
+        };
+        let text = m.summary();
+        assert!(text.contains("(+12 more)"), "summary: {text}");
+        // The slowest shard (19) is shown, the fastest (0) elided.
+        assert!(text.contains("srv19"));
+        assert!(!text.contains("srv0 "));
     }
 
     #[test]

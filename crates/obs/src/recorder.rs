@@ -284,6 +284,7 @@ mod tests {
         r.on_shard_merge(
             &Meta::fleet(SimTime::ZERO),
             &ShardMerge {
+                shard_index: 7,
                 pop_index: 4,
                 sessions: 10,
                 events: 99,

@@ -46,8 +46,8 @@ impl WatchdogConfig {
 /// One stalled shard, as observed when the deadline expired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StallReport {
-    /// Index of the stalled shard (PoP index in the fleet).
-    pub pop_index: usize,
+    /// Canonical shard index in the engine's shard order.
+    pub shard_index: usize,
     /// Events the shard had popped when it was declared stalled.
     pub events: u64,
     /// The sim-time (ns) the shard was stuck at.
@@ -55,7 +55,7 @@ pub struct StallReport {
 }
 
 struct Watch {
-    pop_index: usize,
+    shard_index: usize,
     cell: Arc<ProgressCell>,
     last_sim_ns: u64,
     fresh_at: Instant,
@@ -74,8 +74,8 @@ pub fn run(cells: &[(usize, Arc<ProgressCell>)], cfg: WatchdogConfig) -> Vec<Sta
     let start = Instant::now();
     let mut watches: Vec<Watch> = cells
         .iter()
-        .map(|(pop_index, cell)| Watch {
-            pop_index: *pop_index,
+        .map(|(shard_index, cell)| Watch {
+            shard_index: *shard_index,
             cell: cell.clone(),
             last_sim_ns: 0,
             fresh_at: start,
@@ -107,7 +107,7 @@ pub fn run(cells: &[(usize, Arc<ProgressCell>)], cfg: WatchdogConfig) -> Vec<Sta
                         w.stalled = true;
                         w.cell.cancel();
                         stalls.push(StallReport {
-                            pop_index: w.pop_index,
+                            shard_index: w.shard_index,
                             events: snap.events,
                             sim_ns: snap.sim_ns,
                         });
@@ -120,7 +120,7 @@ pub fn run(cells: &[(usize, Arc<ProgressCell>)], cfg: WatchdogConfig) -> Vec<Sta
         }
         std::thread::sleep(cfg.poll);
     }
-    stalls.sort_unstable_by_key(|s| s.pop_index);
+    stalls.sort_unstable_by_key(|s| s.shard_index);
     stalls
 }
 
@@ -198,7 +198,7 @@ mod tests {
         assert_eq!(
             stalls,
             vec![StallReport {
-                pop_index: 3,
+                shard_index: 3,
                 events: 42,
                 sim_ns: 9_000
             }]
@@ -252,7 +252,7 @@ mod tests {
         let stalls = run(&cells, fast_cfg());
         finisher.join().unwrap();
         assert_eq!(stalls.len(), 2);
-        assert_eq!(stalls[0].pop_index, 0);
-        assert_eq!(stalls[1].pop_index, 1);
+        assert_eq!(stalls[0].shard_index, 0);
+        assert_eq!(stalls[1].shard_index, 1);
     }
 }

@@ -25,6 +25,16 @@ pub struct PopulationConfig {
     pub residential_isps: usize,
     /// Number of enterprise organizations.
     pub enterprises: usize,
+    /// Name of a US client metro to concentrate prefixes on (must match a
+    /// `US_CLIENT_METROS` entry, e.g. `"NewYork-NY"`). Only consulted
+    /// when `focus_fraction > 0`; empty means no focus.
+    pub focus_metro: String,
+    /// Fraction of non-international prefixes pinned to `focus_metro`
+    /// instead of sampling the metro distribution. `0.0` (the default)
+    /// disables the knob and draws nothing from the RNG, so existing
+    /// seeds are unchanged. Used by the `engine/skewed` bench to build a
+    /// fleet where one PoP owns most of the traffic.
+    pub focus_fraction: f64,
 }
 
 impl Default for PopulationConfig {
@@ -36,6 +46,8 @@ impl Default for PopulationConfig {
             proxy_session_fraction: 0.23,
             residential_isps: 5,
             enterprises: 40,
+            focus_metro: String::new(),
+            focus_fraction: 0.0,
         }
     }
 }
@@ -93,6 +105,21 @@ impl Population {
                 .collect(),
         );
 
+        // Geographic focus (skew harness): resolved once, outside the
+        // loop, and only when armed — a zero `focus_fraction` must not
+        // consume a single RNG draw, or every existing seed would shift.
+        let focus: Option<(f64, f64)> = if cfg.focus_fraction > 0.0 {
+            let m = US_CLIENT_METROS
+                .iter()
+                .find(|(name, ..)| *name == cfg.focus_metro)
+                .unwrap_or_else(|| {
+                    panic!("focus_metro {:?} is not a US client metro", cfg.focus_metro)
+                });
+            Some((m.1, m.2))
+        } else {
+            None
+        };
+
         let mut prefixes = Vec::with_capacity(cfg.prefixes);
         for i in 0..cfg.prefixes {
             let id = PrefixId(i as u64);
@@ -103,7 +130,13 @@ impl Population {
                 let (_, lat, lon, r) = intl_metros.sample(rng);
                 (scatter(GeoPoint { lat, lon }, 120.0, rng), r)
             } else {
-                let (_, lat, lon) = us_metros.sample(rng);
+                let (lat, lon) = match focus {
+                    Some(center) if rng.chance(cfg.focus_fraction) => center,
+                    _ => {
+                        let (_, lat, lon) = us_metros.sample(rng);
+                        (lat, lon)
+                    }
+                };
                 (
                     scatter(GeoPoint { lat, lon }, 180.0, rng),
                     Region::UnitedStates,
@@ -358,5 +391,73 @@ fn path_character(access: AccessClass, rng: &mut RngStream) -> PathCharacter {
             },
             congestion_severity: rng.uniform_range(0.18, 0.5),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn near_new_york(p: &GeoPoint) -> bool {
+        // NewYork-NY is at (40.71, -74.01); the scatter radius is 180 km
+        // (~2.2°), so a 4° box comfortably contains focused prefixes and
+        // excludes every other US metro in the table.
+        (p.lat - 40.71).abs() < 4.0 && (p.lon - -74.01).abs() < 4.0
+    }
+
+    #[test]
+    fn focus_fraction_concentrates_prefixes_on_the_metro() {
+        let spread = {
+            let mut rng = RngStream::new(7, "focus-test");
+            Population::generate(&PopulationConfig::default(), &mut rng)
+        };
+        let focused = {
+            let mut rng = RngStream::new(7, "focus-test");
+            let cfg = PopulationConfig {
+                focus_metro: "NewYork-NY".to_owned(),
+                focus_fraction: 0.75,
+                ..PopulationConfig::default()
+            };
+            Population::generate(&cfg, &mut rng)
+        };
+        let share = |pop: &Population| {
+            pop.prefixes()
+                .iter()
+                .filter(|p| near_new_york(&p.location))
+                .count() as f64
+                / pop.prefixes().len() as f64
+        };
+        assert!(
+            share(&focused) > 0.6,
+            "focused share {} too low",
+            share(&focused)
+        );
+        assert!(
+            share(&spread) < 0.4,
+            "unfocused share {} too high",
+            share(&spread)
+        );
+    }
+
+    #[test]
+    fn disabled_focus_draws_nothing() {
+        // focus_fraction == 0.0 must leave the RNG sequence untouched, so
+        // the generated population is identical whatever focus_metro says.
+        let gen = |metro: &str| {
+            let mut rng = RngStream::new(11, "focus-noop");
+            let cfg = PopulationConfig {
+                focus_metro: metro.to_owned(),
+                focus_fraction: 0.0,
+                ..PopulationConfig::default()
+            };
+            Population::generate(&cfg, &mut rng)
+        };
+        let a = gen("");
+        let b = gen("NewYork-NY");
+        for (x, y) in a.prefixes().iter().zip(b.prefixes()) {
+            assert_eq!(x.location.lat, y.location.lat);
+            assert_eq!(x.location.lon, y.location.lon);
+            assert_eq!(x.weight, y.weight);
+        }
     }
 }

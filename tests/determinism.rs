@@ -28,9 +28,9 @@ fn run_metrics_serialized(seed: u64, threads: usize) -> String {
 }
 
 #[test]
-fn thread_counts_1_2_8_are_byte_identical() {
+fn thread_counts_1_2_4_8_are_byte_identical() {
     let (dataset_1, servers_1) = run_serialized(2016, 1);
-    for threads in [2, 8] {
+    for threads in [2, 4, 8] {
         let (dataset_n, servers_n) = run_serialized(2016, threads);
         assert!(
             dataset_1 == dataset_n,
@@ -53,7 +53,7 @@ fn parallel_runs_are_reproducible_run_to_run() {
 #[test]
 fn sim_metrics_are_byte_identical_across_thread_counts() {
     let metrics_1 = run_metrics_serialized(2016, 1);
-    for threads in [2, 8] {
+    for threads in [2, 4, 8] {
         let metrics_n = run_metrics_serialized(2016, threads);
         assert!(
             metrics_1 == metrics_n,
@@ -108,7 +108,7 @@ fn faulted_runs_are_byte_identical_across_thread_counts() {
             "expected nonzero {key} in {metrics_1}"
         );
     }
-    for threads in [2, 8] {
+    for threads in [2, 4, 8] {
         let (dataset_n, servers_n, metrics_n) = run_faulted_serialized(2016, threads);
         assert!(
             dataset_1 == dataset_n,

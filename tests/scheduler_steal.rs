@@ -1,0 +1,129 @@
+//! Property tests for the work-stealing shard scheduler.
+//!
+//! The engine's determinism contract says the [`WorkQueue`] only decides
+//! *which worker runs which job when* — results land in job-id-indexed
+//! slots, so any steal interleaving must merge into the same canonical
+//! output. These tests drive adversarial interleavings (a randomized
+//! schedule of which worker pops next) against exactly that contract.
+
+use proptest::prelude::*;
+use streamlab::scheduler::WorkQueue;
+
+/// Drain the queue single-threadedly but in an adversarial order: step
+/// `k` lets worker `order[k] % workers` pop next. Returns, per job id,
+/// the worker that claimed it.
+fn drain_with_schedule(workers: usize, costs: &[u64], order: &[u8]) -> Vec<Option<usize>> {
+    let q = WorkQueue::deal(workers, costs);
+    let mut claimed_by: Vec<Option<usize>> = vec![None; costs.len()];
+    let mut idle_scans = 0usize;
+    let mut k = 0usize;
+    while idle_scans < workers {
+        let w = if order.is_empty() {
+            k % workers
+        } else {
+            order[k % order.len()] as usize % workers
+        };
+        k += 1;
+        match q.pop(w) {
+            Some(job) => {
+                assert!(
+                    claimed_by[job].is_none(),
+                    "job {job} claimed twice (second time by worker {w})"
+                );
+                claimed_by[job] = Some(w);
+                idle_scans = 0;
+            }
+            None => idle_scans += 1,
+        }
+    }
+    claimed_by
+}
+
+proptest! {
+    /// Every job is claimed exactly once no matter which workers pop in
+    /// which order — the merge slots (indexed by job id) are total and
+    /// collision-free under any steal interleaving.
+    #[test]
+    fn adversarial_interleavings_claim_every_job_exactly_once(
+        workers in 1usize..9,
+        costs in proptest::collection::vec(0u64..1000, 1..40),
+        order in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let claimed = drain_with_schedule(workers, &costs, &order);
+        for (job, by) in claimed.iter().enumerate() {
+            prop_assert!(by.is_some(), "job {job} never claimed");
+        }
+    }
+
+    /// Simulate the engine's merge: each claim writes its job id into a
+    /// pre-allocated slot; reading the slots front to back must yield
+    /// canonical order (0, 1, 2, ...) regardless of the interleaving —
+    /// i.e. the steal order can never leak into the output.
+    #[test]
+    fn merge_slots_come_out_in_canonical_order(
+        workers in 1usize..9,
+        costs in proptest::collection::vec(0u64..1000, 1..40),
+        order in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let q = WorkQueue::deal(workers, &costs);
+        let mut slots: Vec<Option<usize>> = vec![None; costs.len()];
+        let mut k = 0usize;
+        let mut idle = 0usize;
+        while idle < workers {
+            let w = order[k % order.len()] as usize % workers;
+            k += 1;
+            match q.pop(w) {
+                Some(job) => {
+                    slots[job] = Some(job);
+                    idle = 0;
+                }
+                None => idle += 1,
+            }
+        }
+        let merged: Vec<usize> = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        let canonical: Vec<usize> = (0..costs.len()).collect();
+        prop_assert_eq!(merged, canonical);
+    }
+
+    /// The LPT deal itself is a pure function of the costs: same costs,
+    /// same deal, and it covers every job exactly once.
+    #[test]
+    fn deal_is_reproducible_and_total(
+        workers in 1usize..9,
+        costs in proptest::collection::vec(0u64..1000, 0..40),
+    ) {
+        let a = WorkQueue::deal(workers, &costs).assignments();
+        let b = WorkQueue::deal(workers, &costs).assignments();
+        prop_assert_eq!(&a, &b);
+        let mut all: Vec<usize> = a.into_iter().flatten().collect();
+        all.sort_unstable();
+        let canonical: Vec<usize> = (0..costs.len()).collect();
+        prop_assert_eq!(all, canonical);
+    }
+
+    /// Degenerate shard/worker shapes round-trip: one job among many
+    /// workers, more jobs than workers, and zero-cost (zero-session)
+    /// jobs all drain completely with no worker wedged.
+    #[test]
+    fn shard_count_need_not_match_worker_count(
+        workers in 1usize..9,
+        jobs in 1usize..40,
+        zero_every in 1usize..5,
+    ) {
+        let costs: Vec<u64> = (0..jobs)
+            .map(|i| if i % zero_every == 0 { 0 } else { (i as u64 * 13) % 97 + 1 })
+            .collect();
+        let claimed = drain_with_schedule(workers, &costs, &[]);
+        prop_assert!(claimed.iter().all(|c| c.is_some()));
+        // After a full drain every deque is empty for every worker.
+        let q = WorkQueue::deal(workers, &costs);
+        let mut popped = 0;
+        while q.pop(popped % workers).is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, jobs);
+        for w in 0..workers {
+            prop_assert_eq!(q.pop(w), None);
+        }
+    }
+}
