@@ -1,0 +1,134 @@
+//! The problem-localization table: every session in the joined dataset
+//! attributed to the CDN server, the network path, the client download
+//! stack, the rendering path, or classified healthy.
+//!
+//! This is the *offline* half of the localization pass. The simulator's
+//! recorder applies [`streamlab_obs::diagnose`]'s rules online, per
+//! event, and feeds the `loc_*` counters in `SimMetrics`; this module
+//! re-derives the same per-session diagnoses from the beacon-side
+//! records alone — the vantage point the paper actually had. The two
+//! disagree in two structural ways worth knowing when comparing them:
+//!
+//! * the dataset is proxy-filtered, so the offline table covers fewer
+//!   sessions than the online counters;
+//! * abort reasons are an engine-side fact that never reaches the beacon
+//!   records, so aborted sessions are classified here by their stall and
+//!   drop history like any other session.
+
+use serde::{Deserialize, Serialize};
+use streamlab_obs::{classify_session, ChunkBreakdown, ProblemClass, RebufferShares};
+use streamlab_telemetry::Dataset;
+
+/// One problem class's share of the dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LocalizationRow {
+    /// Stable class label (`server`, `network`, `client_stack`,
+    /// `rendering`, `healthy`).
+    pub class: String,
+    /// Sessions diagnosed with this class.
+    pub sessions: usize,
+    /// Fraction of all dataset sessions.
+    pub session_share: f64,
+    /// Rebuffer events attributed to this class across all sessions.
+    pub rebuffers: u64,
+}
+
+/// The localization table: a fixed five-row partition of the dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Localization {
+    /// One row per class, in `server, network, client_stack, rendering,
+    /// healthy` order. Session counts partition `total_sessions`.
+    pub rows: Vec<LocalizationRow>,
+    /// Sessions diagnosed (the proxy-filtered dataset).
+    pub total_sessions: usize,
+    /// Rebuffer events attributed (every stall lands in exactly one of
+    /// the first three rows).
+    pub total_rebuffers: u64,
+}
+
+/// Diagnose every session in the dataset and tabulate the classes.
+pub fn localization(ds: &Dataset) -> Localization {
+    const CLASSES: [ProblemClass; 5] = [
+        ProblemClass::Server,
+        ProblemClass::Network,
+        ProblemClass::ClientStack,
+        ProblemClass::Rendering,
+        ProblemClass::Healthy,
+    ];
+    let slot = |class: ProblemClass| CLASSES.iter().position(|&c| c == class).expect("fixed set");
+    let mut sessions = [0usize; 5];
+    let mut rebuffers = [0u64; 5];
+
+    for s in &ds.sessions {
+        let mut shares = RebufferShares::default();
+        let mut frames = 0u64;
+        let mut dropped = 0u64;
+        for c in &s.chunks {
+            // Same partition the recorder uses: server serve time and
+            // download-stack residence are measured, the network gets the
+            // remainder of D_FB + D_LB.
+            let total_ns = (c.player.d_fb + c.player.d_lb).as_nanos();
+            let breakdown = ChunkBreakdown::from_phases(
+                total_ns,
+                c.cdn.server_total().as_nanos(),
+                c.player.truth.dds.as_nanos(),
+            );
+            if c.player.buf_count > 0 {
+                shares.add(breakdown.dominant(), u64::from(c.player.buf_count));
+            }
+            frames += u64::from(c.player.frames);
+            dropped += u64::from(c.player.dropped_frames);
+        }
+        let class = classify_session(&shares, None, frames, dropped);
+        sessions[slot(class)] += 1;
+        rebuffers[slot(ProblemClass::Server)] += shares.server;
+        rebuffers[slot(ProblemClass::Network)] += shares.network;
+        rebuffers[slot(ProblemClass::ClientStack)] += shares.stack;
+    }
+
+    let total_sessions = ds.sessions.len();
+    let total_rebuffers = rebuffers.iter().sum();
+    let rows = CLASSES
+        .iter()
+        .enumerate()
+        .map(|(i, class)| LocalizationRow {
+            class: class.label().to_owned(),
+            sessions: sessions[i],
+            session_share: if total_sessions == 0 {
+                0.0
+            } else {
+                sessions[i] as f64 / total_sessions as f64
+            },
+            rebuffers: rebuffers[i],
+        })
+        .collect();
+    Localization {
+        rows,
+        total_sessions,
+        total_rebuffers,
+    }
+}
+
+impl Localization {
+    /// Render the table as aligned text (the experiment exhibit body).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<14} {:>10} {:>8} {:>10}\n",
+            "class", "sessions", "share", "rebuffers"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>10} {:>7.1}% {:>10}\n",
+                r.class,
+                r.sessions,
+                100.0 * r.session_share,
+                r.rebuffers
+            ));
+        }
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>8} {:>10}\n",
+            "total", self.total_sessions, "", self.total_rebuffers
+        ));
+        out
+    }
+}

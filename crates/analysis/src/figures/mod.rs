@@ -9,6 +9,7 @@
 
 pub mod cdn;
 pub mod client;
+pub mod localization;
 pub mod network;
 
 use serde::{Deserialize, Serialize};

@@ -121,13 +121,27 @@ fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>)
                 b.iter(|| {
                     black_box(
                         Simulation::new(tiny_cfg(threads))
-                            .run_observed(ObsOptions { trace: false })
+                            .run_observed(ObsOptions::default())
                             .expect("run"),
                     )
                 })
             },
         );
     }
+    // `small/1` is the instrumentation-overhead gate's numerator: CI
+    // compares its median against the no-subscriber `engine/small/1` via
+    // perf_gate --overhead, so both must run in the same bench invocation.
+    let chunks = chunk_volume(small_cfg(1));
+    chunks_by_label.insert("engine-observed/small/1".to_owned(), chunks);
+    group.bench_with_input(BenchmarkId::new("small", 1usize), &1usize, |b, _| {
+        b.iter(|| {
+            black_box(
+                Simulation::new(small_cfg(1))
+                    .run_observed(ObsOptions::default())
+                    .expect("run"),
+            )
+        })
+    });
     group.finish();
 }
 

@@ -9,6 +9,7 @@
 //! ```text
 //! perf-gate <baseline.json> <candidate.json> [--tolerance 0.15]
 //! perf-gate <candidate.json> --scaling engine/small:2:1.6 [--scaling ...]
+//! perf-gate <candidate.json> --overhead engine-observed/small/1:engine/small/1:1.05
 //! ```
 //!
 //! The tolerance is generous (default +15%) because CI runners are noisy
@@ -25,8 +26,15 @@
 //! machine, this check is immune to runner-generation drift that the
 //! baseline comparison has to tolerate — it is the hard floor under "the
 //! `--threads` flag actually scales". With a single path argument the
-//! gate runs in scaling-only mode; with two, scaling checks run after
-//! the regression comparison against the candidate file.
+//! gate runs in within-file mode (no baseline comparison); with two,
+//! within-file checks run after the regression comparison against the
+//! candidate file.
+//!
+//! `--overhead <label_a>:<label_b>:<max_ratio>` is the same within-file
+//! idea for instrumentation cost: `label_a`'s median divided by
+//! `label_b`'s must not exceed `max_ratio`. CI uses it to cap the
+//! metrics subscriber's overhead (`engine-observed/small/1` vs
+//! `engine/small/1`).
 
 use std::process::ExitCode;
 
@@ -88,6 +96,67 @@ fn parse_scaling_spec(raw: &str) -> Result<ScalingSpec, String> {
     })
 }
 
+/// One `--overhead` assertion: `numerator`'s median over `denominator`'s
+/// must not exceed `max_ratio` within the same file.
+struct OverheadSpec {
+    numerator: String,
+    denominator: String,
+    max_ratio: f64,
+}
+
+fn parse_overhead_spec(raw: &str) -> Result<OverheadSpec, String> {
+    // Labels are `:`-free, so splitting from the right is unambiguous even
+    // though the ratio contains a dot.
+    let mut parts = raw.rsplitn(3, ':');
+    let (Some(ratio), Some(denominator), Some(numerator)) =
+        (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!(
+            "bad --overhead {raw}: expected <label_a>:<label_b>:<max_ratio>"
+        ));
+    };
+    Ok(OverheadSpec {
+        numerator: numerator.to_string(),
+        denominator: denominator.to_string(),
+        max_ratio: ratio
+            .parse()
+            .map_err(|e| format!("bad --overhead ratio {ratio}: {e}"))?,
+    })
+}
+
+/// Check every `--overhead` spec against `entries`; returns false when any
+/// ratio lands over its cap. Missing labels are errors for the same reason
+/// as in [`check_scaling`].
+fn check_overhead(entries: &[Entry], specs: &[OverheadSpec]) -> Result<bool, String> {
+    let median_of = |label: &str| -> Result<f64, String> {
+        entries
+            .iter()
+            .find(|e| e.label == label)
+            .map(|e| e.median_ns)
+            .ok_or_else(|| format!("--overhead: label {label} not found in candidate"))
+    };
+    let mut ok = true;
+    for spec in specs {
+        let num = median_of(&spec.numerator)?;
+        let den = median_of(&spec.denominator)?;
+        if den <= 0.0 {
+            return Err(format!("--overhead: {} median is zero", spec.denominator));
+        }
+        let ratio = num / den;
+        let verdict = if ratio > spec.max_ratio {
+            ok = false;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "overhead {} / {} = {:.3}x (cap {:.2}x)  {}",
+            spec.numerator, spec.denominator, ratio, spec.max_ratio, verdict
+        );
+    }
+    Ok(ok)
+}
+
 /// Check every `--scaling` spec against `entries`; returns false when any
 /// speedup lands under its floor. A missing label is an error, not a
 /// skip — a gate that silently passes because the bench was renamed is
@@ -129,6 +198,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut tolerance = 0.15f64;
     let mut paths = Vec::new();
     let mut scaling = Vec::new();
+    let mut overhead = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -141,22 +211,31 @@ fn run(args: &[String]) -> Result<bool, String> {
                 .next()
                 .ok_or_else(|| "--scaling needs <group>:<threads>:<min_ratio>".to_string())?;
             scaling.push(parse_scaling_spec(v)?);
+        } else if a == "--overhead" {
+            let v = it
+                .next()
+                .ok_or_else(|| "--overhead needs <label_a>:<label_b>:<max_ratio>".to_string())?;
+            overhead.push(parse_overhead_spec(v)?);
         } else {
             paths.push(a.clone());
         }
     }
 
-    // Scaling-only mode: one file, no baseline comparison.
-    if let ([candidate_path], false) = (paths.as_slice(), scaling.is_empty()) {
+    // Within-file mode: one file, no baseline comparison.
+    if let ([candidate_path], false) = (paths.as_slice(), scaling.is_empty() && overhead.is_empty())
+    {
         let candidate = parse_entries(candidate_path)?;
-        return check_scaling(&candidate, &scaling);
+        let scaling_ok = check_scaling(&candidate, &scaling)?;
+        let overhead_ok = check_overhead(&candidate, &overhead)?;
+        return Ok(scaling_ok && overhead_ok);
     }
 
     let [baseline_path, candidate_path] = paths.as_slice() else {
         return Err(
             "usage: perf-gate <baseline.json> <candidate.json> [--tolerance 0.15] \
-             [--scaling <group>:<threads>:<min_ratio>] | \
-             perf-gate <candidate.json> --scaling <group>:<threads>:<min_ratio>"
+             [--scaling <group>:<threads>:<min_ratio>] \
+             [--overhead <label_a>:<label_b>:<max_ratio>] | \
+             perf-gate <candidate.json> --scaling ... --overhead ..."
                 .into(),
         );
     };
@@ -198,6 +277,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     if !scaling.is_empty() && !check_scaling(&candidate, &scaling)? {
         failed = true;
     }
+    if !overhead.is_empty() && !check_overhead(&candidate, &overhead)? {
+        failed = true;
+    }
     Ok(!failed)
 }
 
@@ -209,7 +291,10 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("perf gate: median regression beyond tolerance or scaling under floor");
+            eprintln!(
+                "perf gate: median regression beyond tolerance, scaling under floor, \
+                 or overhead over cap"
+            );
             ExitCode::FAILURE
         }
         Err(e) => {

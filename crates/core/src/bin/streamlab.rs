@@ -31,9 +31,24 @@
 //!                                        the finished run and fail loudly
 //!                                        on any violation)
 //!          --metrics-out FILE           (run only: write the deterministic
-//!                                        metrics block as JSON)
+//!                                        metrics block)
+//!          --metrics-format json|openmetrics
+//!                                       (run only: --metrics-out format;
+//!                                        `json` writes the deterministic
+//!                                        block only, `openmetrics` adds a
+//!                                        clearly-flagged wall-clock
+//!                                        section; default json)
 //!          --trace-events FILE          (run only: write the structured
 //!                                        event trace as JSONL)
+//!          --trace-out FILE             (run only: write a Chrome Trace
+//!                                        Event file — deterministic
+//!                                        sim-time span lanes per session
+//!                                        plus wall-clock engine lanes —
+//!                                        loadable in Perfetto or
+//!                                        chrome://tracing)
+//!          --summary-shards N           (shards shown in the end-of-run
+//!                                        summary breakdown; 0 = all;
+//!                                        default 8)
 //!          --faults FILE                (JSON fault scenario — server
 //!                                        restarts/outages, loss bursts,
 //!                                        blackouts, backend slowdowns —
@@ -66,9 +81,18 @@ struct Opts {
     audit: bool,
     resume: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    metrics_format: MetricsFormat,
     trace_events: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    summary_shards: usize,
     faults: Option<String>,
     rest: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    OpenMetrics,
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -84,7 +108,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         audit: false,
         resume: None,
         metrics_out: None,
+        metrics_format: MetricsFormat::Json,
         trace_events: None,
+        trace_out: None,
+        summary_shards: 8,
         faults: None,
         rest: Vec::new(),
     };
@@ -152,10 +179,32 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     it.next().ok_or("--metrics-out needs a value")?,
                 ));
             }
+            "--metrics-format" => {
+                opts.metrics_format =
+                    match it.next().ok_or("--metrics-format needs a value")?.as_str() {
+                        "json" => MetricsFormat::Json,
+                        "openmetrics" => MetricsFormat::OpenMetrics,
+                        other => {
+                            return Err(format!(
+                                "unknown metrics format '{other}' (json|openmetrics)"
+                            ))
+                        }
+                    };
+            }
             "--trace-events" => {
                 opts.trace_events = Some(PathBuf::from(
                     it.next().ok_or("--trace-events needs a value")?,
                 ));
+            }
+            "--trace-out" => {
+                opts.trace_out = Some(PathBuf::from(it.next().ok_or("--trace-out needs a value")?));
+            }
+            "--summary-shards" => {
+                opts.summary_shards = it
+                    .next()
+                    .ok_or("--summary-shards needs a value (0 = all)")?
+                    .parse()
+                    .map_err(|e| format!("bad summary shard count: {e}"))?;
             }
             "--faults" => {
                 opts.faults = Some(it.next().ok_or("--faults needs a value")?.clone());
@@ -213,7 +262,8 @@ fn usage() -> &'static str {
     "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep> \
      [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--seeds N] [--threads N] \
      [--shard-deadline SECS] [--audit] [--resume DIR] \
-     [--metrics-out FILE] [--trace-events FILE] [--faults FILE]\n\
+     [--metrics-out FILE] [--metrics-format json|openmetrics] [--trace-events FILE] \
+     [--trace-out FILE] [--summary-shards N] [--faults FILE]\n\
      (sweep: --seeds sets the seed count; passing --days for that is deprecated \
      and kept only for backward compatibility. sweep checkpoints per-seed results \
      under --out; --resume DIR continues an interrupted sweep from its manifest.)"
@@ -266,6 +316,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     );
     let obs = ObsOptions {
         trace: opts.trace_events.is_some(),
+        spans: opts.trace_out.is_some(),
     };
     let out = Simulation::new(cfg)
         .run_observed(obs)
@@ -289,10 +340,19 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         .as_ref()
         .ok_or("internal error: observed run returned no metrics block")?;
     if let Some(path) = &opts.metrics_out {
-        // Only the deterministic block goes to disk: byte-identical at
-        // any --threads value (the wall-clock profile is not).
-        let json = serde_json::to_string_pretty(&metrics.sim).map_err(|e| e.to_string())?;
-        atomic_write(path, (json + "\n").as_bytes()).map_err(at(path))?;
+        let body = match opts.metrics_format {
+            // Only the deterministic block goes to disk: byte-identical
+            // at any --threads value (the wall-clock profile is not).
+            MetricsFormat::Json => {
+                serde_json::to_string_pretty(&metrics.sim).map_err(|e| e.to_string())? + "\n"
+            }
+            // OpenMetrics carries both halves; the wall-clock section is
+            // flagged non-deterministic line by line.
+            MetricsFormat::OpenMetrics => {
+                streamlab::obs::openmetrics::render(&metrics.sim, Some(&metrics.profile))
+            }
+        };
+        atomic_write(path, body.as_bytes()).map_err(at(path))?;
     }
     if let Some(path) = &opts.trace_events {
         let lines = out.trace_lines.as_deref().unwrap_or(&[]);
@@ -300,6 +360,11 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         if !body.is_empty() {
             body.push('\n');
         }
+        atomic_write(path, body.as_bytes()).map_err(at(path))?;
+    }
+    if let Some(path) = &opts.trace_out {
+        let spans = out.sim_spans.as_deref().unwrap_or(&[]);
+        let body = streamlab::obs::render_chrome_trace(spans, out.wall_trace.as_ref());
         atomic_write(path, body.as_bytes()).map_err(at(path))?;
     }
 
@@ -333,7 +398,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 
     println!("{report}");
     // The compact self-telemetry summary every run ends with.
-    print!("{}", metrics.summary());
+    print!("{}", metrics.summary_with(opts.summary_shards));
     eprintln!(
         "wrote report.txt, figures.json, chunks.csv, sessions.csv and {plots} gnuplot scripts to {}",
         opts.out.display()
@@ -343,6 +408,12 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
     }
     if let Some(path) = &opts.trace_events {
         eprintln!("wrote event trace to {}", path.display());
+    }
+    if let Some(path) = &opts.trace_out {
+        eprintln!(
+            "wrote Chrome trace to {} (open in Perfetto or chrome://tracing)",
+            path.display()
+        );
     }
     Ok(())
 }

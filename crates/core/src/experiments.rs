@@ -10,7 +10,7 @@ use crate::report::{binned_table, ccdf_line, cdf_line, TextTable};
 use crate::simulate::RunOutput;
 use serde::{Deserialize, Serialize};
 use serde_json::json;
-use streamlab_analysis::figures::{cdn, client, network};
+use streamlab_analysis::figures::{cdn, client, localization, network};
 
 /// Identifier of one paper exhibit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -39,6 +39,7 @@ pub enum ExperimentId {
     Fig21,
     Fig22,
     Tab05,
+    Loc,
     Stats,
 }
 
@@ -48,7 +49,8 @@ impl ExperimentId {
         use ExperimentId::*;
         &[
             Fig03a, Fig03b, Fig04, Fig05, Fig06, Fig07, Fig08, Fig09, Fig10, Tab04, Fig11, Fig12,
-            Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, Fig20, Fig21, Fig22, Tab05, Stats,
+            Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, Fig20, Fig21, Fig22, Tab05, Loc,
+            Stats,
         ]
     }
 
@@ -79,6 +81,7 @@ impl ExperimentId {
             Fig21 => "Fig 21: browser share and rendering quality per platform",
             Fig22 => "Fig 22: dropped frames of unpopular browsers",
             Tab05 => "Table 5: OS/browser with highest download-stack latency",
+            Loc => "Localization: sessions and rebuffers attributed per problem class",
             Stats => "Headline statistics (Sections 3 and 4)",
         }
     }
@@ -363,6 +366,10 @@ pub fn run_experiment(id: ExperimentId, out: &RunOutput) -> ExperimentResult {
                 buckets.heavy_rebuffer_ms,
             );
             (text, json!({ "table": f, "dds_vs_rebuffering": buckets }))
+        }
+        ExperimentId::Loc => {
+            let t = localization::localization(ds);
+            (t.render(), json!(t))
         }
         ExperimentId::Stats => {
             let s = cdn::headline_stats(ds);

@@ -17,14 +17,43 @@
 //! against exactly this contract.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use streamlab_obs::SchedulerCounters;
+
+/// One successful steal, timestamped against the queue's epoch (the
+/// moment of the deal). Wall-clock data: feeds the engine trace lanes
+/// and [`SchedulerCounters`], never the deterministic metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct StealEvent {
+    /// Worker that took the job.
+    pub thief: usize,
+    /// Job id that moved.
+    pub job: usize,
+    /// Milliseconds after [`WorkQueue::epoch`].
+    pub at_ms: f64,
+}
 
 /// A fixed set of jobs (ids `0..n`) dealt across per-worker deques, with
 /// stealing between them. Create with [`WorkQueue::deal`], drain with
 /// [`WorkQueue::pop`].
+///
+/// The queue also keeps its own flight recorder: how many pops were
+/// owner pops vs steals, failed steal scans, and a timestamped log of
+/// every steal. All of it is timing-dependent, so it is exported on the
+/// wall-clock side only ([`WorkQueue::counters`],
+/// [`WorkQueue::steal_events`]).
 #[derive(Debug)]
 pub struct WorkQueue {
     deques: Vec<Mutex<VecDeque<usize>>>,
+    epoch: Instant,
+    jobs_dealt: u64,
+    owner_pops: AtomicU64,
+    steals: AtomicU64,
+    steal_failures: AtomicU64,
+    steal_log: Mutex<Vec<StealEvent>>,
 }
 
 impl WorkQueue {
@@ -48,7 +77,38 @@ impl WorkQueue {
         }
         WorkQueue {
             deques: deques.into_iter().map(Mutex::new).collect(),
+            epoch: Instant::now(),
+            jobs_dealt: costs.len() as u64,
+            owner_pops: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_failures: AtomicU64::new(0),
+            steal_log: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The queue's wall-clock epoch (the moment of the deal). Shard job
+    /// start times and steal timestamps are measured from here so they
+    /// land on one shared trace timeline.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Snapshot of the scheduler counters accumulated so far.
+    pub fn counters(&self) -> SchedulerCounters {
+        SchedulerCounters {
+            jobs_dealt: self.jobs_dealt,
+            owner_pops: self.owner_pops.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_failures: self.steal_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The timestamped steal log accumulated so far, in claim order.
+    pub fn steal_events(&self) -> Vec<StealEvent> {
+        self.steal_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Number of worker deques.
@@ -74,10 +134,14 @@ impl WorkQueue {
     /// Claim the next job from `worker`'s own deque (front — its largest
     /// remaining job, per the LPT deal order).
     pub fn pop_own(&self, worker: usize) -> Option<usize> {
-        self.deques[worker]
+        let job = self.deques[worker]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .pop_front()
+            .pop_front();
+        if job.is_some() {
+            self.owner_pops.fetch_add(1, Ordering::Relaxed);
+        }
+        job
     }
 
     /// Steal a job for `worker` from another deque's tail (the victim's
@@ -92,10 +156,21 @@ impl WorkQueue {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .pop_back();
-            if job.is_some() {
-                return job;
+            if let Some(job) = job {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                let at_ms = self.epoch.elapsed().as_secs_f64() * 1.0e3;
+                self.steal_log
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(StealEvent {
+                        thief: worker,
+                        job,
+                        at_ms,
+                    });
+                return Some(job);
             }
         }
+        self.steal_failures.fetch_add(1, Ordering::Relaxed);
         None
     }
 
@@ -179,6 +254,26 @@ mod tests {
         for w in 0..8 {
             assert_eq!(q.pop(w), None);
         }
+    }
+
+    #[test]
+    fn counters_partition_the_claims() {
+        let costs: Vec<u64> = (0..31).map(|i| (i * 13) % 7 + 1).collect();
+        let q = WorkQueue::deal(3, &costs);
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let q = &q;
+                s.spawn(move || while q.pop(w).is_some() {});
+            }
+        });
+        let c = q.counters();
+        assert_eq!(c.jobs_dealt, costs.len() as u64);
+        // Every job was claimed exactly once, either by its owner or a
+        // thief — the two counters partition the deal.
+        assert_eq!(c.owner_pops + c.steals, c.jobs_dealt);
+        assert_eq!(q.steal_events().len() as u64, c.steals);
+        // Each worker's terminating pop saw every deque empty.
+        assert!(c.steal_failures >= 3);
     }
 
     #[test]

@@ -19,15 +19,16 @@
 //!   count. See DESIGN.md for the full argument.
 
 use crate::config::SimulationConfig;
-use crate::scheduler::WorkQueue;
+use crate::scheduler::{StealEvent, WorkQueue};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
 use streamlab_obs::{
-    Meta, MetricsRecorder, NoopSubscriber, ProgressCell, RunMetrics, RunProfile, ShardMerge,
-    ShardProfile, ShardStalled, SimMetrics, Subscriber,
+    canonicalize, Meta, MetricsRecorder, NoopSubscriber, ProgressCell, RunMetrics, RunProfile,
+    SchedulerCounters, ShardMerge, ShardProfile, ShardStalled, SimMetrics, SimSpan, Subscriber,
+    WallCounter, WallInstant, WallSpan, WallTrace,
 };
 use streamlab_sim::{EventQueue, RngStream, SimTime};
 use streamlab_supervisor::watchdog::{self, WatchdogConfig};
@@ -187,6 +188,10 @@ pub struct ServerReport {
 pub struct ObsOptions {
     /// Also buffer a structured JSONL event trace (one line per event).
     pub trace: bool,
+    /// Also buffer deterministic sim-time spans (`session → chunk →
+    /// {cache_lookup, net_transfer, render}`) for `--trace-out`
+    /// ([`RunOutput::sim_spans`]).
+    pub spans: bool,
 }
 
 /// Everything a run produces.
@@ -208,6 +213,13 @@ pub struct RunOutput {
     /// The structured JSONL event trace (`None` unless requested via
     /// [`ObsOptions::trace`]).
     pub trace_lines: Option<Vec<String>>,
+    /// Canonicalized sim-time spans (`None` unless requested via
+    /// [`ObsOptions::spans`]). Byte-identical at any `--threads`.
+    pub sim_spans: Option<Vec<SimSpan>>,
+    /// Wall-clock engine trace — run phases, per-worker shard job lanes,
+    /// steal instants, watchdog heartbeat counters. `None` unless the run
+    /// was observed; inherently non-deterministic.
+    pub wall_trace: Option<WallTrace>,
     /// Shards whose worker panicked (sharded engine only). Their sessions
     /// are missing from the dataset; everything else is intact. Empty on
     /// a healthy run.
@@ -441,16 +453,23 @@ impl Simulation {
         // Four paths: {sequential, sharded} × {instrumented, noop}. The
         // noop paths drive the same generic engines with
         // [`NoopSubscriber`], which monomorphizes the probes away.
-        let (sink, recorder, shard_profiles, loop_stats, shard_errors) = match obs {
+        let (sink, recorder, shard_profiles, loop_stats, shard_errors, engine_wall) = match obs {
             Some(o) if cfg.threads <= 1 => {
-                let mut rec = MetricsRecorder::new(o.trace);
+                let mut rec = MetricsRecorder::with_options(o.trace, o.spans);
                 let (sink, stats) =
                     run_sequential(&mut fleet, runtimes, &catalog, &population, &mut rec);
                 rec.add_events_processed(stats.events);
-                (sink, Some(rec), Vec::new(), stats, Vec::new())
+                (
+                    sink,
+                    Some(rec),
+                    Vec::new(),
+                    stats,
+                    Vec::new(),
+                    EngineWall::default(),
+                )
             }
             Some(o) => {
-                let (sink, runs, errors) = run_sharded(
+                let (sink, runs, errors, wall) = run_sharded(
                     cfg.threads,
                     &mut fleet,
                     runtimes,
@@ -459,12 +478,13 @@ impl Simulation {
                     &harness,
                     &coarse,
                     cfg.shard_deadline_ms,
-                    || MetricsRecorder::new(o.trace),
+                    loop_started,
+                    || MetricsRecorder::with_options(o.trace, o.spans),
                 );
                 // Fold shard recorders in canonical (shard_index) order —
                 // the commutative merges make SimMetrics byte-identical
                 // to the sequential engine's regardless.
-                let mut rec = MetricsRecorder::new(o.trace);
+                let mut rec = MetricsRecorder::with_options(o.trace, o.spans);
                 let mut profiles = Vec::with_capacity(runs.len());
                 let mut total = EngineStats::default();
                 for run in runs {
@@ -479,6 +499,8 @@ impl Simulation {
                         events: run.stats.events,
                         peak_queue_depth: run.stats.peak_queue as u64,
                         wall_ms: run.wall_ms,
+                        worker: run.worker as u64,
+                        start_ms: run.start_ms,
                     });
                     rec.absorb(run.sub);
                 }
@@ -516,7 +538,7 @@ impl Simulation {
                         );
                     }
                 }
-                (sink, Some(rec), profiles, total, errors)
+                (sink, Some(rec), profiles, total, errors, wall)
             }
             None if cfg.threads <= 1 => {
                 let (sink, stats) = run_sequential(
@@ -526,10 +548,17 @@ impl Simulation {
                     &population,
                     &mut NoopSubscriber,
                 );
-                (sink, None, Vec::new(), stats, Vec::new())
+                (
+                    sink,
+                    None,
+                    Vec::new(),
+                    stats,
+                    Vec::new(),
+                    EngineWall::default(),
+                )
             }
             None => {
-                let (sink, runs, errors) = run_sharded(
+                let (sink, runs, errors, _) = run_sharded(
                     cfg.threads,
                     &mut fleet,
                     runtimes,
@@ -538,6 +567,7 @@ impl Simulation {
                     &harness,
                     &coarse,
                     cfg.shard_deadline_ms,
+                    loop_started,
                     || NoopSubscriber,
                 );
                 let mut total = EngineStats::default();
@@ -545,7 +575,7 @@ impl Simulation {
                     total.events += run.stats.events;
                     total.peak_queue = total.peak_queue.max(run.stats.peak_queue);
                 }
-                (sink, None, Vec::new(), total, errors)
+                (sink, None, Vec::new(), total, errors, EngineWall::default())
             }
         };
 
@@ -579,9 +609,15 @@ impl Simulation {
             .collect();
         let merge_ms = merge_started.elapsed().as_secs_f64() * 1.0e3;
 
-        let (metrics, trace_lines) = match recorder {
-            Some(rec) => {
+        let (metrics, trace_lines, sim_spans, wall_trace) = match recorder {
+            Some(mut rec) => {
                 let want_trace = obs.map(|o| o.trace).unwrap_or(false);
+                let want_spans = obs.map(|o| o.spans).unwrap_or(false);
+                let sim_spans = want_spans.then(|| {
+                    let mut spans = rec.take_spans();
+                    canonicalize(&mut spans);
+                    spans
+                });
                 let (mut sim, lines) = rec.into_parts();
                 fold_cache_churn(&mut sim, &fleet);
                 let events = sim.events_processed.get();
@@ -601,14 +637,18 @@ impl Simulation {
                         0.0
                     },
                     peak_queue_depth: loop_stats.peak_queue as u64,
+                    scheduler: engine_wall.scheduler,
                     shards: shard_profiles,
                 };
+                let wall = build_wall_trace(&profile, &engine_wall);
                 (
                     Some(RunMetrics { sim, profile }),
                     if want_trace { Some(lines) } else { None },
+                    sim_spans,
+                    Some(wall),
                 )
             }
-            None => (None, None),
+            None => (None, None, None, None),
         };
 
         Ok(RunOutput {
@@ -618,6 +658,8 @@ impl Simulation {
             catalog,
             metrics,
             trace_lines,
+            sim_spans,
+            wall_trace,
             shard_errors,
         })
     }
@@ -808,8 +850,100 @@ struct ShardRun<S> {
     n_servers: usize,
     sessions: u64,
     wall_ms: f64,
+    /// Worker thread that ran the job (a steal lands it elsewhere than
+    /// the deal chose).
+    worker: usize,
+    /// Job start, ms after the event-loop epoch.
+    start_ms: f64,
     stats: EngineStats,
     sub: S,
+}
+
+/// Wall-clock engine observations from one sharded run — scheduler
+/// counters, the timestamped steal log, and watchdog heartbeat samples,
+/// all measured against the event-loop epoch passed to [`run_sharded`].
+/// Feeds [`RunProfile::scheduler`] and the `--trace-out` engine lanes;
+/// never the deterministic metrics.
+#[derive(Default)]
+struct EngineWall {
+    scheduler: SchedulerCounters,
+    steals: Vec<StealEvent>,
+    heartbeats: Vec<streamlab_supervisor::HeartbeatSample>,
+}
+
+/// Assemble the Chrome-trace wall-clock lanes for one observed run: a
+/// `run` lane with the setup / event loop / merge phases, one lane per
+/// worker carrying its shard jobs as complete events plus steal
+/// instants, and the watchdog's heartbeat samples as counter series.
+/// All timestamps are µs from setup start; shard/steal/heartbeat times
+/// are measured from the event-loop epoch, so they are shifted by
+/// `setup_ms` onto the shared timeline.
+fn build_wall_trace(profile: &RunProfile, wall: &EngineWall) -> WallTrace {
+    let us = |ms: f64| (ms.max(0.0) * 1.0e3) as u64;
+    let loop_us = |ms: f64| us(profile.setup_ms + ms);
+    let n_workers = profile
+        .shards
+        .iter()
+        .map(|s| s.worker + 1)
+        .chain(wall.steals.iter().map(|s| s.thief as u64 + 1))
+        .max()
+        .unwrap_or(0);
+    let run_lane = n_workers;
+    let mut t = WallTrace::default();
+    for w in 0..n_workers {
+        t.lanes.push((w, format!("worker {w}")));
+    }
+    t.lanes.push((run_lane, "run".to_owned()));
+    let mut phase_start = 0.0;
+    for (name, dur) in [
+        ("setup", profile.setup_ms),
+        ("event loop", profile.event_loop_ms),
+        ("merge", profile.merge_ms),
+    ] {
+        t.spans.push(WallSpan {
+            lane: run_lane,
+            name: name.to_owned(),
+            start_us: us(phase_start),
+            dur_us: us(phase_start + dur).saturating_sub(us(phase_start)),
+            args: Vec::new(),
+        });
+        phase_start += dur;
+    }
+    for s in &profile.shards {
+        let name = if s.servers == 1 {
+            format!("pop{}/srv{}", s.pop_index, s.first_server)
+        } else {
+            format!("pop{}", s.pop_index)
+        };
+        t.spans.push(WallSpan {
+            lane: s.worker,
+            name,
+            start_us: loop_us(s.start_ms),
+            dur_us: loop_us(s.start_ms + s.wall_ms).saturating_sub(loop_us(s.start_ms)),
+            args: vec![
+                ("shard".to_owned(), s.shard_index),
+                ("sessions".to_owned(), s.sessions),
+                ("events".to_owned(), s.events),
+                ("peak_queue".to_owned(), s.peak_queue_depth),
+            ],
+        });
+    }
+    for st in &wall.steals {
+        t.instants.push(WallInstant {
+            lane: st.thief as u64,
+            name: "steal".to_owned(),
+            at_us: loop_us(st.at_ms),
+            args: vec![("job".to_owned(), st.job as u64)],
+        });
+    }
+    for hb in &wall.heartbeats {
+        t.counters.push(WallCounter {
+            name: "heartbeat events".to_owned(),
+            at_us: loop_us(hb.at_ms),
+            series: vec![(format!("shard {}", hb.shard_index), hb.events)],
+        });
+    }
+    t
 }
 
 /// Fold the fleet's cache-churn counters into the metrics block, in
@@ -915,8 +1049,9 @@ fn run_sharded<S, F>(
     harness: &HarnessFaults,
     coarse: &[bool],
     deadline_ms: u64,
+    epoch: Instant,
     make_sub: F,
-) -> (TelemetrySink, Vec<ShardRun<S>>, Vec<ShardError>)
+) -> (TelemetrySink, Vec<ShardRun<S>>, Vec<ShardError>, EngineWall)
 where
     S: Subscriber + Send,
     F: Fn() -> S + Sync,
@@ -983,17 +1118,20 @@ where
     let slots: Vec<Mutex<Option<ShardResult<S>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
     let workers = threads.min(n_jobs).max(1);
     let queue = WorkQueue::deal(workers, &costs);
+    let heartbeat_log: Mutex<Vec<streamlab_supervisor::HeartbeatSample>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         // The watchdog joins on its own: workers mark their cell Done in
         // every outcome (completed, panicked, cancelled), and the
         // watchdog's loop exits once all cells are Done — so the scope
         // never deadlocks waiting for it.
         if deadline_ms > 0 {
-            let cells = &cells;
+            let (cells, heartbeat_log) = (&cells, &heartbeat_log);
             scope.spawn(move || {
-                watchdog::run(
+                watchdog::run_observed(
                     cells,
                     WatchdogConfig::with_deadline(Duration::from_millis(deadline_ms)),
+                    epoch,
+                    heartbeat_log,
                 );
             });
         }
@@ -1006,6 +1144,7 @@ where
                         continue;
                     };
                     let started = Instant::now();
+                    let start_ms = started.saturating_duration_since(epoch).as_secs_f64() * 1.0e3;
                     let n_sessions = sessions.len() as u64;
                     let pop_index = shard.pop_index();
                     let inject_panic = harness.panic_for(&shard);
@@ -1054,6 +1193,8 @@ where
                                 n_servers: shard.members().len(),
                                 sessions: n_sessions,
                                 wall_ms: started.elapsed().as_secs_f64() * 1.0e3,
+                                worker: w,
+                                start_ms,
                                 stats,
                                 sub,
                             };
@@ -1107,6 +1248,25 @@ where
                 .expect("every shard job is claimed and resolved exactly once")
         })
         .collect();
+    // Wall-clock flight recorder: the queue's steal log is timestamped
+    // against its own epoch (the deal, a hair after `epoch`), so shift it
+    // onto the caller's timeline before the queue drops.
+    let steal_shift_ms = queue.epoch().saturating_duration_since(epoch).as_secs_f64() * 1.0e3;
+    let engine_wall = EngineWall {
+        scheduler: queue.counters(),
+        steals: queue
+            .steal_events()
+            .into_iter()
+            .map(|mut s| {
+                s.at_ms += steal_shift_ms;
+                s
+            })
+            .collect(),
+        heartbeats: heartbeat_log
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner()),
+    };
+
     let (total_sessions, total_chunks) = results.iter().filter_map(|(_, ok, _)| ok.as_ref()).fold(
         (0usize, 0usize),
         |(ns, nc), (shard_sink, _)| {
@@ -1129,7 +1289,7 @@ where
         shards.push(shard);
     }
     fleet.merge_shards(shards);
-    (sink, runs, errors)
+    (sink, runs, errors, engine_wall)
 }
 
 /// Render a caught panic payload: strings pass through, anything else
@@ -1384,7 +1544,10 @@ mod tests {
         let mut cfg = SimulationConfig::tiny(11);
         cfg.threads = 2;
         let out = Simulation::new(cfg)
-            .run_observed(ObsOptions { trace: true })
+            .run_observed(ObsOptions {
+                trace: true,
+                spans: false,
+            })
             .expect("observed run");
         let m = out.metrics.as_ref().expect("metrics present");
         // Every session starts, ends, and shows up in the raw dataset.
@@ -1416,7 +1579,7 @@ mod tests {
             let mut cfg = SimulationConfig::tiny(42);
             cfg.threads = threads;
             Simulation::new(cfg)
-                .run_observed(ObsOptions { trace: false })
+                .run_observed(ObsOptions::default())
                 .expect("observed run")
                 .metrics
                 .expect("metrics present")
@@ -1460,7 +1623,7 @@ mod tests {
         cfg.threads = threads;
         cfg.faults = stress_scenario();
         Simulation::new(cfg)
-            .run_observed(ObsOptions { trace: false })
+            .run_observed(ObsOptions::default())
             .expect("faulted run")
     }
 
@@ -1780,7 +1943,7 @@ mod tests {
         let mut cfg = SimulationConfig::tiny(11);
         cfg.threads = 4;
         let out = Simulation::new(cfg)
-            .run_observed(ObsOptions { trace: false })
+            .run_observed(ObsOptions::default())
             .expect("observed run");
         let m = out.metrics.expect("metrics present");
         // Tiny = 20 servers over 10 PoPs, no failure faults: every shard
@@ -1808,7 +1971,7 @@ mod tests {
         cfg.threads = 4;
         cfg.faults = stress_scenario();
         let out = Simulation::new(cfg)
-            .run_observed(ObsOptions { trace: false })
+            .run_observed(ObsOptions::default())
             .expect("observed run");
         let m = out.metrics.expect("metrics present");
         // stress_scenario has a blackout, which can fail any session:
@@ -1824,7 +1987,7 @@ mod tests {
         )
         .expect("valid scenario");
         let out = Simulation::new(cfg)
-            .run_observed(ObsOptions { trace: false })
+            .run_observed(ObsOptions::default())
             .expect("observed run");
         let m = out.metrics.expect("metrics present");
         assert_eq!(m.profile.shards.len(), 19, "9 split PoPs + 1 coarse");
@@ -1845,7 +2008,7 @@ mod tests {
         cfg.traffic.sessions = 40;
         cfg.threads = 4;
         let out = Simulation::new(cfg)
-            .run_observed(ObsOptions { trace: false })
+            .run_observed(ObsOptions::default())
             .expect("observed run");
         let m = out.metrics.as_ref().expect("metrics present");
         assert!(

@@ -198,6 +198,7 @@ pub(super) fn step_chunk<P: ServerPool, S: Subscriber>(
                     &meta,
                     &SessionAborted {
                         attempts: attempts_this_chunk,
+                        reason,
                     },
                 );
                 sub.on_session_end(
@@ -362,6 +363,9 @@ pub(super) fn step_chunk<P: ServerPool, S: Subscriber>(
             bytes: size,
             segments: transfer.segments,
             serve: outcome.total(),
+            serve_offset: rtt0 / 2,
+            net_end: transfer.last_byte_at.duration_since(now),
+            stack: delivery.dds,
             first_byte: d_fb,
             download: d_lb,
         },

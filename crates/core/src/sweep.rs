@@ -306,7 +306,7 @@ fn run_checkpointed(
                 scope.spawn(move || {
                     let m = if audit {
                         let out = Simulation::new(cfg)
-                            .run_observed(ObsOptions { trace: false })
+                            .run_observed(ObsOptions::default())
                             .map_err(|e| format!("seed {seed}: {e}"))?;
                         let report = out.audit().expect("observed run has metrics");
                         if !report.is_clean() {

@@ -1,0 +1,278 @@
+//! The paper's problem-localization pass: attribute every impairment to
+//! exactly one component of the delivery chain.
+//!
+//! The paper instruments both ends of every chunk and then localizes each
+//! impairment to the CDN **server** (§4.1: `D_wait`/`D_open`/`D_read`,
+//! cache misses), the **network** path (§4.2: retransmissions, RTT,
+//! loss), the client **download stack** (§4.3: kernel/browser buffering
+//! delaying bytes the network already delivered), or the **rendering**
+//! path (§4.4: dropped frames). This module is the shared, deterministic
+//! classifier: the [`crate::MetricsRecorder`] applies it online per
+//! session (feeding the `loc_*` counters in
+//! [`crate::SimMetrics`]), and `crates/analysis` re-applies the same
+//! rules offline to the joined dataset for the localization table.
+//!
+//! Everything here is a pure function of sim-time integers, so the
+//! counters inherit the byte-identity-at-any-thread-count contract.
+
+use crate::event::FailReason;
+use serde::Serialize;
+
+/// Where a session's (or stall's) dominant problem lives — the paper's
+/// four-way taxonomy plus `Healthy` for unimpaired sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ProblemClass {
+    /// CDN server: serve latency (`D_wait + D_open + D_read`) dominates,
+    /// or the server/PoP was in an outage window.
+    Server,
+    /// Network path: transfer time (loss, RTT, retransmissions)
+    /// dominates, or the path was in a blackout window.
+    Network,
+    /// Client download stack: bytes sat in kernel/browser buffers after
+    /// the network delivered them (`D_DS`).
+    ClientStack,
+    /// Rendering path: playback was fine but frames were dropped.
+    Rendering,
+    /// No attributable impairment.
+    Healthy,
+}
+
+impl ProblemClass {
+    /// Stable lowercase label (metric/figure key).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProblemClass::Server => "server",
+            ProblemClass::Network => "network",
+            ProblemClass::ClientStack => "client_stack",
+            ProblemClass::Rendering => "rendering",
+            ProblemClass::Healthy => "healthy",
+        }
+    }
+}
+
+/// Dropped-frame fraction above which an otherwise-clean session is
+/// classified [`ProblemClass::Rendering`] (the paper's §4.4 treats drops
+/// as the rendering-path impairment signal).
+pub const RENDER_DROP_THRESHOLD: f64 = 0.10;
+
+/// Where one chunk's end-to-end time went, in sim-time nanoseconds. The
+/// three shares partition `D_FB + D_LB` (uplink propagation rides with
+/// the network share).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkBreakdown {
+    /// Server-side serve time (`D_wait + D_open + D_read`).
+    pub server_ns: u64,
+    /// Network transfer time (propagation, loss recovery, pacing).
+    pub network_ns: u64,
+    /// Download-stack residence time (`D_DS`).
+    pub stack_ns: u64,
+}
+
+impl ChunkBreakdown {
+    /// Split a chunk's total delivery time (`D_FB + D_LB`) into the
+    /// three shares, giving the network the remainder once the measured
+    /// server and stack times are taken out (saturating: modeling noise
+    /// can make the parts exceed the whole by a rounding hair).
+    pub fn from_phases(total_ns: u64, server_ns: u64, stack_ns: u64) -> ChunkBreakdown {
+        ChunkBreakdown {
+            server_ns,
+            network_ns: total_ns.saturating_sub(server_ns).saturating_sub(stack_ns),
+            stack_ns,
+        }
+    }
+
+    /// The component that ate the most time. Ties break in fixed
+    /// `Server > Network > ClientStack` order so attribution is
+    /// deterministic (an all-zero breakdown reads as `Server`).
+    pub fn dominant(&self) -> ProblemClass {
+        if self.server_ns >= self.network_ns && self.server_ns >= self.stack_ns {
+            ProblemClass::Server
+        } else if self.network_ns >= self.stack_ns {
+            ProblemClass::Network
+        } else {
+            ProblemClass::ClientStack
+        }
+    }
+}
+
+/// Which component an aborted session's terminal failure implicates:
+/// outages are a server-side fault, blackouts a network fault.
+pub fn classify_abort(reason: FailReason) -> ProblemClass {
+    match reason {
+        FailReason::Outage => ProblemClass::Server,
+        FailReason::Blackout => ProblemClass::Network,
+    }
+}
+
+/// Per-class rebuffer attribution counts for one session.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RebufferShares {
+    /// Stalls whose chunk was dominated by server-side latency.
+    pub server: u64,
+    /// Stalls whose chunk was dominated by the network transfer.
+    pub network: u64,
+    /// Stalls whose chunk was dominated by download-stack buffering.
+    pub stack: u64,
+}
+
+impl RebufferShares {
+    /// Total attributed stalls.
+    pub fn total(&self) -> u64 {
+        self.server + self.network + self.stack
+    }
+
+    /// Attribute `count` more stalls to `class` (rendering/healthy never
+    /// cause a stall, so they fold into the deterministic `Server`
+    /// fallback — unreachable from [`ChunkBreakdown::dominant`]).
+    pub fn add(&mut self, class: ProblemClass, count: u64) {
+        match class {
+            ProblemClass::Network => self.network += count,
+            ProblemClass::ClientStack => self.stack += count,
+            _ => self.server += count,
+        }
+    }
+
+    /// The class with the most attributed stalls, `None` when the
+    /// session never stalled. Ties break `Server > Network > ClientStack`.
+    pub fn dominant(&self) -> Option<ProblemClass> {
+        if self.total() == 0 {
+            return None;
+        }
+        Some(
+            if self.server >= self.network && self.server >= self.stack {
+                ProblemClass::Server
+            } else if self.network >= self.stack {
+                ProblemClass::Network
+            } else {
+                ProblemClass::ClientStack
+            },
+        )
+    }
+}
+
+/// The deterministic per-session diagnosis rule, in precedence order:
+///
+/// 1. an aborted session is classified by its terminal failure;
+/// 2. a session that rebuffered is classified by where the majority of
+///    its stalls were attributed;
+/// 3. a session that dropped more than [`RENDER_DROP_THRESHOLD`] of its
+///    frames is a rendering problem;
+/// 4. anything else is healthy.
+pub fn classify_session(
+    rebuffers: &RebufferShares,
+    abort: Option<ProblemClass>,
+    frames: u64,
+    dropped: u64,
+) -> ProblemClass {
+    if let Some(class) = abort {
+        return class;
+    }
+    if let Some(class) = rebuffers.dominant() {
+        return class;
+    }
+    if frames > 0 && dropped as f64 > RENDER_DROP_THRESHOLD * frames as f64 {
+        return ProblemClass::Rendering;
+    }
+    ProblemClass::Healthy
+}
+
+/// Rolling localization state for one in-flight session, kept by the
+/// recorder from `SessionStart` to `SessionEnd`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionLens {
+    /// Session arrival, sim-time nanoseconds (for the session span).
+    pub start_ns: u64,
+    /// Chunks served so far (the next chunk's index).
+    pub chunks: u32,
+    /// Breakdown of the most recent chunk — the one a following `Stall`
+    /// event is attributed to.
+    pub last: ChunkBreakdown,
+    /// Per-class stall attribution so far.
+    pub rebuffers: RebufferShares,
+    /// Frames carried by rendered chunks.
+    pub frames: u64,
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Terminal-failure class, set when the session aborts.
+    pub abort: Option<ProblemClass>,
+}
+
+impl SessionLens {
+    /// Final diagnosis for the session ([`classify_session`]).
+    pub fn diagnose(&self) -> ProblemClass {
+        classify_session(&self.rebuffers, self.abort, self.frames, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_splits_and_ties_deterministically() {
+        let b = ChunkBreakdown::from_phases(100, 30, 20);
+        assert_eq!(b.network_ns, 50);
+        assert_eq!(b.dominant(), ProblemClass::Network);
+        // Exact tie: fixed priority keeps attribution deterministic.
+        let tie = ChunkBreakdown {
+            server_ns: 5,
+            network_ns: 5,
+            stack_ns: 5,
+        };
+        assert_eq!(tie.dominant(), ProblemClass::Server);
+        // Parts exceeding the whole saturate instead of wrapping.
+        assert_eq!(ChunkBreakdown::from_phases(10, 8, 8).network_ns, 0);
+    }
+
+    #[test]
+    fn stack_dominated_chunks_blame_the_download_stack() {
+        let b = ChunkBreakdown::from_phases(100, 10, 80);
+        assert_eq!(b.dominant(), ProblemClass::ClientStack);
+    }
+
+    #[test]
+    fn session_rule_precedence() {
+        let mut shares = RebufferShares::default();
+        shares.add(ProblemClass::Network, 3);
+        shares.add(ProblemClass::Server, 1);
+        // Abort outranks stalls.
+        assert_eq!(
+            classify_session(&shares, Some(ProblemClass::Server), 100, 0),
+            ProblemClass::Server
+        );
+        // Stalls outrank drops.
+        assert_eq!(
+            classify_session(&shares, None, 100, 90),
+            ProblemClass::Network
+        );
+        // Drops above threshold mark the rendering path...
+        assert_eq!(
+            classify_session(&RebufferShares::default(), None, 100, 11),
+            ProblemClass::Rendering
+        );
+        // ...and a clean session is healthy.
+        assert_eq!(
+            classify_session(&RebufferShares::default(), None, 100, 10),
+            ProblemClass::Healthy
+        );
+    }
+
+    #[test]
+    fn abort_reasons_map_onto_the_taxonomy() {
+        assert_eq!(classify_abort(FailReason::Outage), ProblemClass::Server);
+        assert_eq!(classify_abort(FailReason::Blackout), ProblemClass::Network);
+    }
+
+    #[test]
+    fn lens_accumulates_and_diagnoses() {
+        let mut lens = SessionLens {
+            last: ChunkBreakdown::from_phases(100, 70, 10),
+            ..Default::default()
+        };
+        lens.rebuffers.add(lens.last.dominant(), 2);
+        lens.frames = 500;
+        lens.dropped = 4;
+        assert_eq!(lens.diagnose(), ProblemClass::Server);
+        assert_eq!(lens.rebuffers.total(), 2);
+    }
+}

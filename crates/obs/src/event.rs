@@ -126,7 +126,13 @@ pub struct ChunkRendered {
 }
 
 /// A chunk was served end to end (the orchestrator-level roll-up feeding
-/// the latency histograms).
+/// the latency histograms, the sim-time spans and the localization pass).
+///
+/// The offsets are measured from the event's `meta.at` (the chunk
+/// request time) and carve the chunk's `first_byte + download` total
+/// into the span phases: `[serve_offset, serve_offset + serve]` is the
+/// server-side serve, `[serve_offset + serve, net_end]` the TCP
+/// transfer, `[net_end, first_byte + download]` the client tail.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct ChunkServed {
     /// Chunk size, bytes.
@@ -139,6 +145,14 @@ pub struct ChunkServed {
     pub first_byte: SimDuration,
     /// Player first byte to last byte (`D_LB`).
     pub download: SimDuration,
+    /// Request to the request's arrival at the server (uplink
+    /// propagation, half of rtt₀).
+    pub serve_offset: SimDuration,
+    /// Request to the last byte leaving the network (TCP transfer end,
+    /// before download-stack buffering).
+    pub net_end: SimDuration,
+    /// Time the chunk's bytes sat in the client download stack (`D_DS`).
+    pub stack: SimDuration,
 }
 
 /// Why an injected fault rejected a chunk request.
@@ -199,6 +213,9 @@ pub struct AbrEmergency {
 pub struct SessionAborted {
     /// Failed attempts the final chunk burned.
     pub attempts: u32,
+    /// The terminal failure's cause — what the localization pass blames
+    /// the abort on.
+    pub reason: FailReason,
 }
 
 /// A fleet shard was cancelled by the run watchdog: its sim-time sat

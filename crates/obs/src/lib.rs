@@ -24,8 +24,21 @@
 //!   and event-loop throughput. Wall-clock readings never appear anywhere
 //!   else.
 //! * [`recorder`] — [`MetricsRecorder`], the built-in subscriber that
-//!   folds events into [`SimMetrics`] and optionally buffers a JSONL
-//!   structured trace.
+//!   folds events into [`SimMetrics`], optionally buffers a JSONL
+//!   structured trace and sim-time spans, and runs the localization pass
+//!   online.
+//! * [`span`] — deterministic sim-time [`SimSpan`]s (`session → chunk →
+//!   {cache_lookup, net_transfer, render}`), canonicalized so the stream
+//!   is byte-identical at any thread count.
+//! * [`trace_writer`] — Chrome Trace Event Format export for
+//!   `--trace-out`: sim-time span lanes plus wall-clock [`WallTrace`]
+//!   engine lanes, loadable in Perfetto.
+//! * [`diagnose`] — the paper's problem-localization taxonomy
+//!   ([`ProblemClass`]): every rebuffer, abort and session attributed to
+//!   the CDN server, the network path, the client download stack or the
+//!   rendering path.
+//! * [`openmetrics`] — OpenMetrics text exposition of the metrics
+//!   (`--metrics-format openmetrics`).
 //! * [`heartbeat`] — [`ProgressCell`], a lock-free per-shard liveness
 //!   slot (events popped, current sim-time, cancel flag) that the run
 //!   supervisor's watchdog polls to detect stalled shards.
@@ -33,12 +46,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod diagnose;
 pub mod event;
 pub mod heartbeat;
 pub mod metrics;
+pub mod openmetrics;
 pub mod profile;
 pub mod recorder;
+pub mod span;
+pub mod trace_writer;
 
+pub use diagnose::{
+    classify_abort, classify_session, ChunkBreakdown, ProblemClass, RebufferShares, SessionLens,
+};
 pub use event::{
     AbrEmergency, CacheLookup, CacheTier, ChunkRendered, ChunkServed, CwndReset, FailReason,
     Failover, Meta, NoopSubscriber, RequestFailed, ResetReason, Retransmit, RetryTimerFired,
@@ -47,5 +67,9 @@ pub use event::{
 };
 pub use heartbeat::{ProgressCell, ProgressSnapshot, ShardState};
 pub use metrics::{Counter, Gauge, LogLinearHistogram, SimMetrics};
-pub use profile::{RunMetrics, RunProfile, ShardProfile};
+pub use profile::{RunMetrics, RunProfile, SchedulerCounters, ShardProfile};
 pub use recorder::MetricsRecorder;
+pub use span::{canonicalize, SimSpan, SpanKind};
+pub use trace_writer::{
+    render_chrome_trace, WallCounter, WallInstant, WallSpan, WallTrace, SIM_PID, WALL_PID,
+};

@@ -305,6 +305,32 @@ pub struct SimMetrics {
     pub abr_emergency_switches: Counter,
     /// Sessions aborted after exhausting their per-chunk retry budget.
     pub sessions_aborted: Counter,
+    /// Rebuffers localized to the CDN server (serve latency dominated the
+    /// stalled chunk). The three `loc_rebuffers_*` counters partition
+    /// `stall_events` (audited invariant).
+    pub loc_rebuffers_server: Counter,
+    /// Rebuffers localized to the network path (transfer time dominated).
+    pub loc_rebuffers_network: Counter,
+    /// Rebuffers localized to the client download stack (`D_DS`
+    /// buffering dominated).
+    pub loc_rebuffers_stack: Counter,
+    /// Session aborts whose terminal failure was a server/PoP outage.
+    /// With `loc_aborts_network` this partitions `sessions_aborted`.
+    pub loc_aborts_server: Counter,
+    /// Session aborts whose terminal failure was a network blackout.
+    pub loc_aborts_network: Counter,
+    /// Sessions whose final diagnosis was the CDN server. The five
+    /// `loc_sessions_*` counters partition `sessions_ended`.
+    pub loc_sessions_server: Counter,
+    /// Sessions whose final diagnosis was the network path.
+    pub loc_sessions_network: Counter,
+    /// Sessions whose final diagnosis was the client download stack.
+    pub loc_sessions_stack: Counter,
+    /// Sessions whose final diagnosis was the rendering path (dropped
+    /// frames without stalls or aborts).
+    pub loc_sessions_rendering: Counter,
+    /// Sessions that finished without an attributable impairment.
+    pub loc_sessions_healthy: Counter,
     /// Total server-side serve latency per chunk, nanoseconds.
     pub serve_latency_ns: LogLinearHistogram,
     /// Request → player first byte (`D_FB`) per chunk, nanoseconds.
@@ -358,6 +384,18 @@ impl SimMetrics {
         self.abr_emergency_switches
             .merge(other.abr_emergency_switches);
         self.sessions_aborted.merge(other.sessions_aborted);
+        self.loc_rebuffers_server.merge(other.loc_rebuffers_server);
+        self.loc_rebuffers_network
+            .merge(other.loc_rebuffers_network);
+        self.loc_rebuffers_stack.merge(other.loc_rebuffers_stack);
+        self.loc_aborts_server.merge(other.loc_aborts_server);
+        self.loc_aborts_network.merge(other.loc_aborts_network);
+        self.loc_sessions_server.merge(other.loc_sessions_server);
+        self.loc_sessions_network.merge(other.loc_sessions_network);
+        self.loc_sessions_stack.merge(other.loc_sessions_stack);
+        self.loc_sessions_rendering
+            .merge(other.loc_sessions_rendering);
+        self.loc_sessions_healthy.merge(other.loc_sessions_healthy);
         self.serve_latency_ns.merge(&other.serve_latency_ns);
         self.first_byte_ns.merge(&other.first_byte_ns);
         self.download_ns.merge(&other.download_ns);
@@ -401,6 +439,30 @@ impl SimMetrics {
         } else {
             self.retry_timer_fires.get() as f64 / serves as f64
         }
+    }
+
+    /// Sum of the per-class rebuffer localization counters; the auditor
+    /// checks it equals `stall_events`.
+    pub fn loc_rebuffers_total(&self) -> u64 {
+        self.loc_rebuffers_server.get()
+            + self.loc_rebuffers_network.get()
+            + self.loc_rebuffers_stack.get()
+    }
+
+    /// Sum of the per-class abort localization counters; the auditor
+    /// checks it equals `sessions_aborted`.
+    pub fn loc_aborts_total(&self) -> u64 {
+        self.loc_aborts_server.get() + self.loc_aborts_network.get()
+    }
+
+    /// Sum of the per-class session diagnoses; the auditor checks it
+    /// equals `sessions_ended`.
+    pub fn loc_sessions_total(&self) -> u64 {
+        self.loc_sessions_server.get()
+            + self.loc_sessions_network.get()
+            + self.loc_sessions_stack.get()
+            + self.loc_sessions_rendering.get()
+            + self.loc_sessions_healthy.get()
     }
 
     /// Total injected-fault / resilience activity; zero for an unfaulted

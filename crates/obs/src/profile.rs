@@ -32,6 +32,28 @@ pub struct ShardProfile {
     pub peak_queue_depth: u64,
     /// Wall time the shard's event loop took, milliseconds.
     pub wall_ms: f64,
+    /// Worker thread that ran the shard job (a steal lands a job on a
+    /// different worker than the deal chose).
+    pub worker: u64,
+    /// Job start, milliseconds after the engine's event-loop epoch — with
+    /// `wall_ms` this places the job on its worker's trace lane.
+    pub start_ms: f64,
+}
+
+/// Work-stealing queue counters for one run: how jobs moved between
+/// workers. Timing-dependent (steals happen when a worker goes idle
+/// first), so these live on the wall-clock side, never in
+/// [`SimMetrics`].
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SchedulerCounters {
+    /// Jobs dealt across the worker deques (the LPT assignment size).
+    pub jobs_dealt: u64,
+    /// Jobs a worker popped from its own deque.
+    pub owner_pops: u64,
+    /// Jobs stolen from another worker's deque.
+    pub steals: u64,
+    /// Steal scans that found every deque empty.
+    pub steal_failures: u64,
 }
 
 /// Wall-clock profile of one run: where the time went.
@@ -53,6 +75,9 @@ pub struct RunProfile {
     /// Peak pending-event count (global queue for the sequential engine;
     /// maximum over shards for the sharded engine).
     pub peak_queue_depth: u64,
+    /// Work-stealing scheduler counters (all zero for the sequential
+    /// engine, which has no job queue).
+    pub scheduler: SchedulerCounters,
     /// Per-shard breakdown (empty for the sequential engine).
     pub shards: Vec<ShardProfile>,
 }
@@ -69,8 +94,15 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
-    /// The compact end-of-run summary every `streamlab run` prints.
+    /// The compact end-of-run summary every `streamlab run` prints,
+    /// showing the 8 slowest shards ([`RunMetrics::summary_with`]).
     pub fn summary(&self) -> String {
+        self.summary_with(8)
+    }
+
+    /// The end-of-run summary with the shard breakdown capped at `shown`
+    /// shards (`0` = show all) — the `--summary-shards` knob.
+    pub fn summary_with(&self, shown: usize) -> String {
         let s = &self.sim;
         let p = &self.profile;
         let ns_ms = |q: Option<u64>| q.map(|v| v as f64 / 1.0e6).unwrap_or(0.0);
@@ -129,11 +161,24 @@ impl RunMetrics {
                 s.sessions_aborted.get(),
             ));
         }
+        if s.loc_sessions_total() > 0 {
+            out.push_str(&format!(
+                "localization: sessions {} server / {} network / {} stack / {} rendering / {} healthy; rebuffers {}s/{}n/{}c\n",
+                s.loc_sessions_server.get(),
+                s.loc_sessions_network.get(),
+                s.loc_sessions_stack.get(),
+                s.loc_sessions_rendering.get(),
+                s.loc_sessions_healthy.get(),
+                s.loc_rebuffers_server.get(),
+                s.loc_rebuffers_network.get(),
+                s.loc_rebuffers_stack.get(),
+            ));
+        }
         if !p.shards.is_empty() {
             // Per-server sharding yields dozens of shards; print the
             // slowest few (the ones that bound wall time) and summarize
-            // the rest.
-            const SHOWN: usize = 8;
+            // the rest. `shown == 0` lifts the cap.
+            let shown = if shown == 0 { p.shards.len() } else { shown };
             let mut by_wall: Vec<&ShardProfile> = p.shards.iter().collect();
             by_wall.sort_by(|a, b| {
                 b.wall_ms
@@ -141,7 +186,7 @@ impl RunMetrics {
                     .then(a.shard_index.cmp(&b.shard_index))
             });
             out.push_str("shards:");
-            for sh in by_wall.iter().take(SHOWN) {
+            for sh in by_wall.iter().take(shown) {
                 if sh.servers == 1 {
                     out.push_str(&format!(
                         " pop{}/srv{} {:.0}ms/{}ev",
@@ -154,8 +199,8 @@ impl RunMetrics {
                     ));
                 }
             }
-            if by_wall.len() > SHOWN {
-                out.push_str(&format!(" (+{} more)", by_wall.len() - SHOWN));
+            if by_wall.len() > shown {
+                out.push_str(&format!(" (+{} more)", by_wall.len() - shown));
             }
             out.push('\n');
         }
@@ -184,6 +229,12 @@ mod tests {
                 merge_ms: 8.0,
                 events_per_sec: 14_705.0,
                 peak_queue_depth: 77,
+                scheduler: SchedulerCounters {
+                    jobs_dealt: 2,
+                    owner_pops: 1,
+                    steals: 1,
+                    steal_failures: 3,
+                },
                 shards: vec![
                     ShardProfile {
                         shard_index: 0,
@@ -194,6 +245,8 @@ mod tests {
                         events: 5000,
                         peak_queue_depth: 77,
                         wall_ms: 340.0,
+                        worker: 0,
+                        start_ms: 0.0,
                     },
                     ShardProfile {
                         shard_index: 1,
@@ -204,6 +257,8 @@ mod tests {
                         events: 900,
                         peak_queue_depth: 9,
                         wall_ms: 40.0,
+                        worker: 1,
+                        start_ms: 2.5,
                     },
                 ],
             },
@@ -228,6 +283,8 @@ mod tests {
                 events: 100,
                 peak_queue_depth: 3,
                 wall_ms: i as f64,
+                worker: i % 4,
+                start_ms: 0.0,
             })
             .collect();
         let m = RunMetrics {
@@ -240,6 +297,7 @@ mod tests {
                 merge_ms: 3.0,
                 events_per_sec: 0.0,
                 peak_queue_depth: 3,
+                scheduler: SchedulerCounters::default(),
                 shards,
             },
         };
@@ -262,6 +320,7 @@ mod tests {
                 merge_ms: 3.0,
                 events_per_sec: 0.0,
                 peak_queue_depth: 0,
+                scheduler: SchedulerCounters::default(),
                 shards: Vec::new(),
             },
         };

@@ -204,6 +204,25 @@ pub fn audit(m: &SimMetrics, facts: &DatasetFacts) -> AuditReport {
         ("events_processed", m.events_processed.get()),
     );
 
+    // Localization partition: the problem-localization pass must
+    // attribute every rebuffer, abort and ended session to exactly one
+    // problem class — no double counting, nothing unclassified.
+    r.check_eq(
+        "localization_rebuffer_partition",
+        ("loc_rebuffers_* total", m.loc_rebuffers_total()),
+        ("stall_events", m.stall_events.get()),
+    );
+    r.check_eq(
+        "localization_abort_partition",
+        ("loc_aborts_* total", m.loc_aborts_total()),
+        ("sessions_aborted", m.sessions_aborted.get()),
+    );
+    r.check_eq(
+        "localization_session_partition",
+        ("loc_sessions_* total", m.loc_sessions_total()),
+        ("sessions_ended", m.sessions_ended.get()),
+    );
+
     // Sim-time structure of the joined dataset.
     r.check(
         "monotone_session_time",
@@ -256,6 +275,11 @@ mod tests {
         m.frames_dropped.add(3);
         m.events_processed.add(500);
         m.request_retries.add(2);
+        m.stall_events.add(2);
+        m.loc_rebuffers_network.add(1);
+        m.loc_rebuffers_server.add(1);
+        m.loc_sessions_healthy.add(3);
+        m.loc_sessions_network.add(1);
         for _ in 0..10 {
             m.serve_latency_ns.record(5_000_000);
             m.first_byte_ns.record(40_000_000);
@@ -318,6 +342,27 @@ mod tests {
         assert!(report.violations[0].detail.contains("17"));
         // Long offender lists are truncated.
         assert!(!report.violations[1].detail.contains("19"));
+    }
+
+    #[test]
+    fn unattributed_rebuffer_is_caught() {
+        let (mut m, facts) = consistent();
+        m.stall_events.add(1); // a stall the localization pass never classified
+        let report = audit(&m, &facts);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(
+            report.violations[0].invariant,
+            "localization_rebuffer_partition"
+        );
+    }
+
+    #[test]
+    fn double_counted_session_class_is_caught() {
+        let (mut m, facts) = consistent();
+        m.loc_sessions_server.add(1); // same session classified twice
+        let report = audit(&m, &facts);
+        let names: Vec<_> = report.violations.iter().map(|v| v.invariant).collect();
+        assert_eq!(names, vec!["localization_session_partition"]);
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub use atomic::{atomic_write, atomic_write_with};
 pub use audit::{AuditReport, AuditViolation, DatasetFacts};
 pub use checkpoint::{Manifest, RunDir, FORMAT_VERSION};
 pub use fingerprint::{fingerprint_config, fnv1a64};
-pub use watchdog::{StallReport, WatchdogConfig};
+pub use watchdog::{HeartbeatSample, StallReport, WatchdogConfig};

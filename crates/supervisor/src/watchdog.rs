@@ -19,9 +19,25 @@
 //! report the stall, but the engine only regains control when the thread
 //! next reaches an event-pop boundary.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use streamlab_obs::{ProgressCell, ShardState};
+
+/// One heartbeat observation: a `Running` shard's progress as seen at a
+/// watchdog poll tick. Wall-clock data — the engine turns these into
+/// Chrome-trace counter events (`--trace-out`), never into the
+/// deterministic metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatSample {
+    /// Poll time, milliseconds after the epoch passed to [`run_observed`].
+    pub at_ms: f64,
+    /// Canonical shard index the sample describes.
+    pub shard_index: usize,
+    /// Events the shard had popped at the tick.
+    pub events: u64,
+    /// Sim-time (ns) the shard had reached at the tick.
+    pub sim_ns: u64,
+}
 
 /// Watchdog tuning.
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +87,27 @@ struct Watch {
 /// (caught), or cancellation — so the scope never deadlocks joining it.
 /// Returns the stalls in shard-index order.
 pub fn run(cells: &[(usize, Arc<ProgressCell>)], cfg: WatchdogConfig) -> Vec<StallReport> {
+    run_impl(cells, cfg, None)
+}
+
+/// [`run`], but every poll tick also appends one [`HeartbeatSample`] per
+/// `Running` shard to `log`, timestamped against `epoch`. The log is a
+/// shared `Mutex` because the watchdog runs on its own thread inside the
+/// engine's worker scope; the engine drains it after the scope joins.
+pub fn run_observed(
+    cells: &[(usize, Arc<ProgressCell>)],
+    cfg: WatchdogConfig,
+    epoch: Instant,
+    log: &Mutex<Vec<HeartbeatSample>>,
+) -> Vec<StallReport> {
+    run_impl(cells, cfg, Some((epoch, log)))
+}
+
+fn run_impl(
+    cells: &[(usize, Arc<ProgressCell>)],
+    cfg: WatchdogConfig,
+    observer: Option<(Instant, &Mutex<Vec<HeartbeatSample>>)>,
+) -> Vec<StallReport> {
     let start = Instant::now();
     let mut watches: Vec<Watch> = cells
         .iter()
@@ -87,8 +124,17 @@ pub fn run(cells: &[(usize, Arc<ProgressCell>)], cfg: WatchdogConfig) -> Vec<Sta
     loop {
         let now = Instant::now();
         let mut all_done = true;
+        let mut tick_samples: Vec<HeartbeatSample> = Vec::new();
         for w in &mut watches {
             let snap = w.cell.snapshot();
+            if let (Some((epoch, _)), ShardState::Running) = (observer, snap.state) {
+                tick_samples.push(HeartbeatSample {
+                    at_ms: now.saturating_duration_since(epoch).as_secs_f64() * 1.0e3,
+                    shard_index: w.shard_index,
+                    events: snap.events,
+                    sim_ns: snap.sim_ns,
+                });
+            }
             match snap.state {
                 ShardState::Done => continue,
                 ShardState::Pending => {
@@ -114,6 +160,11 @@ pub fn run(cells: &[(usize, Arc<ProgressCell>)], cfg: WatchdogConfig) -> Vec<Sta
                     }
                 }
             }
+        }
+        if let (Some((_, log)), false) = (observer, tick_samples.is_empty()) {
+            log.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .extend(tick_samples);
         }
         if all_done {
             break;
@@ -174,6 +225,44 @@ mod tests {
             "healthy shard reported stalled: {stalls:?}"
         );
         assert!(!cell.cancelled());
+    }
+
+    #[test]
+    fn observed_run_logs_heartbeats_for_running_shards() {
+        let cell = Arc::new(ProgressCell::new());
+        let cells = vec![(7usize, cell.clone())];
+        let stop = Arc::new(AtomicBool::new(false));
+        let beater = {
+            let (cell, stop) = (cell.clone(), stop.clone());
+            std::thread::spawn(move || {
+                cell.start();
+                let mut t = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    t += 1;
+                    cell.beat(t, t * 1_000);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                cell.finish();
+            })
+        };
+        let log = Mutex::new(Vec::new());
+        let epoch = Instant::now();
+        let stalls = {
+            let stop = stop.clone();
+            std::thread::scope(|s| {
+                let log = &log;
+                let h = s.spawn(move || run_observed(&cells, fast_cfg(), epoch, log));
+                std::thread::sleep(Duration::from_millis(100));
+                stop.store(true, Ordering::Relaxed);
+                h.join().unwrap()
+            })
+        };
+        beater.join().unwrap();
+        assert!(stalls.is_empty());
+        let samples = log.into_inner().unwrap();
+        assert!(!samples.is_empty(), "no heartbeats logged");
+        assert!(samples.iter().all(|s| s.shard_index == 7));
+        assert!(samples.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
     }
 
     #[test]

@@ -21,7 +21,7 @@ fn run_metrics_serialized(seed: u64, threads: usize) -> String {
     let mut cfg = SimulationConfig::tiny(seed);
     cfg.threads = threads;
     let out = Simulation::new(cfg)
-        .run_observed(ObsOptions { trace: false })
+        .run_observed(ObsOptions::default())
         .expect("run");
     let metrics = out.metrics.expect("observed run must carry metrics");
     serde_json::to_string(&metrics.sim).expect("serialize sim metrics")
@@ -87,7 +87,7 @@ fn faulted_config(seed: u64, threads: usize) -> SimulationConfig {
 
 fn run_faulted_serialized(seed: u64, threads: usize) -> (String, String, String) {
     let out = Simulation::new(faulted_config(seed, threads))
-        .run_observed(ObsOptions { trace: false })
+        .run_observed(ObsOptions::default())
         .expect("faulted run");
     let dataset = serde_json::to_string(&out.dataset).expect("serialize dataset");
     let servers = serde_json::to_string(&out.servers).expect("serialize servers");

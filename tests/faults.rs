@@ -17,7 +17,7 @@ fn run_with(scenario: FaultScenario, seed: u64, threads: usize) -> RunOutput {
     cfg.threads = threads;
     cfg.faults = scenario;
     Simulation::new(cfg)
-        .run_observed(ObsOptions { trace: false })
+        .run_observed(ObsOptions::default())
         .expect("faulted run completes")
 }
 

@@ -24,7 +24,7 @@ fn proxyless_tiny(seed: u64) -> SimulationConfig {
 #[test]
 fn metrics_agree_with_dataset_and_server_reports() {
     let out = Simulation::new(proxyless_tiny(11))
-        .run_observed(ObsOptions { trace: false })
+        .run_observed(ObsOptions::default())
         .expect("run");
     let m = &out.metrics.as_ref().expect("metrics").sim;
 
