@@ -1,0 +1,168 @@
+//! Job-daemon saturation: how fast the serve pool turns queued jobs into
+//! durable summaries when the work itself is nearly free.
+//!
+//! The runner here is a stub whose seeds cost microseconds, so the
+//! numbers isolate the service overhead — admission, the priority queue,
+//! the per-transition manifest writes, the per-seed checkpoint records,
+//! and the final summary write. That overhead is the floor under every
+//! served sweep: a real job pays it on top of its simulation time, and a
+//! fleet operator sizing `--workers`/`--queue-depth` wants to know when
+//! the bookkeeping (all of it fsync-adjacent disk I/O) saturates before
+//! the simulator does.
+//!
+//! Two groups:
+//!
+//! * `service/drain` — submit a burst of N tiny jobs and wait for the
+//!   queue to drain; jobs/sec at 1 and 4 workers shows how much of the
+//!   pipeline serializes on the shared queue and the state directory.
+//! * `service/recover` — restart-path cost: `Registry::recover` over a
+//!   state directory holding N persisted manifests, which bounds how fast
+//!   a killed daemon gets back to serving.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use streamlab::service::{
+    AdmissionConfig, AdmissionController, JobCost, JobError, JobManifest, JobRunner, JobSpec, Pool,
+    Registry, SeedContext, SubmitOutcome,
+};
+
+static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("streamlab-bench-serve-{}-{n}", std::process::id()))
+}
+
+/// The free-work runner: all that remains is the service's own cost.
+struct NoopRunner;
+
+impl JobRunner for NoopRunner {
+    fn prepare(&self, spec: &JobSpec) -> Result<JobCost, JobError> {
+        Ok(JobCost {
+            sessions: spec.seeds.len() as u64,
+            threads: 1,
+        })
+    }
+
+    fn run_seed(
+        &self,
+        _spec: &JobSpec,
+        seed: u64,
+        _ctx: &SeedContext<'_>,
+    ) -> Result<Value, JobError> {
+        Ok(json!({ "seed": seed }))
+    }
+
+    fn summarize(&self, _spec: &JobSpec, per_seed: &[(u64, Value)]) -> Result<String, JobError> {
+        Ok(json!({ "seeds": per_seed.len() as u64 }).to_json_pretty() + "\n")
+    }
+}
+
+fn spec(tag: u64) -> JobSpec {
+    JobSpec {
+        label: format!("bench job {tag}"),
+        kind: "noop".into(),
+        config: json!({ "tag": tag }),
+        seeds: vec![tag, tag + 1],
+        threads: 1,
+        priority: 0,
+        audit: false,
+    }
+}
+
+/// Submit `jobs` specs into a fresh pool and block until every one is
+/// terminal; returns once the last summary hit disk.
+fn drain(workers: usize, jobs: u64) {
+    let root = scratch();
+    let pool = Pool::start(
+        Registry::open(&root).expect("open registry"),
+        Arc::new(NoopRunner),
+        AdmissionController {
+            config: AdmissionConfig {
+                max_queue_depth: jobs as usize + 1,
+                ..AdmissionConfig::default()
+            },
+        },
+        workers,
+        None,
+    );
+    let mut ids = Vec::with_capacity(jobs as usize);
+    for tag in 0..jobs {
+        match pool.submit(spec(tag)) {
+            SubmitOutcome::Accepted { id, .. } => ids.push(id),
+            other => panic!("bench submission rejected: {other:?}"),
+        }
+    }
+    for id in &ids {
+        loop {
+            let state = pool
+                .job(id)
+                .expect("job exists")
+                .status()
+                .get("state")
+                .and_then(|s| s.as_str().map(str::to_owned))
+                .expect("status has a state");
+            if state == "Done" {
+                break;
+            }
+            assert!(
+                state == "Queued" || state == "Running",
+                "bench job {id} ended {state}"
+            );
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A state directory pre-populated with `jobs` persisted manifests,
+/// ready for a recovery pass.
+fn seeded_state(jobs: u64) -> PathBuf {
+    let root = scratch();
+    let registry = Registry::open(&root).expect("open registry");
+    for tag in 0..jobs {
+        let id = format!("job-{:06}", tag + 1);
+        registry
+            .save_manifest(&JobManifest::new(id, tag + 1, spec(tag), None))
+            .expect("save manifest");
+    }
+    root
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    const JOBS: u64 = 24;
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("drain", format!("{JOBS}jobs-{workers}w")),
+            &workers,
+            |b, &workers| b.iter(|| drain(black_box(workers), JOBS)),
+        );
+    }
+
+    const MANIFESTS: u64 = 64;
+    group.bench_function(BenchmarkId::new("recover", MANIFESTS), |b| {
+        b.iter_batched(
+            || seeded_state(MANIFESTS),
+            |root| {
+                let report = Registry::open(&root).expect("open").recover();
+                assert_eq!(report.jobs.len(), MANIFESTS as usize);
+                let _ = std::fs::remove_dir_all(&root);
+                black_box(report.next_seq)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

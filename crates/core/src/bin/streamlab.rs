@@ -10,6 +10,11 @@
 //! streamlab replay <trace.json> [opts]   # replay a saved trace
 //! streamlab sweep [--seeds N] [opts]     # seed-robustness sweep (checkpointed)
 //! streamlab sweep --resume DIR           # resume an interrupted sweep
+//! streamlab serve --state DIR [opts]     # crash-recoverable job daemon
+//! streamlab submit [opts]                # queue a sweep on the daemon
+//! streamlab status [<job-id>] [opts]     # job list / one job's status
+//! streamlab cancel <job-id> [opts]       # cancel a queued/running job
+//! streamlab shutdown [opts]              # stop the daemon
 //!
 //! options: --scale tiny|small|default   (default: small)
 //!          --seed N                     (default: 2016)
@@ -54,6 +59,29 @@
 //!                                        blackouts, backend slowdowns —
 //!                                        see examples/*.json)
 //!
+//! service-mode options (serve/submit/status/cancel/shutdown):
+//!          --state DIR                  (daemon state directory: durable
+//!                                        queue, checkpoints, quarantine;
+//!                                        clients discover the daemon via
+//!                                        DIR/endpoint.json; default
+//!                                        streamlab-state)
+//!          --addr HOST:PORT             (serve: bind address; default
+//!                                        127.0.0.1:0 = any free port)
+//!          --workers N                  (serve: worker threads; default 2)
+//!          --queue-depth N              (serve: admission bound on queued
+//!                                        jobs; default 16)
+//!          --max-job-sessions N         (serve: per-job session budget)
+//!          --max-inflight-sessions N    (serve: fleet-wide session budget)
+//!          --max-job-threads N          (serve: per-job thread clamp)
+//!          --chaos-kill-after N         (serve: abort() the daemon after N
+//!                                        durable seed records — the chaos
+//!                                        gate's deterministic SIGKILL)
+//!          --priority N                 (submit: higher runs sooner)
+//!          --label S                    (submit: human-readable job label)
+//!          --wait                       (submit/status: block until the
+//!                                        job reaches a terminal state)
+//!          --follow                     (status <id>: stream heartbeats)
+//!
 //! All file outputs are atomic: written to a same-directory staging file,
 //! fsynced, then renamed into place, so a crash never leaves a torn file.
 //! ```
@@ -86,6 +114,18 @@ struct Opts {
     trace_out: Option<PathBuf>,
     summary_shards: usize,
     faults: Option<String>,
+    state: PathBuf,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    max_job_sessions: Option<u64>,
+    max_inflight_sessions: Option<u64>,
+    max_job_threads: Option<usize>,
+    chaos_kill_after: Option<u64>,
+    priority: i64,
+    label: Option<String>,
+    wait: bool,
+    follow: bool,
     rest: Vec<String>,
 }
 
@@ -113,6 +153,18 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         trace_out: None,
         summary_shards: 8,
         faults: None,
+        state: PathBuf::from("streamlab-state"),
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+        max_job_sessions: None,
+        max_inflight_sessions: None,
+        max_job_threads: None,
+        chaos_kill_after: None,
+        priority: 0,
+        label: None,
+        wait: false,
+        follow: false,
         rest: Vec::new(),
     };
     let mut it = args.iter();
@@ -209,6 +261,77 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--faults" => {
                 opts.faults = Some(it.next().ok_or("--faults needs a value")?.clone());
             }
+            "--state" => {
+                opts.state = PathBuf::from(it.next().ok_or("--state needs a value")?);
+            }
+            "--addr" => {
+                opts.addr = it.next().ok_or("--addr needs a value (host:port)")?.clone();
+            }
+            "--workers" => {
+                opts.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad workers: {e}"))?;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--queue-depth" => {
+                opts.queue_depth = it
+                    .next()
+                    .ok_or("--queue-depth needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad queue depth: {e}"))?;
+            }
+            "--max-job-sessions" => {
+                opts.max_job_sessions = Some(
+                    it.next()
+                        .ok_or("--max-job-sessions needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad session budget: {e}"))?,
+                );
+            }
+            "--max-inflight-sessions" => {
+                opts.max_inflight_sessions = Some(
+                    it.next()
+                        .ok_or("--max-inflight-sessions needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad session budget: {e}"))?,
+                );
+            }
+            "--max-job-threads" => {
+                opts.max_job_threads = Some(
+                    it.next()
+                        .ok_or("--max-job-threads needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad thread clamp: {e}"))?,
+                );
+            }
+            "--chaos-kill-after" => {
+                opts.chaos_kill_after = Some(
+                    it.next()
+                        .ok_or("--chaos-kill-after needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad chaos kill count: {e}"))?,
+                );
+            }
+            "--priority" => {
+                opts.priority = it
+                    .next()
+                    .ok_or("--priority needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad priority: {e}"))?;
+            }
+            "--label" => {
+                opts.label = Some(it.next().ok_or("--label needs a value")?.clone());
+            }
+            "--wait" => {
+                opts.wait = true;
+            }
+            "--follow" => {
+                opts.follow = true;
+            }
             other => opts.rest.push(other.to_owned()),
         }
     }
@@ -259,14 +382,19 @@ fn find_experiment(name: &str) -> Option<ExperimentId> {
 }
 
 fn usage() -> &'static str {
-    "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep> \
+    "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep|\
+     serve|submit|status [<job>]|cancel <job>|shutdown> \
      [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--seeds N] [--threads N] \
      [--shard-deadline SECS] [--audit] [--resume DIR] \
      [--metrics-out FILE] [--metrics-format json|openmetrics] [--trace-events FILE] \
-     [--trace-out FILE] [--summary-shards N] [--faults FILE]\n\
-     (sweep: --seeds sets the seed count; passing --days for that is deprecated \
-     and kept only for backward compatibility. sweep checkpoints per-seed results \
-     under --out; --resume DIR continues an interrupted sweep from its manifest.)"
+     [--trace-out FILE] [--summary-shards N] [--faults FILE] \
+     [--state DIR] [--addr HOST:PORT] [--workers N] [--queue-depth N] \
+     [--max-job-sessions N] [--max-inflight-sessions N] [--max-job-threads N] \
+     [--chaos-kill-after N] [--priority N] [--label S] [--wait] [--follow]\n\
+     (sweep: --seeds sets the seed count and checkpoints per-seed results under \
+     --out; --resume DIR continues an interrupted sweep from its manifest. \
+     serve runs the crash-recoverable job daemon over --state; submit/status/\
+     cancel/shutdown talk to it through DIR/endpoint.json.)"
 }
 
 fn main() -> ExitCode {
@@ -297,6 +425,11 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&opts),
         "replay" => cmd_replay(&opts),
         "sweep" => cmd_sweep(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "status" => cmd_status(&opts),
+        "cancel" => cmd_cancel(&opts),
+        "shutdown" => cmd_shutdown(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
     match result {
@@ -473,12 +606,11 @@ fn cmd_ablation(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
-    // --seeds is the real flag; --days is honored as a deprecated alias
-    // (earlier releases reused it to keep the flag set small). Warn once.
-    if opts.days_given && opts.seeds.is_none() {
-        eprintln!(
-            "warning: `sweep --days N` is deprecated; use `sweep --seeds N` \
-             (--days keeps working for now)"
+    // `sweep --days` was a deprecated alias for --seeds (a warning shipped
+    // for several releases); it is gone now.
+    if opts.days_given {
+        return Err(
+            "`sweep --days N` has been removed; use `sweep --seeds N` to set the seed count".into(),
         );
     }
     let result = if let Some(dir) = &opts.resume {
@@ -486,7 +618,7 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         streamlab::sweep::resume_checkpointed(dir, opts.audit)?
     } else {
         let cfg = config(opts)?;
-        let n_seeds = opts.seeds.unwrap_or(opts.days);
+        let n_seeds = opts.seeds.unwrap_or(5);
         let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| opts.seed + i).collect();
         eprintln!(
             "sweeping {} seeds at the {} scale (checkpoints in {}) ...",
@@ -512,6 +644,155 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&result.summary).map_err(|e| e.to_string())?;
     atomic_write(&summary_path, (json + "\n").as_bytes()).map_err(at(&summary_path))?;
     println!("{}", streamlab::sweep::render(&result.summary));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-service mode: the `serve` daemon and its thin client commands
+// ---------------------------------------------------------------------------
+
+fn admission_config(opts: &Opts) -> streamlab::service::AdmissionConfig {
+    let mut admission = streamlab::service::AdmissionConfig {
+        max_queue_depth: opts.queue_depth,
+        ..Default::default()
+    };
+    if let Some(v) = opts.max_job_sessions {
+        admission.max_job_sessions = v;
+    }
+    if let Some(v) = opts.max_inflight_sessions {
+        admission.max_inflight_sessions = v;
+    }
+    if let Some(v) = opts.max_job_threads {
+        admission.max_job_threads = v;
+    }
+    admission
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use streamlab::service::{Daemon, ServiceConfig};
+    let daemon = Daemon::start(
+        ServiceConfig {
+            state_dir: opts.state.clone(),
+            bind: opts.addr.clone(),
+            workers: opts.workers,
+            admission: admission_config(opts),
+            chaos_kill_after: opts.chaos_kill_after,
+        },
+        std::sync::Arc::new(streamlab::serve::SweepRunner),
+    )?;
+    eprintln!(
+        "streamlab serve: listening on {} (state {}, {} workers)",
+        daemon.addr(),
+        opts.state.display(),
+        opts.workers
+    );
+    if let Some(after) = opts.chaos_kill_after {
+        eprintln!(
+            "streamlab serve: CHAOS MODE — the process aborts after {after} durable seed record(s)"
+        );
+    }
+    daemon.run_until_shutdown();
+    eprintln!("streamlab serve: stopped");
+    Ok(())
+}
+
+fn service_client(opts: &Opts) -> Result<streamlab::service::Client, String> {
+    streamlab::service::Client::from_state_dir(&opts.state)
+}
+
+/// Print a reply body as pretty JSON on stdout (the machine-readable
+/// contract of the client subcommands).
+fn print_reply(body: &serde_json::Value) {
+    println!("{}", serde_json::to_string_pretty(body).unwrap_or_default());
+}
+
+fn cmd_submit(opts: &Opts) -> Result<(), String> {
+    let cfg = config(opts)?;
+    let n_seeds = opts.seeds.unwrap_or(5);
+    if n_seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| opts.seed + i).collect();
+    let label = opts
+        .label
+        .clone()
+        .unwrap_or_else(|| format!("sweep {} seeds @ {}", seeds.len(), opts.scale));
+    let spec = streamlab::serve::sweep_spec(&label, &cfg, seeds, opts.priority, opts.audit);
+    let client = service_client(opts)?;
+    let reply = client.submit(&spec)?;
+    print_reply(&reply.body);
+    if !reply.ok() {
+        let reason = reply
+            .body
+            .get("shed")
+            .and_then(|s| s.get("reason"))
+            .and_then(|r| r.as_str())
+            .unwrap_or("rejected");
+        return Err(format!("submission not accepted: {reason}"));
+    }
+    let id = reply
+        .body
+        .get("id")
+        .and_then(|v| v.as_str())
+        .ok_or("daemon accepted the job but returned no id")?
+        .to_owned();
+    eprintln!("submitted {id}");
+    if opts.wait {
+        let done = client.wait(&id, std::time::Duration::from_millis(100))?;
+        print_reply(&done);
+        let state = done.get("state").and_then(|s| s.as_str()).unwrap_or("");
+        if state != "Done" {
+            return Err(format!("job {id} finished as {state}"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_status(opts: &Opts) -> Result<(), String> {
+    let client = service_client(opts)?;
+    match opts.rest.first() {
+        None => {
+            let reply = client.list()?;
+            print_reply(&reply.body);
+            Ok(())
+        }
+        Some(id) => {
+            if opts.follow {
+                client.follow_heartbeats(id, |line| println!("{line}"))?;
+            }
+            let body = if opts.wait || opts.follow {
+                client.wait(id, std::time::Duration::from_millis(100))?
+            } else {
+                let reply = client.status(id)?;
+                if reply.status == 404 {
+                    return Err(format!("no such job: {id}"));
+                }
+                reply.body
+            };
+            print_reply(&body);
+            Ok(())
+        }
+    }
+}
+
+fn cmd_cancel(opts: &Opts) -> Result<(), String> {
+    let id = opts
+        .rest
+        .first()
+        .ok_or("cancel needs a job id, e.g. `streamlab cancel job-000001`")?;
+    let client = service_client(opts)?;
+    let reply = client.cancel(id)?;
+    if reply.status == 404 {
+        return Err(format!("no such job: {id}"));
+    }
+    print_reply(&reply.body);
+    Ok(())
+}
+
+fn cmd_shutdown(opts: &Opts) -> Result<(), String> {
+    let client = service_client(opts)?;
+    let reply = client.shutdown()?;
+    print_reply(&reply.body);
     Ok(())
 }
 

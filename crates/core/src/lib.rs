@@ -46,6 +46,7 @@ pub mod multiday;
 pub mod plot;
 pub mod report;
 pub mod scheduler;
+pub mod serve;
 pub mod simulate;
 pub mod sweep;
 pub mod trace;
@@ -61,6 +62,7 @@ pub use streamlab_client as client;
 pub use streamlab_faults as faults;
 pub use streamlab_net as net;
 pub use streamlab_obs as obs;
+pub use streamlab_service as service;
 pub use streamlab_sim as sim;
 pub use streamlab_supervisor as supervisor;
 pub use streamlab_telemetry as telemetry;

@@ -177,8 +177,10 @@ fn metrics_from_bits(bits: &[u64]) -> Option<AblationMetrics> {
 }
 
 /// The per-seed record payload: exact bits for resume, readable metrics for
-/// humans poking at the run directory. Only `bits` is read back.
-fn seed_payload(m: &AblationMetrics) -> Value {
+/// humans poking at the run directory. Only `bits` is read back. Shared
+/// with the `serve` daemon so a served sweep's checkpoints are readable by
+/// `sweep --resume` and vice versa.
+pub(crate) fn seed_payload(m: &AblationMetrics) -> Value {
     let bits = metrics_bits(m)
         .iter()
         .map(|&b| Value::Number(serde::Number::UInt(b)))
@@ -189,7 +191,7 @@ fn seed_payload(m: &AblationMetrics) -> Value {
     Value::Object(obj)
 }
 
-fn payload_metrics(v: &Value) -> Option<AblationMetrics> {
+pub(crate) fn payload_metrics(v: &Value) -> Option<AblationMetrics> {
     let bits = v
         .get("bits")?
         .as_array()?
@@ -204,7 +206,7 @@ fn payload_metrics(v: &Value) -> Option<AblationMetrics> {
 /// driver-level `kill_after_seeds` harness fault is stripped so a resumed
 /// process completes instead of re-killing itself — and so the killed run
 /// and its resume agree on the fingerprint.
-fn manifest_config(base: &SimulationConfig) -> Value {
+pub(crate) fn manifest_config(base: &SimulationConfig) -> Value {
     let mut cfg = base.clone();
     cfg.seed = 0;
     cfg.faults.kill_after_seeds = 0;

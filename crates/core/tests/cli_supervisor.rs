@@ -2,7 +2,7 @@
 //! SIGKILL-equivalent abort mid-sweep resumes to byte-identical output at
 //! any thread count, the shard watchdog turns a wedged shard into partial
 //! results instead of a hang, `--audit` verifies a finished run, and the
-//! deprecated `sweep --days` alias warns exactly once.
+//! removed `sweep --days` alias fails fast pointing at `--seeds`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -106,7 +106,10 @@ fn killed_sweep_resumes_to_byte_identical_output_at_any_thread_count() {
 }
 
 #[test]
-fn sweep_days_alias_warns_exactly_once_and_still_works() {
+fn sweep_days_alias_is_gone_and_points_at_seeds() {
+    // The alias shipped a deprecation warning for several releases and has
+    // now been removed: it must fail fast, name the replacement, and not
+    // run anything.
     let dir = scratch("days");
     let out = run(&[
         "sweep",
@@ -119,19 +122,22 @@ fn sweep_days_alias_warns_exactly_once_and_still_works() {
         "--out",
         dir.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "stderr:\n{}", stderr_of(&out));
+    assert!(!out.status.success(), "`sweep --days` must be an error now");
     let err = stderr_of(&out);
-    assert_eq!(
-        err.matches("deprecated").count(),
-        1,
-        "expected exactly one deprecation warning, stderr:\n{err}"
+    assert!(
+        err.contains("removed"),
+        "stderr should say it was removed:\n{err}"
     );
     assert!(
         err.contains("--seeds"),
-        "warning should name the replacement"
+        "error should name the replacement:\n{err}"
+    );
+    assert!(
+        !dir.exists(),
+        "a rejected sweep must not create its out dir"
     );
 
-    // The blessed spelling stays quiet.
+    // The blessed spelling works and stays quiet.
     let dir2 = scratch("seeds");
     let out = run(&[
         "sweep",
@@ -144,7 +150,7 @@ fn sweep_days_alias_warns_exactly_once_and_still_works() {
         "--out",
         dir2.to_str().unwrap(),
     ]);
-    assert!(out.status.success());
+    assert!(out.status.success(), "stderr:\n{}", stderr_of(&out));
     assert!(
         !stderr_of(&out).contains("deprecated"),
         "--seeds must not warn"

@@ -1,0 +1,334 @@
+//! End-to-end chaos coverage for `streamlab serve`: a daemon SIGKILL'd
+//! mid-sweep restarts and finishes the job byte-identical to the plain
+//! `streamlab sweep` CLI; an overloaded daemon sheds with a structured
+//! reason instead of queueing forever; and a job whose shard stalls fails
+//! alone — the daemon keeps serving the next job.
+//!
+//! Everything here drives the real binary over the real HTTP API, so the
+//! tests double as an executable spec for the ops workflow in DESIGN.md.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_streamlab")
+}
+
+fn repo_example(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(name)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("streamlab-serve-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn streamlab")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A serve process that is guaranteed dead when the test ends, pass or
+/// fail — orphaned daemons would leak across test runs.
+struct DaemonGuard {
+    child: Child,
+}
+
+impl DaemonGuard {
+    fn spawn(args: &[&str]) -> DaemonGuard {
+        let child = Command::new(bin())
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn streamlab serve");
+        DaemonGuard { child }
+    }
+
+    /// Block until the daemon exits on its own (chaos abort or clean
+    /// shutdown); returns whether it exited successfully.
+    fn wait_exit(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status.success();
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon did not exit within {timeout:?}"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Poll until the daemon at `state` answers a status request.
+fn wait_ready(state: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let out = run(&["status", "--state", state.to_str().unwrap()]);
+        if out.status.success() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never became ready; last stderr:\n{}",
+            stderr_of(&out)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The headline robustness promise: kill the daemon mid-sweep (chaos mode
+/// aborts after 2 durable seed records), restart it, and the finished
+/// job's sweep.json byte-equals what `streamlab sweep` writes for the
+/// same configuration — at every thread count.
+#[test]
+fn chaos_killed_daemon_restarts_and_serves_byte_identical_sweeps() {
+    for threads in ["1", "2", "8"] {
+        let state = scratch(&format!("chaos-{threads}"));
+        let refdir = scratch(&format!("chaos-ref-{threads}"));
+        let state_s = state.to_str().unwrap();
+
+        // Reference: the same sweep, uninterrupted, via the plain CLI.
+        let reference = run(&[
+            "sweep",
+            "--scale",
+            "tiny",
+            "--seeds",
+            "3",
+            "--seed",
+            "42",
+            "--threads",
+            threads,
+            "--out",
+            refdir.to_str().unwrap(),
+        ]);
+        assert!(
+            reference.status.success(),
+            "stderr:\n{}",
+            stderr_of(&reference)
+        );
+
+        // A daemon rigged to abort after 2 durable seed records — the
+        // harness's deterministic stand-in for SIGKILL mid-job.
+        let mut chaos = DaemonGuard::spawn(&[
+            "serve",
+            "--state",
+            state_s,
+            "--workers",
+            "1",
+            "--chaos-kill-after",
+            "2",
+        ]);
+        wait_ready(&state);
+
+        let submitted = run(&[
+            "submit",
+            "--state",
+            state_s,
+            "--scale",
+            "tiny",
+            "--seeds",
+            "3",
+            "--seed",
+            "42",
+            "--threads",
+            threads,
+        ]);
+        assert!(
+            submitted.status.success(),
+            "threads={threads}: submit failed:\n{}",
+            stderr_of(&submitted)
+        );
+        assert!(
+            stdout_of(&submitted).contains("job-000001"),
+            "threads={threads}: unexpected submit reply:\n{}",
+            stdout_of(&submitted)
+        );
+
+        // The chaos abort fires while the 3-seed job is underway.
+        let clean_exit = chaos.wait_exit(Duration::from_secs(60));
+        assert!(!clean_exit, "threads={threads}: chaos daemon must die hard");
+        let records = fs::read_dir(state.join("jobs/job-000001/run/seeds"))
+            .expect("checkpoint dir survives the abort")
+            .count();
+        assert_eq!(
+            records, 2,
+            "threads={threads}: abort must land exactly after the 2nd durable record"
+        );
+
+        // Restart without chaos: recovery re-enqueues the interrupted job
+        // and it resumes from the checkpoint.
+        let _daemon = DaemonGuard::spawn(&["serve", "--state", state_s, "--workers", "1"]);
+        wait_ready(&state);
+        let finished = run(&["status", "--state", state_s, "job-000001", "--wait"]);
+        assert!(
+            finished.status.success(),
+            "threads={threads}: status --wait failed:\n{}",
+            stderr_of(&finished)
+        );
+        assert!(
+            stdout_of(&finished).contains("\"state\": \"Done\""),
+            "threads={threads}: job did not finish Done:\n{}",
+            stdout_of(&finished)
+        );
+
+        let served = fs::read(state.join("jobs/job-000001/sweep.json")).expect("served sweep.json");
+        let expect = fs::read(refdir.join("sweep.json")).expect("reference sweep.json");
+        assert_eq!(
+            served, expect,
+            "threads={threads}: served sweep.json differs from the CLI reference"
+        );
+
+        let down = run(&["shutdown", "--state", state_s]);
+        assert!(down.status.success(), "stderr:\n{}", stderr_of(&down));
+
+        let _ = fs::remove_dir_all(&state);
+        let _ = fs::remove_dir_all(&refdir);
+    }
+}
+
+/// Overload: a job bigger than the per-job session budget is shed at
+/// admission with a structured, machine-readable reason — and the daemon
+/// stays healthy afterwards.
+#[test]
+fn overloaded_daemon_sheds_with_a_structured_reason() {
+    let state = scratch("shed");
+    let state_s = state.to_str().unwrap();
+
+    let _daemon = DaemonGuard::spawn(&[
+        "serve",
+        "--state",
+        state_s,
+        "--workers",
+        "1",
+        "--max-job-sessions",
+        "1",
+    ]);
+    wait_ready(&state);
+
+    let shed = run(&[
+        "submit", "--state", state_s, "--scale", "tiny", "--seeds", "2", "--seed", "1",
+    ]);
+    assert!(
+        !shed.status.success(),
+        "an over-budget job must be rejected"
+    );
+    let body = stdout_of(&shed);
+    assert!(
+        body.contains("job_too_large"),
+        "shed reply must carry the structured reason:\n{body}"
+    );
+    assert!(
+        body.contains("retry_after"),
+        "shed reply must tell clients when to retry:\n{body}"
+    );
+    assert!(
+        stderr_of(&shed).contains("not accepted"),
+        "stderr:\n{}",
+        stderr_of(&shed)
+    );
+
+    // Shedding is not a crash: the daemon still answers.
+    let status = run(&["status", "--state", state_s]);
+    assert!(status.status.success(), "stderr:\n{}", stderr_of(&status));
+
+    let down = run(&["shutdown", "--state", state_s]);
+    assert!(down.status.success(), "stderr:\n{}", stderr_of(&down));
+    let _ = fs::remove_dir_all(&state);
+}
+
+/// Watchdog escalation inside a served job: a stalled shard fails *that
+/// job* with a structured `shard_stalled` error — and the daemon moves on
+/// to complete the next job in the queue.
+#[test]
+fn stalled_shard_fails_the_job_but_not_the_daemon() {
+    let state = scratch("stall");
+    let state_s = state.to_str().unwrap();
+    let faults = repo_example("faults_stalled_shard.json");
+
+    let _daemon = DaemonGuard::spawn(&["serve", "--state", state_s, "--workers", "1"]);
+    wait_ready(&state);
+
+    // A 1-seed sweep whose config wedges one shard; the 0.3s watchdog
+    // deadline turns that into a shard error, which a served job treats
+    // as fatal (byte-identity over partial results).
+    let doomed = run(&[
+        "submit",
+        "--state",
+        state_s,
+        "--scale",
+        "tiny",
+        "--seeds",
+        "1",
+        "--seed",
+        "42",
+        "--threads",
+        "2",
+        "--faults",
+        faults.to_str().unwrap(),
+        "--shard-deadline",
+        "0.3",
+        "--label",
+        "doomed",
+        "--wait",
+    ]);
+    assert!(
+        !doomed.status.success(),
+        "a stalled-shard job must finish Failed, stdout:\n{}",
+        stdout_of(&doomed)
+    );
+    let body = stdout_of(&doomed);
+    assert!(
+        body.contains("\"state\": \"Failed\""),
+        "job should be Failed:\n{body}"
+    );
+    assert!(
+        body.contains("shard_stalled"),
+        "failure must name the structured kind:\n{body}"
+    );
+    assert!(
+        body.contains("shard_index"),
+        "failure detail must localize the shard:\n{body}"
+    );
+
+    // The daemon survived its job's death: the next job runs to Done.
+    let healthy = run(&[
+        "submit", "--state", state_s, "--scale", "tiny", "--seeds", "1", "--seed", "42", "--label",
+        "healthy", "--wait",
+    ]);
+    assert!(
+        healthy.status.success(),
+        "daemon must keep serving after a job failure:\nstdout:\n{}\nstderr:\n{}",
+        stdout_of(&healthy),
+        stderr_of(&healthy)
+    );
+    assert!(stdout_of(&healthy).contains("\"state\": \"Done\""));
+
+    let down = run(&["shutdown", "--state", state_s]);
+    assert!(down.status.success(), "stderr:\n{}", stderr_of(&down));
+    let _ = fs::remove_dir_all(&state);
+}

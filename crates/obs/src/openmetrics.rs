@@ -96,6 +96,34 @@ pub fn render(sim: &SimMetrics, profile: Option<&RunProfile>) -> String {
     out
 }
 
+/// One sample in a free-form exposition: `(metric name, HELP text, value)`.
+/// The name is suffixed per OpenMetrics conventions by the renderer
+/// (`_total` for counters, bare for gauges) and prefixed with
+/// `streamlab_`.
+pub type Sample<'a> = (&'a str, &'a str, u64);
+
+/// Render a free-form set of counters and gauges as an OpenMetrics text
+/// exposition, `# EOF` included — the job-level metrics endpoint of the
+/// `streamlab serve` daemon (`GET /metrics`). Unlike [`render`], which
+/// walks a [`SimMetrics`] block, this takes explicit samples so a daemon
+/// can expose queue/job/admission state without the service layer
+/// depending on the simulator's metric types.
+pub fn render_exposition(counters: &[Sample<'_>], gauges: &[Sample<'_>]) -> String {
+    let mut out = String::new();
+    for (name, help, value) in counters {
+        let _ = writeln!(out, "# HELP {PREFIX}_{name} {help}");
+        let _ = writeln!(out, "# TYPE {PREFIX}_{name} counter");
+        let _ = writeln!(out, "{PREFIX}_{name}_total {value}");
+    }
+    for (name, help, value) in gauges {
+        let _ = writeln!(out, "# HELP {PREFIX}_{name} {help}");
+        let _ = writeln!(out, "# TYPE {PREFIX}_{name} gauge");
+        let _ = writeln!(out, "{PREFIX}_{name} {value}");
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +145,19 @@ mod tests {
         // Without a profile, nothing wall-clock leaks in.
         assert!(!text.contains("run_info"));
         assert!(!text.contains("sched_"));
+    }
+
+    #[test]
+    fn free_form_exposition_renders_counters_and_gauges() {
+        let text = render_exposition(
+            &[("jobs_completed", "jobs run to completion", 7)],
+            &[("queue_depth", "jobs waiting for a worker", 2)],
+        );
+        assert!(text.contains("# TYPE streamlab_jobs_completed counter"));
+        assert!(text.contains("streamlab_jobs_completed_total 7"));
+        assert!(text.contains("# TYPE streamlab_queue_depth gauge"));
+        assert!(text.contains("streamlab_queue_depth 2"));
+        assert!(text.ends_with("# EOF\n"));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Admission control: shed or deprioritize load instead of falling over.
+//!
+//! The daemon's failure mode under overload must be a structured "not
+//! now" response, never an OOM kill or an unbounded queue. Every
+//! submission passes through [`AdmissionController::admit`], which
+//! checks, in order:
+//!
+//! 1. **queue depth** — a bounded queue; beyond it, submissions are shed
+//!    with `reason = "queue_full"`;
+//! 2. **per-job budget** — a job whose total session count (the memory
+//!    and work proxy) exceeds the per-job budget is shed outright
+//!    (`"job_too_large"`): no schedule order could make it fit;
+//! 3. **shard budget** — a job asking for more engine threads than the
+//!    pool is willing to give one job is *degraded*: accepted with the
+//!    thread count clamped and a note saying so (graceful degradation,
+//!    not rejection — the output is byte-identical at any thread count);
+//! 4. **fleet-wide budget** — when admitted work (queued + running
+//!    sessions) already exceeds the in-flight budget, new submissions
+//!    are shed (`"overloaded"`); when this one would merely push the
+//!    total *over* the line, it is accepted but *deprioritized* below
+//!    every normal-priority job, so it only runs once the backlog
+//!    drains.
+
+use crate::job::JobCost;
+use serde::{Deserialize, Serialize};
+
+/// Priority floor assigned to deprioritized jobs. Clients submit
+/// priorities around 0; anything admitted over the soft budget is pushed
+/// well below so it can never starve normally-admitted work.
+pub const DEPRIORITIZED: i64 = -1_000_000;
+
+/// Budgets and bounds for the admission controller. All defaults are
+/// generous for tiny/small experiment traffic and deliberately tight
+/// enough that a runaway client hits a structured response, not the OOM
+/// killer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Maximum jobs waiting for a worker; submissions beyond are shed.
+    pub max_queue_depth: usize,
+    /// Per-job session budget (sessions per seed × seeds).
+    pub max_job_sessions: u64,
+    /// Fleet-wide budget over queued + running jobs' sessions.
+    pub max_inflight_sessions: u64,
+    /// Most engine threads one job may hold; higher requests are clamped.
+    pub max_job_threads: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queue_depth: 16,
+            max_job_sessions: 2_000_000,
+            max_inflight_sessions: 4_000_000,
+            max_job_threads: 8,
+        }
+    }
+}
+
+/// A shed submission: the structured graceful-degradation response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShedResponse {
+    /// Machine-readable reason: `queue_full`, `job_too_large`,
+    /// `overloaded`.
+    pub reason: String,
+    /// Human-readable explanation with the numbers that tripped.
+    pub message: String,
+    /// Jobs waiting when the decision was made.
+    pub queue_depth: usize,
+    /// Hint: seconds a client should wait before retrying.
+    pub retry_after_s: u64,
+}
+
+/// The controller's verdict on one submission.
+#[derive(Debug, Clone)]
+pub enum AdmissionDecision {
+    /// Run it — possibly degraded (clamped threads, floored priority).
+    Accept {
+        /// Effective priority (the requested one, or [`DEPRIORITIZED`]).
+        priority: i64,
+        /// Effective engine threads (requested, or clamped).
+        threads: usize,
+        /// Present when anything was degraded; says what and why.
+        degraded: Option<String>,
+    },
+    /// Don't — with a structured response the client can act on.
+    Shed(ShedResponse),
+}
+
+/// Stateless admission logic over a snapshot of daemon load. The caller
+/// (the pool) holds the queue lock while deciding, so the snapshot
+/// cannot race with other submissions.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionController {
+    /// The configured budgets.
+    pub config: AdmissionConfig,
+}
+
+impl AdmissionController {
+    /// Decide one submission. `queue_depth` counts jobs waiting for a
+    /// worker; `inflight_sessions` sums the session cost of every queued
+    /// and running job.
+    pub fn admit(
+        &self,
+        cost: JobCost,
+        requested_priority: i64,
+        queue_depth: usize,
+        inflight_sessions: u64,
+    ) -> AdmissionDecision {
+        let c = &self.config;
+        if queue_depth >= c.max_queue_depth {
+            return AdmissionDecision::Shed(ShedResponse {
+                reason: "queue_full".into(),
+                message: format!(
+                    "queue holds {queue_depth} jobs (bound {}); retry once it drains",
+                    c.max_queue_depth
+                ),
+                queue_depth,
+                retry_after_s: 10,
+            });
+        }
+        if cost.sessions > c.max_job_sessions {
+            return AdmissionDecision::Shed(ShedResponse {
+                reason: "job_too_large".into(),
+                message: format!(
+                    "job would simulate {} sessions, over the per-job budget of {}; \
+                     split the sweep into smaller jobs",
+                    cost.sessions, c.max_job_sessions
+                ),
+                queue_depth,
+                retry_after_s: 0,
+            });
+        }
+        if inflight_sessions >= c.max_inflight_sessions {
+            return AdmissionDecision::Shed(ShedResponse {
+                reason: "overloaded".into(),
+                message: format!(
+                    "{inflight_sessions} sessions already admitted (budget {}); \
+                     retry once jobs complete",
+                    c.max_inflight_sessions
+                ),
+                queue_depth,
+                retry_after_s: 30,
+            });
+        }
+
+        let mut degraded: Vec<String> = Vec::new();
+        let threads = if cost.threads > c.max_job_threads {
+            degraded.push(format!(
+                "threads clamped {} -> {} (per-job shard budget)",
+                cost.threads, c.max_job_threads
+            ));
+            c.max_job_threads
+        } else {
+            cost.threads.max(1)
+        };
+        let priority = if inflight_sessions + cost.sessions > c.max_inflight_sessions {
+            degraded.push(format!(
+                "deprioritized: admitting {} sessions would exceed the in-flight \
+                 budget of {} ({} already admitted); the job runs once the \
+                 backlog drains",
+                cost.sessions, c.max_inflight_sessions, inflight_sessions
+            ));
+            requested_priority.min(DEPRIORITIZED)
+        } else {
+            requested_priority
+        };
+        AdmissionDecision::Accept {
+            priority,
+            threads,
+            degraded: if degraded.is_empty() {
+                None
+            } else {
+                Some(degraded.join("; "))
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> AdmissionController {
+        AdmissionController {
+            config: AdmissionConfig {
+                max_queue_depth: 2,
+                max_job_sessions: 1_000,
+                max_inflight_sessions: 2_000,
+                max_job_threads: 4,
+            },
+        }
+    }
+
+    fn cost(sessions: u64, threads: usize) -> JobCost {
+        JobCost { sessions, threads }
+    }
+
+    #[test]
+    fn clean_submission_is_accepted_untouched() {
+        match ctl().admit(cost(500, 2), 5, 0, 0) {
+            AdmissionDecision::Accept {
+                priority,
+                threads,
+                degraded,
+            } => {
+                assert_eq!(priority, 5);
+                assert_eq!(threads, 2);
+                assert!(degraded.is_none());
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_queue_full() {
+        match ctl().admit(cost(1, 1), 0, 2, 0) {
+            AdmissionDecision::Shed(s) => {
+                assert_eq!(s.reason, "queue_full");
+                assert_eq!(s.queue_depth, 2);
+                assert!(s.retry_after_s > 0);
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_job_sheds_with_job_too_large() {
+        match ctl().admit(cost(1_001, 1), 0, 0, 0) {
+            AdmissionDecision::Shed(s) => {
+                assert_eq!(s.reason, "job_too_large");
+                assert!(s.message.contains("1001"), "{}", s.message);
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturated_fleet_sheds_with_overloaded() {
+        match ctl().admit(cost(1, 1), 0, 0, 2_000) {
+            AdmissionDecision::Shed(s) => assert_eq!(s.reason, "overloaded"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_crossing_job_is_deprioritized_not_shed() {
+        match ctl().admit(cost(900, 1), 3, 0, 1_500) {
+            AdmissionDecision::Accept {
+                priority, degraded, ..
+            } => {
+                assert_eq!(priority, DEPRIORITIZED);
+                assert!(degraded.unwrap().contains("deprioritized"));
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn greedy_thread_request_is_clamped_with_a_note() {
+        match ctl().admit(cost(10, 64), 0, 0, 0) {
+            AdmissionDecision::Accept {
+                threads, degraded, ..
+            } => {
+                assert_eq!(threads, 4);
+                assert!(degraded.unwrap().contains("clamped"));
+            }
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_threads_runs_sequential() {
+        match ctl().admit(cost(10, 0), 0, 0, 0) {
+            AdmissionDecision::Accept { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+}

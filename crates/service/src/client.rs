@@ -1,0 +1,221 @@
+//! A thin blocking client for the daemon's control socket — what the
+//! `streamlab submit/status/cancel` subcommands (and the tests) talk
+//! through. One TCP connection per request, `Connection: close`.
+
+use crate::job::JobSpec;
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// File the daemon publishes its bound address in, under the state dir.
+pub const ENDPOINT_FILE: &str = "endpoint.json";
+
+/// A daemon endpoint.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+/// One parsed HTTP reply.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed JSON body (`Value::Null` when the body is not JSON).
+    pub body: Value,
+}
+
+impl Reply {
+    /// Whether the daemon answered 2xx.
+    pub fn ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+impl Client {
+    /// A client for an explicit `host:port`.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// Discover the daemon through `<state>/endpoint.json` (published
+    /// atomically by the daemon on startup).
+    pub fn from_state_dir(state: &Path) -> Result<Client, String> {
+        let path = state.join(ENDPOINT_FILE);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            format!(
+                "reading {}: {e} (is a daemon running with --state {}?)",
+                path.display(),
+                state.display()
+            )
+        })?;
+        let v = Value::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let addr = v
+            .get("addr")
+            .and_then(|a| a.as_str())
+            .ok_or_else(|| format!("{}: missing addr field", path.display()))?;
+        Ok(Client::new(addr))
+    }
+
+    /// The endpoint address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        TcpStream::connect(&self.addr)
+            .map_err(|e| format!("connecting to daemon at {}: {e}", self.addr))
+    }
+
+    /// One request/response exchange.
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> Result<Reply, String> {
+        let mut stream = self.connect()?;
+        let body = body.unwrap_or("");
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        stream
+            .write_all(req.as_bytes())
+            .map_err(|e| format!("sending request: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .map_err(|e| format!("reading response: {e}"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+        loop {
+            let mut header = String::new();
+            reader
+                .read_line(&mut header)
+                .map_err(|e| format!("reading headers: {e}"))?;
+            if header.trim_end().is_empty() {
+                break;
+            }
+        }
+        // Connection: close — the body runs to EOF.
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading body: {e}"))?;
+        let body = Value::parse_json(text.trim()).unwrap_or(Value::Null);
+        Ok(Reply { status, body })
+    }
+
+    /// Liveness probe.
+    pub fn healthz(&self) -> Result<Reply, String> {
+        self.request("GET", "/healthz", None)
+    }
+
+    /// Submit a job spec.
+    pub fn submit(&self, spec: &JobSpec) -> Result<Reply, String> {
+        self.request("POST", "/jobs", Some(&spec.to_value().to_json_string()))
+    }
+
+    /// All jobs' status snapshots.
+    pub fn list(&self) -> Result<Reply, String> {
+        self.request("GET", "/jobs", None)
+    }
+
+    /// One job's status snapshot.
+    pub fn status(&self, id: &str) -> Result<Reply, String> {
+        self.request("GET", &format!("/jobs/{id}"), None)
+    }
+
+    /// Daemon-level status (queue depth, quarantine log).
+    pub fn daemon_status(&self) -> Result<Reply, String> {
+        self.request("GET", "/status", None)
+    }
+
+    /// Request cancellation of a job.
+    pub fn cancel(&self, id: &str) -> Result<Reply, String> {
+        self.request("POST", &format!("/jobs/{id}/cancel"), None)
+    }
+
+    /// The OpenMetrics exposition as raw text.
+    pub fn metrics(&self) -> Result<String, String> {
+        let mut stream = self.connect()?;
+        let req = format!(
+            "GET /metrics HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        );
+        stream
+            .write_all(req.as_bytes())
+            .map_err(|e| format!("sending request: {e}"))?;
+        let mut text = String::new();
+        BufReader::new(stream)
+            .read_to_string(&mut text)
+            .map_err(|e| format!("reading response: {e}"))?;
+        match text.split_once("\r\n\r\n") {
+            Some((_, body)) => Ok(body.to_owned()),
+            None => Err("malformed metrics response".into()),
+        }
+    }
+
+    /// Ask the daemon to stop.
+    pub fn shutdown(&self) -> Result<Reply, String> {
+        self.request("POST", "/shutdown", None)
+    }
+
+    /// Stream a job's heartbeat lines, invoking `f` per line, until the
+    /// daemon closes the stream (the job reached a terminal state).
+    pub fn follow_heartbeats(&self, id: &str, mut f: impl FnMut(&str)) -> Result<(), String> {
+        let mut stream = self.connect()?;
+        let req = format!(
+            "GET /jobs/{id}/heartbeats HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\r\n",
+            self.addr
+        );
+        stream
+            .write_all(req.as_bytes())
+            .map_err(|e| format!("sending request: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .map_err(|e| format!("reading response: {e}"))?;
+        if !status_line.contains("200") {
+            return Err(format!("heartbeat stream refused: {}", status_line.trim()));
+        }
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // close delimits the stream
+                Ok(_) => {
+                    let line = line.trim_end();
+                    if !line.is_empty() && line.starts_with('{') {
+                        f(line);
+                    }
+                }
+                Err(e) => return Err(format!("reading heartbeat stream: {e}")),
+            }
+        }
+    }
+
+    /// Poll a job's status until it reaches a terminal state; returns the
+    /// final status snapshot.
+    pub fn wait(&self, id: &str, poll: Duration) -> Result<Value, String> {
+        loop {
+            let reply = self.status(id)?;
+            if reply.status == 404 {
+                return Err(format!("no such job: {id}"));
+            }
+            let state = reply
+                .body
+                .get("state")
+                .and_then(|s| s.as_str())
+                .unwrap_or("")
+                .to_owned();
+            if matches!(state.as_str(), "Done" | "Failed" | "Cancelled") {
+                return Ok(reply.body);
+            }
+            std::thread::sleep(poll);
+        }
+    }
+}

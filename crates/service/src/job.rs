@@ -1,0 +1,274 @@
+//! The job model: what clients submit, what the daemon persists, and the
+//! structured errors a job can die with.
+//!
+//! A *job* is one queued unit of experiment traffic — today always a
+//! multi-seed sweep — described by a [`JobSpec`]. The daemon wraps the
+//! spec in a [`JobManifest`] (format version + fingerprint + lifecycle
+//! state) and persists it atomically on every transition, so the queue
+//! itself survives a SIGKILL: restart recovery re-reads the manifests and
+//! re-enqueues everything that had not reached a terminal state.
+
+use serde::{Deserialize, Map, Serialize, Value};
+use streamlab_supervisor::fingerprint_config;
+
+/// Job-manifest format version. Bumping it invalidates (quarantines)
+/// every existing job directory; the fingerprint covers it.
+pub const JOB_FORMAT_VERSION: u32 = 1;
+
+/// What a client submits: one queued run/sweep request.
+///
+/// `config` is an opaque configuration value interpreted by the host's
+/// [`JobRunner`](crate::JobRunner) — the service layer never parses it,
+/// it only fingerprints it, so the daemon does not depend on the
+/// simulator's config types.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable label, echoed in status responses.
+    pub label: String,
+    /// Job kind; the runner validates it (`"sweep"` today).
+    pub kind: String,
+    /// Runner-interpreted configuration (for sweeps: the full simulation
+    /// config with the per-seed `seed` field normalized to 0).
+    pub config: Value,
+    /// The seeds to run, in output order.
+    pub seeds: Vec<u64>,
+    /// Engine threads the job may use (admission can clamp this).
+    pub threads: usize,
+    /// Scheduling priority: higher runs sooner; admission can lower it.
+    pub priority: i64,
+    /// Run the post-run invariant auditor on every seed.
+    pub audit: bool,
+}
+
+impl JobSpec {
+    /// Fingerprint over the spec and the manifest format version — the
+    /// identity every checkpoint under this job must carry.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_config(&self.to_value().to_json_string(), JOB_FORMAT_VERSION)
+    }
+}
+
+/// Lifecycle state of a job. Persisted in the manifest; `Queued` and
+/// `Running` are re-enqueued by restart recovery, the rest are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is executing seeds.
+    Running,
+    /// All seeds completed; the summary was written.
+    Done,
+    /// The job died (structured error in the manifest).
+    Failed,
+    /// Cancelled by a client before completion.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// A structured job failure: a machine-readable kind plus free-text
+/// message and an optional detail object (e.g. which shard stalled).
+/// Surfaced verbatim in the job's status response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobError {
+    /// Machine-readable kind: `shard_stalled`, `shard_panicked`,
+    /// `config`, `sim`, `audit`, `summarize`, `checkpoint`.
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Structured context (shard index, servers, deadline, ...).
+    pub detail: Value,
+}
+
+impl JobError {
+    /// A failure with no structured detail.
+    pub fn new(kind: &str, message: impl Into<String>) -> JobError {
+        JobError {
+            kind: kind.to_owned(),
+            message: message.into(),
+            detail: Value::Null,
+        }
+    }
+
+    /// A failure with a structured detail object.
+    pub fn with_detail(kind: &str, message: impl Into<String>, detail: Value) -> JobError {
+        JobError {
+            kind: kind.to_owned(),
+            message: message.into(),
+            detail,
+        }
+    }
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+/// The durable per-job record: spec + identity + lifecycle. One of these
+/// lives at `<state>/jobs/<id>/job.json` and is rewritten atomically on
+/// every state transition, so restart recovery can trust any manifest it
+/// can parse and fingerprint-verify — and quarantines the rest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobManifest {
+    /// Manifest format version ([`JOB_FORMAT_VERSION`] at creation).
+    pub version: u32,
+    /// Fingerprint over `spec` + `version`; see [`JobSpec::fingerprint`].
+    pub fingerprint: u64,
+    /// Job id; also the directory name (`job-NNNNNN`).
+    pub id: String,
+    /// Global submission sequence number: the FIFO tiebreak within a
+    /// priority class, stable across restarts.
+    pub submit_seq: u64,
+    /// The submitted spec (possibly degraded by admission — e.g. threads
+    /// clamped; the manifest records what will actually run).
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Structured failure, present iff `state == Failed`.
+    pub error: Option<JobError>,
+    /// Admission note when the job was accepted degraded (clamped
+    /// threads, lowered priority).
+    pub degraded: Option<String>,
+}
+
+/// The manifest's identity fingerprint: id + submission sequence + spec,
+/// under the format version. Covering the identity fields (not just the
+/// spec) means a single flipped bit anywhere in them is caught by
+/// [`JobManifest::verify`] and quarantined instead of silently renaming
+/// or reordering a recovered job.
+fn manifest_fingerprint(id: &str, submit_seq: u64, spec: &JobSpec) -> u64 {
+    let mut m = Map::new();
+    m.insert("id".to_owned(), Value::String(id.to_owned()));
+    m.insert("submit_seq".to_owned(), submit_seq.to_value());
+    m.insert("spec".to_owned(), spec.to_value());
+    fingerprint_config(&Value::Object(m).to_json_string(), JOB_FORMAT_VERSION)
+}
+
+impl JobManifest {
+    /// Wrap a freshly-admitted spec.
+    pub fn new(id: String, submit_seq: u64, spec: JobSpec, degraded: Option<String>) -> Self {
+        JobManifest {
+            version: JOB_FORMAT_VERSION,
+            fingerprint: manifest_fingerprint(&id, submit_seq, &spec),
+            id,
+            submit_seq,
+            spec,
+            state: JobState::Queued,
+            error: None,
+            degraded,
+        }
+    }
+
+    /// Recompute the fingerprint from the embedded identity + spec and
+    /// check it against the stored one (detects a corrupted or edited
+    /// manifest).
+    pub fn verify(&self) -> Result<(), String> {
+        if self.version != JOB_FORMAT_VERSION {
+            return Err(format!(
+                "job manifest format v{} is not supported (this build reads v{})",
+                self.version, JOB_FORMAT_VERSION
+            ));
+        }
+        let expect = manifest_fingerprint(&self.id, self.submit_seq, &self.spec);
+        if expect != self.fingerprint {
+            return Err(format!(
+                "job manifest fingerprint {:#018x} does not match its contents \
+                 (expected {:#018x}); the manifest was edited or corrupted",
+                self.fingerprint, expect
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runner-reported cost of a prepared job, consumed by admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCost {
+    /// Total sessions the job will simulate (sessions per seed × seeds) —
+    /// the memory/work proxy the budgets are denominated in.
+    pub sessions: u64,
+    /// Engine threads the job asks for.
+    pub threads: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            label: "t".into(),
+            kind: "sweep".into(),
+            config: json!({ "sessions": 600u64 }),
+            seeds: vec![1, 2, 3],
+            threads: 2,
+            priority: 0,
+            audit: false,
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_spec() {
+        let a = spec();
+        let mut b = spec();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.seeds.push(4);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_verifies() {
+        let m = JobManifest::new("job-000001".into(), 1, spec(), None);
+        let text = m.to_value().to_json_string();
+        let back = JobManifest::from_value(&Value::parse_json(&text).unwrap()).unwrap();
+        back.verify().expect("clean manifest verifies");
+        assert_eq!(back.id, "job-000001");
+        assert_eq!(back.state, JobState::Queued);
+    }
+
+    #[test]
+    fn edited_manifest_fails_verification() {
+        let mut m = JobManifest::new("job-000001".into(), 1, spec(), None);
+        m.spec.seeds.push(99);
+        let err = m.verify().unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn edited_identity_fields_fail_verification_too() {
+        let mut m = JobManifest::new("job-000001".into(), 1, spec(), None);
+        m.submit_seq = 2;
+        assert!(m.verify().is_err(), "submit_seq edits must be caught");
+        let mut m = JobManifest::new("job-000001".into(), 1, spec(), None);
+        m.id = "job-000009".into();
+        assert!(m.verify().is_err(), "id edits must be caught");
+    }
+
+    #[test]
+    fn wrong_version_fails_verification() {
+        let mut m = JobManifest::new("job-000001".into(), 1, spec(), None);
+        m.version = JOB_FORMAT_VERSION + 1;
+        let err = m.verify().unwrap_err();
+        assert!(err.contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn terminal_states_are_exactly_the_three() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+}

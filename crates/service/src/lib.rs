@@ -1,0 +1,186 @@
+//! # streamlab-service
+//!
+//! Fleet-service mode: the crash-recoverable, overload-safe `streamlab
+//! serve` job daemon. This crate is the *service layer* — a persistent
+//! job queue, a priority worker pool, admission control, and a loopback
+//! HTTP control socket — with the actual simulation plugged in through
+//! the [`JobRunner`] trait, so the daemon itself carries no dependency on
+//! the simulator (the `streamlab` binary implements the runner).
+//!
+//! Robustness contract:
+//!
+//! * **Durable queue** — every job's manifest is written atomically
+//!   before the submission is acknowledged and rewritten on every state
+//!   transition; a SIGKILL'd daemon restarts, re-reads the manifests, and
+//!   resumes every in-flight job from its seed checkpoints —
+//!   byte-identically to an uninterrupted run.
+//! * **Quarantine, don't crash** — a manifest that fails to read, parse,
+//!   or fingerprint-verify is moved into `quarantine/` with a structured
+//!   diagnostic; recovery continues with the survivors.
+//! * **Shed, don't fall over** — admission control bounds the queue and
+//!   budgets per-job and fleet-wide work; overload answers with a
+//!   structured `503` + `Retry-After`, degradation (clamped threads,
+//!   floored priority) is recorded in the manifest.
+//! * **Contain, don't propagate** — a stalled or panicked shard fails
+//!   *its job* with a structured error in the status response; the
+//!   daemon and every other job keep running.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod admission;
+pub mod client;
+mod http;
+pub mod job;
+pub mod pool;
+pub mod registry;
+
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, ShedResponse, DEPRIORITIZED,
+};
+pub use client::{Client, Reply, ENDPOINT_FILE};
+pub use job::{JobCost, JobError, JobManifest, JobSpec, JobState, JOB_FORMAT_VERSION};
+pub use pool::{JobRunner, Pool, SeedContext, SubmitOutcome};
+pub use registry::{QuarantineDiagnostic, RecoveryReport, Registry};
+
+use serde_json::json;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// State directory: the durable queue, checkpoints, quarantine.
+    pub state_dir: PathBuf,
+    /// Bind address; `127.0.0.1:0` picks a free port.
+    pub bind: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission-control budgets.
+    pub admission: AdmissionConfig,
+    /// Chaos knob: `abort()` the process after this many durable seed
+    /// records (the kill-restart gate's deterministic SIGKILL stand-in).
+    pub chaos_kill_after: Option<u64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            state_dir: PathBuf::from("streamlab-state"),
+            bind: "127.0.0.1:0".into(),
+            workers: 2,
+            admission: AdmissionConfig::default(),
+            chaos_kill_after: None,
+        }
+    }
+}
+
+/// A running daemon: worker pool + control socket.
+pub struct Daemon {
+    pool: Arc<Pool>,
+    addr: String,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Open the state directory, recover the queue, bind the control
+    /// socket, publish `<state>/endpoint.json`, and start serving.
+    pub fn start(config: ServiceConfig, runner: Arc<dyn JobRunner>) -> Result<Daemon, String> {
+        let registry = Registry::open(&config.state_dir)?;
+        let pool = Arc::new(Pool::start(
+            registry,
+            runner,
+            AdmissionController {
+                config: config.admission,
+            },
+            config.workers,
+            config.chaos_kill_after,
+        ));
+        let listener =
+            TcpListener::bind(&config.bind).map_err(|e| format!("binding {}: {e}", config.bind))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| e.to_string())?
+            .to_string();
+
+        // Publish the endpoint for `Client::from_state_dir` discovery.
+        let endpoint = json!({ "addr": addr.clone(), "pid": std::process::id() as u64 });
+        streamlab_supervisor::atomic_write(
+            &config.state_dir.join(ENDPOINT_FILE),
+            (endpoint.to_json_pretty() + "\n").as_bytes(),
+        )
+        .map_err(|e| format!("publishing endpoint: {e}"))?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let pool = Arc::clone(&pool);
+                    let stop = Arc::clone(&stop);
+                    thread::spawn(move || http::handle(stream, &pool, &stop));
+                }
+            })
+        };
+        Ok(Daemon {
+            pool,
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound control-socket address (`host:port`).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The worker pool (for in-process submission in tests/benches).
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// A client talking to this daemon.
+    pub fn client(&self) -> Client {
+        Client::new(self.addr.clone())
+    }
+
+    /// Block until a `POST /shutdown` arrives (or [`Daemon::shutdown`] is
+    /// called from another thread), then stop the pool and return.
+    pub fn run_until_shutdown(mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            thread::sleep(std::time::Duration::from_millis(50));
+        }
+        self.finish();
+    }
+
+    /// Stop the daemon from the owning thread: closes the accept loop and
+    /// joins the workers (running jobs stop at their next seed boundary
+    /// and stay resumable).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop out of its blocking accept.
+        let _ = TcpStream::connect(&self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.pool.shutdown();
+    }
+}

@@ -8,10 +8,124 @@
 //! never a truncated one, no matter when the process is killed. After the
 //! rename the parent directory is fsynced too, so the rename itself
 //! survives a power cut, not just a process kill.
+//!
+//! Transient I/O failures (an interrupted syscall, a briefly-full disk
+//! while a log rotates) are retried with bounded backoff before giving
+//! up; a write that still fails surfaces as a structured
+//! [`AtomicWriteError`] naming the target path, the protocol stage that
+//! failed, and the attempt count — so a daemon's job log says *what*
+//! could not be written and *where it died*, not just "No space left on
+//! device".
 
 use std::fs;
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Stage of the atomic-write protocol at which an error occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStage {
+    /// Creating the same-directory staging file.
+    Create,
+    /// Running the caller's writer over the staging file.
+    Write,
+    /// Fsyncing the staging file's contents.
+    Sync,
+    /// Renaming the staging file over the target.
+    Rename,
+}
+
+impl std::fmt::Display for WriteStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WriteStage::Create => "create-staging",
+            WriteStage::Write => "write",
+            WriteStage::Sync => "fsync",
+            WriteStage::Rename => "rename",
+        })
+    }
+}
+
+/// A failed atomic write, with enough context to act on: the target
+/// path, the protocol stage that failed, and how many attempts were
+/// made before giving up. Carried inside the returned [`io::Error`]
+/// (same `ErrorKind` as the underlying failure); recover it with
+/// `err.get_ref().and_then(|e| e.downcast_ref::<AtomicWriteError>())`.
+#[derive(Debug)]
+pub struct AtomicWriteError {
+    /// The file that could not be (re)placed.
+    pub path: PathBuf,
+    /// Which stage of the staging→fsync→rename protocol failed.
+    pub stage: WriteStage,
+    /// Attempts made at that stage (1 = no retry was applicable).
+    pub attempts: u32,
+    /// The last underlying I/O error.
+    pub source: io::Error,
+}
+
+impl std::fmt::Display for AtomicWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "atomic write of {} failed at the {} stage after {} attempt(s): {}",
+            self.path.display(),
+            self.stage,
+            self.attempts,
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for AtomicWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl AtomicWriteError {
+    fn into_io(self) -> io::Error {
+        io::Error::new(self.source.kind(), self)
+    }
+}
+
+/// Maximum attempts per retryable stage (first try included).
+const MAX_ATTEMPTS: u32 = 4;
+/// Backoff before retry `n` (n = 1, 2, 3), in milliseconds. Interrupted
+/// syscalls retry immediately; only resource-pressure errors sleep.
+const BACKOFF_MS: [u64; 3] = [1, 8, 64];
+
+/// Whether retrying `e` can plausibly succeed: interrupted syscalls
+/// always, resource-pressure conditions (full disk mid-rotation, a
+/// transiently unavailable file) after a short backoff.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::StorageFull
+    )
+}
+
+/// Run `op` up to [`MAX_ATTEMPTS`] times, backing off on transient
+/// errors. Returns the result plus the number of attempts made.
+fn with_retry<T>(mut op: impl FnMut() -> io::Result<T>) -> (io::Result<T>, u32) {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match op() {
+            Ok(v) => return (Ok(v), attempts),
+            Err(e) if attempts < MAX_ATTEMPTS && is_transient(&e) => {
+                if e.kind() != io::ErrorKind::Interrupted {
+                    std::thread::sleep(Duration::from_millis(
+                        BACKOFF_MS[(attempts - 1) as usize % BACKOFF_MS.len()],
+                    ));
+                }
+            }
+            Err(e) => return (Err(e), attempts),
+        }
+    }
+}
 
 /// Name of the temp file used for an in-flight write of `name`. Includes
 /// the pid so concurrent writers (parallel sweep workers recording
@@ -33,6 +147,11 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// The closure receives the staging [`fs::File`]; on success the file is
 /// fsynced and renamed over `path`, and the parent directory is fsynced.
 /// On any error the staging file is removed and `path` is untouched.
+/// Staging-file creation, the fsync, and the rename are retried with
+/// bounded backoff on transient failures (EINTR, ENOSPC); the caller's
+/// closure runs at most once. A write that still fails returns an
+/// [`io::Error`] wrapping an [`AtomicWriteError`] that names the path
+/// and the failed stage.
 pub fn atomic_write_with<F>(path: &Path, write: F) -> io::Result<()>
 where
     F: FnOnce(&mut fs::File) -> io::Result<()>,
@@ -49,16 +168,25 @@ where
     };
     let tmp = dir.join(staging_name(name));
 
-    let result = (|| {
-        let mut f = fs::File::create(&tmp)?;
-        write(&mut f)?;
-        f.sync_all()?;
+    let structured = |stage, attempts, source| AtomicWriteError {
+        path: path.to_owned(),
+        stage,
+        attempts,
+        source,
+    };
+    let result: Result<(), AtomicWriteError> = (|| {
+        let (created, attempts) = with_retry(|| fs::File::create(&tmp));
+        let mut f = created.map_err(|e| structured(WriteStage::Create, attempts, e))?;
+        write(&mut f).map_err(|e| structured(WriteStage::Write, 1, e))?;
+        let (synced, attempts) = with_retry(|| f.sync_all());
+        synced.map_err(|e| structured(WriteStage::Sync, attempts, e))?;
         drop(f);
-        fs::rename(&tmp, path)
+        let (renamed, attempts) = with_retry(|| fs::rename(&tmp, path));
+        renamed.map_err(|e| structured(WriteStage::Rename, attempts, e))
     })();
-    if result.is_err() {
+    if let Err(e) = result {
         let _ = fs::remove_file(&tmp);
-        return result;
+        return Err(e.into_io());
     }
     // Make the rename itself durable. Directory fsync is advisory on some
     // platforms (and opening a directory read-only fails on Windows), so
@@ -72,7 +200,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
 
     fn scratch(name: &str) -> PathBuf {
         let dir =
@@ -80,6 +207,12 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).expect("scratch dir");
         dir
+    }
+
+    fn structured(e: &io::Error) -> &AtomicWriteError {
+        e.get_ref()
+            .and_then(|inner| inner.downcast_ref::<AtomicWriteError>())
+            .expect("error carries AtomicWriteError")
     }
 
     #[test]
@@ -138,5 +271,75 @@ mod tests {
         atomic_write(&path, b"x").expect("cwd write");
         assert_eq!(fs::read(&path).unwrap(), b"x");
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn create_failure_names_path_and_stage() {
+        let dir = scratch("nostage");
+        let path = dir.join("missing-subdir").join("out.json");
+        let err = atomic_write(&path, b"x").unwrap_err();
+        let s = structured(&err);
+        assert_eq!(s.stage, WriteStage::Create);
+        assert_eq!(s.path, path);
+        let msg = err.to_string();
+        assert!(msg.contains("create-staging"), "{msg}");
+        assert!(msg.contains("out.json"), "{msg}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_failure_names_the_write_stage_and_keeps_the_kind() {
+        let dir = scratch("writerr");
+        let path = dir.join("out.txt");
+        let err = atomic_write_with(&path, |_| {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        })
+        .unwrap_err();
+        // The wrapper preserves the underlying kind so callers matching on
+        // ErrorKind keep working.
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let s = structured(&err);
+        assert_eq!(s.stage, WriteStage::Write);
+        assert_eq!(s.attempts, 1, "the caller's closure must not be re-run");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let mut left = 3u32; // 3 failures, then success: fits in MAX_ATTEMPTS
+        let (result, attempts) = with_retry(|| {
+            if left > 0 {
+                left -= 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(attempts, 4);
+    }
+
+    #[test]
+    fn transient_errors_exhaust_the_attempt_budget() {
+        let mut calls = 0u32;
+        let (result, attempts) = with_retry::<()>(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::StorageFull, "ENOSPC"))
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::StorageFull);
+        assert_eq!(attempts, MAX_ATTEMPTS);
+        assert_eq!(calls, MAX_ATTEMPTS);
+    }
+
+    #[test]
+    fn permanent_errors_fail_on_the_first_attempt() {
+        let mut calls = 0u32;
+        let (result, attempts) = with_retry::<()>(|| {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::PermissionDenied, "EACCES"))
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts, 1);
+        assert_eq!(calls, 1);
     }
 }

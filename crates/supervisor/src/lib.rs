@@ -30,7 +30,7 @@ pub mod checkpoint;
 pub mod fingerprint;
 pub mod watchdog;
 
-pub use atomic::{atomic_write, atomic_write_with};
+pub use atomic::{atomic_write, atomic_write_with, AtomicWriteError, WriteStage};
 pub use audit::{AuditReport, AuditViolation, DatasetFacts};
 pub use checkpoint::{Manifest, RunDir, FORMAT_VERSION};
 pub use fingerprint::{fingerprint_config, fnv1a64};
