@@ -58,6 +58,13 @@
 //!                                        restarts/outages, loss bursts,
 //!                                        blackouts, backend slowdowns —
 //!                                        see examples/*.json)
+//!          --storage-faults FILE        (JSON storage fault plan — inject
+//!                                        EIO/ENOSPC/torn-write/lost-fsync/
+//!                                        slow-io/crash at the Nth matching
+//!                                        create/write/fsync/rename; routes
+//!                                        every persistence path through the
+//!                                        fault-injecting storage layer;
+//!                                        see examples/storage_faults_*.json)
 //!
 //! service-mode options (serve/submit/status/cancel/shutdown):
 //!          --state DIR                  (daemon state directory: durable
@@ -78,6 +85,11 @@
 //!                                        gate's deterministic SIGKILL)
 //!          --priority N                 (submit: higher runs sooner)
 //!          --label S                    (submit: human-readable job label)
+//!          --retries N                  (submit: retry a shed (503)
+//!                                        submission up to N times with
+//!                                        capped exponential backoff that
+//!                                        honors the daemon's Retry-After
+//!                                        hint; default 0 = fail fast)
 //!          --wait                       (submit/status: block until the
 //!                                        job reaches a terminal state)
 //!          --follow                     (status <id>: stream heartbeats)
@@ -114,6 +126,7 @@ struct Opts {
     trace_out: Option<PathBuf>,
     summary_shards: usize,
     faults: Option<String>,
+    storage_faults: Option<String>,
     state: PathBuf,
     addr: String,
     workers: usize,
@@ -124,6 +137,7 @@ struct Opts {
     chaos_kill_after: Option<u64>,
     priority: i64,
     label: Option<String>,
+    retries: u32,
     wait: bool,
     follow: bool,
     rest: Vec<String>,
@@ -153,6 +167,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         trace_out: None,
         summary_shards: 8,
         faults: None,
+        storage_faults: None,
         state: PathBuf::from("streamlab-state"),
         addr: "127.0.0.1:0".into(),
         workers: 2,
@@ -163,6 +178,7 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         chaos_kill_after: None,
         priority: 0,
         label: None,
+        retries: 0,
         wait: false,
         follow: false,
         rest: Vec::new(),
@@ -261,6 +277,10 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--faults" => {
                 opts.faults = Some(it.next().ok_or("--faults needs a value")?.clone());
             }
+            "--storage-faults" => {
+                opts.storage_faults =
+                    Some(it.next().ok_or("--storage-faults needs a value")?.clone());
+            }
             "--state" => {
                 opts.state = PathBuf::from(it.next().ok_or("--state needs a value")?);
             }
@@ -326,6 +346,13 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             "--label" => {
                 opts.label = Some(it.next().ok_or("--label needs a value")?.clone());
             }
+            "--retries" => {
+                opts.retries = it
+                    .next()
+                    .ok_or("--retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad retry count: {e}"))?;
+            }
             "--wait" => {
                 opts.wait = true;
             }
@@ -387,10 +414,10 @@ fn usage() -> &'static str {
      [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--seeds N] [--threads N] \
      [--shard-deadline SECS] [--audit] [--resume DIR] \
      [--metrics-out FILE] [--metrics-format json|openmetrics] [--trace-events FILE] \
-     [--trace-out FILE] [--summary-shards N] [--faults FILE] \
+     [--trace-out FILE] [--summary-shards N] [--faults FILE] [--storage-faults FILE] \
      [--state DIR] [--addr HOST:PORT] [--workers N] [--queue-depth N] \
      [--max-job-sessions N] [--max-inflight-sessions N] [--max-job-threads N] \
-     [--chaos-kill-after N] [--priority N] [--label S] [--wait] [--follow]\n\
+     [--chaos-kill-after N] [--priority N] [--label S] [--retries N] [--wait] [--follow]\n\
      (sweep: --seeds sets the seed count and checkpoints per-seed results under \
      --out; --resume DIR continues an interrupted sweep from its manifest. \
      serve runs the crash-recoverable job daemon over --state; submit/status/\
@@ -410,6 +437,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Route every persistence path through the fault-injecting storage
+    // layer before any command touches disk. Inert unless the flag is
+    // given: the default ambient storage is the real filesystem.
+    if let Some(path) = &opts.storage_faults {
+        let plan = match streamlab::supervisor::StorageFaultPlan::from_json_file(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("storage faults armed: {plan}");
+        streamlab::supervisor::install_ambient_storage(streamlab::supervisor::Storage::faulty(
+            plan,
+        ));
+    }
 
     let result = match cmd.as_str() {
         "list" => {
@@ -677,6 +721,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             workers: opts.workers,
             admission: admission_config(opts),
             chaos_kill_after: opts.chaos_kill_after,
+            // Picks up --storage-faults when armed; real disk otherwise.
+            storage: streamlab::supervisor::ambient_storage(),
         },
         std::sync::Arc::new(streamlab::serve::SweepRunner),
     )?;
@@ -719,7 +765,17 @@ fn cmd_submit(opts: &Opts) -> Result<(), String> {
         .unwrap_or_else(|| format!("sweep {} seeds @ {}", seeds.len(), opts.scale));
     let spec = streamlab::serve::sweep_spec(&label, &cfg, seeds, opts.priority, opts.audit);
     let client = service_client(opts)?;
-    let reply = client.submit(&spec)?;
+    let reply = if opts.retries == 0 {
+        client.submit(&spec)?
+    } else {
+        // Shed (503) replies are retried with capped, seeded-jitter
+        // exponential backoff that honors the daemon's Retry-After hint.
+        let policy = streamlab::service::RetryPolicy {
+            max_attempts: opts.retries + 1,
+            ..Default::default()
+        };
+        client.submit_with_retry(&spec, policy)?
+    };
     print_reply(&reply.body);
     if !reply.ok() {
         let reason = reply

@@ -1,0 +1,357 @@
+//! Binary-level coverage for `--storage-faults`: a crash failpoint kills
+//! a sweep mid-checkpoint and `sweep --resume` converges byte-identically
+//! without the faults; transient injected ENOSPC is absorbed by the
+//! atomic-write retry budget without changing a byte of output; and a
+//! daemon whose manifest writes hit ENOSPC sheds `disk_full` with a
+//! `Retry-After` hint, then accepts a retried submission and serves it
+//! byte-identical to an unfaulted run — at every thread count.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_streamlab")
+}
+
+fn repo_example(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples")
+        .join(name)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "streamlab-storage-chaos-{name}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn streamlab")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A serve process that is guaranteed dead when the test ends.
+struct DaemonGuard {
+    child: Child,
+}
+
+impl DaemonGuard {
+    fn spawn(args: &[&str]) -> DaemonGuard {
+        let child = Command::new(bin())
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn streamlab serve");
+        DaemonGuard { child }
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn wait_ready(state: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let out = run(&["status", "--state", state.to_str().unwrap()]);
+        if out.status.success() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never became ready; last stderr:\n{}",
+            stderr_of(&out)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The crash failpoint fires on the second seed record's rename: the
+/// process dies hard mid-sweep, the checkpoint holds exactly the records
+/// that were renamed into place, and a resume *without* the plan ends
+/// byte-identical to a sweep that was never interrupted.
+#[test]
+fn crash_failpoint_kills_the_sweep_and_resume_is_byte_identical() {
+    let plan = repo_example("storage_faults_crash.json");
+    let plan = plan.to_str().unwrap();
+
+    for threads in ["1", "2", "8"] {
+        let dir_crash = scratch(&format!("crash-{threads}"));
+        let dir_clean = scratch(&format!("crash-clean-{threads}"));
+        let base = [
+            "sweep",
+            "--scale",
+            "tiny",
+            "--seeds",
+            "4",
+            "--seed",
+            "42",
+            "--threads",
+            threads,
+        ];
+
+        let crashed = run(&[
+            &base[..],
+            &[
+                "--out",
+                dir_crash.to_str().unwrap(),
+                "--storage-faults",
+                plan,
+            ],
+        ]
+        .concat());
+        assert!(
+            !crashed.status.success(),
+            "threads={threads}: the crash failpoint must kill the run, stderr:\n{}",
+            stderr_of(&crashed)
+        );
+        assert!(
+            stderr_of(&crashed).contains("storage faults armed"),
+            "threads={threads}: the armed plan must be announced"
+        );
+        let records = fs::read_dir(dir_crash.join("seeds"))
+            .expect("seeds dir survives the crash")
+            .count();
+        // Only renamed-into-place records are durable; the crash fired
+        // *on* the second rename, so exactly one landed (staging residue
+        // from the dead writer may also linger until the resume sweeps it).
+        let durable = fs::read_dir(dir_crash.join("seeds"))
+            .unwrap()
+            .flatten()
+            .filter(|e| !e.file_name().to_string_lossy().contains(".tmp."))
+            .count();
+        assert_eq!(
+            durable, 1,
+            "threads={threads}: expected exactly 1 durable record, saw {records} entries"
+        );
+
+        let resumed = run(&["sweep", "--resume", dir_crash.to_str().unwrap()]);
+        assert!(
+            resumed.status.success(),
+            "threads={threads}: resume failed:\n{}",
+            stderr_of(&resumed)
+        );
+
+        let clean = run(&[&base[..], &["--out", dir_clean.to_str().unwrap()]].concat());
+        assert!(clean.status.success());
+        assert_eq!(
+            resumed.stdout, clean.stdout,
+            "threads={threads}: resumed table differs from an uninterrupted run"
+        );
+        let merged = fs::read(dir_crash.join("sweep.json")).expect("resumed sweep.json");
+        let reference = fs::read(dir_clean.join("sweep.json")).expect("clean sweep.json");
+        assert_eq!(
+            merged, reference,
+            "threads={threads}: resumed sweep.json differs from an uninterrupted run"
+        );
+        // The resume swept the dead writer's staging residue.
+        for entry in fs::read_dir(dir_crash.join("seeds")).unwrap().flatten() {
+            assert!(
+                !entry.file_name().to_string_lossy().contains(".tmp."),
+                "threads={threads}: staging residue survived the resume"
+            );
+        }
+
+        let _ = fs::remove_dir_all(&dir_crash);
+        let _ = fs::remove_dir_all(&dir_clean);
+    }
+}
+
+/// Transient injected ENOSPC (two failing fsyncs, one failing rename)
+/// stays inside the atomic-write retry budget: the sweep succeeds and
+/// its output is byte-identical to an unfaulted run.
+#[test]
+fn transient_enospc_is_absorbed_without_changing_output() {
+    let plan = repo_example("storage_faults_enospc.json");
+    let plan = plan.to_str().unwrap();
+
+    for threads in ["1", "2", "8"] {
+        let dir_faulty = scratch(&format!("enospc-{threads}"));
+        let dir_clean = scratch(&format!("enospc-clean-{threads}"));
+        let base = [
+            "sweep",
+            "--scale",
+            "tiny",
+            "--seeds",
+            "3",
+            "--seed",
+            "42",
+            "--threads",
+            threads,
+        ];
+
+        let faulty = run(&[
+            &base[..],
+            &[
+                "--out",
+                dir_faulty.to_str().unwrap(),
+                "--storage-faults",
+                plan,
+            ],
+        ]
+        .concat());
+        assert!(
+            faulty.status.success(),
+            "threads={threads}: transient ENOSPC must be absorbed, stderr:\n{}",
+            stderr_of(&faulty)
+        );
+
+        let clean = run(&[&base[..], &["--out", dir_clean.to_str().unwrap()]].concat());
+        assert!(clean.status.success());
+        assert_eq!(
+            faulty.stdout, clean.stdout,
+            "threads={threads}: faulted sweep table differs"
+        );
+        let a = fs::read(dir_faulty.join("sweep.json")).unwrap();
+        let b = fs::read(dir_clean.join("sweep.json")).unwrap();
+        assert_eq!(
+            a, b,
+            "threads={threads}: retried writes must not change a byte"
+        );
+
+        let _ = fs::remove_dir_all(&dir_faulty);
+        let _ = fs::remove_dir_all(&dir_clean);
+    }
+}
+
+/// The acceptance gate: a daemon whose job-manifest writes hit ENOSPC
+/// sheds the submission with `disk_full` + `Retry-After` instead of
+/// acking-then-losing it; `submit --retries` rides out the window; and
+/// the job the daemon finally runs is byte-identical to the plain CLI
+/// sweep — at every thread count.
+#[test]
+fn daemon_under_enospc_sheds_disk_full_and_recovers() {
+    let plan = repo_example("storage_faults_disk_full.json");
+    let plan = plan.to_str().unwrap();
+
+    for threads in ["1", "2", "8"] {
+        let state = scratch(&format!("daemon-{threads}"));
+        let refdir = scratch(&format!("daemon-ref-{threads}"));
+        let state_s = state.to_str().unwrap();
+
+        let reference = run(&[
+            "sweep",
+            "--scale",
+            "tiny",
+            "--seeds",
+            "3",
+            "--seed",
+            "42",
+            "--threads",
+            threads,
+            "--out",
+            refdir.to_str().unwrap(),
+        ]);
+        assert!(
+            reference.status.success(),
+            "stderr:\n{}",
+            stderr_of(&reference)
+        );
+
+        // The plan fails the first two manifest writes: submission #1
+        // sheds, the retry inside submission #2 lands.
+        let _daemon = DaemonGuard::spawn(&[
+            "serve",
+            "--state",
+            state_s,
+            "--workers",
+            "1",
+            "--storage-faults",
+            plan,
+        ]);
+        wait_ready(&state);
+
+        let submit_args = [
+            "submit",
+            "--state",
+            state_s,
+            "--scale",
+            "tiny",
+            "--seeds",
+            "3",
+            "--seed",
+            "42",
+            "--threads",
+            threads,
+        ];
+        let shed = run(&submit_args);
+        assert!(
+            !shed.status.success(),
+            "threads={threads}: the first submission must be shed"
+        );
+        let body = stdout_of(&shed);
+        assert!(
+            body.contains("disk_full"),
+            "threads={threads}: shed reply must carry the structured reason:\n{body}"
+        );
+        assert!(
+            body.contains("retry_after"),
+            "threads={threads}: shed reply must hint when to retry:\n{body}"
+        );
+        assert!(
+            stderr_of(&shed).contains("not accepted"),
+            "stderr:\n{}",
+            stderr_of(&shed)
+        );
+
+        // With retries, the client backs off through the remaining
+        // failing write and gets in once the fault window closes.
+        let accepted = run(&[&submit_args[..], &["--retries", "2"]].concat());
+        assert!(
+            accepted.status.success(),
+            "threads={threads}: retried submit must succeed:\nstdout:\n{}\nstderr:\n{}",
+            stdout_of(&accepted),
+            stderr_of(&accepted)
+        );
+        let out = stdout_of(&accepted);
+        let id_at = out.find("job-").expect("accepted reply names the job id");
+        let id: String = out[id_at..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+            .collect();
+
+        let finished = run(&["status", "--state", state_s, &id, "--wait"]);
+        assert!(
+            finished.status.success(),
+            "threads={threads}: status --wait failed:\n{}",
+            stderr_of(&finished)
+        );
+        assert!(
+            stdout_of(&finished).contains("\"state\": \"Done\""),
+            "threads={threads}: job did not finish Done:\n{}",
+            stdout_of(&finished)
+        );
+
+        let served =
+            fs::read(state.join("jobs").join(&id).join("sweep.json")).expect("served sweep.json");
+        let expect = fs::read(refdir.join("sweep.json")).expect("reference sweep.json");
+        assert_eq!(
+            served, expect,
+            "threads={threads}: served sweep.json differs from the CLI reference"
+        );
+
+        let down = run(&["shutdown", "--state", state_s]);
+        assert!(down.status.success(), "stderr:\n{}", stderr_of(&down));
+        let _ = fs::remove_dir_all(&state);
+        let _ = fs::remove_dir_all(&refdir);
+    }
+}

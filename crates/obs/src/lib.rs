@@ -42,6 +42,9 @@
 //! * [`heartbeat`] — [`ProgressCell`], a lock-free per-shard liveness
 //!   slot (events popped, current sim-time, cancel flag) that the run
 //!   supervisor's watchdog polls to detect stalled shards.
+//! * [`storage`] — [`storage::StorageFaultSnapshot`], the canonical
+//!   names for injected-storage-fault counters exported by every
+//!   OpenMetrics exposition path.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -54,6 +57,7 @@ pub mod openmetrics;
 pub mod profile;
 pub mod recorder;
 pub mod span;
+pub mod storage;
 pub mod trace_writer;
 
 pub use diagnose::{

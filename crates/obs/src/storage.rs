@@ -1,0 +1,102 @@
+//! Canonical storage-fault telemetry.
+//!
+//! The supervisor's storage failpoint layer counts every fault it
+//! injects; the `streamlab serve` daemon (and any other exporter)
+//! publishes those counts over OpenMetrics. This module owns the
+//! *names* and HELP text so every exposition path agrees on them —
+//! the same single-source-of-truth treatment [`crate::openmetrics`]
+//! gives the simulation counters.
+
+/// A snapshot of injected storage faults, by kind. All counts are
+/// monotonic over one process lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageFaultSnapshot {
+    /// Operations failed with an injected EIO.
+    pub eio: u64,
+    /// Operations failed with an injected ENOSPC.
+    pub enospc: u64,
+    /// Writes truncated (torn) while reporting success.
+    pub torn_writes: u64,
+    /// Fsyncs silently dropped while reporting success.
+    pub lost_fsyncs: u64,
+    /// Operations delayed by an injected slow-IO fault.
+    pub slow_ios: u64,
+    /// Crash failpoints reached (process aborted, or the storage went
+    /// dead in soft-crash mode).
+    pub crashes: u64,
+}
+
+impl StorageFaultSnapshot {
+    /// Total faults injected across every kind.
+    pub fn total(&self) -> u64 {
+        self.eio + self.enospc + self.torn_writes + self.lost_fsyncs + self.slow_ios + self.crashes
+    }
+
+    /// OpenMetrics counter samples, ready for
+    /// [`crate::openmetrics::render_exposition`]'s counter slice.
+    pub fn samples(&self) -> [(&'static str, &'static str, u64); 6] {
+        [
+            (
+                "storage_faults_eio",
+                "storage operations failed with an injected EIO",
+                self.eio,
+            ),
+            (
+                "storage_faults_enospc",
+                "storage operations failed with an injected ENOSPC",
+                self.enospc,
+            ),
+            (
+                "storage_faults_torn_write",
+                "writes truncated (torn) by fault injection while reporting success",
+                self.torn_writes,
+            ),
+            (
+                "storage_faults_lost_fsync",
+                "fsyncs silently dropped by fault injection",
+                self.lost_fsyncs,
+            ),
+            (
+                "storage_faults_slow_io",
+                "storage operations delayed by fault injection",
+                self.slow_ios,
+            ),
+            (
+                "storage_faults_crash",
+                "crash failpoints reached",
+                self.crashes,
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openmetrics::render_exposition;
+
+    #[test]
+    fn totals_and_samples_agree() {
+        let snap = StorageFaultSnapshot {
+            eio: 1,
+            enospc: 2,
+            torn_writes: 3,
+            lost_fsyncs: 4,
+            slow_ios: 5,
+            crashes: 6,
+        };
+        assert_eq!(snap.total(), 21);
+        let samples = snap.samples();
+        assert_eq!(samples.iter().map(|&(_, _, v)| v).sum::<u64>(), 21);
+        // Names are unique and render cleanly.
+        let text = render_exposition(&samples, &[]);
+        assert!(text.contains("streamlab_storage_faults_enospc_total 2"));
+        assert!(text.contains("streamlab_storage_faults_crash_total 6"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn default_snapshot_is_empty() {
+        assert_eq!(StorageFaultSnapshot::default().total(), 0);
+    }
+}

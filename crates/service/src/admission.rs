@@ -60,7 +60,8 @@ impl Default for AdmissionConfig {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShedResponse {
     /// Machine-readable reason: `queue_full`, `job_too_large`,
-    /// `overloaded`.
+    /// `overloaded` — or, from the disk-health layer, `disk_full` /
+    /// `state_dir_unwritable`.
     pub reason: String,
     /// Human-readable explanation with the numbers that tripped.
     pub message: String,

@@ -1,6 +1,12 @@
 //! A thin blocking client for the daemon's control socket — what the
 //! `streamlab submit/status/cancel` subcommands (and the tests) talk
 //! through. One TCP connection per request, `Connection: close`.
+//!
+//! The client honors the daemon's graceful-degradation protocol: a 503
+//! shed response carries `Retry-After`, and [`Client::submit_with_retry`]
+//! backs off (capped exponential with seeded jitter, floored at the
+//! daemon's hint) instead of hammering an overloaded or disk-degraded
+//! daemon.
 
 use crate::job::JobSpec;
 use serde::{Serialize, Value};
@@ -25,12 +31,103 @@ pub struct Reply {
     pub status: u16,
     /// Parsed JSON body (`Value::Null` when the body is not JSON).
     pub body: Value,
+    /// The `Retry-After` header, if the daemon sent one (shed responses
+    /// do).
+    pub retry_after_s: Option<u64>,
 }
 
 impl Reply {
     /// Whether the daemon answered 2xx.
     pub fn ok(&self) -> bool {
         (200..300).contains(&self.status)
+    }
+
+    /// Whether the daemon shed the request (503 + structured body).
+    pub fn shed(&self) -> bool {
+        self.status == 503
+    }
+}
+
+/// Backoff policy for retrying shed submissions: capped exponential with
+/// seeded jitter, floored at the daemon's `Retry-After` hint. The same
+/// shape as the in-simulation retry ladder (`streamlab-faults`), scaled
+/// to control-plane time.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Base delay before the first retry, milliseconds.
+    pub base_ms: u64,
+    /// Ceiling on any single delay, milliseconds.
+    pub cap_ms: u64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by
+    /// `1 + jitter · u` with `u` drawn from the seeded generator.
+    pub jitter: f64,
+    /// Seed for the jitter draws; identical policies back off
+    /// identically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_ms: 200,
+            cap_ms: 5_000,
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// Live backoff state over a [`RetryPolicy`]: one instance per
+/// submission, advanced on every shed response.
+#[derive(Debug)]
+pub struct ShedBackoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: u64,
+}
+
+impl ShedBackoff {
+    /// Fresh state over `policy`.
+    pub fn new(policy: RetryPolicy) -> ShedBackoff {
+        let mut rng = policy.seed ^ 0x9E37_79B9_7F4A_7C15;
+        if rng == 0 {
+            rng = 1;
+        }
+        ShedBackoff {
+            policy,
+            attempt: 0,
+            rng,
+        }
+    }
+
+    /// Record one shed response and return how long to sleep before the
+    /// next attempt, or `None` when the attempt budget is exhausted.
+    /// The exponential delay is floored at the daemon's `Retry-After`
+    /// hint (the daemon knows its own recovery horizon) and capped at
+    /// `cap_ms` before jitter.
+    pub fn next_delay(&mut self, retry_after_s: Option<u64>) -> Option<Duration> {
+        self.attempt += 1;
+        if self.attempt >= self.policy.max_attempts {
+            return None;
+        }
+        let exp = self
+            .policy
+            .base_ms
+            .saturating_mul(1u64 << (self.attempt - 1).min(32));
+        let hint_ms = retry_after_s.unwrap_or(0).saturating_mul(1_000);
+        let base = exp.max(hint_ms).min(self.policy.cap_ms);
+        // xorshift64* jitter: deterministic per seed.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        let u = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+        let ms = (base as f64 * (1.0 + self.policy.jitter * u)).round() as u64;
+        Some(Duration::from_millis(ms))
     }
 }
 
@@ -91,13 +188,20 @@ impl Client {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+        let mut retry_after_s = None;
         loop {
             let mut header = String::new();
             reader
                 .read_line(&mut header)
                 .map_err(|e| format!("reading headers: {e}"))?;
-            if header.trim_end().is_empty() {
+            let header = header.trim_end();
+            if header.is_empty() {
                 break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after_s = value.trim().parse().ok();
+                }
             }
         }
         // Connection: close — the body runs to EOF.
@@ -106,7 +210,11 @@ impl Client {
             .read_to_string(&mut text)
             .map_err(|e| format!("reading body: {e}"))?;
         let body = Value::parse_json(text.trim()).unwrap_or(Value::Null);
-        Ok(Reply { status, body })
+        Ok(Reply {
+            status,
+            body,
+            retry_after_s,
+        })
     }
 
     /// Liveness probe.
@@ -117,6 +225,24 @@ impl Client {
     /// Submit a job spec.
     pub fn submit(&self, spec: &JobSpec) -> Result<Reply, String> {
         self.request("POST", "/jobs", Some(&spec.to_value().to_json_string()))
+    }
+
+    /// Submit a job spec, backing off and retrying while the daemon
+    /// sheds (503). Returns the first non-shed reply, or the last shed
+    /// reply once `policy.max_attempts` is exhausted — the caller can
+    /// tell from [`Reply::shed`].
+    pub fn submit_with_retry(&self, spec: &JobSpec, policy: RetryPolicy) -> Result<Reply, String> {
+        let mut backoff = ShedBackoff::new(policy);
+        loop {
+            let reply = self.submit(spec)?;
+            if !reply.shed() {
+                return Ok(reply);
+            }
+            match backoff.next_delay(reply.retry_after_s) {
+                Some(delay) => std::thread::sleep(delay),
+                None => return Ok(reply),
+            }
+        }
     }
 
     /// All jobs' status snapshots.
@@ -217,5 +343,85 @@ impl Client {
             }
             std::thread::sleep(poll);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 5,
+            base_ms: 100,
+            cap_ms: 1_000,
+            jitter: 0.25,
+            seed,
+        }
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_exhausts() {
+        let mut b = ShedBackoff::new(RetryPolicy {
+            jitter: 0.0,
+            ..policy(7)
+        });
+        let delays: Vec<u64> = std::iter::from_fn(|| b.next_delay(None))
+            .map(|d| d.as_millis() as u64)
+            .collect();
+        // 4 retries out of 5 attempts: 100, 200, 400, 800 — then give up.
+        assert_eq!(delays, vec![100, 200, 400, 800]);
+        assert!(b.next_delay(None).is_none(), "budget must stay exhausted");
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jitter_bounded() {
+        let mut b = ShedBackoff::new(RetryPolicy {
+            max_attempts: 12,
+            ..policy(3)
+        });
+        let mut last = 0;
+        while let Some(d) = b.next_delay(None) {
+            last = d.as_millis() as u64;
+            // cap 1000ms, jitter fraction 0.25 → never above 1250ms.
+            assert!(last <= 1_250, "{last}ms breaks the cap");
+        }
+        assert!(last >= 1_000, "tail delays must sit at the cap ({last}ms)");
+    }
+
+    #[test]
+    fn retry_after_hint_floors_the_delay() {
+        let mut b = ShedBackoff::new(RetryPolicy {
+            jitter: 0.0,
+            cap_ms: 60_000,
+            ..policy(1)
+        });
+        // First exponential delay would be 100ms; the daemon said 2s.
+        let d = b.next_delay(Some(2)).unwrap();
+        assert_eq!(d.as_millis(), 2_000);
+        // A hint smaller than the exponential delay does not shrink it.
+        let d = b.next_delay(Some(0)).unwrap();
+        assert_eq!(d.as_millis(), 200);
+    }
+
+    #[test]
+    fn backoff_is_seed_deterministic() {
+        let run = |seed| {
+            let mut b = ShedBackoff::new(policy(seed));
+            std::iter::from_fn(|| b.next_delay(Some(1)))
+                .map(|d| d.as_millis())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "different seeds must jitter differently");
+    }
+
+    #[test]
+    fn single_attempt_policy_never_sleeps() {
+        let mut b = ShedBackoff::new(RetryPolicy {
+            max_attempts: 1,
+            ..policy(0)
+        });
+        assert!(b.next_delay(Some(30)).is_none());
     }
 }

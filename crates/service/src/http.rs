@@ -122,12 +122,18 @@ pub(crate) fn handle(mut stream: TcpStream, pool: &Arc<Pool>, stop: &Arc<AtomicB
     };
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            write_response(
-                &mut stream,
-                200,
-                &[],
-                &json_body(&json!({ "status": "ok" })),
-            );
+            // Health traffic re-probes a degraded disk, so polling
+            // /healthz is enough to bring the daemon back once space
+            // returns. The daemon itself is alive either way: 200.
+            let body = match pool.check_disk() {
+                None => json!({ "status": "ok", "read_only": false }),
+                Some(failure) => json!({
+                    "status": "degraded",
+                    "read_only": true,
+                    "disk": json!({ "reason": failure.reason, "error": failure.message })
+                }),
+            };
+            write_response(&mut stream, 200, &[], &json_body(&body));
         }
         ("GET", "/metrics") => {
             let text = metrics_text(pool);
@@ -141,12 +147,18 @@ pub(crate) fn handle(mut stream: TcpStream, pool: &Arc<Pool>, stop: &Arc<AtomicB
         ("GET", "/status") => {
             let (depth, running, inflight) = pool.load();
             let quarantined: Vec<Value> = pool.quarantined().iter().map(|q| q.to_value()).collect();
+            let disk = pool.check_disk();
             write_response(
                 &mut stream,
                 200,
                 &[],
                 &json_body(&json!({
-                    "status": "ok",
+                    "status": if disk.is_some() { "degraded" } else { "ok" },
+                    "read_only": disk.is_some(),
+                    "disk": match disk {
+                        Some(f) => json!({ "reason": f.reason, "error": f.message }),
+                        None => Value::Null,
+                    },
                     "queue_depth": depth,
                     "running": running,
                     "inflight_sessions": inflight,
@@ -289,54 +301,77 @@ fn not_found(stream: &mut TcpStream, id: &str) {
     );
 }
 
-/// Render the pool's counters and load as an OpenMetrics exposition.
+/// Render the pool's counters and load as an OpenMetrics exposition,
+/// including disk-degradation state and injected-storage-fault counts.
 pub(crate) fn metrics_text(pool: &Pool) -> String {
     let c = pool.counters();
     let load = |a: &std::sync::atomic::AtomicU64| a.load(Ordering::Relaxed);
     let (depth, running, inflight) = pool.load();
+    let mut counters: Vec<(&str, &str, u64)> = vec![
+        (
+            "serve_jobs_submitted",
+            "submissions accepted into the queue",
+            load(&c.jobs_submitted),
+        ),
+        (
+            "serve_jobs_shed",
+            "submissions shed by admission control",
+            load(&c.jobs_shed),
+        ),
+        (
+            "serve_jobs_completed",
+            "jobs run to completion",
+            load(&c.jobs_completed),
+        ),
+        (
+            "serve_jobs_failed",
+            "jobs that died with a structured error",
+            load(&c.jobs_failed),
+        ),
+        (
+            "serve_jobs_cancelled",
+            "jobs cancelled by a client",
+            load(&c.jobs_cancelled),
+        ),
+        (
+            "serve_seeds_computed",
+            "seeds computed fresh",
+            load(&c.seeds_computed),
+        ),
+        (
+            "serve_seeds_recovered",
+            "seeds resumed from checkpoints",
+            load(&c.seeds_recovered),
+        ),
+        (
+            "serve_quarantined",
+            "state directories quarantined",
+            load(&c.quarantined),
+        ),
+        (
+            "serve_disk_degraded_events",
+            "times the state dir entered degraded (read-only) mode",
+            load(&c.disk_degraded),
+        ),
+        (
+            "serve_disk_recovered_events",
+            "times the state dir recovered from degraded mode",
+            load(&c.disk_recovered),
+        ),
+        (
+            "serve_jobs_parked",
+            "jobs parked by storage failures awaiting disk recovery",
+            load(&c.jobs_parked),
+        ),
+        (
+            "serve_stale_staging_removed",
+            "orphaned staging files removed by startup/open sweeps",
+            load(&c.stale_staging_removed),
+        ),
+    ];
+    counters.extend(pool.storage_fault_snapshot().samples());
     streamlab_obs::openmetrics::render_exposition(
-        &[
-            (
-                "serve_jobs_submitted",
-                "submissions accepted into the queue",
-                load(&c.jobs_submitted),
-            ),
-            (
-                "serve_jobs_shed",
-                "submissions shed by admission control",
-                load(&c.jobs_shed),
-            ),
-            (
-                "serve_jobs_completed",
-                "jobs run to completion",
-                load(&c.jobs_completed),
-            ),
-            (
-                "serve_jobs_failed",
-                "jobs that died with a structured error",
-                load(&c.jobs_failed),
-            ),
-            (
-                "serve_jobs_cancelled",
-                "jobs cancelled by a client",
-                load(&c.jobs_cancelled),
-            ),
-            (
-                "serve_seeds_computed",
-                "seeds computed fresh",
-                load(&c.seeds_computed),
-            ),
-            (
-                "serve_seeds_recovered",
-                "seeds resumed from checkpoints",
-                load(&c.seeds_recovered),
-            ),
-            (
-                "serve_quarantined",
-                "state directories quarantined",
-                load(&c.quarantined),
-            ),
-        ],
+        &counters,
         &[
             ("serve_queue_depth", "jobs waiting for a worker", depth),
             ("serve_jobs_running", "jobs currently executing", running),
@@ -344,6 +379,11 @@ pub(crate) fn metrics_text(pool: &Pool) -> String {
                 "serve_inflight_sessions",
                 "session cost of queued plus running jobs",
                 inflight,
+            ),
+            (
+                "serve_disk_degraded",
+                "1 while the state dir is degraded and the daemon is read-only",
+                pool.disk_status().is_some() as u64,
             ),
         ],
     )

@@ -24,6 +24,13 @@
 //! * **Contain, don't propagate** — a stalled or panicked shard fails
 //!   *its job* with a structured error in the status response; the
 //!   daemon and every other job keep running.
+//! * **Degrade, don't die** — when the state directory stops accepting
+//!   writes (disk full, permissions yanked, device error), the daemon
+//!   enters a read-only degraded mode: submissions shed with a
+//!   `disk_full`/`state_dir_unwritable` `503`, running jobs park at
+//!   their next checkpoint boundary, status endpoints keep answering,
+//!   and a disk-health probe automatically requeues parked work once
+//!   the state dir recovers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,10 +45,10 @@ pub mod registry;
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, ShedResponse, DEPRIORITIZED,
 };
-pub use client::{Client, Reply, ENDPOINT_FILE};
+pub use client::{Client, Reply, RetryPolicy, ShedBackoff, ENDPOINT_FILE};
 pub use job::{JobCost, JobError, JobManifest, JobSpec, JobState, JOB_FORMAT_VERSION};
 pub use pool::{JobRunner, Pool, SeedContext, SubmitOutcome};
-pub use registry::{QuarantineDiagnostic, RecoveryReport, Registry};
+pub use registry::{DiskHealth, QuarantineDiagnostic, RecoveryReport, Registry, StorageFailure};
 
 use serde_json::json;
 use std::net::{TcpListener, TcpStream};
@@ -64,6 +71,10 @@ pub struct ServiceConfig {
     /// Chaos knob: `abort()` the process after this many durable seed
     /// records (the kill-restart gate's deterministic SIGKILL stand-in).
     pub chaos_kill_after: Option<u64>,
+    /// Storage handle every persistence path routes through. The default
+    /// is the real filesystem; tests and `--storage-faults` install a
+    /// fault-injecting [`streamlab_supervisor::Storage`] here.
+    pub storage: streamlab_supervisor::Storage,
 }
 
 impl Default for ServiceConfig {
@@ -74,6 +85,7 @@ impl Default for ServiceConfig {
             workers: 2,
             admission: AdmissionConfig::default(),
             chaos_kill_after: None,
+            storage: streamlab_supervisor::Storage::real(),
         }
     }
 }
@@ -90,7 +102,7 @@ impl Daemon {
     /// Open the state directory, recover the queue, bind the control
     /// socket, publish `<state>/endpoint.json`, and start serving.
     pub fn start(config: ServiceConfig, runner: Arc<dyn JobRunner>) -> Result<Daemon, String> {
-        let registry = Registry::open(&config.state_dir)?;
+        let registry = Registry::open_in(config.storage.clone(), &config.state_dir)?;
         let pool = Arc::new(Pool::start(
             registry,
             runner,
@@ -109,7 +121,8 @@ impl Daemon {
 
         // Publish the endpoint for `Client::from_state_dir` discovery.
         let endpoint = json!({ "addr": addr.clone(), "pid": std::process::id() as u64 });
-        streamlab_supervisor::atomic_write(
+        streamlab_supervisor::atomic_write_in(
+            &config.storage,
             &config.state_dir.join(ENDPOINT_FILE),
             (endpoint.to_json_pretty() + "\n").as_bytes(),
         )

@@ -15,10 +15,20 @@
 //! bad config) fails *that job* with a structured [`JobError`] in its
 //! manifest — the worker moves on to the next job and the daemon never
 //! dies with it.
+//!
+//! Disk degradation: when the state directory itself stops accepting
+//! writes (ENOSPC, a read-only remount), the daemon degrades instead of
+//! crashing. Submissions are shed with `disk_full` /
+//! `state_dir_unwritable` (503 + `retry_after`), jobs whose checkpoints
+//! hit the bad disk are *parked* rather than failed, and every
+//! submission (and health check) re-probes the disk — one successful
+//! probe clears the degradation and re-enqueues the parked jobs.
 
 use crate::admission::{AdmissionController, AdmissionDecision, ShedResponse};
 use crate::job::{JobCost, JobError, JobManifest, JobSpec, JobState};
-use crate::registry::{recovered_state, QuarantineDiagnostic, Registry};
+use crate::registry::{
+    recovered_state, DiskHealth, QuarantineDiagnostic, Registry, StorageFailure,
+};
 use serde::{Serialize, Value};
 use serde_json::json;
 use std::collections::BTreeMap;
@@ -195,6 +205,24 @@ pub struct Counters {
     pub seeds_recovered: AtomicU64,
     /// State directories quarantined during recovery.
     pub quarantined: AtomicU64,
+    /// Times the state directory entered degraded (read-only) mode.
+    pub disk_degraded: AtomicU64,
+    /// Times the state directory recovered from degraded mode.
+    pub disk_recovered: AtomicU64,
+    /// Jobs parked by storage failures, awaiting disk recovery.
+    pub jobs_parked: AtomicU64,
+    /// Orphaned atomic-write staging files removed by startup/open sweeps.
+    pub stale_staging_removed: AtomicU64,
+}
+
+/// Why submissions are being shed at the door: the state directory is
+/// not accepting durable writes. Cleared by a successful re-probe.
+struct DiskState {
+    /// The degradation currently in force, if any.
+    down: Option<StorageFailure>,
+    /// Jobs pulled off a worker by a storage failure, to be re-enqueued
+    /// when the disk recovers.
+    parked: Vec<String>,
 }
 
 struct QueueState {
@@ -221,6 +249,8 @@ struct Shared {
     chaos_records: Mutex<u64>,
     counters: Counters,
     quarantine_log: Mutex<Vec<QuarantineDiagnostic>>,
+    /// Lock order: `disk` before `queue` (never the reverse).
+    disk: Mutex<DiskState>,
 }
 
 /// The worker pool. Dropping it without [`Pool::shutdown`] detaches the
@@ -258,11 +288,19 @@ impl Pool {
             chaos_records: Mutex::new(0),
             counters: Counters::default(),
             quarantine_log: Mutex::new(report.quarantined),
+            disk: Mutex::new(DiskState {
+                down: None,
+                parked: Vec::new(),
+            }),
         });
         shared.counters.quarantined.store(
             shared.quarantine_log.lock().unwrap().len() as u64,
             Ordering::Relaxed,
         );
+        shared
+            .counters
+            .stale_staging_removed
+            .store(report.stale_staging.len() as u64, Ordering::Relaxed);
 
         // Re-admit recovered jobs. Interrupted (`Running`) jobs go back
         // to `Queued`; their completed seeds are recovered from the run
@@ -331,10 +369,21 @@ impl Pool {
         }
     }
 
-    /// Submit one spec: runner validation, then admission control, then
-    /// durable enqueue. The manifest hits disk before the submission is
-    /// acknowledged, so an acknowledged job survives any crash.
+    /// Submit one spec: disk-health gate, then runner validation, then
+    /// admission control, then durable enqueue. The manifest hits disk
+    /// before the submission is acknowledged, so an acknowledged job
+    /// survives any crash. While the state directory is degraded every
+    /// submission re-probes it and is shed with the disk's reason
+    /// (`disk_full` / `state_dir_unwritable`) until a probe succeeds.
     pub fn submit(&self, mut spec: JobSpec) -> SubmitOutcome {
+        if let Some(failure) = self.check_disk() {
+            self.shared
+                .counters
+                .jobs_shed
+                .fetch_add(1, Ordering::Relaxed);
+            let depth = self.shared.queue.lock().unwrap().waiting.len();
+            return SubmitOutcome::Shed(disk_shed(&failure, depth));
+        }
         let cost = match self.shared.runner.prepare(&spec) {
             Ok(c) => c,
             Err(e) => return SubmitOutcome::Invalid(e),
@@ -364,11 +413,18 @@ impl Pool {
         q.next_seq += 1;
         let id = format!("job-{seq:06}");
         let manifest = JobManifest::new(id.clone(), seq, spec, degraded.clone());
-        if let Err(e) = self.shared.registry.save_manifest(&manifest) {
-            return SubmitOutcome::Invalid(JobError::new(
-                "checkpoint",
-                format!("persisting job manifest: {e}"),
-            ));
+        if let Err(failure) = self.shared.registry.save_manifest(&manifest) {
+            // Ack-after-persist: an unpersisted job is not accepted. The
+            // disk, not the spec, is at fault — degrade to read-only
+            // status serving and shed with the structured disk reason.
+            let depth = q.waiting.len();
+            drop(q);
+            enter_degraded(&self.shared, failure.clone());
+            self.shared
+                .counters
+                .jobs_shed
+                .fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Shed(disk_shed(&failure, depth));
         }
         let cost_sessions = JobCost {
             sessions: cost.sessions,
@@ -458,6 +514,59 @@ impl Pool {
         &self.shared.counters
     }
 
+    /// The storage degradation currently in force, if any — without
+    /// probing.
+    pub fn disk_status(&self) -> Option<StorageFailure> {
+        self.shared.disk.lock().unwrap().down.clone()
+    }
+
+    /// Re-probe a degraded state directory; on recovery, re-enqueue
+    /// every parked job. Returns the degradation still in force, if
+    /// any. Free (no probe, no I/O) while the daemon is healthy.
+    pub fn check_disk(&self) -> Option<StorageFailure> {
+        let shared = &self.shared;
+        let mut disk = shared.disk.lock().unwrap();
+        disk.down.as_ref()?;
+        match shared.registry.probe_disk() {
+            DiskHealth::Degraded(failure) => {
+                disk.down = Some(failure.clone());
+                Some(failure)
+            }
+            DiskHealth::Ok => {
+                disk.down = None;
+                let parked = std::mem::take(&mut disk.parked);
+                drop(disk);
+                shared
+                    .counters
+                    .disk_recovered
+                    .fetch_add(1, Ordering::Relaxed);
+                let jobs = shared.jobs.lock().unwrap();
+                let handles: Vec<_> = parked
+                    .iter()
+                    .filter_map(|id| jobs.get(id).cloned())
+                    .collect();
+                drop(jobs);
+                let mut q = shared.queue.lock().unwrap();
+                for handle in &handles {
+                    q.waiting.push(handle.id.clone());
+                    q.inflight_sessions += handle.cost.sessions;
+                }
+                drop(q);
+                for handle in &handles {
+                    handle.beat("requeued_after_disk_recovery", &[]);
+                }
+                shared.cond.notify_all();
+                None
+            }
+        }
+    }
+
+    /// Injected-storage-fault counts from the registry's storage handle
+    /// (all zeros without `--storage-faults`).
+    pub fn storage_fault_snapshot(&self) -> streamlab_obs::storage::StorageFaultSnapshot {
+        self.shared.registry.storage().fault_snapshot()
+    }
+
     /// Stop accepting queue pulls and join the workers. Jobs already
     /// running finish their current seed and are left `Running` on disk —
     /// restart recovery resumes them from their checkpoints. Idempotent.
@@ -508,6 +617,74 @@ fn pick_next(shared: &Shared, waiting: &[String]) -> Option<usize> {
         .map(|(i, _, _)| i)
 }
 
+/// The structured shed response for a degraded state directory.
+fn disk_shed(failure: &StorageFailure, queue_depth: usize) -> ShedResponse {
+    ShedResponse {
+        reason: failure.reason.to_owned(),
+        message: format!(
+            "state directory is not accepting writes ({}); the daemon is serving \
+             status read-only until it recovers",
+            failure.message
+        ),
+        queue_depth,
+        retry_after_s: 5,
+    }
+}
+
+/// Record a storage failure: the daemon enters degraded (read-only)
+/// mode until a probe succeeds.
+fn enter_degraded(shared: &Shared, failure: StorageFailure) {
+    let mut disk = shared.disk.lock().unwrap();
+    if disk.down.is_none() {
+        shared
+            .counters
+            .disk_degraded
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    disk.down = Some(failure);
+}
+
+/// Park a job hit by a storage failure: back to the in-memory queue it
+/// goes, to re-run when the disk recovers. Its on-disk manifest is NOT
+/// rewritten — the disk is the thing that is broken — so it stays at
+/// its last durable state (`Running`), which restart recovery already
+/// re-enqueues if the daemon dies while degraded.
+fn park_job(shared: &Shared, handle: &JobHandle, failure: StorageFailure) {
+    {
+        let mut m = handle.manifest.lock().unwrap();
+        m.state = JobState::Queued;
+    }
+    {
+        let mut disk = shared.disk.lock().unwrap();
+        if disk.down.is_none() {
+            shared
+                .counters
+                .disk_degraded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        disk.down = Some(failure.clone());
+        disk.parked.push(handle.id.clone());
+    }
+    shared.counters.jobs_parked.fetch_add(1, Ordering::Relaxed);
+    handle.beat(
+        "parked",
+        &[
+            ("reason", Value::String(failure.reason.to_owned())),
+            ("error", Value::String(failure.message)),
+        ],
+    );
+}
+
+/// A checkpoint-stage failure is either the disk dying under the daemon
+/// (probe fails → park the job for the recovery requeue) or a
+/// job-specific problem (probe passes → fail the job as before).
+fn storage_fail_or_park(shared: &Shared, handle: &JobHandle, error: JobError) {
+    match shared.registry.probe_disk() {
+        DiskHealth::Degraded(failure) => park_job(shared, handle, failure),
+        DiskHealth::Ok => fail_job(shared, handle, error),
+    }
+}
+
 /// Transition + persist + count a terminal failure.
 fn fail_job(shared: &Shared, handle: &JobHandle, error: JobError) {
     let mut m = handle.manifest.lock().unwrap();
@@ -542,6 +719,14 @@ fn run_job(shared: &Shared, handle: &JobHandle) {
         cancel_job(shared, handle);
         return;
     }
+    // A degraded state dir: don't start work that cannot checkpoint —
+    // park immediately for the recovery requeue. (New submissions are
+    // shed at the door; this catches jobs already queued when the disk
+    // went bad.)
+    if let Some(failure) = shared.disk.lock().unwrap().down.clone() {
+        park_job(shared, handle, failure);
+        return;
+    }
     let spec = {
         let mut m = handle.manifest.lock().unwrap();
         m.state = JobState::Running;
@@ -558,27 +743,28 @@ fn run_job(shared: &Shared, handle: &JobHandle) {
     // the directory recreated — the job recomputes its seeds, which is
     // byte-identical to never having checkpointed.
     let run_path = shared.registry.run_dir(&handle.id);
+    let storage = shared.registry.storage().clone();
     let fresh =
         streamlab_supervisor::Manifest::new(&spec.kind, spec.seeds.clone(), spec.config.clone());
     let run_dir = if run_path.join("manifest.json").exists() {
-        match streamlab_supervisor::RunDir::open(&run_path) {
+        match streamlab_supervisor::RunDir::open_in(storage.clone(), &run_path) {
             Ok(d) if d.manifest().fingerprint == fresh.fingerprint => Ok(d),
-            Ok(_) => streamlab_supervisor::RunDir::create(&run_path, fresh),
+            Ok(_) => streamlab_supervisor::RunDir::create_in(storage, &run_path, fresh),
             Err(e) => {
                 let diag = shared.registry.quarantine_run_dir(&handle.id, e);
                 shared.counters.quarantined.fetch_add(1, Ordering::Relaxed);
                 handle.beat("checkpoint_quarantined", &[("diagnostic", diag.to_value())]);
                 shared.quarantine_log.lock().unwrap().push(diag);
-                streamlab_supervisor::RunDir::create(&run_path, fresh)
+                streamlab_supervisor::RunDir::create_in(storage, &run_path, fresh)
             }
         }
     } else {
-        streamlab_supervisor::RunDir::create(&run_path, fresh)
+        streamlab_supervisor::RunDir::create_in(storage, &run_path, fresh)
     };
     let run_dir = match run_dir {
         Ok(d) => d,
         Err(e) => {
-            fail_job(
+            storage_fail_or_park(
                 shared,
                 handle,
                 JobError::new("checkpoint", format!("opening run directory: {e}")),
@@ -586,6 +772,16 @@ fn run_job(shared: &Shared, handle: &JobHandle) {
             return;
         }
     };
+    if !run_dir.stale_staging().is_empty() {
+        shared
+            .counters
+            .stale_staging_removed
+            .fetch_add(run_dir.stale_staging().len() as u64, Ordering::Relaxed);
+        handle.beat(
+            "staging_swept",
+            &[("files", json!(run_dir.stale_staging().to_vec()))],
+        );
+    }
 
     let (mut done, skipped) = run_dir.completed_seeds();
     if !skipped.is_empty() {
@@ -637,7 +833,7 @@ fn run_job(shared: &Shared, handle: &JobHandle) {
             let mut n = shared.chaos_records.lock().unwrap();
             if let Err(e) = run_dir.record_seed(seed, payload.clone()) {
                 drop(n);
-                fail_job(
+                storage_fail_or_park(
                     shared,
                     handle,
                     JobError::new("checkpoint", format!("recording seed {seed}: {e}")),
@@ -680,8 +876,12 @@ fn run_job(shared: &Shared, handle: &JobHandle) {
         }
     };
     let summary_path = shared.registry.summary_path(&handle.id);
-    if let Err(e) = streamlab_supervisor::atomic_write(&summary_path, summary.as_bytes()) {
-        fail_job(
+    if let Err(e) = streamlab_supervisor::atomic_write_in(
+        shared.registry.storage(),
+        &summary_path,
+        summary.as_bytes(),
+    ) {
+        storage_fail_or_park(
             shared,
             handle,
             JobError::new("checkpoint", format!("writing summary: {e}")),

@@ -19,12 +19,22 @@
 //! otherwise-healthy job is quarantined the same way
 //! ([`Registry::quarantine_run_dir`]) and the job simply recomputes its
 //! seeds, which is byte-identical to never having checkpointed.
+//!
+//! Every persistence operation routes through a supervisor [`Storage`]
+//! handle, so a `--storage-faults` plan can fail any of them
+//! deterministically. [`Registry::probe_disk`] runs a full atomic write
+//! through that handle to classify the state directory as healthy or
+//! degraded ([`DiskHealth`]), and recovery sweeps out orphaned staging
+//! files whose pid-stamped names would otherwise leak forever.
 
 use crate::job::{JobManifest, JobState};
 use serde::{Deserialize, Serialize, Value};
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
-use streamlab_supervisor::atomic_write;
+use streamlab_supervisor::{
+    ambient_storage, atomic_write_in, sweep_stale_staging_in, Storage, StorageOps,
+};
 
 /// File name of the per-job manifest inside its job directory.
 pub const MANIFEST_FILE: &str = "job.json";
@@ -74,29 +84,105 @@ pub struct RecoveryReport {
     /// `max(submit_seq) + 1` over recovered jobs (1 on a fresh state
     /// dir), so new submissions never collide with recovered ones.
     pub next_seq: u64,
+    /// Orphaned atomic-write staging files removed from the state dir
+    /// and the job directories: their names embed a dead writer's pid,
+    /// so nothing else would ever reclaim them.
+    pub stale_staging: Vec<String>,
+}
+
+/// A structured state-directory failure: the shed `reason` the daemon
+/// degrades with, plus the underlying error text. `disk_full` maps from
+/// `ENOSPC`; every other write failure is `state_dir_unwritable`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageFailure {
+    /// Machine-readable shed reason: `disk_full` or
+    /// `state_dir_unwritable`.
+    pub reason: &'static str,
+    /// Human-readable context plus the underlying I/O error.
+    pub message: String,
+}
+
+impl StorageFailure {
+    /// Classify an I/O failure on the state directory.
+    pub fn from_io(context: &str, e: &io::Error) -> StorageFailure {
+        let reason = if e.kind() == io::ErrorKind::StorageFull {
+            "disk_full"
+        } else {
+            "state_dir_unwritable"
+        };
+        StorageFailure {
+            reason,
+            message: format!("{context}: {e}"),
+        }
+    }
+}
+
+impl std::fmt::Display for StorageFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.reason, self.message)
+    }
+}
+
+/// Outcome of a state-directory health probe.
+#[derive(Debug, Clone)]
+pub enum DiskHealth {
+    /// The state directory accepts durable writes.
+    Ok,
+    /// The state directory refused a probe write; the daemon should
+    /// shed with the contained reason until a later probe succeeds.
+    Degraded(StorageFailure),
 }
 
 /// The daemon's state directory.
 #[derive(Debug, Clone)]
 pub struct Registry {
     root: PathBuf,
+    storage: Storage,
 }
 
 impl Registry {
-    /// Open (creating if absent) a state directory.
+    /// Open (creating if absent) a state directory, via the ambient
+    /// [`Storage`].
     pub fn open(root: &Path) -> Result<Registry, String> {
+        Registry::open_in(ambient_storage(), root)
+    }
+
+    /// Open (creating if absent) a state directory, routing every
+    /// persistence operation through `storage`.
+    pub fn open_in(storage: Storage, root: &Path) -> Result<Registry, String> {
         for sub in ["jobs", "quarantine"] {
             let dir = root.join(sub);
             fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
         }
         Ok(Registry {
             root: root.to_owned(),
+            storage,
         })
     }
 
     /// The state directory root.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The storage handle all registry persistence goes through.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Probe whether the state directory accepts durable writes, by
+    /// running a tiny atomic write through the full staging → fsync →
+    /// rename → dir-fsync protocol. Cheap enough to run on every
+    /// submission while degraded.
+    pub fn probe_disk(&self) -> DiskHealth {
+        let probe = self.root.join(".disk-probe");
+        match atomic_write_in(&self.storage, &probe, b"{\"probe\":true}\n") {
+            Ok(()) => {
+                let _ = self.storage.remove_file(&probe);
+                DiskHealth::Ok
+            }
+            Err(e) => DiskHealth::Degraded(StorageFailure::from_io("disk-health probe", &e)),
+        }
     }
 
     /// Directory of job `id`.
@@ -115,13 +201,17 @@ impl Registry {
     }
 
     /// Durably (re)write a job's manifest. Atomic: a kill mid-call
-    /// leaves either the old manifest or the new one.
-    pub fn save_manifest(&self, manifest: &JobManifest) -> Result<(), String> {
+    /// leaves either the old manifest or the new one. Failures come
+    /// back classified ([`StorageFailure`]) so the daemon can degrade
+    /// with the right shed reason.
+    pub fn save_manifest(&self, manifest: &JobManifest) -> Result<(), StorageFailure> {
         let dir = self.job_dir(&manifest.id);
-        fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        fs::create_dir_all(&dir)
+            .map_err(|e| StorageFailure::from_io(&format!("creating {}", dir.display()), &e))?;
         let path = dir.join(MANIFEST_FILE);
         let json = manifest.to_value().to_json_pretty() + "\n";
-        atomic_write(&path, json.as_bytes()).map_err(|e| e.to_string())
+        atomic_write_in(&self.storage, &path, json.as_bytes())
+            .map_err(|e| StorageFailure::from_io("persisting job manifest", &e))
     }
 
     /// Move `dir` (under the state root) into `quarantine/`, write the
@@ -147,7 +237,7 @@ impl Registry {
             n += 1;
             dest = qdir.join(format!("{name}.{n}"));
         }
-        let moved = fs::rename(dir, &dest);
+        let moved = self.storage.rename(dir, &dest);
         let quarantined_to = match moved {
             Ok(()) => format!("quarantine/{}", dest.file_name().unwrap().to_string_lossy()),
             Err(e) => format!("(move failed: {e}; left in place)"),
@@ -167,7 +257,7 @@ impl Registry {
         };
         let diag_path = dest.with_extension("diagnostic.json");
         let json = diag.to_value().to_json_pretty() + "\n";
-        let _ = atomic_write(&diag_path, json.as_bytes());
+        let _ = atomic_write_in(&self.storage, &diag_path, json.as_bytes());
         diag
     }
 
@@ -179,7 +269,7 @@ impl Registry {
         // Quarantined run dirs are named after their job so several
         // corrupt checkpoints from one job's lifetime stay attributable.
         let tagged = self.job_dir(id).join(format!("{id}-run"));
-        let dir = if fs::rename(&run, &tagged).is_ok() {
+        let dir = if self.storage.rename(&run, &tagged).is_ok() {
             tagged
         } else {
             run.clone()
@@ -189,12 +279,19 @@ impl Registry {
 
     /// Scan `jobs/` and rebuild the registry, quarantining anything that
     /// cannot be trusted. Never panics, never aborts on a bad entry.
+    /// Orphaned atomic-write staging files (from writers that died
+    /// between create and rename) are swept out of the state root and
+    /// every job directory and reported in the diagnostics.
     pub fn recover(&self) -> RecoveryReport {
         let mut report = RecoveryReport {
             next_seq: 1,
             ..RecoveryReport::default()
         };
         let jobs_dir = self.root.join("jobs");
+        report.stale_staging = sweep_stale_staging_in(&self.storage, &self.root);
+        report
+            .stale_staging
+            .extend(sweep_stale_staging_in(&self.storage, &jobs_dir));
         let entries = match fs::read_dir(&jobs_dir) {
             Ok(e) => e,
             Err(_) => return report,
@@ -204,8 +301,11 @@ impl Registry {
             if !dir.is_dir() {
                 continue; // stray files are not ours to judge
             }
+            report
+                .stale_staging
+                .extend(sweep_stale_staging_in(&self.storage, &dir));
             let manifest_path = dir.join(MANIFEST_FILE);
-            let text = match fs::read_to_string(&manifest_path) {
+            let text = match self.storage.read_to_string(&manifest_path) {
                 Ok(t) => t,
                 Err(e) => {
                     report.quarantined.push(self.quarantine(
@@ -358,6 +458,81 @@ mod tests {
             .filter(|n| !n.ends_with(".diagnostic.json"))
             .collect();
         assert_eq!(slots.len(), 3, "{slots:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recovery_sweeps_orphaned_staging_files() {
+        let root = scratch("staging");
+        let reg = Registry::open(&root).unwrap();
+        reg.save_manifest(&manifest(1)).unwrap();
+        // Orphans at every level the daemon writes to.
+        fs::write(root.join(".endpoint.json.tmp.4242"), b"orphan").unwrap();
+        fs::write(root.join("jobs").join(".x.json.tmp.4242"), b"orphan").unwrap();
+        fs::write(
+            reg.job_dir("job-000001").join(".job.json.tmp.4242"),
+            b"orphan",
+        )
+        .unwrap();
+        let report = reg.recover();
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.stale_staging.len(), 3, "{:?}", report.stale_staging);
+        assert!(!root.join(".endpoint.json.tmp.4242").exists());
+        assert!(!reg
+            .job_dir("job-000001")
+            .join(".job.json.tmp.4242")
+            .exists());
+        // A second recovery finds nothing left to sweep.
+        assert!(reg.recover().stale_staging.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn probe_disk_reports_classified_failures() {
+        use streamlab_supervisor::{Storage, StorageFaultPlan};
+        let root = scratch("probe");
+        let healthy = Registry::open(&root).unwrap();
+        assert!(matches!(healthy.probe_disk(), DiskHealth::Ok));
+        // The probe file is cleaned up after a successful probe.
+        assert!(!root.join(".disk-probe").exists());
+
+        let full_plan =
+            StorageFaultPlan::from_json_str(r#"{ "rules": [ { "kind": "enospc", "count": 0 } ] }"#)
+                .unwrap();
+        let full = Registry::open_in(Storage::faulty_soft(full_plan), &root).unwrap();
+        match full.probe_disk() {
+            DiskHealth::Degraded(f) => {
+                assert_eq!(f.reason, "disk_full");
+                assert!(f.message.contains("probe"), "{f}");
+            }
+            DiskHealth::Ok => panic!("ENOSPC-saturated storage probed healthy"),
+        }
+
+        let eio_plan =
+            StorageFaultPlan::from_json_str(r#"{ "rules": [ { "kind": "eio", "count": 0 } ] }"#)
+                .unwrap();
+        let broken = Registry::open_in(Storage::faulty_soft(eio_plan), &root).unwrap();
+        match broken.probe_disk() {
+            DiskHealth::Degraded(f) => assert_eq!(f.reason, "state_dir_unwritable"),
+            DiskHealth::Ok => panic!("EIO-saturated storage probed healthy"),
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn save_manifest_failures_carry_shed_reasons() {
+        use streamlab_supervisor::{Storage, StorageFaultPlan};
+        let root = scratch("savefail");
+        let plan = StorageFaultPlan::from_json_str(
+            r#"{ "rules": [ { "op": "write", "path_contains": "jobs/", "kind": "enospc", "count": 0 } ] }"#,
+        )
+        .unwrap();
+        let reg = Registry::open_in(Storage::faulty_soft(plan), &root).unwrap();
+        let err = reg.save_manifest(&manifest(1)).unwrap_err();
+        assert_eq!(err.reason, "disk_full");
+        assert!(err.message.contains("manifest"), "{err}");
+        // The fault plan matches only jobs/: the probe path is healthy.
+        assert!(matches!(reg.probe_disk(), DiskHealth::Ok));
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,367 @@
+//! End-to-end disk-degradation coverage: a daemon whose state directory
+//! stops accepting writes (injected ENOSPC on every write) sheds
+//! submissions with a structured `disk_full` 503 + `Retry-After`,
+//! reports itself degraded/read-only on `/healthz` and `/status`,
+//! parks the running job instead of failing it — and once the fault
+//! clears, a retried submission is accepted and completes with output
+//! byte-identical to a never-degraded run.
+//!
+//! The fault plan is armed and disarmed through the shared
+//! [`Storage`] handle mid-flight, which is exactly how a real disk
+//! fills up and is then cleaned: the daemon must ride through both
+//! transitions without restarting.
+
+use serde::Value;
+use serde_json::json;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use streamlab_service::{
+    Daemon, JobCost, JobError, JobRunner, JobSpec, RetryPolicy, SeedContext, ServiceConfig,
+    SubmitOutcome,
+};
+use streamlab_supervisor::{FaultKind, FaultRule, Storage, StorageFaultPlan, StorageOp};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "streamlab-storage-faults-{}-{n}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// ENOSPC on every write, forever (until disarmed via `set_enabled`).
+fn enospc_plan() -> StorageFaultPlan {
+    StorageFaultPlan {
+        seed: 0,
+        rules: vec![FaultRule {
+            op: StorageOp::Write,
+            path_contains: String::new(),
+            nth: 1,
+            count: 0,
+            probability: 1.0,
+            kind: FaultKind::Enospc,
+        }],
+    }
+}
+
+fn spec(tag: u64, seeds: u64) -> JobSpec {
+    JobSpec {
+        label: format!("disk job {tag}"),
+        kind: "sweep".into(),
+        config: json!({ "sessions": 100u64 + tag }),
+        seeds: (0..seeds).map(|i| tag * 100 + i).collect(),
+        threads: 1,
+        priority: 0,
+        audit: false,
+    }
+}
+
+/// Deterministic toy runner with a one-shot gate: when armed, the first
+/// `run_seed` call blocks until the test releases it — the hook that
+/// lets the test inject a disk fault at a known point mid-job.
+struct GateRunner {
+    gate: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl GateRunner {
+    fn open() -> GateRunner {
+        GateRunner {
+            gate: Arc::new((Mutex::new(true), Condvar::new())),
+        }
+    }
+
+    fn closed() -> (GateRunner, Arc<(Mutex<bool>, Condvar)>) {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        (
+            GateRunner {
+                gate: Arc::clone(&gate),
+            },
+            gate,
+        )
+    }
+}
+
+fn release(gate: &Arc<(Mutex<bool>, Condvar)>) {
+    let (lock, cv) = &**gate;
+    *lock.lock().unwrap() = true;
+    cv.notify_all();
+}
+
+impl JobRunner for GateRunner {
+    fn prepare(&self, spec: &JobSpec) -> Result<JobCost, JobError> {
+        Ok(JobCost {
+            sessions: spec.seeds.len() as u64,
+            threads: 1,
+        })
+    }
+
+    fn run_seed(
+        &self,
+        _spec: &JobSpec,
+        seed: u64,
+        _ctx: &SeedContext<'_>,
+    ) -> Result<Value, JobError> {
+        let (lock, cv) = &*self.gate;
+        let mut open = lock.lock().unwrap();
+        while !*open {
+            open = cv.wait(open).unwrap();
+        }
+        drop(open);
+        Ok(json!({ "echo": seed * 3 + 1 }))
+    }
+
+    fn summarize(&self, spec: &JobSpec, per_seed: &[(u64, Value)]) -> Result<String, JobError> {
+        let echoes: Vec<u64> = per_seed
+            .iter()
+            .map(|(_, p)| p.get("echo").and_then(|v| v.as_u64()).unwrap_or(0))
+            .collect();
+        Ok(json!({ "label": spec.label.clone(), "echoes": echoes }).to_json_pretty() + "\n")
+    }
+}
+
+fn config(state: &Path, storage: Storage) -> ServiceConfig {
+    ServiceConfig {
+        state_dir: state.to_owned(),
+        workers: 1,
+        storage,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn enospc_sheds_disk_full_and_recovers_byte_identically() {
+    // Reference: the same job on a healthy daemon.
+    let ref_state = scratch();
+    let reference = {
+        let daemon = Daemon::start(
+            config(&ref_state, Storage::real()),
+            Arc::new(GateRunner::open()),
+        )
+        .expect("reference daemon");
+        let client = daemon.client();
+        let reply = client.submit(&spec(1, 3)).expect("reference submit");
+        assert!(reply.ok(), "reference submit failed: {:?}", reply.body);
+        let id = reply.body.get("id").and_then(|v| v.as_str()).unwrap();
+        let done = client.wait(id, Duration::from_millis(10)).expect("wait");
+        assert_eq!(done.get("state").and_then(|v| v.as_str()), Some("Done"));
+        let bytes = fs::read(ref_state.join("jobs").join(id).join("sweep.json")).unwrap();
+        daemon.shutdown();
+        bytes
+    };
+
+    let state = scratch();
+    let storage = Storage::faulty(enospc_plan());
+    storage.set_enabled(false); // inert until the test pulls the plug
+    let daemon = Daemon::start(
+        config(&state, storage.clone()),
+        Arc::new(GateRunner::open()),
+    )
+    .expect("daemon under latent faults");
+    let client = daemon.client();
+
+    // Healthy first: the armed-but-disabled plan changes nothing.
+    let healthy = client.healthz().expect("healthz");
+    assert_eq!(
+        healthy.body.get("status").and_then(|v| v.as_str()),
+        Some("ok")
+    );
+
+    // The disk "fills". Every write now fails ENOSPC, so the very next
+    // submission fails to persist its manifest and must be shed with
+    // the structured reason — never acked-then-lost.
+    storage.set_enabled(true);
+    let shed = client.submit(&spec(2, 3)).expect("shed submit");
+    assert!(shed.shed(), "expected a 503, got {}", shed.status);
+    assert_eq!(shed.retry_after_s, Some(5), "Retry-After must be set");
+    let reason = shed
+        .body
+        .get("shed")
+        .and_then(|s| s.get("reason"))
+        .and_then(|r| r.as_str());
+    assert_eq!(reason, Some("disk_full"), "body: {:?}", shed.body);
+
+    // The daemon is degraded, not dead: status answers read-only.
+    let status = client.daemon_status().expect("daemon status");
+    assert_eq!(
+        status.body.get("status").and_then(|v| v.as_str()),
+        Some("degraded")
+    );
+    assert_eq!(
+        status.body.get("read_only").and_then(|v| v.as_bool()),
+        Some(true)
+    );
+    let disk_reason = status
+        .body
+        .get("disk")
+        .and_then(|d| d.get("reason"))
+        .and_then(|r| r.as_str());
+    assert_eq!(disk_reason, Some("disk_full"));
+
+    // The degradation is on the wire for scrapes too.
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("streamlab_serve_disk_degraded 1"),
+        "metrics must flag the degraded gauge:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("streamlab_storage_faults_enospc_total"),
+        "metrics must export injected-fault counters:\n{metrics}"
+    );
+
+    // Space returns. Health traffic re-probes, clears the degradation,
+    // and a client retrying with backoff gets in.
+    storage.set_enabled(false);
+    let retried = client
+        .submit_with_retry(
+            &spec(2, 3),
+            RetryPolicy {
+                max_attempts: 3,
+                base_ms: 10,
+                cap_ms: 50,
+                ..Default::default()
+            },
+        )
+        .expect("retried submit");
+    assert!(
+        retried.ok(),
+        "retry after recovery failed: {:?}",
+        retried.body
+    );
+    let id = retried
+        .body
+        .get("id")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .to_owned();
+    let done = client.wait(&id, Duration::from_millis(10)).expect("wait");
+    assert_eq!(done.get("state").and_then(|v| v.as_str()), Some("Done"));
+
+    // Byte-identity survived the whole episode: summaries are pure
+    // functions of (label, seeds), so the tag-2 job that ran after
+    // recovery must write exactly what a healthy daemon writes for the
+    // same tag.
+    let survived = fs::read(state.join("jobs").join(&id).join("sweep.json")).unwrap();
+    let ref2_state = scratch();
+    let ref2 = Daemon::start(
+        config(&ref2_state, Storage::real()),
+        Arc::new(GateRunner::open()),
+    )
+    .expect("second reference daemon");
+    let rc = ref2.client();
+    let r = rc.submit(&spec(2, 3)).expect("submit");
+    let rid = r
+        .body
+        .get("id")
+        .and_then(|v| v.as_str())
+        .unwrap()
+        .to_owned();
+    rc.wait(&rid, Duration::from_millis(10)).expect("wait");
+    let expect = fs::read(ref2_state.join("jobs").join(&rid).join("sweep.json")).unwrap();
+    assert_eq!(
+        survived, expect,
+        "post-recovery output must be byte-identical to a healthy run"
+    );
+    assert!(
+        !reference.is_empty(),
+        "healthy reference run must produce output"
+    );
+
+    ref2.shutdown();
+    daemon.shutdown();
+    let _ = fs::remove_dir_all(&ref_state);
+    let _ = fs::remove_dir_all(&ref2_state);
+    let _ = fs::remove_dir_all(&state);
+}
+
+/// A job already *running* when the disk fills is parked — not failed,
+/// not lost — and automatically requeued and finished once the disk
+/// recovers.
+#[test]
+fn running_job_parks_on_disk_failure_and_resumes_after_recovery() {
+    let state = scratch();
+    let storage = Storage::faulty(enospc_plan());
+    storage.set_enabled(false);
+    let (runner, gate) = GateRunner::closed();
+    let daemon = Daemon::start(config(&state, storage.clone()), Arc::new(runner)).expect("daemon");
+    let pool = Arc::clone(daemon.pool());
+
+    let id = match pool.submit(spec(3, 2)) {
+        SubmitOutcome::Accepted { id, .. } => id,
+        other => panic!("submit rejected: {other:?}"),
+    };
+
+    // Wait for the worker to claim the job (it blocks inside run_seed).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let running = pool
+            .job(&id)
+            .map(|h| h.status().get("state").and_then(|v| v.as_str()) == Some("Running"))
+            .unwrap_or(false);
+        if running {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Disk fills while the seed computes; the checkpoint write fails and
+    // the job parks instead of dying.
+    storage.set_enabled(true);
+    release(&gate);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while pool.disk_status().is_none() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pool never entered degraded mode"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(pool.counters().jobs_parked.load(Ordering::Relaxed), 1);
+    let parked_state = pool.job(&id).map(|h| {
+        h.status()
+            .get("state")
+            .and_then(|v| v.as_str())
+            .map(str::to_owned)
+    });
+    assert_eq!(
+        parked_state.flatten().as_deref(),
+        Some("Queued"),
+        "a parked job waits as Queued"
+    );
+
+    // Disk recovers; the next health check requeues the survivor.
+    storage.set_enabled(false);
+    assert!(pool.check_disk().is_none(), "probe should pass again");
+    let done = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let st = pool.job(&id).and_then(|h| {
+                h.status()
+                    .get("state")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned)
+            });
+            if st.as_deref() == Some("Done") {
+                break true;
+            }
+            if std::time::Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+    assert!(done, "parked job must finish after recovery");
+    assert!(state.join("jobs").join(&id).join("sweep.json").exists());
+    assert_eq!(pool.counters().disk_recovered.load(Ordering::Relaxed), 1);
+    assert_eq!(pool.counters().jobs_failed.load(Ordering::Relaxed), 0);
+
+    daemon.shutdown();
+    let _ = fs::remove_dir_all(&state);
+}

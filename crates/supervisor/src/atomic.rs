@@ -16,7 +16,14 @@
 //! failed, and the attempt count — so a daemon's job log says *what*
 //! could not be written and *where it died*, not just "No space left on
 //! device".
+//!
+//! Every stage is routed through a [`Storage`] handle (the
+//! [`crate::failpoint`] seam): [`atomic_write`] uses the process-wide
+//! ambient storage (real unless `--storage-faults` installed a fault
+//! plan), while the `*_in` variants take an explicit handle so tests can
+//! inject faults without sharing global state.
 
+use crate::failpoint::{ambient_storage, Storage, StorageOps};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -33,6 +40,9 @@ pub enum WriteStage {
     Sync,
     /// Renaming the staging file over the target.
     Rename,
+    /// Fsyncing the parent directory after the rename, making the
+    /// rename itself durable across power loss.
+    SyncDir,
 }
 
 impl std::fmt::Display for WriteStage {
@@ -42,6 +52,7 @@ impl std::fmt::Display for WriteStage {
             WriteStage::Write => "write",
             WriteStage::Sync => "fsync",
             WriteStage::Rename => "rename",
+            WriteStage::SyncDir => "fsync-dir",
         })
     }
 }
@@ -135,24 +146,45 @@ fn staging_name(name: &str) -> String {
     format!(".{name}.tmp.{}", std::process::id())
 }
 
-/// Atomically replace `path` with `bytes`.
+/// Atomically replace `path` with `bytes`, via the ambient [`Storage`].
 ///
-/// See [`atomic_write_with`] for the mechanism and guarantees.
+/// See [`atomic_write_with_in`] for the mechanism and guarantees.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    atomic_write_with(path, |f| f.write_all(bytes))
+    atomic_write_in(&ambient_storage(), path, bytes)
+}
+
+/// Atomically replace `path` with whatever `write` produces, via the
+/// ambient [`Storage`]. See [`atomic_write_with_in`].
+pub fn atomic_write_with<F>(path: &Path, write: F) -> io::Result<()>
+where
+    F: FnOnce(&mut fs::File) -> io::Result<()>,
+{
+    atomic_write_with_in(&ambient_storage(), path, write)
+}
+
+/// Atomically replace `path` with `bytes`, routing every stage through
+/// `storage`. See [`atomic_write_with_in`].
+pub fn atomic_write_in(storage: &Storage, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with_in(storage, path, |f| f.write_all(bytes))
 }
 
 /// Atomically replace `path` with whatever `write` produces.
 ///
 /// The closure receives the staging [`fs::File`]; on success the file is
-/// fsynced and renamed over `path`, and the parent directory is fsynced.
-/// On any error the staging file is removed and `path` is untouched.
-/// Staging-file creation, the fsync, and the rename are retried with
-/// bounded backoff on transient failures (EINTR, ENOSPC); the caller's
-/// closure runs at most once. A write that still fails returns an
-/// [`io::Error`] wrapping an [`AtomicWriteError`] that names the path
-/// and the failed stage.
-pub fn atomic_write_with<F>(path: &Path, write: F) -> io::Result<()>
+/// fsynced and renamed over `path`, and the parent directory is fsynced
+/// so the rename survives power loss. On any pre-rename error the
+/// staging file is removed and `path` is untouched. Staging-file
+/// creation, the fsyncs, and the rename are retried with bounded backoff
+/// on transient failures (EINTR, ENOSPC); the caller's closure runs at
+/// most once. A write that still fails returns an [`io::Error`] wrapping
+/// an [`AtomicWriteError`] that names the path and the failed stage —
+/// including [`WriteStage::SyncDir`], where the new content *is* visible
+/// but its durability across power loss is not established.
+///
+/// Every filesystem touch goes through `storage`, so a
+/// [`crate::failpoint::StorageFaultPlan`] can fail any stage
+/// deterministically.
+pub fn atomic_write_with_in<F>(storage: &Storage, path: &Path, write: F) -> io::Result<()>
 where
     F: FnOnce(&mut fs::File) -> io::Result<()>,
 {
@@ -174,27 +206,77 @@ where
         attempts,
         source,
     };
+    let mut write = Some(write);
     let result: Result<(), AtomicWriteError> = (|| {
-        let (created, attempts) = with_retry(|| fs::File::create(&tmp));
+        let (created, attempts) = with_retry(|| storage.create(path, &tmp));
         let mut f = created.map_err(|e| structured(WriteStage::Create, attempts, e))?;
-        write(&mut f).map_err(|e| structured(WriteStage::Write, 1, e))?;
-        let (synced, attempts) = with_retry(|| f.sync_all());
+        storage
+            .write(path, &mut f, &mut |f| {
+                (write.take().expect("writer runs at most once"))(f)
+            })
+            .map_err(|e| structured(WriteStage::Write, 1, e))?;
+        let (synced, attempts) = with_retry(|| storage.sync_file(path, &f));
         synced.map_err(|e| structured(WriteStage::Sync, attempts, e))?;
         drop(f);
-        let (renamed, attempts) = with_retry(|| fs::rename(&tmp, path));
+        let (renamed, attempts) = with_retry(|| storage.rename(&tmp, path));
         renamed.map_err(|e| structured(WriteStage::Rename, attempts, e))
     })();
     if let Err(e) = result {
-        let _ = fs::remove_file(&tmp);
+        let _ = storage.remove_file(&tmp);
         return Err(e.into_io());
     }
-    // Make the rename itself durable. Directory fsync is advisory on some
-    // platforms (and opening a directory read-only fails on Windows), so
-    // failures here are ignored: the content guarantee already holds.
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
+    // Make the rename itself durable: without this barrier a committed
+    // file can vanish on power loss even though the rename returned.
+    let (synced, attempts) = with_retry(|| storage.sync_dir(dir));
+    synced.map_err(|e| structured(WriteStage::SyncDir, attempts, e).into_io())
+}
+
+/// Whether `name` looks like an atomic-write staging file
+/// (`.{target}.tmp.{pid}`).
+pub fn is_staging_name(name: &str) -> bool {
+    let Some(rest) = name.strip_prefix('.') else {
+        return false;
+    };
+    match rest.rsplit_once(".tmp.") {
+        Some((target, pid)) => {
+            !target.is_empty() && !pid.is_empty() && pid.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
     }
-    Ok(())
+}
+
+/// Remove every atomic-write staging file in `dir`, returning the names
+/// removed (sorted), via the ambient [`Storage`]. See
+/// [`sweep_stale_staging_in`].
+pub fn sweep_stale_staging(dir: &Path) -> Vec<String> {
+    sweep_stale_staging_in(&ambient_storage(), dir)
+}
+
+/// Remove every atomic-write staging file in `dir`, returning the names
+/// removed (sorted).
+///
+/// Staging names embed the writer's pid, so a crash between create and
+/// rename would leak `.*.tmp.*` files forever — no later process ever
+/// generates the same name again. Callers invoke this when (re)opening a
+/// directory for exclusive use: any staging file present at that point
+/// has lost its writer, because live writers only exist *after* the
+/// directory is opened. Removal failures are ignored (the files are
+/// invisible to every reader anyway); unreadable directories yield an
+/// empty list.
+pub fn sweep_stale_staging_in(storage: &Storage, dir: &Path) -> Vec<String> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut removed = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if is_staging_name(name) && storage.remove_file(&entry.path()).is_ok() {
+            removed.push(name.to_string());
+        }
+    }
+    removed.sort();
+    removed
 }
 
 #[cfg(test)]
@@ -329,6 +411,82 @@ mod tests {
         assert_eq!(result.unwrap_err().kind(), io::ErrorKind::StorageFull);
         assert_eq!(attempts, MAX_ATTEMPTS);
         assert_eq!(calls, MAX_ATTEMPTS);
+    }
+
+    #[test]
+    fn staging_names_are_recognized() {
+        assert!(is_staging_name(&staging_name("manifest.json")));
+        assert!(is_staging_name(".x.tmp.1"));
+        for not_staging in [
+            "manifest.json",
+            ".hidden",
+            ".x.tmp.", // no pid
+            ".x.tmp.12a",
+            "..tmp.12", // no target
+            "x.tmp.12", // no leading dot
+        ] {
+            assert!(!is_staging_name(not_staging), "{not_staging}");
+        }
+    }
+
+    #[test]
+    fn sweep_removes_only_stale_staging_files() {
+        let dir = scratch("sweep");
+        atomic_write(&dir.join("real.json"), b"{}").unwrap();
+        fs::write(dir.join(".old.json.tmp.99999"), b"orphan").unwrap();
+        fs::write(dir.join(".older.json.tmp.1"), b"orphan").unwrap();
+        fs::write(dir.join(".not-staging"), b"keep").unwrap();
+        let removed = sweep_stale_staging(&dir);
+        assert_eq!(
+            removed,
+            vec![
+                ".old.json.tmp.99999".to_string(),
+                ".older.json.tmp.1".to_string()
+            ]
+        );
+        assert!(dir.join("real.json").exists());
+        assert!(dir.join(".not-staging").exists());
+        assert!(!dir.join(".old.json.tmp.99999").exists());
+        // Unreadable directory: no panic, nothing removed.
+        assert!(sweep_stale_staging(&dir.join("missing")).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_dir_sync_failure_names_the_sync_dir_stage() {
+        use crate::failpoint::{Storage, StorageFaultPlan};
+        let dir = scratch("syncdir");
+        let path = dir.join("out.json");
+        let plan = StorageFaultPlan::from_json_str(
+            r#"{ "rules": [ { "op": "sync_dir", "kind": "eio" } ] }"#,
+        )
+        .unwrap();
+        let err = atomic_write_in(&Storage::faulty_soft(plan), &path, b"payload").unwrap_err();
+        let s = structured(&err);
+        assert_eq!(s.stage, WriteStage::SyncDir);
+        assert!(err.to_string().contains("fsync-dir"), "{err}");
+        // The content is visible (the rename committed) — only its
+        // durability is unestablished.
+        assert_eq!(fs::read(&path).unwrap(), b"payload");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_transient_enospc_is_absorbed_by_retry() {
+        use crate::failpoint::{Storage, StorageFaultPlan};
+        let dir = scratch("transient");
+        let path = dir.join("out.json");
+        // Two ENOSPC hits on sync, then clean: with_retry's four-attempt
+        // budget rides through without surfacing an error.
+        let plan = StorageFaultPlan::from_json_str(
+            r#"{ "rules": [ { "op": "sync", "kind": "enospc", "count": 2 } ] }"#,
+        )
+        .unwrap();
+        let storage = Storage::faulty_soft(plan);
+        atomic_write_in(&storage, &path, b"payload").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"payload");
+        assert_eq!(storage.fault_snapshot().enospc, 2);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! configuration between runs re-computes rather than silently merging
 //! incompatible results.
 
-use crate::atomic::atomic_write;
+use crate::atomic::{atomic_write_in, sweep_stale_staging_in};
+use crate::failpoint::{ambient_storage, Storage, StorageOps};
 use crate::fingerprint::fingerprint_config;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
@@ -88,14 +89,30 @@ struct SeedRecord {
 pub struct RunDir {
     root: PathBuf,
     manifest: Manifest,
+    storage: Storage,
+    stale_staging: Vec<String>,
 }
 
 impl RunDir {
-    /// Create a fresh run directory at `root` and durably write its
-    /// manifest. Any previous checkpoint state under `root` (manifest and
-    /// seed records — only files this module owns) is removed first, so a
-    /// fresh sweep never silently inherits stale records.
+    /// Create a fresh run directory at `root` via the ambient
+    /// [`Storage`]. See [`RunDir::create_in`].
     pub fn create(root: &Path, manifest: Manifest) -> Result<RunDir, String> {
+        RunDir::create_in(ambient_storage(), root, manifest)
+    }
+
+    /// Open an existing run directory via the ambient [`Storage`]. See
+    /// [`RunDir::open_in`].
+    pub fn open(root: &Path) -> Result<RunDir, String> {
+        RunDir::open_in(ambient_storage(), root)
+    }
+
+    /// Create a fresh run directory at `root` and durably write its
+    /// manifest, routing all writes through `storage`. Any previous
+    /// checkpoint state under `root` (manifest and seed records — only
+    /// files this module owns) is removed first, so a fresh sweep never
+    /// silently inherits stale records; orphaned staging files from a
+    /// crashed earlier writer are swept too ([`RunDir::stale_staging`]).
+    pub fn create_in(storage: Storage, root: &Path, manifest: Manifest) -> Result<RunDir, String> {
         fs::create_dir_all(root).map_err(|e| format!("creating {}: {e}", root.display()))?;
         let seeds_dir = root.join("seeds");
         if seeds_dir.exists() {
@@ -104,19 +121,27 @@ impl RunDir {
         }
         fs::create_dir_all(&seeds_dir)
             .map_err(|e| format!("creating {}: {e}", seeds_dir.display()))?;
+        let stale_staging = sweep_stale_staging_in(&storage, root);
         let json = manifest.to_value().to_json_string() + "\n";
-        atomic_write(&root.join("manifest.json"), json.as_bytes())
+        atomic_write_in(&storage, &root.join("manifest.json"), json.as_bytes())
             .map_err(|e| format!("writing manifest: {e}"))?;
         Ok(RunDir {
             root: root.to_owned(),
             manifest,
+            storage,
+            stale_staging,
         })
     }
 
-    /// Open an existing run directory for resumption.
-    pub fn open(root: &Path) -> Result<RunDir, String> {
+    /// Open an existing run directory for resumption, routing all reads
+    /// and writes through `storage`. Stale staging files left by a
+    /// crashed earlier writer are removed ([`RunDir::stale_staging`]):
+    /// their names embed the dead process's pid, so nothing else would
+    /// ever reclaim them.
+    pub fn open_in(storage: Storage, root: &Path) -> Result<RunDir, String> {
         let path = root.join("manifest.json");
-        let text = fs::read_to_string(&path)
+        let text = storage
+            .read_to_string(&path)
             .map_err(|e| format!("reading {}: {e} (not a run directory?)", path.display()))?;
         let v = Value::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         let manifest = Manifest::from_value(&v).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -131,9 +156,13 @@ impl RunDir {
         manifest
             .verify()
             .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut stale_staging = sweep_stale_staging_in(&storage, root);
+        stale_staging.extend(sweep_stale_staging_in(&storage, &root.join("seeds")));
         Ok(RunDir {
             root: root.to_owned(),
             manifest,
+            storage,
+            stale_staging,
         })
     }
 
@@ -145,6 +174,12 @@ impl RunDir {
     /// The directory root.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Orphaned staging file names removed when the directory was
+    /// opened or created (recovery diagnostics).
+    pub fn stale_staging(&self) -> &[String] {
+        &self.stale_staging
     }
 
     fn seed_path(&self, seed: u64) -> PathBuf {
@@ -164,7 +199,8 @@ impl RunDir {
         };
         let json = rec.to_value().to_json_string() + "\n";
         let path = self.seed_path(seed);
-        atomic_write(&path, json.as_bytes()).map_err(|e| format!("{}: {e}", path.display()))
+        atomic_write_in(&self.storage, &path, json.as_bytes())
+            .map_err(|e| format!("{}: {e}", path.display()))
     }
 
     /// Load every valid completed-seed record. Records that fail to
@@ -186,7 +222,9 @@ impl RunDir {
             if !name.starts_with("seed-") || !name.ends_with(".json") {
                 continue; // staging files and strangers
             }
-            let valid = fs::read_to_string(entry.path())
+            let valid = self
+                .storage
+                .read_to_string(&entry.path())
                 .ok()
                 .and_then(|text| Value::parse_json(&text).ok())
                 .and_then(|v| SeedRecord::from_value(&v).ok())
@@ -290,6 +328,30 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert!(done.contains_key(&1));
         assert_eq!(skipped.len(), 2, "both bad records reported: {skipped:?}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopening_sweeps_orphaned_staging_files() {
+        let root = scratch("staging");
+        let dir = RunDir::create(&root, Manifest::new("sweep", vec![1], config())).unwrap();
+        dir.record_seed(1, payload(1)).unwrap();
+        // A crashed writer's staging files: pid-stamped names nothing
+        // would ever reclaim without the sweep.
+        fs::write(root.join(".manifest.json.tmp.4242"), b"orphan").unwrap();
+        fs::write(root.join("seeds").join(".seed-x.json.tmp.4242"), b"orphan").unwrap();
+        let reopened = RunDir::open(&root).unwrap();
+        assert_eq!(
+            reopened.stale_staging().len(),
+            2,
+            "{:?}",
+            reopened.stale_staging()
+        );
+        assert!(!root.join(".manifest.json.tmp.4242").exists());
+        assert!(!root.join("seeds").join(".seed-x.json.tmp.4242").exists());
+        let (done, skipped) = reopened.completed_seeds();
+        assert_eq!(done.len(), 1);
+        assert!(skipped.is_empty(), "{skipped:?}");
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,232 @@
+//! The FoundationDB-style systematic crash-point sweep over the
+//! checkpoint protocol: enumerate every storage operation a full sweep
+//! performs (create run dir → record every seed → reopen and merge),
+//! then re-run the protocol once per operation with a crash injected at
+//! exactly that point, and assert the recovery invariants after each:
+//!
+//! 1. no partially visible file — everything visible (non-staging)
+//!    parses and fingerprint-verifies;
+//! 2. resume completes and the directory ends byte-identical to an
+//!    uninterrupted reference run (or any damage was cleanly reported
+//!    as a skipped record, never silently merged);
+//! 3. reopening sweeps all `.tmp.` staging residue.
+//!
+//! The crash is the *soft* variant ([`Storage::faulty_soft`]): the
+//! storage handle goes permanently dead instead of `abort()`ing the
+//! process, so one test process can sweep every failpoint in turn.
+
+use serde::{Deserialize, Value};
+use serde_json::json;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use streamlab_supervisor::{is_staging_name, Manifest, RunDir, Storage, StorageFaultPlan};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn scratch() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("streamlab-crash-sweep-{}-{n}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+const SEEDS: [u64; 3] = [41, 42, 43];
+
+fn manifest() -> Manifest {
+    Manifest::new(
+        "crash-sweep",
+        SEEDS.to_vec(),
+        json!({ "sessions": 100u64, "scale": "tiny" }),
+    )
+}
+
+fn payload(seed: u64) -> Value {
+    json!({ "seed": seed, "metric": seed * 7 + 1 })
+}
+
+/// One full pass of the checkpoint protocol under `storage`: open (or
+/// create) the run dir, record every seed not already durable, reopen,
+/// and return the merged per-seed payloads. Every step may fail when a
+/// fault plan is armed — the caller decides what an `Err` means.
+fn run_protocol(storage: &Storage, root: &Path) -> Result<Vec<(u64, Value)>, String> {
+    let run = match RunDir::open_in(storage.clone(), root) {
+        Ok(run) => run,
+        // Nothing durable yet (or the manifest never landed): start over.
+        Err(_) => RunDir::create_in(storage.clone(), root, manifest())?,
+    };
+    let (done, skipped) = run.completed_seeds();
+    if !skipped.is_empty() {
+        return Err(format!("unusable records: {skipped:?}"));
+    }
+    for seed in SEEDS {
+        if !done.contains_key(&seed) {
+            run.record_seed(seed, payload(seed))?;
+        }
+    }
+    // Reopen: the merge a resuming sweep would perform.
+    let reopened = RunDir::open_in(storage.clone(), root)?;
+    let (merged, skipped) = reopened.completed_seeds();
+    if !skipped.is_empty() {
+        return Err(format!("unusable records after reopen: {skipped:?}"));
+    }
+    Ok(merged.into_iter().collect())
+}
+
+/// Every durable (non-staging) file under the run dir, relative name →
+/// bytes, for byte-identity comparison against the reference.
+fn visible_files(root: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for sub in ["", "seeds"] {
+        let dir = if sub.is_empty() {
+            root.to_owned()
+        } else {
+            root.join(sub)
+        };
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if is_staging_name(&name) {
+                continue;
+            }
+            let rel = if sub.is_empty() {
+                name
+            } else {
+                format!("{sub}/{name}")
+            };
+            out.push((rel, fs::read(entry.path()).expect("read visible file")));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Invariant 1: everything visible after a crash is *complete* — it
+/// parses as JSON, and the manifest additionally fingerprint-verifies.
+fn assert_no_partial_files(root: &Path, at: u64) {
+    for (name, bytes) in visible_files(root) {
+        let text = String::from_utf8(bytes)
+            .unwrap_or_else(|_| panic!("crash at op {at}: {name} is not utf-8"));
+        let value = Value::parse_json(&text)
+            .unwrap_or_else(|e| panic!("crash at op {at}: {name} is torn/partial: {e}"));
+        if name == "manifest.json" {
+            let m = Manifest::from_value(&value)
+                .unwrap_or_else(|e| panic!("crash at op {at}: bad manifest shape: {e}"));
+            m.verify()
+                .unwrap_or_else(|e| panic!("crash at op {at}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn crash_at_every_failpoint_recovers_to_byte_identical_state() {
+    // Reference: the protocol uninterrupted, on a counting handle — this
+    // both produces the reference directory and enumerates the total
+    // number of storage operations a clean pass performs.
+    let ref_root = scratch();
+    let counting = Storage::counting();
+    let reference_merge = run_protocol(&counting, &ref_root).expect("reference run");
+    let total_ops = counting.ops_seen();
+    let reference_files = visible_files(&ref_root);
+    assert!(
+        total_ops >= 10,
+        "the protocol should exercise many failpoints, saw {total_ops}"
+    );
+    assert_eq!(reference_merge.len(), SEEDS.len());
+
+    for at in 1..=total_ops {
+        let root = scratch();
+        let storage = Storage::faulty_soft(StorageFaultPlan::crash_at(at));
+        let crashed = run_protocol(&storage, &root);
+        if crashed.is_ok() {
+            // The crash landed on an op the failing path never reached
+            // (ops_seen < at can't happen on the same protocol, but the
+            // final reopen may finish before op `at` when earlier ops
+            // were reads that a fresh dir skips). Either way the result
+            // must already be correct.
+            assert!(storage.is_dead() || storage.ops_seen() < at);
+        }
+
+        // Invariant 1: whatever the crash left behind is never partial.
+        assert_no_partial_files(&root, at);
+
+        // Invariant 2: a restart with healthy storage resumes to the
+        // exact reference state — same merged payloads, same bytes.
+        let resumed = run_protocol(&Storage::real(), &root)
+            .unwrap_or_else(|e| panic!("crash at op {at}: resume failed: {e}"));
+        assert_eq!(
+            resumed, reference_merge,
+            "crash at op {at}: merged payloads differ after resume"
+        );
+        assert_eq!(
+            visible_files(&root),
+            reference_files,
+            "crash at op {at}: directory not byte-identical after resume"
+        );
+
+        // Invariant 3: reopening swept every staging orphan.
+        for sub in ["", "seeds"] {
+            let dir = if sub.is_empty() {
+                root.clone()
+            } else {
+                root.join(sub)
+            };
+            for entry in fs::read_dir(&dir).expect("read swept dir").flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                assert!(
+                    !is_staging_name(&name),
+                    "crash at op {at}: staging residue {sub}/{name} survived reopen"
+                );
+            }
+        }
+
+        let _ = fs::remove_dir_all(&root);
+    }
+    let _ = fs::remove_dir_all(&ref_root);
+}
+
+/// The sweep above covers single crashes; this covers a crash *during
+/// recovery from a crash*: kill the first pass midway, kill the resume
+/// at every point too, then finish with healthy storage. The final state
+/// must still be byte-identical to the reference.
+#[test]
+fn crash_during_recovery_still_converges() {
+    let ref_root = scratch();
+    let reference_merge = run_protocol(&Storage::real(), &ref_root).expect("reference run");
+    let reference_files = visible_files(&ref_root);
+
+    // First crash lands mid-protocol (after the manifest, during seed
+    // records); enumerate the recovery pass from there.
+    let probe_root = scratch();
+    let first = Storage::faulty_soft(StorageFaultPlan::crash_at(12));
+    let _ = run_protocol(&first, &probe_root);
+    let counting = Storage::counting();
+    let _ = run_protocol(&counting, &probe_root).expect("probe recovery");
+    let recovery_ops = counting.ops_seen();
+    let _ = fs::remove_dir_all(&probe_root);
+
+    for at in 1..=recovery_ops {
+        let root = scratch();
+        let crash = Storage::faulty_soft(StorageFaultPlan::crash_at(12));
+        let _ = run_protocol(&crash, &root);
+        let crash_again = Storage::faulty_soft(StorageFaultPlan::crash_at(at));
+        let _ = run_protocol(&crash_again, &root);
+        assert_no_partial_files(&root, at);
+        let resumed = run_protocol(&Storage::real(), &root)
+            .unwrap_or_else(|e| panic!("double crash at op {at}: resume failed: {e}"));
+        assert_eq!(resumed, reference_merge, "double crash at op {at}");
+        assert_eq!(
+            visible_files(&root),
+            reference_files,
+            "double crash at op {at}: directory differs"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+    let _ = fs::remove_dir_all(&ref_root);
+}
