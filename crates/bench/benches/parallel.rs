@@ -27,11 +27,84 @@
 use criterion::{take_records, BatchSize, BenchmarkId, Criterion};
 use std::collections::HashMap;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use streamlab::supervisor::Storage;
 use streamlab::telemetry::records::CacheOutcome;
 use streamlab::telemetry::{
-    CdnChunkRecord, ChunkTruth, Dataset, PlayerChunkRecord, SessionMeta, TelemetrySink,
+    CdnChunkRecord, ChunkTruth, Dataset, PlayerChunkRecord, SessionMeta, SessionStream, SpillSpec,
+    TelemetrySink,
 };
-use streamlab::{ObsOptions, Simulation, SimulationConfig};
+use streamlab::{ObsOptions, Simulation, SimulationConfig, SpillConfig};
+
+/// Current resident-set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`); 0 on platforms without procfs.
+fn current_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Background peak-RSS sampler: a thread polls `VmRSS` every ~10 ms and
+/// keeps the running maximum. `begin()` resets the window to the current
+/// RSS; `peak()` folds in one final sample and returns the window maximum.
+///
+/// Sampling `VmRSS` (instantaneous) instead of reading `VmHWM` matters:
+/// the high-water mark is cumulative over the process, so a later spilled
+/// scenario would inherit the peak of an earlier in-RAM one.
+struct RssSampler {
+    peak: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RssSampler {
+    fn start() -> RssSampler {
+        let peak = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (p, s) = (Arc::clone(&peak), Arc::clone(&stop));
+        let handle = std::thread::spawn(move || {
+            while !s.load(Ordering::Relaxed) {
+                p.fetch_max(current_rss_bytes(), Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        });
+        RssSampler {
+            peak,
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn begin(&self) {
+        self.peak.store(current_rss_bytes(), Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak
+            .fetch_max(current_rss_bytes(), Ordering::Relaxed)
+            .max(current_rss_bytes())
+    }
+}
+
+impl Drop for RssSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
 
 /// Timed samples per benchmark; CI lowers this via `STREAMLAB_BENCH_SAMPLES`.
 fn sample_size() -> usize {
@@ -85,7 +158,12 @@ fn chunk_volume(cfg: SimulationConfig) -> u64 {
 /// A scenario constructor: thread count in, ready-to-run config out.
 type ScenarioFn = fn(usize) -> SimulationConfig;
 
-fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>) {
+fn bench_parallel(
+    c: &mut Criterion,
+    chunks_by_label: &mut HashMap<String, u64>,
+    rss: &RssSampler,
+    rss_by_label: &mut HashMap<String, u64>,
+) {
     // `small/8` exists because CI's scaling gate judges near-linear speedup
     // through 4 threads and wants the curve past the knee on record;
     // `skewed` only needs enough points to show stealing beats the worst
@@ -101,10 +179,13 @@ fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>)
     for (name, make, thread_counts) in scenarios {
         let chunks = chunk_volume(make(1));
         for &threads in thread_counts {
-            chunks_by_label.insert(format!("engine/{name}/{threads}"), chunks);
+            let label = format!("engine/{name}/{threads}");
+            chunks_by_label.insert(label.clone(), chunks);
+            rss.begin();
             group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &threads| {
                 b.iter(|| black_box(Simulation::new(make(threads)).run().expect("run")))
             });
+            rss_by_label.insert(label, rss.peak());
         }
     }
     group.finish();
@@ -113,7 +194,9 @@ fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>)
     group.sample_size(sample_size());
     let chunks = chunk_volume(tiny_cfg(1));
     for threads in [1usize, 2] {
-        chunks_by_label.insert(format!("engine-observed/tiny/{threads}"), chunks);
+        let label = format!("engine-observed/tiny/{threads}");
+        chunks_by_label.insert(label.clone(), chunks);
+        rss.begin();
         group.bench_with_input(
             BenchmarkId::new("tiny", threads),
             &threads,
@@ -127,12 +210,14 @@ fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>)
                 })
             },
         );
+        rss_by_label.insert(label, rss.peak());
     }
     // `small/1` is the instrumentation-overhead gate's numerator: CI
     // compares its median against the no-subscriber `engine/small/1` via
     // perf_gate --overhead, so both must run in the same bench invocation.
     let chunks = chunk_volume(small_cfg(1));
     chunks_by_label.insert("engine-observed/small/1".to_owned(), chunks);
+    rss.begin();
     group.bench_with_input(BenchmarkId::new("small", 1usize), &1usize, |b, _| {
         b.iter(|| {
             black_box(
@@ -142,7 +227,71 @@ fn bench_parallel(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>)
             )
         })
     });
+    rss_by_label.insert("engine-observed/small/1".to_owned(), rss.peak());
     group.finish();
+}
+
+/// The out-of-core scenario: `small`'s world at ≥1M sessions, telemetry
+/// spilled to columnar segments and the join consumed as a stream, so the
+/// full dataset never materializes. Opt-in via `STREAMLAB_BENCH_LARGE=1`
+/// (a single iteration runs for minutes); `STREAMLAB_BENCH_LARGE_SESSIONS`
+/// overrides the session count (the RSS-flatness check runs it at 250k,
+/// 500k and 1M and expects the same peak).
+fn bench_large(
+    c: &mut Criterion,
+    chunks_by_label: &mut HashMap<String, u64>,
+    rss: &RssSampler,
+    rss_by_label: &mut HashMap<String, u64>,
+) {
+    if std::env::var("STREAMLAB_BENCH_LARGE").map(|v| v == "1") != Ok(true) {
+        return;
+    }
+    let sessions: usize = std::env::var("STREAMLAB_BENCH_LARGE_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let samples: usize = std::env::var("STREAMLAB_BENCH_LARGE_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let threads = 8usize;
+    let dir = std::env::temp_dir().join(format!("streamlab-bench-large-{}", std::process::id()));
+    let make = || {
+        let mut cfg = SimulationConfig::small(2016);
+        cfg.traffic.sessions = sessions;
+        cfg.threads = threads;
+        cfg.spill = Some(SpillConfig {
+            dir: dir.to_string_lossy().into_owned(),
+            threshold: 262_144,
+        });
+        cfg
+    };
+
+    let label = format!("engine/large/{threads}");
+    let chunks = std::cell::Cell::new(0u64);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(samples);
+    rss.begin();
+    group.bench_with_input(BenchmarkId::new("large", threads), &threads, |b, _| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let out = Simulation::new(make()).run_streaming().expect("run");
+            assert!(out.shard_errors.is_empty(), "large run lost shards");
+            assert!(!out.segments.is_empty(), "large run never spilled");
+            // Bounded-memory drain: the timed region covers the whole
+            // streamed join, but only one session is ever held at once.
+            let mut n = 0u64;
+            for s in out.stream {
+                n += s.expect("stream yields").chunks.len() as u64;
+            }
+            chunks.set(n);
+            black_box(n)
+        })
+    });
+    rss_by_label.insert(label.clone(), rss.peak());
+    chunks_by_label.insert(label, chunks.get());
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Sessions × chunks-per-session for the synthetic assembly workload.
@@ -154,14 +303,42 @@ const ASSEMBLE_CHUNKS_EACH: u64 = 30;
 /// adjacently, one metadata beacon per session. Synthetic so the bench
 /// needs no engine run and the record count is exact.
 fn synth_sink() -> TelemetrySink {
+    let total = (ASSEMBLE_SESSIONS * ASSEMBLE_CHUNKS_EACH) as usize;
+    let mut sink = TelemetrySink::with_capacity(ASSEMBLE_SESSIONS as usize, total);
+    fill_sink(&mut sink);
+    sink
+}
+
+/// The same synthetic stream pushed through a spilling sink: segments
+/// land in `dir` and the sink is sealed, ready for streaming assembly.
+fn synth_spilled_sink(dir: &std::path::Path) -> TelemetrySink {
+    let mut sink = TelemetrySink::with_spill(
+        ASSEMBLE_SESSIONS as usize,
+        SpillSpec {
+            dir: dir.to_path_buf(),
+            // ~8 segments over the 60k-pair workload.
+            threshold: 8_192,
+            shard: 0,
+            storage: Storage::real(),
+        },
+    );
+    fill_sink(&mut sink);
+    sink.seal();
+    assert!(
+        sink.spill_errors().is_empty(),
+        "spill failed: {:?}",
+        sink.spill_errors()
+    );
+    sink
+}
+
+fn fill_sink(sink: &mut TelemetrySink) {
     use streamlab::sim::{SimDuration, SimTime};
     use streamlab::workload::{
         AccessClass, Browser, ChunkIndex, GeoPoint, OrgKind, Os, PopId, PrefixId, Region, ServerId,
         SessionId, VideoId,
     };
 
-    let total = (ASSEMBLE_SESSIONS * ASSEMBLE_CHUNKS_EACH) as usize;
-    let mut sink = TelemetrySink::with_capacity(ASSEMBLE_SESSIONS as usize, total);
     for s in 0..ASSEMBLE_SESSIONS {
         let session = SessionId(s);
         for k in 0..ASSEMBLE_CHUNKS_EACH {
@@ -225,16 +402,21 @@ fn synth_sink() -> TelemetrySink {
             visible: true,
         });
     }
-    sink
 }
 
-fn bench_assemble(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>) {
+fn bench_assemble(
+    c: &mut Criterion,
+    chunks_by_label: &mut HashMap<String, u64>,
+    rss: &RssSampler,
+    rss_by_label: &mut HashMap<String, u64>,
+) {
     let total = ASSEMBLE_SESSIONS * ASSEMBLE_CHUNKS_EACH;
     let label = format!("dataset/assemble/{total}");
-    chunks_by_label.insert(label, total);
+    chunks_by_label.insert(label.clone(), total);
 
     let mut group = c.benchmark_group("dataset");
     group.sample_size(sample_size());
+    rss.begin();
     group.bench_with_input(BenchmarkId::new("assemble", total), &total, |b, _| {
         b.iter_batched(
             synth_sink,
@@ -242,6 +424,38 @@ fn bench_assemble(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>)
             BatchSize::LargeInput,
         )
     });
+    rss_by_label.insert(label, rss.peak());
+
+    // The streaming twin: identical record volume, but read back from
+    // sealed columnar segments through the k-way merge. Segment writes
+    // happen in the untimed setup; the timed region is open + merge +
+    // per-session assembly — the direct comparison against the in-RAM
+    // `assemble` above.
+    let label = format!("dataset/assemble-streaming/{total}");
+    chunks_by_label.insert(label.clone(), total);
+    let dir = std::env::temp_dir().join(format!("streamlab-bench-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("spill dir");
+    rss.begin();
+    group.bench_with_input(
+        BenchmarkId::new("assemble-streaming", total),
+        &total,
+        |b, _| {
+            b.iter_batched(
+                || synth_spilled_sink(&dir),
+                |sink| {
+                    let mut chunks = 0usize;
+                    for s in SessionStream::new(sink) {
+                        chunks += s.expect("stream yields").chunks.len();
+                    }
+                    black_box(chunks)
+                },
+                BatchSize::LargeInput,
+            )
+        },
+    );
+    rss_by_label.insert(label, rss.peak());
+    let _ = std::fs::remove_dir_all(&dir);
     group.finish();
 }
 
@@ -250,8 +464,15 @@ fn bench_assemble(c: &mut Criterion, chunks_by_label: &mut HashMap<String, u64>)
 /// Labels only ever contain `[A-Za-z0-9/_-]`, so no string escaping is
 /// needed; floats are emitted with enough precision for CI diffing.
 /// `chunks_per_sec` is the scenario's chunk-record volume divided by the
-/// median sample (0.0 when the volume is unknown for a label).
-fn records_to_json(records: &[criterion::BenchRecord], chunks: &HashMap<String, u64>) -> String {
+/// median sample (0.0 when the volume is unknown for a label);
+/// `peak_rss_bytes` is the sampled peak resident-set size over that
+/// label's timed window (0 when unsampled), which `perf-gate --memory`
+/// turns into a CI memory ceiling.
+fn records_to_json(
+    records: &[criterion::BenchRecord],
+    chunks: &HashMap<String, u64>,
+    rss_by_label: &HashMap<String, u64>,
+) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
         if i > 0 {
@@ -261,10 +482,12 @@ fn records_to_json(records: &[criterion::BenchRecord], chunks: &HashMap<String, 
             Some(&n) if r.median_ns > 0.0 => n as f64 / (r.median_ns / 1.0e9),
             _ => 0.0,
         };
+        let rss = rss_by_label.get(&r.label).copied().unwrap_or(0);
         out.push_str(&format!(
             "  {{\"label\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-             \"min_ns\": {:.1}, \"samples\": {}, \"chunks_per_sec\": {:.1}}}",
-            r.label, r.mean_ns, r.median_ns, r.min_ns, r.samples, cps
+             \"min_ns\": {:.1}, \"samples\": {}, \"chunks_per_sec\": {:.1}, \
+             \"peak_rss_bytes\": {}}}",
+            r.label, r.mean_ns, r.median_ns, r.min_ns, r.samples, cps, rss
         ));
     }
     out.push_str("\n]\n");
@@ -274,12 +497,24 @@ fn records_to_json(records: &[criterion::BenchRecord], chunks: &HashMap<String, 
 fn main() {
     let mut c = Criterion::default();
     let mut chunks_by_label = HashMap::new();
-    bench_parallel(&mut c, &mut chunks_by_label);
-    bench_assemble(&mut c, &mut chunks_by_label);
+    let mut rss_by_label = HashMap::new();
+    let rss = RssSampler::start();
+    // `STREAMLAB_BENCH_ONLY=large` runs just the out-of-core scenario in a
+    // clean process — CI's memory gate uses it so earlier scenarios'
+    // retained allocations don't pollute the sampled RSS floor.
+    let only_large = std::env::var("STREAMLAB_BENCH_ONLY").map(|v| v == "large") == Ok(true);
+    if !only_large {
+        bench_parallel(&mut c, &mut chunks_by_label, &rss, &mut rss_by_label);
+    }
+    bench_large(&mut c, &mut chunks_by_label, &rss, &mut rss_by_label);
+    if !only_large {
+        bench_assemble(&mut c, &mut chunks_by_label, &rss, &mut rss_by_label);
+    }
     c.final_summary();
+    drop(rss);
 
     let records = take_records();
-    let json = records_to_json(&records, &chunks_by_label);
+    let json = records_to_json(&records, &chunks_by_label, &rss_by_label);
     let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
     let path = std::env::var("STREAMLAB_BENCH_OUT").unwrap_or_else(|_| default_path.to_string());
     match std::fs::write(&path, &json) {

@@ -35,13 +35,22 @@
 //! `label_b`'s must not exceed `max_ratio`. CI uses it to cap the
 //! metrics subscriber's overhead (`engine-observed/small/1` vs
 //! `engine/small/1`).
+//!
+//! `--memory <label>:<max_bytes>` caps a label's `peak_rss_bytes` within
+//! the candidate file. CI's memory-gate job uses it to hold the
+//! out-of-core `engine/large`-shaped run under a hard RSS ceiling — the
+//! check that spilled telemetry actually bounds memory instead of merely
+//! also writing files.
 
 use std::process::ExitCode;
 
-/// One benchmark entry: label plus median nanoseconds.
+/// One benchmark entry: label, median nanoseconds, and (optionally) the
+/// sampled peak RSS in bytes — 0 for records written before the field
+/// existed or for labels that were not sampled.
 struct Entry {
     label: String,
     median_ns: f64,
+    peak_rss_bytes: u64,
 }
 
 fn parse_entries(path: &str) -> Result<Vec<Entry>, String> {
@@ -62,7 +71,15 @@ fn parse_entries(path: &str) -> Result<Vec<Entry>, String> {
             .get("median_ns")
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("{path}: entry {label} missing \"median_ns\""))?;
-        out.push(Entry { label, median_ns });
+        let peak_rss_bytes = item
+            .get("peak_rss_bytes")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        out.push(Entry {
+            label,
+            median_ns,
+            peak_rss_bytes,
+        });
     }
     Ok(out)
 }
@@ -157,6 +174,61 @@ fn check_overhead(entries: &[Entry], specs: &[OverheadSpec]) -> Result<bool, Str
     Ok(ok)
 }
 
+/// One `--memory` assertion: `label`'s `peak_rss_bytes` must not exceed
+/// `max_bytes` within the candidate file.
+struct MemorySpec {
+    label: String,
+    max_bytes: u64,
+}
+
+fn parse_memory_spec(raw: &str) -> Result<MemorySpec, String> {
+    let mut parts = raw.rsplitn(2, ':');
+    let (Some(bytes), Some(label)) = (parts.next(), parts.next()) else {
+        return Err(format!("bad --memory {raw}: expected <label>:<max_bytes>"));
+    };
+    Ok(MemorySpec {
+        label: label.to_string(),
+        max_bytes: bytes
+            .parse()
+            .map_err(|e| format!("bad --memory byte cap {bytes}: {e}"))?,
+    })
+}
+
+/// Check every `--memory` spec against `entries`; returns false when any
+/// peak RSS lands over its cap. A missing label or an unsampled (zero)
+/// peak is an error — a memory gate that passes because sampling silently
+/// broke is worse than no gate.
+fn check_memory(entries: &[Entry], specs: &[MemorySpec]) -> Result<bool, String> {
+    let mut ok = true;
+    for spec in specs {
+        let peak = entries
+            .iter()
+            .find(|e| e.label == spec.label)
+            .map(|e| e.peak_rss_bytes)
+            .ok_or_else(|| format!("--memory: label {} not found in candidate", spec.label))?;
+        if peak == 0 {
+            return Err(format!(
+                "--memory: label {} has no sampled peak_rss_bytes",
+                spec.label
+            ));
+        }
+        let verdict = if peak > spec.max_bytes {
+            ok = false;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "memory  {:<22} peak {:>8.1} MiB (cap {:.1} MiB)  {}",
+            spec.label,
+            peak as f64 / (1024.0 * 1024.0),
+            spec.max_bytes as f64 / (1024.0 * 1024.0),
+            verdict
+        );
+    }
+    Ok(ok)
+}
+
 /// Check every `--scaling` spec against `entries`; returns false when any
 /// speedup lands under its floor. A missing label is an error, not a
 /// skip — a gate that silently passes because the bench was renamed is
@@ -199,6 +271,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut paths = Vec::new();
     let mut scaling = Vec::new();
     let mut overhead = Vec::new();
+    let mut memory = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -216,26 +289,35 @@ fn run(args: &[String]) -> Result<bool, String> {
                 .next()
                 .ok_or_else(|| "--overhead needs <label_a>:<label_b>:<max_ratio>".to_string())?;
             overhead.push(parse_overhead_spec(v)?);
+        } else if a == "--memory" {
+            let v = it
+                .next()
+                .ok_or_else(|| "--memory needs <label>:<max_bytes>".to_string())?;
+            memory.push(parse_memory_spec(v)?);
         } else {
             paths.push(a.clone());
         }
     }
 
     // Within-file mode: one file, no baseline comparison.
-    if let ([candidate_path], false) = (paths.as_slice(), scaling.is_empty() && overhead.is_empty())
-    {
+    if let ([candidate_path], false) = (
+        paths.as_slice(),
+        scaling.is_empty() && overhead.is_empty() && memory.is_empty(),
+    ) {
         let candidate = parse_entries(candidate_path)?;
         let scaling_ok = check_scaling(&candidate, &scaling)?;
         let overhead_ok = check_overhead(&candidate, &overhead)?;
-        return Ok(scaling_ok && overhead_ok);
+        let memory_ok = check_memory(&candidate, &memory)?;
+        return Ok(scaling_ok && overhead_ok && memory_ok);
     }
 
     let [baseline_path, candidate_path] = paths.as_slice() else {
         return Err(
             "usage: perf-gate <baseline.json> <candidate.json> [--tolerance 0.15] \
              [--scaling <group>:<threads>:<min_ratio>] \
-             [--overhead <label_a>:<label_b>:<max_ratio>] | \
-             perf-gate <candidate.json> --scaling ... --overhead ..."
+             [--overhead <label_a>:<label_b>:<max_ratio>] \
+             [--memory <label>:<max_bytes>] | \
+             perf-gate <candidate.json> --scaling ... --overhead ... --memory ..."
                 .into(),
         );
     };
@@ -280,6 +362,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     if !overhead.is_empty() && !check_overhead(&candidate, &overhead)? {
         failed = true;
     }
+    if !memory.is_empty() && !check_memory(&candidate, &memory)? {
+        failed = true;
+    }
     Ok(!failed)
 }
 
@@ -293,7 +378,7 @@ fn main() -> ExitCode {
         Ok(false) => {
             eprintln!(
                 "perf gate: median regression beyond tolerance, scaling under floor, \
-                 or overhead over cap"
+                 overhead over cap, or memory over cap"
             );
             ExitCode::FAILURE
         }

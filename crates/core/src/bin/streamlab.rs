@@ -17,6 +17,9 @@
 //! streamlab shutdown [opts]              # stop the daemon
 //!
 //! options: --scale tiny|small|default   (default: small)
+//!          --sessions N                 (override the scale preset's
+//!                                        session count — e.g. a million-
+//!                                        session run with --spill-dir)
 //!          --seed N                     (default: 2016)
 //!          --seeds N                    (sweep only: number of seeds)
 //!          --out DIR                    (run/sweep; default: streamlab-out)
@@ -32,6 +35,14 @@
 //!          --shard-deadline SECS        (watchdog: cancel a shard that
 //!                                        makes no progress for SECS wall
 //!                                        seconds and keep the rest)
+//!          --spill-dir DIR              (out-of-core telemetry: seal
+//!                                        sorted columnar segments into
+//!                                        DIR instead of keeping every
+//!                                        chunk record in RAM; output is
+//!                                        byte-identical either way)
+//!          --spill-threshold ROWS       (rows per shard buffered before
+//!                                        a segment is sealed;
+//!                                        default 262144)
 //!          --audit                      (verify structural invariants of
 //!                                        the finished run and fail loudly
 //!                                        on any violation)
@@ -111,6 +122,7 @@ use streamlab::{ObsOptions, Simulation, SimulationConfig};
 
 struct Opts {
     scale: String,
+    sessions: Option<usize>,
     seed: u64,
     out: PathBuf,
     days: usize,
@@ -118,6 +130,8 @@ struct Opts {
     seeds: Option<usize>,
     threads: usize,
     shard_deadline: Option<f64>,
+    spill_dir: Option<String>,
+    spill_threshold: usize,
     audit: bool,
     resume: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
@@ -152,6 +166,7 @@ enum MetricsFormat {
 fn parse(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         scale: "small".into(),
+        sessions: None,
         seed: 2016,
         out: PathBuf::from("streamlab-out"),
         days: 5,
@@ -159,6 +174,8 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         seeds: None,
         threads: 1,
         shard_deadline: None,
+        spill_dir: None,
+        spill_threshold: 262_144,
         audit: false,
         resume: None,
         metrics_out: None,
@@ -188,6 +205,17 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         match a.as_str() {
             "--scale" => {
                 opts.scale = it.next().ok_or("--scale needs a value")?.clone();
+            }
+            "--sessions" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--sessions needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad sessions: {e}"))?;
+                if n == 0 {
+                    return Err("--sessions must be at least 1".into());
+                }
+                opts.sessions = Some(n);
             }
             "--seed" => {
                 opts.seed = it
@@ -235,6 +263,19 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                     return Err("--shard-deadline must be a positive number of seconds".into());
                 }
                 opts.shard_deadline = Some(secs);
+            }
+            "--spill-dir" => {
+                opts.spill_dir = Some(it.next().ok_or("--spill-dir needs a value")?.clone());
+            }
+            "--spill-threshold" => {
+                opts.spill_threshold = it
+                    .next()
+                    .ok_or("--spill-threshold needs a value (rows)")?
+                    .parse()
+                    .map_err(|e| format!("bad spill threshold: {e}"))?;
+                if opts.spill_threshold == 0 {
+                    return Err("--spill-threshold must be at least 1 row".into());
+                }
             }
             "--audit" => {
                 opts.audit = true;
@@ -372,9 +413,18 @@ fn config(opts: &Opts) -> Result<SimulationConfig, String> {
         "default" => SimulationConfig::default_scale(opts.seed),
         other => return Err(format!("unknown scale '{other}' (tiny|small|default)")),
     };
+    if let Some(n) = opts.sessions {
+        cfg.traffic.sessions = n;
+    }
     cfg.threads = opts.threads;
     if let Some(secs) = opts.shard_deadline {
         cfg.shard_deadline_ms = (secs * 1000.0).round().max(1.0) as u64;
+    }
+    if let Some(dir) = &opts.spill_dir {
+        cfg.spill = Some(streamlab::SpillConfig {
+            dir: dir.clone(),
+            threshold: opts.spill_threshold,
+        });
     }
     if let Some(path) = &opts.faults {
         cfg.faults = streamlab::faults::FaultScenario::from_json_file(path)?;
@@ -411,8 +461,9 @@ fn find_experiment(name: &str) -> Option<ExperimentId> {
 fn usage() -> &'static str {
     "usage: streamlab <list|run|experiment <id>|ablation|recurrence|trace|replay <file>|sweep|\
      serve|submit|status [<job>]|cancel <job>|shutdown> \
-     [--scale tiny|small|default] [--seed N] [--out DIR] [--days N] [--seeds N] [--threads N] \
-     [--shard-deadline SECS] [--audit] [--resume DIR] \
+     [--scale tiny|small|default] [--sessions N] [--seed N] [--out DIR] [--days N] [--seeds N] \
+     [--threads N] \
+     [--shard-deadline SECS] [--spill-dir DIR] [--spill-threshold ROWS] [--audit] [--resume DIR] \
      [--metrics-out FILE] [--metrics-format json|openmetrics] [--trace-events FILE] \
      [--trace-out FILE] [--summary-shards N] [--faults FILE] [--storage-faults FILE] \
      [--state DIR] [--addr HOST:PORT] [--workers N] [--queue-depth N] \

@@ -22,6 +22,21 @@ pub enum Scale {
     Default,
 }
 
+/// Out-of-core telemetry: when set, each shard's `TelemetrySink` seals a
+/// sorted columnar segment into `dir` and resets whenever its arenas reach
+/// `threshold` rows, so peak RSS stays flat in chunk volume and
+/// `Dataset::assemble` streams a k-way merge over the segments instead of
+/// joining in RAM. Inert (`None`) by default; output is byte-identical
+/// either way at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillConfig {
+    /// Directory segment files are written into (created if missing).
+    /// Stored as a `String` so the config stays portable JSON.
+    pub dir: String,
+    /// Arena row count that triggers a segment seal.
+    pub threshold: usize,
+}
+
 /// Full configuration of one simulated measurement window.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimulationConfig {
@@ -81,6 +96,9 @@ pub struct SimulationConfig {
     /// simulated quantity, so determinism is unaffected on runs that
     /// don't stall.
     pub shard_deadline_ms: u64,
+    /// Telemetry spill settings (out-of-core runs); `None` keeps every
+    /// record in RAM, the historical behavior.
+    pub spill: Option<SpillConfig>,
 }
 
 impl SimulationConfig {
@@ -119,6 +137,7 @@ impl SimulationConfig {
             faults: FaultScenario::default(),
             threads: 1,
             shard_deadline_ms: 0,
+            spill: None,
         }
     }
 

@@ -51,8 +51,10 @@ pub mod simulate;
 pub mod sweep;
 pub mod trace;
 
-pub use config::{Scale, SimulationConfig};
-pub use simulate::{ObsOptions, RunOutput, ServerReport, ShardError, SimError, Simulation};
+pub use config::{Scale, SimulationConfig, SpillConfig};
+pub use simulate::{
+    ObsOptions, RunOutput, ServerReport, ShardError, SimError, Simulation, StreamOutput,
+};
 
 // Re-export the substrate crates under one roof, so downstream users need
 // a single dependency.

@@ -23,6 +23,32 @@ use std::time::Instant;
 
 use streamlab_obs::SchedulerCounters;
 
+/// Cost floor per worker for the LPT deal, in scheduler cost units (one
+/// unit ≈ one chunk event). Below roughly this much work per worker the
+/// fixed parallel overhead — thread spawn, per-shard queue setup, steal
+/// scans, per-shard sink merge — outweighs the event-loop work each extra
+/// worker takes on, and throughput *drops* as threads are added (the
+/// measured tiny-fleet regression: 77 k chunks/s at 1 thread → 58 k at 4).
+/// [`effective_workers`] clamps the worker count so each worker keeps at
+/// least this much estimated work.
+pub const MIN_COST_PER_WORKER: u64 = 16_384;
+
+/// The worker count the sharded engine should actually spin up: the
+/// requested `threads`, capped by the job count and by the
+/// [`MIN_COST_PER_WORKER`] floor on estimated per-worker work.
+///
+/// Purely a wall-clock decision: the deal changes, but results land in
+/// job-indexed slots and the merged output is byte-identical at any
+/// worker count, so the clamp can never affect simulation output. The
+/// clamp is recorded in the scheduler counters (`workers`,
+/// `workers_clamped`) so profiles show it.
+pub fn effective_workers(threads: usize, jobs: usize, costs: &[u64]) -> usize {
+    let cap = threads.min(jobs).max(1);
+    let total: u64 = costs.iter().sum();
+    let by_cost = usize::try_from(total / MIN_COST_PER_WORKER).unwrap_or(usize::MAX);
+    cap.min(by_cost.max(1))
+}
+
 /// One successful steal, timestamped against the queue's epoch (the
 /// moment of the deal). Wall-clock data: feeds the engine trace lanes
 /// and [`SchedulerCounters`], never the deterministic metrics.
@@ -100,6 +126,10 @@ impl WorkQueue {
             owner_pops: self.owner_pops.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             steal_failures: self.steal_failures.load(Ordering::Relaxed),
+            workers: self.deques.len() as u64,
+            // The queue only sees the post-clamp worker count; the engine
+            // fills this in from the requested thread count.
+            workers_clamped: 0,
         }
     }
 
@@ -282,5 +312,26 @@ mod tests {
         for w in 0..3 {
             assert_eq!(q.pop(w), None);
         }
+    }
+
+    #[test]
+    fn effective_workers_clamps_small_fleets() {
+        // A tiny fleet (total work far below one worker's floor) runs on
+        // one worker no matter how many threads were requested.
+        let tiny = vec![700u64; 18]; // ≈12.6k cost, the tiny preset's shape
+        assert_eq!(effective_workers(4, tiny.len(), &tiny), 1);
+        assert_eq!(effective_workers(1, tiny.len(), &tiny), 1);
+        // A fleet with ~8 workers' worth of work keeps all 8.
+        let big = vec![MIN_COST_PER_WORKER; 40];
+        assert_eq!(effective_workers(8, big.len(), &big), 8);
+        // Worker count still caps at the job count and stays >= 1.
+        assert_eq!(effective_workers(8, 3, &[MIN_COST_PER_WORKER * 10; 3]), 3);
+        assert_eq!(effective_workers(0, 0, &[]), 1);
+        // The clamp bites exactly at the floor: 2 full floors of work
+        // allow 2 workers, one unit less allows only 1.
+        let two = vec![MIN_COST_PER_WORKER, MIN_COST_PER_WORKER];
+        assert_eq!(effective_workers(4, 2, &two), 2);
+        let almost = vec![MIN_COST_PER_WORKER, MIN_COST_PER_WORKER - 1];
+        assert_eq!(effective_workers(4, 2, &almost), 1);
     }
 }

@@ -125,8 +125,14 @@ impl JobRunner for SweepRunner {
         // but a driver-level kill fault smuggled into a served job would
         // kill the daemon, not the job. Never honor it here.
         cfg.faults.kill_after_seeds = 0;
+        // Same per-seed spill layout as `sweep --checkpoint`: one
+        // subdirectory per seed, so the recorded manifests validate
+        // independently on resume.
+        if let Some(sc) = &cfg.spill {
+            cfg.spill = Some(crate::sweep::seed_spill(sc, seed));
+        }
 
-        let metrics = if spec.audit {
+        let (metrics, segments) = if spec.audit {
             let out = Simulation::new(cfg)
                 .run_observed(ObsOptions::default())
                 .map_err(|e| JobError::new("sim", format!("seed {seed}: {e}")))?;
@@ -142,7 +148,7 @@ impl JobRunner for SweepRunner {
                     format!("seed {seed}: {}", report.render()),
                 ));
             }
-            AblationMetrics::from_run(&out)
+            (AblationMetrics::from_run(&out), out.segments)
         } else {
             let out = Simulation::new(cfg)
                 .run()
@@ -154,9 +160,9 @@ impl JobRunner for SweepRunner {
             if !out.shard_errors.is_empty() {
                 return Err(shard_failure(seed, &out.shard_errors));
             }
-            AblationMetrics::from_run(&out)
+            (AblationMetrics::from_run(&out), out.segments)
         };
-        Ok(seed_payload(&metrics))
+        Ok(seed_payload(&metrics, &segments))
     }
 
     fn summarize(&self, _spec: &JobSpec, per_seed: &[(u64, Value)]) -> Result<String, JobError> {

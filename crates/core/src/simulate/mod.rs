@@ -19,9 +19,10 @@
 //!   count. See DESIGN.md for the full argument.
 
 use crate::config::SimulationConfig;
-use crate::scheduler::{StealEvent, WorkQueue};
+use crate::scheduler::{effective_workers, StealEvent, WorkQueue};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use streamlab_cdn::{CdnFleet, FleetShard, PrefetchPolicy};
@@ -32,7 +33,8 @@ use streamlab_obs::{
 };
 use streamlab_sim::{EventQueue, RngStream, SimTime};
 use streamlab_supervisor::watchdog::{self, WatchdogConfig};
-use streamlab_telemetry::{Dataset, TelemetrySink};
+use streamlab_supervisor::{ambient_storage, Storage};
+use streamlab_telemetry::{Dataset, SpillSpec, TelemetrySink};
 use streamlab_workload::{Catalog, Population, SessionGenerator, SessionSpec};
 
 /// Errors surfaced by a run.
@@ -58,6 +60,31 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Resolved spill settings for one run: the [`crate::config::SpillConfig`]
+/// with the directory created, the threshold clamped to ≥ 1, and the
+/// ambient [`Storage`] captured once so every shard's segment writes go
+/// through the same failpoint seam (§17 fault plans cover them).
+#[derive(Debug, Clone)]
+struct SpillPlan {
+    dir: PathBuf,
+    threshold: usize,
+    storage: Storage,
+}
+
+impl SpillPlan {
+    /// The per-shard [`SpillSpec`]: shard index is baked into segment
+    /// file names and headers, so concurrent shards never collide and
+    /// the merged stream can validate provenance.
+    fn spec(&self, shard: u32) -> SpillSpec {
+        SpillSpec {
+            dir: self.dir.clone(),
+            threshold: self.threshold,
+            shard,
+            storage: self.storage.clone(),
+        }
+    }
+}
 
 /// One shard worker died. The run still completes: surviving shards'
 /// sessions land in the dataset, and the error is reported here instead
@@ -224,6 +251,38 @@ pub struct RunOutput {
     /// are missing from the dataset; everything else is intact. Empty on
     /// a healthy run.
     pub shard_errors: Vec<ShardError>,
+    /// Manifest of the sealed spill segments the run's telemetry streamed
+    /// through (empty unless [`crate::config::SimulationConfig::spill`]
+    /// was set). The files stay on disk after the run; checkpointed
+    /// sweeps persist this manifest so a resume can validate the
+    /// segments instead of recomputing the seed.
+    pub segments: Vec<streamlab_telemetry::SegmentMeta>,
+}
+
+/// Everything a *streaming* run produces: the joined sessions arrive as a
+/// bounded-memory iterator instead of a materialized [`Dataset`].
+///
+/// This is the out-of-core twin of [`RunOutput`], for million-session runs
+/// where the dataset would not fit in RAM. The stream yields the raw join
+/// *before* §3 proxy filtering — the filter's per-prefix volume heuristic
+/// needs a global pass, so it cannot run inline; collect into a
+/// [`Dataset`] and call [`Dataset::filter_proxies`] when the filtered view
+/// is needed. Everything else the run computes (server reports, shard
+/// errors, segment manifest) is materialized as usual since those are
+/// small.
+pub struct StreamOutput {
+    /// Joined sessions in ascending session-id order, assembled
+    /// incrementally from the spill segments (or from RAM when the run
+    /// never spilled). Consume once.
+    pub stream: streamlab_telemetry::SessionStream,
+    /// Per-server aggregates.
+    pub servers: Vec<ServerReport>,
+    /// Self-telemetry; `None` for plain streaming runs.
+    pub metrics: Option<RunMetrics>,
+    /// Shards whose worker panicked (sharded engine only).
+    pub shard_errors: Vec<ShardError>,
+    /// Manifest of the sealed spill segments backing the stream.
+    pub segments: Vec<streamlab_telemetry::SegmentMeta>,
 }
 
 /// Per-PoP aggregation of the fleet's serving statistics.
@@ -350,7 +409,22 @@ impl Simulation {
     /// monomorphize away and this path costs the same as before the
     /// observability subsystem existed.
     pub fn run(self) -> Result<RunOutput, SimError> {
-        self.run_inner(None, None)
+        match self.run_inner(None, None, false)? {
+            InnerOutput::Full(o) => Ok(*o),
+            InnerOutput::Streaming(_) => unreachable!("non-streaming run"),
+        }
+    }
+
+    /// Run the full measurement window and return the joined sessions as a
+    /// bounded-memory stream instead of a materialized dataset — the
+    /// out-of-core path for runs too large to hold in RAM. Pair with
+    /// [`crate::config::SimulationConfig::spill`]; without spill the
+    /// "stream" is just the in-RAM dataset behind an iterator.
+    pub fn run_streaming(self) -> Result<StreamOutput, SimError> {
+        match self.run_inner(None, None, true)? {
+            InnerOutput::Streaming(o) => Ok(*o),
+            InnerOutput::Full(_) => unreachable!("streaming run"),
+        }
     }
 
     /// Run with self-telemetry: [`RunOutput::metrics`] carries the
@@ -358,7 +432,10 @@ impl Simulation {
     /// and, with [`ObsOptions::trace`], [`RunOutput::trace_lines`] holds
     /// the structured JSONL event trace.
     pub fn run_observed(self, obs: ObsOptions) -> Result<RunOutput, SimError> {
-        self.run_inner(None, Some(obs))
+        match self.run_inner(None, Some(obs), false)? {
+            InnerOutput::Full(o) => Ok(*o),
+            InnerOutput::Streaming(_) => unreachable!("non-streaming run"),
+        }
     }
 
     /// Run against an explicit session trace instead of generating one —
@@ -369,14 +446,35 @@ impl Simulation {
     /// prefixes), which holds whenever it was generated from a config with
     /// the same `seed`, `catalog` and `population` sections.
     pub fn run_with_sessions(self, specs: Vec<SessionSpec>) -> Result<RunOutput, SimError> {
-        self.run_inner(Some(specs), None)
+        match self.run_inner(Some(specs), None, false)? {
+            InnerOutput::Full(o) => Ok(*o),
+            InnerOutput::Streaming(_) => unreachable!("non-streaming run"),
+        }
     }
 
     fn run_inner(
         self,
         specs_override: Option<Vec<SessionSpec>>,
         obs: Option<ObsOptions>,
-    ) -> Result<RunOutput, SimError> {
+        streaming: bool,
+    ) -> Result<InnerOutput, SimError> {
+        // Out-of-core telemetry: resolved once up front so a bad spill
+        // directory fails the run before any simulation work happens.
+        let spill = match &self.cfg.spill {
+            None => None,
+            Some(sc) => {
+                let dir = PathBuf::from(&sc.dir);
+                std::fs::create_dir_all(&dir).map_err(|e| {
+                    SimError::Config(format!("cannot create spill dir {}: {e}", dir.display()))
+                })?;
+                Some(SpillPlan {
+                    dir,
+                    threshold: sc.threshold.max(1),
+                    storage: ambient_storage(),
+                })
+            }
+        };
+        let spill = spill.as_ref();
         let cfg = &self.cfg;
         let seed = cfg.seed;
         let setup_started = Instant::now();
@@ -457,7 +555,7 @@ impl Simulation {
             Some(o) if cfg.threads <= 1 => {
                 let mut rec = MetricsRecorder::with_options(o.trace, o.spans);
                 let (sink, stats) =
-                    run_sequential(&mut fleet, runtimes, &catalog, &population, &mut rec);
+                    run_sequential(&mut fleet, runtimes, &catalog, &population, spill, &mut rec);
                 rec.add_events_processed(stats.events);
                 (
                     sink,
@@ -479,6 +577,7 @@ impl Simulation {
                     &coarse,
                     cfg.shard_deadline_ms,
                     loop_started,
+                    spill,
                     || MetricsRecorder::with_options(o.trace, o.spans),
                 );
                 // Fold shard recorders in canonical (shard_index) order —
@@ -546,6 +645,7 @@ impl Simulation {
                     runtimes,
                     &catalog,
                     &population,
+                    spill,
                     &mut NoopSubscriber,
                 );
                 (
@@ -568,6 +668,7 @@ impl Simulation {
                     &coarse,
                     cfg.shard_deadline_ms,
                     loop_started,
+                    spill,
                     || NoopSubscriber,
                 );
                 let mut total = EngineStats::default();
@@ -583,9 +684,26 @@ impl Simulation {
         let merge_started = Instant::now();
 
         // --- join + preprocessing ---
-        let dataset = Dataset::join(sink).map_err(SimError::Join)?;
-        let raw_sessions = dataset.raw_sessions;
-        let dataset = dataset.filter_proxies();
+        // A spill failure degrades (that shard finished in RAM) rather
+        // than failing the run; surface it so out-of-core users know the
+        // RSS bound did not hold.
+        for e in sink.spill_errors() {
+            eprintln!("warning: telemetry spill degraded to in-RAM: {e}");
+        }
+        let segments = sink.sealed_segments().to_vec();
+        // Streaming runs defer the join: the sink becomes a k-way merge
+        // iterator and the full dataset is never materialized.
+        let (dataset, raw_sessions, stream) = if streaming {
+            (
+                None,
+                0usize,
+                Some(streamlab_telemetry::SessionStream::new(sink)),
+            )
+        } else {
+            let dataset = Dataset::join(sink).map_err(SimError::Join)?;
+            let raw_sessions = dataset.raw_sessions;
+            (Some(dataset.filter_proxies()), raw_sessions, None)
+        };
 
         let servers: Vec<ServerReport> = fleet
             .servers()
@@ -651,18 +769,35 @@ impl Simulation {
             None => (None, None, None, None),
         };
 
-        Ok(RunOutput {
-            dataset,
-            raw_sessions,
-            servers,
-            catalog,
-            metrics,
-            trace_lines,
-            sim_spans,
-            wall_trace,
-            shard_errors,
+        Ok(match stream {
+            Some(stream) => InnerOutput::Streaming(Box::new(StreamOutput {
+                stream,
+                servers,
+                metrics,
+                shard_errors,
+                segments,
+            })),
+            None => InnerOutput::Full(Box::new(RunOutput {
+                dataset: dataset.expect("non-streaming run joins"),
+                raw_sessions,
+                servers,
+                catalog,
+                metrics,
+                trace_lines,
+                sim_spans,
+                wall_trace,
+                shard_errors,
+                segments,
+            })),
         })
     }
+}
+
+/// What [`Simulation::run_inner`] hands back: a materialized run or its
+/// streaming twin. Boxed so the enum stays pointer-sized.
+enum InnerOutput {
+    Full(Box<RunOutput>),
+    Streaming(Box<StreamOutput>),
 }
 
 /// The harness (test-infrastructure) faults of a scenario, preprocessed
@@ -965,6 +1100,7 @@ fn run_sequential<S: Subscriber>(
     mut runtimes: Vec<SessionRuntime>,
     catalog: &Catalog,
     population: &Population,
+    spill: Option<&SpillPlan>,
     sub: &mut S,
 ) -> (TelemetrySink, EngineStats) {
     let policy = fleet.config().prefetch;
@@ -972,7 +1108,11 @@ fn run_sequential<S: Subscriber>(
         .iter()
         .map(|rt| rt.spec.chunks_watched as usize)
         .sum();
-    let mut sink = TelemetrySink::with_capacity(runtimes.len(), est_chunks);
+    // The sequential engine is one logical shard: shard 0.
+    let mut sink = match spill {
+        Some(p) => TelemetrySink::with_spill(runtimes.len(), p.spec(0)),
+        None => TelemetrySink::with_capacity(runtimes.len(), est_chunks),
+    };
     let mut queue: EventQueue<usize> = EventQueue::with_capacity(runtimes.len());
     for (idx, rt) in runtimes.iter().enumerate() {
         queue.schedule(rt.spec.arrival, idx);
@@ -1000,6 +1140,9 @@ fn run_sequential<S: Subscriber>(
             }
         }
     }
+    // Seal the tail segment before handing the sink to the join, so the
+    // sealed-segment manifest is complete.
+    sink.seal();
     let stats = EngineStats {
         events: queue.popped(),
         peak_queue: queue.peak_len(),
@@ -1050,6 +1193,7 @@ fn run_sharded<S, F>(
     coarse: &[bool],
     deadline_ms: u64,
     epoch: Instant,
+    spill: Option<&SpillPlan>,
     make_sub: F,
 ) -> (TelemetrySink, Vec<ShardRun<S>>, Vec<ShardError>, EngineWall)
 where
@@ -1116,7 +1260,13 @@ where
     );
     let jobs: Vec<Mutex<Option<Job>>> = work.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let slots: Vec<Mutex<Option<ShardResult<S>>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-    let workers = threads.min(n_jobs).max(1);
+    // Clamp the worker count when the fleet is too small to feed every
+    // requested thread: below MIN_COST_PER_WORKER of estimated work per
+    // worker, spawn/merge overhead makes extra threads a net loss (tiny
+    // fleets measurably *lose* throughput at 4 threads). Wall-clock only;
+    // results are slot-indexed, so output is unaffected.
+    let requested = threads.min(n_jobs).max(1);
+    let workers = effective_workers(threads, n_jobs, &costs);
     let queue = WorkQueue::deal(workers, &costs);
     let heartbeat_log: Mutex<Vec<streamlab_supervisor::HeartbeatSample>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
@@ -1169,12 +1319,15 @@ where
                             return None;
                         }
                         let mut sub = make_sub();
+                        // Shard index `i` is canonical, so segment names
+                        // are stable across runs and thread counts.
                         let (sink, stats, completed) = run_shard(
                             &mut shard,
                             sessions,
                             catalog,
                             population,
                             policy,
+                            spill.map(|p| p.spec(i as u32)),
                             &mut sub,
                             Some(&cell),
                         );
@@ -1252,8 +1405,10 @@ where
     // against its own epoch (the deal, a hair after `epoch`), so shift it
     // onto the caller's timeline before the queue drops.
     let steal_shift_ms = queue.epoch().saturating_duration_since(epoch).as_secs_f64() * 1.0e3;
+    let mut scheduler = queue.counters();
+    scheduler.workers_clamped = (requested - workers) as u64;
     let engine_wall = EngineWall {
-        scheduler: queue.counters(),
+        scheduler,
         steals: queue
             .steal_events()
             .into_iter()
@@ -1315,12 +1470,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// cancelled the loop's behavior is byte-for-byte the uninstrumented one:
 /// the heartbeat is two relaxed stores and never feeds back into
 /// simulation state.
+#[allow(clippy::too_many_arguments)]
 fn run_shard<S: Subscriber>(
     shard: &mut FleetShard,
     mut sessions: Vec<SessionRuntime>,
     catalog: &Catalog,
     population: &Population,
     policy: PrefetchPolicy,
+    spill: Option<SpillSpec>,
     sub: &mut S,
     progress: Option<&ProgressCell>,
 ) -> (TelemetrySink, EngineStats, bool) {
@@ -1328,7 +1485,10 @@ fn run_shard<S: Subscriber>(
         .iter()
         .map(|rt| rt.spec.chunks_watched as usize)
         .sum();
-    let mut sink = TelemetrySink::with_capacity(sessions.len(), est_chunks);
+    let mut sink = match spill {
+        Some(spec) => TelemetrySink::with_spill(sessions.len(), spec),
+        None => TelemetrySink::with_capacity(sessions.len(), est_chunks),
+    };
     let mut queue: EventQueue<usize> = EventQueue::with_capacity(sessions.len());
     for (idx, rt) in sessions.iter().enumerate() {
         queue.schedule(rt.spec.arrival, idx);
@@ -1363,6 +1523,12 @@ fn run_shard<S: Subscriber>(
                 finalize_session(&mut sessions[idx], population, pop, id, &mut sink);
             }
         }
+    }
+    if completed {
+        // Seal the tail segment only for completed shards: a cancelled
+        // shard's results are dropped by the caller, and leaving its tail
+        // unsealed avoids writing segments that would never be read.
+        sink.seal();
     }
     let stats = EngineStats {
         events: queue.popped(),
@@ -1531,6 +1697,109 @@ mod tests {
             assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
             assert_eq!(a.retry_ratio, b.retry_ratio);
         }
+    }
+
+    fn run_tiny_spilled(seed: u64, threads: usize, name: &str, threshold: usize) -> RunOutput {
+        let dir = std::env::temp_dir().join(format!(
+            "streamlab-spill-{name}-{threads}t-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = SimulationConfig::tiny(seed);
+        cfg.threads = threads;
+        cfg.spill = Some(crate::config::SpillConfig {
+            dir: dir.to_string_lossy().into_owned(),
+            threshold,
+        });
+        let out = Simulation::new(cfg).run().expect("spilled tiny run");
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    #[test]
+    fn spilled_run_is_byte_identical_to_in_ram() {
+        // A threshold far below the tiny run's chunk volume forces many
+        // segment seals per shard; the assembled dataset must still be
+        // byte-for-byte the in-RAM dataset at every thread count.
+        let ram = run_tiny_threads(42, 1);
+        let ram_json = serde_json::to_string(&ram.dataset).expect("serialize");
+        for threads in [1usize, 2, 8] {
+            let spilled = run_tiny_spilled(42, threads, "ident", 512);
+            assert_eq!(
+                ram_json,
+                serde_json::to_string(&spilled.dataset).expect("serialize"),
+                "spilled dataset diverged at {threads} threads"
+            );
+            assert!(
+                spilled.shard_errors.is_empty(),
+                "spill must not fault shards"
+            );
+        }
+    }
+
+    #[test]
+    fn spilled_faulted_run_matches_in_ram() {
+        // Fault injection changes the record stream (aborts, retries,
+        // failovers); spill must stay transparent there too.
+        let mut cfg = SimulationConfig::tiny(23);
+        cfg.faults = stress_scenario();
+        let ram = Simulation::new(cfg).run().expect("faulted tiny run");
+        let ram_json = serde_json::to_string(&ram.dataset).expect("serialize");
+        let dir = std::env::temp_dir().join(format!("streamlab-spill-flt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for threads in [1usize, 4] {
+            let mut cfg = SimulationConfig::tiny(23);
+            cfg.faults = stress_scenario();
+            cfg.threads = threads;
+            cfg.spill = Some(crate::config::SpillConfig {
+                dir: dir.to_string_lossy().into_owned(),
+                threshold: 256,
+            });
+            let spilled = Simulation::new(cfg).run().expect("spilled faulted run");
+            assert_eq!(
+                ram_json,
+                serde_json::to_string(&spilled.dataset).expect("serialize"),
+                "faulted spilled dataset diverged at {threads} threads"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_run_matches_materialized_run() {
+        // The streaming path yields the raw (pre-proxy-filter) join;
+        // collecting it and applying the same filter must reproduce the
+        // materialized dataset exactly, spilled or not.
+        let ram = run_tiny_threads(42, 1);
+        let ram_json = serde_json::to_string(&ram.dataset).expect("serialize");
+        let dir = std::env::temp_dir().join(format!("streamlab-stream-{}", std::process::id()));
+        for spill in [false, true] {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut cfg = SimulationConfig::tiny(42);
+            cfg.threads = 2;
+            if spill {
+                cfg.spill = Some(crate::config::SpillConfig {
+                    dir: dir.to_string_lossy().into_owned(),
+                    threshold: 512,
+                });
+            }
+            let out = Simulation::new(cfg).run_streaming().expect("streaming run");
+            assert_eq!(out.segments.is_empty(), !spill);
+            let sessions: Vec<_> = out.stream.map(|s| s.expect("stream yields")).collect();
+            let raw = sessions.len();
+            let collected = streamlab_telemetry::Dataset {
+                sessions,
+                filtered_proxy_sessions: 0,
+                raw_sessions: raw,
+            }
+            .filter_proxies();
+            assert_eq!(
+                ram_json,
+                serde_json::to_string(&collected).expect("serialize"),
+                "streaming sessions diverged (spill={spill})"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

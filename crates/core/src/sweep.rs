@@ -9,13 +9,14 @@
 //! invariants are not one-seed flukes.
 
 use crate::ablation::AblationMetrics;
-use crate::config::SimulationConfig;
+use crate::config::{SimulationConfig, SpillConfig};
 use crate::simulate::{ObsOptions, SimError, Simulation};
 use serde::{Deserialize, Map, Serialize, Value};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Mutex;
 use streamlab_supervisor::{Manifest, RunDir};
+use streamlab_telemetry::{validate_sealed, SegmentMeta};
 
 /// Mean and population standard deviation of one metric across seeds.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -177,10 +178,11 @@ fn metrics_from_bits(bits: &[u64]) -> Option<AblationMetrics> {
 }
 
 /// The per-seed record payload: exact bits for resume, readable metrics for
-/// humans poking at the run directory. Only `bits` is read back. Shared
-/// with the `serve` daemon so a served sweep's checkpoints are readable by
-/// `sweep --resume` and vice versa.
-pub(crate) fn seed_payload(m: &AblationMetrics) -> Value {
+/// humans poking at the run directory, and the manifest of sealed spill
+/// segments the run left on disk (empty for in-RAM runs). Only `bits` and
+/// `segments` are read back. Shared with the `serve` daemon so a served
+/// sweep's checkpoints are readable by `sweep --resume` and vice versa.
+pub(crate) fn seed_payload(m: &AblationMetrics, segments: &[SegmentMeta]) -> Value {
     let bits = metrics_bits(m)
         .iter()
         .map(|&b| Value::Number(serde::Number::UInt(b)))
@@ -188,6 +190,10 @@ pub(crate) fn seed_payload(m: &AblationMetrics) -> Value {
     let mut obj = Map::new();
     obj.insert("bits".to_owned(), Value::Array(bits));
     obj.insert("metrics".to_owned(), m.to_value());
+    obj.insert(
+        "segments".to_owned(),
+        Value::Array(segments.iter().map(|s| s.to_value()).collect()),
+    );
     Value::Object(obj)
 }
 
@@ -199,6 +205,31 @@ pub(crate) fn payload_metrics(v: &Value) -> Option<AblationMetrics> {
         .map(|b| b.as_u64())
         .collect::<Option<Vec<u64>>>()?;
     metrics_from_bits(&bits)
+}
+
+/// The sealed-segment manifest recorded with a seed. Records written before
+/// spill support (no `segments` key) read as empty; a present-but-mangled
+/// manifest reads as `None` so the caller treats the record as unusable.
+pub(crate) fn payload_segments(v: &Value) -> Option<Vec<SegmentMeta>> {
+    match v.get("segments") {
+        None => Some(Vec::new()),
+        Some(arr) => arr
+            .as_array()?
+            .iter()
+            .map(|s| SegmentMeta::from_value(s).ok())
+            .collect(),
+    }
+}
+
+/// The spill configuration a specific seed of a sweep runs under: each seed
+/// gets its own subdirectory so parallel seed workers never interleave
+/// segment files, and so resume can validate one seed's manifest in
+/// isolation.
+pub(crate) fn seed_spill(sc: &SpillConfig, seed: u64) -> SpillConfig {
+    SpillConfig {
+        dir: format!("{}/seed-{seed}", sc.dir),
+        threshold: sc.threshold,
+    }
 }
 
 /// The config as stored in the run-dir manifest: the per-seed `seed` field
@@ -272,12 +303,22 @@ fn run_checkpointed(
     let mut sim_base = base;
     sim_base.faults.kill_after_seeds = 0;
 
-    let (records, skipped_records) = run_dir.completed_seeds();
+    let (records, mut skipped_records) = run_dir.completed_seeds();
     let mut done: BTreeMap<u64, AblationMetrics> = BTreeMap::new();
     for (&seed, payload) in records.iter() {
-        if let Some(m) = payload_metrics(payload) {
-            done.insert(seed, m);
+        let (Some(m), Some(segments)) = (payload_metrics(payload), payload_segments(payload))
+        else {
+            continue;
+        };
+        // A spilled seed's record is only trusted if every sealed segment it
+        // names still verifies on disk (row counts, sort-key ranges,
+        // fingerprints). A torn or missing segment means the seed is
+        // recomputed rather than resumed from suspect state.
+        if let Err(e) = validate_sealed(&segments) {
+            skipped_records.push(format!("seed {seed}: sealed segments invalid: {e}"));
+            continue;
         }
+        done.insert(seed, m);
     }
     let resumed: Vec<u64> = seeds
         .iter()
@@ -304,9 +345,14 @@ fn run_checkpointed(
             .map(|&seed| {
                 let mut cfg = sim_base.clone();
                 cfg.seed = seed;
+                // Each seed spills into its own subdirectory so parallel
+                // workers never share segment sequence numbers.
+                if let Some(sc) = &cfg.spill {
+                    cfg.spill = Some(seed_spill(sc, seed));
+                }
                 let recorded = &recorded;
                 scope.spawn(move || {
-                    let m = if audit {
+                    let (m, segments) = if audit {
                         let out = Simulation::new(cfg)
                             .run_observed(ObsOptions::default())
                             .map_err(|e| format!("seed {seed}: {e}"))?;
@@ -314,22 +360,22 @@ fn run_checkpointed(
                         if !report.is_clean() {
                             return Err(format!("seed {seed}: {}", report.render()));
                         }
-                        AblationMetrics::from_run(&out)
+                        (AblationMetrics::from_run(&out), out.segments)
                     } else {
                         let out = Simulation::new(cfg)
                             .run()
                             .map_err(|e| format!("seed {seed}: {e}"))?;
-                        AblationMetrics::from_run(&out)
+                        (AblationMetrics::from_run(&out), out.segments)
                     };
                     if kill_after > 0 {
                         let mut n = recorded.lock().unwrap_or_else(|e| e.into_inner());
-                        run_dir.record_seed(seed, seed_payload(&m))?;
+                        run_dir.record_seed(seed, seed_payload(&m, &segments))?;
                         *n += 1;
                         if *n >= kill_after {
                             std::process::abort();
                         }
                     } else {
-                        run_dir.record_seed(seed, seed_payload(&m))?;
+                        run_dir.record_seed(seed, seed_payload(&m, &segments))?;
                     }
                     Ok(m)
                 })
@@ -472,7 +518,7 @@ mod tests {
         };
         // A value with no short decimal form: one ulp above 0.1.
         m.miss_rate = f64::from_bits(0.1f64.to_bits() + 1);
-        let back = payload_metrics(&seed_payload(&m)).expect("roundtrip");
+        let back = payload_metrics(&seed_payload(&m, &[])).expect("roundtrip");
         assert_eq!(metrics_bits(&m), metrics_bits(&back));
         assert!(back.load_latency_corr.is_nan());
     }
@@ -480,7 +526,7 @@ mod tests {
     #[test]
     fn truncated_bits_are_rejected() {
         let m = run_seeds(&tiny_base(), &[3]).unwrap().per_seed.remove(0);
-        let Value::Object(mut obj) = seed_payload(&m) else {
+        let Value::Object(mut obj) = seed_payload(&m, &[]) else {
             panic!("payload is an object")
         };
         let Some(Value::Array(mut bits)) = obj.get("bits").cloned() else {
@@ -506,7 +552,7 @@ mod tests {
         let manifest = Manifest::new("sweep", seeds.to_vec(), manifest_config(&base));
         let run_dir = RunDir::create(&dir_part, manifest).unwrap();
         run_dir
-            .record_seed(12, seed_payload(&full.summary.per_seed[1]))
+            .record_seed(12, seed_payload(&full.summary.per_seed[1], &[]))
             .unwrap();
 
         let resumed = resume_checkpointed(&dir_part, false).expect("resume");
@@ -522,6 +568,69 @@ mod tests {
 
         let _ = std::fs::remove_dir_all(&dir_full);
         let _ = std::fs::remove_dir_all(&dir_part);
+    }
+
+    #[test]
+    fn spilled_sweep_resume_revalidates_segments_and_recomputes_torn_seeds() {
+        let seeds = [21u64, 22];
+        let plain = run_seeds(&tiny_base(), &seeds).expect("plain sweep");
+
+        let spill_root = scratch("spill-data");
+        let mut base = tiny_base();
+        base.spill = Some(SpillConfig {
+            dir: spill_root.display().to_string(),
+            threshold: 64,
+        });
+
+        let dir = scratch("spill-ckpt");
+        let full = run_seeds_checkpointed(&base, &seeds, &dir, false).expect("spilled sweep");
+        // Spilling must not perturb the metrics relative to in-RAM runs.
+        for (a, b) in full.summary.per_seed.iter().zip(&plain.per_seed) {
+            assert_eq!(metrics_bits(a), metrics_bits(b));
+        }
+
+        // Each seed spilled into its own subdirectory.
+        let seed_dir = spill_root.join("seed-21");
+        let mut segs: Vec<std::path::PathBuf> = std::fs::read_dir(&seed_dir)
+            .expect("seed-21 spill dir")
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "slseg"))
+            .collect();
+        segs.sort();
+        assert!(!segs.is_empty(), "seed 21 sealed no segments");
+
+        // Tear one of seed 21's segments; a resume over the completed run
+        // must notice, recompute exactly that seed, and still produce a
+        // byte-identical summary.
+        let victim = &segs[0];
+        let bytes = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &bytes[..bytes.len() / 2]).unwrap();
+
+        let resumed = resume_checkpointed(&dir, false).expect("resume");
+        assert_eq!(resumed.resumed, vec![22]);
+        assert_eq!(resumed.computed, vec![21]);
+        assert!(
+            resumed
+                .skipped_records
+                .iter()
+                .any(|s| s.contains("seed 21") && s.contains("sealed segments invalid")),
+            "no invalid-segment note in {:?}",
+            resumed.skipped_records
+        );
+        assert_eq!(render(&resumed.summary), render(&full.summary));
+        assert_eq!(
+            resumed.summary.to_value().to_json_string(),
+            full.summary.to_value().to_json_string()
+        );
+
+        // The recompute re-sealed valid segments, so a second resume trusts
+        // every record again.
+        let again = resume_checkpointed(&dir, false).expect("second resume");
+        assert_eq!(again.resumed, vec![21, 22]);
+        assert!(again.computed.is_empty());
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&spill_root);
     }
 
     #[test]

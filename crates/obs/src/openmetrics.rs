@@ -83,6 +83,8 @@ pub fn render(sim: &SimMetrics, profile: Option<&RunProfile>) -> String {
             ("sched_owner_pops", s.owner_pops),
             ("sched_steals", s.steals),
             ("sched_steal_failures", s.steal_failures),
+            ("sched_workers", s.workers),
+            ("sched_workers_clamped", s.workers_clamped),
         ] {
             let _ = writeln!(
                 out,
@@ -176,6 +178,8 @@ mod tests {
                 owner_pops: 10,
                 steals: 2,
                 steal_failures: 5,
+                workers: 4,
+                workers_clamped: 0,
             },
             shards: Vec::new(),
         };

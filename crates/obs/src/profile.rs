@@ -54,6 +54,13 @@ pub struct SchedulerCounters {
     pub steals: u64,
     /// Steal scans that found every deque empty.
     pub steal_failures: u64,
+    /// Worker deques actually spun up (after the per-worker cost-floor
+    /// clamp; zero for the sequential engine).
+    pub workers: u64,
+    /// Workers the cost-floor clamp removed relative to the requested
+    /// thread count: non-zero means the fleet was too small to feed every
+    /// requested thread profitably.
+    pub workers_clamped: u64,
 }
 
 /// Wall-clock profile of one run: where the time went.
@@ -234,6 +241,8 @@ mod tests {
                     owner_pops: 1,
                     steals: 1,
                     steal_failures: 3,
+                    workers: 2,
+                    workers_clamped: 0,
                 },
                 shards: vec![
                     ShardProfile {

@@ -7,9 +7,37 @@
 //! of sessions.
 
 use crate::records::{CdnChunkRecord, ChunkRecord, PlayerChunkRecord, SessionMeta};
+use crate::segment::{self, SegmentMeta};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use streamlab_supervisor::Storage;
 use streamlab_workload::{ChunkIndex, SessionId};
+
+/// Configuration for a spilling sink: where segments go, when a flush
+/// fires, which canonical shard the sink belongs to, and the storage
+/// handle the segment writes are routed through (so §17 fault plans cover
+/// them).
+#[derive(Debug, Clone)]
+pub struct SpillSpec {
+    /// Directory sealed segments are written into (must exist).
+    pub dir: PathBuf,
+    /// Arena row count that triggers a flush.
+    pub threshold: usize,
+    /// Canonical shard index recorded in every segment header.
+    pub shard: u32,
+    /// Storage seam the segment writes go through.
+    pub storage: Storage,
+}
+
+#[derive(Debug)]
+struct SpillState {
+    spec: SpillSpec,
+    seq: u32,
+    /// Set on the first failed flush; spilling stops, records stay in RAM
+    /// and the run still completes correctly (degrade, don't die).
+    disabled: bool,
+}
 
 /// Collects the three beacon streams as the simulation runs.
 #[derive(Debug, Default)]
@@ -17,6 +45,9 @@ pub struct TelemetrySink {
     player: Vec<PlayerChunkRecord>,
     cdn: Vec<CdnChunkRecord>,
     sessions: Vec<SessionMeta>,
+    spill: Option<SpillState>,
+    sealed: Vec<SegmentMeta>,
+    spill_errors: Vec<String>,
 }
 
 impl TelemetrySink {
@@ -34,17 +65,39 @@ impl TelemetrySink {
             player: Vec::with_capacity(chunks),
             cdn: Vec::with_capacity(chunks),
             sessions: Vec::with_capacity(sessions),
+            ..Self::default()
+        }
+    }
+
+    /// A spilling sink: chunk arenas are capped at `spill.threshold` rows;
+    /// crossing the threshold seals a sorted segment in `spill.dir` and
+    /// resets the arenas, so the sink runs in constant memory w.r.t. chunk
+    /// volume (session metadata stays in RAM — one record per session).
+    pub fn with_spill(sessions: usize, spill: SpillSpec) -> Self {
+        let cap = spill.threshold;
+        TelemetrySink {
+            player: Vec::with_capacity(cap),
+            cdn: Vec::with_capacity(cap),
+            sessions: Vec::with_capacity(sessions),
+            spill: Some(SpillState {
+                spec: spill,
+                seq: 0,
+                disabled: false,
+            }),
+            ..Self::default()
         }
     }
 
     /// Record a player-side chunk beacon.
     pub fn player_chunk(&mut self, r: PlayerChunkRecord) {
         self.player.push(r);
+        self.maybe_flush();
     }
 
     /// Record a CDN-side chunk log line.
     pub fn cdn_chunk(&mut self, r: CdnChunkRecord) {
         self.cdn.push(r);
+        self.maybe_flush();
     }
 
     /// Record session metadata.
@@ -52,9 +105,26 @@ impl TelemetrySink {
         self.sessions.push(m);
     }
 
-    /// Stream sizes `(player, cdn, sessions)`.
+    /// Stream sizes `(player, cdn, sessions)` currently held in RAM
+    /// (spilled rows excluded; see [`TelemetrySink::spilled_rows`]).
     pub fn counts(&self) -> (usize, usize, usize) {
         (self.player.len(), self.cdn.len(), self.sessions.len())
+    }
+
+    /// Paired rows sealed into segments so far.
+    pub fn spilled_rows(&self) -> u64 {
+        self.sealed.iter().map(|s| s.rows).sum()
+    }
+
+    /// Manifest entries for every sealed segment, in seal order.
+    pub fn sealed_segments(&self) -> &[SegmentMeta] {
+        &self.sealed
+    }
+
+    /// Errors hit while spilling (each one disabled further spilling for
+    /// the sink that hit it; the affected rows stayed in RAM).
+    pub fn spill_errors(&self) -> &[String] {
+        &self.spill_errors
     }
 
     /// Append every record from `other`, consuming it.
@@ -62,11 +132,121 @@ impl TelemetrySink {
     /// Used to merge the per-shard sinks of a parallel run. Concatenation
     /// order does not matter for the result of [`Dataset::join`]: the join
     /// canonicalizes by session id, so any interleaving of shard sinks
-    /// produces the same dataset.
+    /// produces the same dataset. Sealed segments and spill errors are
+    /// carried over; `other`'s live spill configuration is dropped (the
+    /// absorbing sink is the post-run merge target, which never spills
+    /// itself).
     pub fn absorb(&mut self, other: TelemetrySink) {
         self.player.extend(other.player);
         self.cdn.extend(other.cdn);
         self.sessions.extend(other.sessions);
+        self.sealed.extend(other.sealed);
+        self.spill_errors.extend(other.spill_errors);
+    }
+
+    /// Flush the remaining arena rows as a final (possibly small) segment.
+    ///
+    /// The engines call this once per shard when its event loop drains, so
+    /// a spilling shard hands back a sink whose chunk arenas are empty and
+    /// whose data lives entirely in sealed segments. A no-op without spill
+    /// mode (or after a spill error disabled it).
+    pub fn seal(&mut self) {
+        if self.spill.is_some() {
+            self.flush_run();
+        }
+    }
+
+    fn maybe_flush(&mut self) {
+        let Some(state) = &self.spill else { return };
+        if state.disabled
+            || self.player.len() < state.spec.threshold
+            || self.player.len() != self.cdn.len()
+        {
+            return;
+        }
+        self.flush_run();
+    }
+
+    /// Sort the current arenas into a run and seal it as a segment. On
+    /// failure the (sorted) rows are put back and spilling is disabled.
+    fn flush_run(&mut self) {
+        let Some(state) = &mut self.spill else { return };
+        if state.disabled || self.player.is_empty() || self.player.len() != self.cdn.len() {
+            return;
+        }
+        let mut pairs: Vec<(PlayerChunkRecord, CdnChunkRecord)> =
+            self.player.drain(..).zip(self.cdn.drain(..)).collect();
+        pairs.sort_unstable_by_key(|a| (a.0.session, a.0.chunk));
+        let (player, cdn): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let path = state.spec.dir.join(format!(
+            "seg-{:05}-{:05}.slseg",
+            state.spec.shard, state.seq
+        ));
+        match segment::write_segment(
+            &state.spec.storage,
+            &path,
+            state.spec.shard,
+            state.seq,
+            &player,
+            &cdn,
+        ) {
+            Ok(meta) => {
+                state.seq += 1;
+                self.sealed.push(meta);
+            }
+            Err(e) => {
+                // Keep the rows (sorted order is still engine-shaped:
+                // pairwise adjacent, per-session chunks ascending) and stop
+                // spilling; the run completes in RAM.
+                state.disabled = true;
+                self.spill_errors
+                    .push(format!("sealing {} failed: {e}", path.display()));
+                self.player.extend(player);
+                self.cdn.extend(cdn);
+            }
+        }
+    }
+
+    /// Read every sealed segment back into the in-RAM arenas, consuming
+    /// the segment list. Used by the reference join (the oracle must see
+    /// the same rows the streaming merge does) and by the fallback path
+    /// for sinks whose in-RAM tail is not merge-shaped.
+    pub(crate) fn materialize(&mut self) -> Result<(), JoinError> {
+        for meta in std::mem::take(&mut self.sealed) {
+            let (_, p, c) = segment::read_segment(std::path::Path::new(&meta.path))
+                .map_err(|e| JoinError::Spill(format!("reading {}: {e}", meta.path)))?;
+            self.player.extend(p);
+            self.cdn.extend(c);
+        }
+        Ok(())
+    }
+
+    /// Split the sink into its raw parts (merge machinery).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Vec<PlayerChunkRecord>,
+        Vec<CdnChunkRecord>,
+        Vec<SessionMeta>,
+        Vec<SegmentMeta>,
+    ) {
+        (self.player, self.cdn, self.sessions, self.sealed)
+    }
+
+    /// Rebuild a plain in-RAM sink from raw parts (merge machinery).
+    pub(crate) fn from_parts(
+        player: Vec<PlayerChunkRecord>,
+        cdn: Vec<CdnChunkRecord>,
+        sessions: Vec<SessionMeta>,
+        sealed: Vec<SegmentMeta>,
+    ) -> Self {
+        TelemetrySink {
+            player,
+            cdn,
+            sessions,
+            sealed,
+            ..Self::default()
+        }
     }
 }
 
@@ -81,6 +261,9 @@ pub enum JoinError {
     MissingSessionMeta(SessionId),
     /// Two records share a `(session, chunk)` key.
     DuplicateKey(SessionId, ChunkIndex),
+    /// A spilled segment could not be read back (I/O error, torn file, or
+    /// fingerprint mismatch).
+    Spill(String),
 }
 
 impl std::fmt::Display for JoinError {
@@ -94,6 +277,7 @@ impl std::fmt::Display for JoinError {
             }
             JoinError::MissingSessionMeta(s) => write!(f, "no session metadata for {s}"),
             JoinError::DuplicateKey(s, c) => write!(f, "duplicate record for {s}/{c}"),
+            JoinError::Spill(msg) => write!(f, "spill segment failure: {msg}"),
         }
     }
 }
@@ -246,6 +430,9 @@ impl Dataset {
     /// replays), the reference path runs and reports the exact same
     /// [`JoinError`]s it always did.
     pub fn assemble(sink: TelemetrySink) -> Result<Dataset, JoinError> {
+        if !sink.sealed_segments().is_empty() {
+            return crate::merge::assemble_spilled(sink);
+        }
         match Self::join_indexed(sink) {
             Ok(ds) => Ok(ds),
             Err(sink) => Self::join_reference(sink),
@@ -254,6 +441,7 @@ impl Dataset {
 
     /// The indexed fast path. Returns the sink unchanged if any invariant
     /// fails, so the caller can fall back to the reference join.
+    #[allow(clippy::result_large_err)] // Err hands the whole sink back for the fallback join
     fn join_indexed(sink: TelemetrySink) -> Result<Dataset, TelemetrySink> {
         // --- validation: one read-only linear pass ---
         if sink.player.len() != sink.cdn.len() {
@@ -297,6 +485,7 @@ impl Dataset {
             player,
             cdn,
             sessions,
+            ..
         } = sink;
         let mut meta_slot: Vec<Option<SessionMeta>> = (0..slots).map(|_| None).collect();
         for m in sessions {
@@ -335,7 +524,10 @@ impl Dataset {
     /// definition [`Dataset::assemble`]'s fast path is tested against, and
     /// the path that diagnoses malformed sinks with a precise
     /// [`JoinError`].
-    pub fn join_reference(sink: TelemetrySink) -> Result<Dataset, JoinError> {
+    pub fn join_reference(mut sink: TelemetrySink) -> Result<Dataset, JoinError> {
+        // The oracle must see spilled rows too: read them back into the
+        // arenas first so it joins exactly what the streaming merge would.
+        sink.materialize()?;
         let mut metas: BTreeMap<SessionId, SessionMeta> = BTreeMap::new();
         for m in sink.sessions {
             metas.insert(m.session, m);

@@ -17,7 +17,11 @@
 
 pub mod dataset;
 pub mod export;
+pub mod merge;
 pub mod records;
+pub mod segment;
 
-pub use dataset::{Dataset, JoinError, SessionData, TelemetrySink};
+pub use dataset::{Dataset, JoinError, SessionData, SpillSpec, TelemetrySink};
+pub use merge::{validate_sealed, SessionStream};
 pub use records::{CdnChunkRecord, ChunkRecord, ChunkTruth, PlayerChunkRecord, SessionMeta};
+pub use segment::{SegmentMeta, SegmentReader};
